@@ -1,0 +1,151 @@
+"""ABL — ablations of the design choices DESIGN.md calls out.
+
+* delta-driven inflationary evaluation vs textbook full recomputation
+  (same answers, diverging cost with stage count);
+* determinism as a *cost*: the deterministic Datalog¬new parity
+  (all-orders enumeration, factorial) vs the nondeterministic
+  N-Datalog¬new chain (one order, linear) — escapes (i)/(ii) of §4.4
+  made measurable;
+* the choice operator as a cheap middle ground: LDL-style dynamic
+  choice builds one spanning tree in polynomial time where eff(P)
+  enumeration would pay the full orientation blow-up.
+"""
+
+import pytest
+
+from repro.parser import parse_program
+from repro.relational.instance import Database
+from repro.semantics.choice import evaluate_with_choice
+from repro.semantics.inflationary import evaluate_inflationary
+from repro.programs.closer import closer_program
+from repro.programs.evenness_generic import evenness_generic
+from repro.programs.parity_chain import parity_chain
+from repro.workloads.graphs import chain, graph_database, random_gnp
+
+SPANNING_TREE = parse_program(
+    """
+    root(x) :- node(x), choice((), (x)).
+    intree(x) :- root(x).
+    tree(x, y) :- intree(x), G(x, y), not intree(y), choice((y), (x)).
+    intree(y) :- tree(x, y).
+    """
+)
+
+
+@pytest.mark.parametrize("n", [8, 12])
+def test_inflationary_with_delta(benchmark, n):
+    db = graph_database(chain(n))
+    result = benchmark(evaluate_inflationary, closer_program(), db, **{"use_delta": True})
+    assert result.stage_count >= n - 1
+
+
+@pytest.mark.parametrize("n", [8, 12])
+def test_inflationary_without_delta(benchmark, n):
+    db = graph_database(chain(n))
+    result = benchmark(
+        evaluate_inflationary, closer_program(), db, **{"use_delta": False}
+    )
+    assert result.stage_count >= n - 1
+
+
+def test_delta_saves_firings(benchmark):
+    def measure():
+        db = graph_database(chain(14))
+        fast = evaluate_inflationary(closer_program(), db, use_delta=True)
+        slow = evaluate_inflationary(closer_program(), db, use_delta=False)
+        assert fast.database == slow.database
+        return fast.rule_firings, slow.rule_firings
+
+    fast_firings, slow_firings = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert fast_firings < slow_firings
+
+
+@pytest.mark.parametrize("k", [3, 4])
+def test_parity_deterministic_invention(benchmark, k):
+    rows = [(f"e{i}",) for i in range(k)]
+    answer = benchmark(evenness_generic, rows)
+    assert answer == (k % 2 == 0)
+
+
+@pytest.mark.parametrize("k", [3, 4, 16, 32])
+def test_parity_nondeterministic_chain(benchmark, k):
+    """Linear where the deterministic variant is factorial — the ablation
+    runs the nondeterministic engine far beyond the deterministic one's
+    feasible range."""
+    rows = [(f"e{i}",) for i in range(k)]
+    answer = benchmark(parity_chain, rows, **{"seed": k})
+    assert answer == (k % 2 == 0)
+
+
+LEFT_TC = parse_program(
+    """
+    T(x, y) :- G(x, y).
+    T(x, y) :- T(x, z), G(z, y).
+    """
+)
+
+
+@pytest.mark.parametrize("n", [40, 80])
+def test_goal_directed_bound_query(benchmark, n):
+    """Top-down with a bound source on a chain: linear relevant facts."""
+    from repro.semantics.topdown import query_topdown
+
+    db = graph_database(chain(n))
+    result = benchmark(query_topdown, LEFT_TC, db, "T", ("n0", None))
+    assert len(result.answers) == n - 1
+    assert result.facts_computed() == n - 1
+
+
+@pytest.mark.parametrize("n", [40, 80])
+def test_bottom_up_full_closure_baseline(benchmark, n):
+    """Bottom-up must build the whole quadratic closure to answer the
+    same bound query."""
+    from repro.semantics.seminaive import evaluate_datalog_seminaive
+
+    db = graph_database(chain(n))
+    result = benchmark(evaluate_datalog_seminaive, LEFT_TC, db)
+    assert len(result.answer("T")) == n * (n - 1) // 2
+
+
+@pytest.mark.parametrize("n", [30, 60])
+def test_incremental_maintenance_single_edge(benchmark, n):
+    """DRed: one edge insert+delete on a maintained TC view vs the
+    from-scratch recomputation baseline below."""
+    from repro.semantics.maintenance import MaterializedView
+    from repro.programs.tc import tc_program
+
+    base_edges = chain(n)
+    view = MaterializedView(tc_program(), graph_database(base_edges))
+
+    def update_cycle():
+        view.insert([("G", ("n2", "n0"))])
+        view.delete([("G", ("n2", "n0"))])
+        return view
+
+    result = benchmark(update_cycle)
+    assert len(result.answer("T")) == n * (n - 1) // 2
+
+
+@pytest.mark.parametrize("n", [30, 60])
+def test_from_scratch_recomputation_baseline(benchmark, n):
+    from repro.semantics.seminaive import evaluate_datalog_seminaive
+    from repro.programs.tc import tc_program
+
+    def recompute_twice():
+        db = graph_database(chain(n) + [("n2", "n0")])
+        evaluate_datalog_seminaive(tc_program(), db)
+        return evaluate_datalog_seminaive(tc_program(), graph_database(chain(n)))
+
+    result = benchmark(recompute_twice)
+    assert len(result.answer("T")) == n * (n - 1) // 2
+
+
+@pytest.mark.parametrize("n", [10, 20])
+def test_choice_spanning_tree(benchmark, n):
+    edges = random_gnp(n, 3.0 / n, seed=n)
+    nodes = sorted({v for e in edges for v in e})
+    db = Database({"node": [(v,) for v in nodes], "G": edges})
+    result = benchmark(evaluate_with_choice, SPANNING_TREE, db, **{"seed": 1})
+    tree = result.answer("tree")
+    children = [y for _, y in tree]
+    assert len(children) == len(set(children))  # parent function

@@ -1,0 +1,50 @@
+"""AGG — stratified aggregation pipelines (the §6 extension landscape).
+
+Shape: aggregate stages cost linear passes over their source relation;
+the recursion stage dominates; results match hand-computed group
+folds at every size."""
+
+import pytest
+
+from repro.parser import parse_program
+from repro.pipeline import AggregateStage, Pipeline, ProgramStage, run_pipeline
+from repro.relational.instance import Database
+from repro.workloads.graphs import graph_database, random_gnp
+
+TC = parse_program("T(x,y) :- G(x,y). T(x,y) :- G(x,z), T(z,y).")
+
+
+def _reach_pipeline():
+    return Pipeline(
+        (
+            ProgramStage(TC),
+            AggregateStage("reach_count", "T", group_by=(0,), function="count"),
+        )
+    )
+
+
+@pytest.mark.parametrize("n", [16, 32])
+def test_reach_count_pipeline(benchmark, n):
+    edges = random_gnp(n, 2.0 / n, seed=n)
+    db = graph_database(edges)
+    out = benchmark(run_pipeline, _reach_pipeline(), db)
+    # Cross-check each group against the raw closure.
+    closure = out.tuples("T")
+    for node, count in out.tuples("reach_count"):
+        assert count == sum(1 for t in closure if t[0] == node)
+
+
+@pytest.mark.parametrize("n", [200, 400])
+def test_pure_aggregate_scaling(benchmark, n):
+    rows = [(f"g{i % 10}", f"m{i}", i) for i in range(n)]
+    db = Database({"sal": rows})
+    pipeline = Pipeline(
+        (
+            AggregateStage("total", "sal", (0,), "sum", value=2),
+            AggregateStage("headcount", "sal", (0,), "count"),
+        )
+    )
+    out = benchmark(run_pipeline, pipeline, db)
+    assert len(out.tuples("total")) == 10
+    totals = dict(out.tuples("total"))
+    assert totals["g0"] == sum(i for i in range(n) if i % 10 == 0)

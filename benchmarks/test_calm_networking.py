@@ -1,0 +1,83 @@
+"""CALM — asynchronous schedules vs outcomes (§6 declarative networking).
+
+Shape: the monotone gossip protocol converges to the SAME final state
+under every delivery schedule (seeds) with latency varying by schedule;
+the non-monotone race protocol produces BOTH verdicts across seeds.
+"""
+
+import pytest
+
+from repro.relational.instance import Database
+from repro.statelog import parse_statelog, run_async_statelog
+
+GOSSIP = parse_statelog(
+    """
+    ~know(n2, f) :- know(n1, f), link(n1, n2).
+    +know(n, f) :- know(n, f).
+    +link(a, b) :- link(a, b).
+    """
+)
+
+RACE = parse_statelog(
+    """
+    ~probe(n) :- start(n).
+    ~know(n, 'payload') :- origin(n2), link(n2, n).
+    +verdict(n, 'present') :- probe(n), know(n, 'payload').
+    +verdict(n, 'absent') :- probe(n), not know(n, 'payload').
+    +verdict(n, v) :- verdict(n, v).
+    +know(n, f) :- know(n, f).
+    +start(n) :- start(n), not probe(n).
+    +origin(n) :- origin(n).
+    +link(a, b) :- link(a, b).
+    """
+)
+
+
+def _ring_db(n: int) -> Database:
+    ring = [(f"h{i}", f"h{(i + 1) % n}") for i in range(n)]
+    return Database({"link": ring, "know": [("h0", "update")]})
+
+
+@pytest.mark.parametrize("n", [5, 9])
+def test_gossip_one_schedule(benchmark, n):
+    db = _ring_db(n)
+    result = benchmark(run_async_statelog, GOSSIP, db, **{"seed": 1, "max_delay": 3})
+    assert len({t[0] for t in result.answer("know")}) == n
+
+
+@pytest.mark.parametrize("n", [5])
+def test_gossip_confluence_over_schedules(benchmark, n):
+    """The CALM shape: identical outcomes, varying latency."""
+
+    def sweep():
+        db = _ring_db(n)
+        outcomes = set()
+        latencies = []
+        for seed in range(8):
+            result = run_async_statelog(GOSSIP, db, seed=seed, max_delay=3)
+            outcomes.add(result.answer("know"))
+            latencies.append(result.steps)
+        return outcomes, latencies
+
+    outcomes, latencies = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert len(outcomes) == 1
+    assert len(set(latencies)) > 1
+
+
+def test_race_divergence_over_schedules(benchmark):
+    def sweep():
+        db = Database(
+            {
+                "origin": [("server",)],
+                "link": [("server", "client")],
+                "start": [("client",)],
+            }
+        )
+        verdicts = set()
+        for seed in range(24):
+            result = run_async_statelog(RACE, db, seed=seed, max_delay=4)
+            verdicts |= {v for _, v in result.answer("verdict")}
+        return verdicts
+
+    verdicts = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert verdicts == {"present", "absent"}

@@ -1,0 +1,84 @@
+"""PERF — cross-engine scaling on transitive closure.
+
+The library-wide comparison: the same pure-Datalog query on every
+deterministic engine, sweeping instance size.  Shape: semi-naive is
+the fastest and the gap to naive widens with size; the forward-chaining
+engines (inflationary/noninflationary) track semi-naive within a
+constant factor; the well-founded engine pays its alternation overhead
+even on negation-free input."""
+
+import pytest
+
+from repro.semantics.inflationary import evaluate_inflationary
+from repro.semantics.naive import evaluate_datalog_naive
+from repro.semantics.noninflationary import evaluate_noninflationary
+from repro.semantics.seminaive import evaluate_datalog_seminaive
+from repro.semantics.stratified import evaluate_stratified
+from repro.semantics.wellfounded import evaluate_wellfounded
+from repro.programs.tc import tc_program
+from repro.workloads.graphs import graph_database, random_gnp
+
+SIZES = [16, 32, 48]
+
+ENGINES = {
+    "naive": lambda p, db: evaluate_datalog_naive(p, db),
+    "seminaive": lambda p, db: evaluate_datalog_seminaive(p, db),
+    "stratified": lambda p, db: evaluate_stratified(p, db),
+    "inflationary": lambda p, db: evaluate_inflationary(p, db),
+    "noninflationary": lambda p, db: evaluate_noninflationary(p, db, validate=False),
+}
+
+
+def _graph(n: int):
+    return graph_database(random_gnp(n, 2.5 / n, seed=n))
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("engine", list(ENGINES))
+def test_tc_scaling(benchmark, engine, n):
+    db = _graph(n)
+    run = ENGINES[engine]
+    result = benchmark(run, tc_program(), db)
+    reference = evaluate_datalog_seminaive(tc_program(), db).answer("T")
+    assert result.answer("T") == reference
+
+
+@pytest.mark.parametrize("n", [16, 24])
+def test_tc_wellfounded(benchmark, n):
+    db = _graph(n)
+    model = benchmark(evaluate_wellfounded, tc_program(), db)
+    reference = evaluate_datalog_seminaive(tc_program(), db).answer("T")
+    assert model.answer("T") == reference
+    assert model.is_total()
+
+
+@pytest.mark.parametrize("depth", [3, 5])
+def test_same_generation_seminaive(benchmark, depth):
+    """Non-linear recursion: the other classic shape next to TC."""
+    from repro.programs.same_generation import (
+        same_generation_program,
+        tree_instance,
+    )
+
+    db = tree_instance(depth=depth)
+    result = benchmark(
+        evaluate_datalog_seminaive, same_generation_program(), db
+    )
+    # Every same-level pair is in one generation: Σ (2^k)(2^k − 1).
+    expected = sum((2**k) * (2**k - 1) for k in range(1, depth + 1))
+    assert len(result.answer("sg")) == expected
+
+
+def test_seminaive_beats_naive_in_firings(benchmark):
+    def measure():
+        gaps = []
+        for n in SIZES:
+            db = _graph(n)
+            naive = evaluate_datalog_naive(tc_program(), db)
+            semi = evaluate_datalog_seminaive(tc_program(), db)
+            gaps.append(naive.rule_firings - semi.rule_firings)
+        return gaps
+
+    gaps = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert all(g >= 0 for g in gaps)
+    assert gaps[-1] > 0

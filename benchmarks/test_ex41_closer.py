@@ -1,0 +1,47 @@
+"""EX4.1 — the closer query: stage number = distance.
+
+Shape: the number of evaluation stages tracks the graph diameter
+(T(x, y) enters at stage d(x, y)), and the answer matches the strict
+distance comparison the program provably computes."""
+
+import pytest
+
+from repro.semantics.inflationary import evaluate_inflationary
+from repro.programs.closer import closer_program, distances, reference_closer
+from repro.workloads.graphs import chain, graph_database, random_gnp
+
+
+@pytest.mark.parametrize("n", [6, 9, 12])
+def test_closer_chain(benchmark, n):
+    edges = chain(n)
+    db = graph_database(edges)
+    result = benchmark(evaluate_inflationary, closer_program(), db)
+    assert result.answer("closer") == reference_closer(edges)
+
+
+@pytest.mark.parametrize("n", [8, 12])
+def test_closer_random(benchmark, n):
+    edges = random_gnp(n, 2.0 / n, seed=n)
+    db = graph_database(edges)
+    result = benchmark(evaluate_inflationary, closer_program(), db)
+    assert result.answer("closer") == reference_closer(edges)
+
+
+def test_stage_count_tracks_diameter(benchmark):
+    def measure():
+        stage_counts = []
+        for n in (4, 8, 12):
+            edges = chain(n)
+            result = evaluate_inflationary(closer_program(), graph_database(edges))
+            diameter = max(distances(edges).values())
+            # T stabilizes at the diameter; closer adds at most one stage.
+            assert any(
+                result.stage_of("T", pair) == d
+                for pair, d in distances(edges).items()
+            )
+            stage_counts.append((n, result.stage_count, diameter))
+        return stage_counts
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    for n, stages, diameter in rows:
+        assert diameter <= stages <= diameter + 2, (n, stages, diameter)

@@ -1,0 +1,71 @@
+"""EX4.4 — good nodes via timestamps: paper program vs compiler vs while.
+
+Shape: all three agree everywhere; the inflationary simulations pay a
+constant-factor stage overhead over the while-loop iteration count
+(two stages per iteration, from the delay/stamp pipeline)."""
+
+import pytest
+
+from repro.ast.rules import neg, pos
+from repro.languages.while_lang import evaluate_while
+from repro.semantics.inflationary import evaluate_inflationary
+from repro.terms import Var
+from repro.translate.fixpoint_to_datalog import (
+    compile_fixpoint_loop,
+    gain_loop_as_while,
+)
+from repro.programs.good_nodes import good_nodes_program, reference_good_nodes
+from repro.workloads.graphs import chain, graph_database, lollipop, random_gnp
+
+x, y = Var("x"), Var("y")
+BAD_BODY = (pos("G", y, x), neg("good", y))
+
+GRAPHS = {
+    "chain16": chain(16),
+    "lollipop": lollipop(4, 10),
+    "gnp14": random_gnp(14, 0.15, seed=11),
+}
+
+
+@pytest.mark.parametrize("name", list(GRAPHS))
+def test_paper_timestamp_program(benchmark, name):
+    edges = GRAPHS[name]
+    db = graph_database(edges)
+    result = benchmark(evaluate_inflationary, good_nodes_program(), db)
+    assert {t[0] for t in result.answer("good")} == reference_good_nodes(edges)
+
+
+@pytest.mark.parametrize("name", list(GRAPHS))
+def test_compiled_gain_loop(benchmark, name):
+    edges = GRAPHS[name]
+    program = compile_fixpoint_loop("good", (x,), BAD_BODY, {"G"})
+    db = graph_database(edges)
+    result = benchmark(evaluate_inflationary, program, db)
+    assert {t[0] for t in result.answer("good")} == reference_good_nodes(edges)
+
+
+@pytest.mark.parametrize("name", list(GRAPHS))
+def test_while_baseline(benchmark, name):
+    edges = GRAPHS[name]
+    wprog = gain_loop_as_while("good", (x,), BAD_BODY)
+    db = graph_database(edges)
+    result = benchmark(evaluate_while, wprog, db)
+    assert {t[0] for t in result.answer("good")} == reference_good_nodes(edges)
+
+
+def test_stage_overhead_is_two_per_iteration(benchmark):
+    def measure():
+        rows = []
+        for n in (6, 10, 14):
+            edges = chain(n)
+            db = graph_database(edges)
+            infl = evaluate_inflationary(good_nodes_program(), db)
+            loop = evaluate_while(
+                gain_loop_as_while("good", (x,), BAD_BODY), db
+            )
+            rows.append((loop.loop_iterations, infl.stage_count))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    for iterations, stages in rows:
+        assert stages <= 2 * iterations + 2, (iterations, stages)

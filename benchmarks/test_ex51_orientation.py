@@ -1,0 +1,52 @@
+"""EX5.1 — the orientation program: eff(P) grows as 2^(#2-cycles).
+
+Shape: deterministic semantics removes both directions of every
+2-cycle in one stage; nondeterministic enumeration finds exactly
+2^k terminal orientations for k two-cycles."""
+
+import pytest
+
+from repro.semantics.nondeterministic import enumerate_effects, run_nondeterministic
+from repro.semantics.noninflationary import evaluate_noninflationary
+from repro.programs.orientation import (
+    deterministic_program,
+    orientation_program,
+    orientations,
+    reference_two_cycles,
+)
+from repro.workloads.graphs import graph_database
+
+
+def _k_two_cycles(k: int) -> list[tuple[str, str]]:
+    edges = []
+    for n in range(k):
+        edges.append((f"u{n}", f"v{n}"))
+        edges.append((f"v{n}", f"u{n}"))
+    edges.append(("u0", "w"))  # one plain edge that always survives
+    return edges
+
+
+@pytest.mark.parametrize("k", [2, 4, 6])
+def test_enumerate_orientations(benchmark, k):
+    edges = _k_two_cycles(k)
+    outs = benchmark(orientations, edges)
+    assert len(outs) == 2**k
+    assert len(reference_two_cycles(edges)) == k
+
+
+@pytest.mark.parametrize("k", [4, 8])
+def test_sampled_orientation_run(benchmark, k):
+    edges = _k_two_cycles(k)
+    db = graph_database(edges)
+    run = benchmark(run_nondeterministic, orientation_program(), db, **{"seed": 1})
+    kept = run.answer("G")
+    assert ("u0", "w") in kept
+    assert len(kept) == k + 1  # one direction per 2-cycle + the plain edge
+
+
+@pytest.mark.parametrize("k", [4, 8])
+def test_deterministic_mass_deletion(benchmark, k):
+    edges = _k_two_cycles(k)
+    db = graph_database(edges)
+    result = benchmark(evaluate_noninflationary, deterministic_program(), db)
+    assert result.answer("G") == frozenset({("u0", "w")})

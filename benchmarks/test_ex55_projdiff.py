@@ -1,0 +1,58 @@
+"""EX5.4/5.5 — P − π_A(Q) across the three dialect extensions.
+
+Shape: all three programs are deterministic (a single possible answer)
+and correct on every workload; the ⊥ program pays the largest state
+space (its runs can wander before the ⊥ trap prunes them), the ∀
+program the smallest."""
+
+import pytest
+
+from repro.semantics.nondeterministic import answers_in_effects, enumerate_effects
+from repro.programs.proj_diff import (
+    proj_diff_bottom_program,
+    proj_diff_forall_program,
+    proj_diff_negneg_program,
+)
+from repro.workloads.relations import (
+    proj_diff_database,
+    random_binary,
+    random_unary,
+    reference_proj_diff,
+)
+
+PROGRAMS = {
+    "negneg": proj_diff_negneg_program,
+    "bottom": proj_diff_bottom_program,
+    "forall": proj_diff_forall_program,
+}
+
+
+def _workload(n: int, seed: int):
+    return proj_diff_database(
+        random_unary(n, n // 2 + 1, seed=seed),
+        random_binary(n, n // 2, seed=seed + 1),
+    )
+
+
+@pytest.mark.parametrize("dialect", list(PROGRAMS))
+@pytest.mark.parametrize("n", [4, 6])
+def test_proj_diff(benchmark, dialect, n):
+    db = _workload(n, seed=n)
+    program = PROGRAMS[dialect]()
+    effects = benchmark(enumerate_effects, program, db)
+    answers = answers_in_effects(effects, "answer")
+    assert answers == {frozenset(reference_proj_diff(db))}
+
+
+def test_state_space_ordering(benchmark):
+    """forall ≤ negneg ≤ bottom in explored terminal states."""
+
+    def measure():
+        db = _workload(5, seed=2)
+        sizes = {}
+        for name, build in PROGRAMS.items():
+            sizes[name] = len(enumerate_effects(build(), db))
+        return sizes
+
+    sizes = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert sizes["forall"] <= sizes["negneg"] <= sizes["bottom"]

@@ -1,0 +1,92 @@
+"""FIG1 — Figure 1: the expressiveness hierarchy, regenerated.
+
+For each level of the figure we time the characteristic query on its
+own engine and assert the witnessed relationships:
+
+* every engine at or above a level computes that level's query with
+  the same answer (equivalences ≡ in the figure);
+* the witnessed separations hold (stratifier rejects P_win; the
+  flip-flop diverges; invention escapes the active domain).
+
+The printed series is the per-level timing on a common workload —
+the "rows" of Figure 1 as runnable artifacts.
+"""
+
+import pytest
+
+from repro.errors import NonTerminationError, StratificationError
+from repro.relational.instance import Database
+from repro.semantics.inflationary import evaluate_inflationary
+from repro.semantics.invention import evaluate_with_invention
+from repro.semantics.noninflationary import evaluate_noninflationary
+from repro.semantics.seminaive import evaluate_datalog_seminaive
+from repro.semantics.stratified import evaluate_stratified
+from repro.semantics.wellfounded import evaluate_wellfounded
+from repro.programs.ctc_inflationary import ctc_inflationary_program
+from repro.programs.flip_flop import flip_flop_input, flip_flop_program
+from repro.programs.tc import ctc_stratified_program, tc_program
+from repro.programs.win import win_program
+from repro.workloads.games import game_database, random_game
+from repro.workloads.graphs import graph_database, random_gnp
+
+GRAPH = random_gnp(20, 0.1, seed=13)
+
+
+def test_level0_datalog_tc(benchmark):
+    db = graph_database(GRAPH)
+    result = benchmark(evaluate_datalog_seminaive, tc_program(), db)
+    reference = evaluate_stratified(tc_program(), db).answer("T")
+    assert result.answer("T") == reference
+
+
+def test_level1_stratified_ctc(benchmark):
+    db = graph_database(GRAPH)
+    result = benchmark(evaluate_stratified, ctc_stratified_program(), db)
+    assert len(result.answer("CT")) > 0
+
+
+def test_level2_wellfounded_equals_inflationary_on_ctc(benchmark):
+    """The ≡ in the middle of Figure 1, timed on the well-founded side."""
+    db = graph_database(GRAPH)
+    wf = benchmark(evaluate_wellfounded, ctc_stratified_program(), db)
+    infl = evaluate_inflationary(ctc_inflationary_program(), db)
+    assert wf.answer("CT") == infl.answer("CT")
+    assert wf.is_total()
+
+
+def test_level2_wellfounded_beyond_stratified(benchmark):
+    """win is rejected one level down, answered here."""
+    moves = random_game(12, 0.2, seed=3)
+    db = game_database(moves)
+    with pytest.raises(StratificationError):
+        evaluate_stratified(win_program(), db)
+    model = benchmark(evaluate_wellfounded, win_program(), db)
+    assert model.true_facts <= model.possible_facts
+
+
+def test_level3_datalog_negneg_terminating(benchmark):
+    """Datalog¬¬ subsumes the lower levels (here: runs TC) and adds
+    deletion; the flip-flop witnesses the lost termination guarantee."""
+    db = graph_database(GRAPH)
+    result = benchmark(evaluate_noninflationary, tc_program(), db, validate=False)
+    assert result.answer("T") == evaluate_datalog_seminaive(
+        tc_program(), db
+    ).answer("T")
+    with pytest.raises(NonTerminationError):
+        evaluate_noninflationary(flip_flop_program(), flip_flop_input())
+
+
+def test_level4_invention_runs_lower_levels_and_escapes(benchmark):
+    from repro.parser import parse_program
+
+    db = graph_database(GRAPH)
+    result = benchmark(evaluate_with_invention, tc_program(), db, validate=False)
+    assert result.answer("T") == evaluate_datalog_seminaive(
+        tc_program(), db
+    ).answer("T")
+    # the strict ⇑: invented values lie outside every other engine's reach
+    out = evaluate_with_invention(
+        parse_program("fresh(n, x) :- R(x)."), Database({"R": [("a",)]})
+    )
+    ((fresh, _),) = out.database.tuples("fresh")
+    assert fresh not in {"a"}

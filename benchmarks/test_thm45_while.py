@@ -1,0 +1,75 @@
+"""T4.5 — Datalog¬ vs Datalog¬¬: termination guarantees.
+
+Shape: every inflationary run reaches Γ^ω (stage count bounded by the
+number of possible facts), while Datalog¬¬ both terminates on shrinking
+workloads and provably diverges on the flip-flop — and the engine's
+cycle detector finds the divergence in constant work."""
+
+import pytest
+
+from repro.errors import NonTerminationError
+from repro.parser import parse_program
+from repro.relational.instance import Database
+from repro.semantics.inflationary import evaluate_inflationary
+from repro.semantics.noninflationary import evaluate_noninflationary
+from repro.programs.flip_flop import flip_flop_input, flip_flop_program
+from repro.programs.tc import tc_program
+from repro.workloads.graphs import chain, graph_database
+
+SHRINK = parse_program(
+    """
+    % peel: delete sources (no incoming edge) one layer per stage
+    source(x) :- G(x, y), not has-in(x).
+    has-in(y) :- G(x, y).
+    !G(x, y) :- G(x, y), source(x).
+    !has-in(y) :- has-in(y), not still-in(y).
+    still-in(y) :- G(x, y).
+    """
+)
+
+
+@pytest.mark.parametrize("n", [16, 32])
+def test_inflationary_always_terminates(benchmark, n):
+    db = graph_database(chain(n))
+    result = benchmark(evaluate_inflationary, tc_program(), db)
+    possible_facts = (n) ** 2
+    assert result.stage_count <= possible_facts
+
+
+@pytest.mark.parametrize("n", [8, 16])
+def test_negneg_shrinking_terminates(benchmark, n):
+    db = graph_database(chain(n))
+    result = benchmark(
+        evaluate_noninflationary, SHRINK, db, **{"max_stages": 10_000}
+    )
+    assert result.stage_count >= 1
+
+
+def test_flip_flop_divergence_detection(benchmark):
+    def detect():
+        try:
+            evaluate_noninflationary(flip_flop_program(), flip_flop_input())
+        except NonTerminationError as err:
+            return err.stage
+        raise AssertionError("flip-flop terminated")
+
+    stage = benchmark(detect)
+    assert stage == 2  # the cycle closes after two stages
+
+
+def test_detection_work_is_constant_in_budget(benchmark):
+    """Cycle detection beats a step budget: work does not grow with the
+    allowed max_stages."""
+
+    def run(budget):
+        try:
+            evaluate_noninflationary(
+                flip_flop_program(), flip_flop_input(), max_stages=budget
+            )
+        except NonTerminationError as err:
+            return err.stage
+
+    stages = benchmark.pedantic(
+        lambda: [run(b) for b in (10, 1_000, 100_000)], rounds=1, iterations=1
+    )
+    assert stages == [2, 2, 2]

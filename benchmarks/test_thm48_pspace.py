@@ -1,0 +1,97 @@
+"""T4.8 — Datalog¬¬ ≡ while ≡ db-pspace on ordered databases.
+
+The witness: a k-bit binary counter.  The loop
+
+    B := if all-bits-set then B else increment(B)
+
+runs for 2^k − 1 iterations in k bits of (relational) space — the
+exponential-time-in-polynomial-space behaviour that separates while
+(PSPACE) from fixpoint (PTIME) resource profiles.  Shape: iteration
+counts double as k grows by one, while the *space* proxy grows only
+linearly; the while-program and the compiled Datalog¬¬ agree."""
+
+import pytest
+
+from repro.languages.while_lang import evaluate_while
+from repro.logic.formula import And, Atom, Forall, Implies, Not, Or
+from repro.ordered import attach_order
+from repro.relational.instance import Database
+from repro.semantics.noninflationary import evaluate_noninflationary
+from repro.terms import Var
+from repro.translate.while_to_datalog import (
+    LoopAssignment,
+    compile_while_loop,
+    while_loop_as_while,
+)
+
+i, j = Var("i"), Var("j")
+
+#: full ≡ every bit is set.
+FULL = Forall((j,), Implies(Atom("Bit", (j,)), Atom("B", (j,))))
+#: flip(i) ≡ all lower bits are set (bit i toggles on increment).
+FLIP = Forall(
+    (j,),
+    Implies(And(Atom("Bit", (j,)), Atom("lt", (j, i))), Atom("B", (j,))),
+)
+#: φ(i): keep B when full, else increment.
+COUNTER_PHI = And(
+    Atom("Bit", (i,)),
+    Or(
+        And(FULL, Atom("B", (i,))),
+        And(
+            Not(FULL),
+            Or(
+                And(Atom("B", (i,)), Not(FLIP)),
+                And(Not(Atom("B", (i,))), FLIP),
+            ),
+        ),
+    ),
+)
+
+LOOP = [LoopAssignment("B", (i,), COUNTER_PHI)]
+
+
+def _bits_db(k: int) -> Database:
+    bits = [(f"b{n:02d}",) for n in range(k)]
+    return attach_order(Database({"Bit": bits}))
+
+
+@pytest.mark.parametrize("k", [3, 4, 5])
+def test_counter_while(benchmark, k):
+    db = _bits_db(k)
+    wprog = while_loop_as_while(LOOP)
+    result = benchmark(evaluate_while, wprog, db, **{"max_iterations": 10_000})
+    # Counts 0 → 2^k − 1, plus the final no-change iteration.
+    assert result.loop_iterations == 2**k
+    assert len(result.answer("B")) == k  # ends full
+
+
+@pytest.mark.parametrize("k", [2, 3])
+def test_counter_compiled_datalog_negneg(benchmark, k):
+    db = _bits_db(k)
+    program = compile_while_loop(LOOP, {"Bit": 1, "lt": 2})
+    result = benchmark(
+        evaluate_noninflationary, program, db, **{"max_stages": 1_000_000}
+    )
+    baseline = evaluate_while(while_loop_as_while(LOOP), db)
+    assert result.answer("B") == baseline.answer("B")
+
+
+def test_exponential_time_linear_space(benchmark):
+    """The db-pspace signature: iterations double per bit, the space
+    proxy (peak fact count) grows polynomially."""
+
+    def measure():
+        rows = []
+        for k in (3, 4, 5, 6):
+            db = _bits_db(k)
+            result = evaluate_while(
+                while_loop_as_while(LOOP), db, max_iterations=10_000
+            )
+            rows.append((k, result.loop_iterations, result.max_fact_count))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    for (k1, it1, sp1), (k2, it2, sp2) in zip(rows, rows[1:]):
+        assert it2 == 2 * it1, "iterations must double per bit"
+        assert sp2 < sp1 * 2.5, "space must not blow up"

@@ -1,0 +1,76 @@
+"""T5.9/T5.11 — poss/cert semantics over eff(P).
+
+Shape: poss of the pick-one chooser returns every element while cert
+returns none (the chooser itself is maximally nondeterministic); on a
+deterministic program poss = cert; the cost of both is the cost of the
+eff(P) enumeration, which grows with the choice space."""
+
+import pytest
+
+from repro.parser import parse_program
+from repro.relational.instance import Database
+from repro.semantics.posscert import certainty, deterministic_effect, possibility
+
+CHOOSER = parse_program("pick(x) :- S(x), not done. done :- S(x).")
+MARKER = parse_program(
+    """
+    mark(x) :- S(x), not done.
+    done :- mark(x).
+    """
+)
+
+
+def _s_db(n: int) -> Database:
+    return Database({"S": [(f"v{i}",) for i in range(n)]})
+
+
+@pytest.mark.parametrize("n", [3, 5, 7])
+def test_possibility(benchmark, n):
+    db = _s_db(n)
+    poss = benchmark(possibility, CHOOSER, db)
+    assert len(poss.tuples("pick")) == n  # every element possible
+
+
+@pytest.mark.parametrize("n", [3, 5, 7])
+def test_certainty(benchmark, n):
+    db = _s_db(n)
+    cert = benchmark(certainty, CHOOSER, db)
+    assert cert.tuples("pick") == frozenset()  # nothing certain
+
+
+@pytest.mark.parametrize("n", [3, 5])
+def test_marker_poss_cert_split(benchmark, n):
+    """Exactly one element gets marked per run: poss = all, cert = ∅
+    (n > 1); the deterministic-fragment check distinguishes n = 1."""
+    db = _s_db(n)
+
+    def both():
+        return possibility(MARKER, db), certainty(MARKER, db)
+
+    poss, cert = benchmark(both)
+    assert len(poss.tuples("mark")) == n
+    assert cert.tuples("mark") == frozenset()
+
+
+@pytest.mark.parametrize("n", [3, 4])
+def test_hamiltonicity_db_np(benchmark, n):
+    """§2's db-np example: guess a successor matching, check the cycle.
+
+    Exponential in the guessed-edge count — the honest price of db-np
+    by exhaustive certificate enumeration."""
+    from repro.programs.hamiltonian import has_hamiltonian_circuit
+    from repro.workloads.graphs import cycle
+
+    edges = cycle(n) + [("n0", "n2")]
+    answer = benchmark(has_hamiltonian_circuit, edges)
+    assert answer is True
+
+
+def test_deterministic_fragment_detection(benchmark):
+    def measure():
+        det = deterministic_effect(MARKER, _s_db(1))
+        nondet = deterministic_effect(MARKER, _s_db(3))
+        return det is not None, nondet is None
+
+    flags = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert flags == (True, True)

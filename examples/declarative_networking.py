@@ -1,0 +1,86 @@
+"""Declarative networking and the CALM intuition (§6 of the paper).
+
+The paper's §6 credits declarative networking — Dedalus, Bloom, and
+the CALM conjecture — as a major modern home of forward-chaining
+Datalog.  This example runs two tiny "distributed protocols" on the
+async Statelog layer, where messages are delivered once at a
+nondeterministic (seeded) delay:
+
+1. **Monotone gossip** — knowledge only accumulates.  Every delivery
+   schedule reaches the *same* final state (eventual consistency
+   without coordination — the CALM direction).
+2. **A message race** — a verdict that *negates* a message-carried
+   relation ("the payload has not arrived").  Different schedules give
+   different verdicts: non-monotone logic needs coordination.
+
+Run:  python examples/declarative_networking.py
+"""
+
+from repro import Database, parse_statelog, run_async_statelog
+
+GOSSIP = parse_statelog(
+    """
+    % knowledge spreads along links, asynchronously
+    ~know(n2, f) :- know(n1, f), link(n1, n2).
+    +know(n, f) :- know(n, f).
+    +link(a, b) :- link(a, b).
+    """
+)
+
+RACE = parse_statelog(
+    """
+    ~probe(n) :- start(n).
+    ~know(n, 'payload') :- origin(n2), link(n2, n).
+    +verdict(n, 'present') :- probe(n), know(n, 'payload').
+    +verdict(n, 'absent') :- probe(n), not know(n, 'payload').
+    +verdict(n, v) :- verdict(n, v).
+    +know(n, f) :- know(n, f).
+    +start(n) :- start(n), not probe(n).
+    +origin(n) :- origin(n).
+    +link(a, b) :- link(a, b).
+    """
+)
+
+
+def gossip_demo() -> None:
+    ring = [(f"h{i}", f"h{(i + 1) % 5}") for i in range(5)]
+    db = Database({"link": ring, "know": [("h0", "route-update")]})
+    print("Monotone gossip on a 5-host ring (CALM: same outcome, any schedule):")
+    outcomes = set()
+    for seed in range(6):
+        result = run_async_statelog(GOSSIP, db, seed=seed, max_delay=3)
+        knowers = sorted(t[0] for t in result.answer("know"))
+        outcomes.add(tuple(knowers))
+        print(f"  seed {seed}: stabilized in {result.steps:2d} steps, "
+              f"knowers = {knowers}")
+    assert len(outcomes) == 1, "monotone protocol must be confluent"
+    print("  -> identical final state under every delivery schedule.\n")
+
+
+def race_demo() -> None:
+    db = Database(
+        {
+            "origin": [("server",)],
+            "link": [("server", "client")],
+            "start": [("client",)],
+        }
+    )
+    print("Non-monotone verdict (did the payload beat the probe?):")
+    verdicts = {}
+    for seed in range(12):
+        result = run_async_statelog(RACE, db, seed=seed, max_delay=4)
+        ((_, verdict),) = result.answer("verdict")
+        verdicts.setdefault(verdict, []).append(seed)
+    for verdict, seeds in sorted(verdicts.items()):
+        print(f"  verdict {verdict!r}: seeds {seeds}")
+    assert len(verdicts) == 2, "the race should be observable"
+    print("  -> negation over message arrival races; no CALM guarantee.")
+
+
+def main() -> None:
+    gossip_demo()
+    race_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,175 @@
+"""repro — "Datalog Unchained" (Vianu, PODS 2021), as a working library.
+
+A from-scratch implementation of the whole family of Datalog-like
+languages the paper surveys, under both the declarative and the
+forward-chaining semantics:
+
+* plain Datalog (naive / semi-naive minimum model),
+* stratified Datalog¬ and the well-founded semantics (+ stable models),
+* inflationary Datalog¬, Datalog¬¬ (deletion), Datalog¬new (invention),
+* the nondeterministic N-Datalog¬(¬) family with ⊥ and ∀ extensions,
+  and the possibility/certainty semantics,
+* the classical baselines: while/fixpoint imperative programs and the
+  fixpoint logics FO+IFP / FO+PFP (+ witness operator),
+* executable versions of the paper's simulation techniques (delay,
+  timestamps, the while → Datalog¬¬ phase clock).
+
+Quickstart::
+
+    from repro import Database, parse_program, evaluate_inflationary
+
+    program = parse_program('''
+        T(x, y) :- G(x, y).
+        T(x, y) :- G(x, z), T(z, y).
+    ''')
+    db = Database({"G": [("a", "b"), ("b", "c")]})
+    print(evaluate_inflationary(program, db).answer("T"))
+"""
+
+from repro.errors import (
+    ReproError,
+    SchemaError,
+    ParseError,
+    ProgramError,
+    SafetyError,
+    StratificationError,
+    DialectError,
+    EvaluationError,
+    NonTerminationError,
+    StepBudgetExceeded,
+    ContradictionError,
+    UnsafeAnswerError,
+)
+from repro.terms import Var, Const
+from repro.relational import Database, Relation, RelationSchema, DatabaseSchema
+from repro.ast import Program, Dialect, Rule, Lit, EqLit, BottomLit
+from repro.ast.analysis import (
+    stratify,
+    is_stratifiable,
+    is_semipositive,
+    validate_program,
+    infer_dialect,
+)
+from repro.parser import parse_program, parse_rule
+from repro.semantics import (
+    EvaluationResult,
+    evaluate_datalog_naive,
+    evaluate_datalog_seminaive,
+    evaluate_stratified,
+    evaluate_wellfounded,
+    WellFoundedModel,
+    stable_models,
+    is_stable_model,
+    evaluate_inflationary,
+    evaluate_noninflationary,
+    ConflictPolicy,
+    evaluate_with_invention,
+    run_nondeterministic,
+    enumerate_effects,
+    possibility,
+    certainty,
+    deterministic_effect,
+)
+from repro.semantics.choice import evaluate_with_choice
+from repro.statelog import (
+    StatelogProgram,
+    parse_statelog,
+    run_statelog,
+    run_async_statelog,
+)
+from repro.active import Transaction, run_triggers
+from repro.pipeline import (
+    Pipeline,
+    ProgramStage,
+    AggregateStage,
+    AlgebraStage,
+    run_pipeline,
+)
+from repro.ontology import chase, certain_answers, ontology_answer
+from repro.treedata import tree_database, is_monadic
+from repro.ordered import attach_order, is_ordered
+from repro.languages import (
+    WhileProgram,
+    evaluate_while,
+    is_fixpoint_program,
+    FixpointQuery,
+    evaluate_fixpoint_query,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "SchemaError",
+    "ParseError",
+    "ProgramError",
+    "SafetyError",
+    "StratificationError",
+    "DialectError",
+    "EvaluationError",
+    "NonTerminationError",
+    "StepBudgetExceeded",
+    "ContradictionError",
+    "UnsafeAnswerError",
+    "Var",
+    "Const",
+    "Database",
+    "Relation",
+    "RelationSchema",
+    "DatabaseSchema",
+    "Program",
+    "Dialect",
+    "Rule",
+    "Lit",
+    "EqLit",
+    "BottomLit",
+    "stratify",
+    "is_stratifiable",
+    "is_semipositive",
+    "validate_program",
+    "infer_dialect",
+    "parse_program",
+    "parse_rule",
+    "EvaluationResult",
+    "evaluate_datalog_naive",
+    "evaluate_datalog_seminaive",
+    "evaluate_stratified",
+    "evaluate_wellfounded",
+    "WellFoundedModel",
+    "stable_models",
+    "is_stable_model",
+    "evaluate_inflationary",
+    "evaluate_noninflationary",
+    "ConflictPolicy",
+    "evaluate_with_invention",
+    "run_nondeterministic",
+    "enumerate_effects",
+    "possibility",
+    "certainty",
+    "deterministic_effect",
+    "evaluate_with_choice",
+    "StatelogProgram",
+    "parse_statelog",
+    "run_statelog",
+    "run_async_statelog",
+    "Transaction",
+    "run_triggers",
+    "Pipeline",
+    "ProgramStage",
+    "AggregateStage",
+    "AlgebraStage",
+    "run_pipeline",
+    "chase",
+    "certain_answers",
+    "ontology_answer",
+    "tree_database",
+    "is_monadic",
+    "attach_order",
+    "is_ordered",
+    "WhileProgram",
+    "evaluate_while",
+    "is_fixpoint_program",
+    "FixpointQuery",
+    "evaluate_fixpoint_query",
+    "__version__",
+]

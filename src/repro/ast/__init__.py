@@ -1,0 +1,29 @@
+"""Datalog abstract syntax: literals, rules, programs, dialects, analysis."""
+
+from repro.ast.rules import Lit, EqLit, BottomLit, Rule, HeadLiteral, BodyLiteral
+from repro.ast.program import Program, Dialect
+from repro.ast.analysis import (
+    precedence_graph,
+    stratify,
+    is_stratifiable,
+    is_semipositive,
+    validate_program,
+    infer_dialect,
+)
+
+__all__ = [
+    "Lit",
+    "EqLit",
+    "BottomLit",
+    "Rule",
+    "HeadLiteral",
+    "BodyLiteral",
+    "Program",
+    "Dialect",
+    "precedence_graph",
+    "stratify",
+    "is_stratifiable",
+    "is_semipositive",
+    "validate_program",
+    "infer_dialect",
+]

@@ -1,0 +1,92 @@
+"""Program reports and precedence-graph export.
+
+Human-readable summaries of a program's static structure (dialect,
+schema, strata, feature use) and a Graphviz rendering of the
+precedence graph — negative edges dashed, the visual form of the
+stratification condition (§3.2): the program is stratifiable iff no
+cycle contains a dashed edge.
+"""
+
+from __future__ import annotations
+
+from repro.ast.program import Program
+from repro.ast.analysis import (
+    infer_dialect,
+    is_semipositive,
+    is_stratifiable,
+    precedence_graph,
+    stratify,
+)
+
+
+def program_report(program: Program) -> str:
+    """A multi-line structural summary of the program."""
+    lines: list[str] = []
+    name = program.name or "(unnamed)"
+    lines.append(f"program {name}: {len(program)} rules")
+    lines.append(f"dialect: {infer_dialect(program).value}")
+    arities = program.arities()
+    edb = ", ".join(f"{r}/{arities[r]}" for r in sorted(program.edb)) or "(none)"
+    idb = ", ".join(f"{r}/{arities[r]}" for r in sorted(program.idb)) or "(none)"
+    lines.append(f"edb: {edb}")
+    lines.append(f"idb: {idb}")
+
+    features = []
+    if program.uses_body_negation():
+        features.append("body negation")
+    if program.uses_negative_heads():
+        features.append("negative heads (deletion)")
+    if program.uses_invention():
+        features.append("value invention")
+    if program.uses_multi_heads():
+        features.append("multiple heads")
+    if program.uses_equality():
+        features.append("(in)equality")
+    if program.uses_bottom():
+        features.append("⊥")
+    if program.uses_universal():
+        features.append("∀ bodies")
+    if program.uses_choice():
+        features.append("choice goals")
+    lines.append(f"features: {', '.join(features) or '(pure Datalog)'}")
+
+    if not (
+        program.uses_negative_heads()
+        or program.uses_invention()
+        or program.uses_multi_heads()
+        or program.uses_bottom()
+        or program.uses_universal()
+        or program.uses_choice()
+    ):
+        if is_stratifiable(program):
+            rendered = " | ".join(
+                "{" + ", ".join(sorted(s)) + "}" for s in stratify(program)
+            )
+            lines.append(f"strata: {rendered}")
+        else:
+            lines.append("strata: none (recursion through negation)")
+        lines.append(f"semipositive: {is_semipositive(program)}")
+
+    constants = sorted(map(repr, program.constants()))
+    if constants:
+        lines.append(f"constants: {', '.join(constants)}")
+    return "\n".join(lines)
+
+
+def precedence_dot(program: Program, name: str = "precedence") -> str:
+    """The precedence graph in Graphviz dot syntax.
+
+    Positive edges solid, negative edges dashed; edb relations boxed.
+    """
+    graph = precedence_graph(program)
+    lines = [f"digraph {name} {{", "  rankdir=BT;"]
+    for relation in sorted(graph):
+        shape = "box" if relation in program.edb else "ellipse"
+        lines.append(f'  "{relation}" [shape={shape}];')
+    for src in sorted(graph):
+        for dst, positive in sorted(graph[src]):
+            style = "solid" if positive else "dashed"
+            label = "" if positive else ' label="¬"'
+            lines.append(f'  "{src}" -> "{dst}" [style={style}{label}];')
+    lines.append("}")
+    return "\n".join(lines)

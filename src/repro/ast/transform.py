@@ -1,0 +1,103 @@
+"""Program transformation utilities.
+
+Small structural rewrites used by the compilers in
+:mod:`repro.translate` and available to library users: renaming
+relations (to compose programs without capture), renaming variables
+(to rename rules apart), and safe program union.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.errors import ProgramError
+from repro.ast.program import Program
+from repro.ast.rules import BottomLit, ChoiceLit, EqLit, Lit, Rule
+from repro.logic.formula import Atom
+from repro.terms import Term, Var
+
+
+def rename_rule_variables(rule: Rule, rename: Callable[[Var], Var]) -> Rule:
+    """A copy of ``rule`` with every variable passed through ``rename``."""
+
+    def term(t: Term) -> Term:
+        return rename(t) if isinstance(t, Var) else t
+
+    def literal(lit):
+        if isinstance(lit, Lit):
+            return Lit(
+                Atom(lit.relation, tuple(term(t) for t in lit.atom.terms)),
+                lit.positive,
+            )
+        if isinstance(lit, EqLit):
+            return EqLit(term(lit.left), term(lit.right), lit.positive)
+        if isinstance(lit, ChoiceLit):
+            return ChoiceLit(
+                tuple(rename(v) for v in lit.domain),
+                tuple(rename(v) for v in lit.range),
+            )
+        return lit  # BottomLit
+
+    return Rule(
+        tuple(literal(l) for l in rule.head),
+        tuple(literal(l) for l in rule.body),
+        tuple(rename(v) for v in rule.universal),
+    )
+
+
+def rename_apart(rule: Rule, suffix: str) -> Rule:
+    """Rename every variable by appending ``suffix`` (fresh copies for
+    embedding a rule into a larger program)."""
+    return rename_rule_variables(rule, lambda v: Var(f"{v.name}{suffix}"))
+
+
+def rename_relations(
+    program: Program, mapping: Mapping[str, str], name: str | None = None
+) -> Program:
+    """A copy of ``program`` with relations renamed through ``mapping``.
+
+    Relations absent from the mapping keep their names.  Rejects
+    mappings that merge two distinct relations of different arities.
+    """
+    inverse: dict[str, str] = {}
+    for old, new in mapping.items():
+        if new in inverse:
+            raise ProgramError(f"two relations renamed to {new!r}")
+        inverse[new] = old
+
+    def literal(lit):
+        if isinstance(lit, Lit):
+            return Lit(
+                Atom(mapping.get(lit.relation, lit.relation), lit.atom.terms),
+                lit.positive,
+            )
+        return lit
+
+    rules = [
+        Rule(
+            tuple(literal(l) for l in rule.head),
+            tuple(literal(l) for l in rule.body),
+            rule.universal,
+        )
+        for rule in program.rules
+    ]
+    return Program(rules, name=name if name is not None else program.name)
+
+
+def union_programs(
+    left: Program,
+    right: Program,
+    name: str = "",
+    rename_right_idb: str | None = None,
+) -> Program:
+    """The union of two rule sets.
+
+    With ``rename_right_idb`` given, the right program's idb relations
+    are renamed with that suffix first, so the two programs cannot
+    interfere through shared intensional names (its edb references are
+    left alone — that is how the left program's output feeds the right).
+    """
+    if rename_right_idb is not None:
+        mapping = {rel: f"{rel}{rename_right_idb}" for rel in right.idb}
+        right = rename_relations(right, mapping)
+    return Program(left.rules + right.rules, name=name)

@@ -1,0 +1,307 @@
+"""Command-line interface: run Datalog programs from files.
+
+Usage::
+
+    python -m repro check  program.dl
+    python -m repro run    program.dl --data facts.dl --semantics wellfounded
+    python -m repro effects program.dl --data facts.dl --answer answer
+
+* ``check`` parses the program, reports its inferred dialect (the level
+  of Figure 1 it sits at), schema, and stratifiability.
+* ``run`` evaluates under a chosen semantics and prints the idb
+  relations (or one ``--answer`` relation).
+* ``effects`` enumerates eff(P) for nondeterministic programs.
+
+Fact files use the same surface syntax, restricted to ground bodyless
+rules: ``G('a', 'b').``
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ReproError
+from repro.ast.analysis import infer_dialect, is_semipositive, is_stratifiable, stratify
+from repro.ast.program import Dialect
+from repro.parser import parse_program
+from repro.relational.instance import Database
+
+SEMANTICS = (
+    "naive",
+    "seminaive",
+    "stratified",
+    "wellfounded",
+    "inflationary",
+    "noninflationary",
+    "invention",
+    "choice",
+)
+
+
+def _load_program(path: str):
+    with open(path) as handle:
+        return parse_program(handle.read(), name=path)
+
+
+def load_facts(path: str) -> Database:
+    """Parse a facts file (ground bodyless rules, or JSON) into a database."""
+    from repro.relational.io import database_from_json, facts_from_text
+
+    with open(path) as handle:
+        text = handle.read()
+    if path.endswith(".json"):
+        return database_from_json(text)
+    try:
+        return facts_from_text(text)
+    except ReproError as err:
+        raise ReproError(f"facts file {path!r}: {err}") from None
+
+
+def _print_relations(db: Database, relations, out) -> None:
+    for relation in sorted(relations):
+        rows = sorted(db.tuples(relation), key=repr)
+        print(f"{relation} ({len(rows)} tuples):", file=out)
+        for row in rows:
+            rendered = ", ".join(str(v) for v in row)
+            print(f"  ({rendered})", file=out)
+
+
+def cmd_check(args, out) -> int:
+    program = _load_program(args.program)
+    if getattr(args, "dot", False):
+        from repro.ast.report import precedence_dot
+
+        print(precedence_dot(program), file=out)
+        return 0
+    dialect = infer_dialect(program)
+    print(f"rules:    {len(program)}", file=out)
+    print(f"dialect:  {dialect.value}", file=out)
+    print(f"edb:      {', '.join(sorted(program.edb)) or '(none)'}", file=out)
+    print(f"idb:      {', '.join(sorted(program.idb)) or '(none)'}", file=out)
+    if dialect in (Dialect.DATALOG, Dialect.SEMIPOSITIVE, Dialect.STRATIFIED,
+                   Dialect.DATALOG_NEG):
+        if is_stratifiable(program):
+            levels = stratify(program)
+            rendered = " | ".join(
+                "{" + ", ".join(sorted(s)) + "}" for s in levels
+            )
+            print(f"strata:   {rendered}", file=out)
+        else:
+            print("strata:   not stratifiable (recursion through negation)", file=out)
+        print(f"semipositive: {is_semipositive(program)}", file=out)
+    return 0
+
+
+def cmd_run(args, out) -> int:
+    program = _load_program(args.program)
+    db = load_facts(args.data) if args.data else Database()
+    semantics = args.semantics
+
+    if semantics == "auto":
+        dialect = infer_dialect(program)
+        semantics = {
+            Dialect.DATALOG: "seminaive",
+            Dialect.SEMIPOSITIVE: "stratified",
+            Dialect.STRATIFIED: "stratified",
+            Dialect.DATALOG_NEG: "wellfounded",
+            Dialect.DATALOG_NEGNEG: "noninflationary",
+            Dialect.DATALOG_NEW: "invention",
+            Dialect.DATALOG_CHOICE: "choice",
+        }.get(dialect)
+        if semantics is None:
+            print(
+                f"dialect {dialect.value} is nondeterministic; use the "
+                "'effects' command",
+                file=sys.stderr,
+            )
+            return 2
+        print(f"semantics: {semantics} (auto)", file=out)
+
+    if semantics == "naive":
+        from repro.semantics.naive import evaluate_datalog_naive as engine
+    elif semantics == "seminaive":
+        from repro.semantics.seminaive import evaluate_datalog_seminaive as engine
+    elif semantics == "stratified":
+        from repro.semantics.stratified import evaluate_stratified as engine
+    elif semantics == "inflationary":
+        from repro.semantics.inflationary import evaluate_inflationary as engine
+    elif semantics == "noninflationary":
+        from repro.semantics.noninflationary import evaluate_noninflationary as engine
+    elif semantics == "invention":
+        from repro.semantics.invention import evaluate_with_invention as engine
+    elif semantics == "choice":
+        from repro.semantics.choice import evaluate_with_choice
+
+        def engine(p, d):
+            return evaluate_with_choice(p, d, seed=args.seed)
+    elif semantics == "wellfounded":
+        from repro.semantics.wellfounded import evaluate_wellfounded
+
+        model = evaluate_wellfounded(program, db)
+        relations = [args.answer] if args.answer else sorted(program.idb)
+        for relation in relations:
+            true_rows = sorted(model.answer(relation), key=repr)
+            unknown_rows = sorted(model.unknowns(relation), key=repr)
+            print(f"{relation}: {len(true_rows)} true, "
+                  f"{len(unknown_rows)} unknown", file=out)
+            for row in true_rows:
+                print(f"  true    ({', '.join(map(str, row))})", file=out)
+            for row in unknown_rows:
+                print(f"  unknown ({', '.join(map(str, row))})", file=out)
+        return 0
+    else:
+        print(f"unknown semantics {semantics!r}", file=sys.stderr)
+        return 2
+
+    result = engine(program, db)
+    relations = [args.answer] if args.answer else sorted(program.idb)
+    _print_relations(result.database, relations, out)
+    stages = getattr(result, "stages", None)
+    if stages is not None:
+        print(f"stages: {len(stages)}", file=out)
+    return 0
+
+
+def cmd_trace(args, out) -> int:
+    """Stage-by-stage trace of a forward-chaining evaluation."""
+    program = _load_program(args.program)
+    db = load_facts(args.data) if args.data else Database()
+    if args.semantics == "inflationary":
+        from repro.semantics.inflationary import evaluate_inflationary as engine
+    else:
+        from repro.semantics.noninflationary import (
+            evaluate_noninflationary as engine,
+        )
+    result = engine(program, db)
+    for trace in result.stages:
+        print(f"stage {trace.stage}:", file=out)
+        for relation, t in sorted(trace.new_facts, key=repr):
+            print(f"  + {relation}({', '.join(map(str, t))})", file=out)
+        for relation, t in sorted(trace.removed_facts, key=repr):
+            print(f"  - {relation}({', '.join(map(str, t))})", file=out)
+    print(f"fixpoint after {len(result.stages)} stages", file=out)
+    return 0
+
+
+def cmd_explain(args, out) -> int:
+    """Why-provenance for one fact of a stratifiable program."""
+    from repro.semantics.provenance import (
+        evaluate_with_provenance,
+        explain,
+        render_tree,
+    )
+
+    program = _load_program(args.program)
+    db = load_facts(args.data) if args.data else Database()
+    values = tuple(_parse_value(v) for v in args.values)
+    result = evaluate_with_provenance(program, db)
+    tree = explain(result, args.relation, values)
+    print(render_tree(tree, program), file=out)
+    return 0
+
+
+def _parse_value(text: str):
+    try:
+        return int(text)
+    except ValueError:
+        return text
+
+
+def cmd_effects(args, out) -> int:
+    from repro.semantics.nondeterministic import (
+        answers_in_effects,
+        enumerate_effects,
+    )
+
+    program = _load_program(args.program)
+    db = load_facts(args.data) if args.data else Database()
+    effects = enumerate_effects(program, db, max_states=args.max_states)
+    print(f"terminal instances: {len(effects)}", file=out)
+    if args.answer:
+        answers = answers_in_effects(effects, args.answer)
+        print(f"possible answers for {args.answer}: {len(answers)}", file=out)
+        for answer in sorted(answers, key=repr):
+            rows = ", ".join(
+                "(" + ", ".join(map(str, t)) + ")" for t in sorted(answer, key=repr)
+            )
+            print(f"  {{{rows}}}", file=out)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Run Datalog-family programs (PODS 2021 'Datalog Unchained').",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="parse and report dialect/schema/strata")
+    check.add_argument("program")
+    check.add_argument(
+        "--dot", action="store_true", help="emit the precedence graph as Graphviz dot"
+    )
+
+    run = sub.add_parser("run", help="evaluate under a deterministic semantics")
+    run.add_argument("program")
+    run.add_argument("--data", help="facts file (ground bodyless rules)")
+    run.add_argument(
+        "--semantics",
+        default="auto",
+        choices=("auto",) + SEMANTICS,
+        help="evaluation semantics (default: inferred from the dialect)",
+    )
+    run.add_argument("--answer", help="print only this relation")
+    run.add_argument("--seed", type=int, default=0, help="seed (choice semantics)")
+
+    effects = sub.add_parser("effects", help="enumerate eff(P) (nondeterministic)")
+    effects.add_argument("program")
+    effects.add_argument("--data", help="facts file")
+    effects.add_argument("--answer", help="summarize this relation's possible values")
+    effects.add_argument("--max-states", type=int, default=100_000)
+
+    trace = sub.add_parser("trace", help="print the stage-by-stage evaluation")
+    trace.add_argument("program")
+    trace.add_argument("--data", help="facts file")
+    trace.add_argument(
+        "--semantics",
+        default="inflationary",
+        choices=("inflationary", "noninflationary"),
+    )
+
+    explain = sub.add_parser(
+        "explain", help="derivation tree of a fact (stratifiable programs)"
+    )
+    explain.add_argument("program")
+    explain.add_argument("relation")
+    explain.add_argument("values", nargs="*")
+    explain.add_argument("--data", help="facts file")
+
+    return parser
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "check":
+            return cmd_check(args, out)
+        if args.command == "run":
+            return cmd_run(args, out)
+        if args.command == "effects":
+            return cmd_effects(args, out)
+        if args.command == "trace":
+            return cmd_trace(args, out)
+        if args.command == "explain":
+            return cmd_explain(args, out)
+    except ReproError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    except OSError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

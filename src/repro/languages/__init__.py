@@ -1,0 +1,29 @@
+"""Classical query languages used as baselines: while, fixpoint, FO+IFP/PFP."""
+
+from repro.languages.while_lang import (
+    Assign,
+    Comprehension,
+    WhileChange,
+    WhileFormula,
+    WhileProgram,
+    evaluate_while,
+    is_fixpoint_program,
+)
+from repro.languages.fixpoint_logic import (
+    Definition,
+    FixpointQuery,
+    evaluate_fixpoint_query,
+)
+
+__all__ = [
+    "Assign",
+    "Comprehension",
+    "WhileChange",
+    "WhileFormula",
+    "WhileProgram",
+    "evaluate_while",
+    "is_fixpoint_program",
+    "Definition",
+    "FixpointQuery",
+    "evaluate_fixpoint_query",
+]

@@ -1,0 +1,177 @@
+"""Fixpoint logics FO+IFP and FO+PFP, with the witness operator W (§5.2).
+
+The paper relates the Datalog family to extensions of first-order logic
+with fixpoint operators: inflationary fixpoint logic FO+IFP (≡ fixpoint
+queries ≡ inflationary Datalog¬) and partial fixpoint logic FO+PFP
+(≡ while queries ≡ Datalog¬¬), plus their nondeterministic extensions
+FO+IFP+W and FO+PFP+W obtained by adding the witness operator
+``Wx̄ φ(x̄)`` that nondeterministically picks one satisfying tuple.
+
+A :class:`FixpointQuery` is a sequence of relation definitions — each
+an IFP, PFP, plain FO, or witness definition that may refer to the
+relations defined before it — followed by a designated answer relation.
+This "straight-line" form has the full expressive power of nested
+fixpoints (nesting can always be flattened by naming inner fixpoints).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.errors import EvaluationError
+from repro.logic.evaluate import _satisfies, formula_constants, free_variables
+from repro.logic.formula import Formula
+from repro.relational.instance import Database
+from repro.terms import Var
+
+
+class DefinitionKind(enum.Enum):
+    FO = "fo"          # R := {x̄ | φ}
+    IFP = "ifp"        # R := inflationary fixpoint of φ(R)
+    PFP = "pfp"        # R := partial fixpoint of φ(R); ∅ if none reached
+    WITNESS = "witness"  # R := one nondeterministically chosen tuple of φ
+
+
+@dataclass(frozen=True)
+class Definition:
+    """``name(variables) := kind-operator of formula``.
+
+    For IFP/PFP the formula may mention ``name`` itself (the fixpoint
+    variable); for FO/WITNESS it may not.
+    """
+
+    name: str
+    variables: tuple[Var, ...]
+    formula: Formula
+    kind: DefinitionKind = DefinitionKind.FO
+
+    def __post_init__(self) -> None:
+        free = free_variables(self.formula)
+        if free != set(self.variables):
+            raise EvaluationError(
+                f"definition {self.name!r}: free variables "
+                f"{sorted(v.name for v in free)} do not match "
+                f"{[v.name for v in self.variables]}"
+            )
+
+
+@dataclass(frozen=True)
+class FixpointQuery:
+    """A straight-line sequence of definitions and an answer relation."""
+
+    definitions: tuple[Definition, ...]
+    answer: str
+    name: str = ""
+
+    def is_inflationary(self) -> bool:
+        """True iff no PFP definition occurs (an FO+IFP(+W) query)."""
+        return all(d.kind is not DefinitionKind.PFP for d in self.definitions)
+
+    def is_deterministic(self) -> bool:
+        """True iff no witness operator occurs."""
+        return all(d.kind is not DefinitionKind.WITNESS for d in self.definitions)
+
+
+def _rows(
+    formula: Formula,
+    variables: tuple[Var, ...],
+    db: Database,
+    domain: tuple[Hashable, ...],
+) -> set[tuple]:
+    ordered = sorted(set(variables), key=lambda v: v.name)
+    valuation: dict[Var, Hashable] = {}
+    answers: set[tuple] = set()
+
+    def assign(index: int) -> None:
+        if index == len(ordered):
+            if _satisfies(formula, db, valuation, domain):
+                answers.add(tuple(valuation[v] for v in variables))
+            return
+        var = ordered[index]
+        for value in domain:
+            valuation[var] = value
+            assign(index + 1)
+        valuation.pop(var, None)
+
+    assign(0)
+    return answers
+
+
+def evaluate_fixpoint_query(
+    query: FixpointQuery,
+    db: Database,
+    rng: random.Random | None = None,
+    max_iterations: int = 100_000,
+) -> set[tuple]:
+    """Evaluate a FixpointQuery; returns the answer relation's tuples.
+
+    ``rng`` drives witness choices (required when the query uses W);
+    PFP definitions that cycle without reaching a fixpoint evaluate to
+    the empty relation, the standard partial-fixpoint convention.
+    """
+    work = db.copy()
+    constants: set[Hashable] = set()
+    for definition in query.definitions:
+        constants |= formula_constants(definition.formula)
+    domain = tuple(
+        sorted(db.active_domain() | constants, key=lambda v: (type(v).__name__, repr(v)))
+    )
+
+    for definition in query.definitions:
+        arity = len(definition.variables)
+        rel = work.ensure_relation(definition.name, arity)
+        if definition.kind is DefinitionKind.FO:
+            rel.replace(_rows(definition.formula, definition.variables, work, domain))
+        elif definition.kind is DefinitionKind.WITNESS:
+            if rng is None:
+                raise EvaluationError(
+                    f"definition {definition.name!r} uses the witness operator; "
+                    "pass an rng"
+                )
+            rows = sorted(
+                _rows(definition.formula, definition.variables, work, domain),
+                key=repr,
+            )
+            rel.replace([rng.choice(rows)] if rows else [])
+        elif definition.kind is DefinitionKind.IFP:
+            rel.clear()
+            iterations = 0
+            while True:
+                iterations += 1
+                if iterations > max_iterations:
+                    raise EvaluationError(
+                        f"IFP {definition.name!r} exceeded {max_iterations} iterations"
+                    )
+                new = _rows(definition.formula, definition.variables, work, domain)
+                if not (new - rel.tuples()):
+                    break
+                rel.update(new)
+        elif definition.kind is DefinitionKind.PFP:
+            rel.clear()
+            seen: set[frozenset] = set()
+            iterations = 0
+            while True:
+                iterations += 1
+                if iterations > max_iterations:
+                    raise EvaluationError(
+                        f"PFP {definition.name!r} exceeded {max_iterations} iterations"
+                    )
+                current = rel.tuples()
+                if current in seen:
+                    rel.clear()  # no fixpoint: PFP is undefined → empty
+                    break
+                seen.add(current)
+                new = _rows(definition.formula, definition.variables, work, domain)
+                if new == set(current):
+                    break
+                rel.replace(new)
+        else:
+            raise EvaluationError(f"unknown definition kind {definition.kind}")
+
+    answer_rel = work.relation(query.answer)
+    if answer_rel is None:
+        raise EvaluationError(f"answer relation {query.answer!r} was never defined")
+    return set(answer_rel.tuples())

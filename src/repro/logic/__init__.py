@@ -1,0 +1,55 @@
+"""First-order logic over relational instances (relational calculus)."""
+
+from repro.logic.formula import (
+    Formula,
+    Atom,
+    Equals,
+    Not,
+    And,
+    Or,
+    Implies,
+    Exists,
+    Forall,
+    TRUE,
+    FALSE,
+    conjunction,
+    disjunction,
+)
+from repro.logic.evaluate import (
+    evaluate_formula,
+    evaluate_sentence,
+    free_variables,
+    formula_relations,
+    formula_constants,
+)
+from repro.logic.transform import (
+    to_nnf,
+    is_nnf,
+    rename_formula_variables,
+    substitute_constants,
+)
+
+__all__ = [
+    "Formula",
+    "Atom",
+    "Equals",
+    "Not",
+    "And",
+    "Or",
+    "Implies",
+    "Exists",
+    "Forall",
+    "TRUE",
+    "FALSE",
+    "conjunction",
+    "disjunction",
+    "evaluate_formula",
+    "evaluate_sentence",
+    "free_variables",
+    "formula_relations",
+    "formula_constants",
+    "to_nnf",
+    "is_nnf",
+    "rename_formula_variables",
+    "substitute_constants",
+]

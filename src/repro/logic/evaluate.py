@@ -1,0 +1,200 @@
+"""Active-domain evaluation of FO formulas.
+
+The semantics used throughout the paper: variables (free and
+quantified) range over the *active domain* — every constant occurring
+in the instance or in the formula itself.  :func:`evaluate_formula`
+returns the set of satisfying assignments of the free variables,
+projected on a caller-supplied variable order, so an FO formula with
+free variables (x1, …, xk) denotes a k-ary query exactly as in the
+relational calculus.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+from repro.errors import EvaluationError
+from repro.logic.formula import (
+    Atom,
+    And,
+    Equals,
+    Exists,
+    Forall,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    _Truth,
+)
+from repro.relational.instance import Database
+from repro.terms import Const, Var, apply_valuation
+
+
+def free_variables(formula: Formula) -> set[Var]:
+    """The free variables of a formula."""
+    if isinstance(formula, _Truth):
+        return set()
+    if isinstance(formula, Atom):
+        return {t for t in formula.terms if isinstance(t, Var)}
+    if isinstance(formula, Equals):
+        return {t for t in (formula.left, formula.right) if isinstance(t, Var)}
+    if isinstance(formula, Not):
+        return free_variables(formula.child)
+    if isinstance(formula, (And, Or, Implies)):
+        return free_variables(formula.left) | free_variables(formula.right)
+    if isinstance(formula, (Exists, Forall)):
+        return free_variables(formula.child) - set(formula.variables)
+    raise EvaluationError(f"unknown formula node {type(formula).__name__}")
+
+
+def formula_relations(formula: Formula) -> set[str]:
+    """All relation names mentioned in a formula."""
+    if isinstance(formula, Atom):
+        return {formula.relation}
+    if isinstance(formula, (_Truth, Equals)):
+        return set()
+    if isinstance(formula, Not):
+        return formula_relations(formula.child)
+    if isinstance(formula, (And, Or, Implies)):
+        return formula_relations(formula.left) | formula_relations(formula.right)
+    if isinstance(formula, (Exists, Forall)):
+        return formula_relations(formula.child)
+    raise EvaluationError(f"unknown formula node {type(formula).__name__}")
+
+
+def formula_constants(formula: Formula) -> set[Hashable]:
+    """All constant values mentioned in a formula."""
+    if isinstance(formula, Atom):
+        return {t.value for t in formula.terms if isinstance(t, Const)}
+    if isinstance(formula, Equals):
+        return {
+            t.value for t in (formula.left, formula.right) if isinstance(t, Const)
+        }
+    if isinstance(formula, _Truth):
+        return set()
+    if isinstance(formula, Not):
+        return formula_constants(formula.child)
+    if isinstance(formula, (And, Or, Implies)):
+        return formula_constants(formula.left) | formula_constants(formula.right)
+    if isinstance(formula, (Exists, Forall)):
+        return formula_constants(formula.child)
+    raise EvaluationError(f"unknown formula node {type(formula).__name__}")
+
+
+def _satisfies(
+    formula: Formula,
+    db: Database,
+    valuation: dict[Var, Hashable],
+    domain: tuple[Hashable, ...],
+) -> bool:
+    if isinstance(formula, _Truth):
+        return formula.value
+    if isinstance(formula, Atom):
+        return db.has_fact(formula.relation, apply_valuation(formula.terms, valuation))
+    if isinstance(formula, Equals):
+        left = valuation[formula.left] if isinstance(formula.left, Var) else formula.left.value
+        right = (
+            valuation[formula.right] if isinstance(formula.right, Var) else formula.right.value
+        )
+        return left == right
+    if isinstance(formula, Not):
+        return not _satisfies(formula.child, db, valuation, domain)
+    if isinstance(formula, And):
+        return _satisfies(formula.left, db, valuation, domain) and _satisfies(
+            formula.right, db, valuation, domain
+        )
+    if isinstance(formula, Or):
+        return _satisfies(formula.left, db, valuation, domain) or _satisfies(
+            formula.right, db, valuation, domain
+        )
+    if isinstance(formula, Implies):
+        return (not _satisfies(formula.left, db, valuation, domain)) or _satisfies(
+            formula.right, db, valuation, domain
+        )
+    if isinstance(formula, (Exists, Forall)):
+        want_any = isinstance(formula, Exists)
+        return _quantify(formula.variables, formula.child, db, valuation, domain, want_any)
+    raise EvaluationError(f"unknown formula node {type(formula).__name__}")
+
+
+def _quantify(
+    variables: tuple[Var, ...],
+    child: Formula,
+    db: Database,
+    valuation: dict[Var, Hashable],
+    domain: tuple[Hashable, ...],
+    want_any: bool,
+) -> bool:
+    if not variables:
+        return _satisfies(child, db, valuation, domain)
+    head, rest = variables[0], variables[1:]
+    shadowed = valuation.get(head)
+    had = head in valuation
+    try:
+        for value in domain:
+            valuation[head] = value
+            if _quantify(rest, child, db, valuation, domain, want_any) == want_any:
+                return want_any
+        return not want_any
+    finally:
+        if had:
+            valuation[head] = shadowed
+        else:
+            valuation.pop(head, None)
+
+
+def evaluation_domain(formula: Formula, db: Database) -> tuple[Hashable, ...]:
+    """The active domain used to evaluate ``formula`` on ``db``.
+
+    adom(db) ∪ constants(formula), in a deterministic order.
+    """
+    values = db.active_domain() | formula_constants(formula)
+    return tuple(sorted(values, key=lambda v: (str(type(v).__name__), repr(v))))
+
+
+def evaluate_sentence(formula: Formula, db: Database) -> bool:
+    """Truth value of a sentence (no free variables allowed)."""
+    free = free_variables(formula)
+    if free:
+        raise EvaluationError(
+            f"sentence expected, but formula has free variables {sorted(v.name for v in free)}"
+        )
+    return _satisfies(formula, db, {}, evaluation_domain(formula, db))
+
+
+def evaluate_formula(
+    formula: Formula,
+    db: Database,
+    output_variables: Sequence[Var],
+) -> set[tuple]:
+    """All satisfying assignments, projected on ``output_variables``.
+
+    ``output_variables`` must cover exactly the free variables of the
+    formula (repetitions allowed); assignments range over the active
+    domain, so the answer is always finite.
+    """
+    free = free_variables(formula)
+    out_set = set(output_variables)
+    if free != out_set:
+        raise EvaluationError(
+            f"output variables {sorted(v.name for v in out_set)} do not match "
+            f"free variables {sorted(v.name for v in free)}"
+        )
+    domain = evaluation_domain(formula, db)
+    ordered_free = sorted(free, key=lambda v: v.name)
+    answers: set[tuple] = set()
+    valuation: dict[Var, Hashable] = {}
+
+    def assign(index: int) -> None:
+        if index == len(ordered_free):
+            if _satisfies(formula, db, valuation, domain):
+                answers.add(tuple(valuation[v] for v in output_variables))
+            return
+        var = ordered_free[index]
+        for value in domain:
+            valuation[var] = value
+            assign(index + 1)
+        valuation.pop(var, None)
+
+    assign(0)
+    return answers

@@ -1,0 +1,148 @@
+"""FO formula syntax trees.
+
+First-order logic on relations (the relational calculus of Section 2 of
+the paper).  Formulas are immutable dataclasses built from:
+
+* :class:`Atom` — ``R(t1, …, tk)`` over terms,
+* :class:`Equals` — ``t1 = t2``,
+* the connectives :class:`Not`, :class:`And`, :class:`Or`,
+  :class:`Implies`,
+* the quantifiers :class:`Exists` and :class:`Forall`, and
+* the constants :data:`TRUE` and :data:`FALSE`.
+
+Evaluation (active-domain semantics) lives in
+:mod:`repro.logic.evaluate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.terms import Term, Var
+
+
+class Formula:
+    """Base class for FO formulas."""
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return And(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or(self, other)
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class _Truth(Formula):
+    value: bool
+
+    def __repr__(self) -> str:
+        return "⊤" if self.value else "⊥"
+
+
+TRUE = _Truth(True)
+FALSE = _Truth(False)
+
+
+@dataclass(frozen=True)
+class Atom(Formula):
+    """A relational atom R(t1, …, tk)."""
+
+    relation: str
+    terms: tuple[Term, ...]
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(t) for t in self.terms)
+        return f"{self.relation}({inner})"
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+
+@dataclass(frozen=True)
+class Equals(Formula):
+    """t1 = t2."""
+
+    left: Term
+    right: Term
+
+    def __repr__(self) -> str:
+        return f"{self.left!r} = {self.right!r}"
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    child: Formula
+
+    def __repr__(self) -> str:
+        return f"¬({self.child!r})"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    left: Formula
+    right: Formula
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ∧ {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    left: Formula
+    right: Formula
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ∨ {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Implies(Formula):
+    left: Formula
+    right: Formula
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} → {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Exists(Formula):
+    variables: tuple[Var, ...]
+    child: Formula
+
+    def __repr__(self) -> str:
+        names = ", ".join(v.name for v in self.variables)
+        return f"∃{names}.({self.child!r})"
+
+
+@dataclass(frozen=True)
+class Forall(Formula):
+    variables: tuple[Var, ...]
+    child: Formula
+
+    def __repr__(self) -> str:
+        names = ", ".join(v.name for v in self.variables)
+        return f"∀{names}.({self.child!r})"
+
+
+def conjunction(formulas: list[Formula]) -> Formula:
+    """The conjunction of a list of formulas (TRUE if empty)."""
+    if not formulas:
+        return TRUE
+    out = formulas[0]
+    for f in formulas[1:]:
+        out = And(out, f)
+    return out
+
+
+def disjunction(formulas: list[Formula]) -> Formula:
+    """The disjunction of a list of formulas (FALSE if empty)."""
+    if not formulas:
+        return FALSE
+    out = formulas[0]
+    for f in formulas[1:]:
+        out = Or(out, f)
+    return out

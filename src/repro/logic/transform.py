@@ -1,0 +1,159 @@
+"""Formula transformations: NNF, substitution, variable renaming.
+
+Utilities over the FO substrate (§2), used by tests and available to
+library users.  All transformations preserve active-domain semantics —
+the property suite checks :func:`to_nnf` against direct evaluation on
+generated formulas.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.errors import EvaluationError
+from repro.logic.formula import (
+    And,
+    Atom,
+    Equals,
+    Exists,
+    Forall,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    TRUE,
+    FALSE,
+    _Truth,
+)
+from repro.terms import Const, Term, Var
+
+
+def to_nnf(formula: Formula) -> Formula:
+    """Negation normal form: ¬ only on atoms/equalities, no →."""
+    return _nnf(formula, negate=False)
+
+
+def _nnf(formula: Formula, negate: bool) -> Formula:
+    if isinstance(formula, _Truth):
+        value = formula.value != negate
+        return TRUE if value else FALSE
+    if isinstance(formula, (Atom, Equals)):
+        return Not(formula) if negate else formula
+    if isinstance(formula, Not):
+        return _nnf(formula.child, not negate)
+    if isinstance(formula, And):
+        left = _nnf(formula.left, negate)
+        right = _nnf(formula.right, negate)
+        return Or(left, right) if negate else And(left, right)
+    if isinstance(formula, Or):
+        left = _nnf(formula.left, negate)
+        right = _nnf(formula.right, negate)
+        return And(left, right) if negate else Or(left, right)
+    if isinstance(formula, Implies):
+        return _nnf(Or(Not(formula.left), formula.right), negate)
+    if isinstance(formula, Exists):
+        child = _nnf(formula.child, negate)
+        return Forall(formula.variables, child) if negate else Exists(
+            formula.variables, child
+        )
+    if isinstance(formula, Forall):
+        child = _nnf(formula.child, negate)
+        return Exists(formula.variables, child) if negate else Forall(
+            formula.variables, child
+        )
+    raise EvaluationError(f"unknown formula node {type(formula).__name__}")
+
+
+def is_nnf(formula: Formula) -> bool:
+    """Is the formula in negation normal form?"""
+    if isinstance(formula, (_Truth, Atom, Equals)):
+        return True
+    if isinstance(formula, Not):
+        return isinstance(formula.child, (Atom, Equals))
+    if isinstance(formula, (And, Or)):
+        return is_nnf(formula.left) and is_nnf(formula.right)
+    if isinstance(formula, (Exists, Forall)):
+        return is_nnf(formula.child)
+    if isinstance(formula, Implies):
+        return False
+    raise EvaluationError(f"unknown formula node {type(formula).__name__}")
+
+
+def rename_formula_variables(
+    formula: Formula, rename: Callable[[Var], Var]
+) -> Formula:
+    """Rename every variable occurrence (free and bound) uniformly.
+
+    A uniform injective renaming cannot capture; non-injective renames
+    are the caller's responsibility.
+    """
+
+    def term(t: Term) -> Term:
+        return rename(t) if isinstance(t, Var) else t
+
+    def walk(f: Formula) -> Formula:
+        if isinstance(f, _Truth):
+            return f
+        if isinstance(f, Atom):
+            return Atom(f.relation, tuple(term(t) for t in f.terms))
+        if isinstance(f, Equals):
+            return Equals(term(f.left), term(f.right))
+        if isinstance(f, Not):
+            return Not(walk(f.child))
+        if isinstance(f, And):
+            return And(walk(f.left), walk(f.right))
+        if isinstance(f, Or):
+            return Or(walk(f.left), walk(f.right))
+        if isinstance(f, Implies):
+            return Implies(walk(f.left), walk(f.right))
+        if isinstance(f, Exists):
+            return Exists(tuple(rename(v) for v in f.variables), walk(f.child))
+        if isinstance(f, Forall):
+            return Forall(tuple(rename(v) for v in f.variables), walk(f.child))
+        raise EvaluationError(f"unknown formula node {type(f).__name__}")
+
+    return walk(formula)
+
+
+def substitute_constants(
+    formula: Formula, binding: Mapping[Var, object]
+) -> Formula:
+    """Replace *free* occurrences of the given variables by constants.
+
+    Bound occurrences shadow: a variable re-bound by a quantifier below
+    is left alone inside that scope.
+    """
+
+    def walk(f: Formula, active: dict[Var, object]) -> Formula:
+        if isinstance(f, _Truth):
+            return f
+        if isinstance(f, Atom):
+            return Atom(
+                f.relation,
+                tuple(
+                    Const(active[t]) if isinstance(t, Var) and t in active else t
+                    for t in f.terms
+                ),
+            )
+        if isinstance(f, Equals):
+            def sub(t: Term) -> Term:
+                if isinstance(t, Var) and t in active:
+                    return Const(active[t])
+                return t
+
+            return Equals(sub(f.left), sub(f.right))
+        if isinstance(f, Not):
+            return Not(walk(f.child, active))
+        if isinstance(f, And):
+            return And(walk(f.left, active), walk(f.right, active))
+        if isinstance(f, Or):
+            return Or(walk(f.left, active), walk(f.right, active))
+        if isinstance(f, Implies):
+            return Implies(walk(f.left, active), walk(f.right, active))
+        if isinstance(f, (Exists, Forall)):
+            inner = {v: c for v, c in active.items() if v not in f.variables}
+            ctor = Exists if isinstance(f, Exists) else Forall
+            return ctor(f.variables, walk(f.child, inner))
+        raise EvaluationError(f"unknown formula node {type(f).__name__}")
+
+    return walk(formula, dict(binding))

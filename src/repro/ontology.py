@@ -1,0 +1,164 @@
+"""Datalog± -lite: existential rules, the chase, certain answers (§6).
+
+The paper's §6 ("Datalog for ontologies"): "The Datalog+/- languages
+are obtained by first extending Datalog with existentially quantified
+variables in heads of rules, then considering various restrictions
+(guarded, linear, …) to ensure tractability."
+
+This module builds that on the machinery already here: a
+tuple-generating dependency (TGD) with existential head variables *is*
+a Datalog¬new rule — the invention engine's Skolem semantics is the
+standard (semi-oblivious) chase, inventing one labelled null per rule
+and body match.  On top of the chase:
+
+* :func:`chase` — saturate an instance under a set of TGDs (may
+  diverge; bounded by ``max_stages``, and guaranteed to terminate for
+  *weakly acyclic* rule sets — acyclicity through existential
+  positions is checked by :func:`is_weakly_acyclic`);
+* :func:`certain_answers` — answers of a (positive) query over the
+  chased instance that contain no labelled nulls: the certain answers
+  under the ontology, by the classical chase theorem;
+* :func:`is_guarded` — the syntactic guardedness check Datalog± uses
+  for decidability (some body atom contains all body variables).
+"""
+
+from __future__ import annotations
+
+from repro.errors import EvaluationError
+from repro.ast.program import Dialect, Program
+from repro.ast.analysis import validate_program
+from repro.relational.instance import Database
+from repro.semantics.invention import (
+    contains_invented,
+    evaluate_with_invention,
+)
+from repro.semantics.seminaive import evaluate_datalog_seminaive
+
+
+def is_guarded(tgds: Program) -> bool:
+    """Guardedness: every rule has a body atom containing all body vars."""
+    for rule in tgds.rules:
+        body_vars = rule.body_variables()
+        if not body_vars:
+            continue
+        if not any(
+            body_vars <= lit.variables() for lit in rule.positive_body()
+        ):
+            return False
+    return True
+
+
+def is_linear(tgds: Program) -> bool:
+    """Linearity (a stronger restriction): single-atom bodies."""
+    return all(len(rule.positive_body()) <= 1 and not rule.negative_body()
+               for rule in tgds.rules)
+
+
+def is_weakly_acyclic(tgds: Program) -> bool:
+    """Weak acyclicity of the dependency graph — the classical
+    sufficient condition for chase termination.
+
+    Nodes are (relation, position); a rule with body variable x at
+    position p and head occurrence of x at position q adds a normal
+    edge p → q; a head *existential* variable at position q adds a
+    special edge p ⇒ q from every body position p of every (universal)
+    body variable.  Weakly acyclic ⟺ no cycle through a special edge.
+    """
+    normal: dict[tuple, set[tuple]] = {}
+    special: dict[tuple, set[tuple]] = {}
+
+    for rule in tgds.rules:
+        body_positions: dict = {}
+        for lit in rule.positive_body():
+            for i, term in enumerate(lit.atom.terms):
+                if hasattr(term, "name"):  # Var
+                    body_positions.setdefault(term, set()).add(
+                        (lit.relation, i)
+                    )
+        existentials = rule.invention_variables()
+        for head_lit in rule.head_literals():
+            for i, term in enumerate(head_lit.atom.terms):
+                if not hasattr(term, "name"):
+                    continue
+                target = (head_lit.relation, i)
+                if term in existentials:
+                    for positions in body_positions.values():
+                        for source in positions:
+                            special.setdefault(source, set()).add(target)
+                else:
+                    for source in body_positions.get(term, ()):
+                        normal.setdefault(source, set()).add(target)
+
+    # Cycle through a special edge: for each special edge u ⇒ v, check
+    # whether v reaches u through normal ∪ special edges.
+    def reaches(start: tuple, goal: tuple) -> bool:
+        stack, seen = [start], set()
+        while stack:
+            node = stack.pop()
+            if node == goal:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(normal.get(node, ()))
+            stack.extend(special.get(node, ()))
+        return False
+
+    for source, targets in special.items():
+        for target in targets:
+            if reaches(target, source):
+                return False
+    return True
+
+
+def chase(
+    tgds: Program,
+    db: Database,
+    max_stages: int = 1_000,
+    require_weak_acyclicity: bool = False,
+) -> Database:
+    """Saturate ``db`` under the TGDs; returns the chased instance.
+
+    Labelled nulls are :class:`~repro.semantics.invention.InventedValue`
+    objects.  With ``require_weak_acyclicity=True`` a possibly
+    nonterminating rule set is rejected up front instead of running
+    into the stage budget.
+    """
+    validate_program(tgds, Dialect.DATALOG_NEW)
+    if require_weak_acyclicity and not is_weakly_acyclic(tgds):
+        raise EvaluationError(
+            "TGDs are not weakly acyclic; the chase may not terminate "
+            "(run with require_weak_acyclicity=False to try anyway)"
+        )
+    result = evaluate_with_invention(tgds, db, max_stages=max_stages)
+    return result.database
+
+
+def certain_answers(
+    query: Program,
+    chased: Database,
+    answer_relation: str = "answer",
+) -> frozenset[tuple]:
+    """Certain answers of a positive query over a chased instance.
+
+    By the chase theorem, a tuple of *constants* (no labelled nulls) in
+    the query's answer over the chase is certain under the ontology.
+    ``query`` must be plain Datalog (positive); its edb are the chased
+    relations.
+    """
+    validate_program(query, Dialect.DATALOG)
+    result = evaluate_datalog_seminaive(query, chased, validate=False)
+    return frozenset(
+        t for t in result.answer(answer_relation) if not contains_invented(t)
+    )
+
+
+def ontology_answer(
+    tgds: Program,
+    query: Program,
+    db: Database,
+    answer_relation: str = "answer",
+    max_stages: int = 1_000,
+) -> frozenset[tuple]:
+    """Chase, then certain answers — the §6 ontology-querying pipeline."""
+    return certain_answers(query, chase(tgds, db, max_stages), answer_relation)

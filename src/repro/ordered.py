@@ -1,0 +1,77 @@
+"""Ordered databases — §4.5 of the paper.
+
+On ordered databases the expressiveness landscape collapses: stratified,
+inflationary and well-founded Datalog¬ all express exactly db-ptime
+(Theorem 4.7), and Datalog¬¬ expresses db-pspace (Theorem 4.8).  An
+ordered database carries a total order on its active domain; following
+the paper's remark about semi-positive Datalog¬, we also materialize
+the min and max constants, which semi-positive programs cannot compute
+themselves.
+
+:func:`attach_order` adds the relations
+
+* ``succ(x, y)`` — y is the immediate successor of x,
+* ``lt(x, y)``   — x strictly precedes y,
+* ``first(x)`` / ``last(x)`` — the endpoints,
+
+to a copy of the instance.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+from repro.errors import EvaluationError
+from repro.relational.instance import Database
+
+#: Relation names added by attach_order.
+ORDER_RELATIONS = ("succ", "lt", "first", "last")
+
+
+def default_order(db: Database) -> list[Hashable]:
+    """A deterministic total order on adom(I) (sort by type then repr)."""
+    return sorted(db.active_domain(), key=lambda v: (type(v).__name__, repr(v)))
+
+
+def attach_order(
+    db: Database,
+    ordering: Sequence[Hashable] | None = None,
+) -> Database:
+    """A copy of ``db`` extended with succ/lt/first/last over ``ordering``.
+
+    ``ordering`` defaults to :func:`default_order`; when given it must
+    enumerate the active domain exactly once (extra values are allowed —
+    they simply extend the ordered universe).
+    """
+    if ordering is None:
+        ordering = default_order(db)
+    ordering = list(ordering)
+    if len(set(ordering)) != len(ordering):
+        raise EvaluationError("ordering contains duplicates")
+    missing = db.active_domain() - set(ordering)
+    if missing:
+        raise EvaluationError(
+            f"ordering misses active-domain values {sorted(map(repr, missing))[:5]}"
+        )
+    out = db.copy()
+    for name in ORDER_RELATIONS:
+        if db.relation(name) is not None:
+            raise EvaluationError(f"relation {name!r} already present")
+    succ = out.ensure_relation("succ", 2)
+    lt = out.ensure_relation("lt", 2)
+    first = out.ensure_relation("first", 1)
+    last = out.ensure_relation("last", 1)
+    for a, b in zip(ordering, ordering[1:]):
+        succ.add((a, b))
+    for i, a in enumerate(ordering):
+        for b in ordering[i + 1 :]:
+            lt.add((a, b))
+    if ordering:
+        first.add((ordering[0],))
+        last.add((ordering[-1],))
+    return out
+
+
+def is_ordered(db: Database) -> bool:
+    """Does the instance carry the order relations?"""
+    return all(db.relation(name) is not None for name in ORDER_RELATIONS)

@@ -1,0 +1,6 @@
+"""Surface-syntax parser for the whole Datalog language family."""
+
+from repro.parser.lexer import Token, TokenKind, tokenize
+from repro.parser.parser import parse_program, parse_rule
+
+__all__ = ["Token", "TokenKind", "tokenize", "parse_program", "parse_rule"]

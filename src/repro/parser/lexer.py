@@ -1,0 +1,165 @@
+"""Tokenizer for the Datalog surface syntax.
+
+Identifier conventions follow the paper's examples: bare identifiers
+(including dashed names such as ``old-T-except-final``) are variables in
+term position and relation names in predicate position; quoted strings
+and integers are constants.  ``%`` and ``#`` start line comments.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    STRING = "string"
+    NUMBER = "number"
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    PERIOD = "."
+    IMPLIES = ":-"
+    COLON = ":"
+    EQ = "="
+    NEQ = "!="
+    BANG = "!"
+    EOF = "eof"
+
+
+#: Keywords recognized in identifier position.
+KEYWORDS = frozenset({"not", "forall", "bottom", "choice"})
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    @property
+    def value(self):
+        if self.kind is TokenKind.NUMBER:
+            return int(self.text)
+        if self.kind is TokenKind.STRING:
+            return self.text[1:-1]
+        return self.text
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind is TokenKind.IDENT and self.text == word
+
+
+def _is_ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text``; raises :class:`ParseError` on illegal input."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    line_start = 0
+    n = len(text)
+
+    def column() -> int:
+        return i - line_start + 1
+
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            line_start = i
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if ch in "%#":
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if ch == "(":
+            tokens.append(Token(TokenKind.LPAREN, ch, line, column()))
+            i += 1
+            continue
+        if ch == ")":
+            tokens.append(Token(TokenKind.RPAREN, ch, line, column()))
+            i += 1
+            continue
+        if ch == ",":
+            tokens.append(Token(TokenKind.COMMA, ch, line, column()))
+            i += 1
+            continue
+        if ch == ".":
+            tokens.append(Token(TokenKind.PERIOD, ch, line, column()))
+            i += 1
+            continue
+        if ch == ":":
+            if i + 1 < n and text[i + 1] == "-":
+                tokens.append(Token(TokenKind.IMPLIES, ":-", line, column()))
+                i += 2
+            else:
+                tokens.append(Token(TokenKind.COLON, ":", line, column()))
+                i += 1
+            continue
+        if ch == "<":
+            if i + 1 < n and text[i + 1] == "-":
+                tokens.append(Token(TokenKind.IMPLIES, "<-", line, column()))
+                i += 2
+                continue
+            raise ParseError(f"unexpected character {ch!r}", line, column())
+        if ch == "=":
+            tokens.append(Token(TokenKind.EQ, "=", line, column()))
+            i += 1
+            continue
+        if ch == "!":
+            if i + 1 < n and text[i + 1] == "=":
+                tokens.append(Token(TokenKind.NEQ, "!=", line, column()))
+                i += 2
+            else:
+                tokens.append(Token(TokenKind.BANG, "!", line, column()))
+                i += 1
+            continue
+        if ch in "'\"":
+            quote = ch
+            start_col = column()
+            j = i + 1
+            while j < n and text[j] != quote:
+                if text[j] == "\n":
+                    raise ParseError("unterminated string literal", line, start_col)
+                j += 1
+            if j >= n:
+                raise ParseError("unterminated string literal", line, start_col)
+            tokens.append(Token(TokenKind.STRING, text[i : j + 1], line, start_col))
+            i = j + 1
+            continue
+        if ch.isdigit():
+            start_col = column()
+            j = i
+            while j < n and text[j].isdigit():
+                j += 1
+            if j < n and (_is_ident_start(text[j])):
+                raise ParseError("identifier cannot start with a digit", line, start_col)
+            tokens.append(Token(TokenKind.NUMBER, text[i:j], line, start_col))
+            i = j
+            continue
+        if _is_ident_start(ch):
+            start_col = column()
+            j = i
+            # Dashes are allowed inside identifiers (old-T-except-final),
+            # but an identifier never ends with a dash.
+            while j < n and (text[j].isalnum() or text[j] in "_-"):
+                j += 1
+            while text[j - 1] == "-":
+                j -= 1
+            tokens.append(Token(TokenKind.IDENT, text[i:j], line, start_col))
+            i = j
+            continue
+        raise ParseError(f"unexpected character {ch!r}", line, column())
+
+    tokens.append(Token(TokenKind.EOF, "", line, column()))
+    return tokens

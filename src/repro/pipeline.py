@@ -1,0 +1,143 @@
+"""Stratified pipelines with aggregation — the §6 extension landscape.
+
+§6: "many extensions of Datalog have been put forward.  They include
+arithmetic, sets, disjunction, aggregation…" and the systems the paper
+highlights (LogicBlox, BigDatalog) all evaluate *stratified
+aggregation*: an aggregate reads a relation only after the stratum
+defining it is complete.
+
+A :class:`Pipeline` is a sequence of stages over one growing database:
+
+* :class:`ProgramStage` — evaluate a (stratifiable) Datalog¬ program;
+  its idb lands in the database for later stages;
+* :class:`AggregateStage` — group one relation by a set of columns and
+  fold another column with ``count``/``sum``/``min``/``max``/``avg``
+  (``count`` may aggregate over the whole tuple);
+* :class:`AlgebraStage` — materialize a relational-algebra expression.
+
+The stage boundary *is* the stratification: aggregates never see a
+half-computed relation, which is the semantics every practical system
+in §6 adopts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Union
+
+from repro.errors import EvaluationError, SchemaError
+from repro.ast.program import Program
+from repro.relational import algebra as ra
+from repro.relational.instance import Database
+from repro.semantics.stratified import evaluate_stratified
+
+AGGREGATE_FUNCTIONS: dict[str, Callable[[list], object]] = {
+    "count": len,
+    "sum": sum,
+    "min": min,
+    "max": max,
+    "avg": lambda values: sum(values) / len(values),
+}
+
+
+@dataclass(frozen=True)
+class ProgramStage:
+    """Evaluate a stratifiable program; add its idb to the database."""
+
+    program: Program
+
+
+@dataclass(frozen=True)
+class AggregateStage:
+    """``target(group…, agg) := fold over source grouped by columns``.
+
+    ``group_by`` lists source column positions forming the group key;
+    ``value`` is the position folded (ignored by ``count``).
+    """
+
+    target: str
+    source: str
+    group_by: tuple[int, ...]
+    function: str
+    value: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.function not in AGGREGATE_FUNCTIONS:
+            raise EvaluationError(
+                f"unknown aggregate {self.function!r}; "
+                f"choose from {sorted(AGGREGATE_FUNCTIONS)}"
+            )
+        if self.function != "count" and self.value is None:
+            raise EvaluationError(f"{self.function} needs a value position")
+
+
+@dataclass(frozen=True)
+class AlgebraStage:
+    """Materialize an algebra expression into a relation."""
+
+    target: str
+    expression: ra.Expr
+
+
+Stage = Union[ProgramStage, AggregateStage, AlgebraStage]
+
+
+@dataclass(frozen=True)
+class Pipeline:
+    """A stratified sequence of stages."""
+
+    stages: tuple[Stage, ...]
+    name: str = ""
+
+
+def _run_aggregate(stage: AggregateStage, db: Database) -> None:
+    source = db.relation(stage.source)
+    rows = list(source) if source is not None else []
+    if rows:
+        arity = source.arity
+        for position in stage.group_by:
+            if not 0 <= position < arity:
+                raise SchemaError(
+                    f"group-by position {position} out of range for "
+                    f"{stage.source!r}/{arity}"
+                )
+        if stage.value is not None and not 0 <= stage.value < arity:
+            raise SchemaError(
+                f"value position {stage.value} out of range for "
+                f"{stage.source!r}/{arity}"
+            )
+    groups: dict[tuple, list] = {}
+    for row in rows:
+        key = tuple(row[p] for p in stage.group_by)
+        value = row if stage.value is None else row[stage.value]
+        groups.setdefault(key, []).append(value)
+    fold = AGGREGATE_FUNCTIONS[stage.function]
+    target = db.ensure_relation(stage.target, len(stage.group_by) + 1)
+    out = set()
+    for key, values in groups.items():
+        out.add(key + (fold(values),))
+    target.replace(out)
+
+
+def run_pipeline(pipeline: Pipeline, db: Database) -> Database:
+    """Run the stages in order over a copy of ``db``; return the result."""
+    current = db.copy()
+    for stage in pipeline.stages:
+        if isinstance(stage, ProgramStage):
+            result = evaluate_stratified(stage.program, current)
+            for relation in stage.program.idb:
+                rel = current.ensure_relation(
+                    relation, stage.program.arity(relation)
+                )
+                rel.update(result.answer(relation))
+        elif isinstance(stage, AggregateStage):
+            _run_aggregate(stage, current)
+        elif isinstance(stage, AlgebraStage):
+            rows = ra.evaluate(stage.expression, current)
+            target = current.ensure_relation(
+                stage.target, len(stage.expression.columns)
+            )
+            target.replace(rows)
+        else:
+            raise EvaluationError(f"unknown stage {stage!r}")
+    return current

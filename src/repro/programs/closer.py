@@ -1,0 +1,82 @@
+"""The *closer* query of Example 4.1.
+
+closer(x, y, x', y') holds iff d(x, y) ≤ d(x', y') in the graph G
+(infinite distance when unreachable).  The inflationary program derives
+T(x, y) at stage exactly d(x, y), so firing ``closer ← T(x, y),
+¬T(x', y')`` at each stage compares distances — the paper's showcase of
+stage-sensitive forward chaining."""
+
+from __future__ import annotations
+
+from repro.ast.program import Dialect, Program
+from repro.parser import parse_program
+from repro.semantics.inflationary import evaluate_inflationary
+from repro.workloads.graphs import Edge, graph_database
+
+CLOSER_SOURCE = """
+T(x, y) :- G(x, y).
+T(x, y) :- T(x, z), G(z, y).
+closer(x, y, xp, yp) :- T(x, y), not T(xp, yp).
+"""
+
+
+def closer_program() -> Program:
+    """Example 4.1's program (x', y' spelled xp, yp)."""
+    return parse_program(CLOSER_SOURCE, dialect=Dialect.DATALOG_NEG, name="closer")
+
+
+def closer(edges: list[Edge]) -> frozenset[tuple]:
+    """All 4-tuples (x, y, x', y') with d(x, y) ≤ d(x', y')."""
+    db = graph_database(edges)
+    return evaluate_inflationary(closer_program(), db).answer("closer")
+
+
+def distances(edges: list[Edge]) -> dict[tuple, int]:
+    """d(x, y) for all reachable pairs, by BFS (reference)."""
+    nodes = {n for e in edges for n in e}
+    successors: dict[str, list[str]] = {n: [] for n in nodes}
+    for u, v in edges:
+        successors[u].append(v)
+    dist: dict[tuple, int] = {}
+    for start in nodes:
+        frontier = [start]
+        level = 0
+        seen = {start}
+        while frontier:
+            level += 1
+            next_frontier = []
+            for node in frontier:
+                for succ in successors[node]:
+                    if (start, succ) not in dist:
+                        dist[(start, succ)] = level
+                    if succ not in seen:
+                        seen.add(succ)
+                        next_frontier.append(succ)
+            frontier = next_frontier
+    return dist
+
+
+def reference_closer(edges: list[Edge]) -> frozenset[tuple]:
+    """Ground truth for what the program computes: d(x, y) < d(x', y').
+
+    Reproduction note (recorded in EXPERIMENTS.md): Example 4.1 states
+    the query as d(x, y) ≤ d(x', y'), but its own stage analysis —
+    "then d(x, y) ≤ n and d(x', y') > n" — derives closer only when
+    some stage separates the two distances, i.e. on the *strict*
+    inequality (ties enter T at the same stage, so ``T(x, y) ∧
+    ¬T(x', y')`` never holds for them).  We benchmark against what the
+    program provably computes; with d(x', y') = ∞ for unreachable
+    pairs the strict comparison also covers the infinite case.
+    """
+    dist = distances(edges)
+    nodes = sorted({n for e in edges for n in e})
+    infinity = float("inf")
+    out = set()
+    for x in nodes:
+        for y in nodes:
+            d_left = dist.get((x, y), infinity)
+            for xp in nodes:
+                for yp in nodes:
+                    if d_left < dist.get((xp, yp), infinity):
+                        out.add((x, y, xp, yp))
+    return frozenset(out)

@@ -1,0 +1,147 @@
+"""The evenness query — §4.4 and §4.5 of the paper.
+
+``even(R)`` (is |R| even?) is the prototypical query no generic
+deterministic language expresses on unordered inputs — the elements of
+R are indistinguishable.  With an order (succ/lt/first/last from
+:mod:`repro.ordered`), parity is programmable: walk R in order,
+alternating odd/even — Theorem 4.7's collapse to db-ptime in action.
+
+Two versions are provided:
+
+* a stratified program (negation on the between/has-smaller scratch,
+  all in lower strata than the odd/even walk);
+* an inflationary program, identical except each negation is guarded
+  by a one-stage delay so it fires only after its target is complete —
+  a small instance of the paper's delay technique.
+
+Both also serve the well-founded engine (the stratified program is
+stratifiable, where well-founded and stratified semantics coincide).
+"""
+
+from __future__ import annotations
+
+from repro.ast.program import Dialect, Program
+from repro.parser import parse_program
+from repro.ordered import attach_order
+from repro.relational.instance import Database
+from repro.semantics.inflationary import evaluate_inflationary
+from repro.semantics.stratified import evaluate_stratified
+
+_WALK_RULES = """
+oddR(x) :- firstR(x).
+oddR(y) :- evenR(x), nextR(x, y).
+evenR(y) :- oddR(x), nextR(x, y).
+result-odd :- lastR(x), oddR(x).
+result-even :- lastR(x), evenR(x).
+"""
+
+EVENNESS_STRATIFIED_SOURCE = """
+nonempty :- R(x).
+between(x, y) :- R(x), R(y), R(z), lt(x, z), lt(z, y).
+has-smaller(x) :- R(x), R(y), lt(y, x).
+has-larger(x) :- R(x), R(y), lt(x, y).
+nextR(x, y) :- R(x), R(y), lt(x, y), not between(x, y).
+firstR(x) :- R(x), not has-smaller(x).
+lastR(x) :- R(x), not has-larger(x).
+result-even :- not nonempty.
+""" + _WALK_RULES
+
+EVENNESS_INFLATIONARY_SOURCE = """
+d1.
+nonempty :- R(x).
+between(x, y) :- R(x), R(y), R(z), lt(x, z), lt(z, y).
+has-smaller(x) :- R(x), R(y), lt(y, x).
+has-larger(x) :- R(x), R(y), lt(x, y).
+nextR(x, y) :- d1, R(x), R(y), lt(x, y), not between(x, y).
+firstR(x) :- d1, R(x), not has-smaller(x).
+lastR(x) :- d1, R(x), not has-larger(x).
+result-even :- d1, not nonempty.
+""" + _WALK_RULES
+
+
+EVENNESS_SEMIPOSITIVE_SOURCE = """
+% skip(x, y): y reachable from x along succ, all intermediate
+% elements outside R  (negation on the edb R only).
+skip(x, y) :- succ(x, y).
+skip(x, y) :- skip(x, z), not R(z), succ(z, y).
+
+nextR(x, y) :- R(x), R(y), skip(x, y).
+firstR(y) :- first(y), R(y).
+firstR(y) :- first(x), not R(x), skip(x, y), R(y).
+lastR(x) :- last(x), R(x).
+lastR(x) :- last(y), not R(y), skip(x, y), R(x).
+
+% empty R: walk first → last entirely outside R.
+result-even :- first(x), last(x), not R(x).
+result-even :- first(x), not R(x), last(y), not R(y), skip(x, y).
+""" + _WALK_RULES
+
+
+def evenness_stratified_program() -> Program:
+    """Parity walk as stratified Datalog¬."""
+    return parse_program(
+        EVENNESS_STRATIFIED_SOURCE, dialect=Dialect.STRATIFIED, name="evenness-strat"
+    )
+
+
+def evenness_semipositive_program() -> Program:
+    """Parity with negation on the edb only (§4.5's semi-positive claim).
+
+    Theorem 4.7: semi-positive Datalog¬ expresses db-ptime on ordered
+    databases *with min and max given* — the first/last relations of
+    :func:`repro.ordered.attach_order` are exactly those constants (the
+    paper notes semi-positive programs cannot compute them from lt).
+    All negation here is on the edb relation R, so the program runs
+    identically under stratified, well-founded and inflationary
+    semantics — no delay tricks needed.
+    """
+    return parse_program(
+        EVENNESS_SEMIPOSITIVE_SOURCE,
+        dialect=Dialect.SEMIPOSITIVE,
+        name="evenness-semipos",
+    )
+
+
+def evenness_inflationary_program() -> Program:
+    """Parity walk as inflationary Datalog¬ (delay-guarded negation).
+
+    The scratch relations (between, has-smaller, …) read only edb, so
+    they are complete after stage 1; guarding each rule that negates
+    them with the stage-1 fact ``d1`` makes those rules fire from
+    stage 2 on, when the negation is already final.
+    """
+    return parse_program(
+        EVENNESS_INFLATIONARY_SOURCE,
+        dialect=Dialect.DATALOG_NEG,
+        name="evenness-infl",
+    )
+
+
+def evenness(rows: list[tuple], engine: str = "stratified") -> bool:
+    """Is |R| even?  Evaluated on the ordered extension of R.
+
+    ``engine`` selects ``"stratified"``, ``"inflationary"`` or
+    ``"semipositive"``; all agree (Theorem 4.7's equivalence on ordered
+    databases).  The semi-positive program needs the min/max constants,
+    hence a nonempty ordered domain (the paper's §4.5 caveat).
+    """
+    db = attach_order(Database({"R": rows}))
+    if engine == "stratified":
+        result = evaluate_stratified(evenness_stratified_program(), db)
+    elif engine == "inflationary":
+        result = evaluate_inflationary(evenness_inflationary_program(), db)
+    elif engine == "semipositive":
+        if not rows:
+            raise ValueError(
+                "the semi-positive program needs min/max: empty domain"
+            )
+        result = evaluate_stratified(evenness_semipositive_program(), db)
+    else:
+        raise ValueError(f"unknown engine {engine!r}")
+    has_even = bool(result.answer("result-even"))
+    has_odd = bool(result.answer("result-odd"))
+    if has_even == has_odd:
+        raise AssertionError(
+            f"parity walk inconsistent: even={has_even}, odd={has_odd}"
+        )
+    return has_even

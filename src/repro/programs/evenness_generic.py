@@ -1,0 +1,91 @@
+"""Evenness WITHOUT an order, via value invention — a Theorem 4.6 witness.
+
+Section 4.4: no generic deterministic language in the polynomial-space
+family expresses ``even(|R|)`` on unordered inputs — the elements of R
+are indistinguishable, so no program can walk them one at a time.
+Datalog¬new escapes (Theorem 4.6): its completeness proof "carries out
+the computation in parallel on all the encodings", i.e. on every total
+order of the domain.  This module implements exactly that idea at the
+scale of the evenness query:
+
+* every injective sequence of R-elements becomes a *chain* of invented
+  cells — ``start(c, x)`` creates a cell per element, ``ext(d, c, y)``
+  extends the chain of ``c`` by any unused element ``y``;
+* ``used(c, ·)`` accumulates the elements on a chain, and the parity
+  bits ``odd``/``even`` alternate along it;
+* a cell is ``complete`` when no R-element is unused; all complete
+  chains are permutations of R, so they all agree on the parity —
+  order is enumerated, but the answer is order-invariant (generic).
+
+The ``r1/r2/r3`` relations are per-cell delay chains (the Example 4.3
+technique, applied per invented value): ``incomplete`` may read
+``¬used(c, y)`` only after ``used(c, ·)`` is complete, and ``complete``
+may read ``¬incomplete(c)`` one stage later still.
+
+The cost is factorial in |R| — the price of genericity that the
+paper's impossibility discussion predicts; the benchmark in
+``benchmarks/test_thm46_invention.py`` exhibits the blow-up next to the
+polynomial ordered-database program of Theorem 4.7.
+"""
+
+from __future__ import annotations
+
+from repro.ast.program import Dialect, Program
+from repro.parser import parse_program
+from repro.relational.instance import Database
+from repro.semantics.invention import evaluate_with_invention
+
+EVENNESS_GENERIC_SOURCE = """
+d1.
+nonempty :- R(x).
+result-even :- d1, not nonempty.
+
+% One chain start per element of R (c is invented).
+start(c, x) :- R(x).
+cell(c, x) :- start(c, x).
+used(c, x) :- start(c, x).
+odd(c) :- start(c, x).
+r1(c) :- start(c, x).
+
+% Extend any chain by any element it has not used yet (d is invented).
+ext(d, c, y) :- cell(c, x), R(y), not used(c, y).
+cell(d, y) :- ext(d, c, y).
+used(d, y) :- ext(d, c, y).
+used(d, z) :- ext(d, c, y), used(c, z).
+even(d) :- ext(d, c, y), odd(c).
+odd(d) :- ext(d, c, y), even(c).
+r1(d) :- ext(d, c, y).
+
+% Per-cell delays: used(c, .) is complete when r2(c) holds, and
+% incomplete(c) is final when r3(c) holds.
+r2(c) :- r1(c).
+r3(c) :- r2(c).
+incomplete(c) :- r2(c), cell(c, x), R(y), not used(c, y).
+complete(c) :- r3(c), cell(c, x), not incomplete(c).
+
+result-even :- complete(c), even(c).
+result-odd :- complete(c), odd(c).
+"""
+
+
+def evenness_generic_program() -> Program:
+    """The invention-based generic parity program."""
+    return parse_program(
+        EVENNESS_GENERIC_SOURCE, dialect=Dialect.DATALOG_NEW, name="evenness-new"
+    )
+
+
+def evenness_generic(rows: list[tuple], max_stages: int = 1_000) -> bool:
+    """Is |R| even?  No order needed — but factorial work (see module
+    docstring); keep |R| small."""
+    db = Database({"R": rows})
+    result = evaluate_with_invention(
+        evenness_generic_program(), db, max_stages=max_stages
+    )
+    has_even = bool(result.answer("result-even"))
+    has_odd = bool(result.answer("result-odd"))
+    if has_even == has_odd:
+        raise AssertionError(
+            f"generic parity inconsistent: even={has_even}, odd={has_odd}"
+        )
+    return has_even

@@ -1,0 +1,32 @@
+"""The nonterminating Datalog¬¬ program of §4.2.
+
+On input T(0) the instance oscillates between {T(0)} and {T(1)}
+forever — the paper's witness that Datalog¬¬ (unlike inflationary
+Datalog¬) gives up guaranteed termination.  The engine's cycle
+detection turns the oscillation into a
+:class:`~repro.errors.NonTerminationError`."""
+
+from __future__ import annotations
+
+from repro.ast.program import Dialect, Program
+from repro.parser import parse_program
+from repro.relational.instance import Database
+
+FLIP_FLOP_SOURCE = """
+T(0) :- T(1).
+!T(1) :- T(1).
+T(1) :- T(0).
+!T(0) :- T(0).
+"""
+
+
+def flip_flop_program() -> Program:
+    """The four-rule flip-flop program of §4.2."""
+    return parse_program(
+        FLIP_FLOP_SOURCE, dialect=Dialect.DATALOG_NEGNEG, name="flip-flop"
+    )
+
+
+def flip_flop_input() -> Database:
+    """The input T = {⟨0⟩} on which the program never terminates."""
+    return Database({"T": [(0,)]})

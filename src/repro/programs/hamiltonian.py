@@ -1,0 +1,88 @@
+"""The Hamiltonicity query of §2 — the paper's db-np example.
+
+"The query whose answer is a unary relation which is empty if the
+graph has no Hamiltonian circuit and is the set of vertices of the
+graph otherwise, is in db-np."
+
+The db-np shape is guess-and-check, and the nondeterministic engine
+provides the guessing: the program below nondeterministically commits
+successor edges, one at a time, with at most one outgoing and one
+incoming successor per node (the multi-head firing makes each
+commitment atomic):
+
+    nxt(x, y), outdone(x), indone(y) :-
+        G(x, y), not outdone(x), not indone(y).
+
+Terminal instances are exactly the maximal partial successor
+*matchings* over G; the graph has a Hamiltonian circuit iff some
+terminal ``nxt`` is a single cycle covering every vertex — a
+polynomial check performed on each guessed certificate.  The answer
+relation is then all vertices or empty, per the paper's statement.
+
+Exhaustive eff(P) enumeration makes this exponential, as db-np
+deserves; keep the graphs small.
+"""
+
+from __future__ import annotations
+
+from repro.ast.program import Dialect, Program
+from repro.parser import parse_program
+from repro.semantics.nondeterministic import enumerate_effects
+from repro.workloads.graphs import Edge, graph_database
+
+GUESS_SOURCE = """
+nxt(x, y), outdone(x), indone(y) :- G(x, y), not outdone(x), not indone(y).
+"""
+
+
+def successor_guess_program() -> Program:
+    """The atomic successor-guessing program (N-Datalog¬)."""
+    return parse_program(
+        GUESS_SOURCE, dialect=Dialect.N_DATALOG_NEG, name="hamiltonian-guess"
+    )
+
+
+def _is_hamiltonian_certificate(nxt: set[Edge], nodes: set[str]) -> bool:
+    """Is the guessed successor set one cycle covering all nodes?"""
+    if len(nxt) != len(nodes) or not nodes:
+        return False
+    successor = dict(nxt)
+    if len(successor) != len(nxt):
+        return False  # duplicate out-edges (cannot happen; defensive)
+    start = next(iter(nodes))
+    seen = []
+    node = start
+    while True:
+        if node not in successor:
+            return False
+        node = successor[node]
+        seen.append(node)
+        if node == start:
+            break
+        if len(seen) > len(nodes):
+            return False
+    return len(seen) == len(nodes)
+
+
+def has_hamiltonian_circuit(edges: list[Edge], max_states: int = 200_000) -> bool:
+    """∃ a guessed certificate that checks — the db-np query's core."""
+    nodes = {v for e in edges for v in e}
+    if not nodes:
+        return False
+    db = graph_database(edges)
+    effects = enumerate_effects(
+        successor_guess_program(), db, max_states=max_states
+    )
+    for state in effects:
+        nxt = {t for rel, t in state if rel == "nxt"}
+        if _is_hamiltonian_certificate(nxt, nodes):
+            return True
+    return False
+
+
+def hamiltonian_vertices(edges: list[Edge], max_states: int = 200_000) -> frozenset[str]:
+    """The paper's exact query: all vertices if Hamiltonian, else ∅."""
+    nodes = {v for e in edges for v in e}
+    if has_hamiltonian_circuit(edges, max_states=max_states):
+        return frozenset(nodes)
+    return frozenset()

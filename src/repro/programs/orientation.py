@@ -1,0 +1,60 @@
+"""The orientation program of §5.1.
+
+``¬G(x, y) ← G(x, y), G(y, x)``: under the deterministic (parallel)
+semantics it removes *all* 2-cycles; under the nondeterministic
+semantics it computes one of several possible *orientations* — for
+every 2-cycle, exactly one direction survives.  The paper uses it to
+introduce the one-instantiation-at-a-time semantics."""
+
+from __future__ import annotations
+
+from repro.ast.program import Dialect, Program
+from repro.parser import parse_program
+from repro.semantics.nondeterministic import answers_in_effects, enumerate_effects
+from repro.semantics.noninflationary import evaluate_noninflationary
+from repro.workloads.graphs import Edge, graph_database
+
+ORIENTATION_SOURCE = """
+!G(x, y) :- G(x, y), G(y, x).
+"""
+
+
+def orientation_program() -> Program:
+    """The single-rule orientation program of §5.1."""
+    return parse_program(
+        ORIENTATION_SOURCE, dialect=Dialect.N_DATALOG_NEGNEG, name="orientation"
+    )
+
+
+def deterministic_program() -> Program:
+    """The same rule under the deterministic Datalog¬¬ dialect."""
+    return parse_program(
+        ORIENTATION_SOURCE, dialect=Dialect.DATALOG_NEGNEG, name="orientation-det"
+    )
+
+
+def remove_two_cycles(edges: list[Edge]) -> frozenset[tuple]:
+    """Deterministic semantics: both directions of every 2-cycle removed."""
+    db = graph_database(edges)
+    return evaluate_noninflationary(deterministic_program(), db).answer("G")
+
+
+def orientations(edges: list[Edge], max_states: int = 100_000) -> set[frozenset]:
+    """All orientations reachable nondeterministically (contents of G).
+
+    For a graph with k two-cycles this has 2^k elements — each 2-cycle
+    independently keeps one direction.
+    """
+    db = graph_database(edges)
+    effects = enumerate_effects(orientation_program(), db, max_states=max_states)
+    return answers_in_effects(effects, "G")
+
+
+def reference_two_cycles(edges: list[Edge]) -> set[frozenset]:
+    """The unordered pairs {a, b} with both ⟨a,b⟩ and ⟨b,a⟩ present."""
+    edge_set = set(edges)
+    return {
+        frozenset((a, b))
+        for a, b in edge_set
+        if a != b and (b, a) in edge_set
+    }

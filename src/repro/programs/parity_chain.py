@@ -1,0 +1,72 @@
+"""Parity in linear time with N-Datalog¬new (Theorem 5.7's power).
+
+Section 4.4 explains the two escapes from the evenness impossibility:
+"(i) sacrifice data independence [use an order], or (ii) sacrifice
+determinism by allowing a nondeterministic construct to pick an
+arbitrary element from a set".  This module is escape (ii) with value
+invention on top (N-Datalog¬new, Theorem 5.7): one rule instantiation
+fires at a time, so the program genuinely *picks* an arbitrary
+unprocessed element, appends it to a chain of invented cells, and
+toggles a parity flag — |R| + 1 steps, versus the factorial
+all-orders enumeration that the deterministic Datalog¬new program
+(:mod:`repro.programs.evenness_generic`) must pay.
+
+The answer (which of ``even``/``odd`` holds at the terminal instance)
+is the same on every run — the program is nondeterministic, the query
+deterministic — exactly the det(L) discussion of §5.3.
+"""
+
+from __future__ import annotations
+
+from repro.ast.program import Dialect, Program
+from repro.errors import EvaluationError
+from repro.parser import parse_program
+from repro.relational.instance import Database
+from repro.semantics.nondeterministic import run_nondeterministic
+
+PARITY_CHAIN_SOURCE = """
+% Initialize the flag (blocked forever once the chain has started).
+even :- not started, not odd.
+
+% Start the chain: pick any element, invent the first cell.
+start(c, x), started, last(c), listed(x), !even, odd :-
+    R(x), not listed(x), not started, even.
+
+% Extend the chain by any unlisted element, toggling parity.
+ext(d, c, x), last(d), !last(c), listed(x), !even, odd :-
+    last(c), R(x), not listed(x), even.
+ext(d, c, x), last(d), !last(c), listed(x), !odd, even :-
+    last(c), R(x), not listed(x), odd.
+"""
+
+
+def parity_chain_program() -> Program:
+    """The N-Datalog¬new parity program (multi-head, deletion, invention)."""
+    return parse_program(
+        PARITY_CHAIN_SOURCE, dialect=Dialect.N_DATALOG_NEW, name="parity-chain"
+    )
+
+
+def parity_chain(rows: list[tuple], seed: int = 0) -> bool:
+    """Is |R| even?  One sampled run; linear in |R|.
+
+    The pick order is random (seeded) but the parity answer is
+    run-invariant; :func:`parity_chain_all_seeds_agree` checks that.
+    """
+    db = Database({"R": rows})
+    run = run_nondeterministic(
+        parity_chain_program(), db, seed=seed, max_steps=10 * len(rows) + 20
+    )
+    has_even = bool(run.answer("even"))
+    has_odd = bool(run.answer("odd"))
+    if has_even == has_odd:
+        raise EvaluationError(
+            f"parity flags inconsistent: even={has_even}, odd={has_odd}"
+        )
+    return has_even
+
+
+def parity_chain_all_seeds_agree(rows: list[tuple], seeds: range) -> bool:
+    """Do all sampled runs agree on the parity (deterministic query)?"""
+    answers = {parity_chain(rows, seed=s) for s in seeds}
+    return len(answers) == 1

@@ -1,0 +1,56 @@
+"""P − π_A(Q): Examples 5.4 and 5.5.
+
+The projection-difference query is the paper's witness that plain
+N-Datalog¬ lacks the control to simulate composition (Example 5.4 —
+no N-Datalog¬ program computes it), while each of the three proposed
+extensions regains it:
+
+* N-Datalog¬¬ — deletions provide the control (§5.2's two-rule
+  program);
+* N-Datalog¬⊥ — a run that closes the projection too early is trapped
+  by the ⊥ rule (Example 5.5, verbatim);
+* N-Datalog¬∀ — universal quantification checks stage completion
+  inline (Example 5.5, verbatim).
+"""
+
+from __future__ import annotations
+
+from repro.ast.program import Dialect, Program
+from repro.parser import parse_program
+
+NEGNEG_SOURCE = """
+answer(x) :- P(x).
+!answer(x), !P(x) :- Q(x, y).
+"""
+
+BOTTOM_SOURCE = """
+PROJ(x) :- not done-with-proj, Q(x, y).
+done-with-proj.
+bottom :- done-with-proj, Q(x, y), not PROJ(x).
+answer(x) :- done-with-proj, P(x), not PROJ(x).
+"""
+
+FORALL_SOURCE = """
+answer(x) :- forall y: P(x), not Q(x, y).
+"""
+
+
+def proj_diff_negneg_program() -> Program:
+    """The N-Datalog¬¬ program of §5.2 (deletion-based control)."""
+    return parse_program(
+        NEGNEG_SOURCE, dialect=Dialect.N_DATALOG_NEGNEG, name="projdiff-negneg"
+    )
+
+
+def proj_diff_bottom_program() -> Program:
+    """Example 5.5's N-Datalog¬⊥ program, verbatim."""
+    return parse_program(
+        BOTTOM_SOURCE, dialect=Dialect.N_DATALOG_BOTTOM, name="projdiff-bottom"
+    )
+
+
+def proj_diff_forall_program() -> Program:
+    """Example 5.5's N-Datalog¬∀ program, verbatim."""
+    return parse_program(
+        FORALL_SOURCE, dialect=Dialect.N_DATALOG_FORALL, name="projdiff-forall"
+    )

@@ -1,0 +1,91 @@
+"""Same-generation: the classic non-linear recursion benchmark.
+
+§3.1 notes that "most of the optimization techniques in deductive
+databases have been developed around Datalog", and same-generation is
+the workload those techniques were honed on: two nodes are in the same
+generation if they are siblings (``flat``) or their parents are.
+Unlike transitive closure, the recursive call sits *between* two base
+literals — the shape that separates evaluation strategies (see the
+ablation benchmarks and :mod:`repro.semantics.topdown`).
+"""
+
+from __future__ import annotations
+
+from repro.ast.program import Dialect, Program
+from repro.parser import parse_program
+from repro.relational.instance import Database
+from repro.semantics.seminaive import evaluate_datalog_seminaive
+
+SAME_GENERATION_SOURCE = """
+sg(x, y) :- flat(x, y).
+sg(x, y) :- up(x, u), sg(u, v), down(v, y).
+"""
+
+
+def same_generation_program() -> Program:
+    """The canonical two-rule same-generation program."""
+    return parse_program(
+        SAME_GENERATION_SOURCE, dialect=Dialect.DATALOG, name="same-generation"
+    )
+
+
+def tree_instance(depth: int, fanout: int = 2) -> Database:
+    """A complete tree encoded as up/down edges; siblings are ``flat``.
+
+    ``up(child, parent)``, ``down(parent, child)``; children of the same
+    parent are ``flat`` at every level, so the recursive rule derives
+    cousins (the sg relation closes each level).  Note the recursion
+    direction: sg propagates *downward* — sg(x, y) needs the parents of
+    x and y in sg — so flat pairs near the root feed the whole tree.
+    Nodes are ``t<level>_<index>``.
+    """
+    up: list[tuple] = []
+    down: list[tuple] = []
+    flat: list[tuple] = []
+    for level in range(depth):
+        for parent_index in range(fanout**level):
+            parent = f"t{level}_{parent_index}"
+            children = [
+                f"t{level + 1}_{parent_index * fanout + k}" for k in range(fanout)
+            ]
+            for child in children:
+                up.append((child, parent))
+                down.append((parent, child))
+            for a in children:
+                for b in children:
+                    if a != b:
+                        flat.append((a, b))
+    return Database({"up": up, "down": down, "flat": flat})
+
+
+def same_generation(db: Database) -> frozenset[tuple]:
+    """All same-generation pairs, by semi-naive evaluation."""
+    return evaluate_datalog_seminaive(same_generation_program(), db).answer("sg")
+
+
+def reference_same_generation(db: Database) -> frozenset[tuple]:
+    """Ground truth by explicit generation-climbing (semi-naive-free)."""
+    flat = set(db.tuples("flat"))
+    up: dict[str, set[str]] = {}
+    down: dict[str, set[str]] = {}
+    for child, parent in db.tuples("up"):
+        up.setdefault(child, set()).add(parent)
+    for parent, child in db.tuples("down"):
+        down.setdefault(parent, set()).add(child)
+    sg = set(flat)
+    changed = True
+    while changed:
+        changed = False
+        additions = set()
+        for x, parents in up.items():
+            for u in parents:
+                for (a, b) in sg:
+                    if a != u:
+                        continue
+                    for y in down.get(b, ()):
+                        if (x, y) not in sg:
+                            additions.add((x, y))
+        if additions:
+            sg |= additions
+            changed = True
+    return frozenset(sg)

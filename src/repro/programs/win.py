@@ -1,0 +1,71 @@
+"""The win/moves game of Example 3.2 — the flagship well-founded example.
+
+``win(x) ← moves(x, y), ¬win(y)`` is not stratifiable (win depends
+negatively on itself); under the well-founded semantics it computes the
+game-theoretic value of every position: true = winning, false =
+losing, unknown = drawn (neither player can force a win)."""
+
+from __future__ import annotations
+
+from repro.ast.program import Dialect, Program
+from repro.parser import parse_program
+from repro.semantics.wellfounded import WellFoundedModel, evaluate_wellfounded
+from repro.relational.instance import Database
+from repro.workloads.games import Move, game_database, paper_game
+
+WIN_SOURCE = """
+win(x) :- moves(x, y), not win(y).
+"""
+
+
+def win_program() -> Program:
+    """The nonstratifiable P_win of Example 3.2."""
+    return parse_program(WIN_SOURCE, dialect=Dialect.DATALOG_NEG, name="win")
+
+
+def paper_win_instance() -> Database:
+    """The input K of Example 3.2."""
+    return game_database(paper_game())
+
+
+def win_model(moves: list[Move]) -> WellFoundedModel:
+    """The well-founded model of P_win on a game graph."""
+    return evaluate_wellfounded(win_program(), game_database(moves))
+
+
+def win_states(moves: list[Move]) -> tuple[set[str], set[str], set[str]]:
+    """(winning, losing, drawn) states per the well-founded semantics.
+
+    Losing = states x (with at least one incident move, so x is in the
+    active domain) whose win(x) is false; drawn = unknown.
+    """
+    model = win_model(moves)
+    states = {s for move in moves for s in move}
+    winning = {t[0] for t in model.answer("win")}
+    drawn = {t[0] for t in model.unknowns("win")}
+    losing = states - winning - drawn
+    return winning, losing, drawn
+
+
+def winning_strategy(moves: list[Move]) -> dict[str, str]:
+    """A winning move for every winning state, from the 3-valued model.
+
+    Example 3.2: "there exist winning strategies from states d (move to
+    e) and f (move to g)" — this extracts exactly those moves: from a
+    winning state, any move into a *losing* (win = false) successor
+    wins.  Ties break deterministically (smallest successor)."""
+    model = win_model(moves)
+    strategy: dict[str, str] = {}
+    for (state,) in model.answer("win"):
+        options = sorted(
+            dst
+            for src, dst in moves
+            if src == state and model.truth_value("win", (dst,)) == "false"
+        )
+        if not options:
+            raise AssertionError(
+                f"winning state {state!r} has no losing successor — "
+                "the well-founded model would be inconsistent"
+            )
+        strategy[state] = options[0]
+    return strategy

@@ -1,0 +1,21 @@
+"""Relational substrate: schemas, instances, algebra, and isomorphisms."""
+
+from repro.relational.schema import RelationSchema, DatabaseSchema
+from repro.relational.instance import Relation, Database
+from repro.relational import algebra
+from repro.relational.isomorphism import (
+    apply_mapping,
+    random_bijection,
+    is_isomorphic_image,
+)
+
+__all__ = [
+    "RelationSchema",
+    "DatabaseSchema",
+    "Relation",
+    "Database",
+    "algebra",
+    "apply_mapping",
+    "random_bijection",
+    "is_isomorphic_image",
+]

@@ -1,0 +1,291 @@
+"""Relational algebra over named columns.
+
+Codd's algebra as reviewed in Section 2 of the paper: projection π,
+selection σ, rename δ, natural join ⋈, product ×, union ∪, difference −
+and intersection ∩.  Expressions form a tree; :func:`evaluate` computes
+an expression against a :class:`~repro.relational.instance.Database`.
+
+Every expression node exposes ``columns``: the ordered output column
+names.  Natural join joins on shared column names; use :class:`Rename`
+to control which columns align.
+
+Example::
+
+    from repro.relational import Database, algebra as ra
+
+    db = Database({"G": [("a", "b"), ("b", "c")]})
+    g = ra.Rel("G", ("x", "y"))
+    two_step = ra.Project(
+        ra.Join(g, ra.Rename(g, {"x": "y", "y": "z"})), ("x", "z")
+    )
+    ra.evaluate(two_step, db)   # {('a', 'c')}
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.errors import SchemaError
+from repro.relational.instance import Database
+
+
+class Expr:
+    """Base class for algebra expressions; subclasses set ``columns``."""
+
+    columns: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class Rel(Expr):
+    """A reference to a database relation, giving its columns names."""
+
+    name: str
+    columns: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(set(self.columns)) != len(self.columns):
+            raise SchemaError(f"duplicate column names in Rel({self.name!r})")
+
+
+@dataclass(frozen=True)
+class Constant(Expr):
+    """A literal relation (useful for seeding unions and tests)."""
+
+    rows: frozenset[tuple]
+    columns: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        for row in self.rows:
+            if len(row) != len(self.columns):
+                raise SchemaError("constant relation row arity mismatch")
+
+
+@dataclass(frozen=True)
+class Project(Expr):
+    """π: keep (and reorder) the named columns."""
+
+    child: Expr
+    keep: tuple[str, ...]
+
+    @property
+    def columns(self) -> tuple[str, ...]:  # type: ignore[override]
+        return self.keep
+
+
+@dataclass(frozen=True)
+class Condition:
+    """An (in)equality between a column and a column or constant.
+
+    ``op`` is one of ``"=="`` and ``"!="``; ``right_column`` and
+    ``right_value`` are mutually exclusive.
+    """
+
+    left_column: str
+    op: str
+    right_column: str | None = None
+    right_value: Hashable | None = None
+
+    def __post_init__(self) -> None:
+        if self.op not in ("==", "!="):
+            raise SchemaError(f"unknown selection operator {self.op!r}")
+        if (self.right_column is None) == (self.right_value is None):
+            raise SchemaError("condition needs exactly one of column/value")
+
+    def holds(self, row: tuple, position: dict[str, int]) -> bool:
+        left = row[position[self.left_column]]
+        if self.right_column is not None:
+            right = row[position[self.right_column]]
+        else:
+            right = self.right_value
+        return (left == right) if self.op == "==" else (left != right)
+
+
+@dataclass(frozen=True)
+class Select(Expr):
+    """σ: keep rows satisfying all conditions."""
+
+    child: Expr
+    conditions: tuple[Condition, ...]
+
+    @property
+    def columns(self) -> tuple[str, ...]:  # type: ignore[override]
+        return self.child.columns
+
+
+@dataclass(frozen=True)
+class Rename(Expr):
+    """δ: rename columns via a mapping old → new."""
+
+    child: Expr
+    mapping: dict[str, str]
+
+    def __hash__(self) -> int:
+        return hash((Rename, self.child, tuple(sorted(self.mapping.items()))))
+
+    @property
+    def columns(self) -> tuple[str, ...]:  # type: ignore[override]
+        return tuple(self.mapping.get(c, c) for c in self.child.columns)
+
+
+@dataclass(frozen=True)
+class Join(Expr):
+    """Natural join on shared column names."""
+
+    left: Expr
+    right: Expr
+
+    @property
+    def columns(self) -> tuple[str, ...]:  # type: ignore[override]
+        extra = tuple(c for c in self.right.columns if c not in self.left.columns)
+        return self.left.columns + extra
+
+
+@dataclass(frozen=True)
+class Product(Expr):
+    """Cartesian product; column names must be disjoint."""
+
+    left: Expr
+    right: Expr
+
+    @property
+    def columns(self) -> tuple[str, ...]:  # type: ignore[override]
+        overlap = set(self.left.columns) & set(self.right.columns)
+        if overlap:
+            raise SchemaError(f"product children share columns {sorted(overlap)}")
+        return self.left.columns + self.right.columns
+
+
+@dataclass(frozen=True)
+class Union(Expr):
+    left: Expr
+    right: Expr
+
+    @property
+    def columns(self) -> tuple[str, ...]:  # type: ignore[override]
+        return self.left.columns
+
+
+@dataclass(frozen=True)
+class Difference(Expr):
+    left: Expr
+    right: Expr
+
+    @property
+    def columns(self) -> tuple[str, ...]:  # type: ignore[override]
+        return self.left.columns
+
+
+@dataclass(frozen=True)
+class Intersection(Expr):
+    left: Expr
+    right: Expr
+
+    @property
+    def columns(self) -> tuple[str, ...]:  # type: ignore[override]
+        return self.left.columns
+
+
+def _check_union_compatible(left: Expr, right: Expr, what: str) -> None:
+    if len(left.columns) != len(right.columns):
+        raise SchemaError(
+            f"{what} requires equal arity, got {len(left.columns)} "
+            f"and {len(right.columns)}"
+        )
+
+
+def _reorder(rows: set[tuple], src: tuple[str, ...], dst: tuple[str, ...]) -> set[tuple]:
+    if src == dst:
+        return rows
+    pos = [src.index(c) for c in dst]
+    return {tuple(row[p] for p in pos) for row in rows}
+
+
+def evaluate(expr: Expr, db: Database) -> set[tuple]:
+    """Evaluate an algebra expression against a database instance."""
+    if isinstance(expr, Rel):
+        rel = db.relation(expr.name)
+        if rel is None:
+            return set()
+        if rel.arity != len(expr.columns):
+            raise SchemaError(
+                f"Rel({expr.name!r}) declares {len(expr.columns)} columns "
+                f"but the relation has arity {rel.arity}"
+            )
+        return set(rel.tuples())
+
+    if isinstance(expr, Constant):
+        return set(expr.rows)
+
+    if isinstance(expr, Project):
+        child_rows = evaluate(expr.child, db)
+        src = expr.child.columns
+        missing = [c for c in expr.keep if c not in src]
+        if missing:
+            raise SchemaError(f"projection on unknown columns {missing}")
+        pos = [src.index(c) for c in expr.keep]
+        return {tuple(row[p] for p in pos) for row in child_rows}
+
+    if isinstance(expr, Select):
+        child_rows = evaluate(expr.child, db)
+        position = {c: i for i, c in enumerate(expr.child.columns)}
+        for cond in expr.conditions:
+            if cond.left_column not in position or (
+                cond.right_column is not None and cond.right_column not in position
+            ):
+                raise SchemaError(f"selection on unknown column in {cond}")
+        return {
+            row
+            for row in child_rows
+            if all(cond.holds(row, position) for cond in expr.conditions)
+        }
+
+    if isinstance(expr, Rename):
+        unknown = [c for c in expr.mapping if c not in expr.child.columns]
+        if unknown:
+            raise SchemaError(f"rename of unknown columns {unknown}")
+        if len(set(expr.columns)) != len(expr.columns):
+            raise SchemaError("rename produces duplicate column names")
+        return evaluate(expr.child, db)
+
+    if isinstance(expr, Join):
+        left_rows = evaluate(expr.left, db)
+        right_rows = evaluate(expr.right, db)
+        lcols, rcols = expr.left.columns, expr.right.columns
+        shared = [c for c in rcols if c in lcols]
+        lpos = [lcols.index(c) for c in shared]
+        rpos = [rcols.index(c) for c in shared]
+        extra_pos = [i for i, c in enumerate(rcols) if c not in lcols]
+        # Hash join on the shared columns.
+        buckets: dict[tuple, list[tuple]] = {}
+        for row in right_rows:
+            buckets.setdefault(tuple(row[p] for p in rpos), []).append(row)
+        out: set[tuple] = set()
+        for lrow in left_rows:
+            key = tuple(lrow[p] for p in lpos)
+            for rrow in buckets.get(key, ()):
+                out.add(lrow + tuple(rrow[p] for p in extra_pos))
+        return out
+
+    if isinstance(expr, Product):
+        _ = expr.columns  # trigger the disjointness check
+        left_rows = evaluate(expr.left, db)
+        right_rows = evaluate(expr.right, db)
+        return {l + r for l in left_rows for r in right_rows}
+
+    if isinstance(expr, Union):
+        _check_union_compatible(expr.left, expr.right, "union")
+        right = _reorder(evaluate(expr.right, db), expr.right.columns, expr.left.columns)
+        return evaluate(expr.left, db) | right
+
+    if isinstance(expr, Difference):
+        _check_union_compatible(expr.left, expr.right, "difference")
+        right = _reorder(evaluate(expr.right, db), expr.right.columns, expr.left.columns)
+        return evaluate(expr.left, db) - right
+
+    if isinstance(expr, Intersection):
+        _check_union_compatible(expr.left, expr.right, "intersection")
+        right = _reorder(evaluate(expr.right, db), expr.right.columns, expr.left.columns)
+        return evaluate(expr.left, db) & right
+
+    raise SchemaError(f"unknown algebra node {type(expr).__name__}")

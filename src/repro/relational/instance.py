@@ -1,0 +1,286 @@
+"""Relation and database instances.
+
+A :class:`Relation` is a finite set of constant tuples of fixed arity; a
+:class:`Database` maps relation names to relations (the paper's
+*instance over a database schema*).  Both are mutable — the forward
+chaining engines grow and shrink them — but expose cheap snapshots
+(:meth:`Database.canonical`) used for equality tests and for the cycle
+detection that powers nontermination checks in Datalog¬¬.
+
+Relations maintain hash indexes on demand: ``Relation.index((0, 2))``
+returns a dict from values at positions 0 and 2 to the matching tuples,
+which the rule matcher uses to avoid full scans.  Indexes are
+invalidated automatically on mutation.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator
+
+from repro.errors import SchemaError
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+Fact = tuple[str, tuple[Hashable, ...]]
+
+
+class Relation:
+    """A mutable finite set of tuples of a fixed arity."""
+
+    __slots__ = ("name", "arity", "_tuples", "_indexes", "_version")
+
+    def __init__(self, name: str, arity: int, tuples: Iterable[tuple] = ()):
+        self.name = name
+        self.arity = arity
+        self._tuples: set[tuple] = set()
+        self._indexes: dict[tuple[int, ...], dict[tuple, list[tuple]]] = {}
+        self._version = 0
+        for t in tuples:
+            self.add(t)
+
+    def _check(self, t: tuple) -> tuple:
+        if not isinstance(t, tuple):
+            t = tuple(t)
+        if len(t) != self.arity:
+            raise SchemaError(
+                f"tuple {t!r} has arity {len(t)}, but relation "
+                f"{self.name!r} has arity {self.arity}"
+            )
+        return t
+
+    def add(self, t: tuple) -> bool:
+        """Insert a tuple; return True if it was new."""
+        t = self._check(t)
+        if t in self._tuples:
+            return False
+        self._tuples.add(t)
+        self._invalidate()
+        return True
+
+    def discard(self, t: tuple) -> bool:
+        """Remove a tuple; return True if it was present."""
+        t = self._check(t)
+        if t not in self._tuples:
+            return False
+        self._tuples.remove(t)
+        self._invalidate()
+        return True
+
+    def update(self, tuples: Iterable[tuple]) -> int:
+        """Insert many tuples; return how many were new."""
+        added = 0
+        for t in tuples:
+            if self.add(t):
+                added += 1
+        return added
+
+    def clear(self) -> None:
+        if self._tuples:
+            self._tuples.clear()
+            self._invalidate()
+
+    def replace(self, tuples: Iterable[tuple]) -> None:
+        """Replace the whole content (used by while-language assignment)."""
+        new = {self._check(t) for t in tuples}
+        if new != self._tuples:
+            self._tuples = new
+            self._invalidate()
+
+    def _invalidate(self) -> None:
+        self._version += 1
+        if self._indexes:
+            self._indexes.clear()
+
+    def __contains__(self, t: tuple) -> bool:
+        return t in self._tuples
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self._tuples)
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self.name == other.name and self._tuples == other._tuples
+
+    def __repr__(self) -> str:
+        return f"Relation({self.name!r}/{self.arity}, {len(self)} tuples)"
+
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped on every mutation (index cache key)."""
+        return self._version
+
+    def tuples(self) -> frozenset[tuple]:
+        """An immutable snapshot of the current content."""
+        return frozenset(self._tuples)
+
+    def index(self, positions: tuple[int, ...]) -> dict[tuple, list[tuple]]:
+        """A hash index on the given positions, built lazily and cached.
+
+        Maps each distinct key (the projection of a tuple onto
+        ``positions``) to the list of tuples with that key.
+        """
+        cached = self._indexes.get(positions)
+        if cached is not None:
+            return cached
+        built: dict[tuple, list[tuple]] = {}
+        for t in self._tuples:
+            key = tuple(t[p] for p in positions)
+            built.setdefault(key, []).append(t)
+        self._indexes[positions] = built
+        return built
+
+    def copy(self) -> "Relation":
+        clone = Relation(self.name, self.arity)
+        clone._tuples = set(self._tuples)
+        return clone
+
+    def values(self) -> set[Hashable]:
+        """All domain values occurring in this relation."""
+        out: set[Hashable] = set()
+        for t in self._tuples:
+            out.update(t)
+        return out
+
+
+class Database:
+    """A mutable database instance: a mapping from relation names to relations.
+
+    Construct from a plain dict of name → iterable of tuples::
+
+        db = Database({"G": [("a", "b"), ("b", "c")]})
+
+    Relations are created on first reference; arity is inferred from the
+    first tuple (or set explicitly via :meth:`ensure_relation`).
+    """
+
+    __slots__ = ("_relations",)
+
+    def __init__(self, contents: dict[str, Iterable[tuple]] | None = None):
+        self._relations: dict[str, Relation] = {}
+        if contents:
+            for name, tuples in contents.items():
+                tuples = [t if isinstance(t, tuple) else tuple(t) for t in tuples]
+                if tuples:
+                    self.ensure_relation(name, len(tuples[0]))
+                    self._relations[name].update(tuples)
+                else:
+                    # Arity unknown for an empty relation given as a list;
+                    # register lazily when first used.
+                    pass
+
+    def ensure_relation(self, name: str, arity: int) -> Relation:
+        """Get the relation, creating it empty if absent; check arity."""
+        rel = self._relations.get(name)
+        if rel is None:
+            rel = Relation(name, arity)
+            self._relations[name] = rel
+        elif rel.arity != arity:
+            raise SchemaError(
+                f"relation {name!r} has arity {rel.arity}, requested {arity}"
+            )
+        return rel
+
+    def relation(self, name: str) -> Relation | None:
+        """The relation of that name, or None if absent."""
+        return self._relations.get(name)
+
+    def tuples(self, name: str) -> frozenset[tuple]:
+        """Snapshot of a relation's tuples (empty if the relation is absent)."""
+        rel = self._relations.get(name)
+        return rel.tuples() if rel is not None else frozenset()
+
+    def has_fact(self, name: str, t: tuple) -> bool:
+        rel = self._relations.get(name)
+        return rel is not None and t in rel
+
+    def add_fact(self, name: str, t: tuple) -> bool:
+        """Insert one fact, creating the relation if needed."""
+        t = tuple(t)
+        rel = self.ensure_relation(name, len(t))
+        return rel.add(t)
+
+    def remove_fact(self, name: str, t: tuple) -> bool:
+        rel = self._relations.get(name)
+        if rel is None:
+            return False
+        return rel.discard(tuple(t))
+
+    def facts(self) -> Iterator[Fact]:
+        """Iterate over all (relation name, tuple) facts."""
+        for name, rel in self._relations.items():
+            for t in rel:
+                yield (name, t)
+
+    def fact_count(self) -> int:
+        return sum(len(rel) for rel in self._relations.values())
+
+    def relation_names(self) -> list[str]:
+        return list(self._relations)
+
+    def active_domain(self) -> set[Hashable]:
+        """adom(I): every constant occurring in some tuple of the instance."""
+        out: set[Hashable] = set()
+        for rel in self._relations.values():
+            out |= rel.values()
+        return out
+
+    def schema(self) -> DatabaseSchema:
+        """The schema induced by the current relations."""
+        return DatabaseSchema(
+            [RelationSchema(rel.name, rel.arity) for rel in self._relations.values()]
+        )
+
+    def copy(self) -> "Database":
+        clone = Database()
+        clone._relations = {name: rel.copy() for name, rel in self._relations.items()}
+        return clone
+
+    def restrict(self, names: Iterable[str]) -> "Database":
+        """A copy containing only the named relations (present ones)."""
+        clone = Database()
+        for name in names:
+            rel = self._relations.get(name)
+            if rel is not None:
+                clone._relations[name] = rel.copy()
+        return clone
+
+    def drop(self, name: str) -> None:
+        self._relations.pop(name, None)
+
+    def canonical(self) -> frozenset[Fact]:
+        """A hashable snapshot of the full instance (for cycle detection)."""
+        return frozenset(self.facts())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Database):
+            return NotImplemented
+        return self.canonical() == other.canonical()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{name}: {len(rel)}" for name, rel in sorted(self._relations.items())
+        )
+        return f"Database({parts})"
+
+    def pretty(self, names: Iterable[str] | None = None) -> str:
+        """A deterministic human-readable rendering, for examples and docs."""
+        lines = []
+        for name in sorted(names if names is not None else self._relations):
+            rel = self._relations.get(name)
+            rows = sorted(rel.tuples(), key=repr) if rel is not None else []
+            body = ", ".join("(" + ", ".join(map(str, t)) + ")" for t in rows)
+            lines.append(f"{name} = {{{body}}}")
+        return "\n".join(lines)
+
+    @classmethod
+    def from_facts(cls, facts: Iterable[Fact]) -> "Database":
+        db = cls()
+        for name, t in facts:
+            db.add_fact(name, t)
+        return db

@@ -1,0 +1,63 @@
+"""Domain isomorphisms, used to test genericity of queries.
+
+Section 2 of the paper: a query is *generic* if its graph is closed
+under isomorphisms of the domain fixing a finite set of constants.  The
+helpers here apply a bijection on the active domain to an instance and
+generate random bijections, so test suites can check that every
+deterministic engine commutes with renaming of domain elements.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, Mapping
+
+from repro.relational.instance import Database
+
+
+def apply_mapping(db: Database, mapping: Mapping[Hashable, Hashable]) -> Database:
+    """Rename every domain element of ``db`` through ``mapping``.
+
+    Elements missing from the mapping are left unchanged (so a mapping
+    fixing a set of constants is expressed by simply omitting them).
+    """
+    out = Database()
+    for name, t in db.facts():
+        out.add_fact(name, tuple(mapping.get(v, v) for v in t))
+    return out
+
+
+def random_bijection(
+    domain: set[Hashable],
+    rng: random.Random,
+    fresh_prefix: str = "v",
+) -> dict[Hashable, Hashable]:
+    """A random bijection from ``domain`` onto a fresh disjoint domain.
+
+    The image elements are strings ``f"{fresh_prefix}{i}"`` with randomly
+    permuted indices, guaranteed distinct from typical input values.
+    """
+    elements = sorted(domain, key=repr)
+    indices = list(range(len(elements)))
+    rng.shuffle(indices)
+    return {e: f"{fresh_prefix}{i}" for e, i in zip(elements, indices)}
+
+
+def random_permutation(
+    domain: set[Hashable],
+    rng: random.Random,
+) -> dict[Hashable, Hashable]:
+    """A random permutation of ``domain`` onto itself."""
+    elements = sorted(domain, key=repr)
+    shuffled = list(elements)
+    rng.shuffle(shuffled)
+    return dict(zip(elements, shuffled))
+
+
+def is_isomorphic_image(
+    left: Database,
+    right: Database,
+    mapping: Mapping[Hashable, Hashable],
+) -> bool:
+    """Does ``mapping`` carry ``left`` exactly onto ``right``?"""
+    return apply_mapping(left, mapping) == right

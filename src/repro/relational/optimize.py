@@ -1,0 +1,202 @@
+"""A rule-based optimizer for relational algebra expressions.
+
+Classical logical rewrites over the §2 algebra, each preserving the
+result on every instance (property-tested against random expressions):
+
+* **selection pushdown** — σ over ∪/−/∩ distributes to both sides; σ
+  over π commutes when the condition's columns survive; σ over a join
+  moves to the child that owns the condition's columns;
+* **selection fusion** — σ(σ(E)) merges condition lists;
+* **projection collapse** — π(π(E)) keeps only the outer list; π that
+  is the identity disappears;
+* **constant folding** — operators over :class:`Constant` leaves are
+  evaluated at optimization time.
+
+:func:`optimize` applies the rules bottom-up to a fixpoint.
+"""
+
+from __future__ import annotations
+
+from repro.relational import algebra as ra
+from repro.relational.instance import Database
+
+
+def optimize(expr: ra.Expr) -> ra.Expr:
+    """Rewrite to fixpoint; the result evaluates identically."""
+    while True:
+        rewritten = _rewrite(expr)
+        if rewritten == expr:
+            return expr
+        expr = rewritten
+
+
+def _rewrite(expr: ra.Expr) -> ra.Expr:
+    expr = _rewrite_children(expr)
+
+    if isinstance(expr, ra.Select):
+        return _rewrite_select(expr)
+    if isinstance(expr, ra.Project):
+        return _rewrite_project(expr)
+    if isinstance(expr, (ra.Union, ra.Difference, ra.Intersection)):
+        return _fold_setop(expr)
+    if isinstance(expr, (ra.Join, ra.Product)):
+        return _fold_binary(expr)
+    if isinstance(expr, ra.Rename):
+        return _rewrite_rename(expr)
+    return expr
+
+
+def _rewrite_children(expr: ra.Expr) -> ra.Expr:
+    if isinstance(expr, ra.Select):
+        return ra.Select(_rewrite(expr.child), expr.conditions)
+    if isinstance(expr, ra.Project):
+        return ra.Project(_rewrite(expr.child), expr.keep)
+    if isinstance(expr, ra.Rename):
+        return ra.Rename(_rewrite(expr.child), expr.mapping)
+    if isinstance(expr, (ra.Join, ra.Product, ra.Union, ra.Difference, ra.Intersection)):
+        return type(expr)(_rewrite(expr.left), _rewrite(expr.right))
+    return expr
+
+
+def _condition_columns(condition: ra.Condition) -> set[str]:
+    out = {condition.left_column}
+    if condition.right_column is not None:
+        out.add(condition.right_column)
+    return out
+
+
+def _rewrite_select(expr: ra.Select) -> ra.Expr:
+    child = expr.child
+    if not expr.conditions:
+        return child
+    # σ(σ(E)) → σ with merged conditions.
+    if isinstance(child, ra.Select):
+        return ra.Select(child.child, child.conditions + expr.conditions)
+    # σ over union/intersection distributes to both sides; over a
+    # difference it needs only the left side (rows come from the left).
+    if isinstance(child, (ra.Union, ra.Intersection)):
+        if child.left.columns == child.right.columns:
+            return type(child)(
+                ra.Select(child.left, expr.conditions),
+                ra.Select(child.right, expr.conditions),
+            )
+        return expr
+    if isinstance(child, ra.Difference):
+        if child.left.columns == child.right.columns:
+            return ra.Difference(
+                ra.Select(child.left, expr.conditions),
+                ra.Select(child.right, expr.conditions),
+            )
+        return expr
+    # σ over a join/product: push each condition into the side that has
+    # all its columns; keep the rest above.
+    if isinstance(child, (ra.Join, ra.Product)):
+        left_cols = set(child.left.columns)
+        right_cols = set(child.right.columns)
+        to_left, to_right, keep = [], [], []
+        for condition in expr.conditions:
+            columns = _condition_columns(condition)
+            if columns <= left_cols:
+                to_left.append(condition)
+            elif columns <= right_cols:
+                to_right.append(condition)
+            else:
+                keep.append(condition)
+        if to_left or to_right:
+            left = (
+                ra.Select(child.left, tuple(to_left)) if to_left else child.left
+            )
+            right = (
+                ra.Select(child.right, tuple(to_right)) if to_right else child.right
+            )
+            pushed = type(child)(left, right)
+            return ra.Select(pushed, tuple(keep)) if keep else pushed
+        return expr
+    # Constant folding.
+    if isinstance(child, ra.Constant):
+        position = {c: i for i, c in enumerate(child.columns)}
+        rows = frozenset(
+            row
+            for row in child.rows
+            if all(c.holds(row, position) for c in expr.conditions)
+        )
+        return ra.Constant(rows, child.columns)
+    return expr
+
+
+def _rewrite_project(expr: ra.Expr) -> ra.Expr:
+    child = expr.child
+    # Identity projection.
+    if expr.keep == child.columns:
+        return child
+    # π(π(E)) → π(E) with the outer list.
+    if isinstance(child, ra.Project):
+        return ra.Project(child.child, expr.keep)
+    # Constant folding.
+    if isinstance(child, ra.Constant):
+        positions = [child.columns.index(c) for c in expr.keep]
+        rows = frozenset(
+            tuple(row[p] for p in positions) for row in child.rows
+        )
+        return ra.Constant(rows, expr.keep)
+    return expr
+
+
+def _rewrite_rename(expr: ra.Rename) -> ra.Expr:
+    effective = {
+        old: new for old, new in expr.mapping.items() if old != new
+    }
+    if not effective:
+        return expr.child
+    if isinstance(expr.child, ra.Constant):
+        return ra.Constant(expr.child.rows, expr.columns)
+    return ra.Rename(expr.child, effective) if effective != expr.mapping else expr
+
+
+def _fold_setop(expr: ra.Expr) -> ra.Expr:
+    left, right = expr.left, expr.right
+    if isinstance(left, ra.Constant) and isinstance(right, ra.Constant):
+        if left.columns == right.columns:
+            if isinstance(expr, ra.Union):
+                rows = left.rows | right.rows
+            elif isinstance(expr, ra.Difference):
+                rows = left.rows - right.rows
+            else:
+                rows = left.rows & right.rows
+            return ra.Constant(rows, left.columns)
+    # E ∪ ∅ → E, E − ∅ → E, ∅ ∩ E → ∅ (when columns align).
+    if isinstance(right, ra.Constant) and not right.rows:
+        if isinstance(expr, (ra.Union, ra.Difference)):
+            if left.columns == right.columns:
+                return left
+        if isinstance(expr, ra.Intersection):
+            return ra.Constant(frozenset(), left.columns)
+    if isinstance(left, ra.Constant) and not left.rows:
+        if isinstance(expr, ra.Union) and left.columns == right.columns:
+            return ra.Project(right, left.columns) if right.columns != left.columns else right
+        if isinstance(expr, (ra.Difference, ra.Intersection)):
+            return ra.Constant(frozenset(), left.columns)
+    return expr
+
+
+def _fold_binary(expr: ra.Expr) -> ra.Expr:
+    left, right = expr.left, expr.right
+    empty_left = isinstance(left, ra.Constant) and not left.rows
+    empty_right = isinstance(right, ra.Constant) and not right.rows
+    if empty_left or empty_right:
+        return ra.Constant(frozenset(), expr.columns)
+    return expr
+
+
+def expression_size(expr: ra.Expr) -> int:
+    """Node count, for optimizer effectiveness checks."""
+    if isinstance(expr, (ra.Rel, ra.Constant)):
+        return 1
+    if isinstance(expr, (ra.Select, ra.Project, ra.Rename)):
+        return 1 + expression_size(expr.child)
+    return 1 + expression_size(expr.left) + expression_size(expr.right)
+
+
+def equivalent_on(expr_a: ra.Expr, expr_b: ra.Expr, db: Database) -> bool:
+    """Do the two expressions evaluate identically on this instance?"""
+    return ra.evaluate(expr_a, db) == ra.evaluate(expr_b, db)

@@ -1,0 +1,113 @@
+"""Relation and database schemas.
+
+A relation schema is a name together with an arity and, optionally, a
+tuple of attribute names (Section 2 of the paper identifies a relation
+schema with its attribute set; we keep attributes optional because the
+Datalog languages themselves are positional).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError
+
+
+_DEFAULT_ATTR_PREFIX = "col"
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """A named relation schema with a fixed arity.
+
+    ``attributes`` defaults to ``("col0", ..., "col{arity-1}")``; when
+    given explicitly it must contain ``arity`` distinct names.
+    """
+
+    name: str
+    arity: int
+    attributes: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("relation name must be nonempty")
+        if self.arity < 0:
+            raise SchemaError(f"relation {self.name!r} has negative arity {self.arity}")
+        if not self.attributes:
+            generated = tuple(f"{_DEFAULT_ATTR_PREFIX}{i}" for i in range(self.arity))
+            object.__setattr__(self, "attributes", generated)
+        if len(self.attributes) != self.arity:
+            raise SchemaError(
+                f"relation {self.name!r}: {len(self.attributes)} attributes "
+                f"given for arity {self.arity}"
+            )
+        if len(set(self.attributes)) != self.arity:
+            raise SchemaError(f"relation {self.name!r} has duplicate attribute names")
+
+    def __repr__(self) -> str:
+        return f"{self.name}/{self.arity}"
+
+
+class DatabaseSchema:
+    """A finite set of relation schemas, indexed by name."""
+
+    def __init__(self, relations: list[RelationSchema] | dict[str, RelationSchema] | None = None):
+        self._relations: dict[str, RelationSchema] = {}
+        if relations is None:
+            relations = []
+        if isinstance(relations, dict):
+            relations = list(relations.values())
+        for schema in relations:
+            self.add(schema)
+
+    def add(self, schema: RelationSchema) -> None:
+        """Register a relation schema, rejecting conflicting arities."""
+        existing = self._relations.get(schema.name)
+        if existing is not None and existing.arity != schema.arity:
+            raise SchemaError(
+                f"relation {schema.name!r} declared with arity {schema.arity} "
+                f"but already has arity {existing.arity}"
+            )
+        self._relations[schema.name] = schema
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __getitem__(self, name: str) -> RelationSchema:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(f"unknown relation {name!r}") from None
+
+    def __iter__(self):
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def names(self) -> list[str]:
+        """Relation names in insertion order."""
+        return list(self._relations)
+
+    def arity(self, name: str) -> int:
+        return self[name].arity
+
+    def merge(self, other: "DatabaseSchema") -> "DatabaseSchema":
+        """Union of two schemas; conflicting arities raise SchemaError."""
+        merged = DatabaseSchema(list(self))
+        for schema in other:
+            merged.add(schema)
+        return merged
+
+    def restrict(self, names: list[str] | set[str]) -> "DatabaseSchema":
+        """The sub-schema containing only the given relation names."""
+        return DatabaseSchema([self[n] for n in names])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DatabaseSchema):
+            return NotImplemented
+        return self._relations == other._relations
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(s) for s in self)
+        return f"DatabaseSchema({inner})"

@@ -1,0 +1,397 @@
+"""Shared evaluation machinery: rule matching and immediate consequences.
+
+Every engine in the family reduces to the same primitive, spelled out
+in §4.1 of the paper: enumerate the *instantiations* of a rule with
+respect to the current instance — valuations of the rule's variables
+into adom(P, K) making every positive body literal a fact of K, every
+negative literal a non-fact, and every (in)equality literal true.
+
+:func:`iter_matches` implements this with a backtracking join over the
+positive literals (driven by per-relation hash indexes), followed by
+equality propagation, active-domain enumeration of any variables bound
+by no positive literal, and final checks of negative and inequality
+literals.  Variables occurring *only* in negative literals range over
+the full active domain, exactly as the paper's semantics prescribes
+(this is what makes ``CT(x,y) ← ¬T(x,y)`` meaningful).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Hashable, Iterator
+
+from repro.ast.program import Program
+from repro.ast.rules import EqLit, Lit, Rule
+from repro.relational.instance import Database
+from repro.terms import Const, Var, apply_valuation
+
+
+@dataclass
+class StageTrace:
+    """Per-stage record of a forward-chaining evaluation."""
+
+    stage: int
+    new_facts: list[tuple[str, tuple]] = field(default_factory=list)
+    removed_facts: list[tuple[str, tuple]] = field(default_factory=list)
+
+    @property
+    def added(self) -> int:
+        return len(self.new_facts)
+
+    @property
+    def removed(self) -> int:
+        return len(self.removed_facts)
+
+
+@dataclass
+class EvaluationResult:
+    """Outcome of a deterministic evaluation.
+
+    ``database`` holds the final instance (edb and idb relations);
+    ``stages`` traces each application of the immediate consequence
+    operator; ``rule_firings`` counts instantiations considered.
+    """
+
+    database: Database
+    stages: list[StageTrace] = field(default_factory=list)
+    rule_firings: int = 0
+
+    @property
+    def stage_count(self) -> int:
+        return len(self.stages)
+
+    def answer(self, relation: str) -> frozenset[tuple]:
+        """Tuples of one (typically the designated answer) relation."""
+        return self.database.tuples(relation)
+
+    def stage_of(self, relation: str, t: tuple) -> int | None:
+        """The stage at which a fact was first derived, if it was."""
+        for trace in self.stages:
+            if (relation, t) in trace.new_facts:
+                return trace.stage
+        return None
+
+
+def _literal_binding(
+    lit: Lit, valuation: dict[Var, Hashable]
+) -> tuple[tuple[int, ...], tuple[Hashable, ...], list[tuple[int, Var]]]:
+    """Split a literal's positions into bound (position, value) and free."""
+    bound_positions: list[int] = []
+    bound_values: list[Hashable] = []
+    free: list[tuple[int, Var]] = []
+    for position, term in enumerate(lit.atom.terms):
+        if isinstance(term, Const):
+            bound_positions.append(position)
+            bound_values.append(term.value)
+        elif term in valuation:
+            bound_positions.append(position)
+            bound_values.append(valuation[term])
+        else:
+            free.append((position, term))
+    return tuple(bound_positions), tuple(bound_values), free
+
+
+def _order_positive(literals: list[Lit], db: Database) -> list[Lit]:
+    """Greedy join order: start small, then follow shared variables."""
+    remaining = list(literals)
+    if not remaining:
+        return []
+
+    def size(lit: Lit) -> int:
+        rel = db.relation(lit.relation)
+        return len(rel) if rel is not None else 0
+
+    ordered: list[Lit] = []
+    bound: set[Var] = set()
+    remaining.sort(key=size)
+    while remaining:
+        best_index = 0
+        best_key = (-1, 0)
+        for i, lit in enumerate(remaining):
+            shared = len(lit.variables() & bound)
+            key = (shared, -size(lit))
+            if key > best_key:
+                best_key = key
+                best_index = i
+        chosen = remaining.pop(best_index)
+        ordered.append(chosen)
+        bound |= chosen.variables()
+    return ordered
+
+
+def _iter_literal_matches(
+    lit: Lit,
+    db: Database,
+    valuation: dict[Var, Hashable],
+    restricted: frozenset[tuple] | None = None,
+) -> Iterator[dict[Var, Hashable]]:
+    """Extend ``valuation`` over one positive literal; yields and undoes."""
+    bound_positions, bound_values, free = _literal_binding(lit, valuation)
+    rel = db.relation(lit.relation)
+    if restricted is not None:
+        candidates: Iterator[tuple] | list[tuple] = [
+            t
+            for t in restricted
+            if all(t[p] == v for p, v in zip(bound_positions, bound_values))
+        ]
+    elif rel is None:
+        candidates = []
+    elif not free and bound_positions:
+        exact = tuple(bound_values)
+        candidates = [exact] if exact in rel else []
+    elif bound_positions:
+        candidates = rel.index(bound_positions).get(tuple(bound_values), [])
+    else:
+        candidates = list(rel)
+    for candidate in candidates:
+        newly_bound: list[Var] = []
+        consistent = True
+        for position, var in free:
+            value = candidate[position]
+            if var in valuation:
+                if valuation[var] != value:
+                    consistent = False
+                    break
+            else:
+                valuation[var] = value
+                newly_bound.append(var)
+        if consistent:
+            yield valuation
+        for var in newly_bound:
+            del valuation[var]
+
+
+def _propagate_equalities(
+    equalities: list[EqLit], valuation: dict[Var, Hashable]
+) -> tuple[bool, list[Var]]:
+    """Bind variables through positive equalities; check bound ones.
+
+    Returns (consistent, newly bound variables); on inconsistency the
+    caller must still undo the returned bindings.
+    """
+    newly_bound: list[Var] = []
+    progress = True
+    pending = [eq for eq in equalities if eq.positive]
+    while progress:
+        progress = False
+        still_pending: list[EqLit] = []
+        for eq in pending:
+            left_val = (
+                eq.left.value
+                if isinstance(eq.left, Const)
+                else valuation.get(eq.left, _UNBOUND)
+            )
+            right_val = (
+                eq.right.value
+                if isinstance(eq.right, Const)
+                else valuation.get(eq.right, _UNBOUND)
+            )
+            if left_val is not _UNBOUND and right_val is not _UNBOUND:
+                if left_val != right_val:
+                    return False, newly_bound
+            elif left_val is not _UNBOUND:
+                valuation[eq.right] = left_val  # type: ignore[index]
+                newly_bound.append(eq.right)  # type: ignore[arg-type]
+                progress = True
+            elif right_val is not _UNBOUND:
+                valuation[eq.left] = right_val  # type: ignore[index]
+                newly_bound.append(eq.left)  # type: ignore[arg-type]
+                progress = True
+            else:
+                still_pending.append(eq)
+        pending = still_pending
+    return True, newly_bound
+
+
+class _Unbound:
+    __slots__ = ()
+
+
+_UNBOUND = _Unbound()
+
+
+def _check_residual(
+    rule: Rule, db: Database, valuation: dict[Var, Hashable]
+) -> bool:
+    """Check negative literals and (in)equalities under a full valuation."""
+    for lit in rule.negative_body():
+        if db.has_fact(lit.relation, apply_valuation(lit.atom.terms, valuation)):
+            return False
+    for eq in rule.equality_body():
+        left = eq.left.value if isinstance(eq.left, Const) else valuation[eq.left]
+        right = eq.right.value if isinstance(eq.right, Const) else valuation[eq.right]
+        if (left == right) != eq.positive:
+            return False
+    return True
+
+
+def iter_matches(
+    rule: Rule,
+    db: Database,
+    adom: tuple[Hashable, ...],
+    delta: dict[str, frozenset[tuple]] | None = None,
+) -> Iterator[dict[Var, Hashable]]:
+    """All instantiations of ``rule`` w.r.t. ``db`` (see module docstring).
+
+    Yields valuations covering every body variable (head-only invention
+    variables are *not* bound here — the invention engine handles them).
+    The yielded dict is reused; callers must copy it if they keep it.
+
+    ``delta``, when given, restricts matching so that at least one
+    positive literal matches a delta fact (semi-naive evaluation): the
+    generator is run once per positive literal occurrence with that
+    occurrence restricted to the delta, which may yield duplicate
+    valuations — callers dedupe via the set of derived facts.
+
+    Universal (∀) rules are handled by
+    :func:`iter_universal_matches`; this function ignores the
+    ``universal`` marker and treats all variables existentially.
+    """
+    positive = list(rule.positive_body())
+    ordered = _order_positive(positive, db)
+
+    def run(restricted_index: int | None) -> Iterator[dict[Var, Hashable]]:
+        valuation: dict[Var, Hashable] = {}
+
+        def descend(idx: int) -> Iterator[dict[Var, Hashable]]:
+            if idx == len(ordered):
+                yield from finish()
+                return
+            lit = ordered[idx]
+            restricted = None
+            if restricted_index is not None and idx == restricted_index:
+                restricted = (delta or {}).get(lit.relation, frozenset())
+            for _ in _iter_literal_matches(lit, db, valuation, restricted):
+                yield from descend(idx + 1)
+
+        def finish() -> Iterator[dict[Var, Hashable]]:
+            ok, eq_bound = _propagate_equalities(
+                list(rule.equality_body()), valuation
+            )
+            if ok:
+                unbound = [
+                    v for v in sorted(rule.body_variables(), key=lambda v: v.name)
+                    if v not in valuation
+                ]
+                if unbound:
+                    for values in itertools.product(adom, repeat=len(unbound)):
+                        for var, value in zip(unbound, values):
+                            valuation[var] = value
+                        if _check_residual(rule, db, valuation):
+                            yield valuation
+                    for var in unbound:
+                        valuation.pop(var, None)
+                else:
+                    if _check_residual(rule, db, valuation):
+                        yield valuation
+            for var in eq_bound:
+                valuation.pop(var, None)
+
+        yield from descend(0)
+
+    if delta is None:
+        yield from run(None)
+    else:
+        touched = {
+            i
+            for i, lit in enumerate(ordered)
+            if lit.relation in delta and delta[lit.relation]
+        }
+        for i in sorted(touched):
+            yield from run(i)
+
+
+def iter_universal_matches(
+    rule: Rule,
+    db: Database,
+    adom: tuple[Hashable, ...],
+) -> Iterator[dict[Var, Hashable]]:
+    """Instantiations of an N-Datalog¬∀ rule (§5.2).
+
+    The rule fires with a valuation ``v`` of its non-universal variables
+    iff *every* extension of ``v`` to the universal variables (over the
+    active domain) satisfies the whole body.  Candidates for ``v`` come
+    from matching the universal-free part of the body; each candidate is
+    then verified against all adom-extensions of the universal part.
+    """
+    universal = set(rule.universal)
+    free_literals = [
+        lit for lit in rule.body if not (lit.variables() & universal)
+    ]
+    bound_literals = [lit for lit in rule.body if lit.variables() & universal]
+    probe = Rule(rule.head, tuple(free_literals))
+    check = Rule(rule.head, tuple(bound_literals))
+    ordered_universal = sorted(universal, key=lambda v: v.name)
+
+    for valuation in iter_matches(probe, db, adom):
+        holds = True
+        for values in itertools.product(adom, repeat=len(ordered_universal)):
+            extended = dict(valuation)
+            extended.update(zip(ordered_universal, values))
+            if not _holds_under(check, db, extended):
+                holds = False
+                break
+        if holds:
+            yield valuation
+
+
+def _holds_under(rule: Rule, db: Database, valuation: dict[Var, Hashable]) -> bool:
+    """Does the (fully instantiated) body of ``rule`` hold in ``db``?"""
+    for lit in rule.positive_body():
+        if not db.has_fact(lit.relation, apply_valuation(lit.atom.terms, valuation)):
+            return False
+    return _check_residual(rule, db, valuation)
+
+
+def instantiate_head(
+    rule: Rule, valuation: dict[Var, Hashable]
+) -> list[tuple[str, tuple, bool]]:
+    """The instantiated head facts as (relation, tuple, positive) triples.
+
+    ⊥ head literals are skipped here; engines that support them check
+    :meth:`Rule.has_bottom_head` separately.
+    """
+    out: list[tuple[str, tuple, bool]] = []
+    for lit in rule.head_literals():
+        out.append(
+            (lit.relation, apply_valuation(lit.atom.terms, valuation), lit.positive)
+        )
+    return out
+
+
+def evaluation_adom(program: Program, db: Database) -> tuple[Hashable, ...]:
+    """adom(P, I) in a deterministic order."""
+    values = program.constants() | db.active_domain()
+    return tuple(sorted(values, key=lambda v: (type(v).__name__, repr(v))))
+
+
+def immediate_consequences(
+    program: Program,
+    db: Database,
+    adom: tuple[Hashable, ...],
+    delta: dict[str, frozenset[tuple]] | None = None,
+) -> tuple[set[tuple[str, tuple]], set[tuple[str, tuple]], int]:
+    """One parallel firing of all rules: Γ_P's new inferences.
+
+    Returns ``(positive, negative, firings)`` where ``positive`` are the
+    inferred facts, ``negative`` the inferred negations (nonempty only
+    for Datalog¬¬ programs), and ``firings`` the number of rule
+    instantiations found.  The caller decides how to combine them with
+    the current instance (inflationary union, deletion policies, …).
+    """
+    positive: set[tuple[str, tuple]] = set()
+    negative: set[tuple[str, tuple]] = set()
+    firings = 0
+    for rule in program.rules:
+        # Rules with an empty positive body can never match a delta fact.
+        if delta is not None and not rule.positive_body():
+            continue
+        for valuation in iter_matches(rule, db, adom, delta=delta):
+            firings += 1
+            for relation, t, is_positive in instantiate_head(rule, valuation):
+                if is_positive:
+                    positive.add((relation, t))
+                else:
+                    negative.add((relation, t))
+    return positive, negative, firings

@@ -1,0 +1,56 @@
+"""Naive bottom-up evaluation of plain Datalog (§3.1).
+
+Computes the minimum model of P(I) by iterating the immediate
+consequence operator from the input until fixpoint.  For negation-free
+programs this coincides with both the declarative (minimum-model)
+semantics and the inflationary semantics — the "perfect match" the
+paper notes is lost once negation enters.
+
+This is the reference implementation; :mod:`repro.semantics.seminaive`
+computes the same result faster.
+"""
+
+from __future__ import annotations
+
+from repro.ast.program import Dialect, Program
+from repro.ast.analysis import validate_program
+from repro.relational.instance import Database
+from repro.semantics.base import (
+    EvaluationResult,
+    StageTrace,
+    evaluation_adom,
+    immediate_consequences,
+)
+
+
+def evaluate_datalog_naive(
+    program: Program,
+    db: Database,
+    validate: bool = True,
+) -> EvaluationResult:
+    """Minimum model of a plain Datalog program over the input ``db``.
+
+    The input is copied — the caller's database is never mutated.  The
+    result's database holds edb and idb relations; the idb part is the
+    minimum model restricted to idb(P).
+    """
+    if validate:
+        validate_program(program, Dialect.DATALOG)
+    current = db.copy()
+    for relation in program.idb:
+        current.ensure_relation(relation, program.arity(relation))
+    adom = evaluation_adom(program, db)
+    result = EvaluationResult(current)
+    stage = 0
+    while True:
+        stage += 1
+        positive, _negative, firings = immediate_consequences(program, current, adom)
+        result.rule_firings += firings
+        trace = StageTrace(stage)
+        for relation, t in positive:
+            if current.add_fact(relation, t):
+                trace.new_facts.append((relation, t))
+        if not trace.new_facts:
+            break
+        result.stages.append(trace)
+    return result

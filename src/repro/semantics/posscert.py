@@ -1,0 +1,67 @@
+"""Possibility and certainty semantics — §5.3 (Definition 5.10).
+
+For a nondeterministic program P and input I:
+
+* ``poss(I, P) = ⋃ { J | (I, J) ∈ eff(P) }`` — a fact is possible if
+  *some* terminating computation produces it;
+* ``cert(I, P) = ⋂ { J | (I, J) ∈ eff(P) }`` — a fact is certain if
+  *every* terminating computation produces it.
+
+Both turn a nondeterministic program into a deterministic query, which
+is how Theorem 5.11 extracts db-np / db-co-np / db-pspace power from
+the nondeterministic languages.  The implementation computes eff(P)
+exactly via :func:`repro.semantics.nondeterministic.enumerate_effects`,
+so it is meant for the small instances the tests and benchmarks use.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EvaluationError
+from repro.ast.program import Program
+from repro.relational.instance import Database
+from repro.semantics.nondeterministic import enumerate_effects
+
+
+def _effect_sets(
+    program: Program, db: Database, max_states: int
+) -> list[frozenset]:
+    effects = enumerate_effects(program, db, max_states=max_states)
+    if not effects:
+        raise EvaluationError(
+            "eff(P) is empty on this input: no terminating computation"
+        )
+    return sorted(effects, key=repr)
+
+
+def possibility(
+    program: Program, db: Database, max_states: int = 100_000
+) -> Database:
+    """poss(I, P): the union of all terminal instances."""
+    union: set = set()
+    for state in _effect_sets(program, db, max_states):
+        union |= state
+    return Database.from_facts(union)
+
+
+def certainty(
+    program: Program, db: Database, max_states: int = 100_000
+) -> Database:
+    """cert(I, P): the intersection of all terminal instances."""
+    states = _effect_sets(program, db, max_states)
+    common = set(states[0])
+    for state in states[1:]:
+        common &= state
+    return Database.from_facts(common)
+
+
+def deterministic_effect(
+    program: Program, db: Database, max_states: int = 100_000
+) -> Database | None:
+    """The unique terminal instance if eff(P) is a function here, else None.
+
+    The per-input check behind det(L) (Definition 5.8).
+    """
+    states = _effect_sets(program, db, max_states)
+    if len(states) == 1:
+        return Database.from_facts(states[0])
+    return None

@@ -1,0 +1,200 @@
+"""Why-provenance: derivation trees for stratified Datalog¬ facts.
+
+A library meant for real use must answer "*why* is this fact in the
+answer?".  This module evaluates a stratifiable program while recording
+each idb fact's *first* derivation (rule + valuation); afterwards
+:func:`explain` unfolds the record into a derivation tree whose leaves
+are edb facts and negative-literal assumptions.
+
+The recorded justification is minimal in the temporal sense: the
+derivation found at the earliest stage, so trees are guaranteed
+well-founded (children were derived strictly before their parent) and
+finite.
+
+Example::
+
+    result = evaluate_with_provenance(tc_program(), db)
+    tree = explain(result, "T", ("a", "c"))
+    print(render_tree(tree))
+    # T(a, c)
+    # └─ rule 2: T(x, y) :- G(x, z), T(z, y).
+    #    ├─ G(a, b)   [edb]
+    #    └─ T(b, c)
+    #       └─ rule 1: T(x, y) :- G(x, y).
+    #          └─ G(b, c)   [edb]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.errors import EvaluationError
+from repro.ast.program import Dialect, Program
+from repro.ast.analysis import stratify, validate_program
+from repro.ast.rules import Rule
+from repro.relational.instance import Database
+from repro.semantics.base import (
+    evaluation_adom,
+    instantiate_head,
+    iter_matches,
+)
+from repro.terms import Var, apply_valuation
+
+Fact = tuple[str, tuple]
+
+
+@dataclass(frozen=True)
+class Justification:
+    """One recorded derivation: the rule and the facts it consumed."""
+
+    rule_index: int
+    positive_facts: tuple[Fact, ...]
+    negative_facts: tuple[Fact, ...]  # facts required to be absent
+
+
+@dataclass
+class ProvenanceResult:
+    """Final database plus a justification for every derived idb fact."""
+
+    program: Program
+    database: Database
+    justifications: dict[Fact, Justification] = field(default_factory=dict)
+
+    def answer(self, relation: str) -> frozenset[tuple]:
+        return self.database.tuples(relation)
+
+    def why(self, relation: str, t: tuple) -> Justification | None:
+        return self.justifications.get((relation, tuple(t)))
+
+
+@dataclass
+class DerivationTree:
+    """A fact with the derivation below it (leaves: edb / assumptions)."""
+
+    fact: Fact
+    kind: str  # "derived" | "edb" | "absent"
+    rule_index: int | None = None
+    children: list["DerivationTree"] = field(default_factory=list)
+
+    def size(self) -> int:
+        return 1 + sum(child.size() for child in self.children)
+
+    def depth(self) -> int:
+        if not self.children:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+
+def evaluate_with_provenance(
+    program: Program,
+    db: Database,
+    validate: bool = True,
+) -> ProvenanceResult:
+    """Stratified evaluation recording each idb fact's first derivation."""
+    if validate:
+        validate_program(program, Dialect.STRATIFIED)
+    strata = stratify(program)
+    current = db.copy()
+    for relation in program.idb:
+        current.ensure_relation(relation, program.arity(relation))
+    adom = evaluation_adom(program, db)
+    result = ProvenanceResult(program, current)
+
+    rule_index_of = {id(rule): i for i, rule in enumerate(program.rules)}
+
+    for stratum in strata:
+        rules = [r for r in program.rules if r.head_relations() & stratum]
+        if not rules:
+            continue
+        changed = True
+        while changed:
+            changed = False
+            pending: list[tuple[Fact, Justification]] = []
+            for rule in rules:
+                index = rule_index_of[id(rule)]
+                for valuation in iter_matches(rule, current, adom):
+                    justification = _record(rule, index, valuation)
+                    for relation, t, positive in instantiate_head(rule, valuation):
+                        if positive and not current.has_fact(relation, t):
+                            pending.append(((relation, t), justification))
+            for fact, justification in pending:
+                relation, t = fact
+                if current.add_fact(relation, t):
+                    result.justifications[fact] = justification
+                    changed = True
+    return result
+
+
+def _record(rule: Rule, index: int, valuation: dict[Var, Hashable]) -> Justification:
+    positive = tuple(
+        (lit.relation, apply_valuation(lit.atom.terms, valuation))
+        for lit in rule.positive_body()
+    )
+    negative = tuple(
+        (lit.relation, apply_valuation(lit.atom.terms, valuation))
+        for lit in rule.negative_body()
+    )
+    return Justification(index, positive, negative)
+
+
+def explain(
+    result: ProvenanceResult,
+    relation: str,
+    t: tuple,
+    max_nodes: int = 10_000,
+) -> DerivationTree:
+    """The derivation tree of a fact (raises if the fact does not hold)."""
+    fact = (relation, tuple(t))
+    if not result.database.has_fact(*fact):
+        raise EvaluationError(f"fact {relation}{tuple(t)} does not hold")
+    budget = [max_nodes]
+
+    def build(fact: Fact) -> DerivationTree:
+        if budget[0] <= 0:
+            raise EvaluationError(f"derivation tree exceeds {max_nodes} nodes")
+        budget[0] -= 1
+        justification = result.justifications.get(fact)
+        if justification is None:
+            return DerivationTree(fact, "edb")
+        node = DerivationTree(fact, "derived", justification.rule_index)
+        for child in justification.positive_facts:
+            node.children.append(build(child))
+        for child in justification.negative_facts:
+            node.children.append(DerivationTree(child, "absent"))
+        return node
+
+    return build(fact)
+
+
+def render_tree(tree: DerivationTree, program: Program | None = None) -> str:
+    """Human-readable rendering of a derivation tree."""
+    lines: list[str] = []
+
+    def fact_text(node: DerivationTree) -> str:
+        relation, t = node.fact
+        rendered = ", ".join(str(v) for v in t)
+        text = f"{relation}({rendered})"
+        if node.kind == "edb":
+            text += "   [edb]"
+        elif node.kind == "absent":
+            text = f"not {text}   [assumption]"
+        return text
+
+    def walk(node: DerivationTree, prefix: str, is_last: bool, is_root: bool) -> None:
+        connector = "" if is_root else ("└─ " if is_last else "├─ ")
+        lines.append(prefix + connector + fact_text(node))
+        if node.kind == "derived" and node.rule_index is not None:
+            rule_text = (
+                repr(program.rules[node.rule_index])
+                if program is not None
+                else f"rule {node.rule_index}"
+            )
+            sub_prefix = prefix + ("" if is_root else ("   " if is_last else "│  "))
+            lines.append(sub_prefix + f"   via {rule_text}")
+        child_prefix = prefix + ("" if is_root else ("   " if is_last else "│  "))
+        for i, child in enumerate(node.children):
+            walk(child, child_prefix, i == len(node.children) - 1, False)
+
+    walk(tree, "", True, True)
+    return "\n".join(lines)

@@ -1,0 +1,8 @@
+"""Analysis tools built on the engines (bounded termination checking)."""
+
+from repro.tools.termination import (
+    TerminationReport,
+    check_termination_bounded,
+)
+
+__all__ = ["TerminationReport", "check_termination_bounded"]

@@ -1,0 +1,128 @@
+"""Bounded termination checking for Datalog¬¬ programs.
+
+Section 4.2: with deletion, "termination is no longer guaranteed" —
+and by Theorem 4.5's context, whether a Datalog¬¬ program terminates on
+*all* inputs is not decidable in general.  What *is* decidable is
+termination over all instances up to a domain bound: the state space is
+finite and the stage sequence deterministic, so on each instance the
+engine either reaches a fixpoint or provably cycles.
+
+:func:`check_termination_bounded` enumerates every instance of the
+program's schema over a k-element domain (plus the program's own
+constants), runs each, and reports the verdict with the first
+nonterminating counterexample — on the paper's flip-flop program it
+finds T = {0} immediately.
+
+The enumeration is exponential in kᵃʳⁱᵗʸ; the default bounds keep it
+in the thousands of instances.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import EvaluationError, NonTerminationError
+from repro.ast.program import Program
+from repro.relational.instance import Database
+from repro.semantics.noninflationary import evaluate_noninflationary
+
+
+@dataclass
+class TerminationReport:
+    """Outcome of a bounded termination check."""
+
+    program: Program
+    domain: tuple
+    instances_checked: int = 0
+    terminating: int = 0
+    max_stages: int = 0
+    counterexamples: list[Database] = field(default_factory=list)
+
+    @property
+    def all_terminate(self) -> bool:
+        return not self.counterexamples
+
+    def first_counterexample(self) -> Database | None:
+        return self.counterexamples[0] if self.counterexamples else None
+
+    def summary(self) -> str:
+        verdict = (
+            "terminates on every instance"
+            if self.all_terminate
+            else f"{len(self.counterexamples)} nonterminating instance(s)"
+        )
+        return (
+            f"domain size {len(self.domain)}: {self.instances_checked} "
+            f"instances checked, {verdict}; max stages {self.max_stages}"
+        )
+
+
+def _instances(
+    program: Program, domain: tuple, max_facts_per_relation: int | None
+):
+    """Every instance over the schema: the product of tuple subsets."""
+    relations = sorted(program.sch())
+    tuple_spaces = []
+    for relation in relations:
+        arity = program.arity(relation)
+        tuples = list(itertools.product(domain, repeat=arity))
+        subsets = []
+        max_size = len(tuples) if max_facts_per_relation is None else min(
+            len(tuples), max_facts_per_relation
+        )
+        for size in range(max_size + 1):
+            subsets.extend(itertools.combinations(tuples, size))
+        tuple_spaces.append(subsets)
+    for combination in itertools.product(*tuple_spaces):
+        db = Database()
+        for relation, rows in zip(relations, combination):
+            db.ensure_relation(relation, program.arity(relation))
+            for row in rows:
+                db.add_fact(relation, row)
+        yield db
+
+
+def check_termination_bounded(
+    program: Program,
+    extra_domain_size: int = 1,
+    max_facts_per_relation: int | None = None,
+    max_instances: int = 100_000,
+    max_stages: int = 10_000,
+    stop_at_first: bool = False,
+) -> TerminationReport:
+    """Check termination on every instance over a bounded domain.
+
+    The domain is the program's constants plus ``extra_domain_size``
+    fresh values; ``max_facts_per_relation`` truncates the per-relation
+    subset lattice for larger schemas.  ``stop_at_first`` returns at
+    the first counterexample.
+    """
+    constants = tuple(
+        sorted(program.constants(), key=lambda v: (type(v).__name__, repr(v)))
+    )
+    fresh = tuple(f"d{i}" for i in range(extra_domain_size))
+    domain = constants + fresh
+    if not domain:
+        raise EvaluationError("empty domain: give extra_domain_size >= 1")
+
+    report = TerminationReport(program, domain)
+    for db in _instances(program, domain, max_facts_per_relation):
+        report.instances_checked += 1
+        if report.instances_checked > max_instances:
+            raise EvaluationError(
+                f"instance space exceeds max_instances={max_instances}; "
+                "lower the bounds"
+            )
+        try:
+            result = evaluate_noninflationary(
+                program, db, max_stages=max_stages, validate=False
+            )
+        except NonTerminationError:
+            report.counterexamples.append(db)
+            if stop_at_first:
+                return report
+        else:
+            report.terminating += 1
+            report.max_stages = max(report.max_stages, result.stage_count)
+    return report

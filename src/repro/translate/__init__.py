@@ -1,0 +1,37 @@
+"""Compilers implementing the paper's simulation techniques.
+
+* :mod:`repro.translate.fo_to_datalog` — FO queries into non-recursive
+  stratified Datalog¬ (the substrate of every other simulation);
+* :mod:`repro.translate.delay` — the delay technique of Example 4.3:
+  fire rules only after an inner fixpoint completes, in inflationary
+  Datalog¬;
+* :mod:`repro.translate.timestamp` — the timestamp technique of
+  Example 4.4: re-run a loop body once per iteration, stamping scratch
+  relations with newly derived values;
+* :mod:`repro.translate.fixpoint_to_datalog` — compile (a documented
+  class of) fixpoint while-change programs into inflationary Datalog¬
+  (Theorem 4.2's simulation, made executable);
+* :mod:`repro.translate.while_to_datalog` — compile while-change
+  programs with non-cumulative assignment into Datalog¬¬ using a
+  deletion-driven phase clock (the Datalog¬¬ ≡ while simulation).
+"""
+
+from repro.translate.fo_to_datalog import CompiledFormula, compile_formula, adom_rules
+from repro.translate.fo_to_algebra import compile_formula_to_algebra
+from repro.translate.delay import compile_inner_with_post
+from repro.translate.timestamp import compile_gain_loop
+from repro.translate.fixpoint_to_datalog import compile_fixpoint_loop
+from repro.translate.fixpoint_general import compile_fixpoint_loop_general
+from repro.translate.while_to_datalog import compile_while_loop
+
+__all__ = [
+    "CompiledFormula",
+    "compile_formula",
+    "adom_rules",
+    "compile_formula_to_algebra",
+    "compile_inner_with_post",
+    "compile_gain_loop",
+    "compile_fixpoint_loop",
+    "compile_fixpoint_loop_general",
+    "compile_while_loop",
+]

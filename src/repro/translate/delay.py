@@ -1,0 +1,102 @@
+"""The delay technique of Example 4.3, generalized.
+
+Problem (§4.1): in inflationary Datalog¬, delay the firing of *post*
+rules until an *inner* rule set has reached its fixpoint.  Checking
+that a fixpoint has been reached means checking the non-existence of a
+productive instantiation — and Datalog¬ is geared towards checking
+existence.  The paper's solution, generalized here from the
+complement-of-transitive-closure example:
+
+For every inner idb relation X we add
+
+* ``old_X(x̄) ← X(x̄)`` — a copy of X running one stage behind;
+* ``old_X_ef(x̄) ← X(x̄), body(ρ), ¬head(ρ)`` for every inner rule ρ
+  (variables renamed apart) — identical to ``old_X`` *except* that it
+  stops following X once no inner rule can derive anything new
+  ("except final");
+* ``go ← old_X(x̄), ¬old_X_ef(x̄)`` — a nullary trigger that first
+  becomes true one stage after the inner fixpoint is reached: only
+  then does some X hold a tuple that ``old_X_ef`` failed to copy.
+
+Each post rule is then guarded by ``go``.  Correctness needs the inner
+program to actually derive something at its last stage — true whenever
+it derives anything at all; the paper's "G is not empty" assumption is
+the same caveat.  Inner programs may use negation as long as they are
+inflationarily meaningful; the construction itself only relies on the
+stage-lag argument above.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProgramError
+from repro.ast.program import Program
+from repro.ast.rules import Lit, Rule
+from repro.ast.transform import rename_apart
+from repro.logic.formula import Atom
+from repro.terms import Var
+
+
+def compile_inner_with_post(
+    inner: Program,
+    post: list[Rule],
+    trigger_relation: str = "go__",
+    prefix: str = "dly",
+) -> Program:
+    """One inflationary Datalog¬ program: run ``inner`` to fixpoint,
+    then fire the ``post`` rules.
+
+    Every post rule receives the nullary trigger as an extra positive
+    body literal; it first holds two stages after the inner fixpoint,
+    when the ``old``/``except-final`` relations diverge.  Post rules may
+    read inner idb relations (then complete) positively or negatively,
+    but must not define them.
+    """
+    for rule in post:
+        overlap = rule.head_relations() & inner.idb
+        if overlap:
+            raise ProgramError(
+                f"post rules must not define inner idb relations {sorted(overlap)}"
+            )
+
+    rules: list[Rule] = list(inner.rules)
+    trigger = Lit(Atom(trigger_relation, ()))
+
+    for idb_index, relation in enumerate(sorted(inner.idb)):
+        arity = inner.arity(relation)
+        variables = tuple(Var(f"{prefix}_v{idb_index}_{i}") for i in range(arity))
+        old_name = f"{prefix}_old_{relation}"
+        ef_name = f"{prefix}_old_ef_{relation}"
+        follow = Lit(Atom(relation, variables))
+        # old_X follows X one stage behind.
+        rules.append(Rule((Lit(Atom(old_name, variables)),), (follow,)))
+        # old_X_ef follows X only while some inner rule is still productive.
+        for rule_index, inner_rule in enumerate(inner.rules):
+            renamed = rename_apart(inner_rule, f"__r{idb_index}_{rule_index}")
+            heads = renamed.head_literals()
+            if len(heads) != 1 or not heads[0].positive:
+                raise ProgramError(
+                    "the delay construction requires single positive heads "
+                    f"in the inner program: {inner_rule!r}"
+                )
+            productive_body = renamed.body + (heads[0].negate(),)
+            rules.append(
+                Rule(
+                    (Lit(Atom(ef_name, variables)),),
+                    (follow,) + productive_body,
+                )
+            )
+        # The trigger observes old_X outrunning old_X_ef.
+        rules.append(
+            Rule(
+                (trigger,),
+                (
+                    Lit(Atom(old_name, variables)),
+                    Lit(Atom(ef_name, variables), False),
+                ),
+            )
+        )
+
+    for rule in post:
+        rules.append(Rule(rule.head, (trigger,) + rule.body, rule.universal))
+
+    return Program(rules, name=f"{inner.name or 'inner'}+post")

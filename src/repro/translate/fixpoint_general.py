@@ -1,0 +1,174 @@
+"""Theorem 4.2's simulation in full generality (for single gain loops).
+
+Compiles
+
+    R += ∅;  while change do  R += { x̄ | φ(x̄) }
+
+with an **arbitrary FO body** φ (over the edb and R) into inflationary
+Datalog¬.  This removes the syntactic restriction of
+:mod:`repro.translate.timestamp` (which required R to occur only
+negatively in a flat conjunction).
+
+The construction combines the paper's two techniques with one further
+idea that makes them compose exactly:
+
+* φ is compiled to layered scratch rules
+  (:mod:`repro.translate.fo_to_datalog`): layer l reads only layers
+  below l;
+* every scratch predicate is *stamped* (Example 4.4): one version per
+  timestamp t̄, where the timestamps are the tuples newly added to R —
+  plus one nullary pseudo-stamp for the first iteration;
+* each stamp owns a *delay chain* s₀(t̄) → s₁(t̄) → …, one link per
+  stage; the layer-l rules for stamp t̄ are guarded by
+
+      sₗ(t̄) ∧ ¬sₗ₊₁(t̄)
+
+  which holds during **exactly one stage** — the stage at which layer
+  l−1 is complete.  The window guard is what makes the simulation
+  exact: a stamped rule can never fire late against a grown R, so no
+  stale derivations occur, for *any* φ (the timestamp module instead
+  relies on φ being antimonotone).
+
+Timeline (σ = stage at which a stamp's R-tuples appear; σ = 0 for the
+initial pseudo-stamp): sₗ(t̄) ∈ K(σ+l+1); layer-l scratch fires at
+stage σ+l+2; the top rule (guarded by the window after the answer
+layer) adds the new R tuples at stage σ+L+3, which become the next
+wave of stamps.  R is static inside every window, so each wave
+computes φ against exactly the R of the previous iteration — the
+while-loop semantics, stage for stage.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProgramError
+from repro.ast.program import Program
+from repro.ast.rules import Lit, Rule
+from repro.logic.evaluate import formula_relations, free_variables
+from repro.logic.formula import Atom, Formula
+from repro.terms import Var
+from repro.translate.fo_to_datalog import adom_rules, compile_formula
+
+
+def compile_fixpoint_loop_general(
+    target: str,
+    target_vars: tuple[Var, ...],
+    formula: Formula,
+    edb_arities: dict[str, int],
+    prefix: str = "fg",
+) -> Program:
+    """Inflationary Datalog¬ for ``while change: target += {x̄ | φ}``.
+
+    ``formula`` may be any FO formula over ``edb_arities`` ∪ {target};
+    its free variables must be exactly ``target_vars``.
+    """
+    free = free_variables(formula)
+    if free != set(target_vars):
+        raise ProgramError(
+            f"formula free variables {sorted(v.name for v in free)} do not "
+            f"match target variables {[v.name for v in target_vars]}"
+        )
+    used = formula_relations(formula)
+    unknown = used - set(edb_arities) - {target}
+    if unknown:
+        raise ProgramError(f"formula uses undeclared relations {sorted(unknown)}")
+    if target in edb_arities:
+        raise ProgramError(f"target {target!r} must not be listed in edb_arities")
+
+    arity = len(target_vars)
+    adom_name = f"{prefix}_adom"
+    compiled = compile_formula(
+        formula,
+        target_vars,
+        edb_arities={},
+        prefix=prefix,
+        adom_relation=adom_name,
+        include_adom_rules=False,
+    )
+    depth = compiled.depth
+
+    from repro.logic.evaluate import formula_constants
+
+    rules: list[Rule] = adom_rules(
+        {**edb_arities, target: arity},
+        adom_name,
+        tuple(sorted(formula_constants(formula), key=repr)),
+    )
+
+    # -- the initial pseudo-stamp: a nullary delay chain ---------------------
+    def d(index: int) -> Lit:
+        return Lit(Atom(f"{prefix}_d{index}", ()))
+
+    rules.append(Rule((d(0),), ()))
+    for i in range(depth + 2):
+        rules.append(Rule((d(i + 1),), (d(i),)))
+
+    # -- per-R-tuple stamps: delay chains s_i(t̄) ----------------------------
+    stamps = tuple(Var(f"{prefix}_t{i}") for i in range(arity))
+
+    def s(index: int) -> Lit:
+        return Lit(Atom(f"{prefix}_s{index}", stamps))
+
+    rules.append(Rule((s(0),), (Lit(Atom(target, stamps)),)))
+    for i in range(depth + 2):
+        rules.append(Rule((s(i + 1),), (s(i),)))
+
+    # -- stamped, window-guarded scratch rules --------------------------------
+    clash = {v.name for v in stamps} & {
+        v.name for rule in compiled.rules for v in rule.variables()
+    }
+    if clash:
+        raise ProgramError(f"stamp variables {sorted(clash)} collide; change prefix")
+
+    def stamp_literal(lit: Lit, scratch: set[str]) -> Lit:
+        # Stamped copies live in renamed relations: same scratch name
+        # with a suffix and the stamp columns appended.
+        if lit.relation in scratch:
+            return Lit(
+                Atom(f"{lit.relation}__st", lit.atom.terms + stamps),
+                lit.positive,
+            )
+        return lit
+
+    scratch_names = set(compiled.layers)
+    for rule in compiled.rules:
+        head_rel = next(iter(rule.head_relations()))
+        layer = compiled.layers[head_rel]
+        (head_lit,) = rule.head_literals()
+        # Initial-iteration copy (un-stamped scratch, d-window guard).
+        rules.append(
+            Rule(
+                rule.head,
+                (d(layer), d(layer + 1).negate()) + rule.body,
+            )
+        )
+        # Stamped copy: scratch literals gain the stamp columns.
+        stamped_head = stamp_literal(head_lit, scratch_names)
+        stamped_body = tuple(
+            stamp_literal(l, scratch_names) if isinstance(l, Lit) else l
+            for l in rule.body
+        )
+        rules.append(
+            Rule(
+                (stamped_head,),
+                (s(layer), s(layer + 1).negate()) + stamped_body,
+            )
+        )
+
+    # -- the top rule: commit the answer into R one window later --------------
+    answer_lit = Lit(Atom(compiled.answer, compiled.answer_vars))
+    rules.append(
+        Rule(
+            (Lit(Atom(target, target_vars)),),
+            (d(depth + 1), d(depth + 2).negate(), answer_lit),
+        )
+    )
+    stamped_answer = Lit(
+        Atom(f"{compiled.answer}__st", compiled.answer_vars + stamps)
+    )
+    rules.append(
+        Rule(
+            (Lit(Atom(target, target_vars)),),
+            (s(depth + 1), s(depth + 2).negate(), stamped_answer),
+        )
+    )
+    return Program(rules, name=f"fixpoint-general({target})")

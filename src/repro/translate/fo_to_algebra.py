@@ -1,0 +1,233 @@
+"""Compile FO formulas into relational algebra — "the algebraization of FO".
+
+Section 2 of the paper recalls that FO (relational calculus) has an
+algebraization [Codd].  This module is that translation, under the
+same active-domain semantics as :mod:`repro.logic.evaluate`: quantifiers
+and negation range over adom(I) ∪ constants(φ), materialized as an
+algebra expression (the union of all edb column projections plus the
+formula's constants).
+
+The translation is the classical one:
+
+* atoms → rename/select/project over the base relation;
+* ∧ → natural join (shared columns are exactly shared free variables);
+* ∨ → union, each side padded with active-domain columns it lacks;
+* ¬φ → adomᵏ − φ;
+* ∃ → projection (vacuous quantified variables add an adom factor);
+* ∀ → ¬∃¬.
+
+`tests/test_properties.py` checks the triple agreement: direct FO
+evaluation = compiled stratified Datalog¬ = compiled algebra, on
+hypothesis-generated formulas.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.errors import EvaluationError
+from repro.logic.evaluate import formula_constants, free_variables
+from repro.logic.formula import (
+    And,
+    Atom,
+    Equals,
+    Exists,
+    Forall,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    _Truth,
+)
+from repro.relational import algebra as ra
+from repro.terms import Const, Var
+
+
+def active_domain_expr(
+    edb_arities: dict[str, int],
+    constants: frozenset[Hashable],
+    column: str,
+) -> ra.Expr:
+    """An algebra expression for the active domain, as one column."""
+    parts: list[ra.Expr] = []
+    for relation in sorted(edb_arities):
+        arity = edb_arities[relation]
+        if arity == 0:
+            continue
+        cols = tuple(f"__c{i}" for i in range(arity))
+        base = ra.Rel(relation, cols)
+        for i in range(arity):
+            parts.append(
+                ra.Rename(ra.Project(base, (cols[i],)), {cols[i]: column})
+            )
+    if constants:
+        parts.append(
+            ra.Constant(frozenset({(c,) for c in constants}), (column,))
+        )
+    if not parts:
+        return ra.Constant(frozenset(), (column,))
+    expr = parts[0]
+    for part in parts[1:]:
+        expr = ra.Union(expr, part)
+    return expr
+
+
+class _AlgebraCompiler:
+    def __init__(self, edb_arities: dict[str, int], constants: frozenset[Hashable]):
+        self.edb_arities = edb_arities
+        self.constants = constants
+
+    def adom(self, variable: Var) -> ra.Expr:
+        return active_domain_expr(self.edb_arities, self.constants, variable.name)
+
+    def adom_product(self, variables: list[Var]) -> ra.Expr | None:
+        expr: ra.Expr | None = None
+        for v in sorted(variables, key=lambda v: v.name):
+            factor = self.adom(v)
+            expr = factor if expr is None else ra.Product(expr, factor)
+        return expr
+
+    def _pad(self, expr: ra.Expr, missing: list[Var]) -> ra.Expr:
+        padding = self.adom_product(missing)
+        if padding is None:
+            return expr
+        return ra.Product(expr, padding)
+
+    def compile(self, formula: Formula) -> ra.Expr:
+        """An expression whose columns are the formula's free variables
+        (sorted by name)."""
+        if isinstance(formula, _Truth):
+            rows = frozenset({()}) if formula.value else frozenset()
+            return ra.Constant(rows, ())
+
+        if isinstance(formula, Atom):
+            return self._compile_atom(formula)
+
+        if isinstance(formula, Equals):
+            return self._compile_equals(formula)
+
+        if isinstance(formula, Not):
+            child = self.compile(formula.child)
+            variables = sorted(free_variables(formula), key=lambda v: v.name)
+            universe = self.adom_product(variables)
+            if universe is None:
+                universe = ra.Constant(frozenset({()}), ())
+            return ra.Difference(universe, _ordered(child, variables))
+
+        if isinstance(formula, And):
+            left = self.compile(formula.left)
+            right = self.compile(formula.right)
+            joined = ra.Join(left, right)
+            variables = sorted(free_variables(formula), key=lambda v: v.name)
+            return _ordered(joined, variables)
+
+        if isinstance(formula, Or):
+            variables = sorted(free_variables(formula), key=lambda v: v.name)
+            sides = []
+            for part in (formula.left, formula.right):
+                expr = self.compile(part)
+                missing = [v for v in variables if v.name not in expr.columns]
+                sides.append(_ordered(self._pad(expr, missing), variables))
+            return ra.Union(sides[0], sides[1])
+
+        if isinstance(formula, Implies):
+            return self.compile(Or(Not(formula.left), formula.right))
+
+        if isinstance(formula, Exists):
+            child = self.compile(formula.child)
+            missing = [
+                v for v in formula.variables if v.name not in child.columns
+            ]
+            padded = self._pad(child, missing)
+            variables = sorted(free_variables(formula), key=lambda v: v.name)
+            return ra.Project(padded, tuple(v.name for v in variables))
+
+        if isinstance(formula, Forall):
+            return self.compile(
+                Not(Exists(formula.variables, Not(formula.child)))
+            )
+
+        raise EvaluationError(
+            f"cannot compile formula node {type(formula).__name__}"
+        )
+
+    def _compile_atom(self, formula: Atom) -> ra.Expr:
+        arity = len(formula.terms)
+        cols = tuple(f"__a{i}" for i in range(arity))
+        expr: ra.Expr = ra.Rel(formula.relation, cols)
+        conditions: list[ra.Condition] = []
+        first_position: dict[Var, str] = {}
+        for col, term in zip(cols, formula.terms):
+            if isinstance(term, Const):
+                conditions.append(ra.Condition(col, "==", right_value=term.value))
+            else:
+                seen = first_position.get(term)
+                if seen is None:
+                    first_position[term] = col
+                else:
+                    conditions.append(ra.Condition(col, "==", right_column=seen))
+        if conditions:
+            expr = ra.Select(expr, tuple(conditions))
+        variables = sorted(first_position, key=lambda v: v.name)
+        expr = ra.Project(expr, tuple(first_position[v] for v in variables))
+        renames = {
+            first_position[v]: v.name
+            for v in variables
+            if first_position[v] != v.name
+        }
+        if renames:
+            expr = ra.Rename(expr, renames)
+        return expr
+
+    def _compile_equals(self, formula: Equals) -> ra.Expr:
+        left, right = formula.left, formula.right
+        if isinstance(left, Const) and isinstance(right, Const):
+            rows = frozenset({()}) if left.value == right.value else frozenset()
+            return ra.Constant(rows, ())
+        if isinstance(left, Var) and isinstance(right, Var):
+            if left == right:
+                return self.adom(left)
+            a, b = sorted((left, right), key=lambda v: v.name)
+            pair = ra.Product(self.adom(a), self.adom(b))
+            return ra.Select(pair, (ra.Condition(a.name, "==", right_column=b.name),))
+        var = left if isinstance(left, Var) else right
+        const = right if isinstance(right, Const) else left
+        assert isinstance(var, Var) and isinstance(const, Const)
+        return ra.Select(
+            self.adom(var), (ra.Condition(var.name, "==", right_value=const.value),)
+        )
+
+
+def _ordered(expr: ra.Expr, variables: list[Var]) -> ra.Expr:
+    """Project to the canonical (sorted) column order."""
+    wanted = tuple(v.name for v in variables)
+    if expr.columns == wanted:
+        return expr
+    return ra.Project(expr, wanted)
+
+
+def compile_formula_to_algebra(
+    formula: Formula,
+    output_vars: tuple[Var, ...],
+    edb_arities: dict[str, int],
+    constants: tuple = (),
+) -> ra.Expr:
+    """Compile ``formula`` to an algebra expression with one column per
+    output variable, in the given order.
+
+    ``edb_arities`` drives the active-domain expression; the formula's
+    own constants are added automatically, matching adom(P, I).
+    """
+    free = free_variables(formula)
+    if free != set(output_vars):
+        raise EvaluationError(
+            f"output variables {[v.name for v in output_vars]} do not match "
+            f"free variables {sorted(v.name for v in free)}"
+        )
+    all_constants = frozenset(constants) | formula_constants(formula)
+    compiler = _AlgebraCompiler(edb_arities, all_constants)
+    expr = compiler.compile(formula)
+    wanted = tuple(v.name for v in output_vars)
+    if expr.columns != wanted:
+        expr = ra.Project(expr, wanted)
+    return expr

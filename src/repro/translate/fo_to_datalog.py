@@ -1,0 +1,305 @@
+"""Compile FO formulas into non-recursive stratified Datalog¬.
+
+The classical translation underlying all of the paper's simulations:
+every subformula φ(x̄) becomes a fresh predicate with a rule (or
+rules) defining it, and negation becomes stratified negation guarded by
+an active-domain predicate — the Datalog rendition of the
+active-domain semantics of Section 2.
+
+The compiled program is *layered*: each predicate is assigned a layer
+(its depth in the definition DAG), so downstream compilers that embed
+the translation into forward-chaining programs (the while → Datalog¬¬
+clock of :mod:`repro.translate.while_to_datalog`) know after how many
+parallel firings each predicate is complete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import EvaluationError
+from repro.ast.rules import Lit, Rule
+from repro.logic.formula import (
+    And,
+    Atom,
+    Equals,
+    Exists,
+    Forall,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    _Truth,
+)
+from repro.logic.evaluate import formula_constants, free_variables
+from repro.terms import Const, Term, Var
+
+
+@dataclass
+class CompiledFormula:
+    """Result of compiling one FO formula.
+
+    ``rules`` defines every auxiliary predicate plus ``answer``;
+    ``answer_vars`` fixes the column order of the answer predicate;
+    ``layers`` maps each defined predicate to the number of strata
+    below it (edb and adom are layer 0, a predicate's layer is
+    1 + max over the predicates its rules read).
+    """
+
+    rules: list[Rule]
+    answer: str
+    answer_vars: tuple[Var, ...]
+    adom_relation: str
+    layers: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def depth(self) -> int:
+        """Layers needed before the answer predicate is complete."""
+        return self.layers[self.answer]
+
+
+def adom_rules(
+    edb_arities: dict[str, int],
+    adom_relation: str,
+    constants: tuple = (),
+) -> list[Rule]:
+    """Rules collecting the active domain into ``adom_relation``.
+
+    One rule per edb column, plus a ground fact rule per constant —
+    adom(P, I) exactly as every engine computes it.
+    """
+    rules: list[Rule] = []
+    for relation, arity in sorted(edb_arities.items()):
+        if arity == 0:
+            continue
+        for position in range(arity):
+            head_var = Var(f"x{position}")
+            body_terms: list[Term] = [Var(f"x{i}") for i in range(arity)]
+            rules.append(
+                Rule(
+                    (Lit(Atom(adom_relation, (head_var,))),),
+                    (Lit(Atom(relation, tuple(body_terms))),),
+                )
+            )
+    for value in constants:
+        rules.append(Rule((Lit(Atom(adom_relation, (Const(value),))),), ()))
+    return rules
+
+
+class _Compiler:
+    def __init__(self, adom_relation: str, prefix: str):
+        self.adom = adom_relation
+        self.prefix = prefix
+        self.rules: list[Rule] = []
+        self.layers: dict[str, int] = {}
+        self._memo: dict[Formula, tuple[str, tuple[Var, ...]]] = {}
+        self._counter = 0
+
+    def fresh(self, hint: str) -> str:
+        self._counter += 1
+        return f"{self.prefix}_{hint}{self._counter}"
+
+    def _add(self, rule: Rule, layer: int) -> None:
+        self.rules.append(rule)
+        for relation in rule.head_relations():
+            self.layers[relation] = max(self.layers.get(relation, 0), layer)
+
+    def _layer_of(self, relation: str) -> int:
+        return self.layers.get(relation, 0)  # edb / adom are layer 0
+
+    def compile(self, formula: Formula) -> tuple[str, tuple[Var, ...]]:
+        """Returns (predicate, variable order) for the subformula."""
+        cached = self._memo.get(formula)
+        if cached is not None:
+            return cached
+        out = self._compile(formula)
+        self._memo[formula] = out
+        return out
+
+    def _ordered_free(self, formula: Formula) -> tuple[Var, ...]:
+        return tuple(sorted(free_variables(formula), key=lambda v: v.name))
+
+    def _compile(self, formula: Formula) -> tuple[str, tuple[Var, ...]]:
+        if isinstance(formula, _Truth):
+            name = self.fresh("true" if formula.value else "false")
+            if formula.value:
+                self._add(Rule((Lit(Atom(name, ())),), ()), 1)
+            else:
+                guard = Var("g")
+                self._add(
+                    Rule(
+                        (Lit(Atom(name, ())),),
+                        (
+                            Lit(Atom(self.adom, (guard,))),
+                            Lit(Atom(self.adom, (guard,)), False),
+                        ),
+                    ),
+                    1,
+                )
+            return name, ()
+
+        if isinstance(formula, Atom):
+            variables = self._ordered_free(formula)
+            name = self.fresh("atom")
+            self._add(
+                Rule(
+                    (Lit(Atom(name, variables)),),
+                    (Lit(formula),),
+                ),
+                1 + self._layer_of(formula.relation),
+            )
+            return name, variables
+
+        if isinstance(formula, Equals):
+            return self._compile_equals(formula)
+
+        if isinstance(formula, Not):
+            child, child_vars = self.compile(formula.child)
+            variables = self._ordered_free(formula)
+            name = self.fresh("not")
+            body: list[Lit] = [Lit(Atom(self.adom, (v,))) for v in variables]
+            body.append(Lit(Atom(child, child_vars), False))
+            self._add(
+                Rule((Lit(Atom(name, variables)),), tuple(body)),
+                1 + self._layer_of(child),
+            )
+            return name, variables
+
+        if isinstance(formula, And):
+            left, left_vars = self.compile(formula.left)
+            right, right_vars = self.compile(formula.right)
+            variables = self._ordered_free(formula)
+            name = self.fresh("and")
+            self._add(
+                Rule(
+                    (Lit(Atom(name, variables)),),
+                    (Lit(Atom(left, left_vars)), Lit(Atom(right, right_vars))),
+                ),
+                1 + max(self._layer_of(left), self._layer_of(right)),
+            )
+            return name, variables
+
+        if isinstance(formula, Or):
+            left, left_vars = self.compile(formula.left)
+            right, right_vars = self.compile(formula.right)
+            variables = self._ordered_free(formula)
+            name = self.fresh("or")
+            layer = 1 + max(self._layer_of(left), self._layer_of(right))
+            for child, child_vars in ((left, left_vars), (right, right_vars)):
+                body = [Lit(Atom(child, child_vars))]
+                for v in variables:
+                    if v not in child_vars:
+                        body.append(Lit(Atom(self.adom, (v,))))
+                self._add(Rule((Lit(Atom(name, variables)),), tuple(body)), layer)
+            return name, variables
+
+        if isinstance(formula, Implies):
+            return self.compile(Or(Not(formula.left), formula.right))
+
+        if isinstance(formula, Exists):
+            child, child_vars = self.compile(formula.child)
+            variables = self._ordered_free(formula)
+            name = self.fresh("exists")
+            body: list[Lit] = [Lit(Atom(child, child_vars))]
+            # A quantified variable absent from the child still ranges
+            # over the active domain: ∃y φ is false on an empty domain
+            # even when y does not occur in φ.  Guard such variables.
+            for var in formula.variables:
+                if var not in child_vars:
+                    body.append(Lit(Atom(self.adom, (var,))))
+            self._add(
+                Rule((Lit(Atom(name, variables)),), tuple(body)),
+                1 + self._layer_of(child),
+            )
+            return name, variables
+
+        if isinstance(formula, Forall):
+            rewritten = Not(Exists(formula.variables, Not(formula.child)))
+            return self.compile(rewritten)
+
+        raise EvaluationError(f"cannot compile formula node {type(formula).__name__}")
+
+    def _compile_equals(self, formula: Equals) -> tuple[str, tuple[Var, ...]]:
+        left, right = formula.left, formula.right
+        variables = self._ordered_free(formula)
+        name = self.fresh("eq")
+        if isinstance(left, Var) and isinstance(right, Var):
+            if left == right:
+                self._add(
+                    Rule(
+                        (Lit(Atom(name, (left,))),),
+                        (Lit(Atom(self.adom, (left,))),),
+                    ),
+                    1,
+                )
+                return name, (left,)
+            # Two columns, always equal: head repeats one body variable.
+            shared = Var("eqv")
+            self._add(
+                Rule(
+                    (Lit(Atom(name, (shared, shared))),),
+                    (Lit(Atom(self.adom, (shared,))),),
+                ),
+                1,
+            )
+            return name, variables
+        if isinstance(left, Const) and isinstance(right, Const):
+            truth = _Truth(left.value == right.value)
+            return self.compile(truth)
+        # One variable, one constant.
+        var = left if isinstance(left, Var) else right
+        const = right if isinstance(right, Const) else left
+        assert isinstance(var, Var) and isinstance(const, Const)
+        self._add(Rule((Lit(Atom(name, (const,))),), ()), 1)
+        return name, (var,)
+
+
+def compile_formula(
+    formula: Formula,
+    output_vars: tuple[Var, ...],
+    edb_arities: dict[str, int],
+    constants: tuple = (),
+    prefix: str = "q",
+    adom_relation: str | None = None,
+    include_adom_rules: bool = True,
+) -> CompiledFormula:
+    """Compile ``formula`` into stratified Datalog¬ with a fresh answer
+    predicate whose columns follow ``output_vars``.
+
+    ``edb_arities`` lists the input relations (used to build the adom
+    predicate); ``constants`` adds extra values to the active domain,
+    matching adom(P, I).  Pass ``include_adom_rules=False`` when several
+    compilations share one adom predicate the caller emits once.
+    """
+    free = free_variables(formula)
+    if free != set(output_vars):
+        raise EvaluationError(
+            f"output variables {[v.name for v in output_vars]} do not match "
+            f"free variables {sorted(v.name for v in free)}"
+        )
+    adom_name = adom_relation or f"{prefix}_adom"
+    compiler = _Compiler(adom_name, prefix)
+    inner, inner_vars = compiler.compile(formula)
+    answer = f"{prefix}_answer"
+    compiler._add(
+        Rule(
+            (Lit(Atom(answer, output_vars)),),
+            (Lit(Atom(inner, inner_vars)),),
+        ),
+        1 + compiler._layer_of(inner),
+    )
+    rules = list(compiler.rules)
+    if include_adom_rules:
+        # adom(P, I) includes the program's own constants — here the
+        # formula's constants — exactly as direct FO evaluation does.
+        all_constants = tuple(constants) + tuple(
+            sorted(formula_constants(formula) - set(constants), key=repr)
+        )
+        rules = adom_rules(edb_arities, adom_name, all_constants) + rules
+    return CompiledFormula(
+        rules=rules,
+        answer=answer,
+        answer_vars=output_vars,
+        adom_relation=adom_name,
+        layers=dict(compiler.layers),
+    )

@@ -1,0 +1,125 @@
+"""The timestamp technique of Example 4.4, generalized.
+
+Simulating the fixpoint loop
+
+    R += ∅;
+    while change do  R += { x̄ | ¬∃ȳ bad(x̄, ȳ) }
+
+in inflationary Datalog¬ needs scratch relations recomputed at every
+iteration — but inflationary relations cannot be re-initialized.  The
+paper's solution: create a fresh *version* of the scratch per iteration
+by stamping it with the tuples newly added to R at the previous
+iteration.  Generalizing the good/bad program of Example 4.4, for a
+target relation R(x̄) and a "bad" condition given as a conjunction of
+body literals over the edb and ¬R:
+
+    bad(x̄)            ← bad-body                      (first iteration)
+    delay             ←
+    R(x̄)              ← delay, ¬bad(x̄)
+    bad_s(x̄, t̄)       ← bad-body, R(t̄)               (stamped versions)
+    delay_s(t̄)        ← R(t̄)
+    R(x̄)              ← delay_s(t̄), ¬bad_s(x̄, t̄)
+
+Variables of x̄ not bound by the bad-body range over the active domain
+(our matcher enumerates them, which is precisely the paper's semantics
+for ``good(x) ← delay, ¬bad(x)``).
+
+Soundness requires the stamped scratch to be *stable*: once computed
+for a stamp, later stages must not add to it.  That holds exactly when
+the bad-body's satisfaction can only shrink as R grows — i.e. R occurs
+only negatively and every other literal is over the (static) edb.  The
+compiler enforces this syntactically; it is the same monotonicity that
+makes the paper's Example 4.4 correct.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProgramError
+from repro.ast.program import Program
+from repro.ast.rules import BodyLiteral, EqLit, Lit, Rule
+from repro.logic.formula import Atom
+from repro.terms import Var
+
+
+def _validate_bad_body(
+    target: str, bad_body: tuple[BodyLiteral, ...], edb: set[str]
+) -> None:
+    for lit in bad_body:
+        if isinstance(lit, EqLit):
+            raise ProgramError(
+                "equality literals are not available in Datalog¬ rule bodies"
+            )
+        if lit.relation == target:
+            if lit.positive:
+                raise ProgramError(
+                    f"target {target!r} may only occur negatively in the "
+                    "bad-body (stamped scratch must be stable)"
+                )
+        elif lit.relation not in edb:
+            raise ProgramError(
+                f"bad-body literal over {lit.relation!r}: only edb relations "
+                f"and ¬{target} are allowed"
+            )
+
+
+def compile_gain_loop(
+    target: str,
+    target_vars: tuple[Var, ...],
+    bad_body: tuple[BodyLiteral, ...],
+    edb: set[str],
+    prefix: str = "ts",
+) -> Program:
+    """Inflationary Datalog¬ for ``while change: target += {x̄ | ¬∃ bad}``.
+
+    ``bad_body`` is the conjunction whose existential closure (over its
+    variables outside ``target_vars``) defines *bad*; see module
+    docstring for the admissible shape.  Example 4.4 is
+    ``compile_gain_loop("good", (x,), (G(y, x), ¬good(y)), {"G"})``.
+    """
+    _validate_bad_body(target, bad_body, edb)
+    body_vars = set()
+    for lit in bad_body:
+        body_vars |= lit.variables()
+    head_in_body = [v for v in target_vars if v in body_vars]
+    if not head_in_body:
+        raise ProgramError(
+            "no target variable occurs in the bad-body; the loop would be "
+            "a one-shot assignment, not an iteration"
+        )
+
+    bad = f"{prefix}_bad"
+    bad_s = f"{prefix}_bad_s"
+    delay = f"{prefix}_delay"
+    delay_s = f"{prefix}_delay_s"
+    stamps = tuple(Var(f"{prefix}_t{i}") for i in range(len(target_vars)))
+    clash = {s.name for s in stamps} & {v.name for v in body_vars | set(target_vars)}
+    if clash:
+        raise ProgramError(f"variable names {sorted(clash)} collide with stamps")
+
+    bound_head = tuple(v for v in target_vars if v in body_vars)
+    rules = [
+        # First iteration.
+        Rule((Lit(Atom(bad, bound_head)),), tuple(bad_body)),
+        Rule((Lit(Atom(delay, ())),), ()),
+        Rule(
+            (Lit(Atom(target, target_vars)),),
+            (Lit(Atom(delay, ())), Lit(Atom(bad, bound_head), False)),
+        ),
+        # Stamped iterations: one version per tuple newly added to target.
+        Rule(
+            (Lit(Atom(bad_s, bound_head + stamps)),),
+            tuple(bad_body) + (Lit(Atom(target, stamps)),),
+        ),
+        Rule(
+            (Lit(Atom(delay_s, stamps)),),
+            (Lit(Atom(target, stamps)),),
+        ),
+        Rule(
+            (Lit(Atom(target, target_vars)),),
+            (
+                Lit(Atom(delay_s, stamps)),
+                Lit(Atom(bad_s, bound_head + stamps), False),
+            ),
+        ),
+    ]
+    return Program(rules, name=f"gain-loop({target})")

@@ -1,0 +1,190 @@
+"""While-change programs into Datalog¬¬ — the while ≡ Datalog¬¬ simulation.
+
+Datalog¬¬ subsumes the while queries (§4.2); this module makes the
+simulation executable for programs of the form
+
+    while change do
+        R₁ := { x̄ | φ₁ };  …;  Rₘ := { x̄ | φₘ }
+
+with arbitrary FO right-hand sides.  The construction uses the two
+Datalog¬¬ capabilities the paper highlights: deletion (negative heads)
+re-initializes scratch between iterations, and a nullary *phase clock*
+— a token marching through tick relations, advanced by simultaneous
+insert-next/delete-current rules — sequences the computation:
+
+1. each φⱼ is compiled to layered stratified rules
+   (:mod:`repro.translate.fo_to_datalog`); layer l fires under tick
+   Wⱼ+l, so every scratch predicate is complete before anything reads
+   it negatively;
+2. a commit phase snapshots the old value of Rⱼ and performs the
+   assignment as parallel insert/delete rules;
+3. a change-detection phase derives ``changed`` if any target differs
+   from its snapshot;
+4. a branch tick advances into cleanup only when ``changed`` holds —
+   otherwise the token is deleted and the program reaches a fixpoint;
+5. the cleanup phase deletes every scratch predicate, the snapshots
+   and ``changed``, and loops the token back to tick 0.
+
+If the while program diverges, the compiled program revisits an
+instance and the Datalog¬¬ engine's cycle detection reports
+nontermination — matching the flip-flop behaviour of §4.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ProgramError
+from repro.ast.program import Program
+from repro.ast.rules import Lit, Rule
+from repro.logic.formula import Atom, Formula
+from repro.languages.while_lang import (
+    Assign,
+    Comprehension,
+    WhileChange,
+    WhileProgram,
+)
+from repro.terms import Var
+from repro.translate.fo_to_datalog import adom_rules, compile_formula
+
+
+@dataclass(frozen=True)
+class LoopAssignment:
+    """One ``target := { variables | formula }`` statement."""
+
+    target: str
+    variables: tuple[Var, ...]
+    formula: Formula
+
+
+def while_loop_as_while(assignments: list[LoopAssignment], name: str = "") -> WhileProgram:
+    """The same loop as a :class:`WhileProgram` (for cross-validation)."""
+    statements = tuple(
+        Assign(a.target, Comprehension(a.variables, a.formula), cumulative=False)
+        for a in assignments
+    )
+    answer = assignments[-1].target
+    return WhileProgram((WhileChange(statements),), answer=answer, name=name)
+
+
+def _tick(prefix: str, index: int) -> Lit:
+    return Lit(Atom(f"{prefix}_tick{index}", ()))
+
+
+def compile_while_loop(
+    assignments: list[LoopAssignment],
+    edb_arities: dict[str, int],
+    constants: tuple = (),
+    prefix: str = "wl",
+) -> Program:
+    """Compile the loop into one Datalog¬¬ program (see module docstring).
+
+    ``edb_arities`` lists the input relations *excluding* the targets;
+    targets may also be present in the input (they are idb here, and
+    their input content is the loop's initial value).  Relation names
+    starting with ``prefix`` are reserved for the clock and scratch.
+    """
+    if not assignments:
+        raise ProgramError("the loop needs at least one assignment")
+    targets = {a.target for a in assignments}
+    reserved = [r for r in edb_arities if r.startswith(prefix)]
+    if reserved:
+        raise ProgramError(f"edb relations {reserved} collide with prefix {prefix!r}")
+
+    adom_name = f"{prefix}_adom"
+    target_arities = {a.target: len(a.variables) for a in assignments}
+    from repro.logic.evaluate import formula_constants
+
+    all_constants = set(constants)
+    for assignment in assignments:
+        all_constants |= formula_constants(assignment.formula)
+    rules: list[Rule] = adom_rules(
+        {**edb_arities, **target_arities},
+        adom_name,
+        tuple(sorted(all_constants, key=repr)),
+    )
+
+    # Boot: derive tick 0 exactly once.
+    booted = Lit(Atom(f"{prefix}_booted", ()))
+    rules.append(Rule((booted,), (booted.negate(),)))
+    rules.append(Rule((_tick(prefix, 0),), (booted.negate(),)))
+
+    scratch: list[tuple[str, int]] = []  # relations wiped at cleanup
+    changed = Lit(Atom(f"{prefix}_changed", ()))
+    window = 0
+
+    for j, assignment in enumerate(assignments):
+        compiled = compile_formula(
+            assignment.formula,
+            assignment.variables,
+            edb_arities={},
+            prefix=f"{prefix}_a{j}",
+            adom_relation=adom_name,
+            include_adom_rules=False,
+        )
+        depth = compiled.depth
+        # Layer l fires under tick window+l.
+        for rule in compiled.rules:
+            head_rel = next(iter(rule.head_relations()))
+            layer = compiled.layers[head_rel]
+            guard = _tick(prefix, window + layer)
+            rules.append(Rule(rule.head, (guard,) + rule.body, rule.universal))
+        for relation in compiled.layers:
+            scratch.append((relation, _relation_arity(compiled.rules, relation)))
+
+        commit_guard = _tick(prefix, window + depth + 1)
+        detect_guard = _tick(prefix, window + depth + 2)
+        target_vars = assignment.variables
+        target_atom = Atom(assignment.target, target_vars)
+        answer_atom = Atom(compiled.answer, target_vars)
+        old_name = f"{prefix}_old{j}_{assignment.target}"
+        old_atom = Atom(old_name, target_vars)
+        scratch.append((old_name, len(target_vars)))
+        # Snapshot, insert, delete — all in one parallel firing.
+        rules.append(Rule((Lit(old_atom),), (commit_guard, Lit(target_atom))))
+        rules.append(Rule((Lit(target_atom),), (commit_guard, Lit(answer_atom))))
+        rules.append(
+            Rule(
+                (Lit(target_atom, positive=False),),
+                (commit_guard, Lit(target_atom), Lit(answer_atom, positive=False)),
+            )
+        )
+        # Change detection for this assignment.
+        rules.append(
+            Rule((changed,), (detect_guard, Lit(target_atom), Lit(old_atom, positive=False)))
+        )
+        rules.append(
+            Rule((changed,), (detect_guard, Lit(old_atom), Lit(target_atom, positive=False)))
+        )
+        window += depth + 2
+
+    branch = window + 1
+    cleanup = window + 2
+    # Unconditional advance for every tick before the branch.
+    for i in range(branch):
+        rules.append(Rule((_tick(prefix, i + 1),), (_tick(prefix, i),)))
+        rules.append(Rule((_tick(prefix, i).negate(),), (_tick(prefix, i),)))
+    # Branch: continue into cleanup only if something changed.
+    rules.append(Rule((_tick(prefix, cleanup),), (_tick(prefix, branch), changed)))
+    rules.append(Rule((_tick(prefix, branch).negate(),), (_tick(prefix, branch),)))
+    # Cleanup: wipe scratch, snapshots and the change flag, loop back.
+    cleanup_guard = _tick(prefix, cleanup)
+    for relation, arity in scratch:
+        variables = tuple(Var(f"{prefix}_c{i}") for i in range(arity))
+        atom = Atom(relation, variables)
+        rules.append(
+            Rule((Lit(atom, positive=False),), (cleanup_guard, Lit(atom)))
+        )
+    rules.append(Rule((changed.negate(),), (cleanup_guard, changed)))
+    rules.append(Rule((_tick(prefix, 0),), (cleanup_guard,)))
+    rules.append(Rule((cleanup_guard.negate(),), (cleanup_guard,)))
+
+    return Program(rules, name=f"while-loop({', '.join(sorted(targets))})")
+
+
+def _relation_arity(rules: list[Rule], relation: str) -> int:
+    for rule in rules:
+        for lit in rule.head_literals():
+            if lit.relation == relation:
+                return lit.atom.arity
+    raise ProgramError(f"relation {relation!r} not defined by the compiled rules")

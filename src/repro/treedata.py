@@ -1,0 +1,105 @@
+"""Monadic Datalog over trees — the §6 data-extraction thread (Lixto).
+
+The paper: "Lixto … has at its core Monadic Datalog over trees", with
+the Gottlob–Koch result that Monadic Datalog captures exactly MSO over
+trees — "the expressiveness needed by wrappers for Web data
+extraction, while also guaranteeing efficiency".
+
+This module provides the tree substrate in the Gottlob–Koch signature
+and the monadicity check:
+
+* :func:`node` / :func:`tree_database` — build a tree and encode it as
+  the relations ``root(n)``, ``leaf(n)``, ``firstchild(p, c)``,
+  ``nextsibling(a, b)``, ``lastsibling(n)``, and one unary
+  ``label-<L>(n)`` per label;
+* :func:`is_monadic` — every idb relation unary (the defining
+  restriction of the language);
+* wrappers are then ordinary Datalog programs run on any engine; see
+  ``tests/test_treedata.py`` for an item-extraction wrapper and an
+  MSO-style even-depth query.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.ast.program import Program
+from repro.relational.instance import Database
+
+
+@dataclass
+class TreeNode:
+    """An ordered, labelled tree node."""
+
+    label: str
+    children: list["TreeNode"] = field(default_factory=list)
+
+    def child(self, label: str, *grandchildren: "TreeNode") -> "TreeNode":
+        added = TreeNode(label, list(grandchildren))
+        self.children.append(added)
+        return added
+
+
+def node(label: str, *children: TreeNode) -> TreeNode:
+    """Convenience constructor: ``node("ul", node("li"), node("li"))``."""
+    return TreeNode(label, list(children))
+
+
+def tree_database(root: TreeNode, prefix: str = "n") -> Database:
+    """Encode a tree in the Gottlob–Koch signature.
+
+    Node ids are ``n0, n1, …`` in document (pre-)order; labels become
+    unary relations ``label-<label>``.
+    """
+    db = Database()
+    counter = itertools.count()
+
+    def walk(current: TreeNode) -> str:
+        ident = f"{prefix}{next(counter)}"
+        db.add_fact(f"label-{current.label}", (ident,))
+        child_ids = [walk(child) for child in current.children]
+        if not current.children:
+            db.add_fact("leaf", (ident,))
+        else:
+            db.add_fact("firstchild", (ident, child_ids[0]))
+            for a, b in zip(child_ids, child_ids[1:]):
+                db.add_fact("nextsibling", (a, b))
+            db.add_fact("lastsibling", (child_ids[-1],))
+        return ident
+
+    root_id = walk(root)
+    db.add_fact("root", (root_id,))
+    return db
+
+
+#: The base relations of the tree signature (binary ones listed first).
+TREE_SIGNATURE = ("firstchild", "nextsibling", "root", "leaf", "lastsibling")
+
+
+def is_monadic(program: Program) -> bool:
+    """Monadic Datalog: every intensional relation is unary."""
+    return all(program.arity(relation) == 1 for relation in program.idb)
+
+
+def labels(db: Database) -> set[str]:
+    """The labels present in an encoded tree."""
+    return {
+        name[len("label-"):]
+        for name in db.relation_names()
+        if name.startswith("label-")
+    }
+
+
+def node_depths(root: TreeNode) -> dict[str, int]:
+    """Reference depths by node id (same pre-order ids as the encoding)."""
+    depths: dict[str, int] = {}
+    counter = itertools.count()
+
+    def walk(current: TreeNode, depth: int) -> None:
+        depths[f"n{next(counter)}"] = depth
+        for child in current.children:
+            walk(child, depth + 1)
+
+    walk(root, 0)
+    return depths

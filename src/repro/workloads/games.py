@@ -1,0 +1,74 @@
+"""Game-graph workloads for the win query of Example 3.2."""
+
+from __future__ import annotations
+
+import random
+
+from repro.relational.instance import Database
+
+Move = tuple[str, str]
+
+#: The exact instance K(moves) of Example 3.2.
+PAPER_MOVES: tuple[Move, ...] = (
+    ("b", "c"),
+    ("c", "a"),
+    ("a", "b"),
+    ("a", "d"),
+    ("d", "e"),
+    ("d", "f"),
+    ("f", "g"),
+)
+
+
+def paper_game() -> list[Move]:
+    """The 7-move instance of Example 3.2 (win(d), win(f) true; a, b, c
+    unknown; e, g false)."""
+    return list(PAPER_MOVES)
+
+
+def random_game(n: int, p: float = 0.2, seed: int = 0) -> list[Move]:
+    """A random game graph on n states (each move present w.p. p)."""
+    rng = random.Random(seed)
+    return [
+        (f"s{i}", f"s{j}")
+        for i in range(n)
+        for j in range(n)
+        if i != j and rng.random() < p
+    ]
+
+
+def game_database(moves: list[Move]) -> Database:
+    """Wrap moves as the ``moves`` relation."""
+    return Database({"moves": moves})
+
+
+def solve_game_reference(moves: list[Move]) -> tuple[set[str], set[str], set[str]]:
+    """Reference solver: (winning, losing, drawn) states.
+
+    Classical backward induction on the AND/OR game graph: a state is
+    *losing* if all its moves go to winning states (in particular if it
+    has no moves), *winning* if some move goes to a losing state, and
+    *drawn* otherwise.  Matches the paper's reading of Example 3.2:
+    win(x) true/false/unknown respectively.
+    """
+    states = {s for move in moves for s in move}
+    successors: dict[str, set[str]] = {s: set() for s in states}
+    for src, dst in moves:
+        successors[src].add(dst)
+    winning: set[str] = set()
+    losing: set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for state in states:
+            if state in winning or state in losing:
+                continue
+            succ = successors[state]
+            if all(s in winning for s in succ):  # includes no-move states
+                losing.add(state)
+                changed = True
+            elif any(s in losing for s in succ):
+                winning.add(state)
+                changed = True
+    drawn = states - winning - losing
+    return winning, losing, drawn

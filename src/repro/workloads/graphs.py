@@ -1,0 +1,128 @@
+"""Graph generators for the benchmarks and tests.
+
+All generators are deterministic (seeded where random) and return edge
+lists of ``(u, v)`` node-label tuples; :func:`graph_database` wraps an
+edge list into the ``G`` relation the paper's programs expect.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.relational.instance import Database
+
+Edge = tuple[str, str]
+
+
+def _node(i: int) -> str:
+    return f"n{i}"
+
+
+def chain(n: int) -> list[Edge]:
+    """A path n0 → n1 → … → n(n-1) with n-1 edges."""
+    return [(_node(i), _node(i + 1)) for i in range(n - 1)]
+
+
+def cycle(n: int) -> list[Edge]:
+    """A directed cycle on n nodes."""
+    if n <= 0:
+        return []
+    return [(_node(i), _node((i + 1) % n)) for i in range(n)]
+
+
+def complete_graph(n: int) -> list[Edge]:
+    """All ordered pairs of distinct nodes."""
+    return [
+        (_node(i), _node(j)) for i in range(n) for j in range(n) if i != j
+    ]
+
+
+def random_gnp(n: int, p: float, seed: int = 0) -> list[Edge]:
+    """Directed G(n, p): each ordered pair is an edge with probability p."""
+    rng = random.Random(seed)
+    return [
+        (_node(i), _node(j))
+        for i in range(n)
+        for j in range(n)
+        if i != j and rng.random() < p
+    ]
+
+
+def grid(width: int, height: int) -> list[Edge]:
+    """A directed grid: edges go right and down."""
+    edges: list[Edge] = []
+    for r in range(height):
+        for c in range(width):
+            name = f"g{r}_{c}"
+            if c + 1 < width:
+                edges.append((name, f"g{r}_{c + 1}"))
+            if r + 1 < height:
+                edges.append((name, f"g{r + 1}_{c}"))
+    return edges
+
+
+def binary_tree(depth: int) -> list[Edge]:
+    """A complete binary tree of the given depth, edges parent → child."""
+    edges: list[Edge] = []
+    count = 2 ** depth - 1
+    for i in range(count):
+        for child in (2 * i + 1, 2 * i + 2):
+            if child < count:
+                edges.append((_node(i), _node(child)))
+    return edges
+
+
+def layered_dag(layers: int, width: int, seed: int = 0, p: float = 0.5) -> list[Edge]:
+    """A layered DAG: edges between consecutive layers with probability p."""
+    rng = random.Random(seed)
+    edges: list[Edge] = []
+    for layer in range(layers - 1):
+        for i in range(width):
+            for j in range(width):
+                if rng.random() < p:
+                    edges.append((f"l{layer}_{i}", f"l{layer + 1}_{j}"))
+    return edges
+
+
+def preferential_attachment(n: int, out_degree: int = 2, seed: int = 0) -> list[Edge]:
+    """A scale-free graph: each new node links to ``out_degree`` existing
+    nodes chosen proportionally to their current degree (Barabási–Albert
+    style, directed new → old).  Produces the hub-heavy shape real
+    citation/web graphs have — useful for aggregation benchmarks."""
+    rng = random.Random(seed)
+    if n <= 0:
+        return []
+    edges: list[Edge] = []
+    degree_pool: list[int] = [0]  # node indices, repeated per degree + 1
+    for new in range(1, n):
+        targets: set[int] = set()
+        attempts = 0
+        while len(targets) < min(out_degree, new) and attempts < 10 * out_degree:
+            targets.add(rng.choice(degree_pool))
+            attempts += 1
+        for old in sorted(targets):
+            edges.append((_node(new), _node(old)))
+            degree_pool.append(old)
+        degree_pool.append(new)
+    return edges
+
+
+def lollipop(cycle_size: int, tail_size: int) -> list[Edge]:
+    """A cycle with a chain hanging off it.
+
+    Every tail node is reachable from the cycle — the shape that
+    separates the *good* nodes of Example 4.4 (none here) from chains
+    (all good).
+    """
+    edges = cycle(cycle_size)
+    previous = _node(0)
+    for i in range(tail_size):
+        name = f"t{i}"
+        edges.append((previous, name))
+        previous = name
+    return edges
+
+
+def graph_database(edges: list[Edge], relation: str = "G") -> Database:
+    """Wrap an edge list as the paper's binary relation ``G``."""
+    return Database({relation: edges})

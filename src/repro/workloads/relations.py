@@ -1,0 +1,38 @@
+"""Random unary/binary relation workloads (Example 5.4's P and Q, parity
+inputs, …)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.relational.instance import Database
+
+
+def random_unary(n: int, k: int, seed: int = 0, prefix: str = "a") -> list[tuple]:
+    """k distinct unary tuples drawn from a universe of n values."""
+    rng = random.Random(seed)
+    universe = [f"{prefix}{i}" for i in range(n)]
+    return [(v,) for v in rng.sample(universe, min(k, n))]
+
+
+def random_binary(
+    n: int, k: int, seed: int = 0, prefix: str = "a"
+) -> list[tuple]:
+    """k distinct ordered pairs over a universe of n values."""
+    rng = random.Random(seed)
+    universe = [f"{prefix}{i}" for i in range(n)]
+    pairs = [(u, v) for u in universe for v in universe]
+    return rng.sample(pairs, min(k, len(pairs)))
+
+
+def proj_diff_database(
+    p_rows: list[tuple], q_rows: list[tuple]
+) -> Database:
+    """The schema of Example 5.4: P(A) and Q(A, B)."""
+    return Database({"P": p_rows, "Q": q_rows})
+
+
+def reference_proj_diff(db: Database) -> frozenset[tuple]:
+    """P − π_A(Q), computed directly (the ground truth of Ex. 5.4/5.5)."""
+    projected = {t[0] for t in db.tuples("Q")}
+    return frozenset(t for t in db.tuples("P") if t[0] not in projected)

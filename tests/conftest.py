@@ -1,0 +1,34 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relational.instance import Database
+from repro.workloads.graphs import chain, cycle, lollipop, random_gnp
+
+
+@pytest.fixture
+def small_graph() -> Database:
+    """A 4-node graph with a reachable and an unreachable component."""
+    return Database({"G": [("a", "b"), ("b", "c"), ("d", "d")]})
+
+
+@pytest.fixture
+def chain_graph() -> Database:
+    return Database({"G": chain(5)})
+
+
+@pytest.fixture
+def cycle_graph() -> Database:
+    return Database({"G": cycle(4)})
+
+
+@pytest.fixture
+def lollipop_graph() -> Database:
+    return Database({"G": lollipop(3, 2)})
+
+
+@pytest.fixture(params=[0, 1, 2])
+def seeded_gnp(request) -> list[tuple[str, str]]:
+    return random_gnp(7, 0.25, seed=request.param)

@@ -1,0 +1,149 @@
+"""Tests for the ECA/active-database layer."""
+
+import pytest
+
+from repro.errors import EvaluationError, NonTerminationError
+from repro.active import Transaction, event_relations, run_triggers
+from repro.parser import parse_program
+from repro.relational.instance import Database
+
+
+AUDIT = parse_program(
+    """
+    log(x, 'inserted') :- ins_account(x).
+    log(x, 'deleted') :- del_account(x).
+    """
+)
+
+CASCADE = parse_program(
+    """
+    !balance(x, b) :- del_account(x), balance(x, b).
+    !account(x) :- account(x), closed(x).
+    """
+)
+
+
+class TestTransaction:
+    def test_builders(self):
+        tx = Transaction.insert(("A", ("x",))).merged(
+            Transaction.delete(("B", ("y",)))
+        )
+        assert ("A", ("x",)) in tx.insertions
+        assert ("B", ("y",)) in tx.deletions
+
+    def test_event_relations_detected(self):
+        assert event_relations(AUDIT) == {"ins_account", "del_account"}
+
+
+class TestTriggers:
+    def test_insert_event_fires_once(self):
+        db = Database({"account": [("a1",)], "log": []})
+        result = run_triggers(
+            AUDIT, db, Transaction.insert(("account", ("a2",)))
+        )
+        assert result.answer("log") == frozenset({("a2", "inserted")})
+        assert result.answer("account") == frozenset({("a1",), ("a2",)})
+
+    def test_delete_event(self):
+        db = Database({"account": [("a1",)]})
+        result = run_triggers(AUDIT, db, Transaction.delete(("account", ("a1",))))
+        assert result.answer("log") == frozenset({("a1", "deleted")})
+
+    def test_noop_transaction_is_quiescent(self):
+        db = Database({"account": [("a1",)]})
+        # Inserting an existing fact changes nothing: no events, no steps.
+        result = run_triggers(AUDIT, db, Transaction.insert(("account", ("a1",))))
+        assert result.step_count == 0
+
+    def test_cascading_delete(self):
+        program = parse_program(
+            """
+            !order(o, c) :- del_customer(c), order(o, c).
+            !line(l, o) :- del_order(o, c2), line(l, o).
+            """
+        )
+        db = Database(
+            {
+                "customer": [("alice",), ("bob",)],
+                "order": [("o1", "bob"), ("o2", "alice")],
+                "line": [("l1", "o1"), ("l2", "o2")],
+            }
+        )
+        result = run_triggers(
+            program, db, Transaction.delete(("customer", ("bob",)))
+        )
+        assert result.answer("order") == frozenset({("o2", "alice")})
+        assert result.answer("line") == frozenset({("l2", "o2")})
+        # Two hops: order trigger, then line trigger.
+        assert result.step_count == 2
+
+    def test_events_are_transient(self):
+        """An event holds for exactly one step — triggers must not
+        re-fire forever on an old event."""
+        db = Database({"account": []})
+        result = run_triggers(
+            AUDIT, db, Transaction.insert(("account", ("a1",)))
+        )
+        assert result.database.tuples("ins_account") == frozenset()
+
+    def test_trigger_loop_detected(self):
+        ping_pong = parse_program(
+            """
+            pong('t') :- ins_ping(x).
+            !ping(x) :- ins_ping(x), ping(x).
+            ping('t') :- ins_pong(x).
+            !pong(x) :- ins_pong(x), pong(x).
+            """
+        )
+        db = Database({"ping": [], "pong": []})
+        with pytest.raises(NonTerminationError):
+            run_triggers(ping_pong, db, Transaction.insert(("ping", ("t",))))
+
+    def test_rules_may_not_define_events(self):
+        bad = parse_program("ins_account(x) :- seed(x).")
+        with pytest.raises(EvaluationError):
+            run_triggers(bad, Database({"seed": [("a",)]}), Transaction())
+
+    def test_steps_traced(self):
+        db = Database({"account": []})
+        result = run_triggers(AUDIT, db, Transaction.insert(("account", ("a1",))))
+        assert result.step_count == 1
+        assert ("log", ("a1", "inserted")) in result.steps[0].new_facts
+
+
+class TestIntegrityMaintenance:
+    """The classic active-database use case: repair after updates."""
+
+    REPAIR = parse_program(
+        """
+        % An employee must have a department; on department deletion,
+        % reassign its employees to the fallback department.
+        emp(e, 'unassigned') :- del_dept(d), emp(e, d).
+        !emp(e, d) :- del_dept(d), emp(e, d).
+        """
+    )
+
+    def test_reassignment(self):
+        db = Database(
+            {
+                "dept": [("sales",), ("eng",)],
+                "emp": [("ann", "sales"), ("bob", "eng")],
+            }
+        )
+        result = run_triggers(
+            self.REPAIR, db, Transaction.delete(("dept", ("sales",)))
+        )
+        assert result.answer("emp") == frozenset(
+            {("ann", "unassigned"), ("bob", "eng")}
+        )
+
+    def test_multiple_employees(self):
+        db = Database(
+            {"dept": [("sales",)], "emp": [("a", "sales"), ("b", "sales")]}
+        )
+        result = run_triggers(
+            self.REPAIR, db, Transaction.delete(("dept", ("sales",)))
+        )
+        assert result.answer("emp") == frozenset(
+            {("a", "unassigned"), ("b", "unassigned")}
+        )

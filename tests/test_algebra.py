@@ -1,0 +1,117 @@
+"""Unit tests for the relational algebra evaluator."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import algebra as ra
+from repro.relational.instance import Database
+
+
+@pytest.fixture
+def db():
+    return Database(
+        {
+            "G": [("a", "b"), ("b", "c"), ("c", "a")],
+            "P": [("a",), ("b",)],
+        }
+    )
+
+
+G = ra.Rel("G", ("x", "y"))
+P = ra.Rel("P", ("x",))
+
+
+class TestBaseCases:
+    def test_rel(self, db):
+        assert ra.evaluate(G, db) == {("a", "b"), ("b", "c"), ("c", "a")}
+
+    def test_missing_relation_is_empty(self, db):
+        assert ra.evaluate(ra.Rel("Z", ("x",)), db) == set()
+
+    def test_rel_arity_mismatch(self, db):
+        with pytest.raises(SchemaError):
+            ra.evaluate(ra.Rel("G", ("x",)), db)
+
+    def test_constant(self, db):
+        expr = ra.Constant(frozenset({("q",)}), ("x",))
+        assert ra.evaluate(expr, db) == {("q",)}
+
+
+class TestOperators:
+    def test_project(self, db):
+        expr = ra.Project(G, ("y",))
+        assert ra.evaluate(expr, db) == {("b",), ("c",), ("a",)}
+
+    def test_project_reorder(self, db):
+        expr = ra.Project(G, ("y", "x"))
+        assert ("b", "a") in ra.evaluate(expr, db)
+
+    def test_project_unknown_column(self, db):
+        with pytest.raises(SchemaError):
+            ra.evaluate(ra.Project(G, ("zz",)), db)
+
+    def test_select_column_eq_value(self, db):
+        expr = ra.Select(G, (ra.Condition("x", "==", right_value="a"),))
+        assert ra.evaluate(expr, db) == {("a", "b")}
+
+    def test_select_column_neq_column(self, db):
+        db.add_fact("G", ("d", "d"))
+        expr = ra.Select(G, (ra.Condition("x", "!=", right_column="y"),))
+        assert ("d", "d") not in ra.evaluate(expr, db)
+
+    def test_rename_then_join_two_step_paths(self, db):
+        renamed = ra.Rename(G, {"x": "y", "y": "z"})
+        expr = ra.Project(ra.Join(G, renamed), ("x", "z"))
+        assert ra.evaluate(expr, db) == {("a", "c"), ("b", "a"), ("c", "b")}
+
+    def test_join_disjoint_columns_is_product_like(self, db):
+        expr = ra.Join(P, ra.Rename(P, {"x": "w"}))
+        assert len(ra.evaluate(expr, db)) == 4
+
+    def test_product_requires_disjoint(self, db):
+        with pytest.raises(SchemaError):
+            ra.evaluate(ra.Product(P, P), db)
+
+    def test_product(self, db):
+        expr = ra.Product(P, ra.Rename(P, {"x": "w"}))
+        assert len(ra.evaluate(expr, db)) == 4
+
+    def test_union(self, db):
+        other = ra.Constant(frozenset({("z",)}), ("x",))
+        assert ra.evaluate(ra.Union(P, other), db) == {("a",), ("b",), ("z",)}
+
+    def test_union_reorders_columns(self, db):
+        flipped = ra.Project(G, ("y", "x"))
+        # Union of G with its own flip, aligned on (x, y) column names:
+        renamed = ra.Rename(flipped, {"y": "x", "x": "y"})
+        out = ra.evaluate(ra.Union(G, renamed), db)
+        assert ("b", "a") in out and ("a", "b") in out
+
+    def test_difference(self, db):
+        minus = ra.Constant(frozenset({("a",)}), ("x",))
+        assert ra.evaluate(ra.Difference(P, minus), db) == {("b",)}
+
+    def test_intersection(self, db):
+        other = ra.Constant(frozenset({("a",), ("z",)}), ("x",))
+        assert ra.evaluate(ra.Intersection(P, other), db) == {("a",)}
+
+    def test_union_arity_mismatch(self, db):
+        with pytest.raises(SchemaError):
+            ra.evaluate(ra.Union(P, G), db)
+
+
+class TestCompound:
+    def test_triangle_query(self, db):
+        """Triangles: G(x,y) ⋈ G(y,z) ⋈ G(z,x)."""
+        g_yz = ra.Rename(G, {"x": "y", "y": "z"})
+        g_zx = ra.Rename(G, {"x": "z", "y": "x"})
+        expr = ra.Project(ra.Join(ra.Join(G, g_yz), g_zx), ("x", "y", "z"))
+        out = ra.evaluate(expr, db)
+        assert ("a", "b", "c") in out
+        assert len(out) == 3  # the three rotations
+
+    def test_fo_difference_expresses_proj_diff(self, db):
+        db2 = Database({"P": [("a",), ("b",)], "Q": [("a", "z")]})
+        q = ra.Rel("Q", ("x", "y"))
+        expr = ra.Difference(ra.Rel("P", ("x",)), ra.Project(q, ("x",)))
+        assert ra.evaluate(expr, db2) == {("b",)}

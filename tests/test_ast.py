@@ -1,0 +1,230 @@
+"""Unit tests for rules, programs, dialects, and static analysis."""
+
+import pytest
+
+from repro.errors import (
+    DialectError,
+    ProgramError,
+    SafetyError,
+    SchemaError,
+    StratificationError,
+)
+from repro.ast.program import Dialect, Program
+from repro.ast.rules import BottomLit, EqLit, Lit, Rule, neg, pos
+from repro.ast.analysis import (
+    infer_dialect,
+    is_semipositive,
+    is_stratifiable,
+    precedence_graph,
+    stratify,
+    validate_program,
+)
+from repro.parser import parse_program, parse_rule
+from repro.terms import Const, Var
+
+x, y, z, t = Var("x"), Var("y"), Var("z"), Var("t")
+
+
+class TestRuleStructure:
+    def test_empty_head_rejected(self):
+        with pytest.raises(ProgramError):
+            Rule((), (pos("G", x, y),))
+
+    def test_accessors(self):
+        rule = parse_rule("T(x, y) :- G(x, z), not T(z, y).")
+        assert rule.head_relations() == {"T"}
+        assert rule.body_relations() == {"G", "T"}
+        assert len(rule.positive_body()) == 1
+        assert len(rule.negative_body()) == 1
+
+    def test_invention_variables(self):
+        rule = parse_rule("R(x, n) :- S(x).")
+        assert rule.invention_variables() == {Var("n")}
+
+    def test_constants(self):
+        rule = parse_rule("R('a') :- S(x, 3).")
+        assert rule.constants() == {"a", 3}
+
+    def test_universal_var_must_be_in_body(self):
+        with pytest.raises(ProgramError):
+            Rule((pos("R", x),), (pos("S", x),), universal=(y,))
+
+    def test_universal_var_not_in_head(self):
+        with pytest.raises(ProgramError):
+            Rule((pos("R", y),), (pos("S", x, y),), universal=(y,))
+
+    def test_repr_round_trips_through_parser(self):
+        source = "CT(x, y) :- not T(x, y), old(xp, yp)."
+        rule = parse_rule(source)
+        assert parse_rule(repr(rule)) == rule
+
+
+class TestProgram:
+    def test_edb_idb_split(self):
+        program = parse_program("T(x,y) :- G(x,y). T(x,y) :- G(x,z), T(z,y).")
+        assert program.idb == {"T"}
+        assert program.edb == {"G"}
+        assert program.sch() == {"T", "G"}
+
+    def test_arity_conflict_rejected(self):
+        with pytest.raises(SchemaError):
+            parse_program("R(x) :- S(x). R(x, y) :- S(x), S(y).")
+
+    def test_arity_lookup(self):
+        program = parse_program("T(x,y) :- G(x,y).")
+        assert program.arity("G") == 2
+        with pytest.raises(SchemaError):
+            program.arity("missing")
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ProgramError):
+            Program([])
+
+    def test_feature_flags(self):
+        program = parse_program("!R(x) :- S(x), x != 'a'.")
+        assert program.uses_negative_heads()
+        assert program.uses_equality()
+        assert not program.uses_bottom()
+
+    def test_source_round_trip(self):
+        program = parse_program("T(x,y) :- G(x,y).\nT(x,y) :- G(x,z), T(z,y).")
+        assert parse_program(program.source()) == program
+
+    def test_with_rules(self):
+        program = parse_program("T(x) :- G(x).")
+        extended = program.with_rules([parse_rule("U(x) :- T(x).")])
+        assert len(extended) == 2
+        assert "U" in extended.idb
+
+
+class TestStratification:
+    def test_simple_stratification(self):
+        program = parse_program(
+            "T(x,y) :- G(x,y). T(x,y) :- G(x,z), T(z,y). CT(x,y) :- not T(x,y)."
+        )
+        strata = stratify(program)
+        t_level = next(i for i, s in enumerate(strata) if "T" in s)
+        ct_level = next(i for i, s in enumerate(strata) if "CT" in s)
+        assert t_level < ct_level
+
+    def test_win_is_not_stratifiable(self):
+        program = parse_program("win(x) :- moves(x,y), not win(y).")
+        assert not is_stratifiable(program)
+        with pytest.raises(StratificationError):
+            stratify(program)
+
+    def test_mutual_recursion_through_negation_rejected(self):
+        program = parse_program("A(x) :- B(x). B(x) :- S(x), not A(x).")
+        assert not is_stratifiable(program)
+
+    def test_positive_mutual_recursion_ok(self):
+        program = parse_program("A(x) :- S(x). A(x) :- B(x). B(x) :- A(x).")
+        assert is_stratifiable(program)
+
+    def test_precedence_graph_polarity(self):
+        program = parse_program("CT(x,y) :- not T(x,y), G(x,y).")
+        graph = precedence_graph(program)
+        assert ("CT", False) in graph["T"]
+        assert ("CT", True) in graph["G"]
+
+    def test_semipositive(self):
+        assert is_semipositive(parse_program("R(x) :- S(x), not E(x)."))
+        assert not is_semipositive(
+            parse_program("R(x) :- S(x). U(x) :- S(x), not R(x).")
+        )
+
+
+class TestSafety:
+    def test_datalog_head_var_needs_positive_literal(self):
+        program = parse_program("R(x) :- not S(x).")
+        with pytest.raises(DialectError):
+            # body negation is itself illegal in plain Datalog
+            validate_program(program, Dialect.DATALOG)
+
+    def test_datalog_unbound_head_var(self):
+        program = parse_program("R(x, y) :- S(x).")
+        with pytest.raises(SafetyError):
+            validate_program(program, Dialect.DATALOG_NEG)
+
+    def test_datalog_neg_allows_negative_binding(self):
+        program = parse_program("R(x) :- not S(x).")
+        validate_program(program, Dialect.DATALOG_NEG)  # paper's safety
+
+    def test_ndatalog_requires_positive_binding(self):
+        program = parse_program("R(x), U(x) :- not S(x).")
+        with pytest.raises(SafetyError):
+            validate_program(program, Dialect.N_DATALOG_NEG)
+
+    def test_ndatalog_equality_binds(self):
+        program = parse_program("R(x), U(y) :- S(x), y = 'c'.")
+        validate_program(program, Dialect.N_DATALOG_NEGNEG)
+
+    def test_invention_requires_new_dialect(self):
+        program = parse_program("R(x, n) :- S(x).")
+        with pytest.raises(SafetyError):
+            validate_program(program, Dialect.DATALOG_NEG)
+        validate_program(program, Dialect.DATALOG_NEW)
+
+
+class TestDialectGates:
+    def test_negative_head_needs_negneg(self):
+        program = parse_program("!R(x) :- R(x), S(x).")
+        with pytest.raises(DialectError):
+            validate_program(program, Dialect.DATALOG_NEG)
+        validate_program(program, Dialect.DATALOG_NEGNEG)
+
+    def test_bottom_needs_bottom_dialect(self):
+        program = parse_program("bottom :- S(x).")
+        with pytest.raises(DialectError):
+            validate_program(program, Dialect.N_DATALOG_NEGNEG)
+        validate_program(program, Dialect.N_DATALOG_BOTTOM)
+
+    def test_forall_needs_forall_dialect(self):
+        program = parse_program("R(x) :- forall y: S(x), not Q(x, y).")
+        with pytest.raises(DialectError):
+            validate_program(program, Dialect.N_DATALOG_NEG)
+        validate_program(program, Dialect.N_DATALOG_FORALL)
+
+    def test_multi_head_needs_n_dialect(self):
+        program = parse_program("A(x), B(x) :- S(x).")
+        with pytest.raises(DialectError):
+            validate_program(program, Dialect.DATALOG_NEG)
+        validate_program(program, Dialect.N_DATALOG_NEG)
+
+    def test_equality_needs_n_dialect(self):
+        program = parse_program("A(x) :- S(x, y), x != y.")
+        with pytest.raises(DialectError):
+            validate_program(program, Dialect.DATALOG_NEG)
+        validate_program(program, Dialect.N_DATALOG_NEG)
+
+
+class TestInferDialect:
+    @pytest.mark.parametrize(
+        "source,expected",
+        [
+            ("T(x,y) :- G(x,y).", Dialect.DATALOG),
+            ("R(x) :- S(x), not E(x).", Dialect.SEMIPOSITIVE),
+            (
+                "T(x) :- G(x). U(x) :- S(x), not T(x).",
+                Dialect.STRATIFIED,
+            ),
+            ("win(x) :- moves(x,y), not win(y).", Dialect.DATALOG_NEG),
+            ("!R(x) :- R(x), R(y).", Dialect.DATALOG_NEGNEG),
+            ("R(x, n) :- S(x).", Dialect.DATALOG_NEW),
+            ("A(x), B(x) :- S(x).", Dialect.N_DATALOG_NEG),
+            ("!A(x), B(x) :- A(x), S(x).", Dialect.N_DATALOG_NEGNEG),
+            ("bottom :- S(x).", Dialect.N_DATALOG_BOTTOM),
+            ("R(x) :- forall y: S(x), not Q(x,y).", Dialect.N_DATALOG_FORALL),
+        ],
+    )
+    def test_inference(self, source, expected):
+        assert infer_dialect(parse_program(source)) == expected
+
+    def test_inferred_dialect_validates(self):
+        for source in [
+            "T(x,y) :- G(x,y).",
+            "win(x) :- moves(x,y), not win(y).",
+            "!R(x) :- R(x), R(y).",
+        ]:
+            program = parse_program(source)
+            validate_program(program, infer_dialect(program))

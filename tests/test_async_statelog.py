@@ -1,0 +1,123 @@
+"""Tests for Dedalus-style async rules and the CALM demonstration (§6)."""
+
+import pytest
+
+from repro.errors import StepBudgetExceeded
+from repro.relational.instance import Database
+from repro.statelog import parse_statelog, run_async_statelog
+
+GOSSIP = parse_statelog(
+    """
+    % Monotone gossip: knowledge spreads along links, asynchronously.
+    ~know(n2, f) :- know(n1, f), link(n1, n2).
+    +know(n, f) :- know(n, f).
+    +link(a, b) :- link(a, b).
+    """
+)
+
+RACE = parse_statelog(
+    """
+    % Non-monotone: the verdict depends on whether the payload beat
+    % the probe — a message race.
+    ~probe(n) :- start(n).
+    ~know(n, 'payload') :- origin(n2), link(n2, n).
+    +verdict(n, 'present') :- probe(n), know(n, 'payload').
+    +verdict(n, 'absent') :- probe(n), not know(n, 'payload').
+    +verdict(n, v) :- verdict(n, v).
+    +know(n, f) :- know(n, f).
+    +start(n) :- start(n), not probe(n).
+    +origin(n) :- origin(n).
+    +link(a, b) :- link(a, b).
+    """
+)
+
+
+def _ring(n: int):
+    return [(f"h{i}", f"h{(i + 1) % n}") for i in range(n)]
+
+
+class TestParsing:
+    def test_async_rules_split(self):
+        assert len(GOSSIP.asynchronous) == 1
+        assert len(GOSSIP.inductive) == 2
+
+
+class TestGossip:
+    def _run(self, seed):
+        db = Database({"link": _ring(4), "know": [("h0", "payload")]})
+        return run_async_statelog(GOSSIP, db, seed=seed, max_delay=3)
+
+    def test_everyone_learns(self):
+        result = self._run(seed=0)
+        knowers = {t[0] for t in result.answer("know")}
+        assert knowers == {"h0", "h1", "h2", "h3"}
+
+    def test_calm_confluence_across_schedules(self):
+        """Monotone ⇒ eventually consistent: every delivery schedule
+        reaches the same final knowledge (the CALM intuition of §6)."""
+        finals = {self._run(seed=s).answer("know") for s in range(8)}
+        assert len(finals) == 1
+
+    def test_schedules_differ_in_latency(self):
+        """The *trajectories* differ even though the outcome does not."""
+        lengths = {self._run(seed=s).steps for s in range(8)}
+        assert len(lengths) > 1
+
+    def test_unreachable_nodes_stay_ignorant(self):
+        db = Database(
+            {"link": [("h0", "h1")], "know": [("h0", "f")], "island": [("h9",)]}
+        )
+        result = run_async_statelog(GOSSIP, db, seed=3)
+        knowers = {t[0] for t in result.answer("know")}
+        assert "h9" not in knowers
+
+
+class TestRace:
+    def _run(self, seed):
+        db = Database(
+            {
+                "origin": [("src",)],
+                "link": [("src", "node")],
+                "start": [("node",)],
+            }
+        )
+        result = run_async_statelog(RACE, db, seed=seed, max_delay=4)
+        return result.answer("verdict")
+
+    def test_non_monotone_outcomes_diverge(self):
+        """Negation over a message-carried relation races: different
+        schedules, different verdicts — no CALM guarantee."""
+        outcomes = {self._run(seed=s) for s in range(24)}
+        assert len(outcomes) > 1
+        flattened = {v for outcome in outcomes for _, v in outcome}
+        assert flattened == {"present", "absent"}
+
+    def test_each_run_reaches_exactly_one_verdict(self):
+        for seed in range(10):
+            verdicts = self._run(seed)
+            nodes = {n for n, _ in verdicts}
+            assert nodes == {"node"}
+
+
+class TestTermination:
+    def test_budget_exceeded_reported(self):
+        chatty = parse_statelog(
+            """
+            ~ping(x) :- ping(x).
+            +ping(x) :- ping(x).
+            """
+        )
+        # A single dedup'd message cannot loop forever: it stabilizes.
+        db = Database({"ping": [("a",)]})
+        result = run_async_statelog(chatty, db, seed=1)
+        assert result.answer("ping") == frozenset({("a",)})
+
+    def test_messages_delivered_exactly_once(self):
+        db = Database({"link": [("h0", "h1")], "know": [("h0", "f")]})
+        result = run_async_statelog(GOSSIP, db, seed=5)
+        histories = result.history("know")
+        # Once delivered, the frame rule keeps it; delivery happened once.
+        first = next(
+            i for i, h in enumerate(histories) if ("h1", "f") in h
+        )
+        assert all(("h1", "f") in h for h in histories[first:])

@@ -1,0 +1,202 @@
+"""Tests for the choice operator (§5.2's LDL discussion, [90]/[52])."""
+
+import pytest
+
+from repro.errors import DialectError, ProgramError, SafetyError
+from repro.ast.program import Dialect
+from repro.ast.analysis import infer_dialect, validate_program
+from repro.ast.rules import ChoiceLit
+from repro.parser import parse_program, parse_rule
+from repro.relational.instance import Database
+from repro.semantics.choice import (
+    ChoiceResult,
+    choice_is_functional,
+    evaluate_with_choice,
+)
+from repro.terms import Var
+
+ADVISOR = """
+advisor(s, p) :- student(s), professor(p), choice((s), (p)).
+"""
+
+SPANNING_TREE = """
+root(x) :- node(x), choice((), (x)).
+intree(x) :- root(x).
+tree(x, y) :- intree(x), G(x, y), not intree(y), choice((y), (x)).
+intree(y) :- tree(x, y).
+"""
+
+
+class TestSyntax:
+    def test_parse_choice_goal(self):
+        rule = parse_rule("advisor(s, p) :- student(s), professor(p), choice((s), (p)).")
+        (goal,) = rule.choice_body()
+        assert goal.domain == (Var("s"),)
+        assert goal.range == (Var("p"),)
+
+    def test_parse_empty_domain(self):
+        rule = parse_rule("root(x) :- node(x), choice((), (x)).")
+        (goal,) = rule.choice_body()
+        assert goal.domain == ()
+
+    def test_parse_multi_var_groups(self):
+        rule = parse_rule("r(a, b, c) :- s(a, b, c), choice((a, b), (c)).")
+        (goal,) = rule.choice_body()
+        assert goal.domain == (Var("a"), Var("b"))
+
+    def test_round_trip(self):
+        program = parse_program(SPANNING_TREE)
+        assert parse_program(program.source()) == program
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ProgramError):
+            ChoiceLit((Var("x"),), ())
+
+    def test_overlapping_domain_range_rejected(self):
+        with pytest.raises(ProgramError):
+            ChoiceLit((Var("x"),), (Var("x"),))
+
+    def test_choice_not_allowed_in_heads(self):
+        with pytest.raises(Exception):
+            parse_rule("choice((x), (y)) :- s(x, y).")
+
+
+class TestValidation:
+    def test_infer_dialect(self):
+        assert infer_dialect(parse_program(ADVISOR)) is Dialect.DATALOG_CHOICE
+
+    def test_choice_forbidden_elsewhere(self):
+        program = parse_program(ADVISOR)
+        with pytest.raises(DialectError):
+            validate_program(program, Dialect.DATALOG_NEG)
+
+    def test_choice_vars_must_be_bound(self):
+        program = parse_program("r(x) :- s(x), choice((x), (z)).")
+        with pytest.raises(SafetyError):
+            validate_program(program, Dialect.DATALOG_CHOICE)
+
+
+class TestAdvisorAssignment:
+    @pytest.fixture
+    def db(self):
+        return Database(
+            {
+                "student": [("s1",), ("s2",), ("s3",)],
+                "professor": [("p1",), ("p2",)],
+            }
+        )
+
+    def test_each_student_one_advisor(self, db):
+        result = evaluate_with_choice(parse_program(ADVISOR), db, seed=1)
+        pairs = result.answer("advisor")
+        students = {t[0] for t in pairs}
+        assert students == {"s1", "s2", "s3"}
+        assert len(pairs) == 3  # exactly one advisor each
+        assert choice_is_functional(result)
+
+    def test_seeds_vary_assignment(self, db):
+        assignments = {
+            evaluate_with_choice(parse_program(ADVISOR), db, seed=s).answer(
+                "advisor"
+            )
+            for s in range(10)
+        }
+        assert len(assignments) > 1
+
+    def test_chosen_function_exposed(self, db):
+        result = evaluate_with_choice(parse_program(ADVISOR), db, seed=0)
+        table = result.chosen_function(0)
+        assert set(table.keys()) == {("s1",), ("s2",), ("s3",)}
+
+
+class TestSpanningTree:
+    @pytest.fixture
+    def db(self):
+        # A strongly connected-ish graph; every node reachable from any.
+        return Database(
+            {
+                "node": [("a",), ("b",), ("c",), ("d",)],
+                "G": [
+                    ("a", "b"),
+                    ("b", "c"),
+                    ("c", "d"),
+                    ("d", "a"),
+                    ("a", "c"),
+                    ("b", "d"),
+                ],
+            }
+        )
+
+    def test_tree_is_parent_function(self, db):
+        result = evaluate_with_choice(parse_program(SPANNING_TREE), db, seed=3)
+        tree = result.answer("tree")
+        children = [y for _, y in tree]
+        assert len(children) == len(set(children))  # one parent each
+
+    def test_tree_spans_reachable_nodes(self, db):
+        result = evaluate_with_choice(parse_program(SPANNING_TREE), db, seed=3)
+        intree = {t[0] for t in result.answer("intree")}
+        assert intree == {"a", "b", "c", "d"}
+        # |tree edges| = |nodes| - 1 (single root)
+        assert len(result.answer("tree")) == 3
+
+    def test_tree_edges_subset_of_graph(self, db):
+        result = evaluate_with_choice(parse_program(SPANNING_TREE), db, seed=5)
+        assert result.answer("tree") <= db.tuples("G")
+
+    def test_single_root(self, db):
+        result = evaluate_with_choice(parse_program(SPANNING_TREE), db, seed=7)
+        assert len(result.answer("root")) == 1  # choice((), (x)) is global
+
+    def test_tree_is_acyclic_towards_root(self, db):
+        result = evaluate_with_choice(parse_program(SPANNING_TREE), db, seed=11)
+        parent = {y: x for x, y in result.answer("tree")}
+        (root,) = (t[0] for t in result.answer("root"))
+        for start in parent:
+            node, hops = start, 0
+            while node in parent:
+                node = parent[node]
+                hops += 1
+                assert hops <= len(parent) + 1, "cycle in tree edges"
+            assert node == root
+
+    def test_deterministic_per_seed(self, db):
+        a = evaluate_with_choice(parse_program(SPANNING_TREE), db, seed=9)
+        b = evaluate_with_choice(parse_program(SPANNING_TREE), db, seed=9)
+        assert a.database == b.database
+
+    def test_different_seeds_reach_different_trees(self, db):
+        trees = {
+            evaluate_with_choice(parse_program(SPANNING_TREE), db, seed=s).answer(
+                "tree"
+            )
+            for s in range(12)
+        }
+        assert len(trees) > 1
+
+
+class TestDynamicChoiceSemantics:
+    def test_commitments_prune_within_a_stage(self):
+        """Two candidates with the same domain value in one stage: only
+        one survives."""
+        db = Database({"s": [("d", "r1"), ("d", "r2")]})
+        program = parse_program("picked(x, y) :- s(x, y), choice((x), (y)).")
+        result = evaluate_with_choice(program, db, seed=0)
+        assert len(result.answer("picked")) == 1
+
+    def test_commitments_survive_stages(self):
+        """A later stage cannot override an earlier commitment."""
+        db = Database({"s": [("d", "r1")], "late": [("d", "r2")]})
+        program = parse_program(
+            """
+            picked(x, y) :- s(x, y), choice((x), (y)).
+            feed(x, y) :- late(x, y), picked(x, z).
+            picked(x, y) :- feed(x, y), choice((x), (y)).
+            """
+        )
+        result = evaluate_with_choice(program, db, seed=0)
+        # picked(d, r1) commits goal 0; the second picked-rule has its
+        # own goal table, so (d, r2) may still enter through it —
+        # per-goal functionality, as in LDL.
+        assert ("d", "r1") in result.answer("picked")
+        assert choice_is_functional(result)

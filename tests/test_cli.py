@@ -1,0 +1,216 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import load_facts, main
+
+
+@pytest.fixture
+def tc_files(tmp_path):
+    program = tmp_path / "tc.dl"
+    program.write_text(
+        "T(x, y) :- G(x, y).\nT(x, y) :- G(x, z), T(z, y).\n"
+    )
+    data = tmp_path / "graph.dl"
+    data.write_text("G('a', 'b').\nG('b', 'c').\n")
+    return str(program), str(data)
+
+
+@pytest.fixture
+def win_files(tmp_path):
+    program = tmp_path / "win.dl"
+    program.write_text("win(x) :- moves(x, y), not win(y).\n")
+    data = tmp_path / "game.dl"
+    data.write_text(
+        "moves('b','c'). moves('c','a'). moves('a','b'). moves('a','d').\n"
+        "moves('d','e'). moves('d','f'). moves('f','g').\n"
+    )
+    return str(program), str(data)
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestLoadFacts:
+    def test_loads_ground_facts(self, tc_files):
+        _, data = tc_files
+        db = load_facts(data)
+        assert db.has_fact("G", ("a", "b"))
+
+    def test_rejects_rules_with_bodies(self, tmp_path):
+        path = tmp_path / "bad.dl"
+        path.write_text("G(x, y) :- H(x, y).\n")
+        with pytest.raises(Exception):
+            load_facts(str(path))
+
+    def test_rejects_nonground_facts(self, tmp_path):
+        path = tmp_path / "bad.dl"
+        path.write_text("G(x).\n")
+        with pytest.raises(Exception):
+            load_facts(str(path))
+
+    def test_integer_constants(self, tmp_path):
+        path = tmp_path / "ints.dl"
+        path.write_text("T(0). T(1).\n")
+        db = load_facts(str(path))
+        assert db.tuples("T") == frozenset({(0,), (1,)})
+
+
+class TestCheck:
+    def test_reports_dialect_and_strata(self, tc_files):
+        program, _ = tc_files
+        code, output = run_cli(["check", program])
+        assert code == 0
+        assert "dialect:  datalog" in output
+        assert "edb:      G" in output
+
+    def test_reports_nonstratifiable(self, win_files):
+        program, _ = win_files
+        code, output = run_cli(["check", program])
+        assert code == 0
+        assert "dialect:  datalog-neg" in output
+        assert "not stratifiable" in output
+
+
+class TestRun:
+    def test_run_auto_datalog(self, tc_files):
+        program, data = tc_files
+        code, output = run_cli(["run", program, "--data", data])
+        assert code == 0
+        assert "T (3 tuples):" in output
+        assert "(a, c)" in output
+
+    def test_run_explicit_semantics(self, tc_files):
+        program, data = tc_files
+        code, output = run_cli(
+            ["run", program, "--data", data, "--semantics", "inflationary"]
+        )
+        assert code == 0
+        assert "T (3 tuples):" in output
+
+    def test_run_wellfounded_three_values(self, win_files):
+        program, data = win_files
+        code, output = run_cli(["run", program, "--data", data])
+        assert code == 0
+        assert "2 true" in output
+        assert "3 unknown" in output
+        assert "unknown (a)" in output
+
+    def test_answer_flag(self, tc_files):
+        program, data = tc_files
+        code, output = run_cli(
+            ["run", program, "--data", data, "--answer", "T"]
+        )
+        assert code == 0
+        assert output.count("tuples):") == 1
+
+    def test_missing_file_errors(self):
+        code, _ = run_cli(["run", "/nonexistent.dl"])
+        assert code == 1
+
+
+class TestTrace:
+    def test_trace_stages(self, tc_files):
+        program, data = tc_files
+        code, output = run_cli(["trace", program, "--data", data])
+        assert code == 0
+        assert "stage 1:" in output
+        assert "+ T(a, b)" in output
+        assert "fixpoint after 2 stages" in output
+
+    def test_trace_noninflationary_deletions(self, tmp_path):
+        program = tmp_path / "del.dl"
+        program.write_text("!S(x) :- S(x), E(x).\n")
+        data = tmp_path / "d.dl"
+        data.write_text("S('a'). S('b'). E('a').\n")
+        code, output = run_cli(
+            ["trace", str(program), "--data", str(data),
+             "--semantics", "noninflationary"]
+        )
+        assert code == 0
+        assert "- S(a)" in output
+
+
+class TestExplain:
+    def test_explain_derived_fact(self, tc_files):
+        program, data = tc_files
+        code, output = run_cli(
+            ["explain", program, "T", "a", "c", "--data", data]
+        )
+        assert code == 0
+        assert "T(a, c)" in output
+        assert "[edb]" in output
+
+    def test_explain_missing_fact(self, tc_files):
+        program, data = tc_files
+        code, _ = run_cli(["explain", program, "T", "c", "a", "--data", data])
+        assert code == 1
+
+    def test_integer_values_parsed(self, tmp_path):
+        program = tmp_path / "p.dl"
+        program.write_text("Big(x) :- N(x).\n")
+        data = tmp_path / "n.dl"
+        data.write_text("N(7).\n")
+        code, output = run_cli(["explain", str(program), "Big", "7", "--data", str(data)])
+        assert code == 0
+        assert "Big(7)" in output
+
+
+class TestMoreSemantics:
+    def test_run_choice_semantics(self, tmp_path):
+        program = tmp_path / "c.dl"
+        program.write_text(
+            "advisor(s, p) :- student(s), professor(p), choice((s), (p)).\n"
+        )
+        data = tmp_path / "d.dl"
+        data.write_text("student('s1'). professor('p1'). professor('p2').\n")
+        code, output = run_cli(
+            ["run", str(program), "--data", str(data),
+             "--semantics", "choice", "--seed", "3"]
+        )
+        assert code == 0
+        assert "advisor (1 tuples):" in output
+
+    def test_run_auto_noninflationary(self, tmp_path):
+        program = tmp_path / "d.dl"
+        program.write_text("!S(x) :- S(x), E(x).\n")
+        data = tmp_path / "f.dl"
+        data.write_text("S('a'). S('b'). E('a').\n")
+        code, output = run_cli(["run", str(program), "--data", str(data)])
+        assert code == 0
+        assert "noninflationary (auto)" in output
+        assert "S (1 tuples):" in output
+
+    def test_run_auto_invention(self, tmp_path):
+        program = tmp_path / "i.dl"
+        program.write_text("tag(x, n) :- R(x), not tagged(x).\ntagged(x) :- tag(x, n).\n")
+        data = tmp_path / "f.dl"
+        data.write_text("R('a').\n")
+        code, output = run_cli(["run", str(program), "--data", str(data)])
+        assert code == 0
+        assert "invention (auto)" in output
+
+    def test_run_auto_rejects_nondeterministic(self, tmp_path):
+        program = tmp_path / "n.dl"
+        program.write_text("A(x), B(x) :- S(x).\n")
+        code, _ = run_cli(["run", str(program)])
+        assert code == 2
+
+
+class TestEffects:
+    def test_orientation_effects(self, tmp_path):
+        program = tmp_path / "orient.dl"
+        program.write_text("!G(x, y) :- G(x, y), G(y, x).\n")
+        data = tmp_path / "g.dl"
+        data.write_text("G('a','b'). G('b','a').\n")
+        code, output = run_cli(
+            ["effects", str(program), "--data", str(data), "--answer", "G"]
+        )
+        assert code == 0
+        assert "terminal instances: 2" in output
+        assert "possible answers for G: 2" in output

@@ -1,0 +1,121 @@
+"""Tests for the exception hierarchy and result-object helpers."""
+
+import pytest
+
+from repro.errors import (
+    ContradictionError,
+    DialectError,
+    EvaluationError,
+    NonTerminationError,
+    ParseError,
+    ProgramError,
+    ReproError,
+    SafetyError,
+    SchemaError,
+    StepBudgetExceeded,
+    StratificationError,
+    UnsafeAnswerError,
+)
+from repro.parser import parse_program
+from repro.relational.instance import Database
+from repro.semantics.base import EvaluationResult, StageTrace
+from repro.semantics.inflationary import evaluate_inflationary
+from repro.programs.tc import tc_program
+from repro.workloads.graphs import chain, graph_database
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            SchemaError,
+            ProgramError,
+            SafetyError,
+            StratificationError,
+            DialectError,
+            EvaluationError,
+            NonTerminationError,
+            StepBudgetExceeded,
+            ContradictionError,
+            UnsafeAnswerError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_safety_is_program_error(self):
+        assert issubclass(SafetyError, ProgramError)
+        assert issubclass(StratificationError, ProgramError)
+
+    def test_nontermination_is_evaluation_error(self):
+        assert issubclass(NonTerminationError, EvaluationError)
+
+    def test_parse_error_location_rendering(self):
+        err = ParseError("boom", line=3, column=7)
+        assert "line 3" in str(err)
+        assert "column 7" in str(err)
+        assert err.line == 3 and err.column == 7
+
+    def test_parse_error_without_location(self):
+        assert str(ParseError("boom")) == "boom"
+
+    def test_nontermination_stage_attribute(self):
+        err = NonTerminationError("loops", stage=5)
+        assert err.stage == 5
+
+    def test_budget_attribute(self):
+        err = StepBudgetExceeded("too long", 99)
+        assert err.budget == 99
+
+
+class TestStageTrace:
+    def test_counts(self):
+        trace = StageTrace(1, new_facts=[("R", ("a",))], removed_facts=[])
+        assert trace.added == 1
+        assert trace.removed == 0
+
+
+class TestEvaluationResult:
+    @pytest.fixture
+    def result(self):
+        return evaluate_inflationary(tc_program(), graph_database(chain(4)))
+
+    def test_answer_missing_relation_empty(self, result):
+        assert result.answer("nope") == frozenset()
+
+    def test_stage_of_found(self, result):
+        assert result.stage_of("T", ("n0", "n1")) == 1
+        assert result.stage_of("T", ("n0", "n3")) == 3
+
+    def test_stage_of_missing(self, result):
+        assert result.stage_of("T", ("n3", "n0")) is None
+
+    def test_stage_count_matches_stages(self, result):
+        assert result.stage_count == len(result.stages)
+
+    def test_rule_firings_positive(self, result):
+        assert result.rule_firings > 0
+
+
+class TestWellFoundedModelHelpers:
+    def test_truth_values_and_totality(self):
+        from repro.semantics.wellfounded import evaluate_wellfounded
+
+        program = parse_program("R(x) :- S(x), not E(x).")
+        db = Database({"S": [("a",), ("b",)], "E": [("b",)]})
+        model = evaluate_wellfounded(program, db)
+        assert model.is_total()
+        assert model.truth_value("R", ("a",)) == "true"
+        assert model.truth_value("R", ("b",)) == "false"
+        assert model.unknown_facts() == frozenset()
+
+
+class TestNondeterministicRunHelpers:
+    def test_answer_and_steps(self):
+        from repro.semantics.nondeterministic import run_nondeterministic
+
+        program = parse_program("R(x) :- S(x).")
+        run = run_nondeterministic(program, Database({"S": [("a",)]}), seed=0)
+        assert run.answer("R") == frozenset({("a",)})
+        assert run.step_count == 1
+        assert not run.aborted

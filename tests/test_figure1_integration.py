@@ -1,0 +1,154 @@
+"""Integration tests witnessing Figure 1 — the expressiveness hierarchy.
+
+    Datalog¬new ≡ all computable queries
+        ⇑
+    Datalog¬¬ ≡ while
+        ↑  (strict iff PTIME ≠ PSPACE)
+    well-founded ≡ inflationary Datalog¬ ≡ fixpoint
+        ⇑
+    stratified Datalog¬
+        ⇑
+    Datalog
+
+Each inclusion is witnessed by running a characteristic query at one
+level on all engines above it and checking agreement; each *strictness*
+that is witnessable (⇑ arrows) is witnessed by a query/program the
+lower level provably rejects or cannot express, per the paper:
+
+* TC ∉ FO (cited, not testable here), TC ∈ Datalog;
+* complement-of-TC needs negation: plain Datalog is monotone, and CTC
+  is not monotone — tested via a monotonicity violation;
+* P_win is rejected by the stratifier but answered by well-founded and
+  (as a fixpoint query, via its complement construction) inflationary
+  evaluation;
+* Datalog¬¬'s flip-flop diverges while every inflationary program
+  terminates;
+* Datalog¬new computes evenness on unordered inputs, which no generic
+  polynomial-space language in the family does.
+"""
+
+import pytest
+
+from repro.errors import NonTerminationError, StratificationError
+from repro.parser import parse_program
+from repro.relational.instance import Database
+from repro.semantics.inflationary import evaluate_inflationary
+from repro.semantics.invention import evaluate_with_invention
+from repro.semantics.naive import evaluate_datalog_naive
+from repro.semantics.noninflationary import evaluate_noninflationary
+from repro.semantics.seminaive import evaluate_datalog_seminaive
+from repro.semantics.stratified import evaluate_stratified
+from repro.semantics.wellfounded import evaluate_wellfounded
+from repro.programs.ctc_inflationary import ctc_inflationary_program
+from repro.programs.flip_flop import flip_flop_input, flip_flop_program
+from repro.programs.tc import ctc_stratified_program, tc_program
+from repro.programs.win import win_program
+from repro.workloads.games import game_database, paper_game
+from repro.workloads.graphs import graph_database, random_gnp
+
+
+class TestLevelAgreement:
+    """A query at level k is computed identically by every engine ≥ k."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_datalog_query_on_all_engines(self, seed):
+        """TC through the entire deterministic tower."""
+        edges = random_gnp(7, 0.25, seed=seed)
+        db = graph_database(edges)
+        program = tc_program()
+        answers = {
+            "naive": evaluate_datalog_naive(program, db).answer("T"),
+            "seminaive": evaluate_datalog_seminaive(program, db).answer("T"),
+            "stratified": evaluate_stratified(program, db).answer("T"),
+            "wellfounded": evaluate_wellfounded(program, db).answer("T"),
+            "inflationary": evaluate_inflationary(program, db).answer("T"),
+            "noninflationary": evaluate_noninflationary(
+                program, db, validate=False
+            ).answer("T"),
+            "invention": evaluate_with_invention(
+                program, db, validate=False
+            ).answer("T"),
+        }
+        reference = answers["naive"]
+        for engine, answer in answers.items():
+            assert answer == reference, engine
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_stratified_query_on_higher_engines(self, seed):
+        """CTC: stratified = well-founded = inflationary-with-delay."""
+        edges = random_gnp(6, 0.3, seed=seed)
+        if not edges:
+            pytest.skip("empty graph")
+        db = graph_database(edges)
+        strat = evaluate_stratified(ctc_stratified_program(), db).answer("CT")
+        wf = evaluate_wellfounded(ctc_stratified_program(), db).answer("CT")
+        infl = evaluate_inflationary(ctc_inflationary_program(), db).answer("CT")
+        assert strat == wf == infl
+
+
+class TestWitnessedSeparations:
+    def test_datalog_is_monotone_but_ctc_is_not(self):
+        """Plain Datalog cannot express CTC: Datalog is monotone
+        (I ⊆ J ⟹ P(I) ⊆ P(J)) while CTC shrinks as edges are added."""
+        small = graph_database([("a", "b")])
+        big = graph_database([("a", "b"), ("b", "a")])
+        # Monotonicity of the Datalog engine on TC:
+        t_small = evaluate_datalog_seminaive(tc_program(), small).answer("T")
+        t_big = evaluate_datalog_seminaive(tc_program(), big).answer("T")
+        assert t_small <= t_big
+        # CTC violates monotonicity on the same pair:
+        ct_small = evaluate_stratified(ctc_stratified_program(), small).answer("CT")
+        ct_big = evaluate_stratified(ctc_stratified_program(), big).answer("CT")
+        assert not (ct_small <= ct_big)
+
+    def test_stratifier_rejects_win_but_wellfounded_answers(self):
+        db = game_database(paper_game())
+        with pytest.raises(StratificationError):
+            evaluate_stratified(win_program(), db)
+        model = evaluate_wellfounded(win_program(), db)
+        assert model.answer("win") == frozenset({("d",), ("f",)})
+
+    def test_inflationary_always_terminates_flip_flop_does_not(self):
+        """Every inflationary Datalog¬ program reaches Γ^ω in finitely
+        many stages; the Datalog¬¬ flip-flop provably cycles."""
+        # Inflationary version of the flip-flop (negative heads dropped)
+        # terminates immediately at the full instance:
+        inflationary_version = parse_program("T(0) :- T(1). T(1) :- T(0).")
+        result = evaluate_inflationary(inflationary_version, flip_flop_input())
+        assert result.answer("T") == frozenset({(0,), (1,)})
+        with pytest.raises(NonTerminationError):
+            evaluate_noninflationary(flip_flop_program(), flip_flop_input())
+
+    @pytest.mark.parametrize("k", range(5))
+    def test_invention_computes_evenness_without_order(self, k):
+        """Theorem 4.6's power on the paper's impossibility example:
+        |R| even, computed generically (no order relation) by
+        enumerating every ordering via invented chain cells."""
+        from repro.programs.evenness_generic import evenness_generic
+
+        rows = [(f"e{i}",) for i in range(k)]
+        assert evenness_generic(rows) == (k % 2 == 0)
+
+    def test_invention_escapes_the_active_domain(self):
+        """The mechanism behind the escape: invented values lie outside
+        adom(P, I), which no other engine in the family can produce."""
+        db = Database({"R": [("a",), ("b",)]})
+        result = evaluate_with_invention(
+            parse_program("fresh(n, x) :- R(x)."), db
+        )
+        new_values = {
+            t[0] for t in result.database.tuples("fresh")
+        } - db.active_domain()
+        assert len(new_values) == 2
+
+
+class TestHierarchySummary:
+    def test_dialect_ordering_matches_figure(self):
+        """infer_dialect places the paper's programs at their levels."""
+        from repro.ast.analysis import infer_dialect
+        from repro.ast.program import Dialect
+
+        assert infer_dialect(tc_program()) is Dialect.DATALOG
+        assert infer_dialect(ctc_stratified_program()) is Dialect.STRATIFIED
+        assert infer_dialect(win_program()) is Dialect.DATALOG_NEG
+        assert infer_dialect(flip_flop_program()) is Dialect.DATALOG_NEGNEG

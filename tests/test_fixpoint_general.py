@@ -1,0 +1,142 @@
+"""Tests for the general fixpoint → inflationary Datalog¬ compiler."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.languages.while_lang import (
+    Assign,
+    Comprehension,
+    WhileChange,
+    WhileProgram,
+    evaluate_while,
+)
+from repro.logic.formula import (
+    And,
+    Atom,
+    Equals,
+    Exists,
+    Forall,
+    Implies,
+    Not,
+    Or,
+)
+from repro.relational.instance import Database
+from repro.semantics.inflationary import evaluate_inflationary
+from repro.terms import Const, Var
+from repro.translate.fixpoint_general import compile_fixpoint_loop_general
+from repro.workloads.graphs import chain, cycle, graph_database, lollipop, random_gnp
+
+x, y, z = Var("x"), Var("y"), Var("z")
+
+GOOD = Forall((y,), Implies(Atom("G", (y, x)), Atom("R", (y,))))
+TC = Or(Atom("G", (x, y)), Exists((z,), And(Atom("R", (x, z)), Atom("G", (z, y)))))
+FWD_SAFE = Not(Exists((y,), And(Atom("G", (x, y)), Not(Atom("R", (y,))))))
+MIXED = Or(
+    Atom("S", (x,)),
+    And(
+        Exists((y,), And(Atom("G", (x, y)), Atom("R", (y,)))),
+        Not(Atom("R", (x,))),
+    ),
+)
+
+GRAPHS = {
+    "chain": chain(5),
+    "cycle": cycle(4),
+    "lollipop": lollipop(3, 2),
+    "gnp": random_gnp(6, 0.3, seed=5),
+}
+
+
+def while_loop(variables, formula):
+    return WhileProgram(
+        (WhileChange((Assign("R", Comprehension(variables, formula), cumulative=True),)),),
+        answer="R",
+    )
+
+
+class TestEquivalenceWithWhile:
+    @pytest.mark.parametrize("graph", list(GRAPHS), ids=list(GRAPHS))
+    @pytest.mark.parametrize(
+        "variables,formula",
+        [((x,), GOOD), ((x, y), TC), ((x,), FWD_SAFE)],
+        ids=["good", "tc", "fwd-safe"],
+    )
+    def test_agrees_on_graphs(self, graph, variables, formula):
+        program = compile_fixpoint_loop_general("R", variables, formula, {"G": 2})
+        db = graph_database(GRAPHS[graph])
+        datalog = evaluate_inflationary(program, db).answer("R")
+        loop = evaluate_while(while_loop(variables, formula), db).answer("R")
+        assert datalog == loop
+
+    def test_seeded_target(self):
+        """R nonempty in the input: the input tuples stamp extra waves,
+        which must stay consistent with iteration 0."""
+        program = compile_fixpoint_loop_general("R", (x, y), TC, {"G": 2})
+        db = Database({"G": chain(4), "R": [("n3", "n0")]})
+        datalog = evaluate_inflationary(program, db).answer("R")
+        loop = evaluate_while(while_loop((x, y), TC), db).answer("R")
+        assert datalog == loop
+        assert ("n3", "n1") in datalog  # composition through the seeded edge
+
+    def test_mixed_polarity_body(self):
+        """R occurring both positively and negatively in φ — outside the
+        timestamp module's restriction, exact here."""
+        program = compile_fixpoint_loop_general(
+            "R", (x,), MIXED, {"G": 2, "S": 1}
+        )
+        db = Database({"G": chain(4), "S": [("n0",)]})
+        datalog = evaluate_inflationary(program, db).answer("R")
+        loop = evaluate_while(while_loop((x,), MIXED), db).answer("R")
+        assert datalog == loop
+
+    def test_equality_in_body(self):
+        phi = And(Atom("G", (x, y)), Not(Equals(x, y)))
+        program = compile_fixpoint_loop_general("R", (x, y), phi, {"G": 2})
+        db = Database({"G": [("a", "a"), ("a", "b")]})
+        datalog = evaluate_inflationary(program, db).answer("R")
+        assert datalog == frozenset({("a", "b")})
+
+    def test_empty_graph(self):
+        # S only carries the active domain; it must be declared so the
+        # compiled adom predicate collects it (the while interpreter
+        # sees the whole input implicitly).
+        program = compile_fixpoint_loop_general("R", (x,), GOOD, {"G": 2, "S": 1})
+        db = Database({"S": [("a",)], "G": []})
+        datalog = evaluate_inflationary(program, db).answer("R")
+        loop = evaluate_while(while_loop((x,), GOOD), db).answer("R")
+        assert datalog == loop
+        assert datalog == frozenset({("a",)})  # vacuous ∀ over no edges
+
+
+class TestValidation:
+    def test_free_variable_mismatch(self):
+        with pytest.raises(ProgramError):
+            compile_fixpoint_loop_general("R", (x,), Atom("G", (x, y)), {"G": 2})
+
+    def test_undeclared_relation(self):
+        with pytest.raises(ProgramError):
+            compile_fixpoint_loop_general("R", (x,), Atom("Z", (x,)), {"G": 2})
+
+    def test_target_must_not_be_edb(self):
+        with pytest.raises(ProgramError):
+            compile_fixpoint_loop_general(
+                "R", (x,), Atom("R", (x,)), {"G": 2, "R": 1}
+            )
+
+
+class TestAgreementWithRestrictedCompiler:
+    def test_same_result_as_timestamp_compiler(self):
+        """On the restricted class both compilers are defined; they must
+        agree (and both match the while loop)."""
+        from repro.ast.rules import neg, pos
+        from repro.translate.fixpoint_to_datalog import compile_fixpoint_loop
+
+        restricted = compile_fixpoint_loop(
+            "R", (x,), (pos("G", y, x), neg("R", y)), {"G"}
+        )
+        general = compile_fixpoint_loop_general("R", (x,), GOOD, {"G": 2})
+        for edges in (chain(5), lollipop(3, 3), random_gnp(6, 0.25, seed=2)):
+            db = graph_database(edges)
+            a = evaluate_inflationary(restricted, db).answer("R")
+            b = evaluate_inflationary(general, db).answer("R")
+            assert a == b

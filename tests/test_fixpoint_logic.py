@@ -1,0 +1,158 @@
+"""Tests for FO+IFP / FO+PFP and the witness operator (§2, §5.2)."""
+
+import random
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.languages.fixpoint_logic import (
+    Definition,
+    DefinitionKind,
+    FixpointQuery,
+    evaluate_fixpoint_query,
+)
+from repro.logic.formula import And, Atom, Exists, Not, Or
+from repro.relational.instance import Database
+from repro.terms import Var
+
+x, y, z = Var("x"), Var("y"), Var("z")
+
+TC_PHI = Or(Atom("G", (x, y)), Exists((z,), And(Atom("T", (x, z)), Atom("G", (z, y)))))
+
+
+@pytest.fixture
+def graph():
+    return Database({"G": [("a", "b"), ("b", "c")]})
+
+
+class TestIFP:
+    def test_transitive_closure(self, graph):
+        q = FixpointQuery(
+            (Definition("T", (x, y), TC_PHI, DefinitionKind.IFP),), answer="T"
+        )
+        assert evaluate_fixpoint_query(q, graph) == {
+            ("a", "b"),
+            ("b", "c"),
+            ("a", "c"),
+        }
+
+    def test_straight_line_composition(self, graph):
+        """A second definition reads the first — flattened nesting."""
+        q = FixpointQuery(
+            (
+                Definition("T", (x, y), TC_PHI, DefinitionKind.IFP),
+                Definition(
+                    "CT", (x, y), Not(Atom("T", (x, y))), DefinitionKind.FO
+                ),
+            ),
+            answer="CT",
+        )
+        out = evaluate_fixpoint_query(q, graph)
+        assert ("b", "a") in out and ("a", "c") not in out
+
+    def test_is_inflationary_flag(self):
+        q = FixpointQuery(
+            (Definition("T", (x, y), TC_PHI, DefinitionKind.IFP),), answer="T"
+        )
+        assert q.is_inflationary()
+        assert q.is_deterministic()
+
+
+class TestPFP:
+    def test_pfp_reaches_fixpoint(self, graph):
+        # PFP of the TC formula converges (same as IFP here).
+        q = FixpointQuery(
+            (Definition("T", (x, y), TC_PHI, DefinitionKind.PFP),), answer="T"
+        )
+        assert ("a", "c") in evaluate_fixpoint_query(q, graph)
+
+    def test_pfp_without_fixpoint_is_empty(self):
+        """R := ¬R cycles; partial fixpoint is undefined → ∅ (§2)."""
+        q = FixpointQuery(
+            (Definition("R", (x,), Not(Atom("R", (x,))), DefinitionKind.PFP),),
+            answer="R",
+        )
+        db = Database({"S": [("a",), ("b",)]})
+        assert evaluate_fixpoint_query(q, db) == set()
+
+    def test_pfp_flag(self):
+        q = FixpointQuery(
+            (Definition("R", (x,), Not(Atom("R", (x,))), DefinitionKind.PFP),),
+            answer="R",
+        )
+        assert not q.is_inflationary()
+
+
+class TestWitness:
+    def test_witness_picks_single_tuple(self):
+        q = FixpointQuery(
+            (Definition("W", (x,), Atom("S", (x,)), DefinitionKind.WITNESS),),
+            answer="W",
+        )
+        db = Database({"S": [("a",), ("b",), ("c",)]})
+        out = evaluate_fixpoint_query(q, db, rng=random.Random(0))
+        assert len(out) == 1
+        assert out <= {("a",), ("b",), ("c",)}
+
+    def test_witness_requires_rng(self):
+        q = FixpointQuery(
+            (Definition("W", (x,), Atom("S", (x,)), DefinitionKind.WITNESS),),
+            answer="W",
+        )
+        with pytest.raises(EvaluationError):
+            evaluate_fixpoint_query(q, Database({"S": [("a",)]}))
+
+    def test_witness_of_empty_is_empty(self):
+        q = FixpointQuery(
+            (Definition("W", (x,), Atom("S", (x,)), DefinitionKind.WITNESS),),
+            answer="W",
+        )
+        db = Database({"T": [("a",)]})
+        assert evaluate_fixpoint_query(q, db, rng=random.Random(1)) == set()
+
+    def test_witness_varies_with_seed(self):
+        q = FixpointQuery(
+            (Definition("W", (x,), Atom("S", (x,)), DefinitionKind.WITNESS),),
+            answer="W",
+        )
+        db = Database({"S": [(f"v{i}",) for i in range(8)]})
+        picks = {
+            tuple(evaluate_fixpoint_query(q, db, rng=random.Random(s)))
+            for s in range(10)
+        }
+        assert len(picks) > 1
+
+    def test_deterministic_flag(self):
+        q = FixpointQuery(
+            (Definition("W", (x,), Atom("S", (x,)), DefinitionKind.WITNESS),),
+            answer="W",
+        )
+        assert not q.is_deterministic()
+
+
+class TestValidation:
+    def test_definition_variable_mismatch(self):
+        with pytest.raises(EvaluationError):
+            Definition("R", (x,), Atom("G", (x, y)))
+
+    def test_missing_answer_relation(self, graph):
+        q = FixpointQuery(
+            (Definition("T", (x, y), TC_PHI, DefinitionKind.IFP),), answer="ZZZ"
+        )
+        with pytest.raises(EvaluationError):
+            evaluate_fixpoint_query(q, graph)
+
+
+class TestEquivalenceWithDatalog:
+    """FO+IFP ≡ inflationary Datalog¬ (Theorem 4.2 family), on examples."""
+
+    def test_ifp_tc_equals_inflationary_tc(self, graph):
+        from repro.programs.tc import tc_program
+        from repro.semantics.inflationary import evaluate_inflationary
+
+        q = FixpointQuery(
+            (Definition("T", (x, y), TC_PHI, DefinitionKind.IFP),), answer="T"
+        )
+        ifp = evaluate_fixpoint_query(q, graph)
+        datalog = evaluate_inflationary(tc_program(), graph).answer("T")
+        assert ifp == set(datalog)

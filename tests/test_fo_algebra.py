@@ -1,0 +1,121 @@
+"""Unit tests for the FO → relational algebra compiler (the property
+test in test_properties.py covers random formulas; these pin specific
+translations)."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.logic.formula import (
+    And,
+    Atom,
+    Equals,
+    Exists,
+    Forall,
+    Implies,
+    Not,
+    Or,
+    TRUE,
+    FALSE,
+)
+from repro.relational import algebra as ra
+from repro.relational.instance import Database
+from repro.terms import Const, Var
+from repro.translate.fo_to_algebra import (
+    active_domain_expr,
+    compile_formula_to_algebra,
+)
+
+x, y = Var("x"), Var("y")
+
+
+@pytest.fixture
+def db():
+    return Database({"P": [("a",), ("b",)], "Q": [("a", "b"), ("b", "b")]})
+
+
+def run(formula, output, db, arities=None):
+    expr = compile_formula_to_algebra(
+        formula, output, arities or {"P": 1, "Q": 2}
+    )
+    return ra.evaluate(expr, db)
+
+
+class TestBaseCases:
+    def test_atom(self, db):
+        assert run(Atom("P", (x,)), (x,), db) == {("a",), ("b",)}
+
+    def test_atom_with_constant(self, db):
+        assert run(Atom("Q", (Const("a"), y)), (y,), db) == {("b",)}
+
+    def test_atom_with_repeated_variable(self, db):
+        assert run(Atom("Q", (x, x)), (x,), db) == {("b",)}
+
+    def test_true_false(self, db):
+        assert run(TRUE, (), db) == {()}
+        assert run(FALSE, (), db) == set()
+
+    def test_equals_var_const(self, db):
+        assert run(Equals(x, Const("a")), (x,), db) == {("a",)}
+
+    def test_equals_var_var(self, db):
+        out = run(Equals(x, y), (x, y), db)
+        assert out == {("a", "a"), ("b", "b")}
+
+    def test_output_column_order(self, db):
+        expr = compile_formula_to_algebra(
+            Atom("Q", (x, y)), (y, x), {"P": 1, "Q": 2}
+        )
+        assert ra.evaluate(expr, db) == {("b", "a"), ("b", "b")}
+
+
+class TestConnectives:
+    def test_negation_over_active_domain(self, db):
+        assert run(Not(Atom("P", (x,))), (x,), db) == set()  # adom = {a, b}
+
+    def test_negation_with_formula_constant(self, db):
+        f = And(Not(Atom("P", (x,))), Equals(x, Const("z")))
+        # 'z' joins the active domain through the formula constant.
+        assert run(f, (x,), db) == {("z",)}
+
+    def test_and_is_join(self, db):
+        f = And(Atom("P", (x,)), Atom("Q", (x, y)))
+        assert run(f, (x, y), db) == {("a", "b"), ("b", "b")}
+
+    def test_or_pads_missing_columns(self, db):
+        f = Or(Atom("P", (x,)), Atom("Q", (x, y)))
+        out = run(f, (x, y), db)
+        assert ("a", "a") in out  # P(a) padded with every y
+        assert ("a", "b") in out
+
+    def test_implies(self, db):
+        f = Implies(Atom("P", (x,)), Atom("Q", (x, Const("b"))))
+        assert run(f, (x,), db) == {("a",), ("b",)}
+
+    def test_exists_projects(self, db):
+        f = Exists((y,), Atom("Q", (x, y)))
+        assert run(f, (x,), db) == {("a",), ("b",)}
+
+    def test_vacuous_exists_needs_nonempty_domain(self):
+        f = Exists((y,), Atom("P", (x,)))
+        empty = Database({"P": [], "Q": []})
+        assert run(f, (x,), empty) == set()
+
+    def test_forall(self, db):
+        f = Forall((y,), Implies(Atom("P", (y,)), Atom("Q", (y, x))))
+        assert run(f, (x,), db) == {("b",)}
+
+
+class TestActiveDomain:
+    def test_collects_all_columns_and_constants(self, db):
+        expr = active_domain_expr({"P": 1, "Q": 2}, frozenset({"k"}), "v")
+        assert ra.evaluate(expr, db) == {("a",), ("b",), ("k",)}
+
+    def test_empty_schema(self):
+        expr = active_domain_expr({}, frozenset(), "v")
+        assert ra.evaluate(expr, Database()) == set()
+
+
+class TestValidation:
+    def test_output_vars_must_match(self):
+        with pytest.raises(EvaluationError):
+            compile_formula_to_algebra(Atom("P", (x,)), (y,), {"P": 1})

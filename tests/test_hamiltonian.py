@@ -1,0 +1,80 @@
+"""Tests for the §2 db-np example (Hamiltonicity, guess-and-check)."""
+
+import pytest
+
+from repro.programs.hamiltonian import (
+    has_hamiltonian_circuit,
+    hamiltonian_vertices,
+    successor_guess_program,
+)
+from repro.workloads.graphs import chain, complete_graph, cycle
+
+
+class TestHamiltonicity:
+    def test_cycle_is_hamiltonian(self):
+        assert has_hamiltonian_circuit(cycle(4))
+
+    def test_path_is_not(self):
+        assert not has_hamiltonian_circuit(chain(4))
+
+    def test_complete_graph_is(self):
+        assert has_hamiltonian_circuit(complete_graph(4))
+
+    def test_two_disjoint_cycles_are_not(self):
+        edges = [("a", "b"), ("b", "a"), ("c", "d"), ("d", "c")]
+        assert not has_hamiltonian_circuit(edges)
+
+    def test_cycle_plus_chord(self):
+        edges = cycle(4) + [("n0", "n2")]
+        assert has_hamiltonian_circuit(edges)
+
+    def test_figure_eight_is_not(self):
+        # Two cycles sharing one node: every closed walk repeats it.
+        edges = [("m", "a"), ("a", "m"), ("m", "b"), ("b", "m")]
+        assert not has_hamiltonian_circuit(edges)
+
+    def test_self_loop_only(self):
+        assert not has_hamiltonian_circuit([("a", "a"), ("a", "b")])
+
+    def test_empty_graph(self):
+        assert not has_hamiltonian_circuit([])
+
+
+class TestPaperQueryShape:
+    """'empty if no Hamiltonian circuit ... set of vertices otherwise'."""
+
+    def test_positive_case_returns_all_vertices(self):
+        assert hamiltonian_vertices(cycle(3)) == frozenset({"n0", "n1", "n2"})
+
+    def test_negative_case_returns_empty(self):
+        assert hamiltonian_vertices(chain(3)) == frozenset()
+
+
+class TestGuessProgram:
+    def test_guesses_are_partial_matchings(self):
+        from repro.semantics.nondeterministic import enumerate_effects
+        from repro.workloads.graphs import graph_database
+
+        effects = enumerate_effects(
+            successor_guess_program(), graph_database(cycle(3))
+        )
+        for state in effects:
+            nxt = [t for rel, t in state if rel == "nxt"]
+            outs = [x for x, _ in nxt]
+            ins = [y for _, y in nxt]
+            assert len(outs) == len(set(outs))  # ≤1 successor per node
+            assert len(ins) == len(set(ins))  # ≤1 predecessor per node
+
+    def test_certificate_among_guesses(self):
+        """On a pure cycle the full cycle is one of the guesses."""
+        from repro.semantics.nondeterministic import enumerate_effects
+        from repro.workloads.graphs import graph_database
+
+        edges = cycle(3)
+        effects = enumerate_effects(
+            successor_guess_program(), graph_database(edges)
+        )
+        full = frozenset(edges)
+        assert any(
+            {t for rel, t in state if rel == "nxt"} == full for state in effects
+        )

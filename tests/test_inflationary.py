@@ -1,0 +1,145 @@
+"""Tests for inflationary Datalog¬ (§4.1)."""
+
+import pytest
+
+from repro.errors import DialectError
+from repro.parser import parse_program
+from repro.relational.instance import Database
+from repro.semantics.inflationary import evaluate_inflationary
+from repro.semantics.seminaive import evaluate_datalog_seminaive
+from repro.programs.closer import closer_program, distances, reference_closer
+from repro.programs.ctc_inflationary import (
+    complement_tc_inflationary,
+    ctc_inflationary_program,
+)
+from repro.programs.tc import reference_complement_tc, tc_program
+from repro.workloads.graphs import chain, cycle, graph_database, random_gnp
+
+
+class TestBasics:
+    def test_matches_minimum_model_on_datalog(self, seeded_gnp):
+        """For negation-free programs, inflationary = minimum model."""
+        db = graph_database(seeded_gnp)
+        infl = evaluate_inflationary(tc_program(), db)
+        semi = evaluate_datalog_seminaive(tc_program(), db)
+        assert infl.answer("T") == semi.answer("T")
+
+    def test_stages_are_cumulative(self):
+        db = graph_database(chain(6))
+        result = evaluate_inflationary(tc_program(), db)
+        seen = set()
+        for trace in result.stages:
+            new = set(trace.new_facts)
+            assert not (new & seen)
+            seen |= new
+
+    def test_negation_is_not_yet_inferred(self):
+        """¬A holds if A has not been inferred *so far* (§4.1)."""
+        program = parse_program(
+            """
+            A(x) :- S(x).
+            B(x) :- S(x), not A(x).
+            """
+        )
+        db = Database({"S": [("a",)]})
+        result = evaluate_inflationary(program, db)
+        # At stage 1, A(a) is not yet inferred, so B(a) fires too —
+        # and once inferred, B(a) stays despite A(a) appearing.
+        assert result.answer("A") == frozenset({("a",)})
+        assert result.answer("B") == frozenset({("a",)})
+
+    def test_delta_and_full_agree(self, seeded_gnp):
+        db = graph_database(seeded_gnp)
+        program = ctc_inflationary_program()
+        fast = evaluate_inflationary(program, db, use_delta=True)
+        slow = evaluate_inflationary(program, db, use_delta=False)
+        assert fast.database == slow.database
+        assert [s.new_facts and sorted(s.new_facts) for s in fast.stages] == [
+            s.new_facts and sorted(s.new_facts) for s in slow.stages
+        ]
+
+    def test_negative_heads_rejected(self):
+        program = parse_program("!R(x) :- R(x), S(x).")
+        with pytest.raises(DialectError):
+            evaluate_inflationary(program, Database({"S": [("a",)]}))
+
+    def test_bodyless_rule_fires_once(self):
+        program = parse_program("delay. R(x) :- delay, S(x).")
+        db = Database({"S": [("a",)]})
+        result = evaluate_inflationary(program, db)
+        assert result.answer("delay") == frozenset({()})
+        assert result.answer("R") == frozenset({("a",)})
+
+
+class TestExample41Closer:
+    """Example 4.1: T(x, y) is derived at stage exactly d(x, y)."""
+
+    @pytest.mark.parametrize("edges", [chain(5), cycle(4)], ids=["chain", "cycle"])
+    def test_stage_equals_distance(self, edges):
+        db = graph_database(edges)
+        result = evaluate_inflationary(closer_program(), db)
+        for (src, dst), d in distances(edges).items():
+            assert result.stage_of("T", (src, dst)) == d
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_closer_matches_reference(self, seed):
+        edges = random_gnp(6, 0.25, seed=seed)
+        db = graph_database(edges)
+        result = evaluate_inflationary(closer_program(), db)
+        assert result.answer("closer") == reference_closer(edges)
+
+    def test_unreachable_right_side(self):
+        # d(a,b)=1 < d(b,a)=∞ on a single edge.
+        result = evaluate_inflationary(
+            closer_program(), graph_database([("a", "b")])
+        )
+        assert ("a", "b", "b", "a") in result.answer("closer")
+        assert ("b", "a", "a", "b") not in result.answer("closer")
+
+    def test_ties_not_derived(self):
+        """The strict-inequality reproduction note (see EXPERIMENTS.md)."""
+        edges = [("a", "b"), ("c", "d")]  # d(a,b) = d(c,d) = 1
+        result = evaluate_inflationary(closer_program(), graph_database(edges))
+        assert ("a", "b", "c", "d") not in result.answer("closer")
+        assert ("c", "d", "a", "b") not in result.answer("closer")
+
+
+class TestExample43Delay:
+    """Example 4.3: CT fires only after T's fixpoint."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_complement_matches_stratified_semantics(self, seed):
+        edges = random_gnp(6, 0.3, seed=seed)
+        if not edges:
+            pytest.skip("empty graph: paper's construction needs G nonempty")
+        assert complement_tc_inflationary(edges) == reference_complement_tc(edges)
+
+    def test_chain(self):
+        edges = chain(5)
+        assert complement_tc_inflationary(edges) == reference_complement_tc(edges)
+
+    def test_complete_digraph_has_empty_complement(self):
+        edges = [("a", "b"), ("b", "a")]
+        # TC = all 4 pairs; complement empty.
+        assert complement_tc_inflationary(edges) == frozenset()
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            complement_tc_inflationary([])
+
+    def test_ct_never_fires_early(self):
+        """No CT fact may appear before T is complete."""
+        edges = chain(6)
+        db = graph_database(edges)
+        result = evaluate_inflationary(ctc_inflationary_program(), db)
+        t_final_stage = max(
+            trace.stage
+            for trace in result.stages
+            if any(rel == "T" for rel, _ in trace.new_facts)
+        )
+        ct_first_stage = min(
+            trace.stage
+            for trace in result.stages
+            if any(rel == "CT" for rel, _ in trace.new_facts)
+        )
+        assert ct_first_stage > t_final_stage

@@ -1,0 +1,134 @@
+"""Tests for Datalog¬new (§4.3): value invention and completeness."""
+
+import pytest
+
+from repro.errors import StepBudgetExceeded, UnsafeAnswerError
+from repro.parser import parse_program
+from repro.relational.instance import Database
+from repro.semantics.invention import (
+    InventedValue,
+    contains_invented,
+    evaluate_with_invention,
+    strip_invented,
+)
+
+
+class TestInvention:
+    def test_one_value_per_body_instantiation(self):
+        program = parse_program(
+            """
+            tag(x, n) :- R(x), not tagged(x).
+            tagged(x) :- tag(x, n).
+            """
+        )
+        db = Database({"R": [("a",), ("b",), ("c",)]})
+        result = evaluate_with_invention(program, db)
+        tags = result.database.tuples("tag")
+        assert len(tags) == 3
+        invented = {t[1] for t in tags}
+        assert len(invented) == 3
+        assert all(isinstance(v, InventedValue) for v in invented)
+
+    def test_invented_values_outside_input_domain(self):
+        program = parse_program("pair(x, n) :- R(x).")
+        db = Database({"R": [("a",)]})
+        result = evaluate_with_invention(program, db)
+        ((_, fresh),) = result.database.tuples("pair")
+        assert fresh not in db.active_domain()
+
+    def test_multiple_invention_vars_are_distinct(self):
+        program = parse_program("triple(x, n, m) :- R(x).")
+        db = Database({"R": [("a",)]})
+        result = evaluate_with_invention(program, db)
+        ((_, n, m),) = result.database.tuples("triple")
+        assert n != m
+
+    def test_skolem_memoization_reaches_fixpoint(self):
+        """The same body instantiation must reuse its invented values,
+        otherwise every invention program would diverge."""
+        program = parse_program("pair(x, n) :- R(x).")
+        db = Database({"R": [("a",)]})
+        result = evaluate_with_invention(program, db, max_stages=50)
+        assert len(result.database.tuples("pair")) == 1
+
+    def test_invented_values_join_active_domain(self):
+        """Chained invention: invented values feed later inventions."""
+        program = parse_program(
+            """
+            layer1(n, x) :- R(x).
+            layer2(m, n) :- layer1(n, x).
+            """
+        )
+        db = Database({"R": [("a",)]})
+        result = evaluate_with_invention(program, db)
+        ((m, n),) = result.database.tuples("layer2")
+        assert isinstance(m, InventedValue) and isinstance(n, InventedValue)
+        assert m != n
+
+    def test_successor_chain_length_matches_input(self):
+        """Build a chain of invented values as long as R — the space-
+        unbounded structure behind Theorem 4.6's TM simulation."""
+        program = parse_program(
+            """
+            picked(x, c) :- R(x), not done(x), not busy.
+            busy :- picked(x, c).
+            done(x) :- picked(x, c).
+            """
+        )
+        # One pick per stage is NOT what happens here (parallel firing
+        # picks all unpicked at once); instead check total count.
+        db = Database({"R": [("a",), ("b",), ("c",), ("d",)]})
+        result = evaluate_with_invention(program, db)
+        assert len(result.database.tuples("picked")) == 4
+
+    def test_divergent_program_hits_budget(self):
+        # Every stage matches the pairs added at the previous stage and
+        # invents fresh values from them — an unbounded chain.
+        program = parse_program(
+            """
+            grow(n, x) :- seed(x).
+            grow(n, m) :- grow(m2, m).
+            """
+        )
+        db = Database({"seed": [("a",)]})
+        with pytest.raises(StepBudgetExceeded):
+            evaluate_with_invention(program, db, max_stages=30)
+
+    def test_safety_check_rejects_invented_answers(self):
+        program = parse_program("answer(n) :- R(x).")
+        db = Database({"R": [("a",)]})
+        with pytest.raises(UnsafeAnswerError):
+            evaluate_with_invention(program, db, answer_relations=("answer",))
+
+    def test_safe_answer_passes(self):
+        program = parse_program(
+            """
+            tmp(x, n) :- R(x).
+            answer(x) :- tmp(x, n).
+            """
+        )
+        db = Database({"R": [("a",)]})
+        result = evaluate_with_invention(program, db, answer_relations=("answer",))
+        assert result.answer("answer") == frozenset({("a",)})
+
+    def test_strip_invented(self):
+        program = parse_program("mix(x, n) :- R(x). keep(x) :- R(x).")
+        db = Database({"R": [("a",)]})
+        result = evaluate_with_invention(program, db)
+        stripped = strip_invented(result.database, ("mix", "keep"))
+        assert stripped.tuples("mix") == frozenset()
+        assert stripped.tuples("keep") == frozenset({("a",)})
+
+    def test_contains_invented(self):
+        assert contains_invented(("a", InventedValue(0)))
+        assert not contains_invented(("a", "b"))
+
+    def test_results_isomorphic_across_runs(self):
+        """Determinism up to isomorphism of invented values: two runs
+        give the same result modulo renaming of the ν's (genericity)."""
+        program = parse_program("tag(x, n) :- R(x).")
+        db = Database({"R": [("a",), ("b",)]})
+        r1 = evaluate_with_invention(program, db).database.tuples("tag")
+        r2 = evaluate_with_invention(program, db).database.tuples("tag")
+        assert {t[0] for t in r1} == {t[0] for t in r2}
+        assert len(r1) == len(r2)

@@ -1,0 +1,140 @@
+"""Unit tests for FO formulas and active-domain evaluation."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.logic.formula import (
+    TRUE,
+    FALSE,
+    And,
+    Atom,
+    Equals,
+    Exists,
+    Forall,
+    Implies,
+    Not,
+    Or,
+    conjunction,
+    disjunction,
+)
+from repro.logic.evaluate import (
+    evaluate_formula,
+    evaluate_sentence,
+    evaluation_domain,
+    formula_constants,
+    formula_relations,
+    free_variables,
+)
+from repro.relational.instance import Database
+from repro.terms import Const, Var
+
+x, y, z = Var("x"), Var("y"), Var("z")
+
+
+@pytest.fixture
+def db():
+    return Database({"G": [("a", "b"), ("b", "c")], "P": [("a",)]})
+
+
+class TestFreeVariables:
+    def test_atom(self):
+        assert free_variables(Atom("G", (x, y))) == {x, y}
+
+    def test_atom_with_constant(self):
+        assert free_variables(Atom("G", (x, Const("a")))) == {x}
+
+    def test_quantifier_binds(self):
+        assert free_variables(Exists((y,), Atom("G", (x, y)))) == {x}
+
+    def test_nested(self):
+        f = And(Atom("P", (x,)), Forall((x,), Atom("P", (x,))))
+        assert free_variables(f) == {x}
+
+    def test_equals(self):
+        assert free_variables(Equals(x, Const("a"))) == {x}
+
+    def test_truth_constants(self):
+        assert free_variables(TRUE) == set()
+        assert free_variables(FALSE) == set()
+
+
+class TestMetadata:
+    def test_formula_relations(self):
+        f = And(Atom("P", (x,)), Not(Atom("Q", (x, y))))
+        assert formula_relations(f) == {"P", "Q"}
+
+    def test_formula_constants(self):
+        f = Or(Equals(x, Const(3)), Atom("P", (Const("a"),)))
+        assert formula_constants(f) == {3, "a"}
+
+    def test_evaluation_domain_includes_formula_constants(self, db):
+        f = Equals(x, Const("zzz"))
+        assert "zzz" in evaluation_domain(f, db)
+
+
+class TestSentences:
+    def test_true_false(self, db):
+        assert evaluate_sentence(TRUE, db) is True
+        assert evaluate_sentence(FALSE, db) is False
+
+    def test_exists(self, db):
+        assert evaluate_sentence(Exists((x, y), Atom("G", (x, y))), db)
+
+    def test_forall_fails(self, db):
+        assert not evaluate_sentence(Forall((x, y), Atom("G", (x, y))), db)
+
+    def test_implication(self, db):
+        # every P-element has an outgoing G edge
+        f = Forall((x,), Implies(Atom("P", (x,)), Exists((y,), Atom("G", (x, y)))))
+        assert evaluate_sentence(f, db)
+
+    def test_free_variables_rejected(self, db):
+        with pytest.raises(EvaluationError):
+            evaluate_sentence(Atom("P", (x,)), db)
+
+    def test_ground_atom(self, db):
+        assert evaluate_sentence(Atom("P", (Const("a"),)), db)
+        assert not evaluate_sentence(Atom("P", (Const("b"),)), db)
+
+
+class TestQueries:
+    def test_atom_query(self, db):
+        assert evaluate_formula(Atom("G", (x, y)), db, (x, y)) == {
+            ("a", "b"),
+            ("b", "c"),
+        }
+
+    def test_negation_is_active_domain(self, db):
+        out = evaluate_formula(Not(Atom("P", (x,))), db, (x,))
+        assert out == {("b",), ("c",)}
+
+    def test_two_step_reachability(self, db):
+        f = Exists((z,), And(Atom("G", (x, z)), Atom("G", (z, y))))
+        assert evaluate_formula(f, db, (x, y)) == {("a", "c")}
+
+    def test_output_order_repeats(self, db):
+        out = evaluate_formula(Atom("P", (x,)), db, (x, x))
+        assert out == {("a", "a")}
+
+    def test_output_vars_must_match(self, db):
+        with pytest.raises(EvaluationError):
+            evaluate_formula(Atom("G", (x, y)), db, (x,))
+
+    def test_equality(self, db):
+        out = evaluate_formula(Equals(x, Const("a")), db, (x,))
+        assert out == {("a",)}
+
+    def test_conjunction_disjunction_helpers(self, db):
+        f = conjunction([Atom("P", (x,)), Atom("P", (x,))])
+        assert evaluate_formula(f, db, (x,)) == {("a",)}
+        g = disjunction([])
+        assert evaluate_sentence(g, db) is False
+
+    def test_operator_sugar(self, db):
+        f = Atom("P", (x,)) & ~Atom("G", (x, x))
+        assert evaluate_formula(f, db, (x,)) == {("a",)}
+
+    def test_empty_database_quantifiers(self):
+        empty = Database()
+        assert evaluate_sentence(Forall((x,), Atom("P", (x,))), empty) is True
+        assert evaluate_sentence(Exists((x,), Atom("P", (x,))), empty) is False

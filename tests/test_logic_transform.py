@@ -1,0 +1,138 @@
+"""Tests for formula transformations (NNF, renaming, substitution)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.logic.formula import (
+    And,
+    Atom,
+    Equals,
+    Exists,
+    Forall,
+    Implies,
+    Not,
+    Or,
+    TRUE,
+)
+from repro.logic.evaluate import evaluate_formula, evaluate_sentence, free_variables
+from repro.logic.transform import (
+    is_nnf,
+    rename_formula_variables,
+    substitute_constants,
+    to_nnf,
+)
+from repro.relational.instance import Database
+from repro.terms import Const, Var
+
+X, Y = Var("x"), Var("y")
+NODES = [f"n{i}" for i in range(4)]
+
+
+class TestNNF:
+    def test_double_negation(self):
+        assert to_nnf(Not(Not(Atom("P", (X,))))) == Atom("P", (X,))
+
+    def test_de_morgan_and(self):
+        f = Not(And(Atom("P", (X,)), Atom("R", (X,))))
+        nnf = to_nnf(f)
+        assert nnf == Or(Not(Atom("P", (X,))), Not(Atom("R", (X,))))
+
+    def test_negated_quantifier_flips(self):
+        f = Not(Exists((Y,), Atom("Q", (X, Y))))
+        nnf = to_nnf(f)
+        assert isinstance(nnf, Forall)
+        assert nnf.child == Not(Atom("Q", (X, Y)))
+
+    def test_implication_eliminated(self):
+        f = Implies(Atom("P", (X,)), Atom("R", (X,)))
+        assert is_nnf(to_nnf(f))
+        assert not is_nnf(f)
+
+    def test_negated_truth(self):
+        assert to_nnf(Not(TRUE)).value is False
+
+    def test_idempotent(self):
+        f = Not(Forall((Y,), Implies(Atom("P", (Y,)), Atom("Q", (X, Y)))))
+        once = to_nnf(f)
+        assert to_nnf(once) == once
+        assert is_nnf(once)
+
+
+def _formula_strategy():
+    base = st.sampled_from(
+        [
+            Atom("P", (X,)),
+            Atom("Q", (X, Y)),
+            Equals(X, Const("n0")),
+            TRUE,
+        ]
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(children, children).map(lambda p: And(*p)),
+            st.tuples(children, children).map(lambda p: Or(*p)),
+            st.tuples(children, children).map(lambda p: Implies(*p)),
+            children.map(Not),
+            children.map(lambda f: Exists((Y,), f)),
+            children.map(lambda f: Forall((Y,), f)),
+        )
+
+    return st.recursive(base, extend, max_leaves=6)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    formula=_formula_strategy(),
+    p_rows=st.lists(st.sampled_from(NODES), max_size=3, unique=True),
+    q_rows=st.lists(
+        st.tuples(st.sampled_from(NODES), st.sampled_from(NODES)),
+        max_size=5,
+        unique=True,
+    ),
+)
+def test_nnf_preserves_semantics(formula, p_rows, q_rows):
+    db = Database({"P": [(v,) for v in p_rows], "Q": q_rows})
+    nnf = to_nnf(formula)
+    assert is_nnf(nnf)
+    output = tuple(sorted(free_variables(formula), key=lambda v: v.name))
+    assert free_variables(nnf) == set(output)
+    assert evaluate_formula(nnf, db, output) == evaluate_formula(
+        formula, db, output
+    )
+
+
+class TestRenaming:
+    def test_rename_free_and_bound(self):
+        f = Exists((Y,), Atom("Q", (X, Y)))
+        renamed = rename_formula_variables(f, lambda v: Var(v.name + "_1"))
+        assert free_variables(renamed) == {Var("x_1")}
+        assert renamed.variables == (Var("y_1"),)
+
+    def test_semantics_preserved(self):
+        db = Database({"Q": [("a", "b")]})
+        f = Exists((Y,), Atom("Q", (X, Y)))
+        renamed = rename_formula_variables(f, lambda v: Var(v.name.upper()))
+        assert evaluate_formula(f, db, (X,)) == evaluate_formula(
+            renamed, db, (Var("X"),)
+        )
+
+
+class TestSubstitution:
+    def test_free_occurrence_replaced(self):
+        f = Atom("P", (X,))
+        out = substitute_constants(f, {X: "a"})
+        assert out == Atom("P", (Const("a"),))
+
+    def test_bound_occurrence_shadowed(self):
+        f = And(Atom("P", (X,)), Exists((X,), Atom("R", (X,))))
+        out = substitute_constants(f, {X: "a"})
+        assert out.left == Atom("P", (Const("a"),))
+        assert out.right.child == Atom("R", (X,))  # untouched under ∃x
+
+    def test_substitution_then_sentence(self):
+        db = Database({"Q": [("a", "b")]})
+        f = Exists((Y,), Atom("Q", (X, Y)))
+        grounded = substitute_constants(f, {X: "a"})
+        assert evaluate_sentence(grounded, db) is True
+        grounded_b = substitute_constants(f, {X: "b"})
+        assert evaluate_sentence(grounded_b, db) is False

@@ -1,0 +1,145 @@
+"""Tests for incremental view maintenance (DRed)."""
+
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SchemaError
+from repro.relational.instance import Database
+from repro.semantics.maintenance import MaterializedView
+from repro.programs.tc import tc_program, reference_transitive_closure
+from repro.workloads.graphs import chain, cycle, graph_database, random_gnp
+
+
+def make_view(edges):
+    return MaterializedView(tc_program(), graph_database(edges))
+
+
+class TestInitialMaterialization:
+    def test_initial_view(self):
+        view = make_view(chain(4))
+        assert view.answer("T") == reference_transitive_closure(chain(4))
+
+    def test_empty_base(self):
+        view = MaterializedView(tc_program(), Database())
+        assert view.answer("T") == frozenset()
+
+
+class TestInsertions:
+    def test_single_insert_propagates(self):
+        view = make_view([("a", "b")])
+        report = view.insert([("G", ("b", "c"))])
+        assert ("T", ("a", "c")) in report.inserted
+        assert view.answer("T") == reference_transitive_closure(
+            [("a", "b"), ("b", "c")]
+        )
+
+    def test_bridge_insert_connects_components(self):
+        view = make_view([("a", "b"), ("c", "d")])
+        view.insert([("G", ("b", "c"))])
+        assert ("a", "d") in view.answer("T")
+        assert view.consistent_with_scratch()
+
+    def test_duplicate_insert_is_noop(self):
+        view = make_view([("a", "b")])
+        report = view.insert([("G", ("a", "b"))])
+        assert not report
+
+    def test_cycle_closing_insert(self):
+        view = make_view(chain(4))
+        view.insert([("G", ("n3", "n0"))])
+        # Now a 4-cycle: everything reaches everything.
+        assert len(view.answer("T")) == 16
+        assert view.consistent_with_scratch()
+
+    def test_idb_insert_rejected(self):
+        view = make_view(chain(3))
+        with pytest.raises(SchemaError):
+            view.insert([("T", ("n0", "n2"))])
+
+
+class TestDeletions:
+    def test_delete_breaks_paths(self):
+        view = make_view(chain(4))
+        report = view.delete([("G", ("n1", "n2"))])
+        assert ("T", ("n0", "n3")) in report.deleted
+        assert view.answer("T") == reference_transitive_closure(
+            [("n0", "n1"), ("n2", "n3")]
+        )
+
+    def test_rederivation_keeps_alternative_paths(self):
+        # Two parallel paths a→b: deleting one leaves T(a, b).
+        edges = [("a", "m1"), ("m1", "b"), ("a", "m2"), ("m2", "b")]
+        view = make_view(edges)
+        report = view.delete([("G", ("a", "m1"))])
+        assert ("T", ("a", "b")) not in report.deleted
+        assert ("a", "b") in view.answer("T")
+        assert report.overdeleted > len(report.deleted) - 1  # phase 1 overshot
+        assert view.consistent_with_scratch()
+
+    def test_delete_on_cycle(self):
+        view = make_view(cycle(4))
+        view.delete([("G", ("n0", "n1"))])
+        assert view.consistent_with_scratch()
+
+    def test_delete_missing_fact_is_noop(self):
+        view = make_view(chain(3))
+        assert not view.delete([("G", ("x", "y"))])
+
+    def test_idb_delete_rejected(self):
+        view = make_view(chain(3))
+        with pytest.raises(SchemaError):
+            view.delete([("T", ("n0", "n1"))])
+
+
+class TestMixedWorkload:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_update_sequence(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        nodes = [f"n{i}" for i in range(6)]
+        all_edges = [(u, v) for u in nodes for v in nodes if u != v]
+        start = rng.sample(all_edges, 8)
+        view = make_view(start)
+        present = set(start)
+        for _ in range(15):
+            if present and rng.random() < 0.5:
+                edge = rng.choice(sorted(present))
+                present.remove(edge)
+                view.delete([("G", edge)])
+            else:
+                edge = rng.choice(all_edges)
+                if edge not in present:
+                    present.add(edge)
+                    view.insert([("G", edge)])
+        assert view.answer("T") == reference_transitive_closure(sorted(present))
+        assert view.consistent_with_scratch()
+
+
+NODES = [f"n{i}" for i in range(5)]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    start=st.lists(
+        st.tuples(st.sampled_from(NODES), st.sampled_from(NODES)),
+        max_size=8,
+        unique=True,
+    ),
+    updates=st.lists(
+        st.tuples(
+            st.booleans(),
+            st.tuples(st.sampled_from(NODES), st.sampled_from(NODES)),
+        ),
+        max_size=8,
+    ),
+)
+def test_view_always_equals_scratch(start, updates):
+    view = make_view(start)
+    for is_insert, edge in updates:
+        if is_insert:
+            view.insert([("G", edge)])
+        else:
+            view.delete([("G", edge)])
+    assert view.consistent_with_scratch()

@@ -1,0 +1,63 @@
+"""Robustness: mixed value types (ints and strings) through the engines.
+
+The paper's dom is an abstract infinite set; practical instances mix
+integers and strings (the flip-flop program itself uses 0 and 1).  The
+active-domain ordering sorts by (type name, repr), so every engine must
+behave deterministically on heterogeneous domains.
+"""
+
+import pytest
+
+from repro.parser import parse_program
+from repro.relational.instance import Database
+from repro.semantics.inflationary import evaluate_inflationary
+from repro.semantics.seminaive import evaluate_datalog_seminaive
+from repro.semantics.stratified import evaluate_stratified
+from repro.semantics.wellfounded import evaluate_wellfounded
+from repro.programs.tc import tc_program
+
+
+@pytest.fixture
+def mixed_graph():
+    return Database({"G": [(1, "a"), ("a", 2), (2, "b")]})
+
+
+class TestMixedDomains:
+    def test_tc_over_mixed_values(self, mixed_graph):
+        result = evaluate_datalog_seminaive(tc_program(), mixed_graph)
+        assert (1, "b") in result.answer("T")
+
+    def test_negation_enumerates_mixed_adom(self, mixed_graph):
+        program = parse_program("CT(x, y) :- not T(x, y). T(x, y) :- G(x, y).")
+        result = evaluate_stratified(program, mixed_graph)
+        # adom = {1, 'a', 2, 'b'} → 16 pairs minus 3 edges.
+        assert len(result.answer("CT")) == 16 - 3
+
+    def test_engines_agree_on_mixed_domain(self, mixed_graph):
+        semi = evaluate_datalog_seminaive(tc_program(), mixed_graph).answer("T")
+        infl = evaluate_inflationary(tc_program(), mixed_graph).answer("T")
+        wf = evaluate_wellfounded(tc_program(), mixed_graph).answer("T")
+        assert semi == infl == wf
+
+    def test_int_and_string_constants_distinct(self):
+        # 1 (int) and '1' (string) are different domain elements.
+        program = parse_program("hit(x) :- R(x, 1). shit(x) :- R(x, '1').")
+        db = Database({"R": [("a", 1), ("b", "1")]})
+        result = evaluate_stratified(program, db)
+        assert result.answer("hit") == frozenset({("a",)})
+        assert result.answer("shit") == frozenset({("b",)})
+
+    def test_deterministic_evaluation_order(self, mixed_graph):
+        a = evaluate_inflationary(tc_program(), mixed_graph)
+        b = evaluate_inflationary(tc_program(), mixed_graph)
+        assert [t.new_facts for t in a.stages] == [t.new_facts for t in b.stages]
+
+    def test_ordered_database_over_mixed_domain(self):
+        from repro.ordered import attach_order
+
+        db = attach_order(Database({"R": [(3,), ("a",), (1,)]}))
+        succ = db.tuples("succ")
+        assert len(succ) == 2
+        # Deterministic type-then-repr order: ints before strings.
+        assert db.tuples("first") == frozenset({(1,)})
+        assert db.tuples("last") == frozenset({("a",)})

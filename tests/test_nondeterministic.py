@@ -1,0 +1,205 @@
+"""Tests for N-Datalog¬(¬) and the ⊥/∀ extensions (§5.1–5.2)."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.parser import parse_program
+from repro.relational.instance import Database
+from repro.semantics.nondeterministic import (
+    BOTTOM_RELATION,
+    answers_in_effects,
+    enumerate_effects,
+    effects_as_databases,
+    is_deterministic_on,
+    run_nondeterministic,
+    sample_effects,
+)
+from repro.programs.orientation import (
+    orientation_program,
+    orientations,
+    reference_two_cycles,
+)
+from repro.programs.proj_diff import (
+    proj_diff_bottom_program,
+    proj_diff_forall_program,
+    proj_diff_negneg_program,
+)
+from repro.workloads.relations import proj_diff_database, reference_proj_diff
+
+
+class TestSampledRuns:
+    def test_run_reaches_terminal(self):
+        program = parse_program("R(x) :- S(x).")
+        db = Database({"S": [("a",), ("b",)]})
+        run = run_nondeterministic(program, db, seed=7)
+        assert run.answer("R") == frozenset({("a",), ("b",)})
+        assert run.step_count == 2  # one insertion per firing
+
+    def test_deterministic_given_seed(self):
+        program = parse_program("pick(x) :- S(x), not done. done :- S(x).")
+        db = Database({"S": [("a",), ("b",), ("c",)]})
+        a = run_nondeterministic(program, db, seed=3)
+        b = run_nondeterministic(program, db, seed=3)
+        assert a.database == b.database
+
+    def test_different_seeds_reach_different_answers(self):
+        program = parse_program("pick(x) :- S(x), not done. done :- S(x).")
+        db = Database({"S": [(f"v{i}",) for i in range(6)]})
+        answers = {
+            run_nondeterministic(program, db, seed=s).answer("pick")
+            for s in range(12)
+        }
+        assert len(answers) > 1
+
+    def test_steps_record_changes(self):
+        program = parse_program("!S(x) :- S(x).")
+        db = Database({"S": [("a",)]})
+        run = run_nondeterministic(program, db, seed=0)
+        assert run.steps[0].deleted == frozenset({("S", ("a",))})
+
+
+class TestEffects:
+    def test_monotone_program_unique_effect(self):
+        program = parse_program("R(x) :- S(x).")
+        db = Database({"S": [("a",), ("b",)]})
+        effects = enumerate_effects(program, db)
+        assert len(effects) == 1
+
+    def test_orientation_effect_count(self):
+        edges = [("a", "b"), ("b", "a"), ("c", "d"), ("d", "c")]
+        assert len(orientations(edges)) == 2 ** len(reference_two_cycles(edges))
+
+    def test_orientation_each_keeps_one_direction(self):
+        edges = [("a", "b"), ("b", "a")]
+        outs = orientations(edges)
+        assert outs == {frozenset({("a", "b")}), frozenset({("b", "a")})}
+
+    def test_self_loops_always_removed(self):
+        outs = orientations([("a", "a"), ("a", "b")])
+        assert outs == {frozenset({("a", "b")})}
+
+    def test_inconsistent_head_instantiations_skipped(self):
+        """Condition (ii) of Def. 5.2: head with A and ¬A is not legal."""
+        program = parse_program("R(x), !R(y) :- S(x), S(y).")
+        db = Database({"S": [("a",)]})
+        # The only instantiation (x=y=a) has conflicting head → no steps:
+        # the input itself is the unique terminal state, without R(a).
+        effects = enumerate_effects(program, db)
+        assert len(effects) == 1
+        (state,) = effects
+        assert ("R", ("a",)) not in state
+
+    def test_effects_as_databases(self):
+        program = parse_program("R(x) :- S(x).")
+        db = Database({"S": [("a",)]})
+        dbs = effects_as_databases(enumerate_effects(program, db))
+        assert dbs[0].has_fact("R", ("a",))
+
+    def test_sampling_subset_of_effects(self):
+        program = parse_program("pick(x) :- S(x), not done. done :- S(x).")
+        db = Database({"S": [("a",), ("b",)]})
+        exact = enumerate_effects(program, db)
+        sampled = sample_effects(program, db, samples=30, seed=5)
+        assert sampled <= exact
+
+    def test_is_deterministic_on(self):
+        db = proj_diff_database([("a",), ("b",)], [("a", "x")])
+        assert is_deterministic_on(proj_diff_negneg_program(), db, "answer")
+        nondeterministic = parse_program(
+            "pick(x) :- S(x), not done. done :- S(x)."
+        )
+        db2 = Database({"S": [("a",), ("b",)]})
+        assert not is_deterministic_on(nondeterministic, db2, "pick")
+
+
+class TestProjDiff:
+    """Examples 5.4/5.5 across the three extended dialects."""
+
+    CASES = [
+        ([("a",), ("b",), ("c",)], [("a", "u"), ("b", "v")]),
+        ([("a",)], []),
+        ([], [("a", "u")]),
+        ([("a",), ("b",)], [("z", "u")]),
+    ]
+
+    @pytest.mark.parametrize("p_rows,q_rows", CASES)
+    @pytest.mark.parametrize(
+        "build",
+        [proj_diff_negneg_program, proj_diff_bottom_program, proj_diff_forall_program],
+        ids=["negneg", "bottom", "forall"],
+    )
+    def test_computes_projection_difference(self, build, p_rows, q_rows):
+        db = proj_diff_database(p_rows, q_rows)
+        expected = reference_proj_diff(db)
+        effects = enumerate_effects(build(), db)
+        answers = answers_in_effects(effects, "answer")
+        assert answers == {frozenset(expected)}
+
+    def test_bottom_runs_are_filtered(self):
+        """Premature done-with-proj traps the run at the ⊥ rule."""
+        db = proj_diff_database([("a",)], [("a", "u")])
+        effects = enumerate_effects(proj_diff_bottom_program(), db)
+        for state in effects:
+            assert (BOTTOM_RELATION, ()) not in state
+            # No terminal state may have PROJ incomplete.
+            assert ("PROJ", ("a",)) in state
+
+    def test_sampled_bottom_runs_can_abort(self):
+        db = proj_diff_database([("a",), ("b",)], [("a", "u"), ("b", "v")])
+        program = proj_diff_bottom_program()
+        aborted = sum(
+            run_nondeterministic(program, db, seed=s).aborted for s in range(40)
+        )
+        assert aborted > 0  # some random schedules declare done too early
+
+
+class TestForall:
+    def test_vacuous_universal(self):
+        # ∀y over an empty adom... adom nonempty here; Q empty makes the
+        # negative literal vacuously true for every y.
+        program = parse_program("answer(x) :- forall y: P(x), not Q(x, y).")
+        db = Database({"P": [("a",)], "Q": []})
+        effects = enumerate_effects(program, db)
+        assert answers_in_effects(effects, "answer") == {frozenset({("a",)})}
+
+    def test_universal_over_positive_literal(self):
+        # answer(x) iff x dominates every element: ∀y E(x, y).
+        program = parse_program("answer(x) :- forall y: P(x), E(x, y).")
+        db = Database(
+            {
+                "P": [("a",), ("b",)],
+                "E": [("a", "a"), ("a", "b"), ("b", "b")],
+            }
+        )
+        effects = enumerate_effects(program, db)
+        assert answers_in_effects(effects, "answer") == {frozenset({("a",)})}
+
+
+class TestForallWithEquality:
+    def test_universal_inequality(self):
+        """∀y (x ≠ y ∨ …): answer(x) iff x dominates every OTHER node."""
+        program = parse_program(
+            "answer(x) :- forall y: P(x), E(x, y), x != y."
+        )
+        # The body requires E(x, y) ∧ x ≠ y for ALL y — impossible when
+        # y = x makes the inequality fail, so no answers ever.
+        db = Database({"P": [("a",)], "E": [("a", "a"), ("a", "b")]})
+        effects = enumerate_effects(program, db)
+        assert answers_in_effects(effects, "answer") == {frozenset()}
+
+
+class TestEmptyEffects:
+    def test_error_on_no_terminating_run(self):
+        # A program whose every run cycles... with one-at-a-time firing,
+        # !R then R re-derivable: R(x)↔S runs forever alternating.
+        program = parse_program(
+            """
+            R(x) :- S(x), not R(x).
+            !R(x) :- S(x), R(x).
+            """
+        )
+        db = Database({"S": [("a",)]})
+        effects = enumerate_effects(program, db)
+        assert effects == set()
+        with pytest.raises(EvaluationError):
+            is_deterministic_on(program, db, "R")

@@ -1,0 +1,153 @@
+"""Tests for Datalog¬¬ (§4.2): deletion, conflict policies, nontermination."""
+
+import pytest
+
+from repro.errors import ContradictionError, NonTerminationError, StepBudgetExceeded
+from repro.parser import parse_program
+from repro.relational.instance import Database
+from repro.semantics.noninflationary import (
+    ConflictPolicy,
+    evaluate_noninflationary,
+    terminates,
+)
+from repro.programs.flip_flop import flip_flop_input, flip_flop_program
+
+
+class TestDeletion:
+    def test_negative_head_deletes(self):
+        program = parse_program("!S(x) :- S(x), E(x).")
+        db = Database({"S": [("a",), ("b",)], "E": [("a",)]})
+        result = evaluate_noninflationary(program, db)
+        assert result.answer("S") == frozenset({("b",)})
+
+    def test_edb_update_in_heads(self):
+        """Input relations may occur in heads — updates (§4.2)."""
+        program = parse_program(
+            """
+            S(x) :- T(x).
+            !T(x) :- T(x).
+            """
+        )
+        db = Database({"T": [("a",)]})
+        result = evaluate_noninflationary(program, db)
+        assert result.answer("S") == frozenset({("a",)})
+        assert result.answer("T") == frozenset()
+
+    def test_unmentioned_facts_persist(self):
+        program = parse_program("!S('a') :- S('a').")
+        db = Database({"S": [("a",), ("b",)]})
+        result = evaluate_noninflationary(program, db)
+        assert result.answer("S") == frozenset({("b",)})
+
+    def test_orientation_deterministic_removes_both(self):
+        program = parse_program("!G(x, y) :- G(x, y), G(y, x).")
+        db = Database({"G": [("a", "b"), ("b", "a"), ("a", "c")]})
+        result = evaluate_noninflationary(program, db)
+        assert result.answer("G") == frozenset({("a", "c")})
+
+
+class TestConflictPolicies:
+    """Simultaneous inference of A and ¬A, all four options of §4.2."""
+
+    CONFLICT = """
+    A('c') :- S(x).
+    !A('c') :- S(x).
+    """
+
+    def _db(self, with_a: bool) -> Database:
+        db = Database({"S": [("s",)]})
+        if with_a:
+            db.add_fact("A", ("c",))
+        return db
+
+    def test_positive_wins(self):
+        result = evaluate_noninflationary(
+            parse_program(self.CONFLICT), self._db(False),
+            policy=ConflictPolicy.POSITIVE_WINS,
+        )
+        assert result.answer("A") == frozenset({("c",)})
+
+    def test_negative_wins_diverges_from_absent(self):
+        # A(c) never inserted; fixpoint immediately (no change).
+        result = evaluate_noninflationary(
+            parse_program(self.CONFLICT), self._db(False),
+            policy=ConflictPolicy.NEGATIVE_WINS,
+        )
+        assert result.answer("A") == frozenset()
+
+    def test_negative_wins_deletes_present(self):
+        result = evaluate_noninflationary(
+            parse_program(self.CONFLICT), self._db(True),
+            policy=ConflictPolicy.NEGATIVE_WINS,
+        )
+        assert result.answer("A") == frozenset()
+
+    def test_noop_keeps_absent_absent(self):
+        result = evaluate_noninflationary(
+            parse_program(self.CONFLICT), self._db(False),
+            policy=ConflictPolicy.NO_OP,
+        )
+        assert result.answer("A") == frozenset()
+
+    def test_noop_keeps_present_present(self):
+        result = evaluate_noninflationary(
+            parse_program(self.CONFLICT), self._db(True),
+            policy=ConflictPolicy.NO_OP,
+        )
+        assert result.answer("A") == frozenset({("c",)})
+
+    def test_contradiction_raises(self):
+        with pytest.raises(ContradictionError):
+            evaluate_noninflationary(
+                parse_program(self.CONFLICT), self._db(False),
+                policy=ConflictPolicy.CONTRADICTION,
+            )
+
+    def test_conflict_counts_recorded(self):
+        result = evaluate_noninflationary(
+            parse_program(self.CONFLICT), self._db(False),
+            policy=ConflictPolicy.POSITIVE_WINS,
+        )
+        assert result.conflicts[0] == 1
+
+
+class TestFlipFlop:
+    """The paper's nonterminating program: T oscillates {0} ↔ {1}."""
+
+    def test_nontermination_detected(self):
+        with pytest.raises(NonTerminationError):
+            evaluate_noninflationary(flip_flop_program(), flip_flop_input())
+
+    def test_terminates_helper(self):
+        assert not terminates(flip_flop_program(), flip_flop_input())
+
+    def test_empty_input_terminates(self):
+        assert terminates(flip_flop_program(), Database({"T": []}))
+
+    def test_both_values_is_a_fixpoint(self):
+        # With T = {0, 1}: rules infer T(0), T(1), ¬T(0), ¬T(1);
+        # positive wins, so nothing changes — immediate fixpoint.
+        db = Database({"T": [(0,), (1,)]})
+        result = evaluate_noninflationary(flip_flop_program(), db)
+        assert result.answer("T") == frozenset({(0,), (1,)})
+
+    def test_budget_without_cycle_detection(self):
+        with pytest.raises(StepBudgetExceeded):
+            evaluate_noninflationary(
+                flip_flop_program(),
+                flip_flop_input(),
+                detect_cycles=False,
+                max_stages=50,
+            )
+
+
+class TestSubsumesInflationary:
+    def test_inflationary_program_same_result(self, seeded_gnp):
+        from repro.semantics.inflationary import evaluate_inflationary
+        from repro.programs.tc import tc_program
+        from repro.workloads.graphs import graph_database
+
+        db = graph_database(seeded_gnp)
+        infl = evaluate_inflationary(tc_program(), db)
+        nonin = evaluate_noninflationary(tc_program(), db, validate=False)
+        assert infl.answer("T") == nonin.answer("T")

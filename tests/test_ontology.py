@@ -1,0 +1,137 @@
+"""Tests for the Datalog± layer: chase, certain answers, restrictions."""
+
+import pytest
+
+from repro.errors import EvaluationError, StepBudgetExceeded
+from repro.parser import parse_program
+from repro.relational.instance import Database
+from repro.semantics.invention import InventedValue
+from repro.ontology import (
+    certain_answers,
+    chase,
+    is_guarded,
+    is_linear,
+    is_weakly_acyclic,
+    ontology_answer,
+)
+
+# A DL-Lite-flavoured ontology:
+#   every employee works in some department        (existential)
+#   every department has some manager              (existential)
+#   managers are employees                         (inclusion)
+ONTOLOGY = parse_program(
+    """
+    worksIn(e, d) :- employee(e).
+    hasManager(d, m) :- dept(d).
+    dept(d) :- worksIn(e, d).
+    employee(m) :- hasManager(d, m).
+    """
+)
+
+QUERY_DEPTS = parse_program("answer(d) :- dept(d).")
+QUERY_EMPLOYED = parse_program("answer(e) :- worksIn(e, d).")
+
+
+class TestRestrictions:
+    def test_ontology_is_guarded(self):
+        assert is_guarded(ONTOLOGY)
+
+    def test_ontology_is_linear(self):
+        assert is_linear(ONTOLOGY)
+
+    def test_nonguarded_detected(self):
+        cross = parse_program("R(x, y) :- A(x), B(y).")
+        assert not is_guarded(cross)
+        assert not is_linear(cross)
+
+    def test_weak_acyclicity_rejects_employee_manager_loop(self):
+        """employee → ∃ dept → ∃ manager → employee cycles through two
+        existential positions: not weakly acyclic (chase diverges)."""
+        assert not is_weakly_acyclic(ONTOLOGY)
+
+    def test_weak_acyclicity_accepts_terminating_rules(self):
+        acyclic = parse_program(
+            """
+            worksIn(e, d) :- employee(e).
+            located(d, c) :- worksIn(e, d).
+            """
+        )
+        assert is_weakly_acyclic(acyclic)
+
+
+class TestChase:
+    ACYCLIC = parse_program(
+        """
+        worksIn(e, d) :- employee(e).
+        located(d, c) :- worksIn(e, d).
+        """
+    )
+
+    def test_labelled_nulls_created(self):
+        chased = chase(self.ACYCLIC, Database({"employee": [("ann",)]}))
+        ((e, d),) = chased.tuples("worksIn")
+        assert e == "ann"
+        assert isinstance(d, InventedValue)
+
+    def test_nulls_chain_through_rules(self):
+        chased = chase(self.ACYCLIC, Database({"employee": [("ann",)]}))
+        ((d, c),) = chased.tuples("located")
+        assert isinstance(d, InventedValue)
+        assert isinstance(c, InventedValue)
+        assert d != c
+
+    def test_one_null_per_trigger(self):
+        chased = chase(
+            self.ACYCLIC, Database({"employee": [("ann",), ("bob",)]})
+        )
+        depts = {d for _, d in chased.tuples("worksIn")}
+        assert len(depts) == 2  # one department null per employee
+
+    def test_weak_acyclicity_guard(self):
+        with pytest.raises(EvaluationError):
+            chase(
+                ONTOLOGY,
+                Database({"employee": [("ann",)]}),
+                require_weak_acyclicity=True,
+            )
+
+    def test_diverging_chase_hits_budget(self):
+        with pytest.raises(StepBudgetExceeded):
+            chase(ONTOLOGY, Database({"employee": [("ann",)]}), max_stages=20)
+
+
+class TestCertainAnswers:
+    ACYCLIC = parse_program(
+        """
+        worksIn(e, d) :- employee(e).
+        colleague(e, e2) :- worksIn(e, d), worksIn(e2, d).
+        """
+    )
+
+    def test_constants_survive_nulls_filtered(self):
+        db = Database({"employee": [("ann",)], "worksIn": [("bob", "sales")]})
+        chased = chase(self.ACYCLIC, db)
+        employed = certain_answers(QUERY_EMPLOYED, chased)
+        assert employed == frozenset({("ann",), ("bob",)})
+        # Department names: only the real constant is certain; ann's
+        # labelled-null department is filtered.
+        q = parse_program("answer(d) :- worksIn(e, d).")
+        assert certain_answers(q, chased) == frozenset({("sales",)})
+
+    def test_query_over_derived_relations(self):
+        db = Database({"employee": [("ann",)]})
+        chased = chase(self.ACYCLIC, db)
+        q = parse_program("answer(x, y) :- colleague(x, y).")
+        # ann is her own colleague through the invented department.
+        assert certain_answers(q, chased) == frozenset({("ann", "ann")})
+
+    def test_pipeline_helper(self):
+        db = Database({"employee": [("ann",)], "worksIn": [("bob", "sales")]})
+        out = ontology_answer(self.ACYCLIC, QUERY_EMPLOYED, db)
+        assert out == frozenset({("ann",), ("bob",)})
+
+    def test_query_must_be_positive(self):
+        chased = Database({"dept": [("d1",)]})
+        bad = parse_program("answer(d) :- dept(d), not closed(d).")
+        with pytest.raises(Exception):
+            certain_answers(bad, chased)

@@ -1,0 +1,161 @@
+"""Tests for the relational algebra optimizer."""
+
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from repro.relational import algebra as ra
+from repro.relational.instance import Database
+from repro.relational.optimize import (
+    equivalent_on,
+    expression_size,
+    optimize,
+)
+
+P = ra.Rel("P", ("u",))
+Q = ra.Rel("Q", ("u", "v"))
+
+
+@pytest.fixture
+def db():
+    return Database(
+        {
+            "P": [("a",), ("b",), ("c",)],
+            "Q": [("a", "b"), ("b", "c"), ("c", "a"), ("a", "a")],
+        }
+    )
+
+
+def cond_eq(column, value):
+    return ra.Condition(column, "==", right_value=value)
+
+
+class TestRewrites:
+    def test_select_fusion(self, db):
+        expr = ra.Select(ra.Select(Q, (cond_eq("u", "a"),)), (cond_eq("v", "b"),))
+        out = optimize(expr)
+        assert isinstance(out, ra.Select)
+        assert isinstance(out.child, ra.Rel)
+        assert len(out.conditions) == 2
+        assert equivalent_on(expr, out, db)
+
+    def test_select_pushed_into_join(self, db):
+        right = ra.Rename(Q, {"u": "v", "v": "w"})
+        expr = ra.Select(ra.Join(Q, right), (cond_eq("u", "a"),))
+        out = optimize(expr)
+        # The σ(u='a') must now sit on the left child.
+        assert isinstance(out, ra.Join)
+        assert isinstance(out.left, ra.Select)
+        assert equivalent_on(expr, out, db)
+
+    def test_cross_side_condition_stays_above(self, db):
+        right = ra.Rename(Q, {"u": "x", "v": "y"})
+        cross = ra.Condition("u", "==", right_column="y")
+        expr = ra.Select(ra.Product(Q, right), (cross,))
+        out = optimize(expr)
+        assert isinstance(out, ra.Select)  # cannot push a cross condition
+        assert equivalent_on(expr, out, db)
+
+    def test_select_distributes_over_union(self, db):
+        expr = ra.Select(ra.Union(Q, Q), (cond_eq("u", "a"),))
+        out = optimize(expr)
+        assert isinstance(out, ra.Union)
+        assert equivalent_on(expr, out, db)
+
+    def test_projection_collapse(self, db):
+        expr = ra.Project(ra.Project(Q, ("u", "v")), ("u",))
+        out = optimize(expr)
+        assert out == ra.Project(Q, ("u",))
+
+    def test_identity_projection_removed(self, db):
+        expr = ra.Project(Q, ("u", "v"))
+        assert optimize(expr) == Q
+
+    def test_constant_folding_select(self, db):
+        const = ra.Constant(frozenset({("a",), ("b",)}), ("u",))
+        expr = ra.Select(const, (cond_eq("u", "a"),))
+        out = optimize(expr)
+        assert out == ra.Constant(frozenset({("a",)}), ("u",))
+
+    def test_union_with_empty_constant(self, db):
+        empty = ra.Constant(frozenset(), ("u",))
+        assert optimize(ra.Union(P, empty)) == P
+        assert optimize(ra.Union(empty, P)) == P
+
+    def test_join_with_empty_constant_is_empty(self, db):
+        empty = ra.Constant(frozenset(), ("u",))
+        out = optimize(ra.Join(Q, empty))
+        assert isinstance(out, ra.Constant) and not out.rows
+
+    def test_noop_rename_removed(self, db):
+        expr = ra.Rename(Q, {"u": "u"})
+        assert optimize(expr) == Q
+
+    def test_optimizer_shrinks(self, db):
+        expr = ra.Select(
+            ra.Project(ra.Project(ra.Select(Q, (cond_eq("u", "a"),)), ("u", "v")), ("u",)),
+            (),
+        )
+        out = optimize(expr)
+        assert expression_size(out) < expression_size(expr)
+        assert equivalent_on(expr, out, db)
+
+
+# --- property: optimize preserves semantics on random expressions ----------
+
+def _unary(depth):
+    base = st.one_of(
+        st.just(P),
+        st.just(ra.Project(Q, ("u",))),
+        st.builds(
+            lambda rows: ra.Constant(frozenset((r,) for r in rows), ("u",)),
+            st.lists(st.sampled_from(["a", "b", "z"]), max_size=2, unique=True),
+        ),
+    )
+    if depth == 0:
+        return base
+    sub = _unary(depth - 1)
+    return st.one_of(
+        base,
+        st.tuples(sub, sub).map(lambda p: ra.Union(*p)),
+        st.tuples(sub, sub).map(lambda p: ra.Difference(*p)),
+        st.tuples(sub, sub).map(lambda p: ra.Intersection(*p)),
+        st.tuples(sub, st.sampled_from(["a", "b", "c"])).map(
+            lambda p: ra.Select(p[0], (cond_eq("u", p[1]),))
+        ),
+    )
+
+
+def _binary(depth):
+    base = st.just(Q)
+    if depth == 0:
+        return base
+    sub = _binary(depth - 1)
+    return st.one_of(
+        base,
+        st.tuples(sub, sub).map(lambda p: ra.Join(*p)),
+        st.tuples(sub, sub).map(lambda p: ra.Union(*p)),
+        st.tuples(sub, sub).map(lambda p: ra.Difference(*p)),
+        st.tuples(sub, st.sampled_from(["a", "b"])).map(
+            lambda p: ra.Select(p[0], (cond_eq("u", p[1]),))
+        ),
+        st.tuples(sub).map(
+            lambda p: ra.Select(p[0], (ra.Condition("u", "!=", right_column="v"),))
+        ),
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    expr=st.one_of(_unary(3), _binary(3)),
+    p_rows=st.lists(st.sampled_from(["a", "b", "c", "d"]), max_size=3, unique=True),
+    q_rows=st.lists(
+        st.tuples(st.sampled_from(["a", "b", "c"]), st.sampled_from(["a", "b", "c"])),
+        max_size=5,
+        unique=True,
+    ),
+)
+def test_optimize_preserves_semantics(expr, p_rows, q_rows):
+    db = Database({"P": [(v,) for v in p_rows], "Q": q_rows})
+    out = optimize(expr)
+    assert ra.evaluate(out, db) == ra.evaluate(expr, db)

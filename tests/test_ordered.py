@@ -1,0 +1,155 @@
+"""Tests for ordered databases and the Theorem 4.7 collapse (§4.5)."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.ordered import ORDER_RELATIONS, attach_order, default_order, is_ordered
+from repro.relational.instance import Database
+from repro.programs.evenness import (
+    evenness,
+    evenness_inflationary_program,
+    evenness_stratified_program,
+)
+from repro.semantics.stratified import evaluate_stratified
+from repro.semantics.wellfounded import evaluate_wellfounded
+
+
+class TestAttachOrder:
+    def test_order_relations_added(self):
+        db = attach_order(Database({"R": [("a",), ("b",)]}))
+        assert is_ordered(db)
+        for name in ORDER_RELATIONS:
+            assert db.relation(name) is not None
+
+    def test_succ_is_linear(self):
+        db = attach_order(Database({"R": [("b",), ("a",), ("c",)]}))
+        succ = db.tuples("succ")
+        assert len(succ) == 2  # n-1 edges
+        assert db.tuples("first") == frozenset({("a",)})
+        assert db.tuples("last") == frozenset({("c",)})
+
+    def test_lt_is_total(self):
+        db = attach_order(Database({"R": [("a",), ("b",), ("c",)]}))
+        assert len(db.tuples("lt")) == 3  # n(n-1)/2
+
+    def test_explicit_ordering(self):
+        db = attach_order(Database({"R": [("a",), ("b",)]}), ordering=["b", "a"])
+        assert db.tuples("first") == frozenset({("b",)})
+
+    def test_ordering_must_cover_adom(self):
+        with pytest.raises(EvaluationError):
+            attach_order(Database({"R": [("a",), ("b",)]}), ordering=["a"])
+
+    def test_duplicate_ordering_rejected(self):
+        with pytest.raises(EvaluationError):
+            attach_order(Database({"R": [("a",)]}), ordering=["a", "a"])
+
+    def test_existing_order_relation_rejected(self):
+        with pytest.raises(EvaluationError):
+            attach_order(Database({"succ": [("a", "b")]}))
+
+    def test_input_not_mutated(self):
+        db = Database({"R": [("a",)]})
+        attach_order(db)
+        assert db.relation_names() == ["R"]
+
+    def test_default_order_deterministic(self):
+        db = Database({"R": [("b",), ("a",)]})
+        assert default_order(db) == default_order(db)
+
+
+class TestEvenness:
+    """Theorem 4.7 in action: parity is programmable with an order."""
+
+    @pytest.mark.parametrize("k", range(8))
+    def test_parity_stratified(self, k):
+        rows = [(f"e{i}",) for i in range(k)]
+        assert evenness(rows, engine="stratified") == (k % 2 == 0)
+
+    @pytest.mark.parametrize("k", range(8))
+    def test_parity_inflationary(self, k):
+        rows = [(f"e{i}",) for i in range(k)]
+        assert evenness(rows, engine="inflationary") == (k % 2 == 0)
+
+    def test_wellfounded_agrees_with_stratified(self):
+        """The Theorem 4.7 equivalence, witnessed per instance."""
+        rows = [(f"e{i}",) for i in range(5)]
+        db = attach_order(Database({"R": rows}))
+        program = evenness_stratified_program()
+        strat = evaluate_stratified(program, db)
+        wf = evaluate_wellfounded(program, db)
+        assert wf.is_total()
+        for relation in ("result-even", "result-odd", "oddR", "evenR"):
+            assert wf.answer(relation) == strat.answer(relation)
+
+    def test_order_independence(self):
+        """The parity answer must not depend on which order is attached
+        (order-invariance of the query, though not of the program)."""
+        rows = [(f"e{i}",) for i in range(4)]
+        db1 = attach_order(Database({"R": rows}), ordering=[f"e{i}" for i in range(4)])
+        db2 = attach_order(
+            Database({"R": rows}), ordering=[f"e{i}" for i in (2, 0, 3, 1)]
+        )
+        program = evenness_stratified_program()
+        r1 = evaluate_stratified(program, db1)
+        r2 = evaluate_stratified(program, db2)
+        assert bool(r1.answer("result-even")) == bool(r2.answer("result-even"))
+
+    def test_r_subset_of_larger_domain(self):
+        """R need not be the whole ordered universe."""
+        db = Database({"R": [("b",), ("d",)], "U": [("a",), ("c",), ("e",)]})
+        ordered = attach_order(db)
+        result = evaluate_stratified(evenness_stratified_program(), ordered)
+        assert result.answer("result-even")
+        assert not result.answer("result-odd")
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            evenness([], engine="quantum")
+
+
+class TestSemipositiveEvenness:
+    """§4.5: even semi-positive Datalog¬ suffices, given min and max."""
+
+    def test_program_is_semipositive(self):
+        from repro.ast.analysis import is_semipositive
+        from repro.programs.evenness import evenness_semipositive_program
+
+        assert is_semipositive(evenness_semipositive_program())
+
+    @pytest.mark.parametrize("k", range(1, 8))
+    def test_parity(self, k):
+        rows = [(f"e{i}",) for i in range(k)]
+        assert evenness(rows, engine="semipositive") == (k % 2 == 0)
+
+    def test_needs_min_max(self):
+        """The paper's caveat: semi-positive programs cannot compute
+        min/max themselves; an empty domain has none."""
+        with pytest.raises(ValueError):
+            evenness([], engine="semipositive")
+
+    def test_empty_r_nonempty_domain(self):
+        from repro.programs.evenness import evenness_semipositive_program
+        from repro.semantics.stratified import evaluate_stratified
+
+        db = attach_order(Database({"R": [], "U": [("a",), ("c",)]}))
+        result = evaluate_stratified(evenness_semipositive_program(), db)
+        assert result.answer("result-even")
+        assert not result.answer("result-odd")
+
+    def test_runs_identically_under_inflationary(self):
+        """Negation on edb only: no delay tricks needed — inflationary,
+        stratified and well-founded all agree directly."""
+        from repro.programs.evenness import evenness_semipositive_program
+        from repro.semantics.inflationary import evaluate_inflationary
+        from repro.semantics.wellfounded import evaluate_wellfounded
+
+        rows = [(f"e{i}",) for i in range(5)]
+        db = attach_order(Database({"R": rows}))
+        program = evenness_semipositive_program()
+        strat = evaluate_stratified(program, db)
+        infl = evaluate_inflationary(program, db)
+        wf = evaluate_wellfounded(program, db)
+        for relation in ("result-even", "result-odd", "nextR"):
+            assert strat.answer(relation) == infl.answer(relation)
+            assert strat.answer(relation) == wf.answer(relation)

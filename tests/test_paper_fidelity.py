@@ -1,0 +1,219 @@
+"""The paper-fidelity charter: every concrete claim of the paper's
+examples, asserted in one place.
+
+Other test modules cover these behaviours on generated workloads; this
+module is the one-to-one record of what the PAPER says, so a reviewer
+can audit the reproduction claim by claim.  Quotes reference section
+and example numbers of "Datalog Unchained" (PODS 2021).
+"""
+
+import pytest
+
+from repro import (
+    Database,
+    Dialect,
+    NonTerminationError,
+    StratificationError,
+    evaluate_inflationary,
+    evaluate_noninflationary,
+    evaluate_stratified,
+    evaluate_wellfounded,
+    infer_dialect,
+    parse_program,
+)
+
+
+class TestSection31Datalog:
+    """§3.1: 'a Datalog program that computes the transitive closure'."""
+
+    def test_tc_program_is_plain_datalog(self):
+        from repro.programs.tc import tc_program
+
+        assert infer_dialect(tc_program()) is Dialect.DATALOG
+
+    def test_minimum_model_on_a_path(self):
+        from repro.programs.tc import tc_program
+        from repro.semantics.seminaive import evaluate_datalog_seminaive
+
+        db = Database({"G": [("u", "v"), ("v", "w")]})
+        result = evaluate_datalog_seminaive(tc_program(), db)
+        assert result.answer("T") == frozenset(
+            {("u", "v"), ("v", "w"), ("u", "w")}
+        )
+
+
+class TestSection32Stratified:
+    """§3.2: the complement-of-TC program; 'the first two rules are
+    applied before the third'."""
+
+    def test_strata_order(self):
+        from repro import stratify
+        from repro.programs.tc import ctc_stratified_program
+
+        strata = stratify(ctc_stratified_program())
+        assert strata == [{"G", "T"}, {"CT"}]
+
+
+class TestExample32Win:
+    """Example 3.2, verbatim instance and verbatim 3-valued answer."""
+
+    MOVES = [("b", "c"), ("c", "a"), ("a", "b"), ("a", "d"),
+             ("d", "e"), ("d", "f"), ("f", "g")]
+
+    @pytest.fixture
+    def model(self):
+        from repro.programs.win import win_program
+
+        return evaluate_wellfounded(win_program(), Database({"moves": self.MOVES}))
+
+    def test_paper_truth_table(self, model):
+        # "true win(d), win(f); false win(e), win(g);
+        #  unknown win(a), win(b), win(c)."
+        assert model.answer("win") == frozenset({("d",), ("f",)})
+        for state in ("e", "g"):
+            assert model.truth_value("win", (state,)) == "false"
+        assert model.unknowns("win") == frozenset({("a",), ("b",), ("c",)})
+
+    def test_nonstratifiable_as_stated(self):
+        from repro.programs.win import win_program
+
+        with pytest.raises(StratificationError):
+            evaluate_stratified(win_program(), Database({"moves": self.MOVES}))
+
+
+class TestExample41Closer:
+    """Example 4.1: 'if the fact T(x,y) is inferred at stage n, then
+    d(x,y) = n'."""
+
+    def test_stage_is_distance(self):
+        from repro.programs.closer import closer_program
+
+        db = Database({"G": [("p", "q"), ("q", "r"), ("r", "s")]})
+        result = evaluate_inflationary(closer_program(), db)
+        assert result.stage_of("T", ("p", "q")) == 1
+        assert result.stage_of("T", ("p", "r")) == 2
+        assert result.stage_of("T", ("p", "s")) == 3
+
+    def test_closer_inferred_when_stage_separates(self):
+        from repro.programs.closer import closer_program
+
+        db = Database({"G": [("p", "q"), ("q", "r")]})
+        result = evaluate_inflationary(closer_program(), db)
+        # d(p,q)=1 < d(p,r)=2: inferred.
+        assert ("p", "q", "p", "r") in result.answer("closer")
+        # Equal distances are never separated by a stage (fidelity note
+        # recorded in EXPERIMENTS.md).
+        assert ("p", "q", "q", "r") not in result.answer("closer")
+
+
+class TestExample43Delay:
+    """Example 4.3: CT computed after T's fixpoint; 'it is assumed that
+    G is not empty'."""
+
+    def test_program_matches_declarative_complement(self):
+        from repro.programs.ctc_inflationary import ctc_inflationary_program
+        from repro.programs.tc import ctc_stratified_program
+
+        db = Database({"G": [("u", "v"), ("w", "w")]})
+        infl = evaluate_inflationary(ctc_inflationary_program(), db)
+        strat = evaluate_stratified(ctc_stratified_program(), db)
+        assert infl.answer("CT") == strat.answer("CT")
+
+    def test_empty_graph_caveat(self):
+        from repro.programs.ctc_inflationary import complement_tc_inflationary
+
+        with pytest.raises(ValueError):
+            complement_tc_inflationary([])
+
+
+class TestExample44Timestamps:
+    """Example 4.4: 'the set of nodes in G that are not reachable from
+    a cycle'."""
+
+    def test_cycle_poisons_reachable_nodes(self):
+        from repro.programs.good_nodes import good_nodes
+
+        # cycle a→b→a with tail b→c→d: nothing is good.
+        edges = [("a", "b"), ("b", "a"), ("b", "c"), ("c", "d")]
+        assert good_nodes(edges) == frozenset()
+
+    def test_dag_is_all_good(self):
+        from repro.programs.good_nodes import good_nodes
+
+        edges = [("a", "b"), ("b", "c"), ("a", "c")]
+        assert good_nodes(edges) == frozenset({"a", "b", "c"})
+
+
+class TestSection42FlipFlop:
+    """§4.2: 'the value of T flip-flops between {⟨0⟩} and {⟨1⟩} so no
+    fixpoint is reached'."""
+
+    def test_exact_oscillation(self):
+        from repro.programs.flip_flop import flip_flop_input, flip_flop_program
+
+        with pytest.raises(NonTerminationError) as err:
+            evaluate_noninflationary(flip_flop_program(), flip_flop_input())
+        assert err.value.stage == 2  # {0} → {1} → {0}: repeat at stage 2
+
+
+class TestSection51Orientation:
+    """§5.1: 'for every pair of edges (x,y) and (y,x) in G, one of the
+    edges is removed'."""
+
+    def test_deterministic_removes_all_2cycles(self):
+        from repro.programs.orientation import remove_two_cycles
+
+        assert remove_two_cycles([("a", "b"), ("b", "a")]) == frozenset()
+
+    def test_nondeterministic_keeps_one_direction(self):
+        from repro.programs.orientation import orientations
+
+        assert orientations([("a", "b"), ("b", "a")]) == {
+            frozenset({("a", "b")}),
+            frozenset({("b", "a")}),
+        }
+
+
+class TestExamples54and55ProjDiff:
+    """Examples 5.4/5.5: P − π_A(Q) via the three extensions, with the
+    paper's schema R = {P(A), Q(AB)}."""
+
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            "proj_diff_negneg_program",
+            "proj_diff_bottom_program",
+            "proj_diff_forall_program",
+        ],
+    )
+    def test_all_three_programs(self, builder):
+        import repro.programs.proj_diff as mod
+        from repro.semantics.nondeterministic import (
+            answers_in_effects,
+            enumerate_effects,
+        )
+
+        program = getattr(mod, builder)()
+        db = Database({"P": [("1",), ("2",)], "Q": [("1", "x")]})
+        effects = enumerate_effects(program, db)
+        assert answers_in_effects(effects, "answer") == {frozenset({("2",)})}
+
+
+class TestFigure1Placement:
+    """Figure 1: each paper program sits at its level of the hierarchy."""
+
+    @pytest.mark.parametrize(
+        "source,dialect",
+        [
+            ("T(x,y) :- G(x,y). T(x,y) :- G(x,z), T(z,y).", Dialect.DATALOG),
+            (
+                "T(x,y) :- G(x,y). CT(x,y) :- not T(x,y).",
+                Dialect.STRATIFIED,
+            ),
+            ("win(x) :- moves(x,y), not win(y).", Dialect.DATALOG_NEG),
+            ("T(0) :- T(1). !T(1) :- T(1).", Dialect.DATALOG_NEGNEG),
+            ("R(x, n) :- S(x).", Dialect.DATALOG_NEW),
+        ],
+    )
+    def test_levels(self, source, dialect):
+        assert infer_dialect(parse_program(source)) is dialect

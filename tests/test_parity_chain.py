@@ -1,0 +1,86 @@
+"""Tests for the N-Datalog¬new parity chain (Theorem 5.7's shape)."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.ast.program import Dialect
+from repro.ast.analysis import infer_dialect, validate_program
+from repro.relational.instance import Database
+from repro.semantics.invention import InventedValue
+from repro.semantics.nondeterministic import enumerate_effects, run_nondeterministic
+from repro.programs.parity_chain import (
+    parity_chain,
+    parity_chain_all_seeds_agree,
+    parity_chain_program,
+)
+
+
+class TestDialect:
+    def test_inferred_dialect(self):
+        assert infer_dialect(parity_chain_program()) is Dialect.N_DATALOG_NEW
+
+    def test_validates(self):
+        validate_program(parity_chain_program(), Dialect.N_DATALOG_NEW)
+
+
+class TestParity:
+    @pytest.mark.parametrize("k", range(9))
+    def test_correct_parity(self, k):
+        rows = [(f"e{i}",) for i in range(k)]
+        assert parity_chain(rows, seed=k) == (k % 2 == 0)
+
+    @pytest.mark.parametrize("k", [0, 1, 4, 7])
+    def test_deterministic_query(self, k):
+        """Nondeterministic program, deterministic query (§5.3)."""
+        rows = [(f"e{i}",) for i in range(k)]
+        assert parity_chain_all_seeds_agree(rows, range(6))
+
+    def test_linear_step_count(self):
+        """|R| + 1 changing steps: init plus one append per element."""
+        rows = [(f"e{i}",) for i in range(10)]
+        run = run_nondeterministic(
+            parity_chain_program(), Database({"R": rows}), seed=2
+        )
+        assert run.step_count == len(rows) + 1
+
+    def test_chain_cells_are_invented(self):
+        rows = [(f"e{i}",) for i in range(4)]
+        run = run_nondeterministic(
+            parity_chain_program(), Database({"R": rows}), seed=1
+        )
+        cells = {t[0] for t in run.answer("start")} | {
+            t[0] for t in run.answer("ext")
+        }
+        assert len(cells) == 4
+        assert all(isinstance(c, InventedValue) for c in cells)
+
+    def test_every_element_listed_once(self):
+        rows = [(f"e{i}",) for i in range(6)]
+        run = run_nondeterministic(
+            parity_chain_program(), Database({"R": rows}), seed=5
+        )
+        assert run.answer("listed") == frozenset(rows)
+
+    def test_chain_order_varies_with_seed(self):
+        rows = [(f"e{i}",) for i in range(5)]
+        orders = set()
+        for seed in range(10):
+            run = run_nondeterministic(
+                parity_chain_program(), Database({"R": rows}), seed=seed
+            )
+            # Reconstruct the pick order from the chain structure.
+            (first,) = {t[1] for t in run.answer("start")}
+            parent_of = {}
+            elem_of = {}
+            for d, c, x in run.answer("ext"):
+                parent_of[d] = c
+                elem_of[d] = x
+            orders.add((first, frozenset(elem_of.items())))
+        assert len(orders) > 1
+
+
+class TestEnumerationGuard:
+    def test_enumerate_effects_rejects_invention(self):
+        db = Database({"R": [("a",)]})
+        with pytest.raises(EvaluationError):
+            enumerate_effects(parity_chain_program(), db)

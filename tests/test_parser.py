@@ -1,0 +1,202 @@
+"""Unit tests for the lexer and parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.ast.rules import BottomLit, EqLit, Lit
+from repro.parser import parse_program, parse_rule
+from repro.parser.lexer import TokenKind, tokenize
+from repro.terms import Const, Var
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        kinds = [t.kind for t in tokenize("T(x, y) :- G(x, y).")]
+        assert kinds == [
+            TokenKind.IDENT,
+            TokenKind.LPAREN,
+            TokenKind.IDENT,
+            TokenKind.COMMA,
+            TokenKind.IDENT,
+            TokenKind.RPAREN,
+            TokenKind.IMPLIES,
+            TokenKind.IDENT,
+            TokenKind.LPAREN,
+            TokenKind.IDENT,
+            TokenKind.COMMA,
+            TokenKind.IDENT,
+            TokenKind.RPAREN,
+            TokenKind.PERIOD,
+            TokenKind.EOF,
+        ]
+
+    def test_arrow_variant(self):
+        tokens = tokenize("T(x) <- G(x).")
+        assert any(t.kind is TokenKind.IMPLIES for t in tokens)
+
+    def test_dashed_identifier(self):
+        token = tokenize("old-T-except-final")[0]
+        assert token.kind is TokenKind.IDENT
+        assert token.text == "old-T-except-final"
+
+    def test_string_literal(self):
+        token = tokenize("'hello world'")[0]
+        assert token.kind is TokenKind.STRING
+        assert token.value == "hello world"
+
+    def test_number(self):
+        token = tokenize("42")[0]
+        assert token.kind is TokenKind.NUMBER
+        assert token.value == 42
+
+    def test_neq_vs_bang(self):
+        kinds = [t.kind for t in tokenize("!= !")]
+        assert kinds[:2] == [TokenKind.NEQ, TokenKind.BANG]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("% a comment\nT(x).\n# another\n")
+        assert sum(1 for t in tokens if t.kind is TokenKind.IDENT) == 2
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            tokenize("'oops")
+
+    def test_digit_prefixed_identifier_rejected(self):
+        with pytest.raises(ParseError):
+            tokenize("1abc")
+
+    def test_error_location(self):
+        with pytest.raises(ParseError) as err:
+            tokenize("T(x) @")
+        assert err.value.line == 1
+
+    def test_trailing_dash_not_in_identifier(self):
+        # A dash binds only *inside* an identifier; a dangling dash is an
+        # error, not part of the name.
+        with pytest.raises(ParseError):
+            tokenize("a- b")
+        assert tokenize("a-b")[0].text == "a-b"
+
+
+class TestParserRules:
+    def test_plain_rule(self):
+        rule = parse_rule("T(x, y) :- G(x, z), T(z, y).")
+        assert len(rule.body) == 2
+        assert rule.head[0].relation == "T"
+
+    def test_fact_rule(self):
+        rule = parse_rule("delay.")
+        assert rule.body == ()
+        assert rule.head[0].atom.arity == 0
+
+    def test_zero_ary_with_parens(self):
+        assert parse_rule("delay().") == parse_rule("delay.")
+
+    def test_negation_keyword_and_bang(self):
+        a = parse_rule("R(x) :- not S(x).")
+        b = parse_rule("R(x) :- !S(x).")
+        assert a == b
+        assert not a.body[0].positive
+
+    def test_negative_head(self):
+        rule = parse_rule("!G(x, y) :- G(x, y), G(y, x).")
+        assert not rule.head[0].positive
+
+    def test_multi_head(self):
+        rule = parse_rule("A(x), !B(x) :- S(x).")
+        assert len(rule.head) == 2
+
+    def test_bottom_head(self):
+        rule = parse_rule("bottom :- S(x).")
+        assert isinstance(rule.head[0], BottomLit)
+
+    def test_equality_literals(self):
+        rule = parse_rule("R(x) :- S(x, y), x != y, x = 'a'.")
+        eqs = rule.equality_body()
+        assert len(eqs) == 2
+        assert not eqs[0].positive
+        assert eqs[1].right == Const("a")
+
+    def test_constant_first_equality(self):
+        rule = parse_rule("R(x) :- S(x), 'a' = x.")
+        assert rule.equality_body()[0].left == Const("a")
+
+    def test_forall(self):
+        rule = parse_rule("answer(x) :- forall y: P(x), not Q(x, y).")
+        assert rule.universal == (Var("y"),)
+
+    def test_forall_multiple_vars(self):
+        rule = parse_rule("R(x) :- forall y z: S(x), not Q(x, y, z).")
+        assert rule.universal == (Var("y"), Var("z"))
+
+    def test_constants_in_atoms(self):
+        rule = parse_rule("T(0) :- T(1).")
+        assert rule.head[0].atom.terms == (Const(0),)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rule("T(x) :- G(x). extra")
+
+    def test_keyword_as_relation_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rule("not(x) :- G(x).")
+
+    def test_missing_period(self):
+        with pytest.raises(ParseError):
+            parse_rule("T(x) :- G(x)")
+
+
+class TestParserPrograms:
+    def test_multi_rule_program(self):
+        program = parse_program(
+            """
+            % transitive closure
+            T(x, y) :- G(x, y).
+            T(x, y) :- G(x, z), T(z, y).
+            """
+        )
+        assert len(program) == 2
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("   % just a comment")
+
+    def test_dialect_validation_at_parse(self):
+        from repro.ast.program import Dialect
+        from repro.errors import DialectError
+
+        with pytest.raises(DialectError):
+            parse_program("!R(x) :- R(x), S(x).", dialect=Dialect.DATALOG_NEG)
+
+    def test_paper_example_43_parses(self):
+        from repro.programs.ctc_inflationary import ctc_inflationary_program
+
+        program = ctc_inflationary_program()
+        assert "old-T-except-final" in program.idb
+
+    def test_source_round_trip_every_paper_program(self):
+        from repro.programs import (
+            ctc_inflationary_program,
+            flip_flop_program,
+            good_nodes_program,
+            orientation_program,
+            proj_diff_bottom_program,
+            proj_diff_forall_program,
+            proj_diff_negneg_program,
+            tc_program,
+            win_program,
+        )
+
+        for build in (
+            tc_program,
+            win_program,
+            ctc_inflationary_program,
+            good_nodes_program,
+            flip_flop_program,
+            orientation_program,
+            proj_diff_negneg_program,
+            proj_diff_bottom_program,
+            proj_diff_forall_program,
+        ):
+            program = build()
+            assert parse_program(program.source()) == program

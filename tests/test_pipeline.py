@@ -1,0 +1,139 @@
+"""Tests for stratified pipelines with aggregation."""
+
+import pytest
+
+from repro.errors import EvaluationError, SchemaError
+from repro.parser import parse_program
+from repro.pipeline import (
+    AggregateStage,
+    AlgebraStage,
+    Pipeline,
+    ProgramStage,
+    run_pipeline,
+)
+from repro.relational import algebra as ra
+from repro.relational.instance import Database
+from repro.workloads.graphs import chain, cycle, graph_database
+
+
+class TestAggregateStage:
+    def test_count_in_degrees(self):
+        db = graph_database([("a", "b"), ("c", "b"), ("a", "c")])
+        pipeline = Pipeline(
+            (AggregateStage("indeg", "G", group_by=(1,), function="count"),)
+        )
+        out = run_pipeline(pipeline, db)
+        assert out.tuples("indeg") == frozenset({("b", 2), ("c", 1)})
+
+    def test_sum_and_avg(self):
+        db = Database({"sal": [("eng", "ann", 10), ("eng", "bo", 20), ("hr", "cy", 30)]})
+        pipeline = Pipeline(
+            (
+                AggregateStage("total", "sal", (0,), "sum", value=2),
+                AggregateStage("mean", "sal", (0,), "avg", value=2),
+            )
+        )
+        out = run_pipeline(pipeline, db)
+        assert out.tuples("total") == frozenset({("eng", 30), ("hr", 30)})
+        assert out.tuples("mean") == frozenset({("eng", 15.0), ("hr", 30.0)})
+
+    def test_min_max(self):
+        db = Database({"m": [("g", 4), ("g", 9), ("h", 7)]})
+        pipeline = Pipeline(
+            (
+                AggregateStage("lo", "m", (0,), "min", value=1),
+                AggregateStage("hi", "m", (0,), "max", value=1),
+            )
+        )
+        out = run_pipeline(pipeline, db)
+        assert out.tuples("lo") == frozenset({("g", 4), ("h", 7)})
+        assert out.tuples("hi") == frozenset({("g", 9), ("h", 7)})
+
+    def test_global_aggregate_empty_group_by(self):
+        db = Database({"m": [("a", 1), ("b", 2)]})
+        pipeline = Pipeline((AggregateStage("n", "m", (), "count"),))
+        out = run_pipeline(pipeline, db)
+        assert out.tuples("n") == frozenset({(2,)})
+
+    def test_empty_source(self):
+        db = Database({"other": [("x",)]})
+        pipeline = Pipeline((AggregateStage("n", "m", (), "count"),))
+        out = run_pipeline(pipeline, db)
+        assert out.tuples("n") == frozenset()
+
+    def test_unknown_function(self):
+        with pytest.raises(EvaluationError):
+            AggregateStage("t", "s", (0,), "median", value=1)
+
+    def test_value_required(self):
+        with pytest.raises(EvaluationError):
+            AggregateStage("t", "s", (0,), "sum")
+
+    def test_position_out_of_range(self):
+        db = Database({"m": [("a", 1)]})
+        pipeline = Pipeline((AggregateStage("t", "m", (5,), "count"),))
+        with pytest.raises(SchemaError):
+            run_pipeline(pipeline, db)
+
+
+class TestStratifiedComposition:
+    def test_program_then_aggregate(self):
+        """Reachability counts: |reachable-from(x)| per node — the
+        aggregate reads the completed TC stratum."""
+        tc = parse_program("T(x,y) :- G(x,y). T(x,y) :- G(x,z), T(z,y).")
+        pipeline = Pipeline(
+            (
+                ProgramStage(tc),
+                AggregateStage("reach_count", "T", (0,), "count"),
+            )
+        )
+        out = run_pipeline(pipeline, graph_database(chain(4)))
+        assert out.tuples("reach_count") == frozenset(
+            {("n0", 3), ("n1", 2), ("n2", 1)}
+        )
+
+    def test_aggregate_then_program(self):
+        """Thresholding on an aggregate feeds a later program stage."""
+        db = graph_database(
+            [("a", "hub"), ("b", "hub"), ("c", "hub"), ("a", "leaf")]
+        )
+        pipeline = Pipeline(
+            (
+                AggregateStage("indeg", "G", (1,), "count"),
+                ProgramStage(
+                    parse_program("popular(x) :- indeg(x, 3).")
+                ),
+            )
+        )
+        out = run_pipeline(pipeline, db)
+        assert out.tuples("popular") == frozenset({("hub",)})
+
+    def test_algebra_stage(self):
+        db = graph_database([("a", "b"), ("b", "a"), ("a", "c")])
+        flip = ra.Rename(ra.Project(ra.Rel("G", ("u", "v")), ("v", "u")),
+                         {"v": "u", "u": "v"})
+        pipeline = Pipeline(
+            (AlgebraStage("sym", ra.Intersection(ra.Rel("G", ("u", "v")), flip)),)
+        )
+        out = run_pipeline(pipeline, db)
+        assert out.tuples("sym") == frozenset({("a", "b"), ("b", "a")})
+
+    def test_input_not_mutated(self):
+        db = graph_database(chain(3))
+        pipeline = Pipeline((AggregateStage("n", "G", (), "count"),))
+        run_pipeline(pipeline, db)
+        assert "n" not in db.relation_names()
+
+    def test_triangle_counting(self):
+        """Count directed triangles per start node via program + count."""
+        tri = parse_program("tri(x, y, z) :- G(x, y), G(y, z), G(z, x).")
+        pipeline = Pipeline(
+            (
+                ProgramStage(tri),
+                AggregateStage("tri_count", "tri", (0,), "count"),
+            )
+        )
+        out = run_pipeline(pipeline, graph_database(cycle(3)))
+        assert out.tuples("tri_count") == frozenset(
+            {("n0", 1), ("n1", 1), ("n2", 1)}
+        )

@@ -1,0 +1,110 @@
+"""Tests for possibility/certainty semantics (§5.3, Definition 5.10)."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.parser import parse_program
+from repro.relational.instance import Database
+from repro.semantics.posscert import certainty, deterministic_effect, possibility
+
+
+PICK = parse_program("pick(x) :- S(x), not done. done :- S(x).")
+
+
+class TestPossCert:
+    def test_poss_is_union(self):
+        db = Database({"S": [("a",), ("b",)]})
+        poss = possibility(PICK, db)
+        assert poss.tuples("pick") == frozenset({("a",), ("b",)})
+
+    def test_cert_is_intersection(self):
+        db = Database({"S": [("a",), ("b",)]})
+        cert = certainty(PICK, db)
+        # One run inserts done immediately: pick can be empty.
+        assert cert.tuples("pick") == frozenset()
+        assert cert.has_fact("done", ())
+
+    def test_cert_equals_poss_on_deterministic_program(self):
+        program = parse_program("R(x) :- S(x).")
+        db = Database({"S": [("a",)]})
+        assert possibility(program, db) == certainty(program, db)
+
+    def test_poss_expresses_existential_choice(self):
+        """poss of 'some S-element is marked' marks every S-element."""
+        program = parse_program(
+            """
+            mark(x) :- S(x), not done.
+            done :- mark(x).
+            """
+        )
+        db = Database({"S": [("a",), ("b",), ("c",)]})
+        poss = possibility(program, db)
+        assert poss.tuples("mark") == frozenset({("a",), ("b",), ("c",)})
+
+    def test_cert_of_forced_fact(self):
+        program = parse_program(
+            """
+            mark(x) :- S(x), not done.
+            done :- mark(x).
+            """
+        )
+        db = Database({"S": [("a",)]})
+        # Only one S-element: every run marks it.
+        cert = certainty(program, db)
+        assert cert.tuples("mark") == frozenset({("a",)})
+
+    def test_deterministic_effect(self):
+        program = parse_program("R(x) :- S(x).")
+        db = Database({"S": [("a",)]})
+        unique = deterministic_effect(program, db)
+        assert unique is not None and unique.has_fact("R", ("a",))
+        assert deterministic_effect(PICK, Database({"S": [("a",), ("b",)]})) is None
+
+    def test_empty_effect_raises(self):
+        looping = parse_program(
+            """
+            R(x) :- S(x), not R(x).
+            !R(x) :- S(x), R(x).
+            """
+        )
+        db = Database({"S": [("a",)]})
+        with pytest.raises(EvaluationError):
+            possibility(looping, db)
+
+
+class TestNPStyleQuery:
+    def test_poss_checks_two_colorability(self):
+        """A db-np-flavoured query via poss (Theorem 5.11's shape).
+
+        Guess a 2-coloring nondeterministically; derive ``bad`` when a
+        monochromatic edge exists *after* coloring completes.  The poss
+        semantics of ``ok`` answers "is the graph 2-colorable?".
+        """
+        program = parse_program(
+            """
+            red(x), colored(x) :- N(x), not colored(x).
+            blue(x), colored(x) :- N(x), not colored(x).
+            bad :- G(x, y), red(x), red(y).
+            bad :- G(x, y), blue(x), blue(y).
+            """
+        )
+        # A terminal state without ``bad`` exists iff a proper
+        # 2-coloring exists: colors never change once chosen, and a
+        # monochromatic edge forces ``bad`` before the run can stop.
+        from repro.semantics.nondeterministic import enumerate_effects
+
+        bipartite = Database(
+            {"G": [("a", "b"), ("b", "c")], "N": [("a",), ("b",), ("c",)]}
+        )
+        odd_cycle = Database(
+            {
+                "G": [("a", "b"), ("b", "c"), ("c", "a")],
+                "N": [("a",), ("b",), ("c",)],
+            }
+        )
+        def colorable(db):
+            effects = enumerate_effects(program, db, validate=False)
+            return any(("bad", ()) not in state for state in effects)
+
+        assert colorable(bipartite)
+        assert not colorable(odd_cycle)

@@ -1,0 +1,243 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+These check the library's central equalities on randomly generated
+instances and formulas rather than hand-picked cases:
+
+* engine agreement (naive = semi-naive = reference closure);
+* inflationary delta-optimization soundness;
+* well-founded answers = game-theoretic backward induction;
+* the FO → Datalog compiler agrees with direct FO evaluation on
+  arbitrarily generated formulas;
+* parser round-trips; genericity under random permutations;
+* evenness = |R| mod 2; orientation counts = 2^(#2-cycles).
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.logic.formula import And, Atom, Equals, Exists, Forall, Not, Or
+from repro.logic.evaluate import evaluate_formula, free_variables
+from repro.ast.program import Program
+from repro.parser import parse_program
+from repro.relational.instance import Database
+from repro.relational.isomorphism import apply_mapping, random_permutation
+from repro.semantics.inflationary import evaluate_inflationary
+from repro.semantics.naive import evaluate_datalog_naive
+from repro.semantics.seminaive import evaluate_datalog_seminaive
+from repro.semantics.stratified import evaluate_stratified
+from repro.semantics.wellfounded import evaluate_wellfounded
+from repro.translate.fo_to_datalog import compile_formula
+from repro.programs.closer import closer_program, reference_closer
+from repro.programs.good_nodes import good_nodes_program, reference_good_nodes
+from repro.programs.tc import (
+    ctc_stratified_program,
+    reference_complement_tc,
+    reference_transitive_closure,
+    tc_program,
+)
+from repro.programs.win import win_program
+from repro.programs.evenness import evenness
+from repro.workloads.games import game_database, solve_game_reference
+from repro.terms import Const, Var
+
+NODES = [f"n{i}" for i in range(6)]
+
+edges_strategy = st.lists(
+    st.tuples(st.sampled_from(NODES), st.sampled_from(NODES)),
+    max_size=14,
+    unique=True,
+)
+
+SETTINGS = settings(max_examples=40, deadline=None)
+
+
+@SETTINGS
+@given(edges=edges_strategy)
+def test_naive_seminaive_reference_agree(edges):
+    db = Database({"G": edges})
+    naive = evaluate_datalog_naive(tc_program(), db).answer("T")
+    semi = evaluate_datalog_seminaive(tc_program(), db).answer("T")
+    assert naive == semi == reference_transitive_closure(edges)
+
+
+@SETTINGS
+@given(edges=edges_strategy)
+def test_stratified_ctc_matches_reference(edges):
+    db = Database({"G": edges})
+    got = evaluate_stratified(ctc_stratified_program(), db).answer("CT")
+    assert got == reference_complement_tc(edges)
+
+
+@SETTINGS
+@given(edges=edges_strategy)
+def test_inflationary_delta_is_sound(edges):
+    db = Database({"G": edges})
+    program = closer_program()
+    fast = evaluate_inflationary(program, db, use_delta=True)
+    slow = evaluate_inflationary(program, db, use_delta=False)
+    assert fast.database == slow.database
+    assert fast.stage_count == slow.stage_count
+
+
+@SETTINGS
+@given(edges=edges_strategy)
+def test_closer_matches_reference(edges):
+    db = Database({"G": edges})
+    got = evaluate_inflationary(closer_program(), db).answer("closer")
+    assert got == reference_closer(edges)
+
+
+@SETTINGS
+@given(edges=edges_strategy)
+def test_good_nodes_matches_reference(edges):
+    db = Database({"G": edges})
+    got = evaluate_inflationary(good_nodes_program(), db).answer("good")
+    assert {t[0] for t in got} == reference_good_nodes(edges)
+
+
+@SETTINGS
+@given(moves=edges_strategy)
+def test_wellfounded_win_is_backward_induction(moves):
+    db = game_database(moves)
+    model = evaluate_wellfounded(win_program(), db)
+    winning, losing, drawn = solve_game_reference(moves)
+    assert {t[0] for t in model.answer("win")} == winning
+    assert {t[0] for t in model.unknowns("win")} == drawn
+    assert model.true_facts <= model.possible_facts
+
+
+@SETTINGS
+@given(
+    moves=edges_strategy,
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_wellfounded_generic_under_permutation(moves, seed):
+    db = game_database(moves)
+    mapping = random_permutation(db.active_domain(), random.Random(seed))
+    direct = evaluate_wellfounded(win_program(), db)
+    renamed = evaluate_wellfounded(win_program(), apply_mapping(db, mapping))
+    expected = frozenset(
+        tuple(mapping.get(v, v) for v in t) for t in direct.answer("win")
+    )
+    assert renamed.answer("win") == expected
+
+
+# --- random FO formulas vs the FO → Datalog compiler -----------------------
+
+X, Y = Var("x"), Var("y")
+
+
+def _formula_strategy():
+    base = st.sampled_from(
+        [
+            Atom("P", (X,)),
+            Atom("P", (Y,)),
+            Atom("Q", (X, Y)),
+            Atom("Q", (Y, X)),
+            Atom("Q", (X, X)),
+            Equals(X, Const("n0")),
+            Equals(X, Y),
+        ]
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(children, children).map(lambda p: And(*p)),
+            st.tuples(children, children).map(lambda p: Or(*p)),
+            children.map(Not),
+            children.map(lambda f: Exists((Y,), f)),
+            children.map(lambda f: Forall((Y,), f)),
+        )
+
+    return st.recursive(base, extend, max_leaves=6)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    formula=_formula_strategy(),
+    p_rows=st.lists(st.sampled_from(NODES), max_size=4, unique=True),
+    q_rows=st.lists(
+        st.tuples(st.sampled_from(NODES), st.sampled_from(NODES)),
+        max_size=6,
+        unique=True,
+    ),
+)
+def test_fo_compiler_agrees_with_direct_evaluation(formula, p_rows, q_rows):
+    db = Database({"P": [(v,) for v in p_rows], "Q": q_rows})
+    output = tuple(sorted(free_variables(formula), key=lambda v: v.name))
+    compiled = compile_formula(formula, output, {"P": 1, "Q": 2})
+    result = evaluate_stratified(Program(compiled.rules), db)
+    direct = evaluate_formula(formula, db, output)
+    assert set(result.answer(compiled.answer)) == direct
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    formula=_formula_strategy(),
+    p_rows=st.lists(st.sampled_from(NODES), max_size=4, unique=True),
+    q_rows=st.lists(
+        st.tuples(st.sampled_from(NODES), st.sampled_from(NODES)),
+        max_size=6,
+        unique=True,
+    ),
+)
+def test_fo_algebra_compiler_agrees_with_direct_evaluation(
+    formula, p_rows, q_rows
+):
+    """Triple agreement: direct FO = compiled algebra (= compiled Datalog,
+    by the test above) on arbitrary generated formulas."""
+    from repro.relational import algebra as ra
+    from repro.translate.fo_to_algebra import compile_formula_to_algebra
+
+    db = Database({"P": [(v,) for v in p_rows], "Q": q_rows})
+    output = tuple(sorted(free_variables(formula), key=lambda v: v.name))
+    expr = compile_formula_to_algebra(formula, output, {"P": 1, "Q": 2})
+    direct = evaluate_formula(formula, db, output)
+    assert ra.evaluate(expr, db) == direct
+
+
+@SETTINGS
+@given(rows=st.lists(st.sampled_from(NODES), max_size=6, unique=True))
+def test_evenness_is_cardinality_parity(rows):
+    unary = [(v,) for v in rows]
+    assert evenness(unary, engine="stratified") == (len(rows) % 2 == 0)
+    assert evenness(unary, engine="inflationary") == (len(rows) % 2 == 0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(edges=st.lists(
+    st.tuples(st.sampled_from(NODES[:4]), st.sampled_from(NODES[:4])),
+    max_size=7,
+    unique=True,
+))
+def test_orientation_count_is_power_of_two_cycles(edges):
+    from repro.programs.orientation import orientations, reference_two_cycles
+
+    outs = orientations(edges)
+    two_cycles = reference_two_cycles(edges)
+    assert len(outs) == 2 ** len(two_cycles)
+
+
+@SETTINGS
+@given(edges=edges_strategy)
+def test_parser_round_trip_generated_programs(edges):
+    """program → source → parse is the identity on the paper programs
+    regardless of instance (sanity: source() is stable)."""
+    program = ctc_stratified_program()
+    assert parse_program(program.source()) == program
+
+
+@SETTINGS
+@given(edges=edges_strategy)
+def test_inflationary_stages_monotone(edges):
+    db = Database({"G": edges})
+    result = evaluate_inflationary(tc_program(), db, validate=False)
+    total = set()
+    for trace in result.stages:
+        for fact in trace.new_facts:
+            assert fact not in total
+            total.add(fact)
+    assert {("T", t) for t in result.answer("T")} <= total | set()

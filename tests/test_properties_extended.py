@@ -1,0 +1,206 @@
+"""Property-based tests over the extension subsystems.
+
+Complements tests/test_properties.py with invariants for Datalog¬¬
+conflict policies, nondeterministic confluence, the choice operator,
+transforms, serialization, and the Statelog layer.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.parser import parse_program
+from repro.relational.instance import Database
+from repro.relational.io import (
+    database_from_json,
+    database_to_json,
+    facts_from_text,
+    facts_to_text,
+)
+from repro.ast.transform import rename_relations
+from repro.semantics.choice import choice_is_functional, evaluate_with_choice
+from repro.semantics.nondeterministic import (
+    enumerate_effects,
+    run_nondeterministic,
+)
+from repro.semantics.noninflationary import ConflictPolicy, evaluate_noninflationary
+from repro.semantics.provenance import evaluate_with_provenance, explain
+from repro.semantics.seminaive import evaluate_datalog_seminaive
+from repro.semantics.stratified import evaluate_stratified
+from repro.programs.tc import tc_program
+from repro.statelog import parse_statelog, run_statelog
+
+SETTINGS = settings(max_examples=30, deadline=None)
+
+NODES = [f"n{i}" for i in range(5)]
+
+edges_strategy = st.lists(
+    st.tuples(st.sampled_from(NODES), st.sampled_from(NODES)),
+    max_size=10,
+    unique=True,
+)
+
+CASCADE = parse_program(
+    """
+    !customer(c) :- customer(c), banned(c).
+    !order(o, c) :- order(o, c), not customer(c).
+    cancelled(o) :- order(o, c), not customer(c).
+    """
+)
+
+
+@SETTINGS
+@given(
+    customers=st.lists(st.sampled_from(NODES), max_size=4, unique=True),
+    banned=st.lists(st.sampled_from(NODES), max_size=3, unique=True),
+    orders=st.lists(
+        st.tuples(st.sampled_from(["o1", "o2", "o3"]), st.sampled_from(NODES)),
+        max_size=4,
+        unique=True,
+    ),
+)
+def test_conflict_policies_agree_without_conflicts(customers, banned, orders):
+    """The cascade program never infers A and ¬A together, so all four
+    conflict policies produce identical results (the paper: the choice
+    "is not crucial")."""
+    db = Database(
+        {
+            "customer": [(c,) for c in customers],
+            "banned": [(b,) for b in banned],
+            "order": orders,
+        }
+    )
+    results = {}
+    for policy in (
+        ConflictPolicy.POSITIVE_WINS,
+        ConflictPolicy.NEGATIVE_WINS,
+        ConflictPolicy.NO_OP,
+        ConflictPolicy.CONTRADICTION,
+    ):
+        outcome = evaluate_noninflationary(CASCADE, db, policy=policy)
+        assert all(c == 0 for c in outcome.conflicts)
+        results[policy] = outcome.database.canonical()
+    assert len(set(results.values())) == 1
+
+
+small_edges_strategy = st.lists(
+    st.tuples(st.sampled_from(NODES[:4]), st.sampled_from(NODES[:4])),
+    max_size=5,
+    unique=True,
+)
+
+
+@settings(max_examples=20, deadline=None)
+@given(edges=small_edges_strategy)
+def test_positive_programs_are_confluent(edges):
+    """A negation-free program's eff(P) is a singleton: every firing
+    order reaches the minimum model (Church-Rosser for monotone rules).
+
+    Kept tiny: exhaustive eff(P) enumeration visits every derivation
+    order, exponential in the number of derivable facts.
+    """
+    db = Database({"G": edges})
+    effects = enumerate_effects(tc_program(), db, validate=False)
+    assert len(effects) == 1
+    (terminal,) = effects
+    reference = evaluate_datalog_seminaive(tc_program(), db)
+    expected = {("T", t) for t in reference.answer("T")} | {
+        ("G", t) for t in edges
+    }
+    assert terminal == frozenset(expected)
+
+
+@SETTINGS
+@given(edges=edges_strategy, seed=st.integers(min_value=0, max_value=999))
+def test_sampled_run_of_positive_program_matches_minimum_model(edges, seed):
+    db = Database({"G": edges})
+    run = run_nondeterministic(tc_program(), db, seed=seed, validate=False)
+    reference = evaluate_datalog_seminaive(tc_program(), db)
+    assert run.answer("T") == reference.answer("T")
+
+
+SPANNING_TREE = parse_program(
+    """
+    root(x) :- node(x), choice((), (x)).
+    intree(x) :- root(x).
+    tree(x, y) :- intree(x), G(x, y), not intree(y), choice((y), (x)).
+    intree(y) :- tree(x, y).
+    """
+)
+
+
+@SETTINGS
+@given(edges=edges_strategy, seed=st.integers(min_value=0, max_value=99))
+def test_choice_tree_invariants(edges, seed):
+    nodes = sorted({v for e in edges for v in e})
+    if not nodes:
+        return
+    db = Database({"node": [(v,) for v in nodes], "G": edges})
+    result = evaluate_with_choice(SPANNING_TREE, db, seed=seed)
+    assert choice_is_functional(result)
+    tree = result.answer("tree")
+    children = [y for _, y in tree]
+    assert len(children) == len(set(children))  # parent function
+    assert tree <= frozenset(edges)  # tree edges come from the graph
+    assert len(result.answer("root")) == 1
+
+
+@SETTINGS
+@given(edges=edges_strategy)
+def test_rename_relations_preserves_semantics(edges):
+    db = Database({"G": edges})
+    renamed_program = rename_relations(tc_program(), {"T": "Closure"})
+    original = evaluate_stratified(tc_program(), db).answer("T")
+    relabeled = evaluate_stratified(renamed_program, db).answer("Closure")
+    assert original == relabeled
+
+
+@SETTINGS
+@given(
+    g_rows=edges_strategy,
+    n_rows=st.lists(st.integers(min_value=0, max_value=9), max_size=5, unique=True),
+)
+def test_serialization_round_trips(g_rows, n_rows):
+    db = Database()
+    for t in g_rows:
+        db.add_fact("G", t)
+    for n in n_rows:
+        db.add_fact("N", (n,))
+    assert facts_from_text(facts_to_text(db)) == db
+    assert database_from_json(database_to_json(db)) == db
+
+
+@SETTINGS
+@given(edges=edges_strategy)
+def test_provenance_trees_ground_out_in_edb(edges):
+    db = Database({"G": edges})
+    prov = evaluate_with_provenance(tc_program(), db)
+    for t in prov.answer("T"):
+        tree = explain(prov, "T", t)
+        stack = [tree]
+        while stack:
+            node = stack.pop()
+            if node.kind == "edb":
+                assert db.has_fact(*node.fact)
+            stack.extend(node.children)
+
+
+TOKEN_WALK = parse_statelog(
+    """
+    +token(y) :- token(x), path(x, y).
+    +path(x, y) :- path(x, y).
+    +arrived(x) :- token(x), not movable(x).
+    +arrived(x) :- arrived(x).
+    movable(x) :- token(x), path(x, y).
+    """
+)
+
+
+@SETTINGS
+@given(length=st.integers(min_value=1, max_value=6))
+def test_statelog_token_walk_always_arrives(length):
+    path = [(f"p{i}", f"p{i + 1}") for i in range(length)]
+    db = Database({"path": path, "token": [("p0",)]})
+    result = run_statelog(TOKEN_WALK, db, max_steps=50)
+    assert result.answer("arrived") == frozenset({(f"p{length}",)})
+    assert result.steps >= length

@@ -1,0 +1,69 @@
+"""Tests for program reports and precedence-graph export."""
+
+from repro.ast.report import precedence_dot, program_report
+from repro.parser import parse_program
+from repro.programs.tc import ctc_stratified_program
+from repro.programs.win import win_program
+from repro.programs.flip_flop import flip_flop_program
+
+
+class TestReport:
+    def test_pure_datalog(self):
+        report = program_report(parse_program("T(x,y) :- G(x,y)."))
+        assert "dialect: datalog" in report
+        assert "(pure Datalog)" in report
+        assert "edb: G/2" in report
+        assert "strata:" in report
+
+    def test_stratified_report_shows_levels(self):
+        report = program_report(ctc_stratified_program())
+        assert "strata: {G, T} | {CT}" in report
+        assert "semipositive: False" in report
+
+    def test_win_report(self):
+        report = program_report(win_program())
+        assert "dialect: datalog-neg" in report
+        assert "recursion through negation" in report
+
+    def test_flip_flop_report(self):
+        report = program_report(flip_flop_program())
+        assert "negative heads" in report
+        assert "constants: 0, 1" in report
+        assert "strata" not in report  # not meaningful with deletion
+
+    def test_feature_list(self):
+        report = program_report(
+            parse_program("A(x), !B(x) :- S(x), x != 'q'.")
+        )
+        assert "multiple heads" in report
+        assert "(in)equality" in report
+        assert "negative heads" in report
+
+
+class TestDot:
+    def test_nodes_and_edges(self):
+        dot = precedence_dot(ctc_stratified_program())
+        assert '"G" [shape=box];' in dot
+        assert '"T" [shape=ellipse];' in dot
+        assert '"G" -> "T" [style=solid];' in dot
+        assert '"T" -> "CT" [style=dashed label="¬"];' in dot
+
+    def test_self_loop_for_recursion(self):
+        dot = precedence_dot(win_program())
+        assert '"win" -> "win" [style=dashed label="¬"];' in dot
+
+    def test_valid_digraph_braces(self):
+        dot = precedence_dot(ctc_stratified_program())
+        assert dot.startswith("digraph")
+        assert dot.endswith("}")
+
+    def test_cli_dot_flag(self, tmp_path):
+        import io
+
+        from repro.cli import main
+
+        program = tmp_path / "p.dl"
+        program.write_text("T(x,y) :- G(x,y).\nCT(x,y) :- not T(x,y).\n")
+        out = io.StringIO()
+        assert main(["check", str(program), "--dot"], out=out) == 0
+        assert "digraph" in out.getvalue()

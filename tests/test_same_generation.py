@@ -1,0 +1,75 @@
+"""Tests for the same-generation program (non-linear recursion)."""
+
+import pytest
+
+from repro.programs.same_generation import (
+    reference_same_generation,
+    same_generation,
+    same_generation_program,
+    tree_instance,
+)
+from repro.semantics.naive import evaluate_datalog_naive
+from repro.semantics.seminaive import evaluate_datalog_seminaive
+from repro.semantics.topdown import query_topdown
+from repro.relational.instance import Database
+
+
+class TestTreeInstance:
+    def test_shape(self):
+        db = tree_instance(depth=2, fanout=2)
+        assert len(db.tuples("up")) == 6  # 2 + 4 edges
+        # 3 parents × 2 ordered sibling pairs each = 6 flat pairs
+        assert len(db.tuples("flat")) == 6
+
+    def test_flat_is_symmetric(self):
+        db = tree_instance(depth=3)
+        flat = db.tuples("flat")
+        assert all((b, a) in flat for a, b in flat)
+
+
+class TestEvaluation:
+    @pytest.mark.parametrize("depth", [1, 2, 3])
+    def test_matches_reference(self, depth):
+        db = tree_instance(depth=depth)
+        assert same_generation(db) == reference_same_generation(db)
+
+    def test_cousins_same_generation(self):
+        db = tree_instance(depth=2)
+        sg = same_generation(db)
+        # All four leaves are in one generation (siblings or cousins).
+        leaves = [f"t2_{i}" for i in range(4)]
+        for a in leaves:
+            for b in leaves:
+                if a != b:
+                    assert (a, b) in sg
+
+    def test_parents_inherit_generation(self):
+        db = tree_instance(depth=2)
+        sg = same_generation(db)
+        assert ("t1_0", "t1_1") in sg
+
+    def test_naive_seminaive_agree(self):
+        db = tree_instance(depth=3)
+        naive = evaluate_datalog_naive(same_generation_program(), db)
+        semi = evaluate_datalog_seminaive(same_generation_program(), db)
+        assert naive.answer("sg") == semi.answer("sg")
+        assert semi.rule_firings <= naive.rule_firings
+
+    def test_topdown_bound_query(self):
+        db = tree_instance(depth=3)
+        full = same_generation(db)
+        bound = query_topdown(same_generation_program(), db, "sg", ("t3_0", None))
+        expected = frozenset(t for t in full if t[0] == "t3_0")
+        assert bound.answers == expected
+
+    def test_unbalanced_instance(self):
+        db = Database(
+            {
+                "flat": [("m", "n")],
+                "up": [("x", "m"), ("y", "n"), ("z", "y")],
+                "down": [("m", "x"), ("n", "y"), ("y", "z")],
+            }
+        )
+        sg = same_generation(db)
+        assert ("x", "y") in sg  # via parents m, n
+        assert ("x", "z") not in sg  # different depths

@@ -1,0 +1,34 @@
+"""Schema-surface integration: Program.schema(), Database.schema()."""
+
+from repro.parser import parse_program
+from repro.relational.instance import Database
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+class TestProgramSchema:
+    def test_program_schema_has_all_relations(self):
+        program = parse_program("T(x, y) :- G(x, y). U(x) :- T(x, x).")
+        schema = program.schema()
+        assert isinstance(schema, DatabaseSchema)
+        assert set(schema.names()) == {"T", "G", "U"}
+        assert schema.arity("T") == 2
+        assert schema.arity("U") == 1
+
+    def test_database_schema_reflects_contents(self):
+        db = Database({"G": [("a", "b")], "P": [("x",)]})
+        schema = db.schema()
+        assert schema.arity("G") == 2
+        assert schema.arity("P") == 1
+
+    def test_schemas_merge(self):
+        program = parse_program("T(x, y) :- G(x, y).")
+        db = Database({"G": [("a", "b")], "extra": [(1, 2, 3)]})
+        merged = program.schema().merge(db.schema())
+        assert merged.arity("extra") == 3
+        assert merged.arity("T") == 2
+
+    def test_relation_schema_attributes_roundtrip(self):
+        schema = RelationSchema("R", 2, ("src", "dst"))
+        assert schema.attributes == ("src", "dst")
+        rebuilt = DatabaseSchema([schema])
+        assert rebuilt["R"].attributes == ("src", "dst")

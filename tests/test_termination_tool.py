@@ -1,0 +1,69 @@
+"""Tests for the bounded termination checker."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.parser import parse_program
+from repro.programs.flip_flop import flip_flop_program
+from repro.tools.termination import check_termination_bounded
+
+
+class TestFlipFlop:
+    def test_counterexample_found(self):
+        report = check_termination_bounded(flip_flop_program(), extra_domain_size=0)
+        assert not report.all_terminate
+        witness = report.first_counterexample()
+        # The paper's witness T = {0} (or the symmetric {1}) is found.
+        assert witness.tuples("T") in (
+            frozenset({(0,)}),
+            frozenset({(1,)}),
+        )
+
+    def test_stop_at_first(self):
+        report = check_termination_bounded(
+            flip_flop_program(), extra_domain_size=0, stop_at_first=True
+        )
+        assert len(report.counterexamples) == 1
+
+    def test_terminating_instances_counted(self):
+        report = check_termination_bounded(flip_flop_program(), extra_domain_size=0)
+        # Domain {0, 1}: instances ∅, {0}, {1}, {0,1}; the two singletons
+        # diverge, the other two are fixpoints.
+        assert report.instances_checked == 4
+        assert report.terminating == 2
+        assert len(report.counterexamples) == 2
+
+
+class TestTerminatingPrograms:
+    def test_pure_deletion_always_terminates(self):
+        program = parse_program("!S(x) :- S(x), E(x).")
+        report = check_termination_bounded(program, extra_domain_size=2)
+        assert report.all_terminate
+        assert report.instances_checked == 2**2 * 2**2  # subsets of S and E
+
+    def test_inflationary_style_always_terminates(self):
+        program = parse_program("T(x, y) :- G(x, z), T(z, y). T(x, y) :- G(x, y).")
+        report = check_termination_bounded(
+            program, extra_domain_size=2, max_facts_per_relation=2
+        )
+        assert report.all_terminate
+        assert report.max_stages >= 1
+
+    def test_summary_text(self):
+        program = parse_program("!S(x) :- S(x), E(x).")
+        report = check_termination_bounded(program, extra_domain_size=1)
+        assert "terminates on every instance" in report.summary()
+
+
+class TestGuards:
+    def test_empty_domain_rejected(self):
+        program = parse_program("!S(x) :- S(x), E(x).")
+        with pytest.raises(EvaluationError):
+            check_termination_bounded(program, extra_domain_size=0)
+
+    def test_instance_budget(self):
+        program = parse_program("R(x, y) :- G(x, y), not H(x, y).")
+        with pytest.raises(EvaluationError):
+            check_termination_bounded(
+                program, extra_domain_size=3, max_instances=10
+            )

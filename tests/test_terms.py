@@ -1,0 +1,59 @@
+"""Unit tests for repro.terms."""
+
+import pytest
+
+from repro.terms import (
+    Const,
+    Var,
+    apply_valuation,
+    substitute_terms,
+    term_consts,
+    term_vars,
+)
+
+
+class TestVarConst:
+    def test_var_equality_by_name(self):
+        assert Var("x") == Var("x")
+        assert Var("x") != Var("y")
+
+    def test_var_hashable(self):
+        assert len({Var("x"), Var("x"), Var("y")}) == 2
+
+    def test_const_wraps_value(self):
+        assert Const(3).value == 3
+        assert Const("a") == Const("a")
+
+    def test_const_distinct_from_var(self):
+        assert Const("x") != Var("x")
+
+    def test_var_repr_is_name(self):
+        assert repr(Var("abc")) == "abc"
+
+    def test_const_repr_quotes_strings(self):
+        assert repr(Const("a")) == "'a'"
+        assert repr(Const(7)) == "7"
+
+
+class TestTermHelpers:
+    def test_term_vars(self):
+        terms = (Var("x"), Const("a"), Var("y"), Var("x"))
+        assert term_vars(terms) == {Var("x"), Var("y")}
+
+    def test_term_consts(self):
+        terms = (Var("x"), Const("a"), Const(2))
+        assert term_consts(terms) == {"a", 2}
+
+    def test_apply_valuation(self):
+        terms = (Var("x"), Const("k"), Var("y"))
+        valuation = {Var("x"): 1, Var("y"): 2}
+        assert apply_valuation(terms, valuation) == (1, "k", 2)
+
+    def test_apply_valuation_missing_binding_raises(self):
+        with pytest.raises(KeyError):
+            apply_valuation((Var("x"),), {})
+
+    def test_substitute_terms_partial(self):
+        terms = (Var("x"), Var("y"))
+        out = substitute_terms(terms, {Var("x"): "a"})
+        assert out == (Const("a"), Var("y"))

@@ -1,0 +1,136 @@
+"""Tests for goal-directed (tabled top-down) evaluation."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.parser import parse_program
+from repro.relational.instance import Database
+from repro.semantics.seminaive import evaluate_datalog_seminaive
+from repro.semantics.topdown import query_topdown
+from repro.programs.tc import tc_program, reference_transitive_closure
+from repro.workloads.graphs import chain, graph_database, random_gnp
+
+LEFT_TC = parse_program(
+    """
+    T(x, y) :- G(x, y).
+    T(x, y) :- T(x, z), G(z, y).
+    """
+)
+
+
+def bottom_up_answers(program, db, relation, pattern):
+    full = evaluate_datalog_seminaive(program, db).answer(relation)
+    return frozenset(
+        t
+        for t in full
+        if all(p is None or p == v for p, v in zip(pattern, t))
+    )
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("program", [tc_program(), LEFT_TC], ids=["right", "left"])
+    @pytest.mark.parametrize(
+        "pattern", [(None, None), ("n0", None), (None, "n3"), ("n0", "n3")]
+    )
+    def test_matches_bottom_up(self, program, pattern):
+        db = graph_database(chain(5))
+        result = query_topdown(program, db, "T", pattern)
+        assert result.answers == bottom_up_answers(program, db, "T", pattern)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_graphs_fully_free(self, seed):
+        edges = random_gnp(7, 0.25, seed=seed)
+        db = graph_database(edges)
+        result = query_topdown(tc_program(), db, "T", (None, None))
+        assert result.answers == reference_transitive_closure(edges)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_graphs_bound_source(self, seed):
+        edges = random_gnp(7, 0.25, seed=seed)
+        db = graph_database(edges)
+        nodes = sorted({v for e in edges for v in e})
+        if not nodes:
+            pytest.skip("empty graph")
+        source = nodes[0]
+        result = query_topdown(tc_program(), db, "T", (source, None))
+        assert result.answers == bottom_up_answers(
+            tc_program(), db, "T", (source, None)
+        )
+
+    def test_edb_query(self):
+        db = graph_database(chain(3))
+        result = query_topdown(tc_program(), db, "G", ("n0", None))
+        assert result.answers == frozenset({("n0", "n1")})
+
+    def test_no_answers(self):
+        db = graph_database(chain(3))
+        result = query_topdown(tc_program(), db, "T", ("n2", "n0"))
+        assert result.answers == frozenset()
+
+    def test_constants_in_rules(self):
+        program = parse_program("R(y) :- G('n0', y). S(x) :- R(x), G(x, 'n2').")
+        db = graph_database(chain(3))
+        result = query_topdown(program, db, "S", (None,))
+        assert result.answers == frozenset({("n1",)})
+
+    def test_same_generation(self):
+        program = parse_program(
+            """
+            sg(x, y) :- flat(x, y).
+            sg(x, y) :- up(x, u), sg(u, v), down(v, y).
+            """
+        )
+        db = Database(
+            {
+                "flat": [("m1", "m2")],
+                "up": [("a", "m1"), ("b", "m2")],
+                "down": [("m2", "a2"), ("m1", "b2")],
+            }
+        )
+        result = query_topdown(program, db, "sg", ("a", None))
+        assert result.answers == bottom_up_answers(program, db, "sg", ("a", None))
+
+
+class TestRelevance:
+    def test_bound_query_computes_fewer_facts(self):
+        """The magic-sets effect: T('n0', y)? on a long chain must not
+        materialize the whole quadratic closure.
+
+        Uses the left-linear rule T(x,y) :- T(x,z), G(z,y): the bound
+        first argument flows through the recursive call (sideways
+        information passing), so a single goal table suffices — the
+        right-linear variant would subscribe one goal per chain node.
+        """
+        db = graph_database(chain(40))
+        bound = query_topdown(LEFT_TC, db, "T", ("n0", None))
+        full = evaluate_datalog_seminaive(LEFT_TC, db)
+        assert len(bound.answers) == 39
+        assert bound.facts_computed() == 39  # one linear table
+        assert len(full.answer("T")) == 40 * 39 // 2  # quadratic closure
+
+    def test_binding_shape_matters(self):
+        """Right-linear recursion with a bound source subscribes a goal
+        per reachable node — still complete, less focused."""
+        db = graph_database(chain(12))
+        right = query_topdown(tc_program(), db, "T", ("n0", None))
+        left = query_topdown(LEFT_TC, db, "T", ("n0", None))
+        assert right.answers == left.answers
+        assert left.goals_subscribed < right.goals_subscribed
+
+    def test_goal_tables_exposed(self):
+        db = graph_database(chain(4))
+        result = query_topdown(tc_program(), db, "T", ("n0", None))
+        assert result.goals_subscribed >= 1
+        assert ("T", ("n0", None)) in result.tables
+
+
+class TestValidation:
+    def test_negation_rejected(self):
+        program = parse_program("R(x) :- S(x), not E(x).")
+        with pytest.raises(Exception):
+            query_topdown(program, Database({"S": [("a",)]}), "R", (None,))
+
+    def test_pattern_arity_checked(self):
+        db = graph_database(chain(3))
+        with pytest.raises(EvaluationError):
+            query_topdown(tc_program(), db, "T", (None,))

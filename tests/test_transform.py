@@ -1,0 +1,104 @@
+"""Tests for program transformation utilities."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.ast.transform import (
+    rename_apart,
+    rename_relations,
+    rename_rule_variables,
+    union_programs,
+)
+from repro.parser import parse_program, parse_rule
+from repro.relational.instance import Database
+from repro.semantics.stratified import evaluate_stratified
+from repro.terms import Var
+
+
+class TestVariableRenaming:
+    def test_rename_apart_all_positions(self):
+        rule = parse_rule("H(x, y) :- G(x, z), not T(z, y), x != y.")
+        renamed = rename_apart(rule, "_1")
+        assert renamed.head_variables() == {Var("x_1"), Var("y_1")}
+        assert Var("z_1") in renamed.body_variables()
+        assert not (rule.variables() & renamed.variables())
+
+    def test_constants_untouched(self):
+        rule = parse_rule("H(x) :- G(x, 'a').")
+        renamed = rename_apart(rule, "_9")
+        assert renamed.constants() == {"a"}
+
+    def test_universal_variables_renamed(self):
+        rule = parse_rule("H(x) :- forall y: P(x), not Q(x, y).")
+        renamed = rename_apart(rule, "_u")
+        assert renamed.universal == (Var("y_u"),)
+
+    def test_choice_variables_renamed(self):
+        rule = parse_rule("H(x, y) :- S(x, y), choice((x), (y)).")
+        renamed = rename_apart(rule, "_c")
+        (goal,) = renamed.choice_body()
+        assert goal.domain == (Var("x_c"),)
+        assert goal.range == (Var("y_c"),)
+
+    def test_custom_renamer(self):
+        rule = parse_rule("H(x) :- G(x).")
+        renamed = rename_rule_variables(rule, lambda v: Var(v.name.upper()))
+        assert renamed.head_variables() == {Var("X")}
+
+
+class TestRelationRenaming:
+    def test_rename_relations(self):
+        program = parse_program("T(x,y) :- G(x,y). T(x,y) :- G(x,z), T(z,y).")
+        renamed = rename_relations(program, {"T": "Closure", "G": "Edge"})
+        assert renamed.idb == {"Closure"}
+        assert renamed.edb == {"Edge"}
+
+    def test_rename_preserves_semantics(self):
+        program = parse_program("T(x,y) :- G(x,y). T(x,y) :- G(x,z), T(z,y).")
+        renamed = rename_relations(program, {"T": "C"})
+        db = Database({"G": [("a", "b"), ("b", "c")]})
+        original = evaluate_stratified(program, db).answer("T")
+        relabeled = evaluate_stratified(renamed, db).answer("C")
+        assert original == relabeled
+
+    def test_merging_rename_rejected(self):
+        program = parse_program("A(x) :- S(x). B(x) :- S(x).")
+        with pytest.raises(ProgramError):
+            rename_relations(program, {"A": "C", "B": "C"})
+
+    def test_unmapped_relations_kept(self):
+        program = parse_program("T(x) :- G(x).")
+        renamed = rename_relations(program, {})
+        assert renamed == program
+
+
+class TestUnion:
+    def test_plain_union(self):
+        left = parse_program("A(x) :- S(x).")
+        right = parse_program("B(x) :- A(x).")
+        combined = union_programs(left, right)
+        db = Database({"S": [("v",)]})
+        result = evaluate_stratified(combined, db)
+        assert result.answer("B") == frozenset({("v",)})
+
+    def test_union_with_idb_renaming_avoids_capture(self):
+        """Both programs define 'tmp'; renaming the right's idb keeps
+        the two scratch relations separate."""
+        left = parse_program("tmp(x) :- S(x). out1(x) :- tmp(x).")
+        right = parse_program("tmp(x) :- E(x). out2(x) :- tmp(x).")
+        combined = union_programs(left, right, rename_right_idb="_r")
+        db = Database({"S": [("a",)], "E": [("b",)]})
+        result = evaluate_stratified(combined, db)
+        assert result.answer("out1") == frozenset({("a",)})
+        assert result.answer("out2_r") == frozenset({("b",)})
+        assert result.answer("tmp") == frozenset({("a",)})
+        assert result.answer("tmp_r") == frozenset({("b",)})
+
+    def test_pipeline_left_feeds_right(self):
+        """The left program's idb serves as the right's edb."""
+        left = parse_program("T(x,y) :- G(x,y). T(x,y) :- G(x,z), T(z,y).")
+        right = parse_program("pair(x, y) :- T(x, y), T(y, x).")
+        combined = union_programs(left, right, rename_right_idb="_q")
+        db = Database({"G": [("a", "b"), ("b", "a")]})
+        result = evaluate_stratified(combined, db)
+        assert ("a", "b") in result.answer("pair_q")

@@ -1,0 +1,271 @@
+"""Tests for the translation/simulation compilers (Theorems 4.2 and the
+while ≡ Datalog¬¬ equivalence)."""
+
+import pytest
+
+from repro.errors import NonTerminationError, ProgramError
+from repro.ast.program import Program
+from repro.ast.rules import neg, pos
+from repro.logic.formula import And, Atom, Equals, Exists, Forall, Implies, Not, Or
+from repro.parser import parse_program, parse_rule
+from repro.relational.instance import Database
+from repro.semantics.inflationary import evaluate_inflationary
+from repro.semantics.noninflationary import evaluate_noninflationary
+from repro.semantics.stratified import evaluate_stratified
+from repro.languages.while_lang import evaluate_while
+from repro.logic.evaluate import evaluate_formula
+from repro.terms import Const, Var
+from repro.translate.fo_to_datalog import adom_rules, compile_formula
+from repro.translate.delay import compile_inner_with_post
+from repro.translate.timestamp import compile_gain_loop
+from repro.translate.fixpoint_to_datalog import (
+    compile_fixpoint_loop,
+    gain_loop_as_while,
+)
+from repro.translate.while_to_datalog import (
+    LoopAssignment,
+    compile_while_loop,
+    while_loop_as_while,
+)
+from repro.programs.good_nodes import reference_good_nodes
+from repro.programs.tc import reference_complement_tc, reference_transitive_closure
+from repro.workloads.graphs import chain, cycle, graph_database, lollipop, random_gnp
+
+x, y, z = Var("x"), Var("y"), Var("z")
+
+
+class TestFOToDatalog:
+    """The compiled program's answer must equal direct FO evaluation."""
+
+    FORMULAS = [
+        ("atom", Atom("P", (x,)), (x,)),
+        ("negation", Not(Atom("P", (x,))), (x,)),
+        (
+            "and",
+            And(Atom("P", (x,)), Not(Atom("Q", (x, y)))),
+            (x, y),
+        ),
+        ("or", Or(Atom("P", (x,)), Atom("R", (x,))), (x,)),
+        (
+            "exists",
+            Exists((y,), Atom("Q", (x, y))),
+            (x,),
+        ),
+        (
+            "forall",
+            Forall((y,), Implies(Atom("P", (y,)), Atom("Q", (x, y)))),
+            (x,),
+        ),
+        ("equals-const", Equals(x, Const("a")), (x,)),
+        ("equals-var", And(Atom("P", (x,)), Equals(x, y)), (x, y)),
+        (
+            "proj-diff",
+            And(Atom("P", (x,)), Not(Exists((y,), Atom("Q", (x, y))))),
+            (x,),
+        ),
+    ]
+
+    @pytest.fixture
+    def db(self):
+        return Database(
+            {
+                "P": [("a",), ("b",)],
+                "R": [("c",)],
+                "Q": [("a", "b"), ("c", "c")],
+            }
+        )
+
+    @pytest.mark.parametrize(
+        "formula,output", [(f, o) for _, f, o in FORMULAS], ids=[n for n, _, _ in FORMULAS]
+    )
+    def test_compiled_equals_direct(self, db, formula, output):
+        compiled = compile_formula(formula, output, {"P": 1, "R": 1, "Q": 2})
+        result = evaluate_stratified(Program(compiled.rules), db)
+        direct = evaluate_formula(formula, db, output)
+        assert set(result.answer(compiled.answer)) == direct
+
+    def test_adom_rules_collect_all_columns(self, db):
+        rules = adom_rules({"Q": 2}, "dom", constants=("k",))
+        result = evaluate_stratified(Program(rules), db)
+        assert result.answer("dom") == frozenset(
+            {("a",), ("b",), ("c",), ("k",)}
+        )
+
+    def test_layers_are_monotone_along_dag(self):
+        formula = Not(Exists((y,), Not(Atom("Q", (x, y)))))
+        compiled = compile_formula(formula, (x,), {"Q": 2})
+        assert compiled.depth >= 3  # atom < not < exists < not
+
+    def test_output_vars_must_match(self):
+        with pytest.raises(Exception):
+            compile_formula(Atom("P", (x,)), (y,), {"P": 1})
+
+
+class TestDelayCompiler:
+    def test_ctc_via_generic_delay(self, seeded_gnp):
+        if not seeded_gnp:
+            pytest.skip("empty graph")
+        inner = parse_program("T(x,y) :- G(x,y). T(x,y) :- G(x,z), T(z,y).")
+        post = [parse_rule("CT(x,y) :- not T(x,y).")]
+        program = compile_inner_with_post(inner, post)
+        db = graph_database(seeded_gnp)
+        got = evaluate_inflationary(program, db).answer("CT")
+        assert got == reference_complement_tc(seeded_gnp)
+
+    def test_multiple_inner_relations(self):
+        inner = parse_program(
+            """
+            up(x, y) :- G(x, y).
+            reach(y) :- S(x), up(x, y).
+            reach(y) :- reach(x), up(x, y).
+            """
+        )
+        post = [parse_rule("missed(x) :- N(x), not reach(x).")]
+        program = compile_inner_with_post(inner, post)
+        db = Database(
+            {
+                "G": [("a", "b"), ("b", "c"), ("d", "e")],
+                "S": [("a",)],
+                "N": [("a",), ("b",), ("c",), ("d",), ("e",)],
+            }
+        )
+        got = evaluate_inflationary(program, db).answer("missed")
+        # reach holds nodes reachable *from* the source a (not a itself).
+        assert got == frozenset({("a",), ("d",), ("e",)})
+
+    def test_post_may_not_define_inner_idb(self):
+        inner = parse_program("T(x) :- G(x).")
+        post = [parse_rule("T(x) :- not T(x).")]
+        with pytest.raises(ProgramError):
+            compile_inner_with_post(inner, post)
+
+    def test_post_rules_chain(self):
+        inner = parse_program("T(x,y) :- G(x,y). T(x,y) :- G(x,z), T(z,y).")
+        post = [
+            parse_rule("CT(x,y) :- not T(x,y)."),
+            parse_rule("sym-CT(x,y) :- CT(x,y), CT(y,x)."),
+        ]
+        program = compile_inner_with_post(inner, post)
+        db = graph_database([("a", "b")])
+        result = evaluate_inflationary(program, db)
+        assert ("b", "a") not in result.answer("sym-CT")
+        assert ("a", "a") in result.answer("sym-CT")
+
+
+class TestTimestampCompiler:
+    GRAPHS = [chain(5), cycle(4), lollipop(3, 3), random_gnp(6, 0.3, seed=9)]
+
+    @pytest.mark.parametrize("edges", GRAPHS, ids=["chain", "cycle", "lolli", "gnp"])
+    def test_good_nodes_equivalence(self, edges):
+        bad_body = (pos("G", y, x), neg("good", y))
+        program = compile_gain_loop("good", (x,), bad_body, {"G"})
+        db = graph_database(edges)
+        datalog = {t[0] for t in evaluate_inflationary(program, db).answer("good")}
+        assert datalog == reference_good_nodes(edges)
+
+    @pytest.mark.parametrize("edges", GRAPHS, ids=["chain", "cycle", "lolli", "gnp"])
+    def test_matches_while_interpreter(self, edges):
+        bad_body = (pos("G", y, x), neg("good", y))
+        program = compile_fixpoint_loop("good", (x,), bad_body, {"G"})
+        wprog = gain_loop_as_while("good", (x,), bad_body)
+        db = graph_database(edges)
+        datalog = evaluate_inflationary(program, db).answer("good")
+        while_res = evaluate_while(wprog, db).answer("good")
+        assert datalog == while_res
+
+    def test_positive_target_in_bad_body_rejected(self):
+        with pytest.raises(ProgramError):
+            compile_gain_loop("good", (x,), (pos("good", x),), set())
+
+    def test_non_edb_scratch_rejected(self):
+        with pytest.raises(ProgramError):
+            compile_gain_loop("good", (x,), (pos("other_idb", x), neg("good", x)), {"G"})
+
+    def test_no_target_var_in_body_rejected(self):
+        with pytest.raises(ProgramError):
+            compile_gain_loop("good", (x,), (pos("G", y, z), neg("good", y)), {"G"})
+
+
+class TestWhileToDatalog:
+    def _tc_loop(self):
+        phi = Or(
+            Atom("G", (x, y)),
+            Exists((z,), And(Atom("R", (x, z)), Atom("G", (z, y)))),
+        )
+        return [LoopAssignment("R", (x, y), phi)]
+
+    @pytest.mark.parametrize(
+        "edges", [chain(4), cycle(3), random_gnp(5, 0.3, seed=2)],
+        ids=["chain", "cycle", "gnp"],
+    )
+    def test_tc_loop_matches_while(self, edges):
+        loop = self._tc_loop()
+        program = compile_while_loop(loop, {"G": 2})
+        wprog = while_loop_as_while(loop)
+        db = graph_database(edges)
+        got = evaluate_noninflationary(program, db, max_stages=100_000).answer("R")
+        want = evaluate_while(wprog, db).answer("R")
+        assert got == want
+        assert got == reference_transitive_closure(edges)
+
+    def test_shrinking_loop(self):
+        # R := R ∩ Keep — reaches a fixpoint by deletion.
+        phi = And(Atom("R", (x,)), Atom("Keep", (x,)))
+        loop = [LoopAssignment("R", (x,), phi)]
+        program = compile_while_loop(loop, {"Keep": 1})
+        db = Database({"R": [("a",), ("b",)], "Keep": [("a",)]})
+        got = evaluate_noninflationary(program, db, max_stages=100_000).answer("R")
+        assert got == frozenset({("a",)})
+
+    def test_two_assignments_sequential_semantics(self):
+        # A := P; B := A  — B must see the *new* A (sequential within a round).
+        loop = [
+            LoopAssignment("A", (x,), Atom("P", (x,))),
+            LoopAssignment("B", (x,), Atom("A", (x,))),
+        ]
+        program = compile_while_loop(loop, {"P": 1})
+        wprog = while_loop_as_while(loop)
+        db = Database({"P": [("a",), ("b",)]})
+        got = evaluate_noninflationary(program, db, max_stages=100_000)
+        want = evaluate_while(wprog, db)
+        assert got.answer("A") == want.answer("A")
+        assert got.answer("B") == want.answer("B") == frozenset({("a",), ("b",)})
+
+    def test_oscillating_loop_diverges_in_both(self):
+        loop = [LoopAssignment("R", (x,), Not(Atom("R", (x,))))]
+        program = compile_while_loop(loop, {"S": 1})
+        db = Database({"S": [("a",)]})
+        with pytest.raises(NonTerminationError):
+            evaluate_noninflationary(program, db, max_stages=100_000)
+        with pytest.raises(NonTerminationError):
+            evaluate_while(while_loop_as_while(loop), db)
+
+    def test_empty_loop_rejected(self):
+        with pytest.raises(ProgramError):
+            compile_while_loop([], {})
+
+    def test_prefix_collision_rejected(self):
+        loop = [LoopAssignment("R", (x,), Atom("P", (x,)))]
+        with pytest.raises(ProgramError):
+            compile_while_loop(loop, {"wl_adom": 1}, prefix="wl")
+
+    def test_formula_constants_join_the_domain(self):
+        # R := P ∪ {'k'} — the constant must enter the compiled adom.
+        from repro.logic.formula import Equals
+        from repro.terms import Const
+
+        phi = Or(Atom("P", (x,)), Equals(x, Const("k")))
+        loop = [LoopAssignment("R", (x,), phi)]
+        program = compile_while_loop(loop, {"P": 1})
+        db = Database({"P": [("a",)]})
+        got = evaluate_noninflationary(program, db, max_stages=100_000).answer("R")
+        want = evaluate_while(while_loop_as_while(loop), db).answer("R")
+        assert got == want == frozenset({("a",), ("k",)})
+
+    def test_initial_target_content_is_seed(self):
+        # R starts nonempty; first assignment replaces it.
+        loop = [LoopAssignment("R", (x,), Atom("P", (x,)))]
+        program = compile_while_loop(loop, {"P": 1})
+        db = Database({"P": [("a",)], "R": [("z",)]})
+        got = evaluate_noninflationary(program, db, max_stages=100_000).answer("R")
+        assert got == frozenset({("a",)})

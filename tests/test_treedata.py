@@ -1,0 +1,122 @@
+"""Tests for Monadic Datalog over trees (the §6 Lixto thread)."""
+
+import pytest
+
+from repro.parser import parse_program
+from repro.semantics.seminaive import evaluate_datalog_seminaive
+from repro.semantics.stratified import evaluate_stratified
+from repro.treedata import (
+    is_monadic,
+    labels,
+    node,
+    node_depths,
+    tree_database,
+)
+
+#: <html><ul><li/><li/><li/></ul><p/><ul><li/></ul></html>
+DOC = node(
+    "html",
+    node("ul", node("li"), node("li"), node("li")),
+    node("p"),
+    node("ul", node("li")),
+)
+
+#: A Lixto-style wrapper: extract every li that sits inside a ul.
+WRAPPER = parse_program(
+    """
+    in-ul(x) :- label-ul(x).
+    under(x) :- in-ul(p), firstchild(p, x).
+    under(x) :- under(s), nextsibling(s, x).
+    item(x) :- under(x), label-li(x).
+    """
+)
+
+#: MSO-flavoured parity of depth, in Monadic Datalog.
+DEPTH_PARITY = parse_program(
+    """
+    even(x) :- root(x).
+    odd(y) :- even(x), firstchild(x, y).
+    even(y) :- odd(x), firstchild(x, y).
+    even(y) :- even(x), nextsibling(x, y).
+    odd(y) :- odd(x), nextsibling(x, y).
+    """
+)
+
+
+class TestEncoding:
+    def test_signature_relations(self):
+        db = tree_database(DOC)
+        assert db.has_fact("root", ("n0",))
+        assert db.has_fact("firstchild", ("n0", "n1"))
+        assert db.has_fact("nextsibling", ("n1", "n5"))  # ul → p
+        assert db.has_fact("leaf", ("n2",))
+        assert db.has_fact("lastsibling", ("n6",))  # the second ul
+
+    def test_labels(self):
+        db = tree_database(DOC)
+        assert labels(db) == {"html", "ul", "li", "p"}
+
+    def test_preorder_ids(self):
+        db = tree_database(DOC)
+        # n1 is the first ul; its children n2..n4 are li's.
+        assert db.has_fact("label-ul", ("n1",))
+        for ident in ("n2", "n3", "n4"):
+            assert db.has_fact("label-li", (ident,))
+
+    def test_single_node_tree(self):
+        db = tree_database(node("a"))
+        assert db.has_fact("root", ("n0",))
+        assert db.has_fact("leaf", ("n0",))
+        assert db.relation("firstchild") is None
+
+    def test_child_builder(self):
+        root = node("r")
+        root.child("k")
+        db = tree_database(root)
+        assert db.has_fact("firstchild", ("n0", "n1"))
+
+
+class TestMonadicity:
+    def test_wrapper_is_monadic(self):
+        assert is_monadic(WRAPPER)
+        assert is_monadic(DEPTH_PARITY)
+
+    def test_binary_idb_rejected(self):
+        binary = parse_program("desc(x, y) :- firstchild(x, y).")
+        assert not is_monadic(binary)
+
+
+class TestWrappers:
+    def test_item_extraction(self):
+        db = tree_database(DOC)
+        result = evaluate_datalog_seminaive(WRAPPER, db)
+        items = {t[0] for t in result.answer("item")}
+        assert items == {"n2", "n3", "n4", "n7"}  # all li's in both uls
+
+    def test_extraction_ignores_non_list_nodes(self):
+        doc = node("html", node("li"), node("ul", node("li")))
+        result = evaluate_datalog_seminaive(WRAPPER, tree_database(doc))
+        items = {t[0] for t in result.answer("item")}
+        assert items == {"n3"}  # the bare li is not under a ul
+
+    def test_depth_parity_matches_reference(self):
+        db = tree_database(DOC)
+        result = evaluate_datalog_seminaive(DEPTH_PARITY, db)
+        even = {t[0] for t in result.answer("even")}
+        odd = {t[0] for t in result.answer("odd")}
+        for ident, depth in node_depths(DOC).items():
+            assert (ident in even) == (depth % 2 == 0)
+            assert (ident in odd) == (depth % 2 == 1)
+        assert not even & odd
+
+    def test_wrapper_with_negation_runs_stratified(self):
+        """Wrappers may use stratified negation (Lixto's filters)."""
+        program = parse_program(
+            """
+            haschild(x) :- firstchild(x, y).
+            empty-ul(x) :- label-ul(x), not haschild(x).
+            """
+        )
+        doc = node("html", node("ul"), node("ul", node("li")))
+        result = evaluate_stratified(program, tree_database(doc))
+        assert result.answer("empty-ul") == frozenset({("n1",)})

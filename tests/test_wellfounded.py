@@ -1,0 +1,175 @@
+"""Tests for the well-founded semantics (§3.3) and stable models."""
+
+import pytest
+
+from repro.parser import parse_program
+from repro.relational.instance import Database
+from repro.semantics.stratified import evaluate_stratified
+from repro.semantics.wellfounded import alternating_sequence, evaluate_wellfounded
+from repro.semantics.stable import (
+    is_stable_model,
+    stable_models,
+    wellfounded_true_in_all_stable,
+)
+from repro.programs.win import paper_win_instance, win_program
+from repro.workloads.games import game_database, random_game, solve_game_reference
+
+
+class TestPaperExample32:
+    """The exact instance of Example 3.2."""
+
+    def test_true_facts(self):
+        model = evaluate_wellfounded(win_program(), paper_win_instance())
+        assert model.answer("win") == frozenset({("d",), ("f",)})
+
+    def test_unknown_facts(self):
+        model = evaluate_wellfounded(win_program(), paper_win_instance())
+        assert model.unknowns("win") == frozenset({("a",), ("b",), ("c",)})
+
+    def test_false_facts(self):
+        model = evaluate_wellfounded(win_program(), paper_win_instance())
+        assert model.truth_value("win", ("e",)) == "false"
+        assert model.truth_value("win", ("g",)) == "false"
+
+    def test_not_total(self):
+        model = evaluate_wellfounded(win_program(), paper_win_instance())
+        assert not model.is_total()
+
+    def test_true_database_contains_edb(self):
+        model = evaluate_wellfounded(win_program(), paper_win_instance())
+        db = model.true_database()
+        assert db.has_fact("moves", ("a", "b"))
+        assert db.has_fact("win", ("d",))
+        assert not db.has_fact("win", ("a",))
+
+
+class TestGameReference:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_games_match_backward_induction(self, seed):
+        moves = random_game(7, 0.25, seed=seed)
+        if not moves:
+            pytest.skip("empty game")
+        model = evaluate_wellfounded(win_program(), game_database(moves))
+        winning, losing, drawn = solve_game_reference(moves)
+        assert {t[0] for t in model.answer("win")} == winning
+        assert {t[0] for t in model.unknowns("win")} == drawn
+        for state in losing:
+            assert model.truth_value("win", (state,)) == "false"
+
+
+class TestWinningStrategy:
+    def test_paper_strategy(self):
+        """Example 3.2: 'winning strategies from states d (move to e)
+        and f (move to g)'."""
+        from repro.programs.win import winning_strategy
+        from repro.workloads.games import paper_game
+
+        assert winning_strategy(paper_game()) == {"d": "e", "f": "g"}
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_strategy_moves_into_losing_states(self, seed):
+        from repro.programs.win import winning_strategy
+        from repro.workloads.games import random_game, solve_game_reference
+
+        moves = random_game(7, 0.25, seed=seed)
+        if not moves:
+            pytest.skip("empty game")
+        strategy = winning_strategy(moves)
+        winning, losing, _ = solve_game_reference(moves)
+        assert set(strategy) == winning
+        for src, dst in strategy.items():
+            assert (src, dst) in set(moves)
+            assert dst in losing
+
+
+class TestAlternatingFixpoint:
+    def test_even_sequence_increases(self):
+        seq = alternating_sequence(win_program(), paper_win_instance())
+        values = [next(seq) for _ in range(7)]
+        evens = values[0::2]
+        for a, b in zip(evens, evens[1:]):
+            assert a <= b
+
+    def test_odd_sequence_decreases(self):
+        seq = alternating_sequence(win_program(), paper_win_instance())
+        values = [next(seq) for _ in range(8)]
+        odds = values[1::2]
+        for a, b in zip(odds, odds[1:]):
+            assert a >= b
+
+    def test_even_below_odd(self):
+        model = evaluate_wellfounded(win_program(), paper_win_instance())
+        assert model.true_facts <= model.possible_facts
+
+
+class TestAgreementWithStratified:
+    """On stratifiable programs, well-founded = stratified and is total."""
+
+    @pytest.mark.parametrize(
+        "source,input_db",
+        [
+            (
+                "T(x,y) :- G(x,y). T(x,y) :- G(x,z), T(z,y). CT(x,y) :- not T(x,y).",
+                Database({"G": [("a", "b"), ("b", "c")]}),
+            ),
+            (
+                "R(x) :- S(x), not E(x).",
+                Database({"S": [("a",), ("b",)], "E": [("b",)]}),
+            ),
+        ],
+    )
+    def test_coincide_and_total(self, source, input_db):
+        program = parse_program(source)
+        wf = evaluate_wellfounded(program, input_db)
+        strat = evaluate_stratified(program, input_db)
+        assert wf.is_total()
+        for relation in program.idb:
+            assert wf.answer(relation) == strat.answer(relation)
+
+
+class TestStableModels:
+    def test_win_stable_models_on_paper_instance(self):
+        """The draw cycle a→b→c→a forces multiple stable models... or none.
+
+        For the odd 3-cycle with the d-branch, candidate models must
+        alternate around the cycle; with an odd cycle no consistent
+        assignment exists, so the unknowns are not resolvable: the
+        program has NO stable model containing the bracketing — in
+        fact no stable model at all (odd negative loops kill them).
+        """
+        models = stable_models(win_program(), paper_win_instance())
+        assert models == []
+
+    def test_even_cycle_has_two_stable_models(self):
+        # a ⇄ b: win(a) xor win(b); two stable models.
+        db = game_database([("a", "b"), ("b", "a")])
+        models = stable_models(win_program(), db)
+        assert len(models) == 2
+        answers = {frozenset(t for rel, t in m if rel == "win") for m in models}
+        assert answers == {frozenset({("a",)}), frozenset({("b",)})}
+
+    def test_stratified_program_unique_stable_model(self):
+        program = parse_program("R(x) :- S(x), not E(x).")
+        db = Database({"S": [("a",), ("b",)], "E": [("b",)]})
+        models = stable_models(program, db)
+        assert len(models) == 1
+        assert models[0] == frozenset({("R", ("a",))})
+
+    def test_is_stable_model_rejects_nonminimal(self):
+        program = parse_program("R(x) :- S(x).")
+        db = Database({"S": [("a",)]})
+        assert is_stable_model(program, db, frozenset({("R", ("a",))}))
+        assert not is_stable_model(program, db, frozenset())
+
+    def test_wf_true_bracketing(self):
+        db = game_database([("a", "b"), ("b", "a"), ("b", "c")])
+        assert wellfounded_true_in_all_stable(win_program(), db)
+
+    def test_no_move_game(self):
+        # moves(a, b), b has no moves: win(a) true, win(b) false; total.
+        db = game_database([("a", "b")])
+        model = evaluate_wellfounded(win_program(), db)
+        assert model.is_total()
+        assert model.answer("win") == frozenset({("a",)})
+        models = stable_models(win_program(), db)
+        assert models == [frozenset({("win", ("a",))})]

@@ -1,0 +1,144 @@
+"""Tests for the while/fixpoint imperative language (§2)."""
+
+import pytest
+
+from repro.errors import EvaluationError, NonTerminationError
+from repro.languages.while_lang import (
+    Assign,
+    Comprehension,
+    WhileChange,
+    WhileFormula,
+    WhileProgram,
+    evaluate_while,
+    is_fixpoint_program,
+)
+from repro.logic.formula import And, Atom, Exists, Not, Or, TRUE
+from repro.relational.instance import Database
+from repro.terms import Const, Var
+
+x, y, z = Var("x"), Var("y"), Var("z")
+
+
+def tc_while(cumulative: bool) -> WhileProgram:
+    phi = Or(Atom("G", (x, y)), Exists((z,), And(Atom("T", (x, z)), Atom("G", (z, y)))))
+    assign = Assign("T", Comprehension((x, y), phi), cumulative=cumulative)
+    return WhileProgram((WhileChange((assign,)),), answer="T")
+
+
+@pytest.fixture
+def graph():
+    return Database({"G": [("a", "b"), ("b", "c"), ("c", "a")]})
+
+
+class TestComprehension:
+    def test_variable_mismatch_rejected(self):
+        with pytest.raises(EvaluationError):
+            Comprehension((x,), Atom("G", (x, y)))
+
+    def test_repeated_output_variables(self):
+        comp = Comprehension((x, x), Atom("P", (x,)))
+        program = WhileProgram((Assign("D", comp),), answer="D")
+        db = Database({"P": [("a",)]})
+        assert evaluate_while(program, db).answer("D") == frozenset({("a", "a")})
+
+
+class TestAssignment:
+    def test_plain_assignment_replaces(self):
+        program = WhileProgram(
+            (
+                Assign("R", Comprehension((x,), Atom("P", (x,)))),
+                Assign("R", Comprehension((x,), Atom("Q", (x,)))),
+            ),
+            answer="R",
+        )
+        db = Database({"P": [("a",)], "Q": [("b",)]})
+        assert evaluate_while(program, db).answer("R") == frozenset({("b",)})
+
+    def test_cumulative_assignment_accumulates(self):
+        program = WhileProgram(
+            (
+                Assign("R", Comprehension((x,), Atom("P", (x,))), cumulative=True),
+                Assign("R", Comprehension((x,), Atom("Q", (x,))), cumulative=True),
+            ),
+            answer="R",
+        )
+        db = Database({"P": [("a",)], "Q": [("b",)]})
+        assert evaluate_while(program, db).answer("R") == frozenset({("a",), ("b",)})
+
+    def test_input_not_mutated(self, graph):
+        evaluate_while(tc_while(True), graph)
+        assert graph.relation_names() == ["G"]
+
+
+class TestLoops:
+    def test_fixpoint_tc(self, graph):
+        result = evaluate_while(tc_while(True), graph)
+        assert len(result.answer("T")) == 9  # cycle: all pairs
+
+    def test_while_tc_same_answer(self, graph):
+        cumulative = evaluate_while(tc_while(True), graph)
+        replacing = evaluate_while(tc_while(False), graph)
+        assert cumulative.answer("T") == replacing.answer("T")
+
+    def test_loop_iteration_count(self):
+        db = Database({"G": [("a", "b"), ("b", "c"), ("c", "d")]})
+        result = evaluate_while(tc_while(True), db)
+        # Diameter 3: T grows for 2 iterations after the first, then one
+        # no-change iteration ends the loop.
+        assert result.loop_iterations == 4
+
+    def test_while_formula_loop(self):
+        # while ∃x P(x) do P := P − pick-min … simplified: P := ∅ once.
+        program = WhileProgram(
+            (
+                WhileFormula(
+                    Exists((x,), Atom("P", (x,))),
+                    (Assign("P", Comprehension((x,), And(Atom("P", (x,)), Not(Atom("P", (x,)))))),),
+                ),
+            ),
+            answer="P",
+        )
+        db = Database({"P": [("a",), ("b",)]})
+        result = evaluate_while(program, db)
+        assert result.answer("P") == frozenset()
+        assert result.loop_iterations == 1
+
+    def test_while_formula_condition_must_be_sentence(self):
+        program = WhileProgram(
+            (WhileFormula(Atom("P", (x,)), ()),),
+            answer="P",
+        )
+        with pytest.raises(EvaluationError):
+            evaluate_while(program, Database({"P": [("a",)]}))
+
+    def test_divergence_detected(self):
+        # R := adom − R flip-flops forever.
+        program = WhileProgram(
+            (WhileChange((Assign("R", Comprehension((x,), Not(Atom("R", (x,))))),)),),
+            answer="R",
+        )
+        db = Database({"S": [("a",)]})
+        with pytest.raises(NonTerminationError):
+            evaluate_while(program, db)
+
+    def test_nested_loops(self):
+        # Outer while-change over an inner one: still terminates.
+        inner = WhileChange((Assign("T", Comprehension((x,), Atom("P", (x,))), cumulative=True),))
+        outer = WhileChange((inner,))
+        program = WhileProgram((outer,), answer="T")
+        db = Database({"P": [("a",)]})
+        assert evaluate_while(program, db).answer("T") == frozenset({("a",)})
+
+
+class TestAccounting:
+    def test_fixpoint_detection(self):
+        assert is_fixpoint_program(tc_while(True))
+        assert not is_fixpoint_program(tc_while(False))
+
+    def test_space_accounting_grows(self, graph):
+        result = evaluate_while(tc_while(True), graph)
+        assert result.max_fact_count >= 3 + 9  # G + final T
+
+    def test_assignment_count(self, graph):
+        result = evaluate_while(tc_while(True), graph)
+        assert result.assignments == result.loop_iterations

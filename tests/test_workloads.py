@@ -1,0 +1,140 @@
+"""Tests for the workload generators."""
+
+from repro.relational.instance import Database
+from repro.workloads.games import (
+    game_database,
+    paper_game,
+    random_game,
+    solve_game_reference,
+)
+from repro.workloads.graphs import (
+    binary_tree,
+    chain,
+    complete_graph,
+    cycle,
+    graph_database,
+    grid,
+    layered_dag,
+    lollipop,
+    random_gnp,
+)
+from repro.workloads.relations import (
+    proj_diff_database,
+    random_binary,
+    random_unary,
+    reference_proj_diff,
+)
+
+
+class TestGraphs:
+    def test_chain_edge_count(self):
+        assert len(chain(5)) == 4
+        assert chain(1) == []
+
+    def test_cycle_edge_count(self):
+        assert len(cycle(5)) == 5
+        assert cycle(0) == []
+
+    def test_complete_graph(self):
+        assert len(complete_graph(4)) == 12
+
+    def test_gnp_deterministic_per_seed(self):
+        assert random_gnp(8, 0.3, seed=5) == random_gnp(8, 0.3, seed=5)
+        assert random_gnp(8, 0.3, seed=5) != random_gnp(8, 0.3, seed=6)
+
+    def test_gnp_probability_extremes(self):
+        assert random_gnp(5, 0.0, seed=0) == []
+        assert len(random_gnp(5, 1.0, seed=0)) == 20
+
+    def test_grid_edge_count(self):
+        # width*height nodes; right edges + down edges
+        assert len(grid(3, 2)) == 2 * 2 + 3 * 1
+
+    def test_binary_tree(self):
+        assert len(binary_tree(3)) == 6  # 7 nodes, 6 edges
+
+    def test_layered_dag_is_acyclic(self):
+        edges = layered_dag(4, 3, seed=1)
+        from repro.programs.tc import reference_transitive_closure
+
+        closure = reference_transitive_closure(edges)
+        assert not any((a, a) in closure for a, _ in edges)
+
+    def test_preferential_attachment_is_hub_heavy(self):
+        from collections import Counter
+
+        from repro.workloads.graphs import preferential_attachment
+
+        edges = preferential_attachment(40, out_degree=2, seed=3)
+        in_degree = Counter(v for _, v in edges)
+        # Scale-free shape: the max hub far exceeds the median.
+        degrees = sorted(in_degree.values())
+        assert degrees[-1] >= 3 * degrees[len(degrees) // 2]
+
+    def test_preferential_attachment_deterministic(self):
+        from repro.workloads.graphs import preferential_attachment
+
+        assert preferential_attachment(20, seed=5) == preferential_attachment(
+            20, seed=5
+        )
+
+    def test_preferential_attachment_edge_cases(self):
+        from repro.workloads.graphs import preferential_attachment
+
+        assert preferential_attachment(0) == []
+        assert preferential_attachment(1) == []
+        assert len(preferential_attachment(2)) == 1
+
+    def test_lollipop_shape(self):
+        edges = lollipop(3, 2)
+        assert len(edges) == 3 + 2
+
+    def test_graph_database(self):
+        db = graph_database([("a", "b")], relation="E")
+        assert db.has_fact("E", ("a", "b"))
+
+
+class TestGames:
+    def test_paper_game_matches_example(self):
+        assert len(paper_game()) == 7
+
+    def test_reference_solver_on_paper_game(self):
+        winning, losing, drawn = solve_game_reference(paper_game())
+        assert winning == {"d", "f"}
+        assert losing == {"e", "g"}
+        assert drawn == {"a", "b", "c"}
+
+    def test_reference_solver_terminal_state_loses(self):
+        winning, losing, drawn = solve_game_reference([("a", "b")])
+        assert losing == {"b"}
+        assert winning == {"a"}
+        assert drawn == set()
+
+    def test_random_game_deterministic(self):
+        assert random_game(6, 0.3, seed=2) == random_game(6, 0.3, seed=2)
+
+    def test_game_database(self):
+        db = game_database([("a", "b")])
+        assert db.has_fact("moves", ("a", "b"))
+
+
+class TestRelations:
+    def test_random_unary_distinct(self):
+        rows = random_unary(10, 5, seed=1)
+        assert len(rows) == len(set(rows)) == 5
+
+    def test_random_unary_capped_at_universe(self):
+        assert len(random_unary(3, 10, seed=0)) == 3
+
+    def test_random_binary_distinct(self):
+        rows = random_binary(5, 8, seed=2)
+        assert len(rows) == len(set(rows)) == 8
+
+    def test_proj_diff_reference(self):
+        db = proj_diff_database([("a",), ("b",)], [("a", "q")])
+        assert reference_proj_diff(db) == frozenset({("b",)})
+
+    def test_proj_diff_database_schema(self):
+        db = proj_diff_database([("a",)], [("a", "b")])
+        assert isinstance(db, Database)
+        assert db.relation("Q").arity == 2

@@ -93,31 +93,39 @@ def cmd_check(args, out) -> int:
     return 0
 
 
-def cmd_run(args, out) -> int:
-    program = _load_program(args.program)
-    db = load_facts(args.data) if args.data else Database()
-    semantics = args.semantics
+#: Engine picked for each deterministic dialect under --semantics auto.
+_AUTO_SEMANTICS = {
+    Dialect.DATALOG: "seminaive",
+    Dialect.SEMIPOSITIVE: "stratified",
+    Dialect.STRATIFIED: "stratified",
+    Dialect.DATALOG_NEG: "wellfounded",
+    Dialect.DATALOG_NEGNEG: "noninflationary",
+    Dialect.DATALOG_NEW: "invention",
+    Dialect.DATALOG_CHOICE: "choice",
+}
 
-    if semantics == "auto":
-        dialect = infer_dialect(program)
-        semantics = {
-            Dialect.DATALOG: "seminaive",
-            Dialect.SEMIPOSITIVE: "stratified",
-            Dialect.STRATIFIED: "stratified",
-            Dialect.DATALOG_NEG: "wellfounded",
-            Dialect.DATALOG_NEGNEG: "noninflationary",
-            Dialect.DATALOG_NEW: "invention",
-            Dialect.DATALOG_CHOICE: "choice",
-        }.get(dialect)
-        if semantics is None:
-            print(
-                f"dialect {dialect.value} is nondeterministic; use the "
-                "'effects' command",
-                file=sys.stderr,
-            )
-            return 2
-        print(f"semantics: {semantics} (auto)", file=out)
 
+def _resolve_auto(program, out):
+    """The engine name for ``--semantics auto``, or None (nondeterministic)."""
+    dialect = infer_dialect(program)
+    semantics = _AUTO_SEMANTICS.get(dialect)
+    if semantics is None:
+        print(
+            f"dialect {dialect.value} is nondeterministic; use the "
+            "'effects' command",
+            file=sys.stderr,
+        )
+        return None
+    print(f"semantics: {semantics} (auto)", file=out)
+    return semantics
+
+
+def _engine_for(semantics: str, seed: int = 0):
+    """The evaluation callable for an engine name, or None if unknown.
+
+    Every returned callable takes (program, db) and returns an object
+    with a ``stats`` attribute (:class:`repro.semantics.EngineStats`).
+    """
     if semantics == "naive":
         from repro.semantics.naive import evaluate_datalog_naive as engine
     elif semantics == "seminaive":
@@ -130,12 +138,29 @@ def cmd_run(args, out) -> int:
         from repro.semantics.noninflationary import evaluate_noninflationary as engine
     elif semantics == "invention":
         from repro.semantics.invention import evaluate_with_invention as engine
+    elif semantics == "wellfounded":
+        from repro.semantics.wellfounded import evaluate_wellfounded as engine
     elif semantics == "choice":
         from repro.semantics.choice import evaluate_with_choice
 
         def engine(p, d):
-            return evaluate_with_choice(p, d, seed=args.seed)
-    elif semantics == "wellfounded":
+            return evaluate_with_choice(p, d, seed=seed)
+    else:
+        return None
+    return engine
+
+
+def cmd_run(args, out) -> int:
+    program = _load_program(args.program)
+    db = load_facts(args.data) if args.data else Database()
+    semantics = args.semantics
+
+    if semantics == "auto":
+        semantics = _resolve_auto(program, out)
+        if semantics is None:
+            return 2
+
+    if semantics == "wellfounded":
         from repro.semantics.wellfounded import evaluate_wellfounded
 
         model = evaluate_wellfounded(program, db)
@@ -150,7 +175,9 @@ def cmd_run(args, out) -> int:
             for row in unknown_rows:
                 print(f"  unknown ({', '.join(map(str, row))})", file=out)
         return 0
-    else:
+
+    engine = _engine_for(semantics, seed=args.seed)
+    if engine is None:
         print(f"unknown semantics {semantics!r}", file=sys.stderr)
         return 2
 
@@ -160,6 +187,27 @@ def cmd_run(args, out) -> int:
     stages = getattr(result, "stages", None)
     if stages is not None:
         print(f"stages: {len(stages)}", file=out)
+    return 0
+
+
+def cmd_stats(args, out) -> int:
+    """Evaluate and report the engine's performance counters."""
+    program = _load_program(args.program)
+    db = load_facts(args.data) if args.data else Database()
+    semantics = args.semantics
+
+    if semantics == "auto":
+        semantics = _resolve_auto(program, out)
+        if semantics is None:
+            return 2
+
+    engine = _engine_for(semantics, seed=args.seed)
+    if engine is None:
+        print(f"unknown semantics {semantics!r}", file=sys.stderr)
+        return 2
+
+    result = engine(program, db)
+    print(result.stats.summary(), file=out)
     return 0
 
 
@@ -254,6 +302,19 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--answer", help="print only this relation")
     run.add_argument("--seed", type=int, default=0, help="seed (choice semantics)")
 
+    stats = sub.add_parser(
+        "stats", help="evaluate and report engine performance counters"
+    )
+    stats.add_argument("program")
+    stats.add_argument("--data", help="facts file (ground bodyless rules)")
+    stats.add_argument(
+        "--semantics",
+        default="auto",
+        choices=("auto",) + SEMANTICS,
+        help="evaluation semantics (default: inferred from the dialect)",
+    )
+    stats.add_argument("--seed", type=int, default=0, help="seed (choice semantics)")
+
     effects = sub.add_parser("effects", help="enumerate eff(P) (nondeterministic)")
     effects.add_argument("program")
     effects.add_argument("--data", help="facts file")
@@ -288,6 +349,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
             return cmd_check(args, out)
         if args.command == "run":
             return cmd_run(args, out)
+        if args.command == "stats":
+            return cmd_stats(args, out)
         if args.command == "effects":
             return cmd_effects(args, out)
         if args.command == "trace":

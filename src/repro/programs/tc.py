@@ -17,6 +17,11 @@ T(x, y) :- G(x, y).
 T(x, y) :- G(x, z), T(z, y).
 """
 
+TC_NONLINEAR_SOURCE = """
+T(x, y) :- G(x, y).
+T(x, z) :- T(x, y), T(y, z).
+"""
+
 CTC_STRATIFIED_SOURCE = """
 T(x, y) :- G(x, y).
 T(x, y) :- G(x, z), T(z, y).
@@ -27,6 +32,18 @@ CT(x, y) :- not T(x, y).
 def tc_program() -> Program:
     """The two-rule transitive closure program of §3.1."""
     return parse_program(TC_SOURCE, dialect=Dialect.DATALOG, name="tc")
+
+
+def tc_nonlinear_program() -> Program:
+    """Nonlinear transitive closure: T joined with itself.
+
+    Computes the same answer as :func:`tc_program` in O(log n) stages;
+    the self-join probes the growing T through a hash index, which makes
+    this the canonical stress test for incremental index maintenance.
+    """
+    return parse_program(
+        TC_NONLINEAR_SOURCE, dialect=Dialect.DATALOG, name="tc-nonlinear"
+    )
 
 
 def ctc_stratified_program() -> Program:

@@ -9,8 +9,14 @@ detection that powers nontermination checks in Datalog¬¬.
 
 Relations maintain hash indexes on demand: ``Relation.index((0, 2))``
 returns a dict from values at positions 0 and 2 to the matching tuples,
-which the rule matcher uses to avoid full scans.  Indexes are
-invalidated automatically on mutation.
+which the rule matcher uses to avoid full scans.  Indexes are maintained
+*incrementally*: once built, an index is updated in place on every
+``add``/``discard`` instead of being discarded and rebuilt — the
+difference between O(facts) and O(stages × facts) total index work over
+a fixpoint computation.  ``Relation.version`` is a monotone counter
+bumped on every mutation; snapshot consumers key caches on it.  The
+counters :attr:`Relation.index_builds` / :attr:`Relation.index_updates`
+feed the engines' :class:`~repro.semantics.base.EngineStats`.
 """
 
 from __future__ import annotations
@@ -26,7 +32,22 @@ Fact = tuple[str, tuple[Hashable, ...]]
 class Relation:
     """A mutable finite set of tuples of a fixed arity."""
 
-    __slots__ = ("name", "arity", "_tuples", "_indexes", "_version")
+    __slots__ = (
+        "name",
+        "arity",
+        "_tuples",
+        "_indexes",
+        "_version",
+        "_index_builds",
+        "_index_updates",
+    )
+
+    #: Class-wide switch.  When True (the default), mutations update live
+    #: indexes in place; when False, every mutation drops all cached
+    #: indexes (the pre-incremental behavior).  The benchmark suite flips
+    #: this to measure the win of incremental maintenance; production
+    #: code should never touch it.
+    incremental_maintenance: bool = True
 
     def __init__(self, name: str, arity: int, tuples: Iterable[tuple] = ()):
         self.name = name
@@ -34,6 +55,8 @@ class Relation:
         self._tuples: set[tuple] = set()
         self._indexes: dict[tuple[int, ...], dict[tuple, list[tuple]]] = {}
         self._version = 0
+        self._index_builds = 0
+        self._index_updates = 0
         for t in tuples:
             self.add(t)
 
@@ -47,13 +70,42 @@ class Relation:
             )
         return t
 
+    # -- incremental index maintenance --------------------------------------
+
+    def _index_insert(self, t: tuple) -> None:
+        """Append ``t`` under its key in every live index."""
+        for positions, table in self._indexes.items():
+            key = tuple(t[p] for p in positions)
+            bucket = table.get(key)
+            if bucket is None:
+                table[key] = [t]
+            else:
+                bucket.append(t)
+            self._index_updates += 1
+
+    def _index_remove(self, t: tuple) -> None:
+        """Remove ``t`` from its key's bucket in every live index."""
+        for positions, table in self._indexes.items():
+            key = tuple(t[p] for p in positions)
+            bucket = table.get(key)
+            if bucket is not None:
+                bucket.remove(t)
+                if not bucket:
+                    del table[key]
+            self._index_updates += 1
+
     def add(self, t: tuple) -> bool:
         """Insert a tuple; return True if it was new."""
         t = self._check(t)
         if t in self._tuples:
             return False
         self._tuples.add(t)
-        self._invalidate()
+        self._version += 1
+        if self._indexes:
+            if Relation.incremental_maintenance:
+                self._index_insert(t)
+            else:
+                self._indexes.clear()
         return True
 
     def discard(self, t: tuple) -> bool:
@@ -62,7 +114,12 @@ class Relation:
         if t not in self._tuples:
             return False
         self._tuples.remove(t)
-        self._invalidate()
+        self._version += 1
+        if self._indexes:
+            if Relation.incremental_maintenance:
+                self._index_remove(t)
+            else:
+                self._indexes.clear()
         return True
 
     def update(self, tuples: Iterable[tuple]) -> int:
@@ -76,19 +133,36 @@ class Relation:
     def clear(self) -> None:
         if self._tuples:
             self._tuples.clear()
-            self._invalidate()
+            self._version += 1
+            if Relation.incremental_maintenance:
+                # Keep the indexes live (all empty) so later adds
+                # maintain them without a rebuild.
+                for table in self._indexes.values():
+                    table.clear()
+            else:
+                self._indexes.clear()
 
     def replace(self, tuples: Iterable[tuple]) -> None:
         """Replace the whole content (used by while-language assignment)."""
         new = {self._check(t) for t in tuples}
-        if new != self._tuples:
-            self._tuples = new
-            self._invalidate()
-
-    def _invalidate(self) -> None:
-        self._version += 1
-        if self._indexes:
+        if new == self._tuples:
+            return
+        if self._indexes and Relation.incremental_maintenance:
+            added = new - self._tuples
+            removed = self._tuples - new
+            if len(added) + len(removed) <= len(new):
+                # Small diff: patch the live indexes in place.
+                for t in removed:
+                    self._index_remove(t)
+                for t in added:
+                    self._index_insert(t)
+            else:
+                # Wholesale change: cheaper to rebuild lazily.
+                self._indexes.clear()
+        else:
             self._indexes.clear()
+        self._tuples = new
+        self._version += 1
 
     def __contains__(self, t: tuple) -> bool:
         return t in self._tuples
@@ -112,6 +186,20 @@ class Relation:
         """Monotone counter bumped on every mutation (index cache key)."""
         return self._version
 
+    @property
+    def index_builds(self) -> int:
+        """How many times a full index was built from scratch."""
+        return self._index_builds
+
+    @property
+    def index_updates(self) -> int:
+        """How many single-tuple in-place index maintenance operations ran."""
+        return self._index_updates
+
+    def index_counters(self) -> tuple[int, int]:
+        """(full builds, incremental updates) — see :class:`EngineStats`."""
+        return self._index_builds, self._index_updates
+
     def tuples(self) -> frozenset[tuple]:
         """An immutable snapshot of the current content."""
         return frozenset(self._tuples)
@@ -120,7 +208,10 @@ class Relation:
         """A hash index on the given positions, built lazily and cached.
 
         Maps each distinct key (the projection of a tuple onto
-        ``positions``) to the list of tuples with that key.
+        ``positions``) to the list of tuples with that key.  The
+        returned dict is live — it is maintained in place by subsequent
+        mutations — so callers must not modify or hold it across their
+        own writes without re-fetching.
         """
         cached = self._indexes.get(positions)
         if cached is not None:
@@ -130,11 +221,19 @@ class Relation:
             key = tuple(t[p] for p in positions)
             built.setdefault(key, []).append(t)
         self._indexes[positions] = built
+        self._index_builds += 1
         return built
 
     def copy(self) -> "Relation":
         clone = Relation(self.name, self.arity)
         clone._tuples = set(self._tuples)
+        if Relation.incremental_maintenance:
+            # Carrying the live indexes over is cheaper than letting the
+            # clone rebuild them from scratch on first use.
+            clone._indexes = {
+                positions: {key: list(bucket) for key, bucket in table.items()}
+                for positions, table in self._indexes.items()
+            }
         return clone
 
     def values(self) -> set[Hashable]:
@@ -153,23 +252,40 @@ class Database:
         db = Database({"G": [("a", "b"), ("b", "c")]})
 
     Relations are created on first reference; arity is inferred from the
-    first tuple (or set explicitly via :meth:`ensure_relation`).
+    first tuple (or set explicitly via :meth:`ensure_relation`).  An
+    explicitly empty relation can be seeded with a ``(name, arity)``
+    key::
+
+        db = Database({("G", 2): []})
+
+    With a plain-string key and no tuples the arity is unknown; the name
+    is *deferred*: it shows up in :meth:`relation_names` and negation
+    semantics treat it as empty, but an operation that needs the arity
+    (:meth:`schema`) raises :class:`~repro.errors.SchemaError` until the
+    arity is fixed by a first fact or an :meth:`ensure_relation` call.
     """
 
-    __slots__ = ("_relations",)
+    __slots__ = ("_relations", "_deferred")
 
-    def __init__(self, contents: dict[str, Iterable[tuple]] | None = None):
+    def __init__(
+        self,
+        contents: dict[str | tuple[str, int], Iterable[tuple]] | None = None,
+    ):
         self._relations: dict[str, Relation] = {}
+        self._deferred: set[str] = set()
         if contents:
-            for name, tuples in contents.items():
+            for key, tuples in contents.items():
                 tuples = [t if isinstance(t, tuple) else tuple(t) for t in tuples]
-                if tuples:
-                    self.ensure_relation(name, len(tuples[0]))
-                    self._relations[name].update(tuples)
+                if isinstance(key, tuple):
+                    name, arity = key
+                    self.ensure_relation(name, arity).update(tuples)
+                elif tuples:
+                    self.ensure_relation(key, len(tuples[0])).update(tuples)
                 else:
-                    # Arity unknown for an empty relation given as a list;
-                    # register lazily when first used.
-                    pass
+                    # Arity unknown for an empty relation given as a list
+                    # under a plain-string key: register the name and
+                    # resolve the arity on first use.
+                    self._deferred.add(key)
 
     def ensure_relation(self, name: str, arity: int) -> Relation:
         """Get the relation, creating it empty if absent; check arity."""
@@ -177,6 +293,7 @@ class Database:
         if rel is None:
             rel = Relation(name, arity)
             self._relations[name] = rel
+            self._deferred.discard(name)
         elif rel.arity != arity:
             raise SchemaError(
                 f"relation {name!r} has arity {rel.arity}, requested {arity}"
@@ -218,7 +335,17 @@ class Database:
         return sum(len(rel) for rel in self._relations.values())
 
     def relation_names(self) -> list[str]:
-        return list(self._relations)
+        out = list(self._relations)
+        out.extend(sorted(self._deferred))
+        return out
+
+    def index_counters(self) -> tuple[int, int]:
+        """(full index builds, incremental index updates), summed."""
+        builds = updates = 0
+        for rel in self._relations.values():
+            builds += rel.index_builds
+            updates += rel.index_updates
+        return builds, updates
 
     def active_domain(self) -> set[Hashable]:
         """adom(I): every constant occurring in some tuple of the instance."""
@@ -228,7 +355,17 @@ class Database:
         return out
 
     def schema(self) -> DatabaseSchema:
-        """The schema induced by the current relations."""
+        """The schema induced by the current relations.
+
+        Raises :class:`SchemaError` if the instance still holds deferred
+        empty relations — their arity is unknown, so no schema exists.
+        """
+        if self._deferred:
+            names = ", ".join(sorted(self._deferred))
+            raise SchemaError(
+                f"arity of empty relation(s) {names} is unknown; seed them "
+                "with a (name, arity) key or call ensure_relation first"
+            )
         return DatabaseSchema(
             [RelationSchema(rel.name, rel.arity) for rel in self._relations.values()]
         )
@@ -236,6 +373,7 @@ class Database:
     def copy(self) -> "Database":
         clone = Database()
         clone._relations = {name: rel.copy() for name, rel in self._relations.items()}
+        clone._deferred = set(self._deferred)
         return clone
 
     def restrict(self, names: Iterable[str]) -> "Database":
@@ -245,10 +383,13 @@ class Database:
             rel = self._relations.get(name)
             if rel is not None:
                 clone._relations[name] = rel.copy()
+            elif name in self._deferred:
+                clone._deferred.add(name)
         return clone
 
     def drop(self, name: str) -> None:
         self._relations.pop(name, None)
+        self._deferred.discard(name)
 
     def canonical(self) -> frozenset[Fact]:
         """A hashable snapshot of the full instance (for cycle detection)."""
@@ -260,7 +401,7 @@ class Database:
         return self.canonical() == other.canonical()
 
     def __contains__(self, name: str) -> bool:
-        return name in self._relations
+        return name in self._relations or name in self._deferred
 
     def __repr__(self) -> str:
         parts = ", ".join(
@@ -271,7 +412,7 @@ class Database:
     def pretty(self, names: Iterable[str] | None = None) -> str:
         """A deterministic human-readable rendering, for examples and docs."""
         lines = []
-        for name in sorted(names if names is not None else self._relations):
+        for name in sorted(names if names is not None else self.relation_names()):
             rel = self._relations.get(name)
             rows = sorted(rel.tuples(), key=repr) if rel is not None else []
             body = ", ".join("(" + ", ".join(map(str, t)) + ")" for t in rows)

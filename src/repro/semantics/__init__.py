@@ -23,8 +23,11 @@ Nondeterministic engines:
 """
 
 from repro.semantics.base import (
+    EngineStats,
     EvaluationResult,
+    StageStats,
     StageTrace,
+    StatsRecorder,
     iter_matches,
     instantiate_head,
     immediate_consequences,
@@ -56,8 +59,11 @@ from repro.semantics.provenance import (
 )
 
 __all__ = [
+    "EngineStats",
     "EvaluationResult",
+    "StageStats",
     "StageTrace",
+    "StatsRecorder",
     "iter_matches",
     "instantiate_head",
     "immediate_consequences",

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Hashable, Iterator
 
 from repro.ast.program import Program
@@ -45,17 +46,158 @@ class StageTrace:
 
 
 @dataclass
+class StageStats:
+    """Instrumentation for one consequence pass of an engine.
+
+    ``index_builds`` counts full from-scratch index constructions during
+    the pass; ``index_updates`` counts single-tuple in-place maintenance
+    operations.  A healthy delta-driven engine builds each index once
+    and then only updates.
+    """
+
+    stage: int
+    seconds: float = 0.0
+    firings: int = 0
+    added: int = 0
+    removed: int = 0
+    index_builds: int = 0
+    index_updates: int = 0
+
+
+@dataclass
+class EngineStats:
+    """Whole-run observability for an evaluation engine.
+
+    Populated by the engine drivers via :class:`StatsRecorder` and by
+    :func:`immediate_consequences` (``consequence_calls``); surfaced on
+    results as ``result.stats`` and by the ``repro stats`` CLI command.
+    """
+
+    engine: str = ""
+    seconds: float = 0.0
+    rule_firings: int = 0
+    consequence_calls: int = 0
+    adom_size: int = 0
+    index_builds: int = 0
+    index_updates: int = 0
+    stages: list[StageStats] = field(default_factory=list)
+
+    @property
+    def stage_count(self) -> int:
+        return len(self.stages)
+
+    def summary(self) -> str:
+        """A deterministic multi-line rendering (used by ``repro stats``)."""
+        lines = [
+            f"engine:            {self.engine or '(unknown)'}",
+            f"wall time:         {self.seconds:.6f} s",
+            f"stages:            {len(self.stages)}",
+            f"rule firings:      {self.rule_firings}",
+            f"consequence calls: {self.consequence_calls}",
+            f"adom size:         {self.adom_size}",
+            f"index builds:      {self.index_builds}",
+            f"index updates:     {self.index_updates}",
+        ]
+        if self.stages:
+            lines.append(
+                "stage     seconds  firings   +facts   -facts   builds  updates"
+            )
+            for s in self.stages:
+                lines.append(
+                    f"{s.stage:>5}  {s.seconds:>10.6f}  {s.firings:>7}  "
+                    f"{s.added:>7}  {s.removed:>7}  {s.index_builds:>7}  "
+                    f"{s.index_updates:>7}"
+                )
+        return "\n".join(lines)
+
+
+class StatsRecorder:
+    """Builds an :class:`EngineStats` while an engine runs.
+
+    The recorder *watches* a database: each :meth:`stage` call diffs the
+    database's cumulative index counters against the previous call, so
+    per-stage index work is attributed to the stage that did it.  Engines
+    that evaluate over several scratch databases (well-founded, Statelog)
+    either re-:meth:`watch` or pass explicit ``counters``.
+    """
+
+    def __init__(self, engine: str, db: Database | None = None):
+        self.stats = EngineStats(engine=engine)
+        self._db: Database | None = None
+        self._counters = (0, 0)
+        self._t0 = perf_counter()
+        self._mark = self._t0
+        if db is not None:
+            self.watch(db)
+
+    def watch(self, db: Database) -> None:
+        """(Re)bind the database whose index counters are diffed."""
+        self._db = db
+        self._counters = db.index_counters()
+
+    def stage(
+        self,
+        stage: int,
+        firings: int = 0,
+        added: int = 0,
+        removed: int = 0,
+        counters: tuple[int, int] | None = None,
+    ) -> None:
+        """Close out one consequence pass and record its stats."""
+        now = perf_counter()
+        if counters is None:
+            if self._db is not None:
+                builds, updates = self._db.index_counters()
+                counters = (
+                    builds - self._counters[0],
+                    updates - self._counters[1],
+                )
+                self._counters = (builds, updates)
+            else:
+                counters = (0, 0)
+        self.stats.stages.append(
+            StageStats(
+                stage=stage,
+                seconds=now - self._mark,
+                firings=firings,
+                added=added,
+                removed=removed,
+                index_builds=counters[0],
+                index_updates=counters[1],
+            )
+        )
+        self._mark = now
+
+    def finish(self, adom_size: int = 0) -> EngineStats:
+        """Total the per-stage records and return the finished stats."""
+        stats = self.stats
+        stats.seconds = perf_counter() - self._t0
+        stats.adom_size = adom_size
+        stats.rule_firings = sum(s.firings for s in stats.stages)
+        stats.index_builds = sum(s.index_builds for s in stats.stages)
+        stats.index_updates = sum(s.index_updates for s in stats.stages)
+        return stats
+
+
+@dataclass
 class EvaluationResult:
     """Outcome of a deterministic evaluation.
 
     ``database`` holds the final instance (edb and idb relations);
     ``stages`` traces each application of the immediate consequence
-    operator; ``rule_firings`` counts instantiations considered.
+    operator; ``rule_firings`` counts instantiations considered;
+    ``stats`` carries the engine's :class:`EngineStats`.
     """
 
     database: Database
     stages: list[StageTrace] = field(default_factory=list)
     rule_firings: int = 0
+    stats: EngineStats = field(
+        default_factory=EngineStats, repr=False, compare=False
+    )
+    _stage_index: tuple[tuple[int, int], dict[tuple[str, tuple], int]] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def stage_count(self) -> int:
@@ -66,11 +208,28 @@ class EvaluationResult:
         return self.database.tuples(relation)
 
     def stage_of(self, relation: str, t: tuple) -> int | None:
-        """The stage at which a fact was first derived, if it was."""
+        """The stage at which a fact was first derived, if it was.
+
+        Backed by a lazily-built fact → stage dict so repeated
+        provenance-style queries cost O(1) instead of a scan over every
+        stage's facts; the dict is rebuilt if stages were appended since.
+        """
+        return self._stage_lookup().get((relation, t))
+
+    def _stage_lookup(self) -> dict[tuple[str, tuple], int]:
+        fingerprint = (
+            len(self.stages),
+            sum(len(trace.new_facts) for trace in self.stages),
+        )
+        cached = self._stage_index
+        if cached is not None and cached[0] == fingerprint:
+            return cached[1]
+        lookup: dict[tuple[str, tuple], int] = {}
         for trace in self.stages:
-            if (relation, t) in trace.new_facts:
-                return trace.stage
-        return None
+            for fact in trace.new_facts:
+                lookup.setdefault(fact, trace.stage)
+        self._stage_index = (fingerprint, lookup)
+        return lookup
 
 
 def _literal_binding(
@@ -93,28 +252,32 @@ def _literal_binding(
 
 
 def _order_positive(literals: list[Lit], db: Database) -> list[Lit]:
-    """Greedy join order: start small, then follow shared variables."""
-    remaining = list(literals)
-    if not remaining:
+    """Greedy join order: start small, then follow shared variables.
+
+    Ties (same shared-variable count, same relation size) go to the
+    literal occurring first in the rule body.
+    """
+    if not literals:
         return []
 
-    def size(lit: Lit) -> int:
+    sizes: list[int] = []
+    for lit in literals:
         rel = db.relation(lit.relation)
-        return len(rel) if rel is not None else 0
+        sizes.append(len(rel) if rel is not None else 0)
 
+    remaining = list(range(len(literals)))
     ordered: list[Lit] = []
     bound: set[Var] = set()
-    remaining.sort(key=size)
     while remaining:
-        best_index = 0
-        best_key = (-1, 0)
-        for i, lit in enumerate(remaining):
-            shared = len(lit.variables() & bound)
-            key = (shared, -size(lit))
+        best_slot = 0
+        best_key = (-1, 1)
+        for slot, i in enumerate(remaining):
+            shared = len(literals[i].variables() & bound)
+            key = (shared, -sizes[i])
             if key > best_key:
                 best_key = key
-                best_index = i
-        chosen = remaining.pop(best_index)
+                best_slot = slot
+        chosen = literals[remaining.pop(best_slot)]
         ordered.append(chosen)
         bound |= chosen.variables()
     return ordered
@@ -371,6 +534,7 @@ def immediate_consequences(
     db: Database,
     adom: tuple[Hashable, ...],
     delta: dict[str, frozenset[tuple]] | None = None,
+    stats: EngineStats | None = None,
 ) -> tuple[set[tuple[str, tuple]], set[tuple[str, tuple]], int]:
     """One parallel firing of all rules: Γ_P's new inferences.
 
@@ -379,7 +543,10 @@ def immediate_consequences(
     for Datalog¬¬ programs), and ``firings`` the number of rule
     instantiations found.  The caller decides how to combine them with
     the current instance (inflationary union, deletion policies, …).
+    ``stats``, when given, has its ``consequence_calls`` bumped.
     """
+    if stats is not None:
+        stats.consequence_calls += 1
     positive: set[tuple[str, tuple]] = set()
     negative: set[tuple[str, tuple]] = set()
     firings = 0

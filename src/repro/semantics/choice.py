@@ -32,6 +32,7 @@ from repro.relational.instance import Database
 from repro.semantics.base import (
     EvaluationResult,
     StageTrace,
+    StatsRecorder,
     evaluation_adom,
     instantiate_head,
     iter_matches,
@@ -79,6 +80,7 @@ def evaluate_with_choice(
         current.ensure_relation(relation, program.arity(relation))
     adom = evaluation_adom(program, db)
     result = ChoiceResult(current)
+    recorder = StatsRecorder("choice", current)
     choices: dict[tuple[int, int], dict[tuple, tuple]] = {}
 
     stage = 0
@@ -92,6 +94,7 @@ def evaluate_with_choice(
             for valuation in iter_matches(rule, current, adom):
                 result.rule_firings += 1
                 candidates.append((rule_index, dict(valuation)))
+        stage_firings = len(candidates)
         # ...but commit choices sequentially, in random order (dynamic
         # choice): earlier commitments prune later candidates.
         rng.shuffle(candidates)
@@ -119,10 +122,12 @@ def evaluate_with_choice(
         for relation, t in new_facts:
             if current.add_fact(relation, t):
                 trace.new_facts.append((relation, t))
+        recorder.stage(stage, stage_firings, added=len(trace.new_facts))
         if not trace.new_facts:
             break
         result.stages.append(trace)
     result.choices = choices
+    result.stats = recorder.finish(adom_size=len(adom))
     return result
 
 

@@ -28,6 +28,7 @@ from repro.relational.instance import Database
 from repro.semantics.base import (
     EvaluationResult,
     StageTrace,
+    StatsRecorder,
     evaluation_adom,
     immediate_consequences,
 )
@@ -52,9 +53,12 @@ def evaluate_inflationary(
         current.ensure_relation(relation, program.arity(relation))
     adom = evaluation_adom(program, db)
     result = EvaluationResult(current)
+    recorder = StatsRecorder("inflationary", current)
 
     # Stage 1: all instantiations.
-    positive, _negative, firings = immediate_consequences(program, current, adom)
+    positive, _negative, firings = immediate_consequences(
+        program, current, adom, stats=recorder.stats
+    )
     result.rule_firings += firings
     trace = StageTrace(1)
     delta: dict[str, set[tuple]] = {}
@@ -62,7 +66,9 @@ def evaluate_inflationary(
         if current.add_fact(relation, t):
             trace.new_facts.append((relation, t))
             delta.setdefault(relation, set()).add(t)
+    recorder.stage(1, firings, added=len(trace.new_facts))
     if not trace.new_facts:
+        result.stats = recorder.finish(adom_size=len(adom))
         return result
     result.stages.append(trace)
 
@@ -72,11 +78,11 @@ def evaluate_inflationary(
         if use_delta:
             frozen = {rel: frozenset(ts) for rel, ts in delta.items()}
             positive, _negative, firings = immediate_consequences(
-                program, current, adom, delta=frozen
+                program, current, adom, delta=frozen, stats=recorder.stats
             )
         else:
             positive, _negative, firings = immediate_consequences(
-                program, current, adom
+                program, current, adom, stats=recorder.stats
             )
         result.rule_firings += firings
         trace = StageTrace(stage)
@@ -85,6 +91,8 @@ def evaluate_inflationary(
             if current.add_fact(relation, t):
                 trace.new_facts.append((relation, t))
                 delta.setdefault(relation, set()).add(t)
+        recorder.stage(stage, firings, added=len(trace.new_facts))
         if trace.new_facts:
             result.stages.append(trace)
+    result.stats = recorder.finish(adom_size=len(adom))
     return result

@@ -36,6 +36,7 @@ from repro.relational.instance import Database
 from repro.semantics.base import (
     EvaluationResult,
     StageTrace,
+    StatsRecorder,
     instantiate_head,
     iter_matches,
 )
@@ -78,6 +79,7 @@ def evaluate_with_invention(
     for relation in program.idb:
         current.ensure_relation(relation, program.arity(relation))
     result = EvaluationResult(current)
+    recorder = StatsRecorder("invention", current)
 
     base_values = program.constants() | db.active_domain()
     adom: list[Hashable] = sorted(
@@ -102,6 +104,7 @@ def evaluate_with_invention(
         # starting instance, then apply — rules must not see facts added
         # earlier in the same stage.
         inferred: list[tuple[str, tuple]] = []
+        stage_firings = 0
         for rule_index, rule in enumerate(program.rules):
             invention_vars = sorted(
                 rule.invention_variables(), key=lambda v: v.name
@@ -109,6 +112,7 @@ def evaluate_with_invention(
             body_vars = sorted(rule.body_variables(), key=lambda v: v.name)
             for valuation in iter_matches(rule, current, frozen_adom):
                 result.rule_firings += 1
+                stage_firings += 1
                 if invention_vars:
                     key = (
                         rule_index,
@@ -134,6 +138,7 @@ def evaluate_with_invention(
         for relation, t in inferred:
             if current.add_fact(relation, t):
                 trace.new_facts.append((relation, t))
+        recorder.stage(stage, stage_firings, added=len(trace.new_facts))
         if not trace.new_facts:
             break
         result.stages.append(trace)
@@ -141,6 +146,7 @@ def evaluate_with_invention(
         used = {v for v in invented_this_stage}
         if used:
             adom.extend(sorted(used, key=lambda v: v.index))
+    result.stats = recorder.finish(adom_size=len(adom))
 
     for relation in answer_relations:
         for t in result.database.tuples(relation):

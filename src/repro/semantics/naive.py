@@ -18,6 +18,7 @@ from repro.relational.instance import Database
 from repro.semantics.base import (
     EvaluationResult,
     StageTrace,
+    StatsRecorder,
     evaluation_adom,
     immediate_consequences,
 )
@@ -41,16 +42,21 @@ def evaluate_datalog_naive(
         current.ensure_relation(relation, program.arity(relation))
     adom = evaluation_adom(program, db)
     result = EvaluationResult(current)
+    recorder = StatsRecorder("naive", current)
     stage = 0
     while True:
         stage += 1
-        positive, _negative, firings = immediate_consequences(program, current, adom)
+        positive, _negative, firings = immediate_consequences(
+            program, current, adom, stats=recorder.stats
+        )
         result.rule_firings += firings
         trace = StageTrace(stage)
         for relation, t in positive:
             if current.add_fact(relation, t):
                 trace.new_facts.append((relation, t))
+        recorder.stage(stage, firings, added=len(trace.new_facts))
         if not trace.new_facts:
             break
         result.stages.append(trace)
+    result.stats = recorder.finish(adom_size=len(adom))
     return result

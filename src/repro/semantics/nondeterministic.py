@@ -37,6 +37,8 @@ from repro.ast.analysis import validate_program
 from repro.errors import EvaluationError, StepBudgetExceeded
 from repro.relational.instance import Database
 from repro.semantics.base import (
+    EngineStats,
+    StatsRecorder,
     evaluation_adom,
     instantiate_head,
     iter_matches,
@@ -66,6 +68,7 @@ class NondeterministicRun:
     database: Database
     steps: list[Step] = field(default_factory=list)
     aborted: bool = False  # ⊥ was derived
+    stats: EngineStats = field(default_factory=EngineStats, repr=False, compare=False)
 
     @property
     def step_count(self) -> int:
@@ -95,9 +98,10 @@ def _rule_matches(rule, db, adom) -> Iterator[dict]:
 
 
 def _candidate_steps(
-    program: Program, db: Database, adom, inventor=None
-) -> list[Step]:
-    """Every applicable instantiation that would change the instance.
+    program: Program, db: Database, adom, inventor=None, stats=None
+) -> tuple[list[Step], int]:
+    """Every applicable instantiation that would change the instance,
+    plus the number of instantiations considered.
 
     Respects condition (ii) of Definition 5.2: instantiations whose
     head contains both a literal and its negation are discarded.
@@ -105,6 +109,9 @@ def _candidate_steps(
     enables N-Datalog¬new rules; candidates that are not applied simply
     discard the values they drew.
     """
+    if stats is not None:
+        stats.consequence_calls += 1
+    firings = 0
     candidates: dict[tuple, Step] = {}
     for rule_index, rule in enumerate(program.rules):
         invention_vars = tuple(
@@ -117,6 +124,7 @@ def _candidate_steps(
                 "unbounded invented domain is not supported"
             )
         for valuation in _rule_matches(rule, db, adom):
+            firings += 1
             if invention_vars:
                 valuation = dict(valuation)
                 valuation.update(
@@ -139,10 +147,11 @@ def _candidate_steps(
             key = (rule_index, effective_inserts, effective_deletes)
             if key not in candidates:
                 candidates[key] = Step(rule_index, effective_inserts, effective_deletes)
-    return sorted(
+    ordered = sorted(
         candidates.values(),
         key=lambda s: (s.rule_index, sorted(map(repr, s.inserted)), sorted(map(repr, s.deleted))),
     )
+    return ordered, firings
 
 
 def _apply(db: Database, step: Step) -> None:
@@ -174,6 +183,7 @@ def run_nondeterministic(
     adom = list(evaluation_adom(program, db))
     adom_seen = set(adom)
     run = NondeterministicRun(current)
+    recorder = StatsRecorder("nondeterministic", current)
 
     inventor = None
     if program.uses_invention():
@@ -187,12 +197,22 @@ def run_nondeterministic(
             raise StepBudgetExceeded(
                 f"no terminal instance after {max_steps} steps", max_steps
             )
-        candidates = _candidate_steps(program, current, tuple(adom), inventor)
+        candidates, firings = _candidate_steps(
+            program, current, tuple(adom), inventor, stats=recorder.stats
+        )
         if not candidates:
+            recorder.stage(len(run.steps) + 1, firings)
+            run.stats = recorder.finish(adom_size=len(adom))
             return run
         step = rng.choice(candidates)
         _apply(current, step)
         run.steps.append(step)
+        recorder.stage(
+            len(run.steps),
+            firings,
+            added=len(step.inserted),
+            removed=len(step.deleted),
+        )
         # Applied invented values join the active domain (adom(P, K)).
         for _, t in step.inserted:
             for value in t:
@@ -201,6 +221,7 @@ def run_nondeterministic(
                     adom.append(value)
         if any(rel == BOTTOM_RELATION for rel, _ in step.inserted):
             run.aborted = True
+            run.stats = recorder.finish(adom_size=len(adom))
             return run
 
 
@@ -260,7 +281,7 @@ def enumerate_effects(
         current = Database.from_facts(state)
         for relation in program.sch():
             current.ensure_relation(relation, program.arity(relation))
-        candidates = _candidate_steps(program, current, adom)
+        candidates, _ = _candidate_steps(program, current, adom)
         if not candidates:
             terminal.add(state)
             continue

@@ -36,6 +36,7 @@ from repro.relational.instance import Database
 from repro.semantics.base import (
     EvaluationResult,
     StageTrace,
+    StatsRecorder,
     evaluation_adom,
     immediate_consequences,
 )
@@ -79,6 +80,7 @@ def evaluate_noninflationary(
         current.ensure_relation(relation, program.arity(relation))
     adom = evaluation_adom(program, db)
     result = NoninflationaryResult(current)
+    recorder = StatsRecorder("noninflationary", current)
     seen: set[frozenset] = set()
     if detect_cycles:
         seen.add(current.canonical())
@@ -90,7 +92,9 @@ def evaluate_noninflationary(
             raise StepBudgetExceeded(
                 f"no fixpoint after {max_stages} stages", max_stages
             )
-        positive, negative, firings = immediate_consequences(program, current, adom)
+        positive, negative, firings = immediate_consequences(
+            program, current, adom, stats=recorder.stats
+        )
         result.rule_firings += firings
         conflicts = positive & negative
         if conflicts and policy is ConflictPolicy.CONTRADICTION:
@@ -119,6 +123,12 @@ def evaluate_noninflationary(
             if current.add_fact(relation, t):
                 trace.new_facts.append((relation, t))
         result.conflicts.append(len(conflicts))
+        recorder.stage(
+            stage,
+            firings,
+            added=len(trace.new_facts),
+            removed=len(trace.removed_facts),
+        )
         if not trace.new_facts and not trace.removed_facts:
             break
         result.stages.append(trace)
@@ -131,6 +141,7 @@ def evaluate_noninflationary(
                     stage=stage,
                 )
             seen.add(snapshot)
+    result.stats = recorder.finish(adom_size=len(adom))
     return result
 
 

@@ -19,6 +19,7 @@ from repro.relational.instance import Database
 from repro.semantics.base import (
     EvaluationResult,
     StageTrace,
+    StatsRecorder,
     evaluation_adom,
     immediate_consequences,
 )
@@ -37,9 +38,12 @@ def evaluate_datalog_seminaive(
         current.ensure_relation(relation, program.arity(relation))
     adom = evaluation_adom(program, db)
     result = EvaluationResult(current)
+    recorder = StatsRecorder("seminaive", current)
 
     # Stage 1: full evaluation.
-    positive, _negative, firings = immediate_consequences(program, current, adom)
+    positive, _negative, firings = immediate_consequences(
+        program, current, adom, stats=recorder.stats
+    )
     result.rule_firings += firings
     trace = StageTrace(1)
     delta: dict[str, set[tuple]] = {}
@@ -47,6 +51,7 @@ def evaluate_datalog_seminaive(
         if current.add_fact(relation, t):
             trace.new_facts.append((relation, t))
             delta.setdefault(relation, set()).add(t)
+    recorder.stage(1, firings, added=len(trace.new_facts))
     if trace.new_facts:
         result.stages.append(trace)
 
@@ -55,7 +60,7 @@ def evaluate_datalog_seminaive(
         stage += 1
         frozen_delta = {rel: frozenset(ts) for rel, ts in delta.items()}
         positive, _negative, firings = immediate_consequences(
-            program, current, adom, delta=frozen_delta
+            program, current, adom, delta=frozen_delta, stats=recorder.stats
         )
         result.rule_firings += firings
         trace = StageTrace(stage)
@@ -64,6 +69,8 @@ def evaluate_datalog_seminaive(
             if current.add_fact(relation, t):
                 trace.new_facts.append((relation, t))
                 delta.setdefault(relation, set()).add(t)
+        recorder.stage(stage, firings, added=len(trace.new_facts))
         if trace.new_facts:
             result.stages.append(trace)
+    result.stats = recorder.finish(adom_size=len(adom))
     return result

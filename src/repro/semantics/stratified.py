@@ -20,6 +20,7 @@ from repro.relational.instance import Database
 from repro.semantics.base import (
     EvaluationResult,
     StageTrace,
+    StatsRecorder,
     evaluation_adom,
     immediate_consequences,
 )
@@ -43,6 +44,7 @@ def evaluate_stratified(
         current.ensure_relation(relation, program.arity(relation))
     adom = evaluation_adom(program, db)
     result = EvaluationResult(current)
+    recorder = StatsRecorder("stratified", current)
     stage = 0
 
     for stratum in strata:
@@ -52,7 +54,7 @@ def evaluate_stratified(
         subprogram = Program(rules, name=f"{program.name}-stratum")
         # Full pass, then delta-driven passes over this stratum's relations.
         positive, _negative, firings = immediate_consequences(
-            subprogram, current, adom
+            subprogram, current, adom, stats=recorder.stats
         )
         result.rule_firings += firings
         delta: dict[str, set[tuple]] = {}
@@ -62,12 +64,13 @@ def evaluate_stratified(
             if current.add_fact(relation, t):
                 trace.new_facts.append((relation, t))
                 delta.setdefault(relation, set()).add(t)
+        recorder.stage(stage, firings, added=len(trace.new_facts))
         if trace.new_facts:
             result.stages.append(trace)
         while delta:
             frozen_delta = {rel: frozenset(ts) for rel, ts in delta.items()}
             positive, _negative, firings = immediate_consequences(
-                subprogram, current, adom, delta=frozen_delta
+                subprogram, current, adom, delta=frozen_delta, stats=recorder.stats
             )
             result.rule_firings += firings
             stage += 1
@@ -77,6 +80,8 @@ def evaluate_stratified(
                 if current.add_fact(relation, t):
                     trace.new_facts.append((relation, t))
                     delta.setdefault(relation, set()).add(t)
+            recorder.stage(stage, firings, added=len(trace.new_facts))
             if trace.new_facts:
                 result.stages.append(trace)
+    result.stats = recorder.finish(adom_size=len(adom))
     return result

@@ -21,7 +21,7 @@ unknown.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Hashable, Iterator, Literal as TypingLiteral
 
 from repro.ast.program import Dialect, Program
@@ -29,7 +29,12 @@ from repro.ast.analysis import validate_program
 from repro.ast.rules import Lit, Rule
 from repro.logic.formula import Atom
 from repro.relational.instance import Database
-from repro.semantics.base import evaluation_adom, immediate_consequences
+from repro.semantics.base import (
+    EngineStats,
+    StatsRecorder,
+    evaluation_adom,
+    immediate_consequences,
+)
 
 _ASSUMED_SUFFIX = "__wf_assumed"
 
@@ -53,6 +58,7 @@ class WellFoundedModel:
     possible_facts: frozenset[tuple[str, tuple]]
     alternation_rounds: int
     rule_firings: int
+    stats: EngineStats = field(default_factory=EngineStats, repr=False, compare=False)
 
     def truth_value(self, relation: str, t: tuple) -> TruthValue:
         fact = (relation, tuple(t))
@@ -112,8 +118,13 @@ def _least_model(
     base: Database,
     assumed: frozenset[tuple[str, tuple]],
     adom: tuple[Hashable, ...],
-) -> tuple[frozenset[tuple[str, tuple]], int]:
-    """lfp of the transformed program with assumptions ``assumed`` (= S(J))."""
+    stats: EngineStats | None = None,
+) -> tuple[frozenset[tuple[str, tuple]], int, tuple[int, int]]:
+    """lfp of the transformed program with assumptions ``assumed`` (= S(J)).
+
+    Returns (derived facts, firings, the scratch database's final
+    (index builds, index updates) counters).
+    """
     work = base.copy()
     for relation in transformed.idb:
         work.ensure_relation(relation, transformed.arity(relation))
@@ -121,7 +132,9 @@ def _least_model(
         work.add_fact(_assumed_name(relation), t)
 
     firings_total = 0
-    positive, _negative, firings = immediate_consequences(transformed, work, adom)
+    positive, _negative, firings = immediate_consequences(
+        transformed, work, adom, stats=stats
+    )
     firings_total += firings
     delta: dict[str, set[tuple]] = {}
     derived: set[tuple[str, tuple]] = set()
@@ -132,7 +145,7 @@ def _least_model(
     while delta:
         frozen = {rel: frozenset(ts) for rel, ts in delta.items()}
         positive, _negative, firings = immediate_consequences(
-            transformed, work, adom, delta=frozen
+            transformed, work, adom, delta=frozen, stats=stats
         )
         firings_total += firings
         delta = {}
@@ -140,7 +153,7 @@ def _least_model(
             if work.add_fact(relation, t):
                 derived.add((relation, t))
                 delta.setdefault(relation, set()).add(t)
-    return frozenset(derived), firings_total
+    return frozenset(derived), firings_total, work.index_counters()
 
 
 def alternating_sequence(
@@ -158,7 +171,7 @@ def alternating_sequence(
     current: frozenset[tuple[str, tuple]] = frozenset()
     while True:
         yield current
-        current, _ = _least_model(transformed, db, current, adom)
+        current, _, _ = _least_model(transformed, db, current, adom)
 
 
 def evaluate_wellfounded(
@@ -175,17 +188,28 @@ def evaluate_wellfounded(
         validate_program(program, Dialect.DATALOG_NEG)
     transformed = _transform(program)
     adom = evaluation_adom(program, db)
+    recorder = StatsRecorder("wellfounded")
+
+    def step(assumed, label):
+        derived, firings, counters = _least_model(
+            transformed, db, assumed, adom, stats=recorder.stats
+        )
+        recorder.stage(label, firings, added=len(derived), counters=counters)
+        return derived, firings
 
     rounds = 0
     firings_total = 0
+    call = 1
     even: frozenset[tuple[str, tuple]] = frozenset()  # I₀
-    odd, firings = _least_model(transformed, db, even, adom)  # I₁
+    odd, firings = step(even, call)  # I₁
     firings_total += firings
     while True:
         rounds += 1
-        next_even, firings = _least_model(transformed, db, odd, adom)  # I₂ₖ
+        call += 1
+        next_even, firings = step(odd, call)  # I₂ₖ
         firings_total += firings
-        next_odd, firings = _least_model(transformed, db, next_even, adom)  # I₂ₖ₊₁
+        call += 1
+        next_odd, firings = step(next_even, call)  # I₂ₖ₊₁
         firings_total += firings
         if next_even == even and next_odd == odd:
             break
@@ -197,4 +221,5 @@ def evaluate_wellfounded(
         possible_facts=odd,
         alternation_rounds=rounds,
         rule_firings=firings_total,
+        stats=recorder.finish(adom_size=len(adom)),
     )

@@ -42,7 +42,13 @@ from repro.ast.rules import Lit, Rule
 from repro.logic.formula import Atom
 from repro.parser import parse_program
 from repro.relational.instance import Database
-from repro.semantics.base import evaluation_adom, instantiate_head, iter_matches
+from repro.semantics.base import (
+    EngineStats,
+    StatsRecorder,
+    evaluation_adom,
+    instantiate_head,
+    iter_matches,
+)
 from repro.semantics.stratified import evaluate_stratified
 from repro.terms import Var
 
@@ -79,6 +85,7 @@ class StatelogResult:
     """The run: one database per state, first to last (stable) state."""
 
     states: list[Database] = field(default_factory=list)
+    stats: EngineStats = field(default_factory=EngineStats, repr=False, compare=False)
 
     @property
     def steps(self) -> int:
@@ -164,13 +171,18 @@ def run_statelog(
             validate_program(inductive, Dialect.DATALOG_NEG)
 
     result = StatelogResult()
+    recorder = StatsRecorder("statelog")
     current_base = initial.copy()
     seen: set[frozenset] = set()
 
     for step in range(max_steps + 1):
         # (1) deductive closure of the state.
+        step_firings = 0
         if deductive is not None:
-            closed = evaluate_stratified(deductive, current_base, validate=False).database
+            closed_result = evaluate_stratified(deductive, current_base, validate=False)
+            closed = closed_result.database
+            step_firings += closed_result.rule_firings
+            recorder.stats.consequence_calls += closed_result.stats.consequence_calls
         else:
             closed = current_base.copy()
         result.states.append(closed)
@@ -185,14 +197,23 @@ def run_statelog(
 
         # (2) inductive rules produce the next base state.
         if inductive is None:
+            recorder.stage(step, step_firings, counters=closed.index_counters())
+            result.stats = recorder.finish(adom_size=len(closed.active_domain()))
             return result
         next_base = Database()
         adom = evaluation_adom(inductive, closed)
         for rule in inductive.rules:
             for valuation in iter_matches(rule, closed, adom):
+                step_firings += 1
                 for relation, t, positive in instantiate_head(rule, valuation):
                     if positive:
                         next_base.add_fact(relation, t)
+        recorder.stage(
+            step,
+            step_firings,
+            added=next_base.fact_count(),
+            counters=closed.index_counters(),
+        )
         if deductive is not None:
             next_closed = evaluate_stratified(
                 deductive, next_base, validate=False
@@ -200,6 +221,7 @@ def run_statelog(
         else:
             next_closed = next_base
         if next_closed.canonical() == snapshot:
+            result.stats = recorder.finish(adom_size=len(adom))
             return result  # stable state
         current_base = next_base
 
@@ -246,17 +268,21 @@ def run_async_statelog(
 
     rng = seed if isinstance(seed, random.Random) else random.Random(seed)
     result = StatelogResult()
+    recorder = StatsRecorder("statelog-async")
     current_base = initial.copy()
     pending: dict[int, set] = {}
     sent: set = set()
     seen: set[frozenset] = set()
 
     for step in range(max_steps + 1):
-        closed = (
-            evaluate_stratified(deductive, current_base, validate=False).database
-            if deductive is not None
-            else current_base.copy()
-        )
+        step_firings = 0
+        if deductive is not None:
+            closed_result = evaluate_stratified(deductive, current_base, validate=False)
+            closed = closed_result.database
+            step_firings += closed_result.rule_firings
+            recorder.stats.consequence_calls += closed_result.stats.consequence_calls
+        else:
+            closed = current_base.copy()
         result.states.append(closed)
 
         # Relative delivery offsets: two states differing only in how
@@ -279,6 +305,7 @@ def run_async_statelog(
             adom = evaluation_adom(asynchronous, closed)
             for rule in asynchronous.rules:
                 for valuation in iter_matches(rule, closed, adom):
+                    step_firings += 1
                     for relation, t, positive in instantiate_head(rule, valuation):
                         fact = (relation, t)
                         if positive and fact not in sent:
@@ -292,11 +319,18 @@ def run_async_statelog(
             adom = evaluation_adom(inductive, closed)
             for rule in inductive.rules:
                 for valuation in iter_matches(rule, closed, adom):
+                    step_firings += 1
                     for relation, t, positive in instantiate_head(rule, valuation):
                         if positive:
                             next_base.add_fact(relation, t)
         for relation, t in pending.pop(step + 1, set()):
             next_base.add_fact(relation, t)
+        recorder.stage(
+            step,
+            step_firings,
+            added=next_base.fact_count(),
+            counters=closed.index_counters(),
+        )
 
         if not pending:
             next_closed = (
@@ -305,6 +339,9 @@ def run_async_statelog(
                 else next_base
             )
             if next_closed.canonical() == closed.canonical():
+                result.stats = recorder.finish(
+                    adom_size=len(closed.active_domain())
+                )
                 return result  # stable, nothing in flight
         current_base = next_base
 

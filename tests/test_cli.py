@@ -214,3 +214,39 @@ class TestEffects:
         assert code == 0
         assert "terminal instances: 2" in output
         assert "possible answers for G: 2" in output
+
+
+class TestStats:
+    def test_stats_auto_datalog(self, tc_files):
+        program, data = tc_files
+        code, output = run_cli(["stats", program, "--data", data])
+        assert code == 0
+        assert "semantics: seminaive (auto)" in output
+        assert "engine:            seminaive" in output
+        assert "rule firings:" in output
+        assert "index builds:" in output
+        assert "index updates:" in output
+        # Per-stage table with a header and one row per stage.
+        assert "stage" in output and "firings" in output
+
+    def test_stats_explicit_naive(self, tc_files):
+        program, data = tc_files
+        code, output = run_cli(
+            ["stats", program, "--data", data, "--semantics", "naive"]
+        )
+        assert code == 0
+        assert "engine:            naive" in output
+        assert "semantics:" not in output  # no auto banner
+
+    def test_stats_wellfounded(self, win_files):
+        program, data = win_files
+        code, output = run_cli(["stats", program, "--data", data])
+        assert code == 0
+        assert "engine:            wellfounded" in output
+        assert "adom size:" in output
+
+    def test_stats_rejects_nondeterministic(self, tmp_path):
+        program = tmp_path / "n.dl"
+        program.write_text("A(x), B(x) :- S(x).\n")
+        code, _ = run_cli(["stats", str(program)])
+        assert code == 2

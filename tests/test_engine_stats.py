@@ -1,0 +1,171 @@
+"""EngineStats: every engine reports consistent performance counters.
+
+The observability layer added alongside incremental index maintenance:
+each driver attaches an :class:`~repro.semantics.base.EngineStats` to
+its result, with per-stage wall clock, rule firings, delta sizes, and
+the index build/update counters diffed from the databases it mutated.
+"""
+
+import pytest
+
+from repro.parser import parse_program
+from repro.relational.instance import Database
+from repro.semantics import (
+    EngineStats,
+    StageTrace,
+    StatsRecorder,
+    evaluate_datalog_naive,
+    evaluate_datalog_seminaive,
+    evaluate_inflationary,
+    evaluate_noninflationary,
+    evaluate_stratified,
+    evaluate_wellfounded,
+    evaluate_with_choice,
+    evaluate_with_invention,
+    run_nondeterministic,
+)
+from repro.semantics.base import EvaluationResult
+from repro.statelog import parse_statelog, run_statelog
+
+TC = "T(x, y) :- G(x, y).\nT(x, y) :- G(x, z), T(z, y).\n"
+GRAPH = {"G": [("a", "b"), ("b", "c"), ("c", "d")]}
+
+
+def assert_consistent(stats: EngineStats, engine: str):
+    assert stats.engine == engine
+    assert stats.seconds >= 0
+    assert stats.stage_count == len(stats.stages) > 0
+    assert stats.rule_firings == sum(s.firings for s in stats.stages)
+    assert stats.index_builds == sum(s.index_builds for s in stats.stages)
+    assert stats.index_updates == sum(s.index_updates for s in stats.stages)
+    assert all(s.seconds >= 0 for s in stats.stages)
+    # The summary renders every headline counter.
+    summary = stats.summary()
+    for needle in ("engine:", "wall time:", "rule firings:",
+                   "index builds:", "index updates:", "adom size:"):
+        assert needle in summary
+
+
+class TestDeterministicEngines:
+    def test_naive(self):
+        result = evaluate_datalog_naive(parse_program(TC), Database(GRAPH))
+        assert_consistent(result.stats, "naive")
+        assert result.stats.rule_firings == result.rule_firings
+        assert result.stats.adom_size == 4
+
+    def test_seminaive(self):
+        result = evaluate_datalog_seminaive(parse_program(TC), Database(GRAPH))
+        assert_consistent(result.stats, "seminaive")
+        assert result.stats.consequence_calls == result.stats.stage_count
+
+    def test_stratified(self):
+        program = parse_program(TC + "CT(x, y) :- not T(x, y).")
+        result = evaluate_stratified(program, Database(GRAPH))
+        assert_consistent(result.stats, "stratified")
+
+    def test_inflationary(self):
+        program = parse_program(TC, name="tc")
+        result = evaluate_inflationary(program, Database(GRAPH))
+        assert_consistent(result.stats, "inflationary")
+
+    def test_inflationary_empty_fixpoint(self):
+        # The early-return path (no stage-1 facts) still attaches stats.
+        program = parse_program("P(x) :- Q(x).")
+        result = evaluate_inflationary(program, Database({("Q", 1): []}))
+        assert_consistent(result.stats, "inflationary")
+
+    def test_noninflationary(self):
+        program = parse_program("!S(x) :- S(x), E(x).")
+        db = Database({"S": [("a",), ("b",)], "E": [("a",)]})
+        result = evaluate_noninflationary(program, db)
+        assert_consistent(result.stats, "noninflationary")
+        assert sum(s.removed for s in result.stats.stages) == 1
+
+    def test_wellfounded(self):
+        program = parse_program("win(x) :- moves(x, y), not win(y).")
+        db = Database({"moves": [("a", "b"), ("b", "a"), ("b", "c")]})
+        model = evaluate_wellfounded(program, db)
+        assert_consistent(model.stats, "wellfounded")
+
+    def test_invention(self):
+        program = parse_program(
+            "tag(x, n) :- R(x), not tagged(x).\ntagged(x) :- tag(x, n).\n"
+        )
+        result = evaluate_with_invention(program, Database({"R": [("a",)]}))
+        assert_consistent(result.stats, "invention")
+
+    def test_choice(self):
+        program = parse_program(
+            "adv(s, p) :- student(s), prof(p), choice((s), (p)).\n"
+        )
+        db = Database({"student": [("sue",)], "prof": [("kim",), ("lee",)]})
+        result = evaluate_with_choice(program, db, seed=1)
+        assert_consistent(result.stats, "choice")
+
+
+class TestOtherDrivers:
+    def test_nondeterministic_run(self):
+        program = parse_program("A(x) :- S(x).", name="nd")
+        run = run_nondeterministic(program, Database({"S": [("a",), ("b",)]}))
+        assert_consistent(run.stats, "nondeterministic")
+        # One stage per applied step plus the terminal check.
+        assert run.stats.stage_count == run.step_count + 1
+
+    def test_statelog(self):
+        program = parse_statelog(
+            "alarm(x) :- sensor(x).\n+log(x) :- alarm(x).\n+log(x) :- log(x).\n"
+        )
+        result = run_statelog(program, Database({"sensor": [("s1",)]}))
+        assert_consistent(result.stats, "statelog")
+        assert result.stats.stage_count == len(result.states)
+
+
+class TestStageOf:
+    def test_stage_lookup(self):
+        result = evaluate_datalog_seminaive(parse_program(TC), Database(GRAPH))
+        assert result.stage_of("T", ("a", "b")) == 1
+        assert result.stage_of("T", ("a", "c")) == 2
+        assert result.stage_of("T", ("a", "d")) == 3
+        assert result.stage_of("T", ("d", "a")) is None
+        assert result.stage_of("missing", ()) is None
+
+    def test_lookup_tracks_appended_stages(self):
+        result = EvaluationResult(Database())
+        result.stages.append(StageTrace(1, new_facts=[("R", ("a",))]))
+        assert result.stage_of("R", ("a",)) == 1
+        assert result.stage_of("R", ("b",)) is None
+        # Appending a stage after a query must invalidate the cache.
+        result.stages.append(StageTrace(2, new_facts=[("R", ("b",))]))
+        assert result.stage_of("R", ("b",)) == 2
+        assert result.stage_of("R", ("a",)) == 1  # first derivation wins
+
+    def test_first_derivation_wins(self):
+        result = EvaluationResult(Database())
+        result.stages.append(StageTrace(1, new_facts=[("R", ("a",))]))
+        result.stages.append(StageTrace(2, new_facts=[("R", ("a",))]))
+        assert result.stage_of("R", ("a",)) == 1
+
+
+class TestStatsRecorder:
+    def test_explicit_counters_are_per_stage(self):
+        # Engines evaluating over scratch databases (well-founded,
+        # Statelog) pass each phase's own counter totals explicitly.
+        recorder = StatsRecorder("custom")
+        recorder.stage(1, 5, added=2, counters=(3, 7))
+        recorder.stage(2, 1, counters=(4, 9))
+        stats = recorder.finish(adom_size=10)
+        assert stats.rule_firings == 6
+        assert stats.index_builds == 3 + 4
+        assert stats.index_updates == 7 + 9
+        assert stats.stages[1].index_builds == 4
+        assert stats.adom_size == 10
+
+    def test_watch_diffs_database_counters(self):
+        db = Database({"R": [("a", "b")]})
+        recorder = StatsRecorder("custom", db)
+        db.relation("R").index((0,))
+        db.add_fact("R", ("c", "d"))
+        recorder.stage(1, 1)
+        stats = recorder.finish()
+        assert stats.index_builds == 1
+        assert stats.index_updates == 1

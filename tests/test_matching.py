@@ -147,3 +147,41 @@ class TestImmediateConsequences:
             program, db, adom, delta={"S": frozenset({("a",)})}
         )
         assert ("D", ()) not in positive
+
+
+class TestJoinOrder:
+    def test_greedy_order_smallest_then_connected(self):
+        from repro.semantics.base import _order_positive
+
+        rule = parse_rule("A(x, y) :- R(x, y), S(y, z), T(z).")
+        db = Database(
+            {
+                "R": [("a", str(i)) for i in range(5)],  # |R| = 5
+                "S": [("b", "c")],                        # |S| = 1
+                "T": [("c",), ("d",), ("e",)],            # |T| = 3
+            }
+        )
+        ordered = _order_positive(list(rule.body), db)
+        # Start with the smallest relation (S), then follow shared
+        # variables preferring the smaller candidate (T over R), and
+        # finish with R.
+        assert [lit.relation for lit in ordered] == ["S", "T", "R"]
+
+    def test_ties_keep_body_order(self):
+        from repro.semantics.base import _order_positive
+
+        rule = parse_rule("A(x) :- U(x), V(x).")
+        db = Database({"U": [("a",), ("b",)], "V": [("c",), ("d",)]})
+        ordered = _order_positive(list(rule.body), db)
+        assert [lit.relation for lit in ordered] == ["U", "V"]
+
+    def test_join_order_still_finds_all_matches(self):
+        db = Database(
+            {
+                "R": [("a", "b"), ("a", "c")],
+                "S": [("b", "d")],
+                "T": [("d",)],
+            }
+        )
+        out = matches("A(x, y) :- R(x, y), S(y, z), T(z).", db)
+        assert out == [{Var("x"): "a", Var("y"): "b", Var("z"): "d"}]

@@ -51,6 +51,16 @@ from repro.ast.analysis import (
     infer_dialect,
 )
 from repro.parser import parse_program, parse_rule
+from repro.span import Span
+from repro.analysis import (
+    Diagnostic,
+    DialectReport,
+    LintReport,
+    Severity,
+    classify,
+    lint,
+    lint_source,
+)
 from repro.semantics import (
     EvaluationResult,
     evaluate_datalog_naive,
@@ -130,6 +140,14 @@ __all__ = [
     "infer_dialect",
     "parse_program",
     "parse_rule",
+    "Span",
+    "Diagnostic",
+    "DialectReport",
+    "LintReport",
+    "Severity",
+    "classify",
+    "lint",
+    "lint_source",
     "EvaluationResult",
     "evaluate_datalog_naive",
     "evaluate_datalog_seminaive",

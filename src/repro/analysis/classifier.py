@@ -1,0 +1,207 @@
+"""The Figure-1 dialect classifier.
+
+Which semantics a program *needs* is a purely static property: does it
+negate body literals?  delete (negative heads)?  invent values?  use the
+nondeterministic constructs?  :func:`classify` places a program on its
+exact rung of the paper's Figure 1 and — unlike the bare
+:func:`repro.ast.analysis.infer_dialect` — justifies the placement with
+a per-feature *evidence list* pointing at the rules (with source spans)
+that exhibit each feature, and reports unstratifiability with the
+explicit negative cycle as a predicate path, not just a boolean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.analysis.graph import negative_cycle
+from repro.ast.analysis import infer_dialect, is_semipositive, is_stratifiable
+from repro.ast.program import Dialect, Program
+from repro.ast.rules import Lit
+from repro.span import Span
+
+#: Human-readable description of each rung, in Figure-1 order (low → high).
+RUNG_ORDER: tuple[Dialect, ...] = (
+    Dialect.DATALOG,
+    Dialect.SEMIPOSITIVE,
+    Dialect.STRATIFIED,
+    Dialect.DATALOG_NEG,
+    Dialect.DATALOG_NEGNEG,
+    Dialect.DATALOG_NEW,
+    Dialect.DATALOG_CHOICE,
+    Dialect.N_DATALOG_NEG,
+    Dialect.N_DATALOG_NEGNEG,
+    Dialect.N_DATALOG_BOTTOM,
+    Dialect.N_DATALOG_FORALL,
+    Dialect.N_DATALOG_NEW,
+)
+
+RUNG_DESCRIPTIONS: dict[Dialect, str] = {
+    Dialect.DATALOG: "plain Datalog (minimum model, §3.1)",
+    Dialect.SEMIPOSITIVE: "semipositive Datalog¬ — negation on edb only (§4.5)",
+    Dialect.STRATIFIED: "stratified Datalog¬ (§3.2)",
+    Dialect.DATALOG_NEG:
+        "Datalog¬ — unrestricted negation (well-founded/inflationary, §3.2/§4.1)",
+    Dialect.DATALOG_NEGNEG: "Datalog¬¬ — deletion, while-power (§4.2)",
+    Dialect.DATALOG_NEW: "Datalog¬new — value invention (§4.3)",
+    Dialect.DATALOG_CHOICE: "Datalog with LDL choice goals (§5.2)",
+    Dialect.N_DATALOG_NEG: "N-Datalog¬ — nondeterministic firing (Def. 5.1)",
+    Dialect.N_DATALOG_NEGNEG: "N-Datalog¬¬ — nondeterministic deletion (§5.1)",
+    Dialect.N_DATALOG_BOTTOM: "N-Datalog¬⊥ — inconsistency symbol (§5.2)",
+    Dialect.N_DATALOG_FORALL: "N-Datalog¬∀ — universal bodies (§5.2)",
+    Dialect.N_DATALOG_NEW: "N-Datalog¬new — invention, all ND queries (Thm 5.7)",
+}
+
+
+@dataclass(frozen=True)
+class Evidence:
+    """One observed feature occurrence, anchored to a rule."""
+
+    feature: str
+    description: str
+    rule_index: int
+    span: Span | None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "feature": self.feature,
+            "description": self.description,
+            "rule": self.rule_index,
+            "span": self.span.to_dict() if self.span else None,
+        }
+
+
+@dataclass
+class DialectReport:
+    """Where a program sits in Figure 1, and why.
+
+    ``stratifiable`` is a three-way value: True/False when the §3.2
+    condition applies (deterministic Datalog¬-family programs), None
+    when it does not (deletion, invention, nondeterminism).
+    ``negative_cycle`` names the offending predicate path whenever the
+    dependency graph — with deletion counted as negation — has a cycle
+    through a negative edge, e.g. ``["win", "win"]``.
+    """
+
+    rung: Dialect
+    evidence: list[Evidence] = field(default_factory=list)
+    stratifiable: bool | None = None
+    semipositive: bool | None = None
+    negative_cycle: list[str] | None = None
+
+    @property
+    def rung_description(self) -> str:
+        return RUNG_DESCRIPTIONS[self.rung]
+
+    def features(self) -> list[str]:
+        seen: list[str] = []
+        for item in self.evidence:
+            if item.feature not in seen:
+                seen.append(item.feature)
+        return seen
+
+    def cycle_text(self) -> str | None:
+        if not self.negative_cycle:
+            return None
+        return " ⊣ ".join(self.negative_cycle)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-stable rendering; the key set is part of the schema."""
+        return {
+            "rung": self.rung.value,
+            "description": self.rung_description,
+            "features": self.features(),
+            "evidence": [item.to_dict() for item in self.evidence],
+            "stratifiable": self.stratifiable,
+            "semipositive": self.semipositive,
+            "negative_cycle": self.negative_cycle,
+        }
+
+    def describe(self) -> str:
+        """A human-readable multi-line summary."""
+        lines = [f"rung: {self.rung.value} — {self.rung_description}"]
+        if self.evidence:
+            lines.append("evidence:")
+            for item in self.evidence:
+                where = f" at {item.span}" if item.span else ""
+                lines.append(
+                    f"  - {item.feature}: {item.description} "
+                    f"(rule {item.rule_index}{where})"
+                )
+        else:
+            lines.append("evidence: none (pure Datalog)")
+        if self.stratifiable is not None:
+            lines.append(f"stratifiable: {self.stratifiable}")
+        if self.semipositive is not None:
+            lines.append(f"semipositive: {self.semipositive}")
+        if self.negative_cycle:
+            lines.append(f"negative cycle: {self.cycle_text()}")
+        return "\n".join(lines)
+
+
+def _evidence_for_rule(index: int, rule) -> list[Evidence]:
+    found: list[Evidence] = []
+
+    def add(feature: str, description: str, span: Span | None) -> None:
+        found.append(Evidence(feature, description, index, span or rule.span))
+
+    if len(rule.head) > 1:
+        add("multiple-heads", f"{len(rule.head)} head literals", rule.span)
+    for lit in rule.head:
+        if isinstance(lit, Lit):
+            if not lit.positive:
+                add("negative-head", f"deletion head !{lit.atom!r}", lit.span)
+        else:
+            add("bottom", "⊥ head literal", lit.span)
+    for lit in rule.negative_body():
+        add("body-negation", f"negated literal {lit!r}", lit.span)
+    for eq in rule.equality_body():
+        op = "=" if eq.positive else "!="
+        add("equality", f"(in)equality literal {eq!r} ({op})", eq.span)
+    for goal in rule.choice_body():
+        add("choice", f"choice goal {goal!r}", goal.span)
+    if rule.universal:
+        names = ", ".join(v.name for v in rule.universal)
+        add("universal", f"∀-quantified body variables {names}", rule.span)
+    invented = rule.invention_variables()
+    if invented:
+        names = ", ".join(sorted(v.name for v in invented))
+        add("invention", f"head variables {names} absent from the body",
+            rule.span)
+    return found
+
+
+def classify(program: Program) -> DialectReport:
+    """Place ``program`` on its exact Figure-1 rung, with evidence."""
+    evidence: list[Evidence] = []
+    for index, rule in enumerate(program.rules):
+        evidence.extend(_evidence_for_rule(index, rule))
+
+    rung = infer_dialect(program)
+
+    # The §3.2 stratification condition is defined for deterministic
+    # Datalog¬: deletion, invention, and the nondeterministic constructs
+    # all step outside it.
+    condition_applies = not (
+        program.uses_negative_heads()
+        or program.uses_invention()
+        or program.uses_multi_heads()
+        or program.uses_bottom()
+        or program.uses_universal()
+        or program.uses_choice()
+    )
+    stratifiable = is_stratifiable(program) if condition_applies else None
+    semipositive = (
+        is_semipositive(program)
+        if condition_applies and program.uses_body_negation()
+        else None
+    )
+
+    return DialectReport(
+        rung=rung,
+        evidence=evidence,
+        stratifiable=stratifiable,
+        semipositive=semipositive,
+        negative_cycle=negative_cycle(program, include_deletion=True),
+    )

@@ -1,0 +1,172 @@
+"""The diagnostic model of the static-analysis framework.
+
+Every finding a lint pass or the dialect classifier produces is a
+:class:`Diagnostic`: a stable machine-readable code (``DL001``), a
+human-readable slug (``unsafe-head-var``), a severity, a message, an
+optional :class:`~repro.span.Span` pointing into the source text, and a
+structured payload for tooling.  The :data:`CODES` registry is the
+single source of truth for every code the framework can emit — its
+severity, a one-line summary, and the paper section the check
+formalizes.
+
+Severities follow the usual lint convention:
+
+* ``ERROR`` — the program is wrong (safety violation, arity clash,
+  parse failure); ``repro lint`` always fails on these;
+* ``WARNING`` — almost certainly a bug (a rule that can never fire, a
+  duplicate rule); fails under ``repro lint --strict``;
+* ``INFO`` — heuristics and notes (singleton variables, cartesian
+  bodies, the unstratifiability note) that legitimate paper programs
+  trigger on purpose; reported but never fatal.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.span import Span
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity, ordered so that ``max()`` picks the worst."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class DiagnosticCode:
+    """Registry entry: one statically-known kind of finding."""
+
+    code: str            # "DL001"
+    name: str            # "unsafe-head-var"
+    severity: Severity   # default severity for this code
+    summary: str         # one-line description of the check
+    paper_section: str   # the section of the paper the check formalizes
+
+    @property
+    def label(self) -> str:
+        return f"{self.code}-{self.name}"
+
+
+def _code(code, name, severity, summary, section) -> DiagnosticCode:
+    return DiagnosticCode(code, name, severity, summary, section)
+
+
+#: Every diagnostic code the framework can emit, in stable order.
+CODES: dict[str, DiagnosticCode] = {
+    c.code: c
+    for c in (
+        _code("DL000", "parse-error", Severity.ERROR,
+              "the source text could not be parsed", "§3.1"),
+        _code("DL001", "unsafe-head-var", Severity.ERROR,
+              "a head variable violates the dialect's range restriction",
+              "§3.1, Def. 5.1"),
+        _code("DL002", "unsafe-negated-var", Severity.WARNING,
+              "a variable occurs only under negation (range-unrestricted)",
+              "§3.1"),
+        _code("DL003", "singleton-var", Severity.INFO,
+              "a variable occurs exactly once in its rule (possible typo)",
+              "§3.1"),
+        _code("DL004", "unused-predicate", Severity.INFO,
+              "an idb relation is derived but never used in any body",
+              "§3.1"),
+        _code("DL005", "underivable-predicate", Severity.WARNING,
+              "an idb relation has no derivation bottoming out in the edb",
+              "§3.1"),
+        _code("DL006", "arity-mismatch", Severity.ERROR,
+              "a relation is used with two different arities", "§3.1"),
+        _code("DL007", "duplicate-rule", Severity.WARNING,
+              "a rule repeats an earlier rule up to variable renaming",
+              "§3.1"),
+        _code("DL008", "cartesian-product", Severity.INFO,
+              "positive body literals share no variables (cross product)",
+              "§3.1"),
+        _code("DL009", "never-fires", Severity.WARNING,
+              "a rule's positive body mentions an underivable relation",
+              "§3.1"),
+        _code("DL010", "unstratifiable", Severity.INFO,
+              "recursion through negation; stratified semantics unavailable",
+              "§3.2"),
+        _code("DL011", "subsumed-rule", Severity.WARNING,
+              "a rule's body strictly extends another rule with the same head",
+              "§3.1"),
+    )
+}
+
+#: The same registry keyed by slug ("unsafe-head-var" → DiagnosticCode).
+CODES_BY_NAME: dict[str, DiagnosticCode] = {c.name: c for c in CODES.values()}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding, pointing (when possible) at real source text."""
+
+    code: str
+    name: str
+    severity: Severity
+    message: str
+    span: Span | None = None
+    rule_index: int | None = None
+    payload: tuple[tuple[str, Any], ...] = field(default=())
+
+    @property
+    def label(self) -> str:
+        return f"{self.code}-{self.name}"
+
+    def get(self, key: str, default: Any = None) -> Any:
+        for k, v in self.payload:
+            if k == key:
+                return v
+        return default
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-stable rendering; key set is part of the output schema."""
+        return {
+            "code": self.code,
+            "name": self.name,
+            "severity": str(self.severity),
+            "message": self.message,
+            "span": self.span.to_dict() if self.span else None,
+            "rule": self.rule_index,
+            "payload": {k: v for k, v in self.payload},
+        }
+
+    def render(self, source_name: str = "") -> str:
+        """One human-readable line, ``file:line:col: severity CODE: msg``."""
+        where = source_name or "<program>"
+        if self.span is not None:
+            where = f"{where}:{self.span.line}:{self.span.column}"
+        return f"{where}: {self.severity} {self.label}: {self.message}"
+
+
+def make_diagnostic(
+    code: str,
+    message: str,
+    span: Span | None = None,
+    rule_index: int | None = None,
+    severity: Severity | None = None,
+    **payload: Any,
+) -> Diagnostic:
+    """Build a diagnostic from its registered code.
+
+    ``severity`` overrides the registry default (used, e.g., to escalate
+    a check when a dialect was explicitly declared).  ``payload`` keys
+    are sorted so equal findings compare equal.
+    """
+    entry = CODES[code]
+    return Diagnostic(
+        code=entry.code,
+        name=entry.name,
+        severity=severity if severity is not None else entry.severity,
+        message=message,
+        span=span,
+        rule_index=rule_index,
+        payload=tuple(sorted(payload.items())),
+    )

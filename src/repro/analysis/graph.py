@@ -1,0 +1,141 @@
+"""Dependency-graph analyses: negative-cycle witnesses, strata levels.
+
+The stratification condition of §3.2 is a property of the precedence
+graph: the program is stratifiable iff no cycle traverses a negative
+edge.  The historical :func:`repro.ast.analysis.stratify` decides the
+condition but reports a bare boolean/exception; this module produces the
+*witness* — the explicit cycle of predicates through a negative edge —
+which the classifier, ``repro lint``, and the Graphviz export all show.
+
+For Datalog¬¬ the classifier extends the graph with *deletion edges*:
+a rule ``!T(ȳ) ← B`` makes T depend negatively on every relation of B
+(deleting T based on B is negation in disguise — it is exactly why §4.2
+gives up guaranteed termination).  The paper's flip-flop program, whose
+body literals are all positive, is cyclic only through such edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ast.analysis import _sccs, stratify
+from repro.ast.program import Program
+from repro.ast.rules import Lit
+from repro.errors import StratificationError
+
+
+@dataclass(frozen=True)
+class DependencyEdge:
+    """Body relation → head relation, with polarity and provenance."""
+
+    src: str
+    dst: str
+    positive: bool
+    rule_index: int
+
+
+def dependency_edges(
+    program: Program, include_deletion: bool = False
+) -> list[DependencyEdge]:
+    """Every precedence edge, optionally counting deletion as negation.
+
+    With ``include_deletion`` a rule with head literal ``!R`` contributes
+    a *negative* edge body-relation → R for every body relation.
+    """
+    edges: list[DependencyEdge] = []
+    for index, rule in enumerate(program.rules):
+        for head in rule.head_literals():
+            head_negates = include_deletion and not head.positive
+            for lit in rule.body:
+                if not isinstance(lit, Lit):
+                    continue
+                positive = lit.positive and not head_negates
+                edges.append(
+                    DependencyEdge(lit.relation, head.relation, positive, index)
+                )
+            if head_negates and not rule.body:
+                # A bodyless deletion still flips its own relation.
+                edges.append(
+                    DependencyEdge(head.relation, head.relation, False, index)
+                )
+    return edges
+
+
+def negative_cycle(
+    program: Program, include_deletion: bool = True
+) -> list[str] | None:
+    """A cycle of predicates through a negative edge, or None.
+
+    Returns the cycle as a predicate path starting and ending at the
+    same relation — ``["win", "win"]`` for the win program's self-loop,
+    ``["A", "B", "A"]`` for mutual recursion through negation.
+    """
+    edges = dependency_edges(program, include_deletion=include_deletion)
+    nodes = sorted(program.sch())
+    adjacency: dict[str, set[str]] = {rel: set() for rel in nodes}
+    for edge in edges:
+        adjacency[edge.src].add(edge.dst)
+
+    component_of: dict[str, int] = {}
+    for i, component in enumerate(_sccs(nodes, adjacency)):
+        for rel in component:
+            component_of[rel] = i
+
+    for edge in sorted(
+        (e for e in edges if not e.positive), key=lambda e: (e.src, e.dst)
+    ):
+        if component_of[edge.src] != component_of[edge.dst]:
+            continue
+        # Close the cycle: a path dst → src inside the component.
+        path = _path_within_component(
+            edge.dst, edge.src, adjacency, component_of
+        )
+        if path is not None:
+            return [edge.src] + path
+    return None
+
+
+def _path_within_component(
+    start: str,
+    goal: str,
+    adjacency: dict[str, set[str]],
+    component_of: dict[str, int],
+) -> list[str] | None:
+    """Shortest path start → goal staying inside start's SCC."""
+    component = component_of[start]
+    if start == goal:
+        return [start]
+    previous: dict[str, str] = {}
+    frontier = [start]
+    seen = {start}
+    while frontier:
+        next_frontier: list[str] = []
+        for node in frontier:
+            for succ in sorted(adjacency[node]):
+                if succ in seen or component_of.get(succ) != component:
+                    continue
+                previous[succ] = node
+                if succ == goal:
+                    path = [goal]
+                    while path[-1] != start:
+                        path.append(previous[path[-1]])
+                    return list(reversed(path))
+                seen.add(succ)
+                next_frontier.append(succ)
+        frontier = next_frontier
+    return None
+
+
+def cycle_edges(program: Program, cycle: list[str]) -> list[tuple[str, str]]:
+    """The (src, dst) pairs traversed by a cycle path from
+    :func:`negative_cycle`."""
+    return [(cycle[i], cycle[i + 1]) for i in range(len(cycle) - 1)]
+
+
+def stratum_levels(program: Program) -> dict[str, int] | None:
+    """Stratum number per relation, or None when not stratifiable."""
+    try:
+        strata = stratify(program)
+    except StratificationError:
+        return None
+    return {rel: level for level, stratum in enumerate(strata) for rel in stratum}

@@ -1,0 +1,478 @@
+"""The lint passes.
+
+Each pass is a function ``(ctx: LintContext) -> list[Diagnostic]``; the
+driver (:func:`repro.analysis.lint`) runs all of them and concatenates
+the findings, so a program with five problems yields five diagnostics
+rather than one exception.  Rule-local passes work on the raw rule list
+(they run even when the program's schema is broken); whole-program
+passes need a constructed :class:`~repro.ast.program.Program` and skip
+themselves otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.classifier import DialectReport
+from repro.analysis.diagnostics import Diagnostic, make_diagnostic
+from repro.analysis.graph import cycle_edges, dependency_edges
+from repro.analysis.safety import (
+    negation_safety_diagnostics,
+    positively_bound_vars,
+    rule_safety_diagnostics,
+)
+from repro.ast.program import Dialect, Program
+from repro.ast.rules import ChoiceLit, EqLit, Lit, Rule
+from repro.terms import Var
+
+
+@dataclass
+class LintContext:
+    """Everything a pass may need; ``program`` is None on schema errors."""
+
+    rules: tuple[Rule, ...]
+    program: Program | None = None
+    dialect: Dialect | None = None       # declared, or inferred from the rules
+    dialect_declared: bool = False
+    report: DialectReport | None = None  # classifier output, when available
+    outputs: frozenset[str] = frozenset()  # declared answer relations
+    edb: frozenset[str] | None = None      # declared edb relations, if known
+
+
+# -- rule-local passes ---------------------------------------------------------
+
+
+def safety_pass(ctx: LintContext) -> list[Diagnostic]:
+    """DL001: the dialect's range restriction, every violation reported."""
+    if ctx.dialect is None:
+        return []
+    out: list[Diagnostic] = []
+    for index, rule in enumerate(ctx.rules):
+        out.extend(rule_safety_diagnostics(rule, ctx.dialect, index))
+    return out
+
+
+def negation_pass(ctx: LintContext) -> list[Diagnostic]:
+    """DL002: variables that occur only under negation."""
+    out: list[Diagnostic] = []
+    for index, rule in enumerate(ctx.rules):
+        out.extend(negation_safety_diagnostics(rule, index))
+    return out
+
+
+def _occurrences(rule: Rule) -> dict[Var, list[tuple[Var, object]]]:
+    """Every occurrence of every variable, with the literal it sits in."""
+    seen: dict[Var, list] = {}
+    literals = list(rule.head) + list(rule.body)
+    for lit in literals:
+        if isinstance(lit, Lit):
+            terms = lit.terms
+        elif isinstance(lit, EqLit):
+            terms = (lit.left, lit.right)
+        elif isinstance(lit, ChoiceLit):
+            terms = tuple(lit.domain) + tuple(lit.range)
+        else:  # BottomLit
+            continue
+        for term in terms:
+            if isinstance(term, Var):
+                seen.setdefault(term, []).append(lit)
+    return seen
+
+
+def singleton_pass(ctx: LintContext) -> list[Diagnostic]:
+    """DL003: a variable used exactly once is very often a typo.
+
+    Underscore-prefixed names are the conventional "intentionally
+    unused" spelling and are exempt, as are variables already covered by
+    the more specific DL002 (negated-only) finding.
+    """
+    out: list[Diagnostic] = []
+    for index, rule in enumerate(ctx.rules):
+        bound = positively_bound_vars(rule)
+        head_vars = rule.head_variables()
+        for var, sites in sorted(
+            _occurrences(rule).items(), key=lambda kv: kv[0].name
+        ):
+            if len(sites) != 1 or var.name.startswith("_"):
+                continue
+            site = sites[0]
+            negated_only = (
+                isinstance(site, Lit)
+                and not site.positive
+                and var not in head_vars
+                and var not in bound
+                and var not in rule.universal
+            )
+            if negated_only:
+                continue  # DL002 already covers it, more precisely
+            span = getattr(site, "span", None) or rule.span
+            out.append(
+                make_diagnostic(
+                    "DL003",
+                    f"variable {var.name!r} occurs exactly once in rule: "
+                    f"{rule!r} (prefix it with '_' if intentional)",
+                    span=span,
+                    rule_index=index,
+                    variable=var.name,
+                )
+            )
+    return out
+
+
+def arity_pass(ctx: LintContext) -> list[Diagnostic]:
+    """DL006: a relation used with two different arities.
+
+    This is the diagnostics-based face of the :class:`SchemaError` that
+    :class:`~repro.ast.program.Program` raises at construction — it runs
+    on the raw rules, so it can report *all* clashes with spans.
+    """
+    out: list[Diagnostic] = []
+    first_seen: dict[str, tuple[int, object]] = {}
+    for index, rule in enumerate(ctx.rules):
+        literals = list(rule.head_literals())
+        literals.extend(l for l in rule.body if isinstance(l, Lit))
+        for lit in literals:
+            arity = lit.atom.arity
+            if lit.relation not in first_seen:
+                first_seen[lit.relation] = (arity, lit)
+                continue
+            expected, _origin = first_seen[lit.relation]
+            if arity != expected:
+                out.append(
+                    make_diagnostic(
+                        "DL006",
+                        f"relation {lit.relation!r} used with arity {arity} "
+                        f"here but arity {expected} elsewhere",
+                        span=lit.span or rule.span,
+                        rule_index=index,
+                        relation=lit.relation,
+                        expected=expected,
+                        found=arity,
+                    )
+                )
+    return out
+
+
+def _canonical(rule: Rule) -> tuple:
+    """Alpha-rename variables by first occurrence → a comparable key."""
+    mapping: dict[Var, str] = {}
+
+    def rename(term):
+        if isinstance(term, Var):
+            if term not in mapping:
+                mapping[term] = f"_v{len(mapping)}"
+            return mapping[term]
+        return ("const", repr(term))
+
+    def lit_key(lit):
+        if isinstance(lit, Lit):
+            return ("lit", lit.relation, lit.positive,
+                    tuple(rename(t) for t in lit.terms))
+        if isinstance(lit, EqLit):
+            return ("eq", lit.positive, rename(lit.left), rename(lit.right))
+        if isinstance(lit, ChoiceLit):
+            return ("choice", tuple(rename(v) for v in lit.domain),
+                    tuple(rename(v) for v in lit.range))
+        return ("bottom",)
+
+    head = tuple(lit_key(l) for l in rule.head)
+    body = tuple(lit_key(l) for l in rule.body)
+    universal = tuple(rename(v) for v in rule.universal)
+    return (head, body, universal)
+
+
+def duplicate_pass(ctx: LintContext) -> list[Diagnostic]:
+    """DL007/DL011: duplicate and subsumed rules.
+
+    DL007 fires when a rule repeats an earlier one up to variable
+    renaming (same literal order).  DL011 fires when a rule has exactly
+    the head of an earlier rule but a strictly larger body — every fact
+    it derives, the earlier rule derives already.
+    """
+    out: list[Diagnostic] = []
+    seen: dict[tuple, int] = {}
+    for index, rule in enumerate(ctx.rules):
+        key = _canonical(rule)
+        if key in seen:
+            out.append(
+                make_diagnostic(
+                    "DL007",
+                    f"rule duplicates rule {seen[key]} "
+                    f"(up to variable renaming): {rule!r}",
+                    span=rule.span,
+                    rule_index=index,
+                    duplicate_of=seen[key],
+                )
+            )
+        else:
+            seen[key] = index
+
+    for index, rule in enumerate(ctx.rules):
+        head = set(rule.head)
+        body = set(rule.body)
+        for other_index, other in enumerate(ctx.rules):
+            if other_index == index:
+                continue
+            if (
+                set(other.head) == head
+                and other.universal == rule.universal
+                and set(other.body) < body
+            ):
+                out.append(
+                    make_diagnostic(
+                        "DL011",
+                        f"rule is subsumed by the more general rule "
+                        f"{other_index}: every body literal of that rule "
+                        f"already occurs here: {rule!r}",
+                        span=rule.span,
+                        rule_index=index,
+                        subsumed_by=other_index,
+                    )
+                )
+                break
+    return out
+
+
+def cartesian_pass(ctx: LintContext) -> list[Diagnostic]:
+    """DL008: positive body literals that share no variables.
+
+    A body whose positive literals split into variable-disjoint groups
+    computes a cartesian product — occasionally intentional (the paper's
+    timestamp joins in Example 4.4), usually a missing join condition.
+    (In)equality and choice literals count as connections.
+    """
+    out: list[Diagnostic] = []
+    for index, rule in enumerate(ctx.rules):
+        positives = [
+            lit for lit in rule.body
+            if isinstance(lit, Lit) and lit.positive and lit.variables()
+        ]
+        if len(positives) < 2:
+            continue
+        # Union-find over variables; every literal links its variables.
+        parent: dict[Var, Var] = {}
+
+        def find(v: Var) -> Var:
+            parent.setdefault(v, v)
+            while parent[v] != v:
+                parent[v] = parent[parent[v]]
+                v = parent[v]
+            return v
+
+        def union(group: set[Var]) -> None:
+            items = sorted(group, key=lambda v: v.name)
+            for other in items[1:]:
+                parent[find(other)] = find(items[0])
+
+        for lit in rule.body:
+            if isinstance(lit, (Lit, EqLit, ChoiceLit)) and lit.variables():
+                union(lit.variables())
+
+        components: dict[Var, list[Lit]] = {}
+        for lit in positives:
+            root = find(next(iter(lit.variables())))
+            components.setdefault(root, []).append(lit)
+        if len(components) > 1:
+            groups = [
+                "{" + ", ".join(repr(l) for l in lits) + "}"
+                for lits in components.values()
+            ]
+            out.append(
+                make_diagnostic(
+                    "DL008",
+                    f"positive body literals form a cartesian product "
+                    f"({len(components)} variable-disjoint groups: "
+                    f"{' × '.join(sorted(groups))}) in rule: {rule!r}",
+                    span=rule.span,
+                    rule_index=index,
+                    groups=len(components),
+                )
+            )
+    return out
+
+
+# -- whole-program passes ------------------------------------------------------
+
+
+def unused_pass(ctx: LintContext) -> list[Diagnostic]:
+    """DL004: idb relations derived but never consumed.
+
+    The relation a program exists to compute always matches this
+    pattern, so the finding is informational; declare ``outputs`` to
+    silence it for the intended answer relations.
+    """
+    program = ctx.program
+    if program is None:
+        return []
+    used = {
+        lit.relation
+        for rule in program.rules
+        for lit in rule.body
+        if isinstance(lit, Lit)
+    }
+    out: list[Diagnostic] = []
+    for relation in sorted(program.idb - used - ctx.outputs):
+        index, span = _first_definition(program, relation)
+        out.append(
+            make_diagnostic(
+                "DL004",
+                f"idb relation {relation!r} is derived but never used in any "
+                f"rule body (dead code unless it is the answer relation)",
+                span=span,
+                rule_index=index,
+                relation=relation,
+            )
+        )
+    return out
+
+
+def _first_definition(program: Program, relation: str):
+    for index, rule in enumerate(program.rules):
+        for lit in rule.head_literals():
+            if lit.relation == relation:
+                return index, lit.span or rule.span
+    return None, None
+
+
+def _derivable_relations(
+    program: Program, edb: frozenset[str] | None
+) -> set[str]:
+    """Least fixpoint of "can hold at least one fact".
+
+    Extensional relations are derivable (declared ``edb`` narrows which
+    relations count); an idb relation is derivable once some rule for it
+    has every *positive* body relation derivable — negative literals are
+    assumed satisfiable, which makes the analysis conservative: a
+    relation reported underivable truly can never hold a fact.
+    """
+    derivable: set[str] = set(edb if edb is not None else program.edb)
+    changed = True
+    while changed:
+        changed = False
+        for rule in program.rules:
+            if all(
+                lit.relation in derivable for lit in rule.positive_body()
+            ):
+                for head in rule.head_literals():
+                    if head.positive and head.relation not in derivable:
+                        derivable.add(head.relation)
+                        changed = True
+    return derivable
+
+
+def derivability_pass(ctx: LintContext) -> list[Diagnostic]:
+    """DL005/DL009: relations that can never hold a fact, rules that can
+    never fire.
+
+    Skipped for programs with negative heads: under Datalog¬¬ the input
+    instance may populate head relations directly (§4.2), so an idb
+    relation without a derivation is not necessarily empty.
+    """
+    program = ctx.program
+    if program is None or program.uses_negative_heads():
+        return []
+    derivable = _derivable_relations(program, ctx.edb)
+    out: list[Diagnostic] = []
+
+    for relation in sorted(program.idb - derivable):
+        index, span = _first_definition(program, relation)
+        out.append(
+            make_diagnostic(
+                "DL005",
+                f"idb relation {relation!r} has no derivation that bottoms "
+                f"out in the edb (only recursive rules define it); it can "
+                f"never hold a fact",
+                span=span,
+                rule_index=index,
+                relation=relation,
+            )
+        )
+
+    underivable_idb = program.idb - derivable
+    for index, rule in enumerate(program.rules):
+        heads = rule.head_relations()
+        for lit in rule.positive_body():
+            missing_edb = ctx.edb is not None and (
+                lit.relation not in program.idb and lit.relation not in ctx.edb
+            )
+            dead_idb = lit.relation in underivable_idb and not (
+                heads & underivable_idb
+            )
+            if missing_edb or dead_idb:
+                reason = (
+                    "is not in the declared edb and has no rules"
+                    if missing_edb
+                    else "can never hold a fact"
+                )
+                out.append(
+                    make_diagnostic(
+                        "DL009",
+                        f"rule can never fire: body relation "
+                        f"{lit.relation!r} {reason}",
+                        span=lit.span or rule.span,
+                        rule_index=index,
+                        relation=lit.relation,
+                    )
+                )
+                break
+    return out
+
+
+def stratification_pass(ctx: LintContext) -> list[Diagnostic]:
+    """DL010: the program sits above the stratified rung.
+
+    Informational: the win program is *meant* to be unstratifiable.  The
+    message names the negative cycle explicitly and, for Datalog¬¬, the
+    deletion cycle that voids the termination guarantee.
+    """
+    program, report = ctx.program, ctx.report
+    if program is None or report is None or not report.negative_cycle:
+        return []
+    cycle = report.negative_cycle
+    index, span = _cycle_rule(program, cycle)
+    if report.stratifiable is False:
+        message = (
+            f"recursion through negation ({report.cycle_text()}): stratified "
+            f"semantics unavailable; needs well-founded or inflationary "
+            f"evaluation (§3.2)"
+        )
+    elif program.uses_negative_heads():
+        message = (
+            f"recursion through deletion ({report.cycle_text()}): termination "
+            f"is no longer guaranteed (§4.2); consider `repro terminate`"
+        )
+    else:
+        return []
+    return [
+        make_diagnostic(
+            "DL010",
+            message,
+            span=span,
+            rule_index=index,
+            cycle=list(cycle),
+        )
+    ]
+
+
+def _cycle_rule(program: Program, cycle: list[str]):
+    """The first rule contributing a negative edge on the cycle."""
+    wanted = set(cycle_edges(program, cycle))
+    for edge in dependency_edges(program, include_deletion=True):
+        if not edge.positive and (edge.src, edge.dst) in wanted:
+            rule = program.rules[edge.rule_index]
+            return edge.rule_index, rule.span
+    return None, None
+
+
+#: Passes in reporting order: rule-local first, then whole-program.
+ALL_PASSES = (
+    safety_pass,
+    negation_pass,
+    singleton_pass,
+    arity_pass,
+    duplicate_pass,
+    cartesian_pass,
+    unused_pass,
+    derivability_pass,
+    stratification_pass,
+)

@@ -1,0 +1,154 @@
+"""Range-restriction (safety) checks as diagnostics.
+
+The paper's safety condition varies by rung of Figure 1 (§3.1, §3.2,
+Definition 5.1, §4.3); this module reproduces exactly the logic of the
+historical ``repro.ast.analysis._check_rule_safety`` but reports
+*every* violation as a :class:`~repro.analysis.diagnostics.Diagnostic`
+with a source span instead of raising on the first.  The exception-based
+validator is now a thin wrapper over :func:`rule_safety_diagnostics`.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import Diagnostic, make_diagnostic
+from repro.ast.program import (
+    Dialect,
+    INVENTION_DIALECTS,
+    MULTI_HEAD_DIALECTS,
+)
+from repro.ast.rules import Lit, Rule
+from repro.span import Span
+from repro.terms import Const, Var
+
+
+def positively_bound_vars(rule: Rule) -> set[Var]:
+    """Variables bound by a positive relational literal or by ``x = const``.
+
+    Iterates equality propagation: once x is bound, ``x = y`` binds y too
+    (Definition 5.1's positive binding).
+    """
+    bound: set[Var] = set()
+    for lit in rule.positive_body():
+        bound |= lit.variables()
+    changed = True
+    while changed:
+        changed = False
+        for eq in rule.equality_body():
+            if not eq.positive:
+                continue
+            left, right = eq.left, eq.right
+            if isinstance(left, Var) and left not in bound:
+                if isinstance(right, Const) or right in bound:
+                    bound.add(left)
+                    changed = True
+            if isinstance(right, Var) and right not in bound:
+                if isinstance(left, Const) or left in bound:
+                    bound.add(right)
+                    changed = True
+    return bound
+
+
+def _head_span(rule: Rule, names: list[str]) -> Span | None:
+    """The span of the first head literal mentioning one of ``names``."""
+    wanted = set(names)
+    for lit in rule.head:
+        if isinstance(lit, Lit) and {v.name for v in lit.variables()} & wanted:
+            return lit.span or rule.span
+    return rule.span
+
+
+def rule_safety_diagnostics(
+    rule: Rule, dialect: Dialect, rule_index: int | None = None
+) -> list[Diagnostic]:
+    """Every DL001 violation of ``rule`` under ``dialect``'s safety rule."""
+    head_vars = rule.head_variables()
+
+    if dialect is Dialect.DATALOG:
+        bound: set[Var] = set()
+        for lit in rule.positive_body():
+            bound |= lit.variables()
+        unsafe = head_vars - bound
+        if unsafe:
+            names = sorted(v.name for v in unsafe)
+            return [
+                make_diagnostic(
+                    "DL001",
+                    f"head variables {names} not bound by a positive body "
+                    f"literal in rule: {rule!r}",
+                    span=_head_span(rule, names),
+                    rule_index=rule_index,
+                    variables=names,
+                    dialect=dialect.value,
+                )
+            ]
+        return []
+
+    if dialect in INVENTION_DIALECTS:
+        # Invention variables are exempt (§4.3); nothing else to check —
+        # head variables either occur in the body or are invented.
+        return []
+
+    if dialect in MULTI_HEAD_DIALECTS:
+        unsafe = head_vars - positively_bound_vars(rule)
+        if unsafe:
+            names = sorted(v.name for v in unsafe)
+            return [
+                make_diagnostic(
+                    "DL001",
+                    f"head variables {names} not positively bound in rule: "
+                    f"{rule!r}",
+                    span=_head_span(rule, names),
+                    rule_index=rule_index,
+                    variables=names,
+                    dialect=dialect.value,
+                )
+            ]
+        return []
+
+    # Datalog¬ family: every head variable must occur in some body literal.
+    unsafe = head_vars - rule.body_variables()
+    if unsafe:
+        names = sorted(v.name for v in unsafe)
+        return [
+            make_diagnostic(
+                "DL001",
+                f"head variables {names} do not occur in the body of rule: "
+                f"{rule!r}",
+                span=_head_span(rule, names),
+                rule_index=rule_index,
+                variables=names,
+                dialect=dialect.value,
+            )
+        ]
+    return []
+
+
+def negation_safety_diagnostics(
+    rule: Rule, rule_index: int | None = None
+) -> list[Diagnostic]:
+    """DL002: variables that occur *only* under negation in a rule body.
+
+    Such a variable ranges over the whole active domain rather than a
+    relation — legal in the engines (which ground over adom) but almost
+    always a typo unless the variable is exported through the head (the
+    paper's CT program) or ∀-quantified (N-Datalog¬∀).
+    """
+    out: list[Diagnostic] = []
+    head_vars = rule.head_variables()
+    bound = positively_bound_vars(rule)
+    exempt = head_vars | set(rule.universal) | bound
+    seen: set[Var] = set()
+    for lit in rule.negative_body():
+        for var in sorted(lit.variables() - exempt - seen, key=lambda v: v.name):
+            seen.add(var)
+            out.append(
+                make_diagnostic(
+                    "DL002",
+                    f"variable {var.name!r} occurs only under negation in "
+                    f"rule: {rule!r} (it ranges over the whole active domain)",
+                    span=lit.span or rule.span,
+                    rule_index=rule_index,
+                    variable=var.name,
+                )
+            )
+    return out

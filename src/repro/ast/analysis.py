@@ -28,7 +28,7 @@ from repro.ast.program import (
     Program,
 )
 from repro.ast.rules import ChoiceLit, Lit, Rule
-from repro.terms import Const, Var
+from repro.terms import Var
 
 
 def precedence_graph(program: Program) -> dict[str, set[tuple[str, bool]]]:
@@ -174,69 +174,27 @@ def is_semipositive(program: Program) -> bool:
 def _positively_bound_vars(rule: Rule) -> set[Var]:
     """Variables bound by a positive relational literal or by x = const.
 
-    Iterates equality propagation: once x is bound, x = y binds y too.
+    Thin wrapper over :func:`repro.analysis.safety.positively_bound_vars`
+    (imported lazily: :mod:`repro.analysis` depends on this module).
     """
-    bound: set[Var] = set()
-    for lit in rule.positive_body():
-        bound |= lit.variables()
-    changed = True
-    while changed:
-        changed = False
-        for eq in rule.equality_body():
-            if not eq.positive:
-                continue
-            left, right = eq.left, eq.right
-            if isinstance(left, Var) and left not in bound:
-                if isinstance(right, Const) or right in bound:
-                    bound.add(left)
-                    changed = True
-            if isinstance(right, Var) and right not in bound:
-                if isinstance(left, Const) or left in bound:
-                    bound.add(right)
-                    changed = True
-    return bound
+    from repro.analysis.safety import positively_bound_vars
+
+    return positively_bound_vars(rule)
 
 
 def _check_rule_safety(rule: Rule, dialect: Dialect) -> None:
-    head_vars = rule.head_variables()
-    if dialect is Dialect.DATALOG:
-        bound = set()
-        for lit in rule.positive_body():
-            bound |= lit.variables()
-        unsafe = head_vars - bound
-        if unsafe:
-            names = sorted(v.name for v in unsafe)
-            raise SafetyError(
-                f"head variables {names} not bound by a positive body literal "
-                f"in rule: {rule!r}"
-            )
-        return
+    """Raise :class:`SafetyError` on the first range-restriction violation.
 
-    if dialect in INVENTION_DIALECTS:
-        # Invention variables are exempt; every other head variable must
-        # occur in the body.
-        body_vars = rule.body_variables()
-        # (head_vars - body_vars) are invention variables, legal here.
-        _ = body_vars
-        return
+    The actual per-dialect logic lives in the diagnostics-based
+    framework (:func:`repro.analysis.safety.rule_safety_diagnostics`);
+    this wrapper preserves the historical raise-on-first-error contract
+    that the engines and ``repro check`` rely on.
+    """
+    from repro.analysis.safety import rule_safety_diagnostics
 
-    if dialect in MULTI_HEAD_DIALECTS:
-        bound = _positively_bound_vars(rule)
-        unsafe = head_vars - bound
-        if unsafe:
-            names = sorted(v.name for v in unsafe)
-            raise SafetyError(
-                f"head variables {names} not positively bound in rule: {rule!r}"
-            )
-        return
-
-    # Datalog¬ family: every head variable must occur in some body literal.
-    unsafe = head_vars - rule.body_variables()
-    if unsafe:
-        names = sorted(v.name for v in unsafe)
-        raise SafetyError(
-            f"head variables {names} do not occur in the body of rule: {rule!r}"
-        )
+    diagnostics = rule_safety_diagnostics(rule, dialect)
+    if diagnostics:
+        raise SafetyError(diagnostics[0].message)
 
 
 def validate_program(program: Program, dialect: Dialect) -> None:

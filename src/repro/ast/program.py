@@ -68,9 +68,17 @@ INVENTION_DIALECTS = frozenset({Dialect.DATALOG_NEW, Dialect.N_DATALOG_NEW})
 class Program:
     """An immutable finite set of rules, with derived schema information."""
 
-    def __init__(self, rules: Iterable[Rule], name: str = ""):
+    def __init__(
+        self,
+        rules: Iterable[Rule],
+        name: str = "",
+        source_text: str | None = None,
+    ):
         self.rules: tuple[Rule, ...] = tuple(rules)
         self.name = name
+        #: The surface syntax this program was parsed from, when known;
+        #: diagnostics use it to quote the offending source line.
+        self.source_text = source_text
         if not self.rules:
             raise ProgramError("a program must contain at least one rule")
         self._idb = frozenset(
@@ -198,4 +206,8 @@ class Program:
 
     def with_rules(self, extra: Iterable[Rule], name: str | None = None) -> "Program":
         """A new program with additional rules appended."""
-        return Program(self.rules + tuple(extra), name if name is not None else self.name)
+        return Program(
+            self.rules + tuple(extra),
+            name if name is not None else self.name,
+            source_text=self.source_text,
+        )

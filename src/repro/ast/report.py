@@ -5,6 +5,12 @@ schema, strata, feature use) and a Graphviz rendering of the
 precedence graph — negative edges dashed, the visual form of the
 stratification condition (§3.2): the program is stratifiable iff no
 cycle contains a dashed edge.
+
+When the program *is* stratifiable, both the text report and the dot
+export show the stratum number of every predicate; when it is not, they
+name the negative cycle explicitly (via
+:func:`repro.analysis.graph.negative_cycle`) instead of omitting the
+strata section, and the dot export paints the offending edges red.
 """
 
 from __future__ import annotations
@@ -17,6 +23,20 @@ from repro.ast.analysis import (
     precedence_graph,
     stratify,
 )
+
+
+def _negative_cycle_info(program: Program):
+    """(cycle predicate path, set of cycle edges) or (None, empty set).
+
+    Uses the classic §3.2 graph (body polarity only), matching what the
+    report and the dot export display.
+    """
+    from repro.analysis.graph import cycle_edges, negative_cycle
+
+    cycle = negative_cycle(program, include_deletion=False)
+    if cycle is None:
+        return None, frozenset()
+    return cycle, frozenset(cycle_edges(program, cycle))
 
 
 def program_report(program: Program) -> str:
@@ -59,12 +79,21 @@ def program_report(program: Program) -> str:
         or program.uses_choice()
     ):
         if is_stratifiable(program):
+            strata = stratify(program)
             rendered = " | ".join(
-                "{" + ", ".join(sorted(s)) + "}" for s in stratify(program)
+                "{" + ", ".join(sorted(s)) + "}" for s in strata
             )
             lines.append(f"strata: {rendered}")
+            by_predicate = ", ".join(
+                f"{rel}={level}"
+                for level, stratum in enumerate(strata)
+                for rel in sorted(stratum)
+            )
+            lines.append(f"stratum of each predicate: {by_predicate}")
         else:
-            lines.append("strata: none (recursion through negation)")
+            cycle, _edges = _negative_cycle_info(program)
+            witness = f"; negative cycle: {' ⊣ '.join(cycle)}" if cycle else ""
+            lines.append(f"strata: none (recursion through negation{witness})")
         lines.append(f"semipositive: {is_semipositive(program)}")
 
     constants = sorted(map(repr, program.constants()))
@@ -77,16 +106,32 @@ def precedence_dot(program: Program, name: str = "precedence") -> str:
     """The precedence graph in Graphviz dot syntax.
 
     Positive edges solid, negative edges dashed; edb relations boxed.
+    Stratifiable programs annotate every node with its stratum number;
+    unstratifiable ones paint the negative-cycle edges red instead.
     """
+    from repro.analysis.graph import stratum_levels
+
     graph = precedence_graph(program)
+    levels = stratum_levels(program)
+    cycle_edge_set: frozenset = frozenset()
+    if levels is None:
+        _cycle, cycle_edge_set = _negative_cycle_info(program)
+
     lines = [f"digraph {name} {{", "  rankdir=BT;"]
     for relation in sorted(graph):
         shape = "box" if relation in program.edb else "ellipse"
-        lines.append(f'  "{relation}" [shape={shape}];')
+        attrs = f"shape={shape}"
+        if levels is not None:
+            attrs += f' xlabel="stratum {levels[relation]}"'
+        lines.append(f'  "{relation}" [{attrs}];')
     for src in sorted(graph):
         for dst, positive in sorted(graph[src]):
             style = "solid" if positive else "dashed"
             label = "" if positive else ' label="¬"'
-            lines.append(f'  "{src}" -> "{dst}" [style={style}{label}];')
+            on_cycle = (src, dst) in cycle_edge_set
+            color = ' color=red penwidth=2' if on_cycle else ""
+            lines.append(
+                f'  "{src}" -> "{dst}" [style={style}{label}{color}];'
+            )
     lines.append("}")
     return "\n".join(lines)

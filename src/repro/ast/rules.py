@@ -22,15 +22,23 @@ from typing import Hashable, Union
 
 from repro.errors import ProgramError
 from repro.logic.formula import Atom
+from repro.span import Span
 from repro.terms import Const, Term, Var, term_consts, term_vars
 
 
 @dataclass(frozen=True)
 class Lit:
-    """A (possibly negated) relational literal R(t1, …, tk)."""
+    """A (possibly negated) relational literal R(t1, …, tk).
+
+    ``span`` records where the literal sits in its source text (None for
+    literals built programmatically); it is excluded from equality and
+    hashing so that structurally identical literals compare equal
+    regardless of provenance.
+    """
 
     atom: Atom
     positive: bool = True
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def __repr__(self) -> str:
         return repr(self.atom) if self.positive else f"not {self.atom!r}"
@@ -44,7 +52,7 @@ class Lit:
         return self.atom.terms
 
     def negate(self) -> "Lit":
-        return Lit(self.atom, not self.positive)
+        return Lit(self.atom, not self.positive, span=self.span)
 
     def variables(self) -> set[Var]:
         return term_vars(self.atom.terms)
@@ -57,6 +65,7 @@ class EqLit:
     left: Term
     right: Term
     positive: bool = True
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def __repr__(self) -> str:
         op = "=" if self.positive else "!="
@@ -69,6 +78,8 @@ class EqLit:
 @dataclass(frozen=True)
 class BottomLit:
     """The inconsistency symbol ⊥ of N-Datalog¬⊥ (head position only)."""
+
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def __repr__(self) -> str:
         return "bottom"
@@ -89,6 +100,7 @@ class ChoiceLit:
 
     domain: tuple[Var, ...]
     range: tuple[Var, ...]
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if not self.range:
@@ -124,6 +136,7 @@ class Rule:
     head: tuple[HeadLiteral, ...]
     body: tuple[BodyLiteral, ...] = ()
     universal: tuple[Var, ...] = field(default=())
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if not self.head:
@@ -217,11 +230,12 @@ def make_rule(
     head: HeadLiteral | list[HeadLiteral],
     body: list[BodyLiteral] | None = None,
     universal: list[Var] | None = None,
+    span: Span | None = None,
 ) -> Rule:
     """Convenience constructor accepting a single head literal or a list."""
     if isinstance(head, (Lit, BottomLit)):
         head = [head]
-    return Rule(tuple(head), tuple(body or ()), tuple(universal or ()))
+    return Rule(tuple(head), tuple(body or ()), tuple(universal or ()), span=span)
 
 
 def atom(relation: str, *terms: Term | str | int) -> Atom:

@@ -3,14 +3,21 @@
 Usage::
 
     python -m repro check  program.dl
+    python -m repro lint   program.dl --format json --strict
     python -m repro run    program.dl --data facts.dl --semantics wellfounded
     python -m repro effects program.dl --data facts.dl --answer answer
+    python -m repro terminate program.dl --domain-size 1
 
 * ``check`` parses the program, reports its inferred dialect (the level
   of Figure 1 it sits at), schema, and stratifiability.
+* ``lint`` runs the full static-analysis suite (:mod:`repro.analysis`)
+  and reports every finding with source spans; ``--strict`` fails on
+  warnings too, ``--format json`` emits the schema-stable report.
 * ``run`` evaluates under a chosen semantics and prints the idb
   relations (or one ``--answer`` relation).
 * ``effects`` enumerates eff(P) for nondeterministic programs.
+* ``terminate`` checks termination of a Datalog¬¬ program on every
+  instance over a bounded domain (§4.2).
 
 Fact files use the same surface syntax, restricted to ground bodyless
 rules: ``G('a', 'b').``
@@ -91,6 +98,71 @@ def cmd_check(args, out) -> int:
             print("strata:   not stratifiable (recursion through negation)", file=out)
         print(f"semipositive: {is_semipositive(program)}", file=out)
     return 0
+
+
+def cmd_lint(args, out) -> int:
+    """Run the static-analysis suite over one or more program files.
+
+    Exit code 0 when every file is clean at the requested strictness,
+    1 when any finding crosses the threshold (errors by default;
+    ``--strict`` includes warnings), 2 on unreadable input.
+    """
+    from repro.analysis import lint_source, reports_to_json
+    from repro.ast.program import Dialect
+
+    dialect = None
+    if args.dialect:
+        dialect = Dialect(args.dialect)
+    declared_edb = None
+    if args.data:
+        declared_edb = sorted(load_facts(args.data).relation_names())
+
+    reports = []
+    for path in args.programs:
+        with open(path) as handle:
+            text = handle.read()
+        reports.append(
+            lint_source(
+                text,
+                name=path,
+                dialect=dialect,
+                outputs=args.answer or (),
+                edb=declared_edb,
+            )
+        )
+
+    if args.format == "json":
+        print(reports_to_json(reports), file=out)
+    else:
+        for report in reports:
+            print(report.render(), file=out)
+
+    failed = [r for r in reports if not r.ok(strict=args.strict)]
+    return 1 if failed else 0
+
+
+def cmd_terminate(args, out) -> int:
+    """Bounded termination check for Datalog¬¬ programs (§4.2)."""
+    from repro.tools.termination import check_termination_bounded
+
+    program = _load_program(args.program)
+    report = check_termination_bounded(
+        program,
+        extra_domain_size=args.domain_size,
+        max_facts_per_relation=args.max_facts,
+        max_instances=args.max_instances,
+        max_stages=args.max_stages,
+        stop_at_first=args.stop_at_first,
+    )
+    print(report.summary(), file=out)
+    witness = report.first_counterexample()
+    if witness is not None:
+        print("first nonterminating instance:", file=out)
+        for relation in sorted(witness.relation_names()):
+            for row in sorted(witness.tuples(relation), key=repr):
+                rendered = ", ".join(repr(v) for v in row)
+                print(f"  {relation}({rendered})", file=out)
+    return 0 if report.all_terminate else 1
 
 
 #: Engine picked for each deterministic dialect under --semantics auto.
@@ -290,6 +362,73 @@ def build_parser() -> argparse.ArgumentParser:
         "--dot", action="store_true", help="emit the precedence graph as Graphviz dot"
     )
 
+    lint = sub.add_parser(
+        "lint", help="run every static-analysis pass; report all findings"
+    )
+    lint.add_argument("programs", nargs="+", help="program file(s) to lint")
+    lint.add_argument(
+        "--format",
+        default="human",
+        choices=("human", "json"),
+        help="output format (default: human)",
+    )
+    lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail (exit 1) on warnings as well as errors",
+    )
+    lint.add_argument(
+        "--dialect",
+        choices=sorted(d.value for d in Dialect),
+        help="declared Figure-1 rung; safety is checked against it "
+        "(default: the inferred rung)",
+    )
+    lint.add_argument(
+        "--answer",
+        action="append",
+        metavar="RELATION",
+        help="intended output relation (repeatable; silences DL004 for it)",
+    )
+    lint.add_argument(
+        "--data",
+        help="facts file declaring the edb schema (sharpens DL009)",
+    )
+
+    terminate = sub.add_parser(
+        "terminate",
+        help="bounded termination check for Datalog¬¬ programs (§4.2)",
+    )
+    terminate.add_argument("program")
+    terminate.add_argument(
+        "--domain-size",
+        type=int,
+        default=1,
+        help="extra constants beyond those in the program (default: 1)",
+    )
+    terminate.add_argument(
+        "--max-facts",
+        type=int,
+        default=None,
+        help="cap on facts per relation in generated instances",
+    )
+    terminate.add_argument(
+        "--max-instances",
+        type=int,
+        default=100_000,
+        help="cap on the number of instances tried (default: 100000)",
+    )
+    terminate.add_argument(
+        "--max-stages",
+        type=int,
+        default=10_000,
+        help="stage budget before declaring nontermination (default: 10000)",
+    )
+    terminate.add_argument(
+        "--stop-at-first",
+        action="store_true",
+        help="stop at the first nonterminating instance",
+    )
+
     run = sub.add_parser("run", help="evaluate under a deterministic semantics")
     run.add_argument("program")
     run.add_argument("--data", help="facts file (ground bodyless rules)")
@@ -347,6 +486,10 @@ def main(argv: list[str] | None = None, out=None) -> int:
     try:
         if args.command == "check":
             return cmd_check(args, out)
+        if args.command == "lint":
+            return cmd_lint(args, out)
+        if args.command == "terminate":
+            return cmd_terminate(args, out)
         if args.command == "run":
             return cmd_run(args, out)
         if args.command == "stats":

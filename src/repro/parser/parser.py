@@ -33,6 +33,7 @@ from repro.ast.rules import (
 )
 from repro.logic.formula import Atom
 from repro.parser.lexer import KEYWORDS, Token, TokenKind, tokenize
+from repro.span import Span
 from repro.terms import Const, Term, Var
 
 
@@ -64,6 +65,11 @@ class _Parser:
         tok = self._peek()
         return tok.kind is TokenKind.BANG or tok.is_keyword("not")
 
+    def _span_from(self, start: Token) -> Span:
+        """Span from ``start`` through the most recently consumed token."""
+        end = self._tokens[self._pos - 1] if self._pos else start
+        return Span(start.line, start.column, end.line, end.column + len(end.text))
+
     # -- grammar ---------------------------------------------------------------
 
     def parse_program(self) -> list[Rule]:
@@ -76,6 +82,7 @@ class _Parser:
         return rules
 
     def parse_rule(self) -> Rule:
+        start = self._peek()
         head = [self._parse_head_literal()]
         while self._peek().kind is TokenKind.COMMA:
             self._advance()
@@ -91,7 +98,9 @@ class _Parser:
                     self._advance()
                     body.append(self._parse_body_literal())
         self._expect(TokenKind.PERIOD)
-        return Rule(tuple(head), tuple(body), tuple(universal))
+        return Rule(
+            tuple(head), tuple(body), tuple(universal), span=self._span_from(start)
+        )
 
     def _parse_universal_prefix(self) -> list[Var]:
         if not self._peek().is_keyword("forall"):
@@ -115,41 +124,45 @@ class _Parser:
         tok = self._peek()
         if tok.is_keyword("bottom"):
             self._advance()
-            return BottomLit()
+            return BottomLit(span=self._span_from(tok))
         positive = True
         if self._at_negation():
             self._advance()
             positive = False
-        return Lit(self._parse_atom(), positive)
+        atom = self._parse_atom()
+        return Lit(atom, positive, span=self._span_from(tok))
 
     def _parse_body_literal(self) -> BodyLiteral:
+        start = self._peek()
         if self._at_negation():
             self._advance()
-            return Lit(self._parse_atom(), False)
+            atom = self._parse_atom()
+            return Lit(atom, False, span=self._span_from(start))
         tok = self._peek()
         if tok.is_keyword("choice"):
             return self._parse_choice()
         # A leading constant can only begin an (in)equality literal.
         if tok.kind in (TokenKind.STRING, TokenKind.NUMBER):
             left = self._parse_term()
-            return self._parse_equality_tail(left)
+            return self._parse_equality_tail(left, start)
         if tok.kind is TokenKind.IDENT:
             after = self._peek(1)
             if after.kind in (TokenKind.EQ, TokenKind.NEQ):
                 left = self._parse_term()
-                return self._parse_equality_tail(left)
-            return Lit(self._parse_atom(), True)
+                return self._parse_equality_tail(left, start)
+            atom = self._parse_atom()
+            return Lit(atom, True, span=self._span_from(start))
         raise ParseError(f"unexpected token {tok.text!r}", tok.line, tok.column)
 
     def _parse_choice(self) -> "ChoiceLit":
         """``choice((x, …), (y, …))`` — LDL's choice goal."""
-        self._advance()  # the 'choice' keyword
+        start = self._advance()  # the 'choice' keyword
         self._expect(TokenKind.LPAREN)
         domain = self._parse_var_group()
         self._expect(TokenKind.COMMA)
         range_vars = self._parse_var_group()
         self._expect(TokenKind.RPAREN)
-        return ChoiceLit(domain, range_vars)
+        return ChoiceLit(domain, range_vars, span=self._span_from(start))
 
     def _parse_var_group(self) -> tuple[Var, ...]:
         self._expect(TokenKind.LPAREN)
@@ -170,14 +183,14 @@ class _Parser:
         self._expect(TokenKind.RPAREN)
         return tuple(variables)
 
-    def _parse_equality_tail(self, left: Term) -> EqLit:
+    def _parse_equality_tail(self, left: Term, start: Token) -> EqLit:
         op = self._advance()
         if op.kind not in (TokenKind.EQ, TokenKind.NEQ):
             raise ParseError(
                 f"expected '=' or '!=', found {op.text!r}", op.line, op.column
             )
         right = self._parse_term()
-        return EqLit(left, right, op.kind is TokenKind.EQ)
+        return EqLit(left, right, op.kind is TokenKind.EQ, span=self._span_from(start))
 
     def _parse_atom(self) -> Atom:
         tok = self._expect(TokenKind.IDENT)
@@ -233,7 +246,9 @@ def parse_program(
     ``dialect=None`` skips validation, which callers typically defer to
     the semantics engine they hand the program to.
     """
-    program = Program(_Parser(tokenize(text)).parse_program(), name=name)
+    program = Program(
+        _Parser(tokenize(text)).parse_program(), name=name, source_text=text
+    )
     if dialect is not None:
         validate_program(program, dialect)
     return program

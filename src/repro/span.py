@@ -1,0 +1,62 @@
+"""Source spans: where a syntactic construct sits in its source text.
+
+The lexer has always tracked line/column per token; a :class:`Span`
+carries that information through the parser onto the AST so that
+static-analysis diagnostics (:mod:`repro.analysis`) can point at the
+exact rule or literal that triggered them, the way any production
+compiler front end does.
+
+Lines and columns are 1-based; ``end_column`` is exclusive (the column
+one past the last character), so a one-character token at line 1,
+column 3 has the span ``1:3-1:4``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Span:
+    """A contiguous region of source text, inclusive start / exclusive end."""
+
+    line: int
+    column: int
+    end_line: int
+    end_column: int
+
+    def __post_init__(self) -> None:
+        if self.line < 1 or self.column < 1:
+            raise ValueError(f"span start must be 1-based: {self}")
+        if (self.end_line, self.end_column) < (self.line, self.column):
+            raise ValueError(f"span ends before it starts: {self}")
+
+    def __str__(self) -> str:
+        if self.end_line == self.line:
+            return f"{self.line}:{self.column}-{self.end_column}"
+        return f"{self.line}:{self.column}-{self.end_line}:{self.end_column}"
+
+    def merge(self, other: "Span | None") -> "Span":
+        """The smallest span covering both ``self`` and ``other``."""
+        if other is None:
+            return self
+        start = min((self.line, self.column), (other.line, other.column))
+        end = max(
+            (self.end_line, self.end_column), (other.end_line, other.end_column)
+        )
+        return Span(start[0], start[1], end[0], end[1])
+
+    def to_dict(self) -> dict[str, int]:
+        return {
+            "line": self.line,
+            "column": self.column,
+            "end_line": self.end_line,
+            "end_column": self.end_column,
+        }
+
+    def source_line(self, text: str) -> str | None:
+        """The first source line this span covers, if ``text`` has it."""
+        lines = text.splitlines()
+        if 1 <= self.line <= len(lines):
+            return lines[self.line - 1]
+        return None

@@ -1,0 +1,174 @@
+"""The Figure-1 dialect classifier.
+
+Every bundled paper program must land on its documented rung, the
+win/flip-flop negative cycles must be named as explicit predicate
+paths, and — the differential check — the classifier's stratifiability
+verdict must agree with the stratified engine on a population of seeded
+random programs.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import classify
+from repro.ast.program import Dialect
+from repro.errors import StratificationError
+from repro.parser import parse_program
+from repro.relational import Database
+from repro.semantics import evaluate_stratified
+
+
+class TestBundledRungs:
+    CASES = [
+        ("tc", "tc_program", Dialect.DATALOG),
+        ("tc", "tc_nonlinear_program", Dialect.DATALOG),
+        ("tc", "ctc_stratified_program", Dialect.STRATIFIED),
+        ("win", "win_program", Dialect.DATALOG_NEG),
+        ("flip_flop", "flip_flop_program", Dialect.DATALOG_NEGNEG),
+        ("good_nodes", "good_nodes_program", Dialect.DATALOG_NEG),
+        ("closer", "closer_program", Dialect.STRATIFIED),
+        ("ctc_inflationary", "ctc_inflationary_program", Dialect.STRATIFIED),
+        ("evenness", "evenness_stratified_program", Dialect.STRATIFIED),
+        ("evenness", "evenness_semipositive_program", Dialect.SEMIPOSITIVE),
+        ("evenness", "evenness_inflationary_program", Dialect.STRATIFIED),
+        ("orientation", "orientation_program", Dialect.DATALOG_NEGNEG),
+        ("parity_chain", "parity_chain_program", Dialect.N_DATALOG_NEW),
+        ("proj_diff", "proj_diff_negneg_program", Dialect.N_DATALOG_NEGNEG),
+        ("proj_diff", "proj_diff_bottom_program", Dialect.N_DATALOG_BOTTOM),
+        ("proj_diff", "proj_diff_forall_program", Dialect.N_DATALOG_FORALL),
+        ("hamiltonian", "successor_guess_program", Dialect.N_DATALOG_NEG),
+        ("same_generation", "same_generation_program", Dialect.DATALOG),
+    ]
+
+    @pytest.mark.parametrize(
+        "module,factory,rung", CASES, ids=[c[1] for c in CASES]
+    )
+    def test_rung(self, module, factory, rung):
+        import importlib
+
+        program = getattr(
+            importlib.import_module(f"repro.programs.{module}"), factory
+        )()
+        report = classify(program)
+        assert report.rung is rung, (
+            f"{factory}: expected {rung.value}, got {report.rung.value}\n"
+            f"{report.describe()}"
+        )
+
+
+class TestCycleWitnesses:
+    def test_win_cycle(self):
+        from repro.programs.win import win_program
+
+        report = classify(win_program())
+        assert report.stratifiable is False
+        assert list(report.negative_cycle) == ["win", "win"]
+        assert report.cycle_text() == "win ⊣ win"
+
+    def test_flip_flop_deletion_cycle(self):
+        from repro.programs.flip_flop import flip_flop_program
+
+        report = classify(flip_flop_program())
+        # All body literals are positive, so the classic §3.2 graph has
+        # no negative cycle; the deletion edge supplies one (§4.2).
+        assert list(report.negative_cycle) == ["T", "T"]
+
+    def test_mutual_recursion_cycle_path(self):
+        report = classify(parse_program(
+            "a(x) :- e(x), not b(x).\nb(x) :- e(x), not a(x)."
+        ))
+        assert report.stratifiable is False
+        cycle = report.negative_cycle
+        assert cycle is not None
+        assert cycle[0] == cycle[-1]
+        assert set(cycle) == {"a", "b"}
+
+    def test_stratifiable_program_has_no_cycle(self):
+        report = classify(parse_program(
+            "t(x, y) :- g(x, y).\nct(x, y) :- v(x), v(y), not t(x, y)."
+        ))
+        assert report.stratifiable is True
+        assert report.negative_cycle is None
+
+    def test_evidence_cites_rules(self):
+        report = classify(parse_program(
+            "t(x, y) :- g(x, y).\nnot t(x, y) :- h(x, y)."
+        ))
+        features = report.features()
+        assert "negative-head" in features
+        deletion = [e for e in report.evidence if e.feature == "negative-head"]
+        assert deletion and deletion[0].rule_index == 1
+        assert deletion[0].span is not None
+
+
+def random_program(seed: int) -> str:
+    """A small random Datalog¬ program, always safe, often recursive.
+
+    Heads are bound through a positive literal over the shared unary
+    schema, so the only dialect question left is stratifiability.
+    """
+    rng = random.Random(seed)
+    idb = ["p", "q", "r", "s"][: rng.randint(2, 4)]
+    lines = []
+    for _ in range(rng.randint(3, 6)):
+        head = rng.choice(idb)
+        body = [f"e(x)"]
+        for _ in range(rng.randint(0, 2)):
+            relation = rng.choice(idb + ["e"])
+            negated = relation != "e" and rng.random() < 0.45
+            body.append(f"not {relation}(x)" if negated else f"{relation}(x)")
+        lines.append(f"{head}(x) :- {', '.join(body)}.")
+    return "\n".join(lines)
+
+
+class TestDifferential:
+    """Classifier verdict vs. actual stratified-engine behavior."""
+
+    SEEDS = range(30)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_classifier_agrees_with_engine(self, seed):
+        program = parse_program(random_program(seed), name=f"seed-{seed}")
+        report = classify(program)
+        assert report.rung in (
+            Dialect.DATALOG,
+            Dialect.SEMIPOSITIVE,
+            Dialect.STRATIFIED,
+            Dialect.DATALOG_NEG,
+        )
+        db = Database({"e": [("a",), ("b",)]})
+        try:
+            evaluate_stratified(program, db)
+            engine_accepts = True
+        except StratificationError:
+            engine_accepts = False
+
+        if report.stratifiable is None:
+            # Rung below the question (plain Datalog): engine must accept.
+            assert report.rung is Dialect.DATALOG
+            assert engine_accepts
+        else:
+            assert report.stratifiable == engine_accepts, (
+                f"seed {seed}: classifier says stratifiable="
+                f"{report.stratifiable}, engine accepts={engine_accepts}\n"
+                f"{random_program(seed)}"
+            )
+        # The rung itself must agree too: at or below stratified iff the
+        # engine accepts.
+        below = report.rung in (
+            Dialect.DATALOG, Dialect.SEMIPOSITIVE, Dialect.STRATIFIED
+        )
+        assert below == engine_accepts
+
+    def test_population_is_interesting(self):
+        """The seeds must cover both outcomes, or the test proves nothing."""
+        verdicts = set()
+        for seed in self.SEEDS:
+            program = parse_program(random_program(seed))
+            report = classify(program)
+            verdicts.add(
+                report.stratifiable if report.stratifiable is not None
+                else True
+            )
+        assert verdicts == {True, False}

@@ -1,0 +1,123 @@
+"""CLI coverage for ``repro lint`` and ``repro terminate``."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+@pytest.fixture
+def clean_program(tmp_path):
+    path = tmp_path / "tc.dl"
+    path.write_text("T(x, y) :- G(x, y).\nT(x, y) :- G(x, z), T(z, y).\n")
+    return str(path)
+
+
+@pytest.fixture
+def warning_program(tmp_path):
+    path = tmp_path / "warn.dl"
+    path.write_text("p(x) :- q(x), not r(x, y).\n")
+    return str(path)
+
+
+@pytest.fixture
+def error_program(tmp_path):
+    path = tmp_path / "err.dl"
+    path.write_text("p(x) :- q(x).\np(x, y) :- q(x), q(y).\n")
+    return str(path)
+
+
+class TestLintCommand:
+    def test_clean_exits_zero(self, clean_program):
+        code, output = run_cli(["lint", clean_program])
+        assert code == 0
+        assert "0 error(s), 0 warning(s)" in output
+        assert "dialect datalog" in output
+
+    def test_error_exits_one(self, error_program):
+        code, output = run_cli(["lint", error_program])
+        assert code == 1
+        assert "DL006-arity-mismatch" in output
+
+    def test_warning_passes_by_default_fails_strict(self, warning_program):
+        code, _ = run_cli(["lint", warning_program])
+        assert code == 0
+        code, output = run_cli(["lint", "--strict", warning_program])
+        assert code == 1
+        assert "DL002-unsafe-negated-var" in output
+
+    def test_findings_carry_file_and_position(self, warning_program):
+        _, output = run_cli(["lint", warning_program])
+        assert f"{warning_program}:1:15: warning" in output
+        assert "    | p(x) :- q(x), not r(x, y)." in output
+
+    def test_json_format(self, warning_program):
+        code, output = run_cli(["lint", "--format", "json", warning_program])
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["version"] == 1
+        program = payload["programs"][0]
+        assert program["name"] == warning_program
+        assert program["summary"]["warnings"] == 1
+
+    def test_multiple_files_one_bad_fails(self, clean_program, error_program):
+        code, output = run_cli(["lint", clean_program, error_program])
+        assert code == 1
+        assert clean_program in output and error_program in output
+
+    def test_declared_dialect_tightens_safety(self, tmp_path):
+        path = tmp_path / "loose.dl"
+        path.write_text("p(y) :- q(x), not r(x, y).\n")
+        code, _ = run_cli(["lint", str(path)])
+        assert code == 0  # datalog-neg binding: ok
+        code, output = run_cli(["lint", "--dialect", "datalog", str(path)])
+        assert code == 1
+        assert "DL001-unsafe-head-var" in output
+
+    def test_answer_flag_silences_unused(self, tmp_path):
+        path = tmp_path / "ans.dl"
+        path.write_text("a(x) :- e(x).\nb(x) :- a(x).\n")
+        _, noisy = run_cli(["lint", str(path)])
+        assert "DL004" in noisy
+        _, quiet = run_cli(["lint", "--answer", "b", str(path)])
+        assert "DL004" not in quiet
+
+    def test_parse_error_reported_not_raised(self, tmp_path):
+        path = tmp_path / "broken.dl"
+        path.write_text("T(x :- G(x).\n")
+        code, output = run_cli(["lint", str(path)])
+        assert code == 1
+        assert "DL000-parse-error" in output
+
+
+class TestTerminateCommand:
+    def test_terminating_program(self, clean_program):
+        code, output = run_cli(
+            ["terminate", clean_program, "--max-instances", "50"]
+        )
+        assert code == 0
+        assert "terminates on every instance" in output
+
+    def test_nonterminating_program(self, tmp_path):
+        path = tmp_path / "osc.dl"
+        path.write_text(
+            "T(x) :- G(x), not H(x).\n"
+            "H(x) :- T(x).\n"
+            "not T(x) :- H(x).\n"
+            "not H(x) :- H(x).\n"
+        )
+        code, output = run_cli(
+            ["terminate", str(path), "--max-instances", "50",
+             "--stop-at-first"]
+        )
+        assert code == 1
+        assert "nonterminating instance" in output
+        assert "G(" in output  # the witness instance is printed

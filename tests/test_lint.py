@@ -1,0 +1,328 @@
+"""The diagnostics framework: codes, passes, driver, JSON schema.
+
+The acceptance bar: at least eight distinct diagnostic codes fire with
+source spans, the JSON output is schema-stable, and every bundled paper
+program is clean under ``--strict``.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    CODES,
+    CODES_BY_NAME,
+    Diagnostic,
+    JSON_SCHEMA_VERSION,
+    Severity,
+    lint,
+    lint_source,
+    make_diagnostic,
+    reports_to_json,
+)
+from repro.ast.program import Dialect
+from repro.parser import parse_program
+
+
+def codes_of(report) -> set[str]:
+    return {d.code for d in report.diagnostics}
+
+
+class TestDiagnosticModel:
+    def test_registry_is_consistent(self):
+        for code, entry in CODES.items():
+            assert entry.code == code
+            assert code.startswith("DL") and len(code) == 5
+            assert CODES_BY_NAME[entry.name] is entry
+            assert entry.summary
+            assert isinstance(entry.severity, Severity)
+
+    def test_registry_has_at_least_eight_codes(self):
+        assert len(CODES) >= 8
+
+    def test_label_and_render(self):
+        d = make_diagnostic("DL001", "boom")
+        assert d.label == "DL001-unsafe-head-var"
+        assert d.severity is Severity.ERROR
+        rendered = d.render("f.dl")
+        assert rendered.startswith("f.dl: error DL001-unsafe-head-var: boom")
+
+    def test_render_with_span(self):
+        from repro.span import Span
+
+        d = make_diagnostic("DL003", "lonely", span=Span(2, 5, 2, 6))
+        assert d.render("f.dl").startswith("f.dl:2:5: info")
+
+    def test_payload_round_trip(self):
+        d = make_diagnostic("DL006", "arity", relation="R", seen=2, got=3)
+        assert d.get("relation") == "R"
+        assert d.to_dict()["payload"] == {"relation": "R", "seen": 2, "got": 3}
+
+    def test_severity_ordering_and_str(self):
+        assert Severity.INFO < Severity.WARNING < Severity.ERROR
+        assert str(Severity.WARNING) == "warning"
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(KeyError):
+            make_diagnostic("DL999", "nope")
+
+
+class TestPasses:
+    """Each diagnostic code fires on a crafted trigger, with a span."""
+
+    def assert_fires(self, report, code):
+        found = [d for d in report.diagnostics if d.code == code]
+        assert found, f"{code} did not fire; got {codes_of(report)}"
+        assert all(d.span is not None for d in found), f"{code} lacks spans"
+        return found
+
+    def test_dl000_parse_error(self):
+        report = lint_source("T(x :- G(x).")
+        self.assert_fires(report, "DL000")
+        assert not report.ok()
+
+    def test_dl001_unsafe_head_var(self):
+        report = lint_source("p(x, y) :- q(x).", dialect=Dialect.DATALOG)
+        found = self.assert_fires(report, "DL001")
+        assert "y" in found[0].message
+
+    def test_dl001_negative_binding_insufficient_in_plain_datalog(self):
+        # Datalog¬ accepts body-occurrence binding; plain Datalog does not.
+        source = "p(x) :- q(x), not r(x, y), s(y)."
+        assert "DL001" not in codes_of(lint_source(source))
+        report = lint_source("p(y) :- q(x), not r(x, y).",
+                             dialect=Dialect.DATALOG)
+        self.assert_fires(report, "DL001")
+
+    def test_dl002_unsafe_negated_var(self):
+        report = lint_source("p(x) :- q(x), not r(x, y).")
+        found = self.assert_fires(report, "DL002")
+        assert "y" in found[0].message
+
+    def test_dl002_not_fired_for_ctc_idiom(self):
+        # CT(x,y) :- not T(x,y): head vars may appear only under negation.
+        report = lint_source("CT(x, y) :- not T(x, y).")
+        assert "DL002" not in codes_of(report)
+
+    def test_dl003_singleton_var(self):
+        report = lint_source("p(x) :- q(x, y).")
+        self.assert_fires(report, "DL003")
+
+    def test_dl003_respects_underscore_convention(self):
+        report = lint_source("p(x) :- q(x, _y).")
+        assert "DL003" not in codes_of(report)
+
+    def test_dl004_unused_predicate(self):
+        report = lint_source("a(x) :- e(x).\nb(x) :- a(x).")
+        found = self.assert_fires(report, "DL004")
+        assert found[0].get("relation") == "b"
+
+    def test_dl004_silenced_by_outputs(self):
+        report = lint_source("a(x) :- e(x).\nb(x) :- a(x).", outputs=("b",))
+        assert "DL004" not in codes_of(report)
+
+    def test_dl005_underivable_predicate(self):
+        # q is idb (it has a rule) but its only rule needs q itself.
+        source = "q(x) :- q(x).\np(x) :- q(x)."
+        report = lint_source(source, outputs=("p",))
+        self.assert_fires(report, "DL005")
+
+    def test_dl006_arity_mismatch(self):
+        report = lint_source("p(x) :- e(x).\np(x, y) :- e(x), e(y).")
+        found = self.assert_fires(report, "DL006")
+        assert not report.ok()
+        assert found[0].get("relation") == "p"
+
+    def test_dl007_duplicate_rule(self):
+        source = "t(x, y) :- g(x, y).\nt(a, b) :- g(a, b)."
+        report = lint_source(source)
+        self.assert_fires(report, "DL007")
+
+    def test_dl008_cartesian_product(self):
+        report = lint_source("p(x, y) :- q(x), r(y).")
+        self.assert_fires(report, "DL008")
+
+    def test_dl008_connected_by_equality_is_clean(self):
+        report = lint_source("p(x, y) :- q(x), r(y), x = y.")
+        assert "DL008" not in codes_of(report)
+
+    def test_dl009_never_fires_dead_idb(self):
+        # r is underivable; p is derivable elsewhere, so the rule that
+        # consumes r is pure dead weight.
+        source = (
+            "r(x) :- r(x).\n"
+            "p(x) :- e(x).\n"
+            "p(x) :- e(x), r(x)."
+        )
+        report = lint_source(source, outputs=("p",), edb=["e"])
+        found = self.assert_fires(report, "DL009")
+        assert found[0].rule_index == 2
+
+    def test_dl009_never_fires_missing_edb(self):
+        # f is neither idb nor in the declared edb.
+        report = lint_source("p(x) :- f(x).", outputs=("p",), edb=["e"])
+        self.assert_fires(report, "DL009")
+
+    def test_dl010_unstratifiable(self):
+        report = lint_source("win(x) :- move(x, y), not win(y).")
+        found = self.assert_fires(report, "DL010")
+        assert "win ⊣ win" in found[0].message
+        assert report.ok(strict=True)  # INFO: a dialect fact, not a bug
+
+    def test_dl011_subsumed_rule(self):
+        source = "t(x, y) :- g(x, y).\nt(x, y) :- g(x, y), e(x)."
+        report = lint_source(source)
+        self.assert_fires(report, "DL011")
+
+    def test_at_least_eight_codes_fire_with_spans(self):
+        sources = [
+            ("T(x :- G(x).", None, (), None),
+            ("p(x, y) :- q(x).", Dialect.DATALOG, (), None),
+            ("p(x) :- q(x), not r(x, y).", None, (), None),
+            ("p(x) :- q(x, y).", None, (), None),
+            ("a(x) :- e(x).\nb(x) :- a(x).", None, (), None),
+            ("p(x) :- f(x).", None, ("p",), ["e"]),
+            ("p(x) :- e(x).\np(x, y) :- e(x), e(y).", None, (), None),
+            ("t(x, y) :- g(x, y).\nt(a, b) :- g(a, b).", None, (), None),
+            ("p(x, y) :- q(x), r(y).", None, (), None),
+            ("win(x) :- move(x, y), not win(y).", None, (), None),
+            ("t(x, y) :- g(x, y).\nt(x, y) :- g(x, y), e(x).", None, (), None),
+        ]
+        fired = set()
+        for source, dialect, outputs, edb in sources:
+            report = lint_source(
+                source, dialect=dialect, outputs=outputs, edb=edb
+            )
+            fired |= {d.code for d in report.diagnostics if d.span is not None}
+        assert len(fired) >= 8, f"only {sorted(fired)} fired with spans"
+
+
+class TestDriver:
+    def test_ok_policy(self):
+        clean = lint_source("t(x, y) :- g(x, y).")
+        assert clean.ok() and clean.ok(strict=True)
+
+        info_only = lint_source("p(x) :- q(x, y).")
+        assert info_only.infos and info_only.ok(strict=True)
+
+        warning = lint_source("p(x) :- q(x), not r(x, y).")
+        assert warning.warnings
+        assert warning.ok() and not warning.ok(strict=True)
+
+        error = lint_source("p(x) :- q(x).\np(x, y) :- q(x), q(y).")
+        assert error.errors and not error.ok()
+
+    def test_lint_accepts_program_object(self):
+        program = parse_program("t(x, y) :- g(x, y).", name="tc")
+        report = lint(program)
+        assert report.name == "tc"
+        assert report.dialect.rung is Dialect.DATALOG
+
+    def test_diagnostics_sorted_by_position(self):
+        source = "b(x) :- e(x, y).\na(x) :- e(x, w)."
+        report = lint_source(source)
+        lines = [d.span.line for d in report.diagnostics if d.span]
+        assert lines == sorted(lines)
+
+    def test_render_quotes_source_line(self):
+        report = lint_source("p(x) :- q(x, y).", name="f.dl")
+        rendered = report.render()
+        assert "    | p(x) :- q(x, y)." in rendered
+        assert "f.dl: dialect datalog" in rendered
+
+
+class TestJsonSchema:
+    """The JSON shape is a public contract; these assertions pin it."""
+
+    def test_envelope(self):
+        report = lint_source("p(x) :- q(x, y).", name="f.dl")
+        payload = json.loads(report.to_json())
+        assert payload["version"] == JSON_SCHEMA_VERSION
+        assert isinstance(payload["programs"], list)
+
+    def test_program_keys(self):
+        payload = json.loads(
+            lint_source("p(x) :- q(x, y).", name="f.dl").to_json()
+        )
+        program = payload["programs"][0]
+        assert set(program) == {"name", "dialect", "diagnostics", "summary"}
+        assert set(program["summary"]) == {"errors", "warnings", "infos"}
+
+    def test_diagnostic_keys(self):
+        payload = json.loads(
+            lint_source("p(x) :- q(x, y).", name="f.dl").to_json()
+        )
+        diagnostic = payload["programs"][0]["diagnostics"][0]
+        assert set(diagnostic) == {
+            "code", "name", "severity", "message", "span", "rule", "payload",
+        }
+        assert set(diagnostic["span"]) == {
+            "line", "column", "end_line", "end_column",
+        }
+
+    def test_dialect_keys(self):
+        payload = json.loads(
+            lint_source("win(x) :- m(x, y), not win(y).").to_json()
+        )
+        dialect = payload["programs"][0]["dialect"]
+        assert set(dialect) == {
+            "rung", "description", "features", "evidence",
+            "stratifiable", "semipositive", "negative_cycle",
+        }
+        assert dialect["rung"] == "datalog-neg"
+        assert dialect["negative_cycle"] == ["win", "win"]
+
+    def test_multi_program_envelope(self):
+        reports = [
+            lint_source("a(x) :- e(x).", name="one"),
+            lint_source("b(x) :- e(x).", name="two"),
+        ]
+        payload = json.loads(reports_to_json(reports))
+        assert [p["name"] for p in payload["programs"]] == ["one", "two"]
+
+
+BUNDLED_SOURCES = {}
+
+
+def _collect_bundled():
+    import importlib
+
+    def src(module, attr):
+        return getattr(
+            importlib.import_module(f"repro.programs.{module}"), attr
+        )
+
+    return {
+        "tc": src("tc", "TC_SOURCE"),
+        "tc-nonlinear": src("tc", "TC_NONLINEAR_SOURCE"),
+        "ctc-stratified": src("tc", "CTC_STRATIFIED_SOURCE"),
+        "win": src("win", "WIN_SOURCE"),
+        "flip-flop": src("flip_flop", "FLIP_FLOP_SOURCE"),
+        "good-nodes": src("good_nodes", "GOOD_NODES_SOURCE"),
+        "closer": src("closer", "CLOSER_SOURCE"),
+        "ctc-inflationary": src("ctc_inflationary", "CTC_INFLATIONARY_SOURCE"),
+        "evenness-stratified": src("evenness", "EVENNESS_STRATIFIED_SOURCE"),
+        "evenness-inflationary": src(
+            "evenness", "EVENNESS_INFLATIONARY_SOURCE"
+        ),
+        "evenness-semipositive": src(
+            "evenness", "EVENNESS_SEMIPOSITIVE_SOURCE"
+        ),
+        "evenness-generic": src("evenness_generic", "EVENNESS_GENERIC_SOURCE"),
+        "orientation": src("orientation", "ORIENTATION_SOURCE"),
+        "parity-chain": src("parity_chain", "PARITY_CHAIN_SOURCE"),
+        "proj-diff-negneg": src("proj_diff", "NEGNEG_SOURCE"),
+        "proj-diff-bottom": src("proj_diff", "BOTTOM_SOURCE"),
+        "proj-diff-forall": src("proj_diff", "FORALL_SOURCE"),
+        "hamiltonian-guess": src("hamiltonian", "GUESS_SOURCE"),
+        "same-generation": src("same_generation", "SAME_GENERATION_SOURCE"),
+    }
+
+
+class TestBundledProgramsStrictClean:
+    @pytest.mark.parametrize("name", sorted(_collect_bundled()))
+    def test_strict_clean(self, name):
+        report = lint_source(_collect_bundled()[name], name=name)
+        assert report.ok(strict=True), (
+            f"{name} not strict-clean:\n{report.render()}"
+        )

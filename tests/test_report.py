@@ -18,12 +18,14 @@ class TestReport:
     def test_stratified_report_shows_levels(self):
         report = program_report(ctc_stratified_program())
         assert "strata: {G, T} | {CT}" in report
+        assert "stratum of each predicate: G=0, T=0, CT=1" in report
         assert "semipositive: False" in report
 
     def test_win_report(self):
         report = program_report(win_program())
         assert "dialect: datalog-neg" in report
         assert "recursion through negation" in report
+        assert "negative cycle: win ⊣ win" in report
 
     def test_flip_flop_report(self):
         report = program_report(flip_flop_program())
@@ -43,14 +45,22 @@ class TestReport:
 class TestDot:
     def test_nodes_and_edges(self):
         dot = precedence_dot(ctc_stratified_program())
-        assert '"G" [shape=box];' in dot
-        assert '"T" [shape=ellipse];' in dot
+        assert '"G" [shape=box xlabel="stratum 0"];' in dot
+        assert '"T" [shape=ellipse xlabel="stratum 0"];' in dot
+        assert '"CT" [shape=ellipse xlabel="stratum 1"];' in dot
         assert '"G" -> "T" [style=solid];' in dot
         assert '"T" -> "CT" [style=dashed label="¬"];' in dot
 
     def test_self_loop_for_recursion(self):
         dot = precedence_dot(win_program())
-        assert '"win" -> "win" [style=dashed label="¬"];' in dot
+        assert (
+            '"win" -> "win" [style=dashed label="¬" color=red penwidth=2];'
+            in dot
+        )
+
+    def test_unstratifiable_nodes_have_no_stratum(self):
+        dot = precedence_dot(win_program())
+        assert "xlabel" not in dot
 
     def test_valid_digraph_braces(self):
         dot = precedence_dot(ctc_stratified_program())

@@ -3,11 +3,46 @@
 Every module regenerates one experiment from DESIGN.md's index; the
 assertions inside the benchmarks check the *shape* the paper predicts
 (who wins, what scales how), not absolute numbers.
+
+Benchmarks that evaluate an engine additionally record one
+:class:`~repro.obs.bench.BenchRecord` each through the
+``bench_artifact`` fixture; when any were recorded, the session writes
+the schema-pinned ``BENCH_engines.json`` artifact on exit (path
+overridable via ``REPRO_BENCH_ARTIFACT``) so the performance
+trajectory is machine-readable across commits.
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+_RECORDS = []
+
+
+class _BenchArtifact:
+    """The ``bench_artifact`` fixture's API: ``record(...)`` one run."""
+
+    @staticmethod
+    def record(benchmark: str, engine: str, size: int, stats) -> None:
+        from repro.obs.bench import BenchRecord
+
+        _RECORDS.append(BenchRecord.from_stats(benchmark, engine, size, stats))
+
+
+@pytest.fixture
+def bench_artifact():
+    """Collects (benchmark, engine, size, EngineStats) measurements."""
+    return _BenchArtifact
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if _RECORDS:
+        from repro.obs.bench import write_bench_artifact
+
+        path = os.environ.get("REPRO_BENCH_ARTIFACT", "BENCH_engines.json")
+        write_bench_artifact(_RECORDS, path)
 
 
 def pytest_collection_modifyitems(items):

@@ -5,6 +5,7 @@ Usage::
     python -m repro check  program.dl
     python -m repro lint   program.dl --format json --strict
     python -m repro run    program.dl --data facts.dl --semantics wellfounded
+    python -m repro profile program.dl --data facts.dl --top 5 --sort time
     python -m repro effects program.dl --data facts.dl --answer answer
     python -m repro terminate program.dl --domain-size 1
 
@@ -14,7 +15,12 @@ Usage::
   and reports every finding with source spans; ``--strict`` fails on
   warnings too, ``--format json`` emits the schema-stable report.
 * ``run`` evaluates under a chosen semantics and prints the idb
-  relations (or one ``--answer`` relation).
+  relations (or one ``--answer`` relation); ``--trace-out FILE`` also
+  writes the evaluation's event stream as JSON Lines.
+* ``stats`` reports engine counters (``--format json`` is pinned by
+  ``STATS_SCHEMA_VERSION``); ``trace`` prints the stage-by-stage
+  evaluation; ``profile`` aggregates per-rule time/firings/join
+  selectivity into a hot-rule table or JSON report.
 * ``effects`` enumerates eff(P) for nondeterministic programs.
 * ``terminate`` checks termination of a Datalog¬¬ program on every
   instance over a bounded domain (§4.2).
@@ -195,8 +201,10 @@ def _resolve_auto(program, out):
 def _engine_for(semantics: str, seed: int = 0):
     """The evaluation callable for an engine name, or None if unknown.
 
-    Every returned callable takes (program, db) and returns an object
-    with a ``stats`` attribute (:class:`repro.semantics.EngineStats`).
+    Every returned callable takes (program, db, tracer=None); ``tracer``
+    (a :class:`repro.obs.Tracer`) receives the run's event stream.  All
+    but ``stable`` return an object with a ``stats`` attribute
+    (:class:`repro.semantics.EngineStats`).
     """
     if semantics == "naive":
         from repro.semantics.naive import evaluate_datalog_naive as engine
@@ -215,8 +223,18 @@ def _engine_for(semantics: str, seed: int = 0):
     elif semantics == "choice":
         from repro.semantics.choice import evaluate_with_choice
 
-        def engine(p, d):
-            return evaluate_with_choice(p, d, seed=seed)
+        def engine(p, d, tracer=None):
+            return evaluate_with_choice(p, d, seed=seed, tracer=tracer)
+    elif semantics == "stable":
+        from repro.semantics.stable import stable_models
+
+        def engine(p, d, tracer=None):
+            return stable_models(p, d, tracer=tracer)
+    elif semantics == "nondeterministic":
+        from repro.semantics.nondeterministic import run_nondeterministic
+
+        def engine(p, d, tracer=None):
+            return run_nondeterministic(p, d, seed=seed, tracer=tracer)
     else:
         return None
     return engine
@@ -232,28 +250,38 @@ def cmd_run(args, out) -> int:
         if semantics is None:
             return 2
 
-    if semantics == "wellfounded":
-        from repro.semantics.wellfounded import evaluate_wellfounded
+    tracer = None
+    if getattr(args, "trace_out", None):
+        from repro.obs import JsonlSink, Tracer
 
-        model = evaluate_wellfounded(program, db)
-        relations = [args.answer] if args.answer else sorted(program.idb)
-        for relation in relations:
-            true_rows = sorted(model.answer(relation), key=repr)
-            unknown_rows = sorted(model.unknowns(relation), key=repr)
-            print(f"{relation}: {len(true_rows)} true, "
-                  f"{len(unknown_rows)} unknown", file=out)
-            for row in true_rows:
-                print(f"  true    ({', '.join(map(str, row))})", file=out)
-            for row in unknown_rows:
-                print(f"  unknown ({', '.join(map(str, row))})", file=out)
-        return 0
+        tracer = Tracer([JsonlSink(args.trace_out)], include_facts=True)
 
-    engine = _engine_for(semantics, seed=args.seed)
-    if engine is None:
-        print(f"unknown semantics {semantics!r}", file=sys.stderr)
-        return 2
+    try:
+        if semantics == "wellfounded":
+            from repro.semantics.wellfounded import evaluate_wellfounded
 
-    result = engine(program, db)
+            model = evaluate_wellfounded(program, db, tracer=tracer)
+            relations = [args.answer] if args.answer else sorted(program.idb)
+            for relation in relations:
+                true_rows = sorted(model.answer(relation), key=repr)
+                unknown_rows = sorted(model.unknowns(relation), key=repr)
+                print(f"{relation}: {len(true_rows)} true, "
+                      f"{len(unknown_rows)} unknown", file=out)
+                for row in true_rows:
+                    print(f"  true    ({', '.join(map(str, row))})", file=out)
+                for row in unknown_rows:
+                    print(f"  unknown ({', '.join(map(str, row))})", file=out)
+            return 0
+
+        engine = _engine_for(semantics, seed=args.seed)
+        if engine is None:
+            print(f"unknown semantics {semantics!r}", file=sys.stderr)
+            return 2
+
+        result = engine(program, db, tracer=tracer)
+    finally:
+        if tracer is not None:
+            tracer.close()
     relations = [args.answer] if args.answer else sorted(program.idb)
     _print_relations(result.database, relations, out)
     stages = getattr(result, "stages", None)
@@ -269,7 +297,9 @@ def cmd_stats(args, out) -> int:
     semantics = args.semantics
 
     if semantics == "auto":
-        semantics = _resolve_auto(program, out)
+        # The resolution notice would corrupt machine-readable output.
+        notice_to = sys.stderr if args.format == "json" else out
+        semantics = _resolve_auto(program, notice_to)
         if semantics is None:
             return 2
 
@@ -279,28 +309,88 @@ def cmd_stats(args, out) -> int:
         return 2
 
     result = engine(program, db)
-    print(result.stats.summary(), file=out)
+    if getattr(args, "format", "human") == "json":
+        import json
+
+        from repro.semantics.base import STATS_SCHEMA_VERSION
+
+        document = {"version": STATS_SCHEMA_VERSION, **result.stats.to_dict()}
+        print(json.dumps(document, indent=2), file=out)
+    else:
+        print(result.stats.summary(), file=out)
     return 0
 
 
+#: Semantics whose evaluation the trace/profile commands can observe.
+TRACEABLE_SEMANTICS = SEMANTICS + ("stable", "nondeterministic")
+
+
 def cmd_trace(args, out) -> int:
-    """Stage-by-stage trace of a forward-chaining evaluation."""
+    """Stage-by-stage trace of a forward-chaining evaluation.
+
+    Renders the engine's stage events: stages that carry their facts
+    print them (``+`` added, ``-`` removed); engines whose stages are
+    whole inner fixpoints (well-founded, stable) print counters only.
+    """
+    from repro.obs import CollectorSink, Tracer
+
     program = _load_program(args.program)
     db = load_facts(args.data) if args.data else Database()
-    if args.semantics == "inflationary":
-        from repro.semantics.inflationary import evaluate_inflationary as engine
-    else:
-        from repro.semantics.noninflationary import (
-            evaluate_noninflationary as engine,
-        )
-    result = engine(program, db)
-    for trace in result.stages:
-        print(f"stage {trace.stage}:", file=out)
-        for relation, t in sorted(trace.new_facts, key=repr):
+    engine = _engine_for(args.semantics, seed=args.seed)
+    if engine is None:
+        print(f"unknown semantics {args.semantics!r}", file=sys.stderr)
+        return 2
+    collector = CollectorSink()
+    engine(program, db, tracer=Tracer([collector], include_facts=True))
+    printed = 0
+    for event in collector.stage_events():
+        if event.new_facts is None and event.removed_facts is None:
+            # Counters-only stage span (inner-fixpoint engines).
+            if event.added or event.removed:
+                printed += 1
+                print(f"stage {event.stage}: +{event.added} facts", file=out)
+            continue
+        if not event.new_facts and not event.removed_facts:
+            continue
+        printed += 1
+        print(f"stage {event.stage}:", file=out)
+        for relation, t in sorted(event.new_facts, key=repr):
             print(f"  + {relation}({', '.join(map(str, t))})", file=out)
-        for relation, t in sorted(trace.removed_facts, key=repr):
+        for relation, t in sorted(event.removed_facts, key=repr):
             print(f"  - {relation}({', '.join(map(str, t))})", file=out)
-    print(f"fixpoint after {len(result.stages)} stages", file=out)
+    print(f"fixpoint after {printed} stages", file=out)
+    return 0
+
+
+def cmd_profile(args, out) -> int:
+    """Per-rule hot-spot profile of one evaluation (any semantics)."""
+    from repro.obs import CollectorSink, ProfileReport, Tracer
+
+    program = _load_program(args.program)
+    db = load_facts(args.data) if args.data else Database()
+    semantics = args.semantics
+    if semantics == "auto":
+        dialect = infer_dialect(program)
+        semantics = _AUTO_SEMANTICS.get(dialect)
+        if semantics is None:
+            print(
+                f"dialect {dialect.value} is nondeterministic; profile it "
+                "with --semantics nondeterministic",
+                file=sys.stderr,
+            )
+            return 2
+    engine = _engine_for(semantics, seed=args.seed)
+    if engine is None:
+        print(f"unknown semantics {semantics!r}", file=sys.stderr)
+        return 2
+    collector = CollectorSink()
+    engine(program, db, tracer=Tracer([collector]))
+    report = ProfileReport.from_events(collector.events, program=program)
+    top = args.top if args.top > 0 else None
+    if args.format == "json":
+        print(report.to_json(sort=args.sort, top=top), file=out)
+    else:
+        print(report.render(top=top, sort=args.sort), file=out)
     return 0
 
 
@@ -440,6 +530,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--answer", help="print only this relation")
     run.add_argument("--seed", type=int, default=0, help="seed (choice semantics)")
+    run.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="write the evaluation's event stream as JSON Lines to FILE",
+    )
 
     stats = sub.add_parser(
         "stats", help="evaluate and report engine performance counters"
@@ -453,6 +548,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluation semantics (default: inferred from the dialect)",
     )
     stats.add_argument("--seed", type=int, default=0, help="seed (choice semantics)")
+    stats.add_argument(
+        "--format",
+        default="human",
+        choices=("human", "json"),
+        help="output format (default: human)",
+    )
+
+    profile = sub.add_parser(
+        "profile", help="per-rule hot-spot profile (time, firings, joins)"
+    )
+    profile.add_argument("program")
+    profile.add_argument("--data", help="facts file (ground bodyless rules)")
+    profile.add_argument(
+        "--semantics",
+        default="auto",
+        choices=("auto",) + TRACEABLE_SEMANTICS,
+        help="evaluation semantics (default: inferred from the dialect)",
+    )
+    profile.add_argument(
+        "--format",
+        default="human",
+        choices=("human", "json"),
+        help="output format (default: human)",
+    )
+    profile.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="show the N hottest rules; 0 shows all (default: 10)",
+    )
+    profile.add_argument(
+        "--sort",
+        default="time",
+        choices=("time", "firings", "tuples"),
+        help="hotness measure (default: time)",
+    )
+    profile.add_argument(
+        "--seed", type=int, default=0,
+        help="seed (choice/nondeterministic semantics)",
+    )
 
     effects = sub.add_parser("effects", help="enumerate eff(P) (nondeterministic)")
     effects.add_argument("program")
@@ -466,7 +601,11 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--semantics",
         default="inflationary",
-        choices=("inflationary", "noninflationary"),
+        choices=TRACEABLE_SEMANTICS,
+    )
+    trace.add_argument(
+        "--seed", type=int, default=0,
+        help="seed (choice/nondeterministic semantics)",
     )
 
     explain = sub.add_parser(
@@ -494,6 +633,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
             return cmd_run(args, out)
         if args.command == "stats":
             return cmd_stats(args, out)
+        if args.command == "profile":
+            return cmd_profile(args, out)
         if args.command == "effects":
             return cmd_effects(args, out)
         if args.command == "trace":

@@ -1,0 +1,87 @@
+"""Observability: structured tracing and profiling for every engine.
+
+The paper's procedural semantics make evaluation *inspectable by
+construction* — every stage of the forward-chaining fixpoint is a
+concrete database.  This package turns that inspectability into a
+uniform, machine-readable event stream shared by all ten engine
+drivers:
+
+* :mod:`repro.obs.events` — the event model: run brackets, stage spans,
+  rule spans with firings / tuples emitted / tuples deduplicated, and
+  per-literal join statistics (``TRACE_SCHEMA_VERSION``-pinned);
+* :mod:`repro.obs.tracer` — :class:`Tracer` (fans events to sinks) and
+  the zero-overhead :class:`NullTracer` default;
+* :mod:`repro.obs.probe` — :class:`JoinProbe`, the per-literal
+  candidate/match counter that rides inside ``iter_matches``;
+* :mod:`repro.obs.sinks` — in-memory collector, JSONL writer, and the
+  human hot-rule table;
+* :mod:`repro.obs.profile` — :class:`ProfileReport`, the per-rule
+  aggregation behind ``repro profile``;
+* :mod:`repro.obs.bench` — the deterministic ``BENCH_engines.json``
+  benchmark artifact and its pinned-schema validator.
+
+Quickstart::
+
+    from repro.obs import CollectorSink, ProfileReport, Tracer
+
+    collector = CollectorSink()
+    result = evaluate_datalog_seminaive(program, db,
+                                        tracer=Tracer([collector]))
+    report = ProfileReport.from_events(collector.events, program=program)
+    print(report.render(top=5))
+"""
+
+from repro.obs.bench import (
+    BENCH_SCHEMA_VERSION,
+    BenchRecord,
+    bench_artifact_dict,
+    load_bench_artifact,
+    validate_bench_artifact,
+    write_bench_artifact,
+)
+from repro.obs.events import (
+    TRACE_SCHEMA_VERSION,
+    LiteralProfile,
+    RuleEvent,
+    RunBeginEvent,
+    RunEndEvent,
+    StageEvent,
+    TraceEvent,
+)
+from repro.obs.probe import JoinProbe
+from repro.obs.profile import (
+    PROFILE_SCHEMA_VERSION,
+    SORT_KEYS,
+    ProfileReport,
+    RuleProfileRow,
+)
+from repro.obs.sinks import CollectorSink, HotRuleTableSink, JsonlSink
+from repro.obs.tracer import NULL_TRACER, NullTracer, RuleSpan, Tracer
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchRecord",
+    "bench_artifact_dict",
+    "load_bench_artifact",
+    "validate_bench_artifact",
+    "write_bench_artifact",
+    "TRACE_SCHEMA_VERSION",
+    "LiteralProfile",
+    "RuleEvent",
+    "RunBeginEvent",
+    "RunEndEvent",
+    "StageEvent",
+    "TraceEvent",
+    "JoinProbe",
+    "PROFILE_SCHEMA_VERSION",
+    "SORT_KEYS",
+    "ProfileReport",
+    "RuleProfileRow",
+    "CollectorSink",
+    "HotRuleTableSink",
+    "JsonlSink",
+    "NULL_TRACER",
+    "NullTracer",
+    "RuleSpan",
+    "Tracer",
+]

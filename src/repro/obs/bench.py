@@ -1,0 +1,140 @@
+"""Machine-readable benchmark artifacts: ``BENCH_engines.json``.
+
+The benchmark suite under ``benchmarks/`` asserts *shapes* (who wins,
+what scales how); this module gives it a durable, machine-readable
+output so the performance trajectory of the repository can be tracked
+across commits.  Each benchmark that exercises an engine records one
+:class:`BenchRecord` — engine name, workload size, wall seconds, rule
+firings, stage count — through the ``bench_artifact`` fixture in
+``benchmarks/conftest.py``, and the session writes a single
+deterministic JSON document at exit.
+
+The schema is pinned: :func:`validate_bench_artifact` raises
+:class:`ValueError` on any drift, and CI runs it against the artifact
+it uploads, so a schema change must be deliberate (bump
+``BENCH_SCHEMA_VERSION``) rather than accidental.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any
+
+#: Version of the BENCH_engines.json schema.
+BENCH_SCHEMA_VERSION = 1
+
+#: Exact key set of one record; drift in either direction is an error.
+RECORD_FIELDS = (
+    "benchmark",
+    "engine",
+    "size",
+    "seconds",
+    "rule_firings",
+    "stages",
+)
+
+
+@dataclass(frozen=True)
+class BenchRecord:
+    """One (benchmark, engine, workload size) measurement."""
+
+    benchmark: str
+    engine: str
+    size: int
+    seconds: float
+    rule_firings: int
+    stages: int
+
+    @classmethod
+    def from_stats(
+        cls, benchmark: str, engine: str, size: int, stats
+    ) -> "BenchRecord":
+        """Build a record from an :class:`~repro.semantics.EngineStats`."""
+        return cls(
+            benchmark=benchmark,
+            engine=engine,
+            size=size,
+            seconds=stats.seconds,
+            rule_firings=stats.rule_firings,
+            stages=stats.stage_count,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "benchmark": self.benchmark,
+            "engine": self.engine,
+            "size": self.size,
+            "seconds": self.seconds,
+            "rule_firings": self.rule_firings,
+            "stages": self.stages,
+        }
+
+
+def bench_artifact_dict(records: list[BenchRecord]) -> dict[str, Any]:
+    """The artifact document: schema-versioned, deterministically ordered."""
+    ordered = sorted(records, key=lambda r: (r.benchmark, r.engine, r.size))
+    return {
+        "version": BENCH_SCHEMA_VERSION,
+        "benchmarks": [record.to_dict() for record in ordered],
+    }
+
+
+def write_bench_artifact(records: list[BenchRecord], path: str) -> None:
+    """Write ``BENCH_engines.json`` (sorted records, sorted keys)."""
+    with open(path, "w") as handle:
+        json.dump(bench_artifact_dict(records), handle, indent=2,
+                  sort_keys=True)
+        handle.write("\n")
+
+
+def validate_bench_artifact(data: Any) -> list[BenchRecord]:
+    """Check an artifact document against the pinned schema.
+
+    Returns the parsed records; raises :class:`ValueError` on drift
+    (wrong version, missing/extra keys, wrong types).
+    """
+    if not isinstance(data, dict):
+        raise ValueError("bench artifact must be a JSON object")
+    if data.get("version") != BENCH_SCHEMA_VERSION:
+        raise ValueError(
+            f"bench artifact version {data.get('version')!r} != "
+            f"{BENCH_SCHEMA_VERSION}"
+        )
+    extra_top = set(data) - {"version", "benchmarks"}
+    if extra_top:
+        raise ValueError(f"unexpected top-level keys: {sorted(extra_top)}")
+    entries = data.get("benchmarks")
+    if not isinstance(entries, list):
+        raise ValueError("bench artifact 'benchmarks' must be a list")
+    types = {
+        "benchmark": str,
+        "engine": str,
+        "size": int,
+        "seconds": (int, float),
+        "rule_firings": int,
+        "stages": int,
+    }
+    records: list[BenchRecord] = []
+    for position, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise ValueError(f"record {position} is not an object")
+        if set(entry) != set(RECORD_FIELDS):
+            raise ValueError(
+                f"record {position} keys {sorted(entry)} != "
+                f"{sorted(RECORD_FIELDS)}"
+            )
+        for key, expected in types.items():
+            if not isinstance(entry[key], expected):
+                raise ValueError(
+                    f"record {position} field {key!r} has type "
+                    f"{type(entry[key]).__name__}"
+                )
+        records.append(BenchRecord(**entry))
+    return records
+
+
+def load_bench_artifact(path: str) -> list[BenchRecord]:
+    """Read and validate an artifact file; raises ValueError on drift."""
+    with open(path) as handle:
+        return validate_bench_artifact(json.load(handle))

@@ -1,0 +1,186 @@
+"""The trace event model: spans + counters.
+
+The paper's procedural semantics make evaluation inspectable by
+construction — every stage of a forward-chaining fixpoint is a concrete
+database — and the tracing layer turns that inspectability into a
+uniform event stream.  Four event kinds cover every engine:
+
+* ``run_begin`` / ``run_end`` — one evaluation, bracketed;
+* ``stage`` — one closed consequence pass (a *stage span*): wall
+  seconds, firings, facts added/removed, index work, and (optionally)
+  the facts themselves;
+* ``rule`` — one rule evaluated within a stage (a *rule span*): wall
+  seconds, firings, tuples emitted, tuples deduplicated, and the
+  per-literal join statistics (:class:`LiteralProfile`) that expose
+  join selectivity.
+
+Every event serializes with :meth:`to_dict` under the pinned
+``TRACE_SCHEMA_VERSION``; the JSONL sink writes one event per line, the
+same schema-versioning discipline as ``repro lint --format json``.
+
+``deduplicated`` on a rule span counts head instantiations that were
+already inferred earlier in the *same consequence pass* (by this or
+another rule); facts already present in the database are deduplicated
+later by the engine's ``add_fact`` and show up in the stage span as the
+gap between ``firings``-driven emission and ``added``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, ClassVar
+
+from repro.span import Span
+
+#: Version of the on-the-wire trace event schema (JSONL lines, profile
+#: reports).  Bump on any field rename/removal; additions are allowed.
+TRACE_SCHEMA_VERSION = 1
+
+Fact = tuple[str, tuple]
+
+
+@dataclass(frozen=True)
+class LiteralProfile:
+    """Join statistics for one positive body literal of one rule span.
+
+    ``candidates`` counts tuples the join considered for this literal
+    (after index lookup); ``matches`` counts the ones that extended the
+    valuation consistently.  ``matches / candidates`` is the literal's
+    selectivity — a literal with many candidates and few matches is a
+    missing-index or bad-join-order smell.
+    """
+
+    literal: str
+    candidates: int
+    matches: int
+
+    @property
+    def selectivity(self) -> float:
+        """matches / candidates; 1.0 for a literal that saw no candidates."""
+        return self.matches / self.candidates if self.candidates else 1.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "literal": self.literal,
+            "candidates": self.candidates,
+            "matches": self.matches,
+        }
+
+
+@dataclass(frozen=True)
+class RunBeginEvent:
+    """The opening bracket of one engine run."""
+
+    kind: ClassVar[str] = "run_begin"
+    engine: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "version": TRACE_SCHEMA_VERSION,
+            "kind": self.kind,
+            "engine": self.engine,
+        }
+
+
+@dataclass(frozen=True)
+class StageEvent:
+    """One closed consequence pass (stage span).
+
+    ``new_facts`` / ``removed_facts`` carry the actual facts only when
+    the tracer was built with ``include_facts=True`` (the ``repro
+    trace`` path); they are ``None`` otherwise so that profiling runs
+    stay cheap.
+    """
+
+    kind: ClassVar[str] = "stage"
+    stage: int
+    seconds: float
+    firings: int
+    added: int
+    removed: int
+    index_builds: int
+    index_updates: int
+    new_facts: tuple[Fact, ...] | None = None
+    removed_facts: tuple[Fact, ...] | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "version": TRACE_SCHEMA_VERSION,
+            "kind": self.kind,
+            "stage": self.stage,
+            "seconds": self.seconds,
+            "firings": self.firings,
+            "added": self.added,
+            "removed": self.removed,
+            "index_builds": self.index_builds,
+            "index_updates": self.index_updates,
+        }
+        if self.new_facts is not None:
+            out["new_facts"] = [[rel, list(t)] for rel, t in self.new_facts]
+        if self.removed_facts is not None:
+            out["removed_facts"] = [
+                [rel, list(t)] for rel, t in self.removed_facts
+            ]
+        return out
+
+
+@dataclass(frozen=True)
+class RuleEvent:
+    """One rule span: a rule evaluated within one consequence pass.
+
+    ``span`` is the rule's source span when the program was parsed from
+    text (None for programmatically built rules), so downstream
+    renderers can point at real source lines.
+    """
+
+    kind: ClassVar[str] = "rule"
+    stage: int
+    rule_index: int
+    rule: str
+    span: Span | None
+    seconds: float
+    firings: int
+    emitted: int
+    deduplicated: int
+    literals: tuple[LiteralProfile, ...] = ()
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "version": TRACE_SCHEMA_VERSION,
+            "kind": self.kind,
+            "stage": self.stage,
+            "rule_index": self.rule_index,
+            "rule": self.rule,
+            "span": self.span.to_dict() if self.span is not None else None,
+            "seconds": self.seconds,
+            "firings": self.firings,
+            "emitted": self.emitted,
+            "deduplicated": self.deduplicated,
+            "literals": [lp.to_dict() for lp in self.literals],
+        }
+
+
+@dataclass(frozen=True)
+class RunEndEvent:
+    """The closing bracket of one engine run, with whole-run totals."""
+
+    kind: ClassVar[str] = "run_end"
+    engine: str
+    seconds: float
+    stages: int
+    rule_firings: int
+    adom_size: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "version": TRACE_SCHEMA_VERSION,
+            "kind": self.kind,
+            "engine": self.engine,
+            "seconds": self.seconds,
+            "stages": self.stages,
+            "rule_firings": self.rule_firings,
+            "adom_size": self.adom_size,
+        }
+
+
+TraceEvent = RunBeginEvent | StageEvent | RuleEvent | RunEndEvent

@@ -27,6 +27,10 @@ from repro.ast.rules import EqLit, Lit, Rule
 from repro.relational.instance import Database
 from repro.terms import Const, Var, apply_valuation
 
+#: Version of the ``repro stats --format json`` schema.  Bump on any
+#: field rename/removal; additions are allowed.
+STATS_SCHEMA_VERSION = 1
+
 
 @dataclass
 class StageTrace:
@@ -63,6 +67,17 @@ class StageStats:
     index_builds: int = 0
     index_updates: int = 0
 
+    def to_dict(self) -> dict:
+        return {
+            "stage": self.stage,
+            "seconds": self.seconds,
+            "firings": self.firings,
+            "added": self.added,
+            "removed": self.removed,
+            "index_builds": self.index_builds,
+            "index_updates": self.index_updates,
+        }
+
 
 @dataclass
 class EngineStats:
@@ -87,7 +102,11 @@ class EngineStats:
         return len(self.stages)
 
     def summary(self) -> str:
-        """A deterministic multi-line rendering (used by ``repro stats``)."""
+        """A deterministic multi-line rendering (used by ``repro stats``).
+
+        The per-stage table sizes its columns to the widest value so
+        large counters never shear the alignment.
+        """
         lines = [
             f"engine:            {self.engine or '(unknown)'}",
             f"wall time:         {self.seconds:.6f} s",
@@ -99,16 +118,44 @@ class EngineStats:
             f"index updates:     {self.index_updates}",
         ]
         if self.stages:
-            lines.append(
-                "stage     seconds  firings   +facts   -facts   builds  updates"
+            headers = (
+                "stage", "seconds", "firings", "+facts", "-facts",
+                "builds", "updates",
             )
-            for s in self.stages:
+            rows = [
+                (
+                    str(s.stage), f"{s.seconds:.6f}", str(s.firings),
+                    str(s.added), str(s.removed), str(s.index_builds),
+                    str(s.index_updates),
+                )
+                for s in self.stages
+            ]
+            widths = [
+                max(len(header), max(len(row[i]) for row in rows))
+                for i, header in enumerate(headers)
+            ]
+            lines.append(
+                "  ".join(h.rjust(w) for h, w in zip(headers, widths))
+            )
+            for row in rows:
                 lines.append(
-                    f"{s.stage:>5}  {s.seconds:>10.6f}  {s.firings:>7}  "
-                    f"{s.added:>7}  {s.removed:>7}  {s.index_builds:>7}  "
-                    f"{s.index_updates:>7}"
+                    "  ".join(c.rjust(w) for c, w in zip(row, widths))
                 )
         return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """The pinned JSON shape of ``repro stats --format json``."""
+        return {
+            "engine": self.engine,
+            "seconds": self.seconds,
+            "stage_count": self.stage_count,
+            "rule_firings": self.rule_firings,
+            "consequence_calls": self.consequence_calls,
+            "adom_size": self.adom_size,
+            "index_builds": self.index_builds,
+            "index_updates": self.index_updates,
+            "stages": [s.to_dict() for s in self.stages],
+        }
 
 
 class StatsRecorder:
@@ -119,16 +166,27 @@ class StatsRecorder:
     per-stage index work is attributed to the stage that did it.  Engines
     that evaluate over several scratch databases (well-founded, Statelog)
     either re-:meth:`watch` or pass explicit ``counters``.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`, duck-typed so this module
+    never imports the observability layer) receives a ``run_begin``
+    event on construction, one stage span per :meth:`stage` call, and a
+    ``run_end`` event from :meth:`finish`.  A ``None`` or disabled
+    tracer costs a single ``is None`` test per stage.
     """
 
-    def __init__(self, engine: str, db: Database | None = None):
+    def __init__(self, engine: str, db: Database | None = None, tracer=None):
         self.stats = EngineStats(engine=engine)
+        self.tracer = (
+            tracer if tracer is not None and tracer.enabled else None
+        )
         self._db: Database | None = None
         self._counters = (0, 0)
         self._t0 = perf_counter()
         self._mark = self._t0
         if db is not None:
             self.watch(db)
+        if self.tracer is not None:
+            self.tracer.run_begin(engine)
 
     def watch(self, db: Database) -> None:
         """(Re)bind the database whose index counters are diffed."""
@@ -142,8 +200,14 @@ class StatsRecorder:
         added: int = 0,
         removed: int = 0,
         counters: tuple[int, int] | None = None,
+        trace: StageTrace | None = None,
     ) -> None:
-        """Close out one consequence pass and record its stats."""
+        """Close out one consequence pass and record its stats.
+
+        ``trace``, when given and a fact-collecting tracer is attached,
+        lets the stage span carry the actual facts added/removed (the
+        ``repro trace`` rendering path).
+        """
         now = perf_counter()
         if counters is None:
             if self._db is not None:
@@ -155,17 +219,18 @@ class StatsRecorder:
                 self._counters = (builds, updates)
             else:
                 counters = (0, 0)
-        self.stats.stages.append(
-            StageStats(
-                stage=stage,
-                seconds=now - self._mark,
-                firings=firings,
-                added=added,
-                removed=removed,
-                index_builds=counters[0],
-                index_updates=counters[1],
-            )
+        record = StageStats(
+            stage=stage,
+            seconds=now - self._mark,
+            firings=firings,
+            added=added,
+            removed=removed,
+            index_builds=counters[0],
+            index_updates=counters[1],
         )
+        self.stats.stages.append(record)
+        if self.tracer is not None:
+            self.tracer.stage(record, trace=trace)
         self._mark = now
 
     def finish(self, adom_size: int = 0) -> EngineStats:
@@ -176,6 +241,8 @@ class StatsRecorder:
         stats.rule_firings = sum(s.firings for s in stats.stages)
         stats.index_builds = sum(s.index_builds for s in stats.stages)
         stats.index_updates = sum(s.index_updates for s in stats.stages)
+        if self.tracer is not None:
+            self.tracer.run_end(stats)
         return stats
 
 
@@ -283,13 +350,76 @@ def _order_positive(literals: list[Lit], db: Database) -> list[Lit]:
     return ordered
 
 
+def _literal_candidates(
+    lit: Lit,
+    db: Database,
+    valuation: dict[Var, Hashable],
+    restricted: frozenset[tuple] | None = None,
+) -> tuple[list[tuple], list[tuple[int, Var]]]:
+    """The candidate tuples one positive literal will be joined against.
+
+    Returns ``(candidates, free)`` where ``free`` are the literal's
+    still-unbound (position, variable) pairs.  Split out from
+    :func:`_extend_valuation` so the observability layer's join probe
+    can count candidates without duplicating the lookup logic.
+    """
+    bound_positions, bound_values, free = _literal_binding(lit, valuation)
+    rel = db.relation(lit.relation)
+    if restricted is not None:
+        candidates = [
+            t
+            for t in restricted
+            if all(t[p] == v for p, v in zip(bound_positions, bound_values))
+        ]
+    elif rel is None:
+        candidates = []
+    elif not free and bound_positions:
+        exact = tuple(bound_values)
+        candidates = [exact] if exact in rel else []
+    elif bound_positions:
+        candidates = rel.index(bound_positions).get(tuple(bound_values), [])
+    else:
+        candidates = list(rel)
+    return candidates, free
+
+
+def _extend_valuation(
+    candidates: list[tuple],
+    free: list[tuple[int, Var]],
+    valuation: dict[Var, Hashable],
+) -> Iterator[dict[Var, Hashable]]:
+    """Extend ``valuation`` over each candidate tuple; yields and undoes."""
+    for candidate in candidates:
+        newly_bound: list[Var] = []
+        consistent = True
+        for position, var in free:
+            value = candidate[position]
+            if var in valuation:
+                if valuation[var] != value:
+                    consistent = False
+                    break
+            else:
+                valuation[var] = value
+                newly_bound.append(var)
+        if consistent:
+            yield valuation
+        for var in newly_bound:
+            del valuation[var]
+
+
 def _iter_literal_matches(
     lit: Lit,
     db: Database,
     valuation: dict[Var, Hashable],
     restricted: frozenset[tuple] | None = None,
 ) -> Iterator[dict[Var, Hashable]]:
-    """Extend ``valuation`` over one positive literal; yields and undoes."""
+    """Extend ``valuation`` over one positive literal; yields and undoes.
+
+    This is the fused (untraced) twin of
+    ``_literal_candidates`` + ``_extend_valuation``; the pair exists so
+    the observability probe can count candidates between the two steps.
+    Any change here must be mirrored there.
+    """
     bound_positions, bound_values, free = _literal_binding(lit, valuation)
     rel = db.relation(lit.relation)
     if restricted is not None:
@@ -307,22 +437,7 @@ def _iter_literal_matches(
         candidates = rel.index(bound_positions).get(tuple(bound_values), [])
     else:
         candidates = list(rel)
-    for candidate in candidates:
-        newly_bound: list[Var] = []
-        consistent = True
-        for position, var in free:
-            value = candidate[position]
-            if var in valuation:
-                if valuation[var] != value:
-                    consistent = False
-                    break
-            else:
-                valuation[var] = value
-                newly_bound.append(var)
-        if consistent:
-            yield valuation
-        for var in newly_bound:
-            del valuation[var]
+    return _extend_valuation(candidates, free, valuation)
 
 
 def _propagate_equalities(
@@ -394,6 +509,7 @@ def iter_matches(
     db: Database,
     adom: tuple[Hashable, ...],
     delta: dict[str, frozenset[tuple]] | None = None,
+    probe=None,
 ) -> Iterator[dict[Var, Hashable]]:
     """All instantiations of ``rule`` w.r.t. ``db`` (see module docstring).
 
@@ -410,6 +526,11 @@ def iter_matches(
     Universal (∀) rules are handled by
     :func:`iter_universal_matches`; this function ignores the
     ``universal`` marker and treats all variables existentially.
+
+    ``probe`` (a :class:`repro.obs.JoinProbe`, duck-typed) observes the
+    per-literal join: candidates considered and matches produced, keyed
+    by the literal's position in the chosen join order.  ``None`` (the
+    default) costs a single ``is None`` test per join level.
     """
     positive = list(rule.positive_body())
     ordered = _order_positive(positive, db)
@@ -425,7 +546,11 @@ def iter_matches(
             restricted = None
             if restricted_index is not None and idx == restricted_index:
                 restricted = (delta or {}).get(lit.relation, frozenset())
-            for _ in _iter_literal_matches(lit, db, valuation, restricted):
+            if probe is None:
+                matches = _iter_literal_matches(lit, db, valuation, restricted)
+            else:
+                matches = probe.iter_matches(idx, lit, db, valuation, restricted)
+            for _ in matches:
                 yield from descend(idx + 1)
 
         def finish() -> Iterator[dict[Var, Hashable]]:
@@ -535,6 +660,7 @@ def immediate_consequences(
     adom: tuple[Hashable, ...],
     delta: dict[str, frozenset[tuple]] | None = None,
     stats: EngineStats | None = None,
+    tracer=None,
 ) -> tuple[set[tuple[str, tuple]], set[tuple[str, tuple]], int]:
     """One parallel firing of all rules: Γ_P's new inferences.
 
@@ -544,9 +670,17 @@ def immediate_consequences(
     instantiations found.  The caller decides how to combine them with
     the current instance (inflationary union, deletion policies, …).
     ``stats``, when given, has its ``consequence_calls`` bumped.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`, duck-typed), when enabled,
+    diverts evaluation through the instrumented per-rule path, emitting
+    one rule span per rule with firings, tuples emitted/deduplicated,
+    and per-literal join statistics.  With no tracer the hot loop below
+    is untouched.
     """
     if stats is not None:
         stats.consequence_calls += 1
+    if tracer is not None and tracer.enabled:
+        return _traced_consequences(program, db, adom, delta, tracer)
     positive: set[tuple[str, tuple]] = set()
     negative: set[tuple[str, tuple]] = set()
     firings = 0
@@ -561,4 +695,42 @@ def immediate_consequences(
                     positive.add((relation, t))
                 else:
                     negative.add((relation, t))
+    return positive, negative, firings
+
+
+def _traced_consequences(
+    program: Program,
+    db: Database,
+    adom: tuple[Hashable, ...],
+    delta: dict[str, frozenset[tuple]] | None,
+    tracer,
+) -> tuple[set[tuple[str, tuple]], set[tuple[str, tuple]], int]:
+    """The instrumented twin of the loop in :func:`immediate_consequences`.
+
+    Identical inferences; additionally opens one rule span per rule and
+    attributes wall time, firings, emitted and deduplicated tuples, and
+    per-literal join counts to it.  ``deduplicated`` counts head
+    instantiations already inferred earlier in this pass.
+    """
+    positive: set[tuple[str, tuple]] = set()
+    negative: set[tuple[str, tuple]] = set()
+    firings = 0
+    for rule_index, rule in enumerate(program.rules):
+        if delta is not None and not rule.positive_body():
+            continue
+        span = tracer.rule_span(rule_index, rule)
+        for valuation in iter_matches(
+            rule, db, adom, delta=delta, probe=span.probe
+        ):
+            span.firings += 1
+            for relation, t, is_positive in instantiate_head(rule, valuation):
+                fact = (relation, t)
+                target = positive if is_positive else negative
+                span.emitted += 1
+                if fact in target:
+                    span.deduplicated += 1
+                else:
+                    target.add(fact)
+        firings += span.firings
+        span.close()
     return positive, negative, firings

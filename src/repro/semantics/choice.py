@@ -65,6 +65,7 @@ def evaluate_with_choice(
     db: Database,
     seed: int | random.Random = 0,
     validate: bool = True,
+    tracer=None,
 ) -> ChoiceResult:
     """Inflationary evaluation under dynamic choice (seeded).
 
@@ -74,13 +75,15 @@ def evaluate_with_choice(
     """
     if validate:
         validate_program(program, Dialect.DATALOG_CHOICE)
+    if tracer is not None and not tracer.enabled:
+        tracer = None
     rng = seed if isinstance(seed, random.Random) else random.Random(seed)
     current = db.copy()
     for relation in program.idb:
         current.ensure_relation(relation, program.arity(relation))
     adom = evaluation_adom(program, db)
     result = ChoiceResult(current)
-    recorder = StatsRecorder("choice", current)
+    recorder = StatsRecorder("choice", current, tracer=tracer)
     choices: dict[tuple[int, int], dict[tuple, tuple]] = {}
 
     stage = 0
@@ -90,15 +93,28 @@ def evaluate_with_choice(
         # Collect this stage's candidate firings against the stage-start
         # instance (parallel semantics for matching)...
         candidates: list[tuple[int, dict[Var, Hashable]]] = []
+        spans = {}
         for rule_index, rule in enumerate(program.rules):
-            for valuation in iter_matches(rule, current, adom):
+            if tracer is None:
+                matches = iter_matches(rule, current, adom)
+            else:
+                span = tracer.rule_span(rule_index, rule)
+                spans[rule_index] = span
+                matches = iter_matches(rule, current, adom, probe=span.probe)
+            for valuation in matches:
                 result.rule_firings += 1
                 candidates.append((rule_index, dict(valuation)))
+                if tracer is not None:
+                    spans[rule_index].firings += 1
+            if tracer is not None:
+                # Freeze the clock at end-of-matching: the shuffled
+                # commit pass below is choice bookkeeping, not joining.
+                spans[rule_index].stop()
         stage_firings = len(candidates)
         # ...but commit choices sequentially, in random order (dynamic
         # choice): earlier commitments prune later candidates.
         rng.shuffle(candidates)
-        new_facts: list[tuple[str, tuple]] = []
+        new_facts: list[tuple[int, str, tuple]] = []
         for rule_index, valuation in candidates:
             rule = program.rules[rule_index]
             compatible = True
@@ -118,11 +134,21 @@ def evaluate_with_choice(
                 choices[key][domain] = chosen
             for relation, t, positive in instantiate_head(rule, valuation):
                 if positive:
-                    new_facts.append((relation, t))
-        for relation, t in new_facts:
-            if current.add_fact(relation, t):
+                    new_facts.append((rule_index, relation, t))
+        for rule_index, relation, t in new_facts:
+            added = current.add_fact(relation, t)
+            if added:
                 trace.new_facts.append((relation, t))
-        recorder.stage(stage, stage_firings, added=len(trace.new_facts))
+            if tracer is not None:
+                span = spans[rule_index]
+                span.emitted += 1
+                if not added:
+                    span.deduplicated += 1
+        if tracer is not None:
+            for span in spans.values():
+                span.close()
+        recorder.stage(stage, stage_firings, added=len(trace.new_facts),
+                       trace=trace)
         if not trace.new_facts:
             break
         result.stages.append(trace)

@@ -39,6 +39,7 @@ def evaluate_inflationary(
     db: Database,
     validate: bool = True,
     use_delta: bool = True,
+    tracer=None,
 ) -> EvaluationResult:
     """Γ^ω_P(I): the inflationary fixpoint of ``program`` on ``db``.
 
@@ -48,16 +49,18 @@ def evaluate_inflationary(
     """
     if validate:
         validate_program(program, Dialect.DATALOG_NEG)
+    if tracer is not None and not tracer.enabled:
+        tracer = None
     current = db.copy()
     for relation in program.idb:
         current.ensure_relation(relation, program.arity(relation))
     adom = evaluation_adom(program, db)
     result = EvaluationResult(current)
-    recorder = StatsRecorder("inflationary", current)
+    recorder = StatsRecorder("inflationary", current, tracer=tracer)
 
     # Stage 1: all instantiations.
     positive, _negative, firings = immediate_consequences(
-        program, current, adom, stats=recorder.stats
+        program, current, adom, stats=recorder.stats, tracer=tracer
     )
     result.rule_firings += firings
     trace = StageTrace(1)
@@ -66,7 +69,7 @@ def evaluate_inflationary(
         if current.add_fact(relation, t):
             trace.new_facts.append((relation, t))
             delta.setdefault(relation, set()).add(t)
-    recorder.stage(1, firings, added=len(trace.new_facts))
+    recorder.stage(1, firings, added=len(trace.new_facts), trace=trace)
     if not trace.new_facts:
         result.stats = recorder.finish(adom_size=len(adom))
         return result
@@ -78,11 +81,12 @@ def evaluate_inflationary(
         if use_delta:
             frozen = {rel: frozenset(ts) for rel, ts in delta.items()}
             positive, _negative, firings = immediate_consequences(
-                program, current, adom, delta=frozen, stats=recorder.stats
+                program, current, adom, delta=frozen, stats=recorder.stats,
+                tracer=tracer
             )
         else:
             positive, _negative, firings = immediate_consequences(
-                program, current, adom, stats=recorder.stats
+                program, current, adom, stats=recorder.stats, tracer=tracer
             )
         result.rule_firings += firings
         trace = StageTrace(stage)
@@ -91,7 +95,7 @@ def evaluate_inflationary(
             if current.add_fact(relation, t):
                 trace.new_facts.append((relation, t))
                 delta.setdefault(relation, set()).add(t)
-        recorder.stage(stage, firings, added=len(trace.new_facts))
+        recorder.stage(stage, firings, added=len(trace.new_facts), trace=trace)
         if trace.new_facts:
             result.stages.append(trace)
     result.stats = recorder.finish(adom_size=len(adom))

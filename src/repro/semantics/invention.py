@@ -64,6 +64,7 @@ def evaluate_with_invention(
     max_stages: int = 1_000,
     answer_relations: tuple[str, ...] = (),
     validate: bool = True,
+    tracer=None,
 ) -> EvaluationResult:
     """Inflationary evaluation of a Datalog¬new program.
 
@@ -75,11 +76,13 @@ def evaluate_with_invention(
     """
     if validate:
         validate_program(program, Dialect.DATALOG_NEW)
+    if tracer is not None and not tracer.enabled:
+        tracer = None
     current = db.copy()
     for relation in program.idb:
         current.ensure_relation(relation, program.arity(relation))
     result = EvaluationResult(current)
-    recorder = StatsRecorder("invention", current)
+    recorder = StatsRecorder("invention", current, tracer=tracer)
 
     base_values = program.constants() | db.active_domain()
     adom: list[Hashable] = sorted(
@@ -103,16 +106,26 @@ def evaluate_with_invention(
         # Parallel firing: collect every consequence against the stage's
         # starting instance, then apply — rules must not see facts added
         # earlier in the same stage.
-        inferred: list[tuple[str, tuple]] = []
+        inferred: list[tuple[int, str, tuple]] = []
         stage_firings = 0
+        spans = {}
         for rule_index, rule in enumerate(program.rules):
             invention_vars = sorted(
                 rule.invention_variables(), key=lambda v: v.name
             )
             body_vars = sorted(rule.body_variables(), key=lambda v: v.name)
-            for valuation in iter_matches(rule, current, frozen_adom):
+            span = None
+            if tracer is not None:
+                span = tracer.rule_span(rule_index, rule)
+                spans[rule_index] = span
+            for valuation in iter_matches(
+                rule, current, frozen_adom,
+                probe=span.probe if span is not None else None,
+            ):
                 result.rule_firings += 1
                 stage_firings += 1
+                if span is not None:
+                    span.firings += 1
                 if invention_vars:
                     key = (
                         rule_index,
@@ -134,11 +147,24 @@ def evaluate_with_invention(
                     extended = valuation
                 for relation, t, positive in instantiate_head(rule, extended):
                     if positive:
-                        inferred.append((relation, t))
-        for relation, t in inferred:
-            if current.add_fact(relation, t):
+                        inferred.append((rule_index, relation, t))
+            if span is not None:
+                # Fact application below is stage bookkeeping; the
+                # span's clock covers this rule's matching only.
+                span.stop()
+        for rule_index, relation, t in inferred:
+            added = current.add_fact(relation, t)
+            if added:
                 trace.new_facts.append((relation, t))
-        recorder.stage(stage, stage_firings, added=len(trace.new_facts))
+            if tracer is not None:
+                spans[rule_index].emitted += 1
+                if not added:
+                    spans[rule_index].deduplicated += 1
+        if tracer is not None:
+            for span in spans.values():
+                span.close()
+        recorder.stage(stage, stage_firings, added=len(trace.new_facts),
+                       trace=trace)
         if not trace.new_facts:
             break
         result.stages.append(trace)

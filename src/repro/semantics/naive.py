@@ -28,33 +28,37 @@ def evaluate_datalog_naive(
     program: Program,
     db: Database,
     validate: bool = True,
+    tracer=None,
 ) -> EvaluationResult:
     """Minimum model of a plain Datalog program over the input ``db``.
 
     The input is copied — the caller's database is never mutated.  The
     result's database holds edb and idb relations; the idb part is the
-    minimum model restricted to idb(P).
+    minimum model restricted to idb(P).  ``tracer`` (a
+    :class:`repro.obs.Tracer`) receives the run's event stream.
     """
     if validate:
         validate_program(program, Dialect.DATALOG)
+    if tracer is not None and not tracer.enabled:
+        tracer = None
     current = db.copy()
     for relation in program.idb:
         current.ensure_relation(relation, program.arity(relation))
     adom = evaluation_adom(program, db)
     result = EvaluationResult(current)
-    recorder = StatsRecorder("naive", current)
+    recorder = StatsRecorder("naive", current, tracer=tracer)
     stage = 0
     while True:
         stage += 1
         positive, _negative, firings = immediate_consequences(
-            program, current, adom, stats=recorder.stats
+            program, current, adom, stats=recorder.stats, tracer=tracer
         )
         result.rule_firings += firings
         trace = StageTrace(stage)
         for relation, t in positive:
             if current.add_fact(relation, t):
                 trace.new_facts.append((relation, t))
-        recorder.stage(stage, firings, added=len(trace.new_facts))
+        recorder.stage(stage, firings, added=len(trace.new_facts), trace=trace)
         if not trace.new_facts:
             break
         result.stages.append(trace)

@@ -90,15 +90,17 @@ def _dialect_for(program: Program) -> Dialect:
     return Dialect.N_DATALOG_NEG
 
 
-def _rule_matches(rule, db, adom) -> Iterator[dict]:
+def _rule_matches(rule, db, adom, probe=None) -> Iterator[dict]:
     if rule.universal:
+        # ∀-rules bypass the backtracking join, so no probe counts.
         yield from iter_universal_matches(rule, db, adom)
     else:
-        yield from iter_matches(rule, db, adom)
+        yield from iter_matches(rule, db, adom, probe=probe)
 
 
 def _candidate_steps(
-    program: Program, db: Database, adom, inventor=None, stats=None
+    program: Program, db: Database, adom, inventor=None, stats=None,
+    tracer=None,
 ) -> tuple[list[Step], int]:
     """Every applicable instantiation that would change the instance,
     plus the number of instantiations considered.
@@ -123,8 +125,15 @@ def _candidate_steps(
                 "run_nondeterministic — eff(P) enumeration over an "
                 "unbounded invented domain is not supported"
             )
-        for valuation in _rule_matches(rule, db, adom):
+        span = None
+        if tracer is not None:
+            span = tracer.rule_span(rule_index, rule)
+        for valuation in _rule_matches(
+            rule, db, adom, probe=span.probe if span is not None else None
+        ):
             firings += 1
+            if span is not None:
+                span.firings += 1
             if invention_vars:
                 valuation = dict(valuation)
                 valuation.update(
@@ -142,11 +151,16 @@ def _candidate_steps(
                 f for f in inserts if not db.has_fact(*f)
             )
             effective_deletes = frozenset(f for f in deletes if db.has_fact(*f))
+            if span is not None:
+                span.emitted += len(inserts)
+                span.deduplicated += len(inserts) - len(effective_inserts)
             if not effective_inserts and not effective_deletes:
                 continue  # J = I: does not count as a successor
             key = (rule_index, effective_inserts, effective_deletes)
             if key not in candidates:
                 candidates[key] = Step(rule_index, effective_inserts, effective_deletes)
+        if span is not None:
+            span.close()
     ordered = sorted(
         candidates.values(),
         key=lambda s: (s.rule_index, sorted(map(repr, s.inserted)), sorted(map(repr, s.deleted))),
@@ -167,6 +181,7 @@ def run_nondeterministic(
     seed: int | random.Random = 0,
     max_steps: int = 10_000,
     validate: bool = True,
+    tracer=None,
 ) -> NondeterministicRun:
     """Sample one computation, firing uniformly random applicable steps.
 
@@ -176,6 +191,8 @@ def run_nondeterministic(
     """
     if validate:
         validate_program(program, _dialect_for(program))
+    if tracer is not None and not tracer.enabled:
+        tracer = None
     rng = seed if isinstance(seed, random.Random) else random.Random(seed)
     current = db.copy()
     for relation in program.idb:
@@ -183,7 +200,7 @@ def run_nondeterministic(
     adom = list(evaluation_adom(program, db))
     adom_seen = set(adom)
     run = NondeterministicRun(current)
-    recorder = StatsRecorder("nondeterministic", current)
+    recorder = StatsRecorder("nondeterministic", current, tracer=tracer)
 
     inventor = None
     if program.uses_invention():
@@ -198,7 +215,8 @@ def run_nondeterministic(
                 f"no terminal instance after {max_steps} steps", max_steps
             )
         candidates, firings = _candidate_steps(
-            program, current, tuple(adom), inventor, stats=recorder.stats
+            program, current, tuple(adom), inventor, stats=recorder.stats,
+            tracer=tracer,
         )
         if not candidates:
             recorder.stage(len(run.steps) + 1, firings)

@@ -65,6 +65,7 @@ def evaluate_noninflationary(
     max_stages: int = 10_000,
     detect_cycles: bool = True,
     validate: bool = True,
+    tracer=None,
 ) -> NoninflationaryResult:
     """Run a Datalog¬¬ program to fixpoint.
 
@@ -75,12 +76,14 @@ def evaluate_noninflationary(
     """
     if validate:
         validate_program(program, Dialect.DATALOG_NEGNEG)
+    if tracer is not None and not tracer.enabled:
+        tracer = None
     current = db.copy()
     for relation in program.idb:
         current.ensure_relation(relation, program.arity(relation))
     adom = evaluation_adom(program, db)
     result = NoninflationaryResult(current)
-    recorder = StatsRecorder("noninflationary", current)
+    recorder = StatsRecorder("noninflationary", current, tracer=tracer)
     seen: set[frozenset] = set()
     if detect_cycles:
         seen.add(current.canonical())
@@ -93,7 +96,7 @@ def evaluate_noninflationary(
                 f"no fixpoint after {max_stages} stages", max_stages
             )
         positive, negative, firings = immediate_consequences(
-            program, current, adom, stats=recorder.stats
+            program, current, adom, stats=recorder.stats, tracer=tracer
         )
         result.rule_firings += firings
         conflicts = positive & negative
@@ -128,6 +131,7 @@ def evaluate_noninflationary(
             firings,
             added=len(trace.new_facts),
             removed=len(trace.removed_facts),
+            trace=trace,
         )
         if not trace.new_facts and not trace.removed_facts:
             break

@@ -29,20 +29,23 @@ def evaluate_datalog_seminaive(
     program: Program,
     db: Database,
     validate: bool = True,
+    tracer=None,
 ) -> EvaluationResult:
     """Minimum model via semi-naive (delta-driven) evaluation."""
     if validate:
         validate_program(program, Dialect.DATALOG)
+    if tracer is not None and not tracer.enabled:
+        tracer = None
     current = db.copy()
     for relation in program.idb:
         current.ensure_relation(relation, program.arity(relation))
     adom = evaluation_adom(program, db)
     result = EvaluationResult(current)
-    recorder = StatsRecorder("seminaive", current)
+    recorder = StatsRecorder("seminaive", current, tracer=tracer)
 
     # Stage 1: full evaluation.
     positive, _negative, firings = immediate_consequences(
-        program, current, adom, stats=recorder.stats
+        program, current, adom, stats=recorder.stats, tracer=tracer
     )
     result.rule_firings += firings
     trace = StageTrace(1)
@@ -51,7 +54,7 @@ def evaluate_datalog_seminaive(
         if current.add_fact(relation, t):
             trace.new_facts.append((relation, t))
             delta.setdefault(relation, set()).add(t)
-    recorder.stage(1, firings, added=len(trace.new_facts))
+    recorder.stage(1, firings, added=len(trace.new_facts), trace=trace)
     if trace.new_facts:
         result.stages.append(trace)
 
@@ -60,7 +63,8 @@ def evaluate_datalog_seminaive(
         stage += 1
         frozen_delta = {rel: frozenset(ts) for rel, ts in delta.items()}
         positive, _negative, firings = immediate_consequences(
-            program, current, adom, delta=frozen_delta, stats=recorder.stats
+            program, current, adom, delta=frozen_delta, stats=recorder.stats,
+            tracer=tracer
         )
         result.rule_firings += firings
         trace = StageTrace(stage)
@@ -69,7 +73,7 @@ def evaluate_datalog_seminaive(
             if current.add_fact(relation, t):
                 trace.new_facts.append((relation, t))
                 delta.setdefault(relation, set()).add(t)
-        recorder.stage(stage, firings, added=len(trace.new_facts))
+        recorder.stage(stage, firings, added=len(trace.new_facts), trace=trace)
         if trace.new_facts:
             result.stages.append(trace)
     result.stats = recorder.finish(adom_size=len(adom))

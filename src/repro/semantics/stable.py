@@ -137,17 +137,20 @@ def stable_models(
     db: Database,
     validate: bool = True,
     max_unknowns: int = 20,
+    tracer=None,
 ) -> list[frozenset[Fact]]:
     """All stable models (as sets of idb facts), bracketed by well-founded.
 
     Uses the classical result that every stable model M satisfies
     ``WF_true ⊆ M ⊆ WF_possible``; enumeration is over subsets of the
     unknown facts, so programs with more than ``max_unknowns`` unknowns
-    are rejected rather than silently exploding.
+    are rejected rather than silently exploding.  Tracing covers the
+    bracketing well-founded run — the subset enumeration over unknowns
+    fires no rules through the consequence operator.
     """
     if validate:
         validate_program(program, Dialect.DATALOG_NEG)
-    wf = evaluate_wellfounded(program, db, validate=False)
+    wf = evaluate_wellfounded(program, db, validate=False, tracer=tracer)
     unknowns = sorted(wf.unknown_facts(), key=repr)
     if len(unknowns) > max_unknowns:
         raise EvaluationError(

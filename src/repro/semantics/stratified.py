@@ -30,6 +30,7 @@ def evaluate_stratified(
     program: Program,
     db: Database,
     validate: bool = True,
+    tracer=None,
 ) -> EvaluationResult:
     """Stratified semantics of a stratifiable Datalog¬ program.
 
@@ -38,13 +39,15 @@ def evaluate_stratified(
     """
     if validate:
         validate_program(program, Dialect.STRATIFIED)
+    if tracer is not None and not tracer.enabled:
+        tracer = None
     strata = stratify(program)
     current = db.copy()
     for relation in program.idb:
         current.ensure_relation(relation, program.arity(relation))
     adom = evaluation_adom(program, db)
     result = EvaluationResult(current)
-    recorder = StatsRecorder("stratified", current)
+    recorder = StatsRecorder("stratified", current, tracer=tracer)
     stage = 0
 
     for stratum in strata:
@@ -54,7 +57,7 @@ def evaluate_stratified(
         subprogram = Program(rules, name=f"{program.name}-stratum")
         # Full pass, then delta-driven passes over this stratum's relations.
         positive, _negative, firings = immediate_consequences(
-            subprogram, current, adom, stats=recorder.stats
+            subprogram, current, adom, stats=recorder.stats, tracer=tracer
         )
         result.rule_firings += firings
         delta: dict[str, set[tuple]] = {}
@@ -64,13 +67,14 @@ def evaluate_stratified(
             if current.add_fact(relation, t):
                 trace.new_facts.append((relation, t))
                 delta.setdefault(relation, set()).add(t)
-        recorder.stage(stage, firings, added=len(trace.new_facts))
+        recorder.stage(stage, firings, added=len(trace.new_facts), trace=trace)
         if trace.new_facts:
             result.stages.append(trace)
         while delta:
             frozen_delta = {rel: frozenset(ts) for rel, ts in delta.items()}
             positive, _negative, firings = immediate_consequences(
-                subprogram, current, adom, delta=frozen_delta, stats=recorder.stats
+                subprogram, current, adom, delta=frozen_delta,
+                stats=recorder.stats, tracer=tracer
             )
             result.rule_firings += firings
             stage += 1
@@ -80,7 +84,8 @@ def evaluate_stratified(
                 if current.add_fact(relation, t):
                     trace.new_facts.append((relation, t))
                     delta.setdefault(relation, set()).add(t)
-            recorder.stage(stage, firings, added=len(trace.new_facts))
+            recorder.stage(stage, firings, added=len(trace.new_facts),
+                           trace=trace)
             if trace.new_facts:
                 result.stages.append(trace)
     result.stats = recorder.finish(adom_size=len(adom))

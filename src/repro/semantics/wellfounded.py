@@ -109,7 +109,8 @@ def _transform(program: Program) -> Program:
                 )
             else:
                 body.append(lit)
-        new_rules.append(Rule(rule.head, tuple(body), rule.universal))
+        new_rules.append(Rule(rule.head, tuple(body), rule.universal,
+                              span=rule.span))
     return Program(new_rules, name=f"{program.name}-wf")
 
 
@@ -119,6 +120,7 @@ def _least_model(
     assumed: frozenset[tuple[str, tuple]],
     adom: tuple[Hashable, ...],
     stats: EngineStats | None = None,
+    tracer=None,
 ) -> tuple[frozenset[tuple[str, tuple]], int, tuple[int, int]]:
     """lfp of the transformed program with assumptions ``assumed`` (= S(J)).
 
@@ -133,7 +135,7 @@ def _least_model(
 
     firings_total = 0
     positive, _negative, firings = immediate_consequences(
-        transformed, work, adom, stats=stats
+        transformed, work, adom, stats=stats, tracer=tracer
     )
     firings_total += firings
     delta: dict[str, set[tuple]] = {}
@@ -145,7 +147,7 @@ def _least_model(
     while delta:
         frozen = {rel: frozenset(ts) for rel, ts in delta.items()}
         positive, _negative, firings = immediate_consequences(
-            transformed, work, adom, delta=frozen, stats=stats
+            transformed, work, adom, delta=frozen, stats=stats, tracer=tracer
         )
         firings_total += firings
         delta = {}
@@ -178,6 +180,7 @@ def evaluate_wellfounded(
     program: Program,
     db: Database,
     validate: bool = True,
+    tracer=None,
 ) -> WellFoundedModel:
     """The well-founded model of a Datalog¬ program on ``db``.
 
@@ -186,13 +189,16 @@ def evaluate_wellfounded(
     """
     if validate:
         validate_program(program, Dialect.DATALOG_NEG)
+    if tracer is not None and not tracer.enabled:
+        tracer = None
     transformed = _transform(program)
     adom = evaluation_adom(program, db)
-    recorder = StatsRecorder("wellfounded")
+    recorder = StatsRecorder("wellfounded", tracer=tracer)
 
     def step(assumed, label):
         derived, firings, counters = _least_model(
-            transformed, db, assumed, adom, stats=recorder.stats
+            transformed, db, assumed, adom, stats=recorder.stats,
+            tracer=tracer
         )
         recorder.stage(label, firings, added=len(derived), counters=counters)
         return derived, firings

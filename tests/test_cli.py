@@ -135,6 +135,62 @@ class TestTrace:
         assert code == 0
         assert "- S(a)" in output
 
+    @pytest.mark.parametrize("semantics", ["naive", "seminaive", "stratified"])
+    def test_trace_deterministic_engines_agree(self, tc_files, semantics):
+        # All event-stream backed deterministic engines print the same
+        # stage-by-stage fact additions for plain TC.
+        program, data = tc_files
+        code, output = run_cli(
+            ["trace", program, "--data", data, "--semantics", semantics]
+        )
+        assert code == 0
+        assert "stage 1:" in output
+        assert "+ T(a, b)" in output
+        assert "+ T(a, c)" in output
+        assert "fixpoint after 2 stages" in output
+
+    def test_trace_wellfounded_counters_only(self, tmp_path):
+        # Well-founded stages are inner-fixpoint summaries: the trace
+        # degrades to per-stage counters instead of fact payloads.
+        program = tmp_path / "win.dl"
+        program.write_text("win(x) :- moves(x, y), not win(y).\n")
+        data = tmp_path / "m.dl"
+        data.write_text("moves('a','b'). moves('b','a'). moves('b','c').\n")
+        code, output = run_cli(
+            ["trace", str(program), "--data", str(data),
+             "--semantics", "wellfounded"]
+        )
+        assert code == 0
+        assert "stage 1: +" in output
+        assert "fixpoint after" in output
+
+    def test_trace_choice_semantics(self, tmp_path):
+        program = tmp_path / "c.dl"
+        program.write_text(
+            "advisor(s, p) :- student(s), professor(p), choice((s), (p)).\n"
+        )
+        data = tmp_path / "d.dl"
+        data.write_text("student('s1'). professor('p1'). professor('p2').\n")
+        code, output = run_cli(
+            ["trace", str(program), "--data", str(data),
+             "--semantics", "choice", "--seed", "3"]
+        )
+        assert code == 0
+        assert "stage 1:" in output
+        assert "+ advisor(s1, " in output
+
+    def test_trace_stable_semantics(self, tmp_path):
+        program = tmp_path / "win.dl"
+        program.write_text("win(x) :- moves(x, y), not win(y).\n")
+        data = tmp_path / "m.dl"
+        data.write_text("moves('a','b'). moves('b','c').\n")
+        code, output = run_cli(
+            ["trace", str(program), "--data", str(data),
+             "--semantics", "stable"]
+        )
+        assert code == 0
+        assert "fixpoint after" in output
+
 
 class TestExplain:
     def test_explain_derived_fact(self, tc_files):

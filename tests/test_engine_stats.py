@@ -12,6 +12,7 @@ from repro.parser import parse_program
 from repro.relational.instance import Database
 from repro.semantics import (
     EngineStats,
+    StageStats,
     StageTrace,
     StatsRecorder,
     evaluate_datalog_naive,
@@ -169,3 +170,111 @@ class TestStatsRecorder:
         stats = recorder.finish()
         assert stats.index_builds == 1
         assert stats.index_updates == 1
+
+
+class TestSummaryAlignment:
+    """The per-stage table must stay aligned for arbitrarily wide counters."""
+
+    def make_stats(self):
+        stats = EngineStats(engine="seminaive", seconds=123.456789)
+        stats.stages = [
+            StageStats(stage=1, seconds=0.25, firings=3, added=2),
+            StageStats(stage=2, seconds=100.5, firings=123_456_789,
+                       added=98_765_432, removed=7, index_builds=1,
+                       index_updates=55_555_555),
+            StageStats(stage=3, seconds=0.000001, firings=0),
+        ]
+        stats.rule_firings = sum(s.firings for s in stats.stages)
+        return stats
+
+    def test_columns_fit_widest_value(self):
+        summary = self.make_stats().summary()
+        table = summary.splitlines()[8:]  # the per-stage table
+        assert len(table) == 4  # header + 3 stages
+        # Every row has identical length: wide counters never shear it.
+        assert len({len(line) for line in table}) == 1
+        header = table[0].split()
+        assert header == ["stage", "seconds", "firings", "+facts",
+                          "-facts", "builds", "updates"]
+        # Columns remain parseable after splitting on whitespace.
+        for line in table[1:]:
+            assert len(line.split()) == 7
+        assert "123456789" in table[2]
+
+    def test_snapshot(self):
+        """Byte-for-byte snapshot of the wide-counter rendering."""
+        table = "\n".join(self.make_stats().summary().splitlines()[8:])
+        assert table == (
+            "stage     seconds    firings    +facts  -facts  builds   updates\n"
+            "    1    0.250000          3         2       0       0         0\n"
+            "    2  100.500000  123456789  98765432       7       1  55555555\n"
+            "    3    0.000001          0         0       0       0         0"
+        )
+
+    def test_headline_lines_unchanged(self):
+        summary = self.make_stats().summary()
+        assert "engine:            seminaive" in summary
+        assert "wall time:         123.456789 s" in summary
+        assert "rule firings:      123456792" in summary
+
+
+class TestRecorderInvariants:
+    """Cross-engine invariants of the recorded statistics (satellite 4)."""
+
+    def run_all(self):
+        program = parse_program(TC)
+        db = Database(GRAPH)
+        return {
+            "naive": evaluate_datalog_naive(program, db).stats,
+            "seminaive": evaluate_datalog_seminaive(program, db).stats,
+            "stratified": evaluate_stratified(program, db).stats,
+            "inflationary": evaluate_inflationary(program, db).stats,
+        }
+
+    def test_stage_seconds_nonnegative_and_bounded(self):
+        for engine, stats in self.run_all().items():
+            assert all(s.seconds >= 0 for s in stats.stages), engine
+            # Stages partition a sub-interval of the whole run.
+            assert sum(s.seconds for s in stats.stages) <= stats.seconds, engine
+
+    def test_index_counters_follow_maintenance_toggle(self):
+        from repro.relational.instance import Relation
+
+        from repro.programs.tc import tc_nonlinear_program
+        from repro.workloads.graphs import chain, graph_database
+
+        program = tc_nonlinear_program()
+        db = graph_database(chain(12))
+        assert Relation.incremental_maintenance  # the default
+        try:
+            incremental = evaluate_datalog_seminaive(program, db).stats
+            Relation.incremental_maintenance = False
+            rebuilding = evaluate_datalog_seminaive(program, db).stats
+        finally:
+            Relation.incremental_maintenance = True
+        # Incremental: one build, then in-place updates only.
+        assert incremental.index_builds == 1
+        assert incremental.index_updates > 0
+        # Seed behavior: a rebuild per mutated stage, no updates.
+        assert rebuilding.index_builds > 1
+        assert rebuilding.index_updates == 0
+
+    def test_null_tracer_adds_zero_events_and_identical_stats_shape(self):
+        from repro.obs import NULL_TRACER, CollectorSink
+
+        sink = CollectorSink()
+        NULL_TRACER.add_sink(sink)
+        try:
+            program = parse_program(TC)
+            db = Database(GRAPH)
+            traced = evaluate_datalog_seminaive(program, db,
+                                                tracer=NULL_TRACER).stats
+            plain = evaluate_datalog_seminaive(program, db).stats
+        finally:
+            NULL_TRACER.sinks.remove(sink)
+        assert sink.events == []
+        assert traced.stage_count == plain.stage_count
+        assert traced.rule_firings == plain.rule_firings
+        assert [s.firings for s in traced.stages] == [
+            s.firings for s in plain.stages
+        ]

@@ -10,6 +10,12 @@ Benchmarks that evaluate an engine additionally record one
 the schema-pinned ``BENCH_engines.json`` artifact on exit (path
 overridable via ``REPRO_BENCH_ARTIFACT``) so the performance
 trajectory is machine-readable across commits.
+
+The matcher ablation (``test_kernel_ablation.py``) records
+:class:`~repro.obs.bench.KernelRecord` measurements through the
+``kernel_artifact`` fixture; those land in the schema-pinned
+``BENCH_kernel.json`` (path overridable via
+``REPRO_KERNEL_ARTIFACT``).
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ import os
 import pytest
 
 _RECORDS = []
+_KERNEL_RECORDS = []
 
 
 class _BenchArtifact:
@@ -31,10 +38,28 @@ class _BenchArtifact:
         _RECORDS.append(BenchRecord.from_stats(benchmark, engine, size, stats))
 
 
+class _KernelArtifact:
+    """The ``kernel_artifact`` fixture's API: ``record(...)`` one cell."""
+
+    @staticmethod
+    def record(benchmark: str, matcher: str, size: int, stats) -> None:
+        from repro.obs.bench import KernelRecord
+
+        _KERNEL_RECORDS.append(
+            KernelRecord.from_stats(benchmark, matcher, size, stats)
+        )
+
+
 @pytest.fixture
 def bench_artifact():
     """Collects (benchmark, engine, size, EngineStats) measurements."""
     return _BenchArtifact
+
+
+@pytest.fixture
+def kernel_artifact():
+    """Collects (benchmark, matcher, size, EngineStats) ablation cells."""
+    return _KernelArtifact
 
 
 def pytest_sessionfinish(session, exitstatus):
@@ -43,6 +68,11 @@ def pytest_sessionfinish(session, exitstatus):
 
         path = os.environ.get("REPRO_BENCH_ARTIFACT", "BENCH_engines.json")
         write_bench_artifact(_RECORDS, path)
+    if _KERNEL_RECORDS:
+        from repro.obs.bench import write_kernel_artifact
+
+        path = os.environ.get("REPRO_KERNEL_ARTIFACT", "BENCH_kernel.json")
+        write_kernel_artifact(_KERNEL_RECORDS, path)
 
 
 def pytest_collection_modifyitems(items):

@@ -1,0 +1,92 @@
+"""PERF — compiled slot-plan kernel vs the interpreted matcher.
+
+The ablation behind ``BENCH_kernel.json``: the same workload run with
+``PlanCache.compiled_plans`` on (the default slot-based join kernel of
+:mod:`repro.semantics.plan`) and off (the reference interpreted
+matcher), on the two shapes the ISSUE pins:
+
+* nonlinear transitive closure on a chain — the self-join probes the
+  growing ``T`` through a hash index every stage; this is the repo's
+  hottest matcher path;
+* win/game under the well-founded semantics — negation-heavy, so the
+  residual-check and alternating-fixpoint machinery is exercised too.
+
+Shape asserted: both matchers produce identical answers, stage counts,
+and rule firings (the kernel is an optimization, never a semantics
+change).  Wall-clock is recorded in the artifact rather than asserted —
+at CI smoke sizes the difference is noise; the committed full-size
+artifact carries the speedup evidence.
+
+Set ``REPRO_BENCH_SIZES`` (comma-separated) to override the size sweep,
+e.g. ``REPRO_BENCH_SIZES=8,12`` for a CI smoke run."""
+
+import os
+
+import pytest
+
+from repro.programs.tc import tc_nonlinear_program
+from repro.programs.win import win_program
+from repro.semantics.plan import PlanCache
+from repro.semantics.seminaive import evaluate_datalog_seminaive
+from repro.semantics.wellfounded import evaluate_wellfounded
+from repro.workloads.games import game_database, random_game
+from repro.workloads.graphs import chain, graph_database
+
+SIZES = [
+    int(s)
+    for s in os.environ.get("REPRO_BENCH_SIZES", "16,32,48").split(",")
+    if s.strip()
+]
+
+MATCHERS = ["compiled", "interpreted"]
+
+
+def _with_matcher(matcher: str, run):
+    """Run ``run()`` under the given matcher path, restoring the default."""
+    assert PlanCache.compiled_plans  # the default
+    PlanCache.compiled_plans = matcher == "compiled"
+    try:
+        return run()
+    finally:
+        PlanCache.compiled_plans = True
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("matcher", MATCHERS)
+def test_kernel_tc_nonlinear(benchmark, kernel_artifact, matcher, n):
+    program = tc_nonlinear_program()
+    edges = chain(n)
+
+    def run():
+        return evaluate_datalog_seminaive(program, graph_database(edges))
+
+    result = benchmark.pedantic(
+        lambda: _with_matcher(matcher, run), rounds=3, iterations=1
+    )
+    assert result.stats.matcher == matcher
+    # Matcher parity: the kernel changes nothing observable.
+    reference = _with_matcher("interpreted", run)
+    assert result.answer("T") == reference.answer("T")
+    assert result.stats.stage_count == reference.stats.stage_count
+    assert result.stats.rule_firings == reference.stats.rule_firings
+    kernel_artifact.record("tc_nonlinear_chain", matcher, n, result.stats)
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("matcher", MATCHERS)
+def test_kernel_win_wellfounded(benchmark, kernel_artifact, matcher, n):
+    program = win_program()
+    moves = random_game(n, p=min(0.5, 4.0 / n), seed=n)
+
+    def run():
+        return evaluate_wellfounded(program, game_database(moves))
+
+    model = benchmark.pedantic(
+        lambda: _with_matcher(matcher, run), rounds=3, iterations=1
+    )
+    assert model.stats.matcher == matcher
+    reference = _with_matcher("interpreted", run)
+    assert model.true_facts == reference.true_facts
+    assert model.unknown_facts() == reference.unknown_facts()
+    assert model.stats.rule_firings == reference.stats.rule_firings
+    kernel_artifact.record("win_wellfounded", matcher, n, model.stats)

@@ -384,8 +384,13 @@ def cmd_profile(args, out) -> int:
         print(f"unknown semantics {semantics!r}", file=sys.stderr)
         return 2
     collector = CollectorSink()
-    engine(program, db, tracer=Tracer([collector]))
+    result = engine(program, db, tracer=Tracer([collector]))
     report = ProfileReport.from_events(collector.events, program=program)
+    # Traced runs route through the interpreted matcher; surface that so
+    # profile numbers are not read as compiled-kernel timings.  (The
+    # stable engine returns a model set with no stats — default there.)
+    stats = getattr(result, "stats", None)
+    report.matcher = getattr(stats, "matcher", "") or "interpreted"
     top = args.top if args.top > 0 else None
     if args.format == "json":
         print(report.to_json(sort=args.sort, top=top), file=out)

@@ -18,7 +18,8 @@ drivers:
 * :mod:`repro.obs.profile` — :class:`ProfileReport`, the per-rule
   aggregation behind ``repro profile``;
 * :mod:`repro.obs.bench` — the deterministic ``BENCH_engines.json``
-  benchmark artifact and its pinned-schema validator.
+  and ``BENCH_kernel.json`` benchmark artifacts and their
+  pinned-schema validators.
 
 Quickstart::
 
@@ -33,11 +34,17 @@ Quickstart::
 
 from repro.obs.bench import (
     BENCH_SCHEMA_VERSION,
+    KERNEL_SCHEMA_VERSION,
     BenchRecord,
+    KernelRecord,
     bench_artifact_dict,
+    kernel_artifact_dict,
     load_bench_artifact,
+    load_kernel_artifact,
     validate_bench_artifact,
+    validate_kernel_artifact,
     write_bench_artifact,
+    write_kernel_artifact,
 )
 from repro.obs.events import (
     TRACE_SCHEMA_VERSION,
@@ -60,11 +67,17 @@ from repro.obs.tracer import NULL_TRACER, NullTracer, RuleSpan, Tracer
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
+    "KERNEL_SCHEMA_VERSION",
     "BenchRecord",
+    "KernelRecord",
     "bench_artifact_dict",
+    "kernel_artifact_dict",
     "load_bench_artifact",
+    "load_kernel_artifact",
     "validate_bench_artifact",
+    "validate_kernel_artifact",
     "write_bench_artifact",
+    "write_kernel_artifact",
     "TRACE_SCHEMA_VERSION",
     "LiteralProfile",
     "RuleEvent",

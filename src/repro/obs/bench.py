@@ -1,4 +1,5 @@
-"""Machine-readable benchmark artifacts: ``BENCH_engines.json``.
+"""Machine-readable benchmark artifacts: ``BENCH_engines.json`` and
+``BENCH_kernel.json``.
 
 The benchmark suite under ``benchmarks/`` asserts *shapes* (who wins,
 what scales how); this module gives it a durable, machine-readable
@@ -9,10 +10,18 @@ firings, stage count — through the ``bench_artifact`` fixture in
 ``benchmarks/conftest.py``, and the session writes a single
 deterministic JSON document at exit.
 
-The schema is pinned: :func:`validate_bench_artifact` raises
-:class:`ValueError` on any drift, and CI runs it against the artifact
-it uploads, so a schema change must be deliberate (bump
-``BENCH_SCHEMA_VERSION``) rather than accidental.
+``BENCH_kernel.json`` is the matcher ablation twin: each
+:class:`KernelRecord` measures one (benchmark, matcher path, size)
+cell, where the matcher is ``"compiled"`` (the slot-plan kernel of
+:mod:`repro.semantics.plan`) or ``"interpreted"`` (the reference
+matcher with the kernel toggled off), recorded through the
+``kernel_artifact`` fixture.
+
+Both schemas are pinned: :func:`validate_bench_artifact` /
+:func:`validate_kernel_artifact` raise :class:`ValueError` on any
+drift, and CI runs them against the artifacts it uploads, so a schema
+change must be deliberate (bump ``BENCH_SCHEMA_VERSION`` /
+``KERNEL_SCHEMA_VERSION``) rather than accidental.
 """
 
 from __future__ import annotations
@@ -138,3 +147,130 @@ def load_bench_artifact(path: str) -> list[BenchRecord]:
     """Read and validate an artifact file; raises ValueError on drift."""
     with open(path) as handle:
         return validate_bench_artifact(json.load(handle))
+
+
+# -- BENCH_kernel.json: compiled-vs-interpreted matcher ablation ------------
+
+#: Version of the BENCH_kernel.json schema (same regime as
+#: :data:`BENCH_SCHEMA_VERSION`).
+KERNEL_SCHEMA_VERSION = 1
+
+#: Exact key set of one kernel record.
+KERNEL_RECORD_FIELDS = (
+    "benchmark",
+    "matcher",
+    "size",
+    "seconds",
+    "rule_firings",
+    "stages",
+)
+
+
+@dataclass(frozen=True)
+class KernelRecord:
+    """One (benchmark, matcher path, workload size) measurement."""
+
+    benchmark: str
+    matcher: str
+    size: int
+    seconds: float
+    rule_firings: int
+    stages: int
+
+    @classmethod
+    def from_stats(
+        cls, benchmark: str, matcher: str, size: int, stats
+    ) -> "KernelRecord":
+        """Build a record from an :class:`~repro.semantics.EngineStats`."""
+        return cls(
+            benchmark=benchmark,
+            matcher=matcher,
+            size=size,
+            seconds=stats.seconds,
+            rule_firings=stats.rule_firings,
+            stages=stats.stage_count,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "benchmark": self.benchmark,
+            "matcher": self.matcher,
+            "size": self.size,
+            "seconds": self.seconds,
+            "rule_firings": self.rule_firings,
+            "stages": self.stages,
+        }
+
+
+def kernel_artifact_dict(records: list[KernelRecord]) -> dict[str, Any]:
+    """The artifact document: schema-versioned, deterministically ordered."""
+    ordered = sorted(records, key=lambda r: (r.benchmark, r.matcher, r.size))
+    return {
+        "version": KERNEL_SCHEMA_VERSION,
+        "benchmarks": [record.to_dict() for record in ordered],
+    }
+
+
+def write_kernel_artifact(records: list[KernelRecord], path: str) -> None:
+    """Write ``BENCH_kernel.json`` (sorted records, sorted keys)."""
+    with open(path, "w") as handle:
+        json.dump(kernel_artifact_dict(records), handle, indent=2,
+                  sort_keys=True)
+        handle.write("\n")
+
+
+def validate_kernel_artifact(data: Any) -> list[KernelRecord]:
+    """Check a kernel artifact document against the pinned schema.
+
+    Returns the parsed records; raises :class:`ValueError` on drift
+    (wrong version, missing/extra keys, wrong types, unknown matcher).
+    """
+    if not isinstance(data, dict):
+        raise ValueError("kernel artifact must be a JSON object")
+    if data.get("version") != KERNEL_SCHEMA_VERSION:
+        raise ValueError(
+            f"kernel artifact version {data.get('version')!r} != "
+            f"{KERNEL_SCHEMA_VERSION}"
+        )
+    extra_top = set(data) - {"version", "benchmarks"}
+    if extra_top:
+        raise ValueError(f"unexpected top-level keys: {sorted(extra_top)}")
+    entries = data.get("benchmarks")
+    if not isinstance(entries, list):
+        raise ValueError("kernel artifact 'benchmarks' must be a list")
+    types = {
+        "benchmark": str,
+        "matcher": str,
+        "size": int,
+        "seconds": (int, float),
+        "rule_firings": int,
+        "stages": int,
+    }
+    records: list[KernelRecord] = []
+    for position, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise ValueError(f"record {position} is not an object")
+        if set(entry) != set(KERNEL_RECORD_FIELDS):
+            raise ValueError(
+                f"record {position} keys {sorted(entry)} != "
+                f"{sorted(KERNEL_RECORD_FIELDS)}"
+            )
+        for key, expected in types.items():
+            if not isinstance(entry[key], expected):
+                raise ValueError(
+                    f"record {position} field {key!r} has type "
+                    f"{type(entry[key]).__name__}"
+                )
+        if entry["matcher"] not in ("compiled", "interpreted"):
+            raise ValueError(
+                f"record {position} matcher {entry['matcher']!r} is not "
+                "'compiled' or 'interpreted'"
+            )
+        records.append(KernelRecord(**entry))
+    return records
+
+
+def load_kernel_artifact(path: str) -> list[KernelRecord]:
+    """Read and validate a kernel artifact file; raises on drift."""
+    with open(path) as handle:
+        return validate_kernel_artifact(json.load(handle))

@@ -93,6 +93,12 @@ class ProfileReport:
     """Per-rule hot-spot report for one engine run."""
 
     engine: str = ""
+    #: Matcher path of the profiled run.  Profiles are collected through
+    #: a tracer, and traced runs always take the interpreted twin (the
+    #: compiled kernel has no probe hooks), so this is ``"interpreted"``
+    #: for every CLI profile — recorded explicitly so readers comparing
+    #: against ``repro stats`` (compiled by default) are not misled.
+    matcher: str = ""
     seconds: float = 0.0
     stages: int = 0
     rule_firings: int = 0
@@ -176,6 +182,7 @@ class ProfileReport:
         return {
             "version": PROFILE_SCHEMA_VERSION,
             "engine": self.engine,
+            "matcher": self.matcher,
             "seconds": self.seconds,
             "stages": self.stages,
             "rule_firings": self.rule_firings,
@@ -193,6 +200,7 @@ class ProfileReport:
         """The human hot-rule table."""
         lines = [
             f"engine: {self.engine or '(unknown)'}   "
+            f"matcher: {self.matcher or '(unknown)'}   "
             f"wall time: {self.seconds:.6f} s   "
             f"stages: {self.stages}   firings: {self.rule_firings}"
         ]

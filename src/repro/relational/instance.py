@@ -9,7 +9,12 @@ detection that powers nontermination checks in Datalog¬¬.
 
 Relations maintain hash indexes on demand: ``Relation.index((0, 2))``
 returns a dict from values at positions 0 and 2 to the matching tuples,
-which the rule matcher uses to avoid full scans.  Indexes are maintained
+which the rule matcher uses to avoid full scans.  Buckets are dicts used
+as *ordered sets* (``dict[tuple, None]``): insertion order matches the
+old list-append order (so seeded nondeterministic engines see the same
+enumeration order), while deletion is O(1) instead of the O(bucket)
+``list.remove`` scan — which matters for the noninflationary/while
+engines that discard heavily from skewed buckets.  Indexes are maintained
 *incrementally*: once built, an index is updated in place on every
 ``add``/``discard`` instead of being discarded and rebuilt — the
 difference between O(facts) and O(stages × facts) total index work over
@@ -53,7 +58,7 @@ class Relation:
         self.name = name
         self.arity = arity
         self._tuples: set[tuple] = set()
-        self._indexes: dict[tuple[int, ...], dict[tuple, list[tuple]]] = {}
+        self._indexes: dict[tuple[int, ...], dict[tuple, dict[tuple, None]]] = {}
         self._version = 0
         self._index_builds = 0
         self._index_updates = 0
@@ -78,18 +83,22 @@ class Relation:
             key = tuple(t[p] for p in positions)
             bucket = table.get(key)
             if bucket is None:
-                table[key] = [t]
+                table[key] = {t: None}
             else:
-                bucket.append(t)
+                bucket[t] = None
             self._index_updates += 1
 
     def _index_remove(self, t: tuple) -> None:
-        """Remove ``t`` from its key's bucket in every live index."""
+        """Remove ``t`` from its key's bucket in every live index.
+
+        O(1) per bucket: the bucket is an insertion-ordered dict, so
+        deletion is a hash delete — no O(bucket) ``list.remove`` scan.
+        """
         for positions, table in self._indexes.items():
             key = tuple(t[p] for p in positions)
             bucket = table.get(key)
             if bucket is not None:
-                bucket.remove(t)
+                del bucket[t]
                 if not bucket:
                     del table[key]
             self._index_updates += 1
@@ -204,22 +213,23 @@ class Relation:
         """An immutable snapshot of the current content."""
         return frozenset(self._tuples)
 
-    def index(self, positions: tuple[int, ...]) -> dict[tuple, list[tuple]]:
+    def index(self, positions: tuple[int, ...]) -> dict[tuple, dict[tuple, None]]:
         """A hash index on the given positions, built lazily and cached.
 
         Maps each distinct key (the projection of a tuple onto
-        ``positions``) to the list of tuples with that key.  The
-        returned dict is live — it is maintained in place by subsequent
-        mutations — so callers must not modify or hold it across their
-        own writes without re-fetching.
+        ``positions``) to an ordered set (``dict[tuple, None]``) of the
+        tuples with that key; iterate a bucket directly for the matching
+        tuples.  The returned dict is live — it is maintained in place
+        by subsequent mutations — so callers must not modify it, and
+        must snapshot a bucket before iterating across their own writes.
         """
         cached = self._indexes.get(positions)
         if cached is not None:
             return cached
-        built: dict[tuple, list[tuple]] = {}
+        built: dict[tuple, dict[tuple, None]] = {}
         for t in self._tuples:
             key = tuple(t[p] for p in positions)
-            built.setdefault(key, []).append(t)
+            built.setdefault(key, {})[t] = None
         self._indexes[positions] = built
         self._index_builds += 1
         return built
@@ -231,7 +241,7 @@ class Relation:
             # Carrying the live indexes over is cheaper than letting the
             # clone rebuild them from scratch on first use.
             clone._indexes = {
-                positions: {key: list(bucket) for key, bucket in table.items()}
+                positions: {key: dict(bucket) for key, bucket in table.items()}
                 for positions, table in self._indexes.items()
             }
         return clone

@@ -20,6 +20,10 @@ Nondeterministic engines:
   extensions (§5.1–5.2);
 * :mod:`repro.semantics.posscert` — possibility/certainty semantics
   (§5.3).
+
+All engines share the rule matcher in :mod:`repro.semantics.base`,
+which by default runs rules through the compiled slot-plan kernel of
+:mod:`repro.semantics.plan` (toggle: ``PlanCache.compiled_plans``).
 """
 
 from repro.semantics.base import (
@@ -32,6 +36,7 @@ from repro.semantics.base import (
     instantiate_head,
     immediate_consequences,
 )
+from repro.semantics.plan import PlanCache, RulePlan, plan_for
 from repro.semantics.naive import evaluate_datalog_naive
 from repro.semantics.seminaive import evaluate_datalog_seminaive
 from repro.semantics.stratified import evaluate_stratified
@@ -67,6 +72,9 @@ __all__ = [
     "iter_matches",
     "instantiate_head",
     "immediate_consequences",
+    "PlanCache",
+    "RulePlan",
+    "plan_for",
     "evaluate_datalog_naive",
     "evaluate_datalog_seminaive",
     "evaluate_stratified",

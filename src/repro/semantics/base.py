@@ -13,6 +13,21 @@ by no positive literal, and final checks of negative and inequality
 literals.  Variables occurring *only* in negative literals range over
 the full active domain, exactly as the paper's semantics prescribes
 (this is what makes ``CT(x,y) ← ¬T(x,y)`` meaningful).
+
+Two matcher paths produce those instantiations:
+
+* the **compiled** kernel (:mod:`repro.semantics.plan`, the default) —
+  each (rule, join order) is compiled once into a flat slot-based plan
+  and executed as an iterative walk over candidate tuples;
+* the **interpreted** twin below — the direct recursive-generator
+  implementation, which also serves as the reference semantics, the
+  ablation baseline (``PlanCache.compiled_plans = False``), and the
+  path every traced run takes (the obs :class:`~repro.obs.JoinProbe`
+  hooks between its candidate lookup and valuation extension).
+
+Both paths enumerate matches in the same order and must stay
+byte-for-byte equivalent; ``tests/test_plan_kernel.py`` and the
+differential suites pin that equivalence.
 """
 
 from __future__ import annotations
@@ -25,6 +40,7 @@ from typing import Hashable, Iterator
 from repro.ast.program import Program
 from repro.ast.rules import EqLit, Lit, Rule
 from repro.relational.instance import Database
+from repro.semantics.plan import PlanCache, plan_for
 from repro.terms import Const, Var, apply_valuation
 
 #: Version of the ``repro stats --format json`` schema.  Bump on any
@@ -89,6 +105,10 @@ class EngineStats:
     """
 
     engine: str = ""
+    #: Which matcher path produced the instantiations: ``"compiled"``
+    #: (the slot-plan kernel) or ``"interpreted"`` (the reference path,
+    #: always used when a tracer observes the run).
+    matcher: str = ""
     seconds: float = 0.0
     rule_firings: int = 0
     consequence_calls: int = 0
@@ -109,6 +129,7 @@ class EngineStats:
         """
         lines = [
             f"engine:            {self.engine or '(unknown)'}",
+            f"matcher:           {self.matcher or '(unknown)'}",
             f"wall time:         {self.seconds:.6f} s",
             f"stages:            {len(self.stages)}",
             f"rule firings:      {self.rule_firings}",
@@ -144,9 +165,15 @@ class EngineStats:
         return "\n".join(lines)
 
     def to_dict(self) -> dict:
-        """The pinned JSON shape of ``repro stats --format json``."""
+        """The pinned JSON shape of ``repro stats --format json``.
+
+        ``matcher`` was added under the additive-changes rule of
+        ``STATS_SCHEMA_VERSION``; everything else is the version-1
+        shape.
+        """
         return {
             "engine": self.engine,
+            "matcher": self.matcher,
             "seconds": self.seconds,
             "stage_count": self.stage_count,
             "rule_firings": self.rule_firings,
@@ -178,6 +205,13 @@ class StatsRecorder:
         self.stats = EngineStats(engine=engine)
         self.tracer = (
             tracer if tracer is not None and tracer.enabled else None
+        )
+        # Traced runs route through the interpreted twin so the join
+        # probe's per-literal counts stay exact.
+        self.stats.matcher = (
+            "compiled"
+            if PlanCache.compiled_plans and self.tracer is None
+            else "interpreted"
         )
         self._db: Database | None = None
         self._counters = (0, 0)
@@ -318,36 +352,44 @@ def _literal_binding(
     return tuple(bound_positions), tuple(bound_values), free
 
 
-def _order_positive(literals: list[Lit], db: Database) -> list[Lit]:
-    """Greedy join order: start small, then follow shared variables.
+def _order_positive_indices(literals: list[Lit], db: Database) -> list[int]:
+    """Greedy join order, as indices: start small, follow shared variables.
 
     Ties (same shared-variable count, same relation size) go to the
-    literal occurring first in the rule body.
+    literal occurring first in the rule body.  The per-literal variable
+    sets are built once up front — the selection loop runs O(n²) times
+    per rule per stage and must not rebuild them.
     """
     if not literals:
         return []
 
+    var_sets = [lit.variables() for lit in literals]
     sizes: list[int] = []
     for lit in literals:
         rel = db.relation(lit.relation)
         sizes.append(len(rel) if rel is not None else 0)
 
     remaining = list(range(len(literals)))
-    ordered: list[Lit] = []
+    ordered: list[int] = []
     bound: set[Var] = set()
     while remaining:
         best_slot = 0
         best_key = (-1, 1)
         for slot, i in enumerate(remaining):
-            shared = len(literals[i].variables() & bound)
+            shared = len(var_sets[i] & bound)
             key = (shared, -sizes[i])
             if key > best_key:
                 best_key = key
                 best_slot = slot
-        chosen = literals[remaining.pop(best_slot)]
+        chosen = remaining.pop(best_slot)
         ordered.append(chosen)
-        bound |= chosen.variables()
+        bound |= var_sets[chosen]
     return ordered
+
+
+def _order_positive(literals: list[Lit], db: Database) -> list[Lit]:
+    """Greedy join order over the literals themselves (see above)."""
+    return [literals[i] for i in _order_positive_indices(literals, db)]
 
 
 def _literal_candidates(
@@ -377,7 +419,10 @@ def _literal_candidates(
         exact = tuple(bound_values)
         candidates = [exact] if exact in rel else []
     elif bound_positions:
-        candidates = rel.index(bound_positions).get(tuple(bound_values), [])
+        # Snapshot the bucket: consumers may add facts between yields,
+        # and the live ordered-set bucket must not grow mid-iteration.
+        bucket = rel.index(bound_positions).get(tuple(bound_values))
+        candidates = list(bucket) if bucket else []
     else:
         candidates = list(rel)
     return candidates, free
@@ -434,7 +479,10 @@ def _iter_literal_matches(
         exact = tuple(bound_values)
         candidates = [exact] if exact in rel else []
     elif bound_positions:
-        candidates = rel.index(bound_positions).get(tuple(bound_values), [])
+        # Snapshot, as in _literal_candidates: the bucket is a live
+        # ordered set and consumers may add facts between yields.
+        bucket = rel.index(bound_positions).get(tuple(bound_values))
+        candidates = list(bucket) if bucket else []
     else:
         candidates = list(rel)
     return _extend_valuation(candidates, free, valuation)
@@ -530,9 +578,23 @@ def iter_matches(
     ``probe`` (a :class:`repro.obs.JoinProbe`, duck-typed) observes the
     per-literal join: candidates considered and matches produced, keyed
     by the literal's position in the chosen join order.  ``None`` (the
-    default) costs a single ``is None`` test per join level.
+    default) costs a single ``is None`` test per join level.  Probed
+    runs always take the interpreted path, so the probe's counts are
+    exact; unprobed runs take the compiled kernel (unless
+    ``PlanCache.compiled_plans`` is off), which enumerates the same
+    valuations in the same order.
     """
     positive = list(rule.positive_body())
+    if probe is None and PlanCache.compiled_plans:
+        order = tuple(_order_positive_indices(positive, db))
+        plan = plan_for(rule, order)
+        out: dict[Var, Hashable] = {}
+        out_vars = plan.out_vars
+        for slots in plan.iter_slot_matches(db, adom, delta):
+            for var, s in out_vars:
+                out[var] = slots[s]
+            yield out
+        return
     ordered = _order_positive(positive, db)
 
     def run(restricted_index: int | None) -> Iterator[dict[Var, Hashable]]:
@@ -684,6 +746,42 @@ def immediate_consequences(
     positive: set[tuple[str, tuple]] = set()
     negative: set[tuple[str, tuple]] = set()
     firings = 0
+    if PlanCache.compiled_plans:
+        # Compiled path: head facts come straight from the plan's
+        # emitter templates — no valuation dict is ever built (except
+        # for invention rules, whose heads need variables no slot
+        # holds).
+        for rule in program.rules:
+            body = list(rule.positive_body())
+            if delta is not None and not body:
+                continue
+            order = tuple(_order_positive_indices(body, db))
+            plan = plan_for(rule, order)
+            emitters = plan.emitters
+            if emitters is None:
+                out_vars = plan.out_vars
+                for slots in plan.iter_slot_matches(db, adom, delta):
+                    firings += 1
+                    valuation = {var: slots[s] for var, s in out_vars}
+                    for relation, t, is_positive in instantiate_head(
+                        rule, valuation
+                    ):
+                        if is_positive:
+                            positive.add((relation, t))
+                        else:
+                            negative.add((relation, t))
+            else:
+                for slots in plan.iter_slot_matches(db, adom, delta):
+                    firings += 1
+                    for relation, template, fills, is_positive in emitters:
+                        for position, s in fills:
+                            template[position] = slots[s]
+                        fact = (relation, tuple(template))
+                        if is_positive:
+                            positive.add(fact)
+                        else:
+                            negative.add(fact)
+        return positive, negative, firings
     for rule in program.rules:
         # Rules with an empty positive body can never match a delta fact.
         if delta is not None and not rule.positive_body():

@@ -1,0 +1,511 @@
+"""Compiled rule plans: a slot-based join kernel for the shared matcher.
+
+:func:`repro.semantics.base.iter_matches` evaluates a rule body as a
+backtracking join.  The interpreted path re-derives everything per
+partial valuation: it splits each literal into bound/free positions
+with ``isinstance`` tests, builds index keys term by term, and threads
+a ``dict[Var, value]`` through nested generators.  None of that depends
+on the data — only on the rule and the chosen join order — so this
+module compiles it away once per (rule, join order):
+
+* each positive literal becomes a :class:`Step` — a static record of
+  its index-key template (constants prefilled, bound-variable slots
+  patched in), the (position → slot) pairs it binds, and the
+  within-literal repeated-variable checks;
+* equality propagation becomes a fixed sequence of slot assignments
+  plus precomputed consistency checks (contradictory constants fold
+  into ``RulePlan.never`` at compile time);
+* residual negative literals become (relation, tuple-template) probes
+  and (in)equalities become slot/constant comparisons;
+* head literals become emitter templates, so
+  :func:`~repro.semantics.base.immediate_consequences` can produce head
+  facts without ever materializing a valuation dict.
+
+The runtime inner loop (:meth:`RulePlan.iter_slot_matches`) is an
+iterative backtracking walk over flat candidate tuples and one
+fixed-size slot list — no ``isinstance``, no per-candidate term
+walking, no dict churn.  Valuations remain dicts at the API boundary:
+``iter_matches`` reconstructs one (reused) dict per match from
+``RulePlan.out_vars``.
+
+Semi-naive delta restriction reuses the same compiled steps: the plan
+is executed once per touched literal index with that step's candidates
+drawn from the delta set instead of an index, exactly mirroring the
+interpreted twin — so one compiled plan covers every restricted
+variant of a join order.
+
+Plans are cached per rule (weakly) keyed on the join order, so the
+cheap size-driven ``_order_positive`` choice still runs per rule per
+stage and merely *selects* among cached plans.
+
+Match enumeration order is byte-for-byte the interpreted path's order:
+index buckets preserve insertion order, full scans iterate the
+relation's tuple set, restricted runs iterate the delta frozenset, and
+adom-enumerated variables are ordered by name — all exactly as the
+interpreted twin does.  Engines seeded on match order (choice,
+nondeterministic) therefore produce identical runs under either
+matcher.
+
+The whole layer sits behind :attr:`PlanCache.compiled_plans`
+(mirroring ``Relation.incremental_maintenance``): flipping it off
+routes every engine through the interpreted matcher, which the
+benchmark suite uses to ablate compiled vs interpreted
+(``BENCH_kernel.json``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Hashable, Iterator
+from weakref import WeakKeyDictionary
+
+from repro.ast.rules import EqLit, Lit, Rule
+from repro.relational.instance import Database
+from repro.terms import Const, Var
+
+
+class PlanCache:
+    """The compiled-plan registry and its class-wide toggle."""
+
+    #: Class-wide switch.  When True (the default), ``iter_matches`` and
+    #: ``immediate_consequences`` run compiled plans; when False, every
+    #: engine uses the interpreted matcher (the pre-kernel behavior).
+    #: The benchmark suite flips this to measure the kernel's win;
+    #: production code should never touch it.
+    compiled_plans: bool = True
+
+    #: rule → {join order (indices into positive_body) → RulePlan}.
+    #: Weak on the rule so plans die with the program; structurally
+    #: equal rules (spans excluded from Rule equality) share plans.
+    _plans: "WeakKeyDictionary[Rule, dict[tuple[int, ...], RulePlan]]" = (
+        WeakKeyDictionary()
+    )
+
+    @classmethod
+    def clear(cls) -> None:
+        cls._plans = WeakKeyDictionary()
+
+
+class Step:
+    """One compiled positive literal of a join order.
+
+    ``key_positions`` are the tuple positions bound before this step
+    runs (constants and already-bound variables, in position order —
+    the same tuple the interpreted path indexes on, so both matchers
+    share the relation's index cache).  ``key_template``/``key_fills``
+    build the index key without walking terms: constants are prefilled,
+    fills patch bound slots in.  ``binds`` are the (position → slot)
+    pairs this step binds; ``withins`` are (position, earlier position)
+    equality checks for variables repeated *within* the literal.
+    ``exact`` marks a fully-bound literal (membership probe, no index).
+    """
+
+    __slots__ = (
+        "relation",
+        "key_positions",
+        "key_template",
+        "key_fills",
+        "key",
+        "binds",
+        "withins",
+        "exact",
+    )
+
+    def __init__(
+        self,
+        relation: str,
+        key_positions: tuple[int, ...],
+        key_template: tuple[Hashable, ...],
+        key_fills: tuple[tuple[int, int], ...],
+        binds: tuple[tuple[int, int], ...],
+        withins: tuple[tuple[int, int], ...],
+    ):
+        self.relation = relation
+        self.key_positions = key_positions
+        self.key_template = list(key_template)
+        self.key_fills = key_fills
+        #: Constant key, precomputed when no slot ever patches it.
+        self.key = tuple(key_template) if not key_fills else None
+        self.binds = binds
+        self.withins = withins
+        self.exact = bool(key_positions) and not binds and not withins
+
+
+class RulePlan:
+    """A rule compiled against one join order (see module docstring)."""
+
+    __slots__ = (
+        "rule",
+        "order",
+        "n_slots",
+        "steps",
+        "never",
+        "assigns",
+        "pre_checks",
+        "unbound_slots",
+        "neg_checks",
+        "post_checks",
+        "out_vars",
+        "emitters",
+        "trivial_finish",
+    )
+
+    def __init__(self, rule: Rule, order: tuple[int, ...]):
+        self.rule = rule
+        self.order = order
+        positive = rule.positive_body()
+        slot_of: dict[Var, int] = {}
+
+        def slot(v: Var) -> int:
+            s = slot_of.get(v)
+            if s is None:
+                s = slot_of[v] = len(slot_of)
+            return s
+
+        # -- per-literal steps -------------------------------------------
+        steps: list[Step] = []
+        for index in order:
+            lit = positive[index]
+            key_positions: list[int] = []
+            key_template: list[Hashable] = []
+            key_fills: list[tuple[int, int]] = []
+            binds: list[tuple[int, int]] = []
+            withins: list[tuple[int, int]] = []
+            seen_here: dict[Var, int] = {}  # new vars only
+            for position, term in enumerate(lit.terms):
+                if isinstance(term, Const):
+                    key_positions.append(position)
+                    key_template.append(term.value)
+                elif term in seen_here:
+                    withins.append((position, seen_here[term]))
+                elif term in slot_of:
+                    key_positions.append(position)
+                    key_fills.append((len(key_template), slot_of[term]))
+                    key_template.append(None)
+                else:
+                    seen_here[term] = position
+                    binds.append((position, slot(term)))
+            steps.append(
+                Step(
+                    lit.relation,
+                    tuple(key_positions),
+                    tuple(key_template),
+                    tuple(key_fills),
+                    tuple(binds),
+                    tuple(withins),
+                )
+            )
+        self.steps = tuple(steps)
+
+        # -- equality propagation, compiled statically -------------------
+        # The set of variables bound after the join is static, so the
+        # propagation fixpoint of base._propagate_equalities runs here,
+        # at compile time, producing ordered slot assignments.
+        never = False
+        assigns: list[tuple[int, int | None, Hashable]] = []
+        checks: list[EqLit] = []  # both sides bound: check once at finish
+        pending = [eq for eq in rule.equality_body() if eq.positive]
+        progress = True
+        while progress:
+            progress = False
+            still: list[EqLit] = []
+            for eq in pending:
+                left_bound = isinstance(eq.left, Const) or eq.left in slot_of
+                right_bound = isinstance(eq.right, Const) or eq.right in slot_of
+                if left_bound and right_bound:
+                    checks.append(eq)
+                elif left_bound:
+                    dst = slot(eq.right)
+                    if isinstance(eq.left, Const):
+                        assigns.append((dst, None, eq.left.value))
+                    else:
+                        assigns.append((dst, slot_of[eq.left], None))
+                    progress = True
+                elif right_bound:
+                    dst = slot(eq.left)
+                    if isinstance(eq.right, Const):
+                        assigns.append((dst, None, eq.right.value))
+                    else:
+                        assigns.append((dst, slot_of[eq.right], None))
+                    progress = True
+                else:
+                    still.append(eq)
+            pending = still
+        self.assigns = tuple(assigns)
+
+        def check_spec(eq: EqLit) -> tuple:
+            left = (
+                (None, eq.left.value)
+                if isinstance(eq.left, Const)
+                else (slot_of[eq.left], None)
+            )
+            right = (
+                (None, eq.right.value)
+                if isinstance(eq.right, Const)
+                else (slot_of[eq.right], None)
+            )
+            return (*left, *right, eq.positive)
+
+        # -- adom enumeration for variables the join never binds ---------
+        body_vars = rule.body_variables()
+        unbound = sorted(
+            (v for v in body_vars if v not in slot_of), key=lambda v: v.name
+        )
+        self.unbound_slots = tuple(slot(v) for v in unbound)
+        enumerated = set(unbound)
+
+        # Pre-checks run once per join match, before enumeration (the
+        # interpreted twin checks them during propagation); post-checks
+        # involve enumerated variables and run per adom combination.
+        pre_checks: list[tuple] = []
+        post_checks: list[tuple] = []
+        for eq in itertools.chain(
+            checks,
+            pending,
+            (eq for eq in rule.equality_body() if not eq.positive),
+        ):
+            if isinstance(eq.left, Const) and isinstance(eq.right, Const):
+                if (eq.left.value == eq.right.value) != eq.positive:
+                    never = True
+                continue  # statically true: no runtime check needed
+            touches_enumerated = (
+                (isinstance(eq.left, Var) and eq.left in enumerated)
+                or (isinstance(eq.right, Var) and eq.right in enumerated)
+            )
+            (post_checks if touches_enumerated else pre_checks).append(
+                check_spec(eq)
+            )
+        self.pre_checks = tuple(pre_checks)
+        self.post_checks = tuple(post_checks)
+        self.never = never
+
+        # -- residual negative literals ----------------------------------
+        neg_checks: list[tuple[str, list, tuple[tuple[int, int], ...]]] = []
+        for lit in rule.negative_body():
+            template: list[Hashable] = []
+            fills: list[tuple[int, int]] = []
+            for position, term in enumerate(lit.terms):
+                if isinstance(term, Const):
+                    template.append(term.value)
+                else:
+                    fills.append((position, slot_of[term]))
+                    template.append(None)
+            neg_checks.append((lit.relation, template, tuple(fills)))
+        self.neg_checks = tuple(neg_checks)
+
+        self.trivial_finish = not (
+            self.assigns
+            or self.pre_checks
+            or self.unbound_slots
+            or self.neg_checks
+            or self.post_checks
+        )
+
+        # -- output reconstruction and head emitters ---------------------
+        self.n_slots = len(slot_of)
+        self.out_vars = tuple(slot_of.items())
+        emitters: list[tuple[str, list, tuple[tuple[int, int], ...], bool]] = []
+        compilable = True
+        for lit in rule.head_literals():
+            template = []
+            fills = []
+            for position, term in enumerate(lit.terms):
+                if isinstance(term, Const):
+                    template.append(term.value)
+                elif term in slot_of:
+                    fills.append((position, slot_of[term]))
+                    template.append(None)
+                else:  # invention variable: no slot to read from
+                    compilable = False
+                    break
+            if not compilable:
+                break
+            emitters.append((lit.relation, template, tuple(fills), lit.positive))
+        #: None when a head variable has no slot (Datalog¬new invention);
+        #: consumers fall back to dict valuations + instantiate_head.
+        self.emitters = tuple(emitters) if compilable else None
+
+    # -- execution ----------------------------------------------------------
+
+    def iter_slot_matches(
+        self,
+        db: Database,
+        adom: tuple[Hashable, ...],
+        delta: dict[str, frozenset[tuple]] | None = None,
+    ) -> Iterator[list]:
+        """All matches, as the (reused) slot list.
+
+        Mirrors ``iter_matches``: without ``delta`` the plan runs once;
+        with it, once per step whose relation has delta facts, that
+        step's candidates restricted to the delta.
+        """
+        if self.never:
+            return
+        if delta is None:
+            yield from self._run(db, adom, -1, None)
+        else:
+            for index, step in enumerate(self.steps):
+                restricted = delta.get(step.relation)
+                if restricted:
+                    yield from self._run(db, adom, index, restricted)
+
+    def _candidates(
+        self,
+        step: Step,
+        db: Database,
+        slots: list,
+        restricted: "frozenset[tuple] | dict[tuple, list[tuple]] | None",
+    ) -> Iterator[tuple]:
+        """Candidate tuples for one step under the current slots."""
+        key = step.key
+        if key is None:
+            template = step.key_template
+            for i, s in step.key_fills:
+                template[i] = slots[s]
+            key = tuple(template)
+        if restricted is not None:
+            if step.key_positions:
+                # ``restricted`` was grouped by this step's key positions
+                # in _run, so the probe is a hash lookup, not a scan.
+                return iter(restricted.get(key, ()))
+            return iter(restricted)
+        rel = db.relation(step.relation)
+        if rel is None:
+            return iter(())
+        if step.exact:
+            return iter((key,)) if key in rel else iter(())
+        if step.key_positions:
+            bucket = rel.index(step.key_positions).get(key)
+            # Snapshot: consumers may add facts between yields, and a
+            # live bucket must not be mutated mid-iteration.
+            return iter(list(bucket)) if bucket else iter(())
+        return iter(list(rel))
+
+    def _run(
+        self,
+        db: Database,
+        adom: tuple[Hashable, ...],
+        restricted_index: int,
+        restricted: frozenset[tuple] | None,
+    ) -> Iterator[list]:
+        """The iterative backtracking walk over the compiled steps."""
+        slots = [None] * self.n_slots
+        steps = self.steps
+        n = len(steps)
+        if n == 0:
+            yield from self._finish(db, adom, slots)
+            return
+        if restricted is not None:
+            positions = steps[restricted_index].key_positions
+            if positions:
+                # Group the delta once by the restricted step's key, so
+                # each probe is O(1) instead of an O(|delta|) filter.
+                # Per-key order is the delta set's own iteration order —
+                # exactly what filtering it would have produced.
+                grouped: dict[tuple, list[tuple]] = {}
+                for t in restricted:
+                    grouped.setdefault(
+                        tuple(t[p] for p in positions), []
+                    ).append(t)
+                restricted = grouped
+        last = n - 1
+        trivial = self.trivial_finish
+        iters: list = [None] * n
+        iters[0] = self._candidates(
+            steps[0], db, slots, restricted if restricted_index == 0 else None
+        )
+        depth = 0
+        while True:
+            step = steps[depth]
+            it = iters[depth]
+            if depth == last:
+                binds = step.binds
+                withins = step.withins
+                for candidate in it:
+                    for p2, p1 in withins:
+                        if candidate[p2] != candidate[p1]:
+                            break
+                    else:
+                        for position, s in binds:
+                            slots[s] = candidate[position]
+                        if trivial:
+                            yield slots
+                        else:
+                            yield from self._finish(db, adom, slots)
+                depth -= 1
+                if depth < 0:
+                    return
+                continue
+            advanced = False
+            for candidate in it:
+                for p2, p1 in step.withins:
+                    if candidate[p2] != candidate[p1]:
+                        break
+                else:
+                    for position, s in step.binds:
+                        slots[s] = candidate[position]
+                    depth += 1
+                    iters[depth] = self._candidates(
+                        steps[depth],
+                        db,
+                        slots,
+                        restricted if restricted_index == depth else None,
+                    )
+                    advanced = True
+                    break
+            if not advanced:
+                depth -= 1
+                if depth < 0:
+                    return
+
+    def _finish(
+        self, db: Database, adom: tuple[Hashable, ...], slots: list
+    ) -> Iterator[list]:
+        """Equality assigns/checks, adom enumeration, residual checks."""
+        for dst, src, value in self.assigns:
+            slots[dst] = value if src is None else slots[src]
+        for ls, lc, rs, rc, positive in self.pre_checks:
+            left = slots[ls] if ls is not None else lc
+            right = slots[rs] if rs is not None else rc
+            if (left == right) != positive:
+                return
+        unbound = self.unbound_slots
+        if not unbound:
+            if self._residual_ok(db, slots):
+                yield slots
+            return
+        for values in itertools.product(adom, repeat=len(unbound)):
+            for s, value in zip(unbound, values):
+                slots[s] = value
+            if self._residual_ok(db, slots):
+                yield slots
+
+    def _residual_ok(self, db: Database, slots: list) -> bool:
+        """Negative-literal and per-enumeration equality checks."""
+        for relation, template, fills in self.neg_checks:
+            for position, s in fills:
+                template[position] = slots[s]
+            if db.has_fact(relation, tuple(template)):
+                return False
+        for ls, lc, rs, rc, positive in self.post_checks:
+            left = slots[ls] if ls is not None else lc
+            right = slots[rs] if rs is not None else rc
+            if (left == right) != positive:
+                return False
+        return True
+
+
+def plan_for(rule: Rule, order: tuple[int, ...]) -> RulePlan:
+    """The compiled plan for ``rule`` under one join order (cached).
+
+    ``order`` is the chosen permutation as indices into
+    ``rule.positive_body()``; each distinct order compiles once per
+    rule and is then selected in O(1) by later stages.
+    """
+    per_rule = PlanCache._plans.get(rule)
+    if per_rule is None:
+        per_rule = PlanCache._plans.setdefault(rule, {})
+    plan = per_rule.get(order)
+    if plan is None:
+        plan = per_rule[order] = RulePlan(rule, order)
+    return plan

@@ -81,6 +81,19 @@ class TestProfile:
             assert row["span"] is not None  # points at a real source line
             assert row["emitted"] >= 0
 
+    def test_reports_interpreted_matcher(self, tc_files):
+        # Profiles are collected through a tracer, and traced runs take
+        # the interpreted twin — the report says so, in both formats.
+        program, data = tc_files
+        code, output = run_cli(
+            ["profile", program, "--data", data, "--format", "json"]
+        )
+        assert code == 0
+        assert json.loads(output)["matcher"] == "interpreted"
+        code, output = run_cli(["profile", program, "--data", data])
+        assert code == 0
+        assert "matcher: interpreted" in output
+
     def test_human_table(self, tc_files):
         program, data = tc_files
         code, output = run_cli(["profile", program, "--data", data])
@@ -174,11 +187,15 @@ class TestStatsJson:
         stats = json.loads(output)  # the auto notice must not pollute stdout
         assert stats["version"] == STATS_SCHEMA_VERSION
         assert set(stats) == {
-            "version", "engine", "seconds", "stage_count", "rule_firings",
-            "consequence_calls", "adom_size", "index_builds",
-            "index_updates", "stages",
+            "version", "engine", "matcher", "seconds", "stage_count",
+            "rule_firings", "consequence_calls", "adom_size",
+            "index_builds", "index_updates", "stages",
         }
         assert stats["engine"] == "seminaive"
+        # Additive field under STATS_SCHEMA_VERSION=1: which matcher
+        # path produced the instantiations.  Untraced runs take the
+        # compiled kernel by default.
+        assert stats["matcher"] == "compiled"
         assert stats["stage_count"] == len(stats["stages"])
         for stage in stats["stages"]:
             assert set(stage) == {

@@ -91,6 +91,43 @@ def test_engines_agree_on_minimum_model(seed):
     assert naive.database.canonical() == stratified.database.canonical(), source
 
 
+@pytest.mark.parametrize("seed", range(50))
+def test_compiled_and_interpreted_matchers_agree(seed):
+    """The slot-plan kernel is a pure optimization: on every random
+    program, each engine must produce byte-identical results — database,
+    per-stage additions, stage counts, rule firings — whether the
+    matcher is compiled or interpreted."""
+    from repro.semantics.plan import PlanCache
+
+    rng = random.Random(seed)
+    source, db = random_program_and_database(rng)
+    program = parse_program(source, name=f"random-{seed}")
+    engines = {
+        "naive": evaluate_datalog_naive,
+        "seminaive": evaluate_datalog_seminaive,
+        "stratified": evaluate_stratified,
+    }
+
+    assert PlanCache.compiled_plans  # the default
+    for name, engine in engines.items():
+        try:
+            compiled = engine(program, db)
+            PlanCache.compiled_plans = False
+            interpreted = engine(program, db)
+        finally:
+            PlanCache.compiled_plans = True
+        context = f"{name}: {source}"
+        assert (
+            compiled.database.canonical() == interpreted.database.canonical()
+        ), context
+        assert compiled.stage_count == interpreted.stage_count, context
+        assert compiled.rule_firings == interpreted.rule_firings, context
+        for c_stage, i_stage in zip(compiled.stages, interpreted.stages):
+            assert sorted(c_stage.new_facts, key=repr) == sorted(
+                i_stage.new_facts, key=repr
+            ), context
+
+
 @pytest.mark.parametrize("seed", [3, 17, 41])
 def test_random_programs_are_nontrivial(seed):
     """Sanity: the generator does produce derivations, not just noise."""

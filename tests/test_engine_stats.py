@@ -42,7 +42,7 @@ def assert_consistent(stats: EngineStats, engine: str):
     assert all(s.seconds >= 0 for s in stats.stages)
     # The summary renders every headline counter.
     summary = stats.summary()
-    for needle in ("engine:", "wall time:", "rule firings:",
+    for needle in ("engine:", "matcher:", "wall time:", "rule firings:",
                    "index builds:", "index updates:", "adom size:"):
         assert needle in summary
 
@@ -189,7 +189,7 @@ class TestSummaryAlignment:
 
     def test_columns_fit_widest_value(self):
         summary = self.make_stats().summary()
-        table = summary.splitlines()[8:]  # the per-stage table
+        table = summary.splitlines()[9:]  # the per-stage table
         assert len(table) == 4  # header + 3 stages
         # Every row has identical length: wide counters never shear it.
         assert len({len(line) for line in table}) == 1
@@ -203,7 +203,7 @@ class TestSummaryAlignment:
 
     def test_snapshot(self):
         """Byte-for-byte snapshot of the wide-counter rendering."""
-        table = "\n".join(self.make_stats().summary().splitlines()[8:])
+        table = "\n".join(self.make_stats().summary().splitlines()[9:])
         assert table == (
             "stage     seconds    firings    +facts  -facts  builds   updates\n"
             "    1    0.250000          3         2       0       0         0\n"
@@ -258,6 +258,33 @@ class TestRecorderInvariants:
         # Seed behavior: a rebuild per mutated stage, no updates.
         assert rebuilding.index_builds > 1
         assert rebuilding.index_updates == 0
+
+    def test_matcher_field_follows_compiled_plans_toggle(self):
+        from repro.semantics.plan import PlanCache
+
+        program = parse_program(TC)
+        db = Database(GRAPH)
+        assert PlanCache.compiled_plans  # the default
+        try:
+            compiled = evaluate_datalog_seminaive(program, db).stats
+            PlanCache.compiled_plans = False
+            interpreted = evaluate_datalog_seminaive(program, db).stats
+        finally:
+            PlanCache.compiled_plans = True
+        assert compiled.matcher == "compiled"
+        assert interpreted.matcher == "interpreted"
+        # The matcher choice never changes what gets computed.
+        assert compiled.rule_firings == interpreted.rule_firings
+        assert compiled.stage_count == interpreted.stage_count
+
+    def test_traced_runs_report_the_interpreted_matcher(self):
+        from repro.obs import CollectorSink, Tracer
+
+        tracer = Tracer([CollectorSink()])
+        stats = evaluate_datalog_seminaive(
+            parse_program(TC), Database(GRAPH), tracer=tracer
+        ).stats
+        assert stats.matcher == "interpreted"
 
     def test_null_tracer_adds_zero_events_and_identical_stats_shape(self):
         from repro.obs import NULL_TRACER, CollectorSink

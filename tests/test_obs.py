@@ -14,11 +14,13 @@ import pytest
 
 from repro.obs import (
     BENCH_SCHEMA_VERSION,
+    KERNEL_SCHEMA_VERSION,
     TRACE_SCHEMA_VERSION,
     BenchRecord,
     CollectorSink,
     HotRuleTableSink,
     JsonlSink,
+    KernelRecord,
     LiteralProfile,
     NULL_TRACER,
     NullTracer,
@@ -29,9 +31,13 @@ from repro.obs import (
     StageEvent,
     Tracer,
     bench_artifact_dict,
+    kernel_artifact_dict,
     load_bench_artifact,
+    load_kernel_artifact,
     validate_bench_artifact,
+    validate_kernel_artifact,
     write_bench_artifact,
+    write_kernel_artifact,
 )
 from repro.parser import parse_program
 from repro.relational.instance import Database
@@ -299,8 +305,8 @@ class TestProfileReport:
 
     def test_to_dict_pinned_schema(self):
         d = self.make_report().to_dict(sort="firings", top=1)
-        assert set(d) == {"version", "engine", "seconds", "stages",
-                          "rule_firings", "sort", "rules"}
+        assert set(d) == {"version", "engine", "matcher", "seconds",
+                          "stages", "rule_firings", "sort", "rules"}
         assert d["version"] == TRACE_SCHEMA_VERSION
         assert len(d["rules"]) == 1
         row = d["rules"][0]
@@ -371,3 +377,51 @@ class TestBenchArtifact:
         assert record.rule_firings == result.stats.rule_firings
         assert record.stages == result.stats.stage_count
         validate_bench_artifact(bench_artifact_dict([record]))
+
+
+class TestKernelArtifact:
+    RECORDS = [
+        KernelRecord("tc_nonlinear_chain", "interpreted", 60, 1.5, 40433, 7),
+        KernelRecord("tc_nonlinear_chain", "compiled", 60, 0.03, 40433, 7),
+    ]
+
+    def test_dict_sorted_and_versioned(self):
+        d = kernel_artifact_dict(list(self.RECORDS))
+        assert d["version"] == KERNEL_SCHEMA_VERSION
+        matchers = [r["matcher"] for r in d["benchmarks"]]
+        assert matchers == ["compiled", "interpreted"]
+
+    def test_write_load_roundtrip(self, tmp_path):
+        path = str(tmp_path / "BENCH_kernel.json")
+        write_kernel_artifact(list(self.RECORDS), path)
+        loaded = load_kernel_artifact(path)
+        assert set(loaded) == set(self.RECORDS)
+
+    def test_validator_rejects_drift(self):
+        good = kernel_artifact_dict(list(self.RECORDS))
+        with pytest.raises(ValueError):
+            validate_kernel_artifact({**good, "version": 99})
+        with pytest.raises(ValueError):
+            validate_kernel_artifact({**good, "extra": 1})
+        bad_record = dict(good["benchmarks"][0])
+        bad_record["surprise"] = True
+        with pytest.raises(ValueError):
+            validate_kernel_artifact(
+                {"version": KERNEL_SCHEMA_VERSION, "benchmarks": [bad_record]}
+            )
+        wrong_matcher = dict(good["benchmarks"][0])
+        wrong_matcher["matcher"] = "jit"
+        with pytest.raises(ValueError):
+            validate_kernel_artifact(
+                {"version": KERNEL_SCHEMA_VERSION,
+                 "benchmarks": [wrong_matcher]}
+            )
+
+    def test_from_stats(self):
+        result = evaluate_datalog_seminaive(parse_program(TC), Database(GRAPH))
+        record = KernelRecord.from_stats(
+            "tc", result.stats.matcher, 4, result.stats
+        )
+        assert record.matcher == "compiled"
+        assert record.rule_firings == result.stats.rule_firings
+        validate_kernel_artifact(kernel_artifact_dict([record]))

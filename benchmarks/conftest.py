@@ -16,6 +16,12 @@ The matcher ablation (``test_kernel_ablation.py``) records
 ``kernel_artifact`` fixture; those land in the schema-pinned
 ``BENCH_kernel.json`` (path overridable via
 ``REPRO_KERNEL_ARTIFACT``).
+
+The planner ablation (``test_planner_ablation.py``) records
+:class:`~repro.obs.bench.PlannerRecord` measurements through the
+``planner_artifact`` fixture; those land in the schema-pinned
+``BENCH_planner.json`` (path overridable via
+``REPRO_PLANNER_ARTIFACT``).
 """
 
 from __future__ import annotations
@@ -26,6 +32,7 @@ import pytest
 
 _RECORDS = []
 _KERNEL_RECORDS = []
+_PLANNER_RECORDS = []
 
 
 class _BenchArtifact:
@@ -56,10 +63,28 @@ def bench_artifact():
     return _BenchArtifact
 
 
+class _PlannerArtifact:
+    """The ``planner_artifact`` fixture's API: ``record(...)`` one cell."""
+
+    @staticmethod
+    def record(benchmark: str, planner: str, size: int, stats) -> None:
+        from repro.obs.bench import PlannerRecord
+
+        _PLANNER_RECORDS.append(
+            PlannerRecord.from_stats(benchmark, planner, size, stats)
+        )
+
+
 @pytest.fixture
 def kernel_artifact():
     """Collects (benchmark, matcher, size, EngineStats) ablation cells."""
     return _KernelArtifact
+
+
+@pytest.fixture
+def planner_artifact():
+    """Collects (benchmark, planner on/off, size, EngineStats) cells."""
+    return _PlannerArtifact
 
 
 def pytest_sessionfinish(session, exitstatus):
@@ -73,6 +98,11 @@ def pytest_sessionfinish(session, exitstatus):
 
         path = os.environ.get("REPRO_KERNEL_ARTIFACT", "BENCH_kernel.json")
         write_kernel_artifact(_KERNEL_RECORDS, path)
+    if _PLANNER_RECORDS:
+        from repro.obs.bench import write_planner_artifact
+
+        path = os.environ.get("REPRO_PLANNER_ARTIFACT", "BENCH_planner.json")
+        write_planner_artifact(_PLANNER_RECORDS, path)
 
 
 def pytest_collection_modifyitems(items):

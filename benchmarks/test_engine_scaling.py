@@ -126,22 +126,25 @@ def test_seminaive_index_updates_not_rebuilds(benchmark):
 
     per_size = benchmark.pedantic(measure, rounds=1, iterations=1)
     for stats in per_size:
-        # The self-join probes T through exactly one index, built once...
-        assert stats.index_builds == 1
-        # ...and every stage after the one that built it does zero
-        # (re)builds: mutations land as in-place updates instead.
-        built_at = next(
+        # The planner's index cover serves the self-join with exactly
+        # two chain indexes (the full pass probes T on {0}, the flipped
+        # delta variant on {1}), each built once...
+        assert stats.index_builds == 2
+        # ...and every stage after the last build does zero (re)builds:
+        # mutations land as in-place updates instead.
+        built_at = max(
             i for i, stage in enumerate(stats.stages) if stage.index_builds
         )
         assert sum(s.index_builds for s in stats.stages[built_at + 1 :]) == 0
         assert stats.index_updates > 0
     # Updates grow linearly with the derived tuples (|T| = n(n-1)/2 on a
-    # chain) — rebuild-per-stage would grow a factor |stages| faster.
+    # chain; at most one update per live chain per insertion) —
+    # rebuild-per-stage would grow a factor |stages| faster.
     ratios = [
         stats.index_updates / (n * (n - 1) // 2)
         for n, stats in zip(SIZES, per_size)
     ]
-    assert max(ratios) <= 1.0
+    assert max(ratios) <= 2.0
     assert max(ratios) <= min(ratios) * 1.5
 
 

@@ -196,6 +196,14 @@ class Program:
             return NotImplemented
         return set(self.rules) == set(other.rules)
 
+    def __hash__(self) -> int:
+        # Consistent with __eq__ (rule multisets collapse to sets); cached
+        # because programs key weak caches (planner contexts, plan caches).
+        cached = getattr(self, "_hash", None)
+        if cached is None:
+            cached = self._hash = hash(frozenset(self.rules))
+        return cached
+
     def __repr__(self) -> str:
         label = f" {self.name!r}" if self.name else ""
         return f"Program{label} ({len(self.rules)} rules)"

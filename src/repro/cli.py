@@ -391,6 +391,12 @@ def cmd_profile(args, out) -> int:
     # stable engine returns a model set with no stats — default there.)
     stats = getattr(result, "stats", None)
     report.matcher = getattr(stats, "matcher", "") or "interpreted"
+    # The traced run bypassed the planner (by design — probe counts stay
+    # exact); attach the *static* planner report for the same program and
+    # input so the profile still shows orders, estimates, and the cover.
+    from repro.semantics import planner as planner_module
+
+    report.planner = planner_module.explain(program, db)
     top = args.top if args.top > 0 else None
     if args.format == "json":
         print(report.to_json(sort=args.sort, top=top), file=out)

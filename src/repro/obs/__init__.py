@@ -17,9 +17,9 @@ drivers:
   human hot-rule table;
 * :mod:`repro.obs.profile` — :class:`ProfileReport`, the per-rule
   aggregation behind ``repro profile``;
-* :mod:`repro.obs.bench` — the deterministic ``BENCH_engines.json``
-  and ``BENCH_kernel.json`` benchmark artifacts and their
-  pinned-schema validators.
+* :mod:`repro.obs.bench` — the deterministic ``BENCH_engines.json``,
+  ``BENCH_kernel.json``, and ``BENCH_planner.json`` benchmark
+  artifacts and their pinned-schema validators.
 
 Quickstart::
 
@@ -35,16 +35,22 @@ Quickstart::
 from repro.obs.bench import (
     BENCH_SCHEMA_VERSION,
     KERNEL_SCHEMA_VERSION,
+    PLANNER_SCHEMA_VERSION,
     BenchRecord,
     KernelRecord,
+    PlannerRecord,
     bench_artifact_dict,
     kernel_artifact_dict,
     load_bench_artifact,
     load_kernel_artifact,
+    load_planner_artifact,
+    planner_artifact_dict,
     validate_bench_artifact,
     validate_kernel_artifact,
+    validate_planner_artifact,
     write_bench_artifact,
     write_kernel_artifact,
+    write_planner_artifact,
 )
 from repro.obs.events import (
     TRACE_SCHEMA_VERSION,
@@ -68,16 +74,22 @@ from repro.obs.tracer import NULL_TRACER, NullTracer, RuleSpan, Tracer
 __all__ = [
     "BENCH_SCHEMA_VERSION",
     "KERNEL_SCHEMA_VERSION",
+    "PLANNER_SCHEMA_VERSION",
     "BenchRecord",
     "KernelRecord",
+    "PlannerRecord",
     "bench_artifact_dict",
     "kernel_artifact_dict",
     "load_bench_artifact",
     "load_kernel_artifact",
+    "load_planner_artifact",
+    "planner_artifact_dict",
     "validate_bench_artifact",
     "validate_kernel_artifact",
+    "validate_planner_artifact",
     "write_bench_artifact",
     "write_kernel_artifact",
+    "write_planner_artifact",
     "TRACE_SCHEMA_VERSION",
     "LiteralProfile",
     "RuleEvent",

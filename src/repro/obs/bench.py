@@ -17,11 +17,19 @@ cell, where the matcher is ``"compiled"`` (the slot-plan kernel of
 matcher with the kernel toggled off), recorded through the
 ``kernel_artifact`` fixture.
 
-Both schemas are pinned: :func:`validate_bench_artifact` /
-:func:`validate_kernel_artifact` raise :class:`ValueError` on any
-drift, and CI runs them against the artifacts it uploads, so a schema
-change must be deliberate (bump ``BENCH_SCHEMA_VERSION`` /
-``KERNEL_SCHEMA_VERSION``) rather than accidental.
+``BENCH_planner.json`` is the query-planner ablation twin: each
+:class:`PlannerRecord` measures one (benchmark, planner on/off, size)
+cell — both cells under the compiled kernel, so the delta isolates the
+cost-based join ordering, the shared index cover, and the SCC
+scheduling of :mod:`repro.semantics.planner` — recorded through the
+``planner_artifact`` fixture.
+
+All three schemas are pinned: :func:`validate_bench_artifact` /
+:func:`validate_kernel_artifact` / :func:`validate_planner_artifact`
+raise :class:`ValueError` on any drift, and CI runs them against the
+artifacts it uploads, so a schema change must be deliberate (bump
+``BENCH_SCHEMA_VERSION`` / ``KERNEL_SCHEMA_VERSION`` /
+``PLANNER_SCHEMA_VERSION``) rather than accidental.
 """
 
 from __future__ import annotations
@@ -274,3 +282,138 @@ def load_kernel_artifact(path: str) -> list[KernelRecord]:
     """Read and validate a kernel artifact file; raises on drift."""
     with open(path) as handle:
         return validate_kernel_artifact(json.load(handle))
+
+
+# -- BENCH_planner.json: query-planner ablation ------------------------------
+
+#: Version of the BENCH_planner.json schema (same regime as
+#: :data:`BENCH_SCHEMA_VERSION`).
+PLANNER_SCHEMA_VERSION = 1
+
+#: Exact key set of one planner record.
+PLANNER_RECORD_FIELDS = (
+    "benchmark",
+    "planner",
+    "size",
+    "seconds",
+    "rule_firings",
+    "stages",
+)
+
+
+@dataclass(frozen=True)
+class PlannerRecord:
+    """One (benchmark, planner on/off, workload size) measurement.
+
+    ``planner`` is ``"on"`` (cost-based orders + shared index cover +
+    SCC scheduling, the default) or ``"off"``
+    (:class:`~repro.semantics.planner.QueryPlanner` disabled — the
+    drivers' legacy global loops with the static greedy join order).
+    Both cells run the compiled kernel, so the delta isolates the
+    planner itself.
+    """
+
+    benchmark: str
+    planner: str
+    size: int
+    seconds: float
+    rule_firings: int
+    stages: int
+
+    @classmethod
+    def from_stats(
+        cls, benchmark: str, planner: str, size: int, stats
+    ) -> "PlannerRecord":
+        """Build a record from an :class:`~repro.semantics.EngineStats`."""
+        return cls(
+            benchmark=benchmark,
+            planner=planner,
+            size=size,
+            seconds=stats.seconds,
+            rule_firings=stats.rule_firings,
+            stages=stats.stage_count,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "benchmark": self.benchmark,
+            "planner": self.planner,
+            "size": self.size,
+            "seconds": self.seconds,
+            "rule_firings": self.rule_firings,
+            "stages": self.stages,
+        }
+
+
+def planner_artifact_dict(records: list[PlannerRecord]) -> dict[str, Any]:
+    """The artifact document: schema-versioned, deterministically ordered."""
+    ordered = sorted(records, key=lambda r: (r.benchmark, r.planner, r.size))
+    return {
+        "version": PLANNER_SCHEMA_VERSION,
+        "benchmarks": [record.to_dict() for record in ordered],
+    }
+
+
+def write_planner_artifact(records: list[PlannerRecord], path: str) -> None:
+    """Write ``BENCH_planner.json`` (sorted records, sorted keys)."""
+    with open(path, "w") as handle:
+        json.dump(planner_artifact_dict(records), handle, indent=2,
+                  sort_keys=True)
+        handle.write("\n")
+
+
+def validate_planner_artifact(data: Any) -> list[PlannerRecord]:
+    """Check a planner artifact document against the pinned schema.
+
+    Returns the parsed records; raises :class:`ValueError` on drift
+    (wrong version, missing/extra keys, wrong types, unknown mode).
+    """
+    if not isinstance(data, dict):
+        raise ValueError("planner artifact must be a JSON object")
+    if data.get("version") != PLANNER_SCHEMA_VERSION:
+        raise ValueError(
+            f"planner artifact version {data.get('version')!r} != "
+            f"{PLANNER_SCHEMA_VERSION}"
+        )
+    extra_top = set(data) - {"version", "benchmarks"}
+    if extra_top:
+        raise ValueError(f"unexpected top-level keys: {sorted(extra_top)}")
+    entries = data.get("benchmarks")
+    if not isinstance(entries, list):
+        raise ValueError("planner artifact 'benchmarks' must be a list")
+    types = {
+        "benchmark": str,
+        "planner": str,
+        "size": int,
+        "seconds": (int, float),
+        "rule_firings": int,
+        "stages": int,
+    }
+    records: list[PlannerRecord] = []
+    for position, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise ValueError(f"record {position} is not an object")
+        if set(entry) != set(PLANNER_RECORD_FIELDS):
+            raise ValueError(
+                f"record {position} keys {sorted(entry)} != "
+                f"{sorted(PLANNER_RECORD_FIELDS)}"
+            )
+        for key, expected in types.items():
+            if not isinstance(entry[key], expected):
+                raise ValueError(
+                    f"record {position} field {key!r} has type "
+                    f"{type(entry[key]).__name__}"
+                )
+        if entry["planner"] not in ("on", "off"):
+            raise ValueError(
+                f"record {position} planner {entry['planner']!r} is not "
+                "'on' or 'off'"
+            )
+        records.append(PlannerRecord(**entry))
+    return records
+
+
+def load_planner_artifact(path: str) -> list[PlannerRecord]:
+    """Read and validate a planner artifact file; raises on drift."""
+    with open(path) as handle:
+        return validate_planner_artifact(json.load(handle))

@@ -103,6 +103,13 @@ class ProfileReport:
     stages: int = 0
     rule_firings: int = 0
     rows: list[RuleProfileRow] = field(default_factory=list)
+    #: The static query-planner report for the profiled program against
+    #: the input database (``repro.semantics.planner.explain`` shape:
+    #: join orders with estimated rows, the shared index cover, and the
+    #: SCC schedule), or None when the planner does not handle the
+    #: program.  Attached by the CLI so one profile answers both "where
+    #: did the time go" and "what would the planner do here".
+    planner: dict | None = None
 
     @classmethod
     def from_events(
@@ -188,6 +195,7 @@ class ProfileReport:
             "rule_firings": self.rule_firings,
             "sort": sort,
             "rules": [row.to_dict() for row in rows],
+            "planner": self.planner,
         }
 
     def to_json(self, sort: str = "time", top: int | None = None,

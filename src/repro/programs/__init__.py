@@ -57,6 +57,12 @@ from repro.programs.evenness_generic import (
     evenness_generic_program,
     evenness_generic,
 )
+from repro.programs.component_chain import (
+    component_chain_program,
+    component_chain_database,
+    component_chain_source,
+    reference_component_chain,
+)
 
 __all__ = [
     "tc_program",
@@ -96,4 +102,8 @@ __all__ = [
     "hamiltonian_vertices",
     "evenness_generic_program",
     "evenness_generic",
+    "component_chain_program",
+    "component_chain_database",
+    "component_chain_source",
+    "reference_component_chain",
 ]

@@ -22,6 +22,23 @@ a fixpoint computation.  ``Relation.version`` is a monotone counter
 bumped on every mutation; snapshot consumers key caches on it.  The
 counters :attr:`Relation.index_builds` / :attr:`Relation.index_updates`
 feed the engines' :class:`~repro.semantics.base.EngineStats`.
+
+Two physical index shapes coexist:
+
+* *flat* hash indexes (:meth:`Relation.index`) — one dict per distinct
+  position tuple, keys in position order; built by the interpreted
+  matcher and the planner-off compiled kernel;
+* *chain* indexes (:meth:`Relation.chain_index`) — a nested-dict trie
+  whose column order is chosen by the query planner's minimal index
+  cover (MISP), so a single physical index serves every key template
+  that is a prefix of the chain.  :meth:`Relation.probe_chain` answers
+  a prefix probe at any depth; per-depth distinct-key counts are
+  maintained live and feed the planner's cardinality estimates
+  (:meth:`Relation.distinct_estimate`).
+
+Either shape can be dropped (:meth:`drop_index` /
+:meth:`drop_chain_index`) — the planner garbage-collects indexes its
+cover no longer needs, counted by :attr:`Relation.index_drops`.
 """
 
 from __future__ import annotations
@@ -42,9 +59,12 @@ class Relation:
         "arity",
         "_tuples",
         "_indexes",
+        "_chains",
+        "_chain_counts",
         "_version",
         "_index_builds",
         "_index_updates",
+        "_index_drops",
     )
 
     #: Class-wide switch.  When True (the default), mutations update live
@@ -59,9 +79,16 @@ class Relation:
         self.arity = arity
         self._tuples: set[tuple] = set()
         self._indexes: dict[tuple[int, ...], dict[tuple, dict[tuple, None]]] = {}
+        #: Chain (trie) indexes: column order → nested dicts; the node
+        #: after the last column is the bucket (``dict[tuple, None]``).
+        self._chains: dict[tuple[int, ...], dict] = {}
+        #: Per-chain live statistics: ``counts[d]`` is the number of
+        #: distinct key prefixes of length d+1 (planner fan-out input).
+        self._chain_counts: dict[tuple[int, ...], list[int]] = {}
         self._version = 0
         self._index_builds = 0
         self._index_updates = 0
+        self._index_drops = 0
         for t in tuples:
             self.add(t)
 
@@ -103,6 +130,47 @@ class Relation:
                     del table[key]
             self._index_updates += 1
 
+    def _chain_insert(self, t: tuple) -> None:
+        """Thread ``t`` into every live chain index (one update each)."""
+        for order, root in self._chains.items():
+            counts = self._chain_counts[order]
+            node = root
+            for depth, p in enumerate(order):
+                v = t[p]
+                child = node.get(v)
+                if child is None:
+                    child = {}
+                    node[v] = child
+                    counts[depth] += 1
+                node = child
+            node[t] = None
+            self._index_updates += 1
+
+    def _chain_remove(self, t: tuple) -> None:
+        """Remove ``t`` from every live chain index, pruning empty nodes."""
+        for order, root in self._chains.items():
+            counts = self._chain_counts[order]
+            path: list[tuple[dict, Hashable]] = []
+            node = root
+            present = True
+            for p in order:
+                child = node.get(t[p])
+                if child is None:
+                    present = False
+                    break
+                path.append((node, t[p]))
+                node = child
+            if present:
+                node.pop(t, None)
+                depth = len(order) - 1
+                while depth >= 0 and not node:
+                    parent, v = path[depth]
+                    del parent[v]
+                    counts[depth] -= 1
+                    node = parent
+                    depth -= 1
+            self._index_updates += 1
+
     def add(self, t: tuple) -> bool:
         """Insert a tuple; return True if it was new."""
         t = self._check(t)
@@ -110,11 +178,15 @@ class Relation:
             return False
         self._tuples.add(t)
         self._version += 1
-        if self._indexes:
-            if Relation.incremental_maintenance:
+        if Relation.incremental_maintenance:
+            if self._indexes:
                 self._index_insert(t)
-            else:
-                self._indexes.clear()
+            if self._chains:
+                self._chain_insert(t)
+        else:
+            self._indexes.clear()
+            self._chains.clear()
+            self._chain_counts.clear()
         return True
 
     def discard(self, t: tuple) -> bool:
@@ -124,11 +196,15 @@ class Relation:
             return False
         self._tuples.remove(t)
         self._version += 1
-        if self._indexes:
-            if Relation.incremental_maintenance:
+        if Relation.incremental_maintenance:
+            if self._indexes:
                 self._index_remove(t)
-            else:
-                self._indexes.clear()
+            if self._chains:
+                self._chain_remove(t)
+        else:
+            self._indexes.clear()
+            self._chains.clear()
+            self._chain_counts.clear()
         return True
 
     def update(self, tuples: Iterable[tuple]) -> int:
@@ -148,28 +224,41 @@ class Relation:
                 # maintain them without a rebuild.
                 for table in self._indexes.values():
                     table.clear()
+                for order, root in self._chains.items():
+                    root.clear()
+                    counts = self._chain_counts[order]
+                    for depth in range(len(counts)):
+                        counts[depth] = 0
             else:
                 self._indexes.clear()
+                self._chains.clear()
+                self._chain_counts.clear()
 
     def replace(self, tuples: Iterable[tuple]) -> None:
         """Replace the whole content (used by while-language assignment)."""
         new = {self._check(t) for t in tuples}
         if new == self._tuples:
             return
-        if self._indexes and Relation.incremental_maintenance:
+        if (self._indexes or self._chains) and Relation.incremental_maintenance:
             added = new - self._tuples
             removed = self._tuples - new
             if len(added) + len(removed) <= len(new):
                 # Small diff: patch the live indexes in place.
                 for t in removed:
                     self._index_remove(t)
+                    self._chain_remove(t)
                 for t in added:
                     self._index_insert(t)
+                    self._chain_insert(t)
             else:
                 # Wholesale change: cheaper to rebuild lazily.
                 self._indexes.clear()
+                self._chains.clear()
+                self._chain_counts.clear()
         else:
             self._indexes.clear()
+            self._chains.clear()
+            self._chain_counts.clear()
         self._tuples = new
         self._version += 1
 
@@ -205,6 +294,11 @@ class Relation:
         """How many single-tuple in-place index maintenance operations ran."""
         return self._index_updates
 
+    @property
+    def index_drops(self) -> int:
+        """How many live indexes the planner's GC freed."""
+        return self._index_drops
+
     def index_counters(self) -> tuple[int, int]:
         """(full builds, incremental updates) — see :class:`EngineStats`."""
         return self._index_builds, self._index_updates
@@ -234,6 +328,118 @@ class Relation:
         self._index_builds += 1
         return built
 
+    # -- chain (trie) indexes -----------------------------------------------
+
+    def chain_index(self, order: tuple[int, ...]) -> dict:
+        """A trie index over ``order``, built lazily and cached.
+
+        Level d of the trie maps the value at position ``order[d]`` to the
+        next level; the node below the last level is an ordered-set bucket
+        (``dict[tuple, None]``).  Any key template whose positions are a
+        prefix of ``order`` can be answered by :meth:`probe_chain`, which
+        is what lets the planner's minimal cover replace several flat
+        indexes with one chain.  Like flat indexes the returned trie is
+        live; callers must not modify it.
+        """
+        cached = self._chains.get(order)
+        if cached is not None:
+            return cached
+        root: dict = {}
+        counts = [0] * len(order)
+        for t in self._tuples:
+            node = root
+            for depth, p in enumerate(order):
+                v = t[p]
+                child = node.get(v)
+                if child is None:
+                    child = {}
+                    node[v] = child
+                    counts[depth] += 1
+                node = child
+            node[t] = None
+        self._chains[order] = root
+        self._chain_counts[order] = counts
+        self._index_builds += 1
+        return root
+
+    def probe_chain(
+        self, order: tuple[int, ...], depth: int, key: tuple
+    ) -> list[tuple]:
+        """Tuples whose values at ``order[:depth]`` equal ``key``.
+
+        A full-depth probe reads one bucket; a prefix probe collects the
+        buckets under the matched subtrie (enumeration order is insertion
+        order, same as the equivalent flat-index bucket).
+        """
+        node = self._chains.get(order)
+        if node is None:
+            node = self.chain_index(order)
+        for v in key:
+            node = node.get(v)
+            if node is None:
+                return []
+        if depth == len(order):
+            return list(node)
+        out: list[tuple] = []
+        self._collect(node, len(order) - depth, out)
+        return out
+
+    @staticmethod
+    def _collect(node: dict, remaining: int, out: list[tuple]) -> None:
+        if remaining == 0:
+            out.extend(node)
+            return
+        for child in node.values():
+            Relation._collect(child, remaining - 1, out)
+
+    def chain_key_count(self, order: tuple[int, ...], depth: int) -> int:
+        """Distinct key prefixes of length ``depth`` in a live chain."""
+        if depth == 0:
+            return 1 if self._tuples else 0
+        counts = self._chain_counts.get(order)
+        if counts is None:
+            self.chain_index(order)
+            counts = self._chain_counts[order]
+        return counts[depth - 1]
+
+    def distinct_estimate(self, positions: frozenset[int]) -> int | None:
+        """Distinct-key count for a position set, from live indexes only.
+
+        Consults flat indexes first, then chain prefixes; returns ``None``
+        when no live index covers the set (the planner then falls back to
+        a heuristic).  Never builds anything — estimates must be free.
+        """
+        flat = self._indexes.get(tuple(sorted(positions)))
+        if flat is not None:
+            return len(flat)
+        for order, counts in self._chain_counts.items():
+            depth = len(positions)
+            if depth <= len(order) and frozenset(order[:depth]) == positions:
+                return counts[depth - 1] if depth else len(self._tuples)
+        return None
+
+    def live_indexes(self) -> list[tuple[str, tuple[int, ...]]]:
+        """Shapes currently materialized: ("flat"|"chain", positions/order)."""
+        out: list[tuple[str, tuple[int, ...]]] = []
+        out.extend(("flat", positions) for positions in self._indexes)
+        out.extend(("chain", order) for order in self._chains)
+        return out
+
+    def drop_index(self, positions: tuple[int, ...]) -> bool:
+        """Free a flat index (planner GC); True if one was live."""
+        if self._indexes.pop(positions, None) is None:
+            return False
+        self._index_drops += 1
+        return True
+
+    def drop_chain_index(self, order: tuple[int, ...]) -> bool:
+        """Free a chain index (planner GC); True if one was live."""
+        if self._chains.pop(order, None) is None:
+            return False
+        del self._chain_counts[order]
+        self._index_drops += 1
+        return True
+
     def copy(self) -> "Relation":
         clone = Relation(self.name, self.arity)
         clone._tuples = set(self._tuples)
@@ -244,7 +450,23 @@ class Relation:
                 positions: {key: dict(bucket) for key, bucket in table.items()}
                 for positions, table in self._indexes.items()
             }
+            clone._chains = {
+                order: self._copy_trie(root, len(order))
+                for order, root in self._chains.items()
+            }
+            clone._chain_counts = {
+                order: list(counts) for order, counts in self._chain_counts.items()
+            }
         return clone
+
+    @staticmethod
+    def _copy_trie(node: dict, remaining: int) -> dict:
+        if remaining == 0:
+            return dict(node)
+        return {
+            v: Relation._copy_trie(child, remaining - 1)
+            for v, child in node.items()
+        }
 
     def values(self) -> set[Hashable]:
         """All domain values occurring in this relation."""
@@ -356,6 +578,10 @@ class Database:
             builds += rel.index_builds
             updates += rel.index_updates
         return builds, updates
+
+    def index_drop_count(self) -> int:
+        """Indexes freed by planner GC, summed over relations."""
+        return sum(rel.index_drops for rel in self._relations.values())
 
     def active_domain(self) -> set[Hashable]:
         """adom(I): every constant occurring in some tuple of the instance."""

@@ -82,6 +82,7 @@ class StageStats:
     removed: int = 0
     index_builds: int = 0
     index_updates: int = 0
+    index_drops: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -92,6 +93,7 @@ class StageStats:
             "removed": self.removed,
             "index_builds": self.index_builds,
             "index_updates": self.index_updates,
+            "index_drops": self.index_drops,
         }
 
 
@@ -115,6 +117,14 @@ class EngineStats:
     adom_size: int = 0
     index_builds: int = 0
     index_updates: int = 0
+    index_drops: int = 0
+    #: Query-planner report (plan cache traffic, per-rule join orders
+    #: with estimated vs. actual cardinality, index-cover size), or
+    #: ``None`` when the planner never engaged (planner off, traced run,
+    #: or an engine outside the planned paths).  A plain dict so the
+    #: pinned stats JSON stays ``json.dumps``-able; see
+    #: :func:`repro.semantics.planner.explain` for the shape.
+    planner: dict | None = None
     stages: list[StageStats] = field(default_factory=list)
 
     @property
@@ -137,6 +147,7 @@ class EngineStats:
             f"adom size:         {self.adom_size}",
             f"index builds:      {self.index_builds}",
             f"index updates:     {self.index_updates}",
+            f"index drops:       {self.index_drops}",
         ]
         if self.stages:
             headers = (
@@ -167,9 +178,9 @@ class EngineStats:
     def to_dict(self) -> dict:
         """The pinned JSON shape of ``repro stats --format json``.
 
-        ``matcher`` was added under the additive-changes rule of
-        ``STATS_SCHEMA_VERSION``; everything else is the version-1
-        shape.
+        ``matcher``, ``index_drops`` and ``planner`` were added under
+        the additive-changes rule of ``STATS_SCHEMA_VERSION``;
+        everything else is the version-1 shape.
         """
         return {
             "engine": self.engine,
@@ -181,6 +192,8 @@ class EngineStats:
             "adom_size": self.adom_size,
             "index_builds": self.index_builds,
             "index_updates": self.index_updates,
+            "index_drops": self.index_drops,
+            "planner": self.planner,
             "stages": [s.to_dict() for s in self.stages],
         }
 
@@ -214,7 +227,7 @@ class StatsRecorder:
             else "interpreted"
         )
         self._db: Database | None = None
-        self._counters = (0, 0)
+        self._counters = (0, 0, 0)
         self._t0 = perf_counter()
         self._mark = self._t0
         if db is not None:
@@ -225,7 +238,7 @@ class StatsRecorder:
     def watch(self, db: Database) -> None:
         """(Re)bind the database whose index counters are diffed."""
         self._db = db
-        self._counters = db.index_counters()
+        self._counters = (*db.index_counters(), db.index_drop_count())
 
     def stage(
         self,
@@ -233,26 +246,31 @@ class StatsRecorder:
         firings: int = 0,
         added: int = 0,
         removed: int = 0,
-        counters: tuple[int, int] | None = None,
+        counters: tuple[int, int] | tuple[int, int, int] | None = None,
         trace: StageTrace | None = None,
     ) -> None:
         """Close out one consequence pass and record its stats.
 
-        ``trace``, when given and a fact-collecting tracer is attached,
-        lets the stage span carry the actual facts added/removed (the
-        ``repro trace`` rendering path).
+        ``counters``, when given explicitly, is ``(builds, updates)`` or
+        ``(builds, updates, drops)`` — the two-element form (used by
+        engines that predate index GC) implies zero drops.  ``trace``,
+        when given and a fact-collecting tracer is attached, lets the
+        stage span carry the actual facts added/removed (the ``repro
+        trace`` rendering path).
         """
         now = perf_counter()
         if counters is None:
             if self._db is not None:
                 builds, updates = self._db.index_counters()
+                drops = self._db.index_drop_count()
                 counters = (
                     builds - self._counters[0],
                     updates - self._counters[1],
+                    drops - self._counters[2],
                 )
-                self._counters = (builds, updates)
+                self._counters = (builds, updates, drops)
             else:
-                counters = (0, 0)
+                counters = (0, 0, 0)
         record = StageStats(
             stage=stage,
             seconds=now - self._mark,
@@ -261,11 +279,29 @@ class StatsRecorder:
             removed=removed,
             index_builds=counters[0],
             index_updates=counters[1],
+            index_drops=counters[2] if len(counters) > 2 else 0,
         )
         self.stats.stages.append(record)
         if self.tracer is not None:
             self.tracer.stage(record, trace=trace)
         self._mark = now
+
+    def settle(self) -> None:
+        """Fold counter movement since the last stage record into it.
+
+        End-of-run index maintenance (the planner's cover GC) happens
+        after the final consequence pass closes; without settling, those
+        drops fall between stage records and never reach the totals.
+        """
+        if self._db is None or not self.stats.stages:
+            return
+        builds, updates = self._db.index_counters()
+        drops = self._db.index_drop_count()
+        last = self.stats.stages[-1]
+        last.index_builds += builds - self._counters[0]
+        last.index_updates += updates - self._counters[1]
+        last.index_drops += drops - self._counters[2]
+        self._counters = (builds, updates, drops)
 
     def finish(self, adom_size: int = 0) -> EngineStats:
         """Total the per-stage records and return the finished stats."""
@@ -275,6 +311,7 @@ class StatsRecorder:
         stats.rule_firings = sum(s.firings for s in stats.stages)
         stats.index_builds = sum(s.index_builds for s in stats.stages)
         stats.index_updates = sum(s.index_updates for s in stats.stages)
+        stats.index_drops = sum(s.index_drops for s in stats.stages)
         if self.tracer is not None:
             self.tracer.run_end(stats)
         return stats
@@ -743,6 +780,13 @@ def immediate_consequences(
         stats.consequence_calls += 1
     if tracer is not None and tracer.enabled:
         return _traced_consequences(program, db, adom, delta, tracer)
+    # Lazy import: planner builds on this module's matcher primitives.
+    from repro.semantics import planner as _planner
+
+    if _planner.QueryPlanner.enabled:
+        handled = _planner.consequences(program, db, adom, delta, stats)
+        if handled is not None:
+            return handled
     positive: set[tuple[str, tuple]] = set()
     negative: set[tuple[str, tuple]] = set()
     firings = 0

@@ -98,6 +98,14 @@ class Step:
     pairs this step binds; ``withins`` are (position, earlier position)
     equality checks for variables repeated *within* the literal.
     ``exact`` marks a fully-bound literal (membership probe, no index).
+
+    A step normally probes the flat index on ``key_positions``.  The
+    query planner may instead point it at a shared *chain* index from
+    its minimal cover (:func:`plan_with_cover`): ``chain_order`` names
+    the trie's column order, ``chain_depth`` how many levels this
+    step's key binds, and ``chain_perm`` re-orders the built key (which
+    is in position order) into column order.  ``chain_key`` is the
+    permuted key precomputed when it is constant.
     """
 
     __slots__ = (
@@ -109,6 +117,10 @@ class Step:
         "binds",
         "withins",
         "exact",
+        "chain_order",
+        "chain_depth",
+        "chain_perm",
+        "chain_key",
     )
 
     def __init__(
@@ -129,6 +141,10 @@ class Step:
         self.binds = binds
         self.withins = withins
         self.exact = bool(key_positions) and not binds and not withins
+        self.chain_order = None
+        self.chain_depth = 0
+        self.chain_perm = ()
+        self.chain_key = None
 
 
 class RulePlan:
@@ -349,6 +365,25 @@ class RulePlan:
                 if restricted:
                     yield from self._run(db, adom, index, restricted)
 
+    def iter_restricted(
+        self,
+        db: Database,
+        adom: tuple[Hashable, ...],
+        step_index: int,
+        restricted: frozenset[tuple],
+    ) -> Iterator[list]:
+        """One semi-naive variant: ``steps[step_index]`` drawn from
+        ``restricted``.
+
+        The planner path: it compiles a distinct delta-first order per
+        restricted occurrence, so each variant is its own plan and runs
+        exactly one restricted step (``iter_slot_matches`` instead runs
+        every touched variant of one shared order).
+        """
+        if self.never or not restricted:
+            return
+        yield from self._run(db, adom, step_index, restricted)
+
     def _candidates(
         self,
         step: Step,
@@ -375,6 +410,15 @@ class RulePlan:
         if step.exact:
             return iter((key,)) if key in rel else iter(())
         if step.key_positions:
+            if step.chain_order is not None:
+                chain_key = step.chain_key
+                if chain_key is None:
+                    chain_key = tuple(key[i] for i in step.chain_perm)
+                # probe_chain snapshots (returns a fresh list), matching
+                # the flat path's bucket copy below.
+                return iter(
+                    rel.probe_chain(step.chain_order, step.chain_depth, chain_key)
+                )
             bucket = rel.index(step.key_positions).get(key)
             # Snapshot: consumers may add facts between yields, and a
             # live bucket must not be mutated mid-iteration.
@@ -458,6 +502,106 @@ class RulePlan:
                 if depth < 0:
                     return
 
+    def run_emit(
+        self,
+        db: Database,
+        adom: tuple[Hashable, ...],
+        restricted_index: int,
+        restricted: frozenset[tuple] | None,
+        relation: str,
+        template: list,
+        fills: list[tuple[int, int]],
+        out: set,
+    ) -> int:
+        """``_run`` fused with single-positive-head emission.
+
+        The planner's hottest call: rules with one positive head (the
+        overwhelmingly common shape) spend most of their time resuming
+        the ``_run`` generator once per matched row and re-dispatching
+        in the consumer; this walks the steps and adds
+        ``(relation, tuple(template))`` to ``out`` in the same frame.
+        Must mirror ``_run``'s traversal exactly — the planner
+        differential suite (planner on/off × compiled/interpreted) pins
+        the equivalence.  Returns the number of matches (firings).
+        """
+        fired = 0
+        add = out.add
+        slots = [None] * self.n_slots
+        steps = self.steps
+        n = len(steps)
+        if n == 0:
+            for finished in self._finish(db, adom, slots):
+                fired += 1
+                for position, s in fills:
+                    template[position] = finished[s]
+                add((relation, tuple(template)))
+            return fired
+        if restricted is not None:
+            positions = steps[restricted_index].key_positions
+            if positions:
+                grouped: dict[tuple, list[tuple]] = {}
+                for t in restricted:
+                    grouped.setdefault(
+                        tuple(t[p] for p in positions), []
+                    ).append(t)
+                restricted = grouped
+        last = n - 1
+        trivial = self.trivial_finish
+        iters: list = [None] * n
+        iters[0] = self._candidates(
+            steps[0], db, slots, restricted if restricted_index == 0 else None
+        )
+        depth = 0
+        while True:
+            step = steps[depth]
+            it = iters[depth]
+            if depth == last:
+                binds = step.binds
+                withins = step.withins
+                for candidate in it:
+                    for p2, p1 in withins:
+                        if candidate[p2] != candidate[p1]:
+                            break
+                    else:
+                        for position, s in binds:
+                            slots[s] = candidate[position]
+                        if trivial:
+                            fired += 1
+                            for position, s in fills:
+                                template[position] = slots[s]
+                            add((relation, tuple(template)))
+                        else:
+                            for finished in self._finish(db, adom, slots):
+                                fired += 1
+                                for position, s in fills:
+                                    template[position] = finished[s]
+                                add((relation, tuple(template)))
+                depth -= 1
+                if depth < 0:
+                    return fired
+                continue
+            advanced = False
+            for candidate in it:
+                for p2, p1 in step.withins:
+                    if candidate[p2] != candidate[p1]:
+                        break
+                else:
+                    for position, s in step.binds:
+                        slots[s] = candidate[position]
+                    depth += 1
+                    iters[depth] = self._candidates(
+                        steps[depth],
+                        db,
+                        slots,
+                        restricted if restricted_index == depth else None,
+                    )
+                    advanced = True
+                    break
+            if not advanced:
+                depth -= 1
+                if depth < 0:
+                    return fired
+
     def _finish(
         self, db: Database, adom: tuple[Hashable, ...], slots: list
     ) -> Iterator[list]:
@@ -509,3 +653,58 @@ def plan_for(rule: Rule, order: tuple[int, ...]) -> RulePlan:
     if plan is None:
         plan = per_rule[order] = RulePlan(rule, order)
     return plan
+
+
+def plan_with_cover(
+    plan: RulePlan,
+    assign: dict[tuple[str, frozenset[int]], tuple[tuple[int, ...], int]],
+) -> RulePlan:
+    """A twin of ``plan`` whose index probes go through shared chains.
+
+    ``assign`` is the planner's minimal-cover assignment: (relation,
+    key-position set) → (chain column order, probe depth).  Steps with
+    no assignment — full scans and fully-bound membership probes — are
+    shared with the original plan unchanged; the cached original itself
+    is never mutated, because seeded engines and planner-off runs keep
+    executing it against flat indexes.
+    """
+    steps: list[Step] = []
+    changed = False
+    for step in plan.steps:
+        spec = None
+        if step.key_positions and not step.exact:
+            spec = assign.get((step.relation, frozenset(step.key_positions)))
+        if spec is None:
+            steps.append(step)
+            continue
+        order, depth = spec
+        clone = Step.__new__(Step)
+        clone.relation = step.relation
+        clone.key_positions = step.key_positions
+        clone.key_template = list(step.key_template)
+        clone.key_fills = step.key_fills
+        clone.key = step.key
+        clone.binds = step.binds
+        clone.withins = step.withins
+        clone.exact = step.exact
+        clone.chain_order = order
+        clone.chain_depth = depth
+        # The built key lists values in position order; the chain wants
+        # them in column order.
+        clone.chain_perm = tuple(
+            step.key_positions.index(order[d]) for d in range(depth)
+        )
+        clone.chain_key = (
+            tuple(step.key[i] for i in clone.chain_perm)
+            if step.key is not None
+            else None
+        )
+        steps.append(clone)
+        changed = True
+    if not changed:
+        return plan
+    twin = RulePlan.__new__(RulePlan)
+    for name in RulePlan.__slots__:
+        setattr(twin, name, getattr(plan, name))
+    twin.steps = tuple(steps)
+    return twin

@@ -1,0 +1,929 @@
+"""The cost-based query planner (join ordering, index cover, scheduling).
+
+PR 4's compiled kernel made each (rule, join order) fast; this module
+decides *which* order runs, *which* physical indexes exist, and *which
+rules a stage visits at all*.  Three coordinated pieces:
+
+**Cardinality-driven join ordering.**  :func:`_cost_order` replaces the
+static greedy heuristic of ``base._order_positive_indices`` with a
+deterministic greedy minimum-fan-out search: literals are appended in
+order of estimated probe output, where the estimate for a literal with
+``b`` of its positions bound is |R| (scan, b = 0), ~0.5 (fully-bound
+membership probe), |R| / distinct-keys when a live index reports the
+distinct-key count (:meth:`Relation.distinct_estimate` — free, never
+builds anything), and the textbook |R|^(1 - b/arity) otherwise.  Ties
+break on (estimate, −shared-variables, |R|, body position), so runs are
+reproducible and seeded-run-stable.  Decisions are cached per (rule,
+restricted occurrence) with a snapshot of the literal cardinalities;
+a stage re-plans only when some cardinality drifts past
+``QueryPlanner.replan_ratio`` (plan-cache hits are the common case, and
+a replan that re-derives the *same* order costs no plan rebuild).
+Semi-naive variants force the delta-restricted occurrence first — the
+delta is the small side by construction — then order the rest by cost.
+
+**Minimal shared index selection (MISP).**  Every index-key template
+(relation, set of bound positions) across the current decisions' plans
+is collected, and per relation a minimum *chain cover* is computed:
+templates ordered by ⊆ form chains, a minimum chain decomposition is a
+minimum path cover of the subset DAG (Dilworth), found in polynomial
+time via bipartite matching (:func:`minimum_chain_cover` — the VLDB'18
+automatic-index-selection construction).  Each chain becomes one
+physical trie index (:meth:`Relation.chain_index`) whose column order
+lists each template's new positions in turn, so every covered template
+is a *prefix* of the chain; plan steps are rewritten to probe the
+shared chain (:func:`repro.semantics.plan.plan_with_cover`) and
+:func:`apply_cover` garbage-collects flat indexes the cover subsumes
+and chains a newer cover abandoned (counted in
+``EngineStats.index_drops``).
+
+**SCC-scheduled semi-naive.**  :func:`scheduled_fixpoint` evaluates the
+predicate dependency graph one strongly connected component at a time
+in topological order (Tarjan from ``ast/analysis`` + a deterministic
+Kahn pass over the component DAG): each component gets one full pass
+and — only if it is recursive through a positive edge — its own delta
+loop, with the relation→rules dispatch map in :func:`consequences`
+ensuring rules whose positive bodies are disjoint from the delta are
+never visited (no plan lookup, no delta grouping, nothing).  Components
+negated from a later component are complete before the negation is
+read; a component containing a negative edge is not schedulable and the
+driver falls back to its legacy global loop.
+
+Everything is gated on :attr:`QueryPlanner.enabled` (flipped off by the
+ablation benchmarks) and engages only in untraced runs — traced runs
+keep the interpreted matcher and its exact ``JoinProbe`` counts — and
+never in ``iter_matches`` itself, so seeded nondeterministic engines
+keep their byte-identical enumeration order.  Planner decisions are
+surfaced additively via ``EngineStats.planner`` (see :func:`explain`).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator
+from weakref import WeakSet
+
+from repro.ast.analysis import _sccs, precedence_graph
+from repro.ast.program import Program
+from repro.ast.rules import Lit
+from repro.relational.instance import Database
+from repro.semantics.plan import PlanCache, RulePlan, plan_for, plan_with_cover
+from repro.terms import Var
+
+
+class QueryPlanner:
+    """Class-wide planner switches (mirroring ``PlanCache``).
+
+    ``enabled`` — when True (the default), untraced evaluation routes
+    through :func:`consequences` (dispatch + cost-based orders + shared
+    indexes) and the scheduling drivers use :func:`scheduled_fixpoint`.
+    The ablation benchmarks flip it off to measure the planner's win;
+    production code should never touch it.
+
+    ``replan_ratio``/``replan_slack`` — a cached join-order decision is
+    kept while every literal cardinality ``n`` stays within
+    ``ratio * old + slack`` of its decision-time snapshot (and vice
+    versa); outside that band the stage re-plans.
+    """
+
+    enabled: bool = True
+    replan_ratio: float = 2.0
+    replan_slack: int = 4
+
+
+class _Decision:
+    """One cached join-order decision for a (rule, variant) pair."""
+
+    __slots__ = (
+        "order",
+        "snapshot",
+        "est_rows",
+        "restricted_pos",
+        "plan",
+        "plan_epoch",
+    )
+
+    def __init__(
+        self,
+        order: tuple[int, ...],
+        snapshot: tuple[int, ...],
+        est_rows: float,
+        restricted_pos: int,
+    ):
+        self.order = order
+        self.snapshot = snapshot
+        self.est_rows = est_rows
+        #: Index of the delta-restricted literal within ``order``
+        #: (always 0 — the delta runs first); -1 for the full pass.
+        self.restricted_pos = restricted_pos
+        self.plan: RulePlan | None = None
+        self.plan_epoch = -1
+
+
+class _RuleState:
+    """Per-rule planner bookkeeping inside a :class:`PlanContext`."""
+
+    __slots__ = ("decisions", "lookups", "hits", "replans", "actual")
+
+    def __init__(self):
+        #: variant (None = full pass, int = restricted occurrence) →
+        #: cached :class:`_Decision`.
+        self.decisions: dict[int | None, _Decision] = {}
+        self.lookups = 0
+        self.hits = 0
+        self.replans = 0
+        self.actual = 0
+
+
+class _Component:
+    """One schedulable SCC of the predicate dependency graph."""
+
+    __slots__ = ("relations", "rule_ids", "recursive")
+
+    def __init__(
+        self,
+        relations: frozenset[str],
+        rule_ids: tuple[int, ...],
+        recursive: bool,
+    ):
+        self.relations = relations
+        self.rule_ids = rule_ids
+        self.recursive = recursive
+
+
+class PlanContext:
+    """Everything the planner derives from one program.
+
+    Cached on the program object itself (see :func:`plan_context`) and
+    garbage-collected with it.  Holds no back-reference to the program,
+    only to its rules.
+    """
+
+    __slots__ = (
+        "rules",
+        "positive",
+        "var_sets",
+        "dispatch",
+        "states",
+        "plannable",
+        "schedule",
+        "assign",
+        "chains",
+        "cover_epoch",
+        "assign_epoch",
+        "lookups",
+        "hits",
+        "replans",
+        "report",
+    )
+
+    def __init__(self, program: Program):
+        self.rules = program.rules
+        self.positive: list[list[Lit]] = [
+            list(rule.positive_body()) for rule in self.rules
+        ]
+        self.var_sets: list[list[set[Var]]] = [
+            [lit.variables() for lit in lits] for lits in self.positive
+        ]
+        dispatch: dict[str, list[int]] = {}
+        for i, lits in enumerate(self.positive):
+            for relation in {lit.relation for lit in lits}:
+                dispatch.setdefault(relation, []).append(i)
+        self.dispatch: dict[str, tuple[int, ...]] = {
+            relation: tuple(ids) for relation, ids in dispatch.items()
+        }
+        self.states = [_RuleState() for _ in self.rules]
+        self.plannable = not any(rule.universal for rule in self.rules)
+        self.schedule = _build_schedule(self, program) if self.plannable else None
+        #: MISP output: (relation, template) → (chain order, probe depth).
+        self.assign: dict[
+            tuple[str, frozenset[int]], tuple[tuple[int, ...], int]
+        ] = {}
+        #: relation → chain column orders the current cover keeps.
+        self.chains: dict[str, list[tuple[int, ...]]] = {}
+        #: Bumped whenever a decision's join order changes; compiled
+        #: plans and the cover are lazily rebuilt against it.
+        self.cover_epoch = 0
+        self.assign_epoch = -1
+        self.lookups = 0
+        self.hits = 0
+        self.replans = 0
+        #: Live JSON-ready report, mutated in place and shared with
+        #: ``EngineStats.planner`` (see :func:`explain` for the shape).
+        self.report: dict = {
+            "plan_lookups": 0,
+            "plan_hits": 0,
+            "replans": 0,
+            "rules": {},
+            "index_cover": {},
+            "scheduled_components": (
+                len(self.schedule) if self.schedule is not None else None
+            ),
+        }
+
+
+#: Programs currently carrying a cached context (see ``plan_context``).
+_context_owners: "WeakSet[Program]" = WeakSet()
+
+_CTX_ATTR = "_planner_context"
+
+
+def plan_context(program: Program) -> PlanContext:
+    """The cached planner context for a program.
+
+    The context rides on the program object itself (identity-keyed, so
+    the per-stage lookup is one attribute read — a weak *mapping* keyed
+    by the structurally-hashed program would re-compare every rule on
+    each lookup) and dies with it.  The weak registry only exists so
+    :func:`clear_contexts` can evict live caches for test isolation.
+    """
+    ctx = getattr(program, _CTX_ATTR, None)
+    if ctx is None:
+        ctx = PlanContext(program)
+        setattr(program, _CTX_ATTR, ctx)
+        _context_owners.add(program)
+    return ctx
+
+
+def clear_contexts() -> None:
+    """Drop all cached contexts (test isolation)."""
+    for program in list(_context_owners):
+        if getattr(program, _CTX_ATTR, None) is not None:
+            delattr(program, _CTX_ATTR)
+    _context_owners.clear()
+
+
+# -- scheduling -------------------------------------------------------------
+
+
+def _build_schedule(ctx: PlanContext, program: Program) -> list[_Component] | None:
+    """SCCs of the predicate dependency graph in topological order.
+
+    Returns ``None`` when no sound schedule exists: a negative edge
+    inside a component (recursion through negation — the well-founded
+    engine handles it via its transformed program instead), or a rule
+    whose heads span components (multi-head nondeterministic dialects).
+    """
+    graph = precedence_graph(program)
+    edges = {src: {dst for dst, _ in targets} for src, targets in graph.items()}
+    comps = _sccs(sorted(graph), edges)
+    comp_of: dict[str, int] = {}
+    for i, comp in enumerate(comps):
+        for relation in comp:
+            comp_of[relation] = i
+    for src, targets in graph.items():
+        for dst, positive in targets:
+            if not positive and comp_of[src] == comp_of[dst]:
+                return None
+
+    # Deterministic Kahn order over the component DAG (all edges,
+    # positive and negative: producers strictly before consumers).
+    n = len(comps)
+    succ: list[set[int]] = [set() for _ in range(n)]
+    indegree = [0] * n
+    for src, targets in graph.items():
+        for dst, _ in targets:
+            a, b = comp_of[src], comp_of[dst]
+            if a != b and b not in succ[a]:
+                succ[a].add(b)
+                indegree[b] += 1
+    ready = sorted(i for i in range(n) if indegree[i] == 0)
+    topo: list[int] = []
+    while ready:
+        i = ready.pop(0)
+        topo.append(i)
+        opened = []
+        for j in succ[i]:
+            indegree[j] -= 1
+            if indegree[j] == 0:
+                opened.append(j)
+        if opened:
+            ready = sorted(ready + opened)
+    if len(topo) != n:  # pragma: no cover - the SCC DAG is acyclic
+        return None
+
+    comp_rules: list[list[int]] = [[] for _ in range(n)]
+    for idx, rule in enumerate(ctx.rules):
+        heads = {comp_of[h] for h in rule.head_relations()}
+        if len(heads) != 1:
+            return None
+        comp_rules[next(iter(heads))].append(idx)
+
+    components: list[_Component] = []
+    for i in topo:
+        rule_ids = comp_rules[i]
+        if not rule_ids:
+            continue  # pure-edb component: nothing to evaluate
+        comp = comps[i]
+        recursive = any(
+            lit.relation in comp
+            for rid in rule_ids
+            for lit in ctx.positive[rid]
+        )
+        components.append(_Component(frozenset(comp), tuple(rule_ids), recursive))
+    return components
+
+
+# -- cost model -------------------------------------------------------------
+
+
+def _estimate(
+    lit: Lit,
+    variables: set[Var],
+    size: int,
+    bound: set[Var],
+    db: Database,
+) -> tuple[float, int]:
+    """(estimated probe output, shared-variable count) for one literal."""
+    from repro.terms import Const
+
+    bound_positions = [
+        p
+        for p, term in enumerate(lit.terms)
+        if isinstance(term, Const) or term in bound
+    ]
+    shared = len(variables & bound)
+    arity = len(lit.terms)
+    if not bound_positions:
+        return float(size), shared
+    if len(bound_positions) == arity:
+        return 0.5, shared
+    rel = db.relation(lit.relation)
+    distinct = (
+        rel.distinct_estimate(frozenset(bound_positions))
+        if rel is not None
+        else None
+    )
+    if distinct:
+        return size / distinct, shared
+    return float(size) ** (1.0 - len(bound_positions) / arity), shared
+
+
+def _cost_order(
+    lits: list[Lit],
+    var_sets: list[set[Var]],
+    sizes: list[int],
+    db: Database,
+    restricted_occ: int | None = None,
+) -> tuple[tuple[int, ...], float]:
+    """Greedy minimum-fan-out join order; (order, estimated rows).
+
+    A restricted occurrence (the semi-naive delta literal) is forced
+    first — the delta is the small side by construction and running it
+    first is what lets the grouped delta probe pay off.  Ties break on
+    (estimate, −shared variables, relation size, body position), all
+    deterministic.
+    """
+    n = len(lits)
+    if n == 0:
+        return (), 1.0
+    remaining = list(range(n))
+    ordered: list[int] = []
+    bound: set[Var] = set()
+    est_rows = 1.0
+    if restricted_occ is not None:
+        ordered.append(restricted_occ)
+        remaining.remove(restricted_occ)
+        bound |= var_sets[restricted_occ]
+        est_rows = float(max(sizes[restricted_occ], 1))
+    while remaining:
+        best_key = None
+        best_i = remaining[0]
+        best_est = 0.0
+        for i in remaining:
+            est, shared = _estimate(lits[i], var_sets[i], sizes[i], bound, db)
+            key = (est, -shared, sizes[i], i)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_i = i
+                best_est = est
+        ordered.append(best_i)
+        remaining.remove(best_i)
+        bound |= var_sets[best_i]
+        est_rows *= max(best_est, 0.5)
+    return tuple(ordered), est_rows
+
+
+def _drifted(old: tuple[int, ...], new: tuple[int, ...]) -> bool:
+    """Has any cardinality left the replan tolerance band?"""
+    ratio = QueryPlanner.replan_ratio
+    slack = QueryPlanner.replan_slack
+    for a, b in zip(old, new):
+        low, high = (a, b) if a <= b else (b, a)
+        if high > ratio * low + slack:
+            return True
+    return False
+
+
+def _decision(
+    ctx: PlanContext,
+    rule_id: int,
+    occ: int | None,
+    db: Database,
+    delta_size: int,
+) -> _Decision:
+    """The (cached, drift-checked) decision for one rule variant."""
+    state = ctx.states[rule_id]
+    state.lookups += 1
+    ctx.lookups += 1
+    lits = ctx.positive[rule_id]
+    sizes: list[int] = []
+    for j, lit in enumerate(lits):
+        if j == occ:
+            sizes.append(delta_size)
+        else:
+            rel = db.relation(lit.relation)
+            sizes.append(len(rel) if rel is not None else 0)
+    if occ is None:
+        snapshot = tuple(sizes)
+    else:
+        snapshot = tuple(s for j, s in enumerate(sizes) if j != occ)
+    decision = state.decisions.get(occ)
+    if decision is not None and not _drifted(decision.snapshot, snapshot):
+        state.hits += 1
+        ctx.hits += 1
+    else:
+        if decision is not None:
+            state.replans += 1
+            ctx.replans += 1
+        order, est_rows = _cost_order(
+            lits, ctx.var_sets[rule_id], sizes, db, restricted_occ=occ
+        )
+        if decision is None or order != decision.order:
+            ctx.cover_epoch += 1
+            decision = _Decision(
+                order, snapshot, est_rows, -1 if occ is None else 0
+            )
+            state.decisions[occ] = decision
+        else:
+            decision.snapshot = snapshot
+            decision.est_rows = est_rows
+        entry = ctx.report["rules"].setdefault(str(rule_id), {})
+        variant_key = "full" if occ is None else f"delta@{occ}"
+        entry[variant_key] = {
+            "order": list(decision.order),
+            "estimated_rows": round(decision.est_rows, 2),
+        }
+    if decision.plan is None or decision.plan_epoch != ctx.cover_epoch:
+        base = plan_for(ctx.rules[rule_id], decision.order)
+        if PlanCache.compiled_plans:
+            decision.plan = plan_with_cover(base, _ensure_cover(ctx))
+        else:
+            decision.plan = base
+        decision.plan_epoch = ctx.cover_epoch
+    return decision
+
+
+# -- minimal shared index selection (MISP) ----------------------------------
+
+
+def minimum_chain_cover(
+    templates: "set[frozenset[int]] | list[frozenset[int]]",
+) -> list[tuple[tuple[int, ...], list[frozenset[int]]]]:
+    """A minimum chain decomposition of index-key templates under ⊆.
+
+    Returns ``[(column order, templates served), ...]``: each chain is
+    one physical trie index whose column order lists every member
+    template's new positions in turn, so each member is a prefix of the
+    chain.  Minimality is Dilworth via minimum path cover of the strict
+    subset DAG, solved with deterministic augmenting-path bipartite
+    matching — polynomial in the number of templates (which is tiny:
+    one per distinct probe shape per relation).
+    """
+    ts = sorted(templates, key=lambda s: (len(s), tuple(sorted(s))))
+    n = len(ts)
+    adjacency = [
+        [j for j in range(n) if len(ts[i]) < len(ts[j]) and ts[i] < ts[j]]
+        for i in range(n)
+    ]
+    match_right = [-1] * n  # j → the i whose chain continues into j
+    match_left = [-1] * n  # i → its chain successor j
+
+    def augment(i: int, seen: set[int]) -> bool:
+        for j in adjacency[i]:
+            if j in seen:
+                continue
+            seen.add(j)
+            if match_right[j] == -1 or augment(match_right[j], seen):
+                match_right[j] = i
+                match_left[i] = j
+                return True
+        return False
+
+    for i in range(n):
+        augment(i, set())
+
+    chains: list[tuple[tuple[int, ...], list[frozenset[int]]]] = []
+    for start in range(n):
+        if match_right[start] != -1:
+            continue  # not a chain head: some smaller template precedes it
+        members: list[frozenset[int]] = []
+        columns: list[int] = []
+        covered: frozenset[int] = frozenset()
+        node = start
+        while True:
+            template = ts[node]
+            columns.extend(sorted(template - covered))
+            covered = template
+            members.append(template)
+            node = match_left[node]
+            if node == -1:
+                break
+        chains.append((tuple(columns), members))
+    return chains
+
+
+def _ensure_cover(
+    ctx: PlanContext,
+) -> dict[tuple[str, frozenset[int]], tuple[tuple[int, ...], int]]:
+    """(Re)compute the index-cover assignment for the current decisions."""
+    if ctx.assign_epoch == ctx.cover_epoch:
+        return ctx.assign
+    templates: dict[str, set[frozenset[int]]] = {}
+    for rule_id, state in enumerate(ctx.states):
+        for occ, decision in state.decisions.items():
+            base = plan_for(ctx.rules[rule_id], decision.order)
+            for idx, step in enumerate(base.steps):
+                if occ is not None and idx == decision.restricted_pos:
+                    continue  # delta-restricted: probes the delta, not an index
+                if step.key_positions and not step.exact:
+                    templates.setdefault(step.relation, set()).add(
+                        frozenset(step.key_positions)
+                    )
+    assign: dict[tuple[str, frozenset[int]], tuple[tuple[int, ...], int]] = {}
+    chains: dict[str, list[tuple[int, ...]]] = {}
+    for relation in sorted(templates):
+        for order, members in minimum_chain_cover(templates[relation]):
+            chains.setdefault(relation, []).append(order)
+            for template in members:
+                assign[(relation, template)] = (order, len(template))
+    ctx.assign = assign
+    ctx.chains = chains
+    ctx.assign_epoch = ctx.cover_epoch
+    ctx.report["index_cover"] = {
+        relation: {
+            "templates": len(templates[relation]),
+            "chains": len(chains.get(relation, [])),
+        }
+        for relation in sorted(templates)
+    }
+    return assign
+
+
+def apply_cover(ctx: PlanContext, db: Database) -> None:
+    """Garbage-collect physical indexes the cover no longer needs.
+
+    Flat indexes whose key template the chain cover serves are
+    redundant (the chain answers the same probes by prefix), and chains
+    from a superseded cover epoch are dead; both are dropped, counted
+    in ``Relation.index_drops`` → ``EngineStats.index_drops``.  Index
+    shapes the cover knows nothing about are left alone.
+    """
+    if not PlanCache.compiled_plans:
+        return
+    assign = _ensure_cover(ctx)
+    if not assign and not ctx.chains:
+        return
+    covered_relations = {relation for relation, _ in assign}
+    for relation in sorted(covered_relations):
+        rel = db.relation(relation)
+        if rel is None:
+            continue
+        keep = set(ctx.chains.get(relation, ()))
+        for kind, key in rel.live_indexes():
+            if kind == "chain":
+                if key not in keep:
+                    rel.drop_chain_index(key)
+            elif (relation, frozenset(key)) in assign:
+                rel.drop_index(key)
+
+
+# -- consequence evaluation -------------------------------------------------
+
+
+def _emit(
+    plan: RulePlan,
+    slot_iter: "Iterator[list]",
+    rule,
+    positive: set[tuple[str, tuple]],
+    negative: set[tuple[str, tuple]],
+) -> int:
+    """Drain one plan run into the inference sets; returns firings."""
+    from repro.semantics.base import instantiate_head
+
+    firings = 0
+    emitters = plan.emitters
+    if emitters is None:
+        out_vars = plan.out_vars
+        for slots in slot_iter:
+            firings += 1
+            valuation = {var: slots[s] for var, s in out_vars}
+            for relation, t, is_positive in instantiate_head(rule, valuation):
+                if is_positive:
+                    positive.add((relation, t))
+                else:
+                    negative.add((relation, t))
+    else:
+        for slots in slot_iter:
+            firings += 1
+            for relation, template, fills, is_positive in emitters:
+                for position, s in fills:
+                    template[position] = slots[s]
+                fact = (relation, tuple(template))
+                if is_positive:
+                    positive.add(fact)
+                else:
+                    negative.add(fact)
+    return firings
+
+
+def _fire(
+    plan: RulePlan,
+    db: Database,
+    adom: tuple[Hashable, ...],
+    restricted_pos: int,
+    restricted: frozenset[tuple] | None,
+    rule,
+    positive: set[tuple[str, tuple]],
+    negative: set[tuple[str, tuple]],
+) -> int:
+    """Run one compiled plan variant and emit its inferences.
+
+    Single-positive-head rules take the fused ``RulePlan.run_emit``
+    path (no per-row generator resume — this is the hottest loop in the
+    repository); everything else drains ``plan._run`` through
+    :func:`_emit`.
+    """
+    if plan.never:
+        return 0
+    emitters = plan.emitters
+    if emitters is not None and len(emitters) == 1 and emitters[0][3]:
+        relation, template, fills, _ = emitters[0]
+        return plan.run_emit(
+            db, adom, restricted_pos, restricted,
+            relation, template, fills, positive,
+        )
+    return _emit(
+        plan,
+        plan._run(db, adom, restricted_pos, restricted),
+        rule,
+        positive,
+        negative,
+    )
+
+
+def _interpreted_rule(
+    rule,
+    db: Database,
+    adom: tuple[Hashable, ...],
+    delta,
+    positive: set[tuple[str, tuple]],
+    negative: set[tuple[str, tuple]],
+) -> int:
+    """Kernel-off fallback: one rule via the interpreted matcher."""
+    from repro.semantics.base import instantiate_head, iter_matches
+
+    firings = 0
+    for valuation in iter_matches(rule, db, adom, delta=delta):
+        firings += 1
+        for relation, t, is_positive in instantiate_head(rule, valuation):
+            if is_positive:
+                positive.add((relation, t))
+            else:
+                negative.add((relation, t))
+    return firings
+
+
+def consequences(
+    program: Program,
+    db: Database,
+    adom: tuple[Hashable, ...],
+    delta: dict[str, frozenset[tuple]] | None = None,
+    stats=None,
+    rule_ids: tuple[int, ...] | None = None,
+    count_call: bool = False,
+):
+    """Planner-routed immediate consequences; ``None`` defers to legacy.
+
+    Same contract as :func:`repro.semantics.base.immediate_consequences`
+    — ``(positive, negative, firings)`` with identical inferences — but
+    with the planner's three optimizations applied: semi-naive calls
+    visit only the rules the relation→rules dispatch map selects for
+    the delta (each with its own delta-first cost-based order), full
+    passes run each rule under its cost-based order, and with the
+    compiled kernel on, index probes go through the minimal shared
+    chain cover.  Under the interpreted matcher (kernel ablated off)
+    only the dispatch map applies — candidate enumeration stays exactly
+    the interpreted twin's.
+
+    ``rule_ids`` restricts evaluation to one scheduled component;
+    ``count_call`` makes this call bump ``stats.consequence_calls``
+    (the scheduled drivers call here directly, bypassing
+    ``immediate_consequences``'s own bump).
+    """
+    if not QueryPlanner.enabled:
+        return None
+    ctx = plan_context(program)
+    if not ctx.plannable:
+        return None
+    if stats is not None:
+        if count_call:
+            stats.consequence_calls += 1
+        stats.planner = ctx.report
+    positive: set[tuple[str, tuple]] = set()
+    negative: set[tuple[str, tuple]] = set()
+    firings = 0
+    compiled = PlanCache.compiled_plans
+    rules = ctx.rules
+    if delta is None:
+        ids = range(len(rules)) if rule_ids is None else rule_ids
+        for i in ids:
+            if compiled:
+                decision = _decision(ctx, i, None, db, 0)
+                fired = _fire(
+                    decision.plan, db, adom, -1, None,
+                    rules[i], positive, negative,
+                )
+            else:
+                state = ctx.states[i]
+                state.lookups += 1
+                ctx.lookups += 1
+                fired = _interpreted_rule(
+                    rules[i], db, adom, None, positive, negative
+                )
+            firings += fired
+            state = ctx.states[i]
+            state.actual += fired
+            ctx.report["rules"].setdefault(str(i), {})["actual_rows"] = (
+                state.actual
+            )
+    else:
+        live = {relation for relation, facts in delta.items() if facts}
+        selected: set[int] = set()
+        for relation in live:
+            selected.update(ctx.dispatch.get(relation, ()))
+        if rule_ids is not None:
+            selected &= set(rule_ids)
+        for i in sorted(selected):
+            rule = rules[i]
+            if compiled:
+                fired = 0
+                for occ, lit in enumerate(ctx.positive[i]):
+                    restricted = delta.get(lit.relation)
+                    if not restricted:
+                        continue
+                    decision = _decision(ctx, i, occ, db, len(restricted))
+                    fired += _fire(
+                        decision.plan, db, adom,
+                        decision.restricted_pos, restricted,
+                        rule, positive, negative,
+                    )
+            else:
+                state = ctx.states[i]
+                state.lookups += 1
+                ctx.lookups += 1
+                fired = _interpreted_rule(
+                    rule, db, adom, delta, positive, negative
+                )
+            firings += fired
+            state = ctx.states[i]
+            state.actual += fired
+            ctx.report["rules"].setdefault(str(i), {})["actual_rows"] = (
+                state.actual
+            )
+    report = ctx.report
+    report["plan_lookups"] = ctx.lookups
+    report["plan_hits"] = ctx.hits
+    report["replans"] = ctx.replans
+    return positive, negative, firings
+
+
+# -- SCC-scheduled fixpoint -------------------------------------------------
+
+
+def scheduled_fixpoint(
+    program: Program,
+    db: Database,
+    adom: tuple[Hashable, ...],
+    stats=None,
+    recorder=None,
+    result=None,
+    stage_start: int = 0,
+    collect: "set[tuple[str, tuple]] | None" = None,
+):
+    """Evaluate to fixpoint one SCC at a time; ``None`` defers to legacy.
+
+    Mutates ``db`` in place exactly as the drivers' global loops do:
+    per component one full pass, then (for components recursive through
+    a positive edge) a delta loop over that component's rules only.
+    ``recorder``/``result``, when given, receive the same per-pass
+    stage records and :class:`~repro.semantics.base.StageTrace` entries
+    the legacy loops produce; ``collect`` (the well-founded driver's
+    mode) accumulates every newly derived fact.  Ends with the index
+    cover's garbage collection on ``db``.
+
+    Returns ``(total firings, last stage number)``, or ``None`` when
+    the planner is off or the program has no sound schedule.
+    """
+    from repro.semantics.base import StageTrace
+
+    if not QueryPlanner.enabled:
+        return None
+    ctx = plan_context(program)
+    if not ctx.plannable or ctx.schedule is None:
+        return None
+    if stats is None and recorder is not None:
+        stats = recorder.stats
+    firings_total = 0
+    stage = stage_start
+
+    def absorb(positive, firings):
+        nonlocal stage
+        stage += 1
+        trace = StageTrace(stage)
+        delta: dict[str, set[tuple]] = {}
+        for relation, t in positive:
+            if db.add_fact(relation, t):
+                trace.new_facts.append((relation, t))
+                delta.setdefault(relation, set()).add(t)
+                if collect is not None:
+                    collect.add((relation, t))
+        if recorder is not None:
+            recorder.stage(
+                stage, firings, added=len(trace.new_facts), trace=trace
+            )
+        if result is not None and trace.new_facts:
+            result.stages.append(trace)
+        return delta
+
+    for component in ctx.schedule:
+        positive, _negative, firings = consequences(
+            program,
+            db,
+            adom,
+            stats=stats,
+            rule_ids=component.rule_ids,
+            count_call=True,
+        )
+        firings_total += firings
+        delta = absorb(positive, firings)
+        if not component.recursive:
+            continue
+        while delta:
+            frozen = {
+                relation: frozenset(facts) for relation, facts in delta.items()
+            }
+            positive, _negative, firings = consequences(
+                program,
+                db,
+                adom,
+                delta=frozen,
+                stats=stats,
+                rule_ids=component.rule_ids,
+                count_call=True,
+            )
+            firings_total += firings
+            delta = absorb(positive, firings)
+    apply_cover(ctx, db)
+    if recorder is not None:
+        recorder.settle()
+    return firings_total, stage
+
+
+# -- observability ----------------------------------------------------------
+
+
+def explain(program: Program, db: Database) -> dict | None:
+    """A static planner report against the current database state.
+
+    Decides every rule's full-pass join order (through the normal
+    cached/drift-checked path), computes the index cover, and returns a
+    deep copy of the planner report — the shape ``EngineStats.planner``
+    carries::
+
+        {"plan_lookups": int, "plan_hits": int, "replans": int,
+         "rules": {"<rule index>": {
+             "full" | "delta@<occ>":
+                 {"order": [...], "estimated_rows": float},
+             "actual_rows": int,   # firings observed (live runs only)
+         }},
+         "index_cover": {"<relation>": {"templates": n, "chains": m}},
+         "scheduled_components": int | None}
+
+    Pure with respect to ``db`` (estimates never build indexes);
+    returns ``None`` for programs the planner does not handle.
+    ``repro profile`` attaches this to its JSON report.
+    """
+    import copy
+
+    if not QueryPlanner.enabled:
+        return None
+    ctx = plan_context(program)
+    if not ctx.plannable:
+        return None
+    for i in range(len(ctx.rules)):
+        _decision(ctx, i, None, db, 0)
+    if PlanCache.compiled_plans:
+        _ensure_cover(ctx)
+    ctx.report["plan_lookups"] = ctx.lookups
+    ctx.report["plan_hits"] = ctx.hits
+    ctx.report["replans"] = ctx.replans
+    return copy.deepcopy(ctx.report)

@@ -43,6 +43,20 @@ def evaluate_datalog_seminaive(
     result = EvaluationResult(current)
     recorder = StatsRecorder("seminaive", current, tracer=tracer)
 
+    if tracer is None:
+        # SCC-scheduled evaluation: one component at a time in
+        # topological order, each with its own delta loop.  Falls back
+        # to the global loop below when the planner is off.
+        from repro.semantics import planner
+
+        scheduled = planner.scheduled_fixpoint(
+            program, current, adom, recorder=recorder, result=result
+        )
+        if scheduled is not None:
+            result.rule_firings = scheduled[0]
+            result.stats = recorder.finish(adom_size=len(adom))
+            return result
+
     # Stage 1: full evaluation.
     positive, _negative, firings = immediate_consequences(
         program, current, adom, stats=recorder.stats, tracer=tracer

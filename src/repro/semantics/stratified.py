@@ -55,6 +55,20 @@ def evaluate_stratified(
         if not rules:
             continue
         subprogram = Program(rules, name=f"{program.name}-stratum")
+        if tracer is None:
+            # SCC-scheduled: a stratum may span several components
+            # (negation only cuts *between* strata), so each gets its
+            # own topologically-ordered delta loop.
+            from repro.semantics import planner
+
+            scheduled = planner.scheduled_fixpoint(
+                subprogram, current, adom,
+                recorder=recorder, result=result, stage_start=stage,
+            )
+            if scheduled is not None:
+                result.rule_firings += scheduled[0]
+                stage = scheduled[1]
+                continue
         # Full pass, then delta-driven passes over this stratum's relations.
         positive, _negative, firings = immediate_consequences(
             subprogram, current, adom, stats=recorder.stats, tracer=tracer

@@ -121,17 +121,33 @@ def _least_model(
     adom: tuple[Hashable, ...],
     stats: EngineStats | None = None,
     tracer=None,
-) -> tuple[frozenset[tuple[str, tuple]], int, tuple[int, int]]:
+) -> tuple[frozenset[tuple[str, tuple]], int, tuple[int, int, int]]:
     """lfp of the transformed program with assumptions ``assumed`` (= S(J)).
 
     Returns (derived facts, firings, the scratch database's final
-    (index builds, index updates) counters).
+    (index builds, index updates, index drops) counters).
     """
     work = base.copy()
     for relation in transformed.idb:
         work.ensure_relation(relation, transformed.arity(relation))
     for relation, t in assumed:
         work.add_fact(_assumed_name(relation), t)
+
+    if tracer is None:
+        # SCC-scheduled least model: the transformed program negates
+        # only assumption/edb relations, so every component schedules.
+        from repro.semantics import planner
+
+        collected: set[tuple[str, tuple]] = set()
+        scheduled = planner.scheduled_fixpoint(
+            transformed, work, adom, stats=stats, collect=collected
+        )
+        if scheduled is not None:
+            return (
+                frozenset(collected),
+                scheduled[0],
+                (*work.index_counters(), work.index_drop_count()),
+            )
 
     firings_total = 0
     positive, _negative, firings = immediate_consequences(
@@ -155,7 +171,11 @@ def _least_model(
             if work.add_fact(relation, t):
                 derived.add((relation, t))
                 delta.setdefault(relation, set()).add(t)
-    return frozenset(derived), firings_total, work.index_counters()
+    return (
+        frozenset(derived),
+        firings_total,
+        (*work.index_counters(), work.index_drop_count()),
+    )
 
 
 def alternating_sequence(

@@ -81,6 +81,22 @@ class TestProfile:
             assert row["span"] is not None  # points at a real source line
             assert row["emitted"] >= 0
 
+    def test_planner_report_attached(self, tc_files):
+        # The traced run itself bypasses the planner, but the profile
+        # carries the static planner report (orders, estimates, cover)
+        # for the same program and input.
+        program, data = tc_files
+        code, output = run_cli(
+            ["profile", program, "--data", data, "--format", "json"]
+        )
+        assert code == 0
+        planner = json.loads(output)["planner"]
+        assert planner is not None
+        assert set(planner) >= {"rules", "index_cover",
+                                "scheduled_components"}
+        full = planner["rules"]["1"]["full"]  # the recursive TC rule
+        assert full["order"] and full["estimated_rows"] >= 0
+
     def test_reports_interpreted_matcher(self, tc_files):
         # Profiles are collected through a tracer, and traced runs take
         # the interpreted twin — the report says so, in both formats.
@@ -189,18 +205,22 @@ class TestStatsJson:
         assert set(stats) == {
             "version", "engine", "matcher", "seconds", "stage_count",
             "rule_firings", "consequence_calls", "adom_size",
-            "index_builds", "index_updates", "stages",
+            "index_builds", "index_updates", "index_drops", "planner",
+            "stages",
         }
         assert stats["engine"] == "seminaive"
-        # Additive field under STATS_SCHEMA_VERSION=1: which matcher
-        # path produced the instantiations.  Untraced runs take the
-        # compiled kernel by default.
+        # Additive fields under STATS_SCHEMA_VERSION=1: which matcher
+        # path produced the instantiations (untraced runs take the
+        # compiled kernel by default) and the query planner's report.
         assert stats["matcher"] == "compiled"
+        assert stats["planner"] is not None
+        assert {"plan_lookups", "plan_hits", "replans", "rules",
+                "index_cover", "scheduled_components"} <= set(stats["planner"])
         assert stats["stage_count"] == len(stats["stages"])
         for stage in stats["stages"]:
             assert set(stage) == {
                 "stage", "seconds", "firings", "added", "removed",
-                "index_builds", "index_updates",
+                "index_builds", "index_updates", "index_drops",
             }
         assert stats["rule_firings"] == sum(
             s["firings"] for s in stats["stages"]

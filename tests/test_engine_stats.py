@@ -189,7 +189,7 @@ class TestSummaryAlignment:
 
     def test_columns_fit_widest_value(self):
         summary = self.make_stats().summary()
-        table = summary.splitlines()[9:]  # the per-stage table
+        table = summary.splitlines()[10:]  # the per-stage table
         assert len(table) == 4  # header + 3 stages
         # Every row has identical length: wide counters never shear it.
         assert len({len(line) for line in table}) == 1
@@ -203,7 +203,7 @@ class TestSummaryAlignment:
 
     def test_snapshot(self):
         """Byte-for-byte snapshot of the wide-counter rendering."""
-        table = "\n".join(self.make_stats().summary().splitlines()[9:])
+        table = "\n".join(self.make_stats().summary().splitlines()[10:])
         assert table == (
             "stage     seconds    firings    +facts  -facts  builds   updates\n"
             "    1    0.250000          3         2       0       0         0\n"
@@ -252,8 +252,10 @@ class TestRecorderInvariants:
             rebuilding = evaluate_datalog_seminaive(program, db).stats
         finally:
             Relation.incremental_maintenance = True
-        # Incremental: one build, then in-place updates only.
-        assert incremental.index_builds == 1
+        # Incremental: build each physical index once, then in-place
+        # updates only.  The planner's cover for nonlinear TC keeps two
+        # chain indexes on T — one per join side — hence two builds.
+        assert incremental.index_builds == 2
         assert incremental.index_updates > 0
         # Seed behavior: a rebuild per mutated stage, no updates.
         assert rebuilding.index_builds > 1

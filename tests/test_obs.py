@@ -306,7 +306,8 @@ class TestProfileReport:
     def test_to_dict_pinned_schema(self):
         d = self.make_report().to_dict(sort="firings", top=1)
         assert set(d) == {"version", "engine", "matcher", "seconds",
-                          "stages", "rule_firings", "sort", "rules"}
+                          "stages", "rule_firings", "sort", "rules",
+                          "planner"}
         assert d["version"] == TRACE_SCHEMA_VERSION
         assert len(d["rules"]) == 1
         row = d["rules"][0]

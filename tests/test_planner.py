@@ -1,0 +1,472 @@
+"""The cost-based query planner: join ordering, index cover, scheduling.
+
+Covers the three planner pieces of :mod:`repro.semantics.planner` and
+their contracts: chain (trie) indexes and their statistics on
+:class:`~repro.relational.instance.Relation`, the minimum chain cover
+(MISP), the deterministic cost-based join order, the relation→rules
+dispatch map (delta-disjoint rules incur zero plan lookups), index GC
+(a wide relation ends the run with only covered indexes live), the
+planner-on/off differential across all deterministic engines, and
+byte-identical seeded nondeterministic replay with the planner on.
+"""
+
+import random
+
+import pytest
+
+from repro.parser import parse_program
+from repro.programs.component_chain import (
+    component_chain_database,
+    component_chain_program,
+    reference_component_chain,
+)
+from repro.relational.instance import Database, Relation
+from repro.semantics.naive import evaluate_datalog_naive
+from repro.semantics.nondeterministic import run_nondeterministic
+from repro.semantics.planner import (
+    QueryPlanner,
+    _cost_order,
+    clear_contexts,
+    consequences,
+    explain,
+    minimum_chain_cover,
+    plan_context,
+)
+from repro.semantics.seminaive import evaluate_datalog_seminaive
+from repro.semantics.stratified import evaluate_stratified
+from repro.semantics.wellfounded import evaluate_wellfounded
+
+from tests.test_differential_engines import random_program_and_database
+
+
+@pytest.fixture(autouse=True)
+def fresh_planner():
+    """Each test starts from clean contexts and the default toggle."""
+    clear_contexts()
+    QueryPlanner.enabled = True
+    yield
+    clear_contexts()
+    QueryPlanner.enabled = True
+
+
+# -- chain (trie) indexes ---------------------------------------------------
+
+
+class TestChainIndexes:
+    def make_relation(self):
+        rel = Relation("W", 3)
+        for t in [("a", "p", 1), ("a", "p", 2), ("a", "q", 3), ("b", "p", 4)]:
+            rel.add(t)
+        return rel
+
+    def test_probe_full_depth(self):
+        rel = self.make_relation()
+        assert rel.probe_chain((0, 1), 2, ("a", "p")) == [
+            ("a", "p", 1), ("a", "p", 2)
+        ]
+        assert rel.probe_chain((0, 1), 2, ("b", "q")) == []
+
+    def test_probe_prefix_depth(self):
+        rel = self.make_relation()
+        out = rel.probe_chain((0, 1), 1, ("a",))
+        assert sorted(out) == [("a", "p", 1), ("a", "p", 2), ("a", "q", 3)]
+
+    def test_chain_key_counts(self):
+        rel = self.make_relation()
+        rel.chain_index((0, 1))
+        assert rel.chain_key_count((0, 1), 1) == 2  # a, b
+        assert rel.chain_key_count((0, 1), 2) == 3  # ap, aq, bp
+
+    def test_incremental_maintenance(self):
+        rel = self.make_relation()
+        rel.chain_index((0, 1))
+        rel.add(("c", "r", 5))
+        assert rel.probe_chain((0, 1), 1, ("c",)) == [("c", "r", 5)]
+        assert rel.chain_key_count((0, 1), 1) == 3
+        rel.discard(("c", "r", 5))
+        assert rel.probe_chain((0, 1), 1, ("c",)) == []
+        assert rel.chain_key_count((0, 1), 1) == 2
+
+    def test_distinct_estimate_is_free(self):
+        rel = self.make_relation()
+        # No live index: no estimate, and nothing was built to get one.
+        builds = rel.index_builds
+        assert rel.distinct_estimate(frozenset({0})) is None
+        assert rel.index_builds == builds
+        rel.chain_index((0, 1))
+        assert rel.distinct_estimate(frozenset({0})) == 2
+        assert rel.distinct_estimate(frozenset({0, 1})) == 3
+        rel.index((2,))
+        assert rel.distinct_estimate(frozenset({2})) == 4
+
+    def test_drop_counts(self):
+        rel = self.make_relation()
+        rel.index((0,))
+        rel.chain_index((0, 1))
+        assert sorted(rel.live_indexes()) == [
+            ("chain", (0, 1)), ("flat", (0,))
+        ]
+        assert rel.drop_index((0,))
+        assert rel.drop_chain_index((0, 1))
+        assert not rel.drop_index((0,))  # already gone
+        assert rel.index_drops == 2
+        assert rel.live_indexes() == []
+
+    def test_copy_carries_chains(self):
+        rel = self.make_relation()
+        rel.chain_index((0, 1))
+        clone = rel.copy()
+        rel.add(("z", "z", 9))
+        assert clone.probe_chain((0, 1), 1, ("z",)) == []
+        assert clone.chain_key_count((0, 1), 1) == 2
+
+
+# -- minimum chain cover (MISP) ---------------------------------------------
+
+
+class TestMinimumChainCover:
+    def test_nested_templates_share_one_chain(self):
+        chains = minimum_chain_cover(
+            [frozenset({0}), frozenset({0, 1}), frozenset({0, 1, 2})]
+        )
+        assert len(chains) == 1
+        order, members = chains[0]
+        assert order == (0, 1, 2)
+        assert members == [
+            frozenset({0}), frozenset({0, 1}), frozenset({0, 1, 2})
+        ]
+
+    def test_antichain_needs_one_chain_each(self):
+        chains = minimum_chain_cover([frozenset({0}), frozenset({1})])
+        assert sorted(order for order, _ in chains) == [(0,), (1,)]
+
+    def test_dilworth_width_two(self):
+        chains = minimum_chain_cover(
+            [frozenset({0}), frozenset({1}), frozenset({0, 1})]
+        )
+        assert len(chains) == 2  # width of the antichain {0}, {1}
+
+    def test_members_are_prefixes(self):
+        templates = [
+            frozenset({1}), frozenset({0, 1}), frozenset({2}),
+            frozenset({1, 2, 3}),
+        ]
+        for order, members in minimum_chain_cover(templates):
+            for template in members:
+                depth = len(template)
+                assert frozenset(order[:depth]) == template
+
+    def test_deterministic(self):
+        templates = {frozenset({0}), frozenset({2}), frozenset({0, 2})}
+        assert minimum_chain_cover(templates) == minimum_chain_cover(
+            sorted(templates, key=repr, reverse=True)
+        )
+
+
+# -- cost-based join order --------------------------------------------------
+
+
+class TestCostOrder:
+    def setup_rule(self, source):
+        program = parse_program(source, name="cost-order")
+        rule = program.rules[0]
+        lits = list(rule.positive_body())
+        return lits, [lit.variables() for lit in lits]
+
+    def test_small_scan_first_then_bound_probe(self):
+        lits, var_sets = self.setup_rule("P(x, y) :- Big(x), Small(x, y).")
+        db = Database({"Big": [(i,) for i in range(100)],
+                       "Small": [(1, 2), (2, 3), (3, 4)]})
+        order, est = _cost_order(lits, var_sets, [100, 3], db)
+        # Scan the 3-tuple relation, then membership-probe the big one.
+        assert order == (1, 0)
+        assert est == pytest.approx(3 * 0.5)
+
+    def test_restricted_occurrence_forced_first(self):
+        lits, var_sets = self.setup_rule("P(x, y) :- Big(x), Small(x, y).")
+        db = Database({"Big": [(i,) for i in range(100)],
+                       "Small": [(1, 2), (2, 3), (3, 4)]})
+        order, _ = _cost_order(
+            lits, var_sets, [2, 3], db, restricted_occ=0
+        )
+        assert order[0] == 0
+
+    def test_live_index_sharpens_estimate(self):
+        db = Database({"S": [("k",)],
+                       "W": [("k", i) for i in range(10)]
+                       + [("other", 99)]})
+        db.relation("W").chain_index((0,))
+        lits, var_sets = self.setup_rule("P(y) :- S(x), W(x, y).")
+        order, est = _cost_order(lits, var_sets, [1, 11], db)
+        assert order == (0, 1)
+        # 11 tuples / 2 distinct first-column keys, not 11^(1/2).
+        assert est == pytest.approx(11 / 2)
+
+    def test_deterministic_tie_break(self):
+        lits, var_sets = self.setup_rule("P(x) :- A(x), B(x).")
+        db = Database({"A": [(1,), (2,)], "B": [(1,), (3,)]})
+        first = _cost_order(lits, var_sets, [2, 2], db)
+        assert first == _cost_order(lits, var_sets, [2, 2], db)
+        assert first[0] == (0, 1)  # equal costs: body position wins
+
+
+# -- dispatch: delta-disjoint rules are never visited -----------------------
+
+
+class TestDispatch:
+    SOURCE = (
+        "T(x, y) :- E(x, y).\n"
+        "T(x, z) :- T(x, y), E(y, z).\n"
+        "U(x) :- F(x).\n"
+    )
+
+    def test_delta_disjoint_rule_has_zero_delta_lookups(self):
+        program = parse_program(self.SOURCE, name="dispatch")
+        db = Database({
+            "E": [(i, i + 1) for i in range(8)],
+            "F": [(0,), (1,)],
+        })
+        result = evaluate_datalog_seminaive(program, db)
+        assert result.answer("U") == {(0,), (1,)}
+        ctx = plan_context(program)
+        # The U rule's body (F) is never in any delta: exactly one plan
+        # lookup — its own full pass — across the whole fixpoint.
+        assert ctx.states[2].lookups == 1
+        # The recursive TC rule is planned on every delta stage.
+        assert ctx.states[1].lookups > 1
+
+    def test_consequences_dispatch_without_scheduling(self):
+        # The dispatch map alone (no component restriction): a delta on
+        # T selects only rules with T in their positive body.
+        program = parse_program(self.SOURCE, name="dispatch-direct")
+        db = Database({
+            "E": [(0, 1), (1, 2)],
+            "F": [(5,)],
+            "T": [],
+            "U": [],
+        })
+        adom = (0, 1, 2, 5)
+        delta = {"T": frozenset({(0, 1)})}
+        positive, _negative, _f = consequences(program, db, adom, delta=delta)
+        ctx = plan_context(program)
+        assert ctx.states[0].lookups == 0  # E-only body: not selected
+        assert ctx.states[2].lookups == 0  # F-only body: not selected
+        assert ctx.states[1].lookups == 1
+        assert positive == {("T", (0, 2))}
+
+
+# -- index GC: only covered indexes survive ---------------------------------
+
+
+class TestIndexGC:
+    def test_wide_relation_ends_with_covered_indexes_only(self):
+        program = parse_program(
+            "P(z) :- A(x), W(x, y, z).", name="gc-wide"
+        )
+        db = Database({
+            "A": [("a",), ("b",)],
+            "W": [(c, f"y{i}", i) for i in range(15)
+                  for c in ("a", "b")],
+        })
+        w = db.relation("W")
+        # Simulate the pre-planner regime: per-template flat indexes
+        # already materialized, plus one shape the cover won't know.
+        w.index((0,))
+        w.index((2,))
+        result = evaluate_datalog_seminaive(program, db)
+        assert len(result.answer("P")) == 15
+        final = result.database.relation("W")
+        live = dict(final.live_indexes())
+        kinds = [kind for kind, _ in final.live_indexes()]
+        # The flat {0} index is subsumed by the chain cover and dropped;
+        # the unrelated {2} index is not the planner's to free.
+        assert ("flat", (0,)) not in final.live_indexes()
+        assert ("flat", (2,)) in final.live_indexes()
+        assert "chain" in kinds, live
+        assert final.index_drops == 1
+        assert result.stats.index_drops == 1
+        cover = result.stats.planner["index_cover"]["W"]
+        assert cover == {"templates": 1, "chains": 1}
+
+
+# -- scheduling parity ------------------------------------------------------
+
+
+class TestScheduledParity:
+    def run_both(self, engine, program, db):
+        on = engine(program, db)
+        QueryPlanner.enabled = False
+        off = engine(program, db)
+        QueryPlanner.enabled = True
+        return on, off
+
+    def test_component_chain_matches_legacy_and_reference(self):
+        program = component_chain_program(4)
+        db = component_chain_database(4)
+        on, off = self.run_both(evaluate_datalog_seminaive, program, db)
+        for relation, expected in reference_component_chain(4).items():
+            assert on.answer(relation) == expected
+            assert off.answer(relation) == expected
+        assert on.rule_firings == off.rule_firings
+        assert on.database.canonical() == off.database.canonical()
+
+    def test_scheduled_components_reported(self):
+        program = component_chain_program(3)
+        db = component_chain_database(3)
+        result = evaluate_datalog_seminaive(program, db)
+        assert result.stats.planner["scheduled_components"] == 3
+
+    def test_stratified_parity(self):
+        program = parse_program(
+            "T(x, y) :- G(x, y).\n"
+            "T(x, y) :- G(x, z), T(z, y).\n"
+            "CT(x, y) :- not T(x, y).\n",
+            name="ctc-parity",
+        )
+        db = Database({"G": [("a", "b"), ("b", "c")]})
+        on, off = self.run_both(evaluate_stratified, program, db)
+        assert on.answer("CT") == off.answer("CT")
+        assert on.rule_firings == off.rule_firings
+
+    def test_wellfounded_parity(self):
+        program = parse_program(
+            "win(x) :- moves(x, y), not win(y).", name="win-parity"
+        )
+        db = Database({
+            "moves": [("a", "b"), ("b", "a"), ("b", "c")],
+        })
+        on = evaluate_wellfounded(program, db)
+        QueryPlanner.enabled = False
+        off = evaluate_wellfounded(program, db)
+        QueryPlanner.enabled = True
+        assert on.true_facts == off.true_facts
+        assert on.unknown_facts() == off.unknown_facts()
+        assert on.rule_firings == off.rule_firings
+
+
+# -- planner report ---------------------------------------------------------
+
+
+class TestReport:
+    def test_explain_shape(self):
+        program = parse_program(
+            "T(x, y) :- G(x, y).\nT(x, z) :- T(x, y), T(y, z).\n",
+            name="explain",
+        )
+        db = Database({"G": [(1, 2), (2, 3)]})
+        report = explain(program, db)
+        assert set(report) == {
+            "plan_lookups", "plan_hits", "replans", "rules",
+            "index_cover", "scheduled_components",
+        }
+        full = report["rules"]["1"]["full"]
+        assert sorted(full["order"]) == [0, 1]
+        assert full["estimated_rows"] >= 0
+        # The self-join probes T(y, z) with y bound — position 0 of
+        # that literal — so both probe shapes collapse to one template
+        # and the cover needs a single chain.
+        assert report["index_cover"]["T"] == {"templates": 1, "chains": 1}
+
+    def test_stats_carry_estimate_and_actual(self):
+        program = parse_program(
+            "T(x, y) :- G(x, y).\nT(x, y) :- G(x, z), T(z, y).\n",
+            name="actuals",
+        )
+        db = Database({"G": [("a", "b"), ("b", "c"), ("c", "d")]})
+        result = evaluate_datalog_seminaive(program, db)
+        planner = result.stats.planner
+        assert planner is not None
+        assert planner["plan_lookups"] > 0
+        rules = planner["rules"]
+        # Rule 0 fired 3 times (one per edge); the report pairs the
+        # estimate with the observed actual.
+        assert rules["0"]["actual_rows"] == 3
+        assert rules["0"]["full"]["estimated_rows"] == pytest.approx(3.0)
+        assert rules["1"]["actual_rows"] == 3  # paths of length ≥ 2
+        json_planner = result.stats.to_dict()["planner"]
+        assert json_planner["rules"]["0"]["actual_rows"] == 3
+
+    def test_plan_cache_hits_dominate_on_stable_cardinalities(self):
+        program = component_chain_program(3)
+        db = component_chain_database(3)
+        result = evaluate_datalog_seminaive(program, db)
+        planner = result.stats.planner
+        assert planner["plan_hits"] > planner["replans"]
+        assert planner["plan_lookups"] == (
+            planner["plan_hits"] + planner["replans"]
+            + len([k for entry in planner["rules"].values()
+                   for k in entry if k != "actual_rows"])
+        )
+
+
+# -- differential: planner on vs off, all engines ---------------------------
+
+
+ENGINES = {
+    "naive": evaluate_datalog_naive,
+    "seminaive": evaluate_datalog_seminaive,
+    "stratified": evaluate_stratified,
+}
+
+
+@pytest.mark.parametrize("seed", range(50))
+def test_planner_differential_on_random_programs(seed):
+    """Planner-on and planner-off agree on 50 random programs, across
+    naive/seminaive/stratified/wellfounded."""
+    rng = random.Random(seed)
+    source, db = random_program_and_database(rng)
+    program = parse_program(source, name=f"planner-random-{seed}")
+
+    assert QueryPlanner.enabled
+    for name, engine in ENGINES.items():
+        try:
+            on = engine(program, db)
+            QueryPlanner.enabled = False
+            off = engine(program, db)
+        finally:
+            QueryPlanner.enabled = True
+        context = f"{name}: {source}"
+        assert on.database.canonical() == off.database.canonical(), context
+        assert on.rule_firings == off.rule_firings, context
+    # Well-founded semantics of a positive program is its minimum model;
+    # the planner must not disturb the alternating fixpoint either.
+    try:
+        wf_on = evaluate_wellfounded(program, db)
+        QueryPlanner.enabled = False
+        wf_off = evaluate_wellfounded(program, db)
+    finally:
+        QueryPlanner.enabled = True
+    assert wf_on.true_facts == wf_off.true_facts, source
+    assert wf_on.possible_facts == wf_off.possible_facts, source
+
+
+# -- seeded nondeterministic replay -----------------------------------------
+
+
+class TestSeededReplay:
+    SOURCE = "A(x), B(x) :- S(x).\n"
+
+    def run(self, seed):
+        program = parse_program(self.SOURCE, name="seeded-replay")
+        db = Database({"S": [("a",), ("b",), ("c",)]})
+        return run_nondeterministic(program, db, seed=seed)
+
+    def steps_of(self, run):
+        return [(tuple(s.inserted), tuple(s.deleted)) for s in run.steps]
+
+    def test_same_seed_replays_byte_identically_with_planner(self):
+        assert QueryPlanner.enabled
+        first = self.run(seed=7)
+        second = self.run(seed=7)
+        assert self.steps_of(first) == self.steps_of(second)
+        assert first.database.canonical() == second.database.canonical()
+
+    def test_planner_toggle_does_not_touch_the_sampler(self):
+        # The planner never reaches iter_matches, so a seeded run is the
+        # same trajectory with the planner on or off.
+        on = self.run(seed=11)
+        QueryPlanner.enabled = False
+        off = self.run(seed=11)
+        QueryPlanner.enabled = True
+        assert self.steps_of(on) == self.steps_of(off)
+        assert on.database.canonical() == off.database.canonical()

@@ -22,6 +22,12 @@ The planner ablation (``test_planner_ablation.py``) records
 ``planner_artifact`` fixture; those land in the schema-pinned
 ``BENCH_planner.json`` (path overridable via
 ``REPRO_PLANNER_ARTIFACT``).
+
+The incremental-maintenance ablation (``test_differential_ablation.py``)
+records :class:`~repro.obs.bench.DifferentialRecord` measurements
+through the ``differential_artifact`` fixture; those land in the
+schema-pinned ``BENCH_differential.json`` (path overridable via
+``REPRO_DIFFERENTIAL_ARTIFACT``).
 """
 
 from __future__ import annotations
@@ -33,6 +39,7 @@ import pytest
 _RECORDS = []
 _KERNEL_RECORDS = []
 _PLANNER_RECORDS = []
+_DIFFERENTIAL_RECORDS = []
 
 
 class _BenchArtifact:
@@ -81,10 +88,37 @@ def kernel_artifact():
     return _KernelArtifact
 
 
+class _DifferentialArtifact:
+    """The ``differential_artifact`` fixture: ``record(...)`` one cell."""
+
+    @staticmethod
+    def record(
+        benchmark: str, mode: str, size: int, seconds: float,
+        facts_touched: int,
+    ) -> None:
+        from repro.obs.bench import DifferentialRecord
+
+        _DIFFERENTIAL_RECORDS.append(
+            DifferentialRecord(
+                benchmark=benchmark,
+                mode=mode,
+                size=size,
+                seconds=seconds,
+                facts_touched=facts_touched,
+            )
+        )
+
+
 @pytest.fixture
 def planner_artifact():
     """Collects (benchmark, planner on/off, size, EngineStats) cells."""
     return _PlannerArtifact
+
+
+@pytest.fixture
+def differential_artifact():
+    """Collects (benchmark, differential/scratch, size) latency cells."""
+    return _DifferentialArtifact
 
 
 def pytest_sessionfinish(session, exitstatus):
@@ -103,6 +137,13 @@ def pytest_sessionfinish(session, exitstatus):
 
         path = os.environ.get("REPRO_PLANNER_ARTIFACT", "BENCH_planner.json")
         write_planner_artifact(_PLANNER_RECORDS, path)
+    if _DIFFERENTIAL_RECORDS:
+        from repro.obs.bench import write_differential_artifact
+
+        path = os.environ.get(
+            "REPRO_DIFFERENTIAL_ARTIFACT", "BENCH_differential.json"
+        )
+        write_differential_artifact(_DIFFERENTIAL_RECORDS, path)
 
 
 def pytest_collection_modifyitems(items):

@@ -8,6 +8,7 @@ Usage::
     python -m repro profile program.dl --data facts.dl --top 5 --sort time
     python -m repro effects program.dl --data facts.dl --answer answer
     python -m repro terminate program.dl --domain-size 1
+    python -m repro watch  program.dl --data facts.dl < diffs.jsonl
 
 * ``check`` parses the program, reports its inferred dialect (the level
   of Figure 1 it sits at), schema, and stratifiability.
@@ -24,6 +25,11 @@ Usage::
 * ``effects`` enumerates eff(P) for nondeterministic programs.
 * ``terminate`` checks termination of a Datalog¬¬ program on every
   instance over a bounded domain (§4.2).
+* ``watch`` maintains a positive program differentially: each stdin
+  line is one JSON diff batch of EDB changes
+  (``{"insert": {"G": [["a", "b"]]}, "delete": {...}}``) applied
+  atomically; each stdout line is the induced IDB diff.  Line 0 is
+  the initial materialization as a diff from the empty view.
 
 Fact files use the same surface syntax, restricted to ground bodyless
 rules: ``G('a', 'b').``
@@ -429,6 +435,108 @@ def _parse_value(text: str):
         return text
 
 
+def _parse_watch_batch(line: str):
+    """One stdin line of ``repro watch``: a JSON diff batch."""
+    import json
+
+    from repro.semantics.differential import DiffBatch
+
+    try:
+        doc = json.loads(line)
+    except ValueError as err:
+        raise ReproError(f"bad JSON: {err}") from None
+    if not isinstance(doc, dict):
+        raise ReproError("each line must be a JSON object")
+    unknown = set(doc) - {"insert", "delete"}
+    if unknown:
+        raise ReproError(f"unknown keys {sorted(unknown)}")
+
+    def facts(key: str) -> tuple:
+        section = doc.get(key, {})
+        if not isinstance(section, dict):
+            raise ReproError(
+                f"{key!r} must map relation names to lists of tuples"
+            )
+        collected = []
+        for relation, rows in sorted(section.items()):
+            if not isinstance(rows, list):
+                raise ReproError(f"{key}[{relation!r}] must be a list")
+            for row in rows:
+                if not isinstance(row, list):
+                    raise ReproError(
+                        f"{key}[{relation!r}] entries must be value lists"
+                    )
+                collected.append((relation, tuple(row)))
+        return tuple(collected)
+
+    return DiffBatch(inserts=facts("insert"), deletes=facts("delete"))
+
+
+def cmd_watch(args, out) -> int:
+    """Differentially maintain a view over a stream of EDB diffs."""
+    import json
+
+    from repro.semantics.differential import DifferentialEngine
+
+    program = _load_program(args.program)
+    base = load_facts(args.data) if args.data else Database()
+    engine = DifferentialEngine(program, base)
+    relations = args.relations or sorted(program.idb)
+    subscriptions = [engine.subscribe(relation) for relation in relations]
+
+    def rows(tuples) -> list[list]:
+        return sorted((list(t) for t in tuples), key=repr)
+
+    def emit(payload: dict) -> None:
+        print(json.dumps(payload, sort_keys=True), file=out)
+        if hasattr(out, "flush"):
+            out.flush()
+
+    # Line 0: the initial materialization, as a diff from the empty view.
+    emit(
+        {
+            "seq": 0,
+            "inserted": {
+                relation: rows(engine.answer(relation))
+                for relation in relations
+                if engine.answer(relation)
+            },
+            "deleted": {},
+        }
+    )
+    seq = 0
+    stream = sys.stdin
+    for line in stream:
+        line = line.strip()
+        if not line:
+            continue
+        seq += 1
+        try:
+            result = engine.apply(_parse_watch_batch(line))
+        except ReproError as err:
+            emit({"seq": seq, "error": str(err)})
+            continue
+        inserted: dict[str, list] = {}
+        deleted: dict[str, list] = {}
+        for subscription in subscriptions:
+            diff = result.for_subscriber(subscription)
+            if diff.inserted:
+                inserted[subscription.relation] = rows(diff.inserted)
+            if diff.deleted:
+                deleted[subscription.relation] = rows(diff.deleted)
+        emit({"seq": seq, "inserted": inserted, "deleted": deleted})
+    if args.stats:
+        print(engine.stats.summary(), file=sys.stderr)
+        counters = dict(engine.stats.differential)
+        counters.pop("components", None)
+        print(
+            "differential: "
+            + " ".join(f"{k}={v}" for k, v in sorted(counters.items())),
+            file=sys.stderr,
+        )
+    return 0
+
+
 def cmd_effects(args, out) -> int:
     from repro.semantics.nondeterministic import (
         answers_in_effects,
@@ -627,6 +735,24 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("values", nargs="*")
     explain.add_argument("--data", help="facts file")
 
+    watch = sub.add_parser(
+        "watch",
+        help="maintain a view differentially over EDB diffs from stdin "
+        "(JSON Lines in, JSON Lines out)",
+    )
+    watch.add_argument("program")
+    watch.add_argument("--data", help="initial facts file")
+    watch.add_argument(
+        "--relations",
+        nargs="*",
+        help="relations whose diffs to emit (default: every idb relation)",
+    )
+    watch.add_argument(
+        "--stats",
+        action="store_true",
+        help="print engine counters to stderr at end of stream",
+    )
+
     return parser
 
 
@@ -652,6 +778,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
             return cmd_trace(args, out)
         if args.command == "explain":
             return cmd_explain(args, out)
+        if args.command == "watch":
+            return cmd_watch(args, out)
     except ReproError as err:
         print(f"error: {err}", file=sys.stderr)
         return 1

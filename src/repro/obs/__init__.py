@@ -18,8 +18,9 @@ drivers:
 * :mod:`repro.obs.profile` — :class:`ProfileReport`, the per-rule
   aggregation behind ``repro profile``;
 * :mod:`repro.obs.bench` — the deterministic ``BENCH_engines.json``,
-  ``BENCH_kernel.json``, and ``BENCH_planner.json`` benchmark
-  artifacts and their pinned-schema validators.
+  ``BENCH_kernel.json``, ``BENCH_planner.json``, and
+  ``BENCH_differential.json`` benchmark artifacts and their
+  pinned-schema validators.
 
 Quickstart::
 
@@ -34,21 +35,27 @@ Quickstart::
 
 from repro.obs.bench import (
     BENCH_SCHEMA_VERSION,
+    DIFFERENTIAL_SCHEMA_VERSION,
     KERNEL_SCHEMA_VERSION,
     PLANNER_SCHEMA_VERSION,
     BenchRecord,
+    DifferentialRecord,
     KernelRecord,
     PlannerRecord,
     bench_artifact_dict,
+    differential_artifact_dict,
     kernel_artifact_dict,
     load_bench_artifact,
+    load_differential_artifact,
     load_kernel_artifact,
     load_planner_artifact,
     planner_artifact_dict,
     validate_bench_artifact,
+    validate_differential_artifact,
     validate_kernel_artifact,
     validate_planner_artifact,
     write_bench_artifact,
+    write_differential_artifact,
     write_kernel_artifact,
     write_planner_artifact,
 )
@@ -73,21 +80,27 @@ from repro.obs.tracer import NULL_TRACER, NullTracer, RuleSpan, Tracer
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
+    "DIFFERENTIAL_SCHEMA_VERSION",
     "KERNEL_SCHEMA_VERSION",
     "PLANNER_SCHEMA_VERSION",
     "BenchRecord",
+    "DifferentialRecord",
     "KernelRecord",
     "PlannerRecord",
     "bench_artifact_dict",
+    "differential_artifact_dict",
     "kernel_artifact_dict",
     "load_bench_artifact",
+    "load_differential_artifact",
     "load_kernel_artifact",
     "load_planner_artifact",
     "planner_artifact_dict",
     "validate_bench_artifact",
+    "validate_differential_artifact",
     "validate_kernel_artifact",
     "validate_planner_artifact",
     "write_bench_artifact",
+    "write_differential_artifact",
     "write_kernel_artifact",
     "write_planner_artifact",
     "TRACE_SCHEMA_VERSION",

@@ -24,12 +24,21 @@ cost-based join ordering, the shared index cover, and the SCC
 scheduling of :mod:`repro.semantics.planner` — recorded through the
 ``planner_artifact`` fixture.
 
-All three schemas are pinned: :func:`validate_bench_artifact` /
-:func:`validate_kernel_artifact` / :func:`validate_planner_artifact`
-raise :class:`ValueError` on any drift, and CI runs them against the
-artifacts it uploads, so a schema change must be deliberate (bump
-``BENCH_SCHEMA_VERSION`` / ``KERNEL_SCHEMA_VERSION`` /
-``PLANNER_SCHEMA_VERSION``) rather than accidental.
+``BENCH_differential.json`` is the incremental-maintenance ablation:
+each :class:`DifferentialRecord` measures one (benchmark, mode, size)
+cell, where the mode is ``"differential"`` (a single-edge update
+propagated through :class:`~repro.semantics.differential
+.DifferentialEngine`) or ``"scratch"`` (the same update answered by
+re-running semi-naive evaluation from scratch), recorded through the
+``differential_artifact`` fixture.
+
+All four schemas are pinned: :func:`validate_bench_artifact` /
+:func:`validate_kernel_artifact` / :func:`validate_planner_artifact` /
+:func:`validate_differential_artifact` raise :class:`ValueError` on
+any drift, and CI runs them against the artifacts it uploads, so a
+schema change must be deliberate (bump ``BENCH_SCHEMA_VERSION`` /
+``KERNEL_SCHEMA_VERSION`` / ``PLANNER_SCHEMA_VERSION`` /
+``DIFFERENTIAL_SCHEMA_VERSION``) rather than accidental.
 """
 
 from __future__ import annotations
@@ -417,3 +426,125 @@ def load_planner_artifact(path: str) -> list[PlannerRecord]:
     """Read and validate a planner artifact file; raises on drift."""
     with open(path) as handle:
         return validate_planner_artifact(json.load(handle))
+
+
+# -- BENCH_differential.json: incremental-maintenance ablation ----------------
+
+#: Version of the BENCH_differential.json schema (same regime as
+#: :data:`BENCH_SCHEMA_VERSION`).
+DIFFERENTIAL_SCHEMA_VERSION = 1
+
+#: Exact key set of one differential record.
+DIFFERENTIAL_RECORD_FIELDS = (
+    "benchmark",
+    "mode",
+    "size",
+    "seconds",
+    "facts_touched",
+)
+
+
+@dataclass(frozen=True)
+class DifferentialRecord:
+    """One (benchmark, update mode, workload size) measurement.
+
+    ``mode`` is ``"differential"`` (the update propagated through the
+    maintained view — per-SCC DRed/counting with delta-restricted
+    rederivation) or ``"scratch"`` (the same base change answered by a
+    full semi-naive re-evaluation).  ``seconds`` is the best observed
+    latency of one update; ``facts_touched`` is the engine's count of
+    facts examined for that update (for ``"scratch"``, the size of the
+    recomputed view — the work a from-scratch answer cannot avoid).
+    """
+
+    benchmark: str
+    mode: str
+    size: int
+    seconds: float
+    facts_touched: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "benchmark": self.benchmark,
+            "mode": self.mode,
+            "size": self.size,
+            "seconds": self.seconds,
+            "facts_touched": self.facts_touched,
+        }
+
+
+def differential_artifact_dict(
+    records: list[DifferentialRecord],
+) -> dict[str, Any]:
+    """The artifact document: schema-versioned, deterministically ordered."""
+    ordered = sorted(records, key=lambda r: (r.benchmark, r.mode, r.size))
+    return {
+        "version": DIFFERENTIAL_SCHEMA_VERSION,
+        "benchmarks": [record.to_dict() for record in ordered],
+    }
+
+
+def write_differential_artifact(
+    records: list[DifferentialRecord], path: str
+) -> None:
+    """Write ``BENCH_differential.json`` (sorted records, sorted keys)."""
+    with open(path, "w") as handle:
+        json.dump(differential_artifact_dict(records), handle, indent=2,
+                  sort_keys=True)
+        handle.write("\n")
+
+
+def validate_differential_artifact(data: Any) -> list[DifferentialRecord]:
+    """Check a differential artifact document against the pinned schema.
+
+    Returns the parsed records; raises :class:`ValueError` on drift
+    (wrong version, missing/extra keys, wrong types, unknown mode).
+    """
+    if not isinstance(data, dict):
+        raise ValueError("differential artifact must be a JSON object")
+    if data.get("version") != DIFFERENTIAL_SCHEMA_VERSION:
+        raise ValueError(
+            f"differential artifact version {data.get('version')!r} != "
+            f"{DIFFERENTIAL_SCHEMA_VERSION}"
+        )
+    extra_top = set(data) - {"version", "benchmarks"}
+    if extra_top:
+        raise ValueError(f"unexpected top-level keys: {sorted(extra_top)}")
+    entries = data.get("benchmarks")
+    if not isinstance(entries, list):
+        raise ValueError("differential artifact 'benchmarks' must be a list")
+    types = {
+        "benchmark": str,
+        "mode": str,
+        "size": int,
+        "seconds": (int, float),
+        "facts_touched": int,
+    }
+    records: list[DifferentialRecord] = []
+    for position, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise ValueError(f"record {position} is not an object")
+        if set(entry) != set(DIFFERENTIAL_RECORD_FIELDS):
+            raise ValueError(
+                f"record {position} keys {sorted(entry)} != "
+                f"{sorted(DIFFERENTIAL_RECORD_FIELDS)}"
+            )
+        for key, expected in types.items():
+            if not isinstance(entry[key], expected):
+                raise ValueError(
+                    f"record {position} field {key!r} has type "
+                    f"{type(entry[key]).__name__}"
+                )
+        if entry["mode"] not in ("differential", "scratch"):
+            raise ValueError(
+                f"record {position} mode {entry['mode']!r} is not "
+                "'differential' or 'scratch'"
+            )
+        records.append(DifferentialRecord(**entry))
+    return records
+
+
+def load_differential_artifact(path: str) -> list[DifferentialRecord]:
+    """Read and validate a differential artifact file; raises on drift."""
+    with open(path) as handle:
+        return validate_differential_artifact(json.load(handle))

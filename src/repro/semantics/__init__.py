@@ -55,6 +55,13 @@ from repro.semantics.choice import evaluate_with_choice, ChoiceResult
 from repro.semantics.topdown import query_topdown, TopDownResult
 from repro.semantics.maintenance import MaterializedView, UpdateReport
 from repro.semantics.counting import CountingView
+from repro.semantics.differential import (
+    ApplyResult,
+    DiffBatch,
+    DifferentialEngine,
+    RelationDiff,
+    Subscription,
+)
 from repro.semantics.provenance import (
     evaluate_with_provenance,
     explain,
@@ -99,6 +106,11 @@ __all__ = [
     "MaterializedView",
     "UpdateReport",
     "CountingView",
+    "DifferentialEngine",
+    "DiffBatch",
+    "ApplyResult",
+    "RelationDiff",
+    "Subscription",
     "evaluate_with_provenance",
     "explain",
     "render_tree",

@@ -125,6 +125,13 @@ class EngineStats:
     #: pinned stats JSON stays ``json.dumps``-able; see
     #: :func:`repro.semantics.planner.explain` for the shape.
     planner: dict | None = None
+    #: Differential-engine counters (facts touched per update vs view
+    #: size, per-component strategies, over-delete/rederive/recount
+    #: tallies), or ``None`` for from-scratch engines.  A plain dict,
+    #: like ``planner``, so the pinned stats JSON stays
+    #: ``json.dumps``-able; populated only by
+    #: :class:`repro.semantics.differential.DifferentialEngine`.
+    differential: dict | None = None
     stages: list[StageStats] = field(default_factory=list)
 
     @property
@@ -178,9 +185,10 @@ class EngineStats:
     def to_dict(self) -> dict:
         """The pinned JSON shape of ``repro stats --format json``.
 
-        ``matcher``, ``index_drops`` and ``planner`` were added under
-        the additive-changes rule of ``STATS_SCHEMA_VERSION``;
-        everything else is the version-1 shape.
+        ``matcher``, ``index_drops``, ``planner`` and ``differential``
+        were added under the additive-changes rule of
+        ``STATS_SCHEMA_VERSION``; everything else is the version-1
+        shape.
         """
         return {
             "engine": self.engine,
@@ -194,6 +202,7 @@ class EngineStats:
             "index_updates": self.index_updates,
             "index_drops": self.index_drops,
             "planner": self.planner,
+            "differential": self.differential,
             "stages": [s.to_dict() for s in self.stages],
         }
 

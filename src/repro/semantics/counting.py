@@ -9,16 +9,16 @@ correct when a fact cannot support itself, so this engine accepts
 **nonrecursive** positive programs only (the classical restriction;
 DRed handles recursion).
 
-Update algorithm, per base change Δ:
+:class:`CountingView` keeps its historical API but is now a facade
+over :class:`repro.semantics.differential.DifferentialEngine`: every
+SCC of a nonrecursive program is nonrecursive, so the engine maintains
+the whole view by counting — discovery of affected facts via one
+delta-restricted pass per component (through the planner and compiled
+kernel), then an exact head-bound recount of just those facts.
 
-1. *discovery* — stratum by stratum, delta-match the rules against the
-   instance (pre-deletion / post-insertion) to over-approximate the
-   derived facts whose derivations may touch Δ; their heads join Δ for
-   the strata above;
-2. apply the base change physically;
-3. *recount* — stratum by stratum (lower strata already corrected),
-   recompute the exact derivation count of each affected fact and
-   add/drop it from the view as the count crosses zero.
+A base database containing facts in IDB-named relations is rejected
+with :class:`~repro.errors.SchemaError`, and update batches are
+atomic (whole-batch validation before any mutation).
 """
 
 from __future__ import annotations
@@ -26,18 +26,13 @@ from __future__ import annotations
 from collections import Counter
 from typing import Iterable
 
-from repro.errors import EvaluationError, SchemaError
-from repro.ast.program import Dialect, Program
-from repro.ast.analysis import precedence_graph, validate_program
-from repro.ast.rules import Rule
+from repro.errors import EvaluationError
+from repro.ast.program import Program
+from repro.ast.analysis import precedence_graph
 from repro.relational.instance import Database
-from repro.semantics.base import (
-    evaluation_adom,
-    instantiate_head,
-    iter_matches,
-)
+from repro.semantics.differential import DifferentialEngine, Fact
 
-Fact = tuple[str, tuple]
+__all__ = ["CountingView", "is_recursive"]
 
 
 def is_recursive(program: Program) -> bool:
@@ -61,162 +56,50 @@ class CountingView:
     """A nonrecursive positive view maintained by derivation counting."""
 
     def __init__(self, program: Program, base: Database):
-        validate_program(program, Dialect.DATALOG)
         if is_recursive(program):
             raise EvaluationError(
                 "counting maintenance requires a nonrecursive program; "
                 "use MaterializedView (DRed) for recursion"
             )
         self.program = program
-        self._levels = self._rules_by_level()
-        self.database = base.copy()
-        for relation in program.idb:
-            self.database.ensure_relation(relation, program.arity(relation))
-        self.counts: Counter[Fact] = Counter()
-        self._materialize()
-
-    def _rules_by_level(self) -> list[list[Rule]]:
-        """Group rules by dependency depth (longest path in the DAG).
-
-        Positive stratification puts everything into one stratum, which
-        is too coarse here: a rule must be recounted only after every
-        relation it reads has been corrected, so rules are leveled by
-        1 + max depth of their body relations (edb depth 0).
-        """
-        depth: dict[str, int] = {rel: 0 for rel in self.program.edb}
-
-        def relation_depth(relation: str) -> int:
-            if relation in depth:
-                return depth[relation]
-            depth[relation] = 0  # provisional; program is acyclic
-            best = 0
-            for rule in self.program.rules:
-                if relation not in rule.head_relations():
-                    continue
-                body_depth = max(
-                    (relation_depth(r) for r in rule.body_relations()),
-                    default=0,
-                )
-                best = max(best, 1 + body_depth)
-            depth[relation] = best
-            return best
-
-        levels: dict[int, list[Rule]] = {}
-        for rule in self.program.rules:
-            level = max(relation_depth(r) for r in rule.head_relations())
-            levels.setdefault(level, []).append(rule)
-        return [levels[i] for i in sorted(levels)]
-
-    def _materialize(self) -> None:
-        for rules in self._levels:
-            adom = evaluation_adom(self.program, self.database)
-            for rule in rules:
-                for valuation in iter_matches(rule, self.database, adom):
-                    for relation, t, _ in instantiate_head(rule, valuation):
-                        self.counts[(relation, t)] += 1
-                        self.database.add_fact(relation, t)
+        self._engine = DifferentialEngine(program, base)
 
     # -- public API -------------------------------------------------------
 
+    @property
+    def database(self) -> Database:
+        return self._engine.database
+
+    @property
+    def counts(self) -> Counter[Fact]:
+        """Exact derivation counts of every derived fact in the view."""
+        return self._engine.counts
+
+    @property
+    def engine(self) -> DifferentialEngine:
+        """The underlying differential engine (stats, subscriptions)."""
+        return self._engine
+
     def answer(self, relation: str) -> frozenset[tuple]:
-        return self.database.tuples(relation)
+        return self._engine.answer(relation)
 
     def count(self, relation: str, t: tuple) -> int:
         """The number of derivations of a derived fact (0 if none)."""
-        return self.counts.get((relation, tuple(t)), 0)
+        return self._engine.counts.get((relation, tuple(t)), 0)
 
     def insert(self, facts: Iterable[Fact]) -> frozenset[Fact]:
         """Insert base facts; returns the derived facts that appeared."""
-        return self._update(facts, sign=+1)
+        report = self._engine.insert(facts).report
+        return frozenset(
+            fact for fact in report.inserted if fact[0] in self.program.idb
+        )
 
     def delete(self, facts: Iterable[Fact]) -> frozenset[Fact]:
         """Delete base facts; returns the derived facts that disappeared."""
-        return self._update(facts, sign=-1)
+        report = self._engine.delete(facts).report
+        return frozenset(
+            fact for fact in report.deleted if fact[0] in self.program.idb
+        )
 
     def consistent_with_scratch(self) -> bool:
-        from repro.semantics.seminaive import evaluate_datalog_seminaive
-
-        base = self.database.restrict(
-            [r for r in self.database.relation_names() if r not in self.program.idb]
-        )
-        scratch = evaluate_datalog_seminaive(self.program, base)
-        return all(
-            self.answer(relation) == scratch.answer(relation)
-            for relation in self.program.idb
-        )
-
-    # -- update machinery ---------------------------------------------------
-
-    def _update(self, facts: Iterable[Fact], sign: int) -> frozenset[Fact]:
-        base_delta: dict[str, set[tuple]] = {}
-        for relation, t in facts:
-            if relation in self.program.idb:
-                raise SchemaError(
-                    f"{relation!r} is derived; update the base instead"
-                )
-            t = tuple(t)
-            if sign > 0:
-                if self.database.add_fact(relation, t):
-                    base_delta.setdefault(relation, set()).add(t)
-            elif self.database.has_fact(relation, t):
-                base_delta.setdefault(relation, set()).add(t)
-        if not base_delta:
-            return frozenset()
-
-        # Phase 1: discover affected facts, level by level, against the
-        # instance that still contains facts slated for deletion.
-        adom = evaluation_adom(self.program, self.database)
-        delta: dict[str, set[tuple]] = {
-            rel: set(ts) for rel, ts in base_delta.items()
-        }
-        affected_by_level: list[set[Fact]] = []
-        for rules in self._levels:
-            found: set[Fact] = set()
-            frozen = {rel: frozenset(ts) for rel, ts in delta.items() if ts}
-            for rule in rules:
-                if not rule.positive_body():
-                    continue
-                for valuation in iter_matches(
-                    rule, self.database, adom, delta=frozen
-                ):
-                    for relation, t, _ in instantiate_head(rule, valuation):
-                        found.add((relation, t))
-            affected_by_level.append(found)
-            for relation, t in found:
-                delta.setdefault(relation, set()).add(t)
-
-        # Phase 2: apply the base deletion physically.
-        if sign < 0:
-            for relation, ts in base_delta.items():
-                for t in ts:
-                    self.database.remove_fact(relation, t)
-
-        # Phase 3: recount level by level (lower levels already fixed).
-        changed: set[Fact] = set()
-        for rules, affected in zip(self._levels, affected_by_level):
-            if not affected:
-                continue
-            adom = evaluation_adom(self.program, self.database)
-            new_counts: Counter[Fact] = Counter()
-            for rule in rules:
-                for valuation in iter_matches(rule, self.database, adom):
-                    for relation, t, _ in instantiate_head(rule, valuation):
-                        fact = (relation, t)
-                        if fact in affected:
-                            new_counts[fact] += 1
-            for fact in affected:
-                old = self.counts.get(fact, 0)
-                new = new_counts.get(fact, 0)
-                if new == old:
-                    continue
-                if old == 0 and new > 0:
-                    self.database.add_fact(*fact)
-                    changed.add(fact)
-                elif old > 0 and new == 0:
-                    self.database.remove_fact(*fact)
-                    changed.add(fact)
-                if new == 0:
-                    self.counts.pop(fact, None)
-                else:
-                    self.counts[fact] = new
-        return frozenset(changed)
+        return self._engine.consistent_with_scratch()

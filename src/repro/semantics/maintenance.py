@@ -15,187 +15,74 @@ is the standard algorithm:
      (again to fixpoint).
 
 Scope: positive (plain Datalog) programs — the setting in which DRed
-is exact.  :class:`MaterializedView` keeps the program, the base, and
-the derived relations; every update returns the net changes, and the
+is exact.  :class:`MaterializedView` keeps its historical API but is
+now a facade over :class:`repro.semantics.differential
+.DifferentialEngine`, which runs DRed per *recursive* SCC (and
+derivation counting on nonrecursive ones), schedules components in
+the planner's topological order, and routes propagation through the
+compiled kernel.  Every update returns the net changes, and the
 invariant ``view == evaluate_from_scratch(base)`` is property-tested.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Iterable
 
-from repro.errors import SchemaError
-from repro.ast.program import Dialect, Program
-from repro.ast.analysis import validate_program
+from repro.ast.program import Program
 from repro.relational.instance import Database
-from repro.semantics.base import (
-    evaluation_adom,
-    instantiate_head,
-    iter_matches,
+from repro.semantics.differential import (
+    DifferentialEngine,
+    Fact,
+    UpdateReport,
 )
-from repro.semantics.seminaive import evaluate_datalog_seminaive
 
-Fact = tuple[str, tuple]
-
-
-@dataclass
-class UpdateReport:
-    """Net effect of one maintenance operation on the idb."""
-
-    inserted: frozenset[Fact] = frozenset()
-    deleted: frozenset[Fact] = frozenset()
-    overdeleted: int = 0  # DRed phase-1 size (before rederivation)
-
-    def __bool__(self) -> bool:
-        return bool(self.inserted or self.deleted)
+__all__ = ["MaterializedView", "UpdateReport", "dict_of"]
 
 
 class MaterializedView:
-    """A positive-Datalog view maintained incrementally under updates."""
+    """A positive-Datalog view maintained incrementally under updates.
+
+    A base database containing facts in IDB-named relations is
+    rejected with :class:`~repro.errors.SchemaError` — the view owns
+    its derived relations, and silently absorbing such facts would
+    leave it permanently inconsistent with from-scratch evaluation.
+    Update batches are atomic: the whole batch is validated before any
+    fact is applied.
+    """
 
     def __init__(self, program: Program, base: Database):
-        validate_program(program, Dialect.DATALOG)
         self.program = program
-        self.database = base.copy()
-        for relation in program.idb:
-            self.database.ensure_relation(relation, program.arity(relation))
-        initial = evaluate_datalog_seminaive(program, base)
-        for relation in program.idb:
-            for t in initial.answer(relation):
-                self.database.add_fact(relation, t)
+        self._engine = DifferentialEngine(program, base)
 
     # -- public API -------------------------------------------------------
 
+    @property
+    def database(self) -> Database:
+        return self._engine.database
+
+    @property
+    def engine(self) -> DifferentialEngine:
+        """The underlying differential engine (stats, subscriptions)."""
+        return self._engine
+
     def answer(self, relation: str) -> frozenset[tuple]:
-        return self.database.tuples(relation)
+        return self._engine.answer(relation)
 
     def insert(self, facts: Iterable[Fact]) -> UpdateReport:
         """Insert base facts; propagate consequences semi-naively."""
-        new_base: set[Fact] = set()
-        for relation, t in facts:
-            self._check_edb(relation)
-            if self.database.add_fact(relation, t):
-                new_base.add((relation, t))
-        if not new_base:
-            return UpdateReport()
-        derived = self._propagate(new_base)
-        return UpdateReport(inserted=frozenset(new_base | derived))
+        return self._engine.insert(facts).report
 
     def delete(self, facts: Iterable[Fact]) -> UpdateReport:
         """Delete base facts; DRed over-delete then re-derive."""
-        removed_base: set[Fact] = set()
-        for relation, t in facts:
-            self._check_edb(relation)
-            if self.database.remove_fact(relation, t):
-                removed_base.add((relation, t))
-        if not removed_base:
-            return UpdateReport()
-
-        overdeleted = self._overdelete(removed_base)
-        rederived = self._rederive(overdeleted)
-        net_deleted = (overdeleted - rederived) | removed_base
-        return UpdateReport(
-            deleted=frozenset(net_deleted),
-            inserted=frozenset(),
-            overdeleted=len(overdeleted),
-        )
+        return self._engine.delete(facts).report
 
     def consistent_with_scratch(self) -> bool:
         """Does the view equal from-scratch evaluation?  (For tests.)"""
-        base = self.database.restrict(
-            [r for r in self.database.relation_names() if r not in self.program.idb]
-        )
-        scratch = evaluate_datalog_seminaive(self.program, base)
-        return all(
-            self.answer(relation) == scratch.answer(relation)
-            for relation in self.program.idb
-        )
-
-    # -- internals ----------------------------------------------------------
-
-    def _check_edb(self, relation: str) -> None:
-        if relation in self.program.idb:
-            raise SchemaError(
-                f"{relation!r} is a derived relation; update the base instead"
-            )
-
-    def _propagate(self, seed: set[Fact]) -> set[Fact]:
-        """Semi-naive insertion propagation from the seed facts."""
-        derived: set[Fact] = set()
-        delta = dict_of(seed)
-        adom = evaluation_adom(self.program, self.database)
-        while delta:
-            frozen = {rel: frozenset(ts) for rel, ts in delta.items()}
-            delta = {}
-            for rule in self.program.rules:
-                if not rule.positive_body():
-                    continue
-                for valuation in iter_matches(
-                    rule, self.database, adom, delta=frozen
-                ):
-                    for relation, t, _ in instantiate_head(rule, valuation):
-                        if self.database.add_fact(relation, t):
-                            derived.add((relation, t))
-                            delta.setdefault(relation, set()).add(t)
-        return derived
-
-    def _overdelete(self, removed: set[Fact]) -> set[Fact]:
-        """Phase 1: remove every fact with a derivation through ``removed``.
-
-        A derived fact joins the over-deletion if some rule body, taken
-        over the *pre-deletion* view, uses a removed fact.  We iterate:
-        put the removed facts back temporarily as a "ghost" delta and
-        match rule bodies against view ∪ ghosts with at least one ghost.
-        """
-        ghosts: set[Fact] = set(removed)
-        overdeleted: set[Fact] = set()
-        # Temporarily restore ghosts so bodies can match through them.
-        for relation, t in removed:
-            self.database.add_fact(relation, t)
-        adom = evaluation_adom(self.program, self.database)
-        frontier = set(removed)
-        while frontier:
-            frozen = {rel: frozenset(ts) for rel, ts in dict_of(frontier).items()}
-            frontier = set()
-            for rule in self.program.rules:
-                if not rule.positive_body():
-                    continue
-                for valuation in iter_matches(
-                    rule, self.database, adom, delta=frozen
-                ):
-                    for relation, t, _ in instantiate_head(rule, valuation):
-                        fact = (relation, t)
-                        if fact not in ghosts and fact not in overdeleted:
-                            if self.database.has_fact(relation, t):
-                                overdeleted.add(fact)
-                                frontier.add(fact)
-        # Drop the ghosts and the over-deleted facts.
-        for relation, t in removed:
-            self.database.remove_fact(relation, t)
-        for relation, t in overdeleted:
-            self.database.remove_fact(relation, t)
-        return overdeleted
-
-    def _rederive(self, candidates: set[Fact]) -> set[Fact]:
-        """Phase 2: restore candidates derivable from the surviving view."""
-        rederived: set[Fact] = set()
-        adom = evaluation_adom(self.program, self.database)
-        changed = True
-        while changed:
-            changed = False
-            for rule in self.program.rules:
-                for valuation in iter_matches(rule, self.database, adom):
-                    for relation, t, _ in instantiate_head(rule, valuation):
-                        fact = (relation, t)
-                        if fact in candidates and fact not in rederived:
-                            self.database.add_fact(relation, t)
-                            rederived.add(fact)
-                            changed = True
-        return rederived
+        return self._engine.consistent_with_scratch()
 
 
 def dict_of(facts: Iterable[Fact]) -> dict[str, set[tuple]]:
+    """Group facts per relation (kept for callers of the old module)."""
     out: dict[str, set[tuple]] = {}
     for relation, t in facts:
         out.setdefault(relation, set()).add(t)

@@ -206,7 +206,7 @@ class TestStatsJson:
             "version", "engine", "matcher", "seconds", "stage_count",
             "rule_firings", "consequence_calls", "adom_size",
             "index_builds", "index_updates", "index_drops", "planner",
-            "stages",
+            "differential", "stages",
         }
         assert stats["engine"] == "seminaive"
         # Additive fields under STATS_SCHEMA_VERSION=1: which matcher
@@ -216,6 +216,8 @@ class TestStatsJson:
         assert stats["planner"] is not None
         assert {"plan_lookups", "plan_hits", "replans", "rules",
                 "index_cover", "scheduled_components"} <= set(stats["planner"])
+        # From-scratch engines never set the differential counters.
+        assert stats["differential"] is None
         assert stats["stage_count"] == len(stats["stages"])
         for stage in stats["stages"]:
             assert set(stage) == {

@@ -14,10 +14,12 @@ import pytest
 
 from repro.obs import (
     BENCH_SCHEMA_VERSION,
+    DIFFERENTIAL_SCHEMA_VERSION,
     KERNEL_SCHEMA_VERSION,
     TRACE_SCHEMA_VERSION,
     BenchRecord,
     CollectorSink,
+    DifferentialRecord,
     HotRuleTableSink,
     JsonlSink,
     KernelRecord,
@@ -31,12 +33,16 @@ from repro.obs import (
     StageEvent,
     Tracer,
     bench_artifact_dict,
+    differential_artifact_dict,
     kernel_artifact_dict,
     load_bench_artifact,
+    load_differential_artifact,
     load_kernel_artifact,
     validate_bench_artifact,
+    validate_differential_artifact,
     validate_kernel_artifact,
     write_bench_artifact,
+    write_differential_artifact,
     write_kernel_artifact,
 )
 from repro.parser import parse_program
@@ -426,3 +432,56 @@ class TestKernelArtifact:
         assert record.matcher == "compiled"
         assert record.rule_firings == result.stats.rule_firings
         validate_kernel_artifact(kernel_artifact_dict([record]))
+
+
+class TestDifferentialArtifact:
+    RECORDS = [
+        DifferentialRecord("tc_nonlinear_chain", "scratch", 60, 0.02, 1890),
+        DifferentialRecord(
+            "tc_nonlinear_chain", "differential", 60, 0.001, 61
+        ),
+    ]
+
+    def test_dict_sorted_and_versioned(self):
+        d = differential_artifact_dict(list(self.RECORDS))
+        assert d["version"] == DIFFERENTIAL_SCHEMA_VERSION
+        modes = [r["mode"] for r in d["benchmarks"]]
+        assert modes == ["differential", "scratch"]
+
+    def test_write_load_roundtrip(self, tmp_path):
+        path = str(tmp_path / "BENCH_differential.json")
+        write_differential_artifact(list(self.RECORDS), path)
+        loaded = load_differential_artifact(path)
+        assert set(loaded) == set(self.RECORDS)
+
+    def test_validator_rejects_drift(self):
+        good = differential_artifact_dict(list(self.RECORDS))
+        with pytest.raises(ValueError):
+            validate_differential_artifact({**good, "version": 99})
+        with pytest.raises(ValueError):
+            validate_differential_artifact({**good, "extra": 1})
+        bad_record = dict(good["benchmarks"][0])
+        bad_record["surprise"] = True
+        with pytest.raises(ValueError):
+            validate_differential_artifact(
+                {"version": DIFFERENTIAL_SCHEMA_VERSION,
+                 "benchmarks": [bad_record]}
+            )
+        wrong_mode = dict(good["benchmarks"][0])
+        wrong_mode["mode"] = "cached"
+        with pytest.raises(ValueError):
+            validate_differential_artifact(
+                {"version": DIFFERENTIAL_SCHEMA_VERSION,
+                 "benchmarks": [wrong_mode]}
+            )
+
+    def test_committed_artifact_is_valid(self):
+        import pathlib
+
+        path = (
+            pathlib.Path(__file__).resolve().parent.parent
+            / "BENCH_differential.json"
+        )
+        records = load_differential_artifact(str(path))
+        modes = {record.mode for record in records}
+        assert modes == {"differential", "scratch"}

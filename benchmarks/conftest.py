@@ -28,6 +28,11 @@ records :class:`~repro.obs.bench.DifferentialRecord` measurements
 through the ``differential_artifact`` fixture; those land in the
 schema-pinned ``BENCH_differential.json`` (path overridable via
 ``REPRO_DIFFERENTIAL_ARTIFACT``).
+
+The magic-set ablation (``test_magic_ablation.py``) records
+:class:`~repro.obs.bench.MagicRecord` measurements through the
+``magic_artifact`` fixture; those land in the schema-pinned
+``BENCH_magic.json`` (path overridable via ``REPRO_MAGIC_ARTIFACT``).
 """
 
 from __future__ import annotations
@@ -40,6 +45,7 @@ _RECORDS = []
 _KERNEL_RECORDS = []
 _PLANNER_RECORDS = []
 _DIFFERENTIAL_RECORDS = []
+_MAGIC_RECORDS = []
 
 
 class _BenchArtifact:
@@ -121,6 +127,33 @@ def differential_artifact():
     return _DifferentialArtifact
 
 
+class _MagicArtifact:
+    """The ``magic_artifact`` fixture: ``record(...)`` one cell."""
+
+    @staticmethod
+    def record(
+        benchmark: str, mode: str, size: int, seconds: float,
+        facts_derived: int,
+    ) -> None:
+        from repro.obs.bench import MagicRecord
+
+        _MAGIC_RECORDS.append(
+            MagicRecord(
+                benchmark=benchmark,
+                mode=mode,
+                size=size,
+                seconds=seconds,
+                facts_derived=facts_derived,
+            )
+        )
+
+
+@pytest.fixture
+def magic_artifact():
+    """Collects (benchmark, magic/full, size) query-latency cells."""
+    return _MagicArtifact
+
+
 def pytest_sessionfinish(session, exitstatus):
     if _RECORDS:
         from repro.obs.bench import write_bench_artifact
@@ -144,6 +177,11 @@ def pytest_sessionfinish(session, exitstatus):
             "REPRO_DIFFERENTIAL_ARTIFACT", "BENCH_differential.json"
         )
         write_differential_artifact(_DIFFERENTIAL_RECORDS, path)
+    if _MAGIC_RECORDS:
+        from repro.obs.bench import write_magic_artifact
+
+        path = os.environ.get("REPRO_MAGIC_ARTIFACT", "BENCH_magic.json")
+        write_magic_artifact(_MAGIC_RECORDS, path)
 
 
 def pytest_collection_modifyitems(items):

@@ -16,7 +16,12 @@ discusses into first-class, machine-readable diagnostics:
 * :mod:`repro.analysis.passes` — the lint passes;
 * :mod:`repro.analysis.driver` — :func:`lint` / :func:`lint_source`,
   which run everything and return *all* findings instead of raising on
-  the first.
+  the first;
+* :mod:`repro.analysis.dataflow` — the monotone-framework abstract
+  interpreter: binding-time analysis (adornments + demand cones),
+  argument provenance domains, and static cardinality bounds;
+* :mod:`repro.analysis.analyze` — ``repro analyze``: the dataflow
+  results as a schema-pinned report.
 
 Quickstart::
 
@@ -55,6 +60,30 @@ from repro.analysis.driver import (
     lint,
     lint_source,
     reports_to_json,
+    suppressions_in,
+)
+from repro.analysis.dataflow import (
+    AdornedRule,
+    BindingTimes,
+    CardinalityBound,
+    Domain,
+    MonotoneAnalysis,
+    adorn,
+    adornment_for,
+    argument_domains,
+    cardinality_bounds,
+    domain_findings,
+    planner_priors,
+    solve,
+)
+from repro.analysis.analyze import (
+    ANALYZE_PROGRAM_KEYS,
+    ANALYZE_SCHEMA_VERSION,
+    AnalyzeReport,
+    analyze_reports_to_json,
+    analyze_source,
+    parse_query,
+    validate_analyze_document,
 )
 from repro.analysis.safety import (
     negation_safety_diagnostics,
@@ -85,6 +114,26 @@ __all__ = [
     "lint",
     "lint_source",
     "reports_to_json",
+    "suppressions_in",
+    "AdornedRule",
+    "BindingTimes",
+    "CardinalityBound",
+    "Domain",
+    "MonotoneAnalysis",
+    "adorn",
+    "adornment_for",
+    "argument_domains",
+    "cardinality_bounds",
+    "domain_findings",
+    "planner_priors",
+    "solve",
+    "ANALYZE_PROGRAM_KEYS",
+    "ANALYZE_SCHEMA_VERSION",
+    "AnalyzeReport",
+    "analyze_reports_to_json",
+    "analyze_source",
+    "parse_query",
+    "validate_analyze_document",
     "negation_safety_diagnostics",
     "positively_bound_vars",
     "rule_safety_diagnostics",

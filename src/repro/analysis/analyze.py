@@ -1,0 +1,319 @@
+"""``repro analyze``: the dataflow analyses as a report.
+
+Where ``repro lint`` answers "is this program written well?", ``repro
+analyze`` answers "what does the engine statically know about it?" —
+the three lattices of :mod:`repro.analysis.dataflow` rendered per
+program: cardinality bounds (with growth classes), argument domains,
+and — when a query is given — the binding-time cone with its demanded
+adornments.  The diagnostics section repeats the lint findings so the
+query-scoped codes (DL013 unreachable-under-demand, DL016
+adornment-unsafe) have somewhere to land.
+
+The JSON rendering is schema-pinned like the lint output:
+``{"version": ANALYZE_SCHEMA_VERSION, "programs": [...]}`` with a fixed
+per-program key set — CI runs ``repro analyze --format json`` over the
+bundled examples and validates the document with
+:func:`validate_analyze_document`.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.analysis.dataflow import (
+    BindingTimes,
+    CardinalityBound,
+    Domain,
+    adorn,
+    adornment_for,
+    argument_domains,
+    cardinality_bounds,
+)
+from repro.analysis.driver import LintReport, lint_source
+from repro.ast.program import Program
+from repro.errors import EvaluationError, ReproError
+
+#: Version of the ``repro analyze --format json`` schema.
+ANALYZE_SCHEMA_VERSION = 1
+
+#: Fixed key set of one program entry in the JSON document.
+ANALYZE_PROGRAM_KEYS = (
+    "name",
+    "dialect",
+    "query",
+    "cardinality",
+    "domains",
+    "binding_times",
+    "diagnostics",
+    "summary",
+)
+
+_QUERY_RE = re.compile(r"^\s*([A-Za-z_][A-Za-z0-9_-]*)\s*\((.*)\)\s*\??\s*$")
+
+
+def parse_query(text: str) -> tuple[str, tuple]:
+    """``"T(a, ?)"`` → ``("T", ("a", None))``.
+
+    Each argument is ``?`` or ``_`` (free), an integer, a quoted
+    string, or a bare identifier (taken as a string constant — query
+    position, so there are no variables to confuse it with).
+    """
+    match = _QUERY_RE.match(text)
+    if match is None:
+        raise ReproError(
+            f"cannot parse query {text!r}; expected RELATION(arg, ...) with "
+            f"'?' for free positions"
+        )
+    relation, body = match.group(1), match.group(2).strip()
+    if not body:
+        return relation, ()
+    pattern: list[Any] = []
+    for raw in body.split(","):
+        item = raw.strip()
+        if not item:
+            raise ReproError(f"empty argument in query {text!r}")
+        if item in ("?", "_"):
+            pattern.append(None)
+        elif re.fullmatch(r"-?\d+", item):
+            pattern.append(int(item))
+        elif len(item) >= 2 and item[0] == item[-1] and item[0] in "'\"":
+            pattern.append(item[1:-1])
+        else:
+            pattern.append(item)
+    return relation, tuple(pattern)
+
+
+def query_text(relation: str, pattern: tuple) -> str:
+    rendered = ", ".join("?" if v is None else repr(v) for v in pattern)
+    return f"{relation}({rendered})?"
+
+
+@dataclass
+class AnalyzeReport:
+    """Everything ``repro analyze`` knows about one program."""
+
+    name: str
+    program: Program | None
+    lint_report: LintReport
+    query: tuple[str, tuple] | None = None
+    bounds: dict[str, CardinalityBound] = field(default_factory=dict)
+    domains: dict[str, tuple[Domain, ...]] = field(default_factory=dict)
+    binding: BindingTimes | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-stable rendering; :data:`ANALYZE_PROGRAM_KEYS` exactly."""
+        dialect = self.lint_report.dialect
+        binding = None
+        if self.binding is not None and self.program is not None:
+            binding = {
+                "relation": self.binding.relation,
+                "pattern": list(self.binding.pattern),
+                "adornment": adornment_for(self.binding.pattern),
+                "demanded": {
+                    relation: sorted(adornments)
+                    for relation, adornments in self.binding.demanded.items()
+                },
+                "edb_reached": sorted(self.binding.edb_reached),
+                "cone_rules": sorted(
+                    self.binding.cone_rule_indices(self.program)
+                ),
+                "total_rules": len(self.program.rules),
+                "unsafe": [
+                    {"rule": index, "reason": reason}
+                    for index, _lit, reason in self.binding.unsafe
+                ],
+            }
+        return {
+            "name": self.name,
+            "dialect": dialect.rung.value if dialect else None,
+            "query": (
+                query_text(self.query[0], self.query[1]) if self.query else None
+            ),
+            "cardinality": {
+                relation: bound.to_dict()
+                for relation, bound in sorted(self.bounds.items())
+            },
+            "domains": {
+                relation: [
+                    {"top": domain.top, "sources": domain.labels()}
+                    for domain in row
+                ]
+                for relation, row in sorted(self.domains.items())
+            },
+            "binding_times": binding,
+            "diagnostics": [d.to_dict() for d in self.lint_report.diagnostics],
+            "summary": {
+                "errors": len(self.lint_report.errors),
+                "warnings": len(self.lint_report.warnings),
+                "infos": len(self.lint_report.infos),
+                "suppressed": len(self.lint_report.suppressed),
+            },
+        }
+
+    def render(self) -> str:
+        """The human-readable report."""
+        lines: list[str] = []
+        name = self.name or "<program>"
+        dialect = self.lint_report.dialect
+        rung = dialect.rung.value if dialect else "unknown"
+        lines.append(f"{name}: dialect {rung}")
+        if self.bounds:
+            lines.append("cardinality bounds (symbolic unless --data):")
+            for relation, bound in sorted(self.bounds.items()):
+                hi = "∞" if bound.hi is None else str(bound.hi)
+                lines.append(
+                    f"  {relation:<16} [{bound.lo}, {hi}]  {bound.growth}"
+                )
+        if self.domains:
+            lines.append("argument domains:")
+            for relation, row in sorted(self.domains.items()):
+                rendered = ", ".join(
+                    "⊤" if domain.top
+                    else "{" + ", ".join(domain.labels()) + "}"
+                    for domain in row
+                )
+                lines.append(f"  {relation}({rendered})")
+        if self.binding is not None and self.query is not None:
+            lines.append(f"query {query_text(self.query[0], self.query[1])}:")
+            for relation, adornments in sorted(self.binding.demanded.items()):
+                lines.append(
+                    f"  demands {relation}^{{{', '.join(sorted(adornments))}}}"
+                )
+            if self.binding.edb_reached:
+                lines.append(
+                    f"  reads edb {', '.join(sorted(self.binding.edb_reached))}"
+                )
+            if self.program is not None:
+                cone = self.binding.cone_rule_indices(self.program)
+                lines.append(
+                    f"  demand cone: {len(cone)}/{len(self.program.rules)} rules"
+                )
+        for diagnostic in self.lint_report.diagnostics:
+            lines.append(diagnostic.render(self.name))
+        summary = (
+            f"{len(self.lint_report.errors)} error(s), "
+            f"{len(self.lint_report.warnings)} warning(s), "
+            f"{len(self.lint_report.infos)} info(s)"
+        )
+        if self.lint_report.suppressed:
+            summary += f", {len(self.lint_report.suppressed)} suppressed"
+        lines.append(summary)
+        return "\n".join(lines)
+
+
+def analyze_source(
+    text: str,
+    name: str = "",
+    query: tuple[str, tuple] | None = None,
+    database=None,
+) -> AnalyzeReport:
+    """Run the three dataflow analyses (and the lint suite) on source.
+
+    Parse and schema failures degrade the report to its diagnostics,
+    exactly like :func:`repro.analysis.lint_source`.
+    """
+    from repro.errors import SchemaError
+
+    lint_report = lint_source(text, name=name, database=database, query=query)
+    program: Program | None = None
+    try:
+        from repro.parser import parse_program
+
+        program = parse_program(text, name=name)
+    except (ReproError, SchemaError):
+        program = None
+    report = AnalyzeReport(
+        name=name, program=program, lint_report=lint_report, query=query
+    )
+    if program is None:
+        return report
+    report.bounds = cardinality_bounds(program, db=database)
+    report.domains = argument_domains(program)
+    if query is not None:
+        try:
+            report.binding = adorn(program, query[0], tuple(query[1]))
+        except EvaluationError:
+            report.binding = None  # surfaced as DL016 by the lint pass
+    return report
+
+
+def analyze_reports_to_json(
+    reports: list[AnalyzeReport], indent: int | None = 2
+) -> str:
+    """Serialize several analyze reports under one schema envelope."""
+    return json.dumps(
+        {
+            "version": ANALYZE_SCHEMA_VERSION,
+            "programs": [r.to_dict() for r in reports],
+        },
+        indent=indent,
+        ensure_ascii=False,
+    )
+
+
+def validate_analyze_document(document: Any) -> None:
+    """Structural validation of one parsed analyze JSON document.
+
+    Raises ``ValueError`` on any deviation — the CI lint job runs this
+    over the bundled examples so schema drift cannot land silently.
+    """
+    if not isinstance(document, dict):
+        raise ValueError("analyze document must be an object")
+    if document.get("version") != ANALYZE_SCHEMA_VERSION:
+        raise ValueError(
+            f"analyze schema version must be {ANALYZE_SCHEMA_VERSION}, "
+            f"got {document.get('version')!r}"
+        )
+    programs = document.get("programs")
+    if not isinstance(programs, list):
+        raise ValueError("'programs' must be a list")
+    for entry in programs:
+        if not isinstance(entry, dict):
+            raise ValueError("each program entry must be an object")
+        if tuple(entry.keys()) != ANALYZE_PROGRAM_KEYS:
+            raise ValueError(
+                f"program keys must be {ANALYZE_PROGRAM_KEYS}, "
+                f"got {tuple(entry.keys())}"
+            )
+        if not isinstance(entry["cardinality"], dict):
+            raise ValueError("'cardinality' must be an object")
+        for relation, bound in entry["cardinality"].items():
+            if tuple(bound.keys()) != ("lo", "hi", "growth"):
+                raise ValueError(f"bad cardinality entry for {relation!r}")
+            if not isinstance(bound["lo"], int):
+                raise ValueError(f"{relation!r}: 'lo' must be an int")
+            if bound["hi"] is not None and not isinstance(bound["hi"], int):
+                raise ValueError(f"{relation!r}: 'hi' must be int or null")
+            if bound["growth"] not in (
+                "edb", "facts", "linear", "product", "recursive", "unbounded"
+            ):
+                raise ValueError(
+                    f"{relation!r}: unknown growth {bound['growth']!r}"
+                )
+        if not isinstance(entry["domains"], dict):
+            raise ValueError("'domains' must be an object")
+        for relation, row in entry["domains"].items():
+            if not isinstance(row, list):
+                raise ValueError(f"{relation!r}: domains row must be a list")
+            for cell in row:
+                if tuple(cell.keys()) != ("top", "sources"):
+                    raise ValueError(f"bad domain cell for {relation!r}")
+        binding = entry["binding_times"]
+        if binding is not None:
+            expected = (
+                "relation", "pattern", "adornment", "demanded",
+                "edb_reached", "cone_rules", "total_rules", "unsafe",
+            )
+            if tuple(binding.keys()) != expected:
+                raise ValueError(
+                    f"binding_times keys must be {expected}, "
+                    f"got {tuple(binding.keys())}"
+                )
+        if not isinstance(entry["diagnostics"], list):
+            raise ValueError("'diagnostics' must be a list")
+        summary = entry["summary"]
+        if tuple(summary.keys()) != ("errors", "warnings", "infos", "suppressed"):
+            raise ValueError("bad summary key set")

@@ -97,6 +97,21 @@ CODES: dict[str, DiagnosticCode] = {
         _code("DL011", "subsumed-rule", Severity.WARNING,
               "a rule's body strictly extends another rule with the same head",
               "§3.1"),
+        _code("DL012", "empty-join", Severity.WARNING,
+              "a join over provably disjoint argument domains; the rule "
+              "can never fire", "§3.1"),
+        _code("DL013", "unreachable-under-demand", Severity.INFO,
+              "a rule is outside the demand cone of the analyzed query",
+              "§3.1"),
+        _code("DL014", "unbounded-recursion-class", Severity.INFO,
+              "recursion through value invention; no static cardinality "
+              "bound exists (§4.3)", "§4.3"),
+        _code("DL015", "constant-foldable-literal", Severity.INFO,
+              "an argument's domain is a single constant; the variable "
+              "could be folded", "§3.1"),
+        _code("DL016", "adornment-unsafe", Severity.WARNING,
+              "under the query adornment a literal is reached with unbound "
+              "variables it cannot bind", "§3.1"),
     )
 }
 

@@ -12,6 +12,7 @@ instead of exceptions.
 from __future__ import annotations
 
 import json
+import re
 from dataclasses import dataclass, field
 from typing import Any, Iterable
 
@@ -24,7 +25,51 @@ from repro.errors import ParseError
 from repro.span import Span
 
 #: Version of the JSON output schema; bump on any breaking key change.
-JSON_SCHEMA_VERSION = 1
+#: v2 (additive): per-program "suppressed" list + summary count.
+JSON_SCHEMA_VERSION = 2
+
+#: ``# lint: disable=DL003`` (or ``%``); several codes comma-separated.
+_PRAGMA_RE = re.compile(r"[%#]\s*lint:\s*disable=([A-Za-z0-9_,\s-]+)")
+
+
+def suppressions_in(text: str) -> dict[int, frozenset[str]]:
+    """Line → codes suppressed there, from inline pragma comments.
+
+    A pragma trailing a line of code anchors to that line; a pragma on
+    a line of its own anchors to the next line that carries code (so it
+    can sit above the rule it silences).  The scan works on the raw
+    source because the lexer drops comments before the parser ever sees
+    them.
+    """
+    lines = text.splitlines()
+
+    def has_code(line: str) -> bool:
+        for i, ch in enumerate(line):
+            if ch in "%#":
+                return bool(line[:i].strip())
+        return bool(line.strip())
+
+    out: dict[int, set[str]] = {}
+    pending: set[str] = set()
+    for number, line in enumerate(lines, start=1):
+        match = _PRAGMA_RE.search(line)
+        codes = (
+            {
+                code.strip().upper()
+                for code in match.group(1).split(",")
+                if code.strip()
+            }
+            if match
+            else set()
+        )
+        if has_code(line):
+            anchored = pending | codes
+            if anchored:
+                out.setdefault(number, set()).update(anchored)
+            pending = set()
+        elif codes:
+            pending |= codes
+    return {number: frozenset(codes) for number, codes in out.items()}
 
 
 @dataclass
@@ -35,6 +80,10 @@ class LintReport:
     diagnostics: list[Diagnostic] = field(default_factory=list)
     dialect: DialectReport | None = None
     source_text: str | None = None
+    #: Findings silenced by inline ``# lint: disable=…`` pragmas; kept
+    #: (and serialized) so suppressions stay visible, but they never
+    #: count toward severity or exit codes.
+    suppressed: list[Diagnostic] = field(default_factory=list)
 
     def by_severity(self, severity: Severity) -> list[Diagnostic]:
         return [d for d in self.diagnostics if d.severity is severity]
@@ -54,11 +103,13 @@ class LintReport:
     def codes(self) -> set[str]:
         return {d.code for d in self.diagnostics}
 
+    def fails(self, threshold: Severity) -> bool:
+        """Any finding at or above ``threshold``?  (Exit-code question.)"""
+        return any(d.severity >= threshold for d in self.diagnostics)
+
     def ok(self, strict: bool = False) -> bool:
         """Clean at the given strictness?  INFO findings never fail."""
-        if self.errors:
-            return False
-        return not (strict and self.warnings)
+        return not self.fails(Severity.WARNING if strict else Severity.ERROR)
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-stable rendering; the key set is part of the schema."""
@@ -66,10 +117,12 @@ class LintReport:
             "name": self.name,
             "dialect": self.dialect.to_dict() if self.dialect else None,
             "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "suppressed": [d.to_dict() for d in self.suppressed],
             "summary": {
                 "errors": len(self.errors),
                 "warnings": len(self.warnings),
                 "infos": len(self.infos),
+                "suppressed": len(self.suppressed),
             },
         }
 
@@ -99,10 +152,13 @@ class LintReport:
                     else ""
                 )
             )
-        lines.append(
+        summary = (
             f"{len(self.errors)} error(s), {len(self.warnings)} warning(s), "
             f"{len(self.infos)} info(s)"
         )
+        if self.suppressed:
+            summary += f", {len(self.suppressed)} suppressed"
+        lines.append(summary)
         return "\n".join(lines)
 
 
@@ -116,12 +172,32 @@ def _sort_key(diagnostic: Diagnostic):
     )
 
 
+def _apply_suppressions(report: LintReport) -> LintReport:
+    """Move pragma-silenced findings to ``report.suppressed``."""
+    if not report.source_text:
+        return report
+    by_line = suppressions_in(report.source_text)
+    if not by_line:
+        return report
+    kept: list[Diagnostic] = []
+    for diagnostic in report.diagnostics:
+        codes = by_line.get(diagnostic.span.line) if diagnostic.span else None
+        if codes and diagnostic.code in codes:
+            report.suppressed.append(diagnostic)
+        else:
+            kept.append(diagnostic)
+    report.diagnostics = kept
+    return report
+
+
 def lint(
     program: Program | Iterable[Rule],
     dialect: Dialect | None = None,
     outputs: Iterable[str] = (),
     edb: Iterable[str] | None = None,
     name: str | None = None,
+    database=None,
+    query: tuple[str, tuple] | None = None,
 ) -> LintReport:
     """Run every lint pass; return all findings instead of raising.
 
@@ -130,7 +206,10 @@ def lint(
     typo that *changes* the rung shows up as classifier evidence rather
     than a safety error).  ``outputs`` names the intended answer
     relations (silences DL004 for them); ``edb`` declares the
-    extensional schema when known (sharpens DL009).
+    extensional schema when known (sharpens DL009).  ``database``
+    supplies live facts (sharpens the DL012 disjointness proof);
+    ``query`` is a ``(relation, pattern)`` pair that turns on the
+    query-scoped findings DL013/DL016.
     """
     if isinstance(program, Program):
         rules = program.rules
@@ -150,6 +229,8 @@ def lint(
         report=report,
         outputs=frozenset(outputs),
         edb=frozenset(edb) if edb is not None else None,
+        database=database,
+        query=query,
     )
     diagnostics: list[Diagnostic] = []
     for lint_pass in ALL_PASSES:
@@ -162,7 +243,7 @@ def lint(
         dialect=report,
         source_text=built.source_text if built else None,
     )
-    return lint_report
+    return _apply_suppressions(lint_report)
 
 
 def lint_source(
@@ -171,6 +252,8 @@ def lint_source(
     dialect: Dialect | None = None,
     outputs: Iterable[str] = (),
     edb: Iterable[str] | None = None,
+    database=None,
+    query: tuple[str, tuple] | None = None,
 ) -> LintReport:
     """Lint surface syntax; parse and schema failures become diagnostics."""
     from repro.errors import SchemaError
@@ -199,7 +282,8 @@ def lint_source(
 
     if program is not None:
         report = lint(
-            program, dialect=dialect, outputs=outputs, edb=edb, name=name
+            program, dialect=dialect, outputs=outputs, edb=edb, name=name,
+            database=database, query=query,
         )
         report.source_text = text
         return report
@@ -224,7 +308,9 @@ def lint_source(
 
         diagnostics.extend(safety_pass(ctx))
     diagnostics.sort(key=_sort_key)
-    return LintReport(name=name, diagnostics=diagnostics, source_text=text)
+    return _apply_suppressions(
+        LintReport(name=name, diagnostics=diagnostics, source_text=text)
+    )
 
 
 def reports_to_json(reports: list[LintReport], indent: int | None = 2) -> str:

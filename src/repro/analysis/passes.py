@@ -37,6 +37,8 @@ class LintContext:
     report: DialectReport | None = None  # classifier output, when available
     outputs: frozenset[str] = frozenset()  # declared answer relations
     edb: frozenset[str] | None = None      # declared edb relations, if known
+    database: object | None = None       # live facts; sharpens DL012
+    query: tuple[str, tuple] | None = None  # (relation, pattern) under analysis
 
 
 # -- rule-local passes ---------------------------------------------------------
@@ -464,6 +466,117 @@ def _cycle_rule(program: Program, cycle: list[str]):
     return None, None
 
 
+def _query_text(relation: str, pattern: tuple) -> str:
+    rendered = ", ".join("?" if v is None else repr(v) for v in pattern)
+    return f"{relation}({rendered})?"
+
+
+def dataflow_pass(ctx: LintContext) -> list[Diagnostic]:
+    """DL012–DL016: the abstract-interpretation findings.
+
+    The domain lattice proves joins empty (DL012) and variables
+    constant (DL015); the cardinality lattice flags recursion through
+    invention (DL014, informational — §4.3 programs do it on purpose).
+    When a query is under analysis (``repro analyze --query``), the
+    binding-time lattice adds the demand-cone complement (DL013) and
+    literals reached with unbindable variables (DL016).
+    """
+    program = ctx.program
+    if program is None:
+        return []
+    from repro.analysis.dataflow import (
+        adorn,
+        cardinality_bounds,
+        domain_findings,
+    )
+
+    out: list[Diagnostic] = []
+    for finding in domain_findings(program, db=ctx.database):
+        rule = program.rules[finding.rule_index]
+        span = finding.literal.span or rule.span
+        if finding.kind == "empty-join":
+            out.append(
+                make_diagnostic(
+                    "DL012",
+                    f"join on variable {finding.variable!r} is provably "
+                    f"empty: its domains in {finding.other!r} and "
+                    f"{finding.literal!r} are disjoint; the rule can never "
+                    f"fire",
+                    span=span,
+                    rule_index=finding.rule_index,
+                    variable=finding.variable,
+                )
+            )
+        else:
+            out.append(
+                make_diagnostic(
+                    "DL015",
+                    f"variable {finding.variable!r} can only hold the "
+                    f"constant {finding.value!r} in {finding.literal!r}; "
+                    f"the variable could be folded away",
+                    span=span,
+                    rule_index=finding.rule_index,
+                    variable=finding.variable,
+                    value=finding.value,
+                )
+            )
+
+    bounds = cardinality_bounds(program, db=ctx.database)
+    for relation in sorted(bounds):
+        if bounds[relation].growth != "unbounded":
+            continue
+        index, span = _first_definition(program, relation)
+        out.append(
+            make_diagnostic(
+                "DL014",
+                f"relation {relation!r} recurses through value invention: "
+                f"no static cardinality bound exists and evaluation may "
+                f"not terminate (§4.3)",
+                span=span,
+                rule_index=index,
+                relation=relation,
+            )
+        )
+
+    if ctx.query is not None:
+        from repro.errors import EvaluationError
+
+        relation, pattern = ctx.query
+        query = _query_text(relation, tuple(pattern))
+        try:
+            binding = adorn(program, relation, tuple(pattern))
+        except EvaluationError as err:
+            return out + [
+                make_diagnostic("DL016", f"under {query}: {err}", query=query)
+            ]
+        cone = binding.cone_rule_indices(program)
+        for index, rule in enumerate(program.rules):
+            if index in cone:
+                continue
+            out.append(
+                make_diagnostic(
+                    "DL013",
+                    f"rule is outside the demand cone of {query}; it can "
+                    f"never contribute to an answer of this query",
+                    span=rule.span,
+                    rule_index=index,
+                    query=query,
+                )
+            )
+        for index, lit, reason in binding.unsafe:
+            span = getattr(lit, "span", None) or program.rules[index].span
+            out.append(
+                make_diagnostic(
+                    "DL016",
+                    f"under {query}: {reason}",
+                    span=span,
+                    rule_index=index,
+                    query=query,
+                )
+            )
+    return out
+
+
 #: Passes in reporting order: rule-local first, then whole-program.
 ALL_PASSES = (
     safety_pass,
@@ -475,4 +588,5 @@ ALL_PASSES = (
     unused_pass,
     derivability_pass,
     stratification_pass,
+    dataflow_pass,
 )

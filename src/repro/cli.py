@@ -115,11 +115,12 @@ def cmd_check(args, out) -> int:
 def cmd_lint(args, out) -> int:
     """Run the static-analysis suite over one or more program files.
 
-    Exit code 0 when every file is clean at the requested strictness,
-    1 when any finding crosses the threshold (errors by default;
-    ``--strict`` includes warnings), 2 on unreadable input.
+    Exit code 0 when every file is clean at the requested threshold,
+    1 when any finding crosses it.  The threshold is errors by default;
+    ``--fail-on {error,warning,info}`` picks it exactly, and the older
+    ``--strict`` is shorthand for ``--fail-on warning``.
     """
-    from repro.analysis import lint_source, reports_to_json
+    from repro.analysis import Severity, lint_source, reports_to_json
     from repro.ast.program import Dialect
 
     dialect = None
@@ -149,7 +150,43 @@ def cmd_lint(args, out) -> int:
         for report in reports:
             print(report.render(), file=out)
 
-    failed = [r for r in reports if not r.ok(strict=args.strict)]
+    if args.fail_on:
+        threshold = Severity[args.fail_on.upper()]
+    else:
+        threshold = Severity.WARNING if args.strict else Severity.ERROR
+    failed = [r for r in reports if r.fails(threshold)]
+    return 1 if failed else 0
+
+
+def cmd_analyze(args, out) -> int:
+    """Run the dataflow analyses (``repro analyze``) over program files.
+
+    Exit code 0 when no file has error-severity findings, 1 otherwise.
+    """
+    from repro.analysis import (
+        analyze_reports_to_json,
+        analyze_source,
+        parse_query,
+    )
+
+    query = parse_query(args.query) if args.query else None
+    database = load_facts(args.data) if args.data else None
+
+    reports = []
+    for path in args.programs:
+        with open(path) as handle:
+            text = handle.read()
+        reports.append(
+            analyze_source(text, name=path, query=query, database=database)
+        )
+
+    if args.format == "json":
+        print(analyze_reports_to_json(reports), file=out)
+    else:
+        for report in reports:
+            print(report.render(), file=out)
+
+    failed = [r for r in reports if r.lint_report.errors]
     return 1 if failed else 0
 
 
@@ -602,6 +639,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--data",
         help="facts file declaring the edb schema (sharpens DL009)",
     )
+    lint.add_argument(
+        "--fail-on",
+        choices=("error", "warning", "info"),
+        help="exit 1 when any finding is at or above this severity "
+        "(overrides --strict; default: error)",
+    )
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="whole-program dataflow analysis: cardinality bounds, "
+        "argument domains, query binding times",
+    )
+    analyze.add_argument("programs", nargs="+", help="program file(s)")
+    analyze.add_argument(
+        "--query",
+        metavar="'T(a, ?)'",
+        help="bound query pattern; turns on binding-time analysis and "
+        "the query-scoped findings DL013/DL016",
+    )
+    analyze.add_argument(
+        "--data",
+        help="facts file; makes cardinality bounds and DL012 exact",
+    )
+    analyze.add_argument(
+        "--format",
+        default="human",
+        choices=("human", "json"),
+        help="output format (default: human)",
+    )
 
     terminate = sub.add_parser(
         "terminate",
@@ -764,6 +830,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
             return cmd_check(args, out)
         if args.command == "lint":
             return cmd_lint(args, out)
+        if args.command == "analyze":
+            return cmd_analyze(args, out)
         if args.command == "terminate":
             return cmd_terminate(args, out)
         if args.command == "run":

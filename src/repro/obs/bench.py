@@ -548,3 +548,122 @@ def load_differential_artifact(path: str) -> list[DifferentialRecord]:
     """Read and validate a differential artifact file; raises on drift."""
     with open(path) as handle:
         return validate_differential_artifact(json.load(handle))
+
+
+# -- BENCH_magic.json: magic-set demand vs full evaluation --------------------
+
+#: Version of the BENCH_magic.json schema (same regime as
+#: :data:`BENCH_SCHEMA_VERSION`).
+MAGIC_SCHEMA_VERSION = 1
+
+#: Exact key set of one magic record.
+MAGIC_RECORD_FIELDS = (
+    "benchmark",
+    "mode",
+    "size",
+    "seconds",
+    "facts_derived",
+)
+
+
+@dataclass(frozen=True)
+class MagicRecord:
+    """One (benchmark, evaluation mode, workload size) measurement.
+
+    ``mode`` is ``"magic"`` (the bound query answered by the magic-set
+    rewrite of :mod:`repro.semantics.magic`, evaluated semi-naively) or
+    ``"full"`` (the same query answered by evaluating the untransformed
+    program to its full minimum model).  ``seconds`` is the best
+    observed latency of one query; ``facts_derived`` counts the idb
+    tuples materialized to answer it — the demand cone for ``"magic"``,
+    the whole model for ``"full"`` — which is the relevance claim the
+    acceptance gate checks (≥5× fewer on single-source reachability).
+    """
+
+    benchmark: str
+    mode: str
+    size: int
+    seconds: float
+    facts_derived: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "benchmark": self.benchmark,
+            "mode": self.mode,
+            "size": self.size,
+            "seconds": self.seconds,
+            "facts_derived": self.facts_derived,
+        }
+
+
+def magic_artifact_dict(records: list[MagicRecord]) -> dict[str, Any]:
+    """The artifact document: schema-versioned, deterministically ordered."""
+    ordered = sorted(records, key=lambda r: (r.benchmark, r.mode, r.size))
+    return {
+        "version": MAGIC_SCHEMA_VERSION,
+        "benchmarks": [record.to_dict() for record in ordered],
+    }
+
+
+def write_magic_artifact(records: list[MagicRecord], path: str) -> None:
+    """Write ``BENCH_magic.json`` (sorted records, sorted keys)."""
+    with open(path, "w") as handle:
+        json.dump(magic_artifact_dict(records), handle, indent=2,
+                  sort_keys=True)
+        handle.write("\n")
+
+
+def validate_magic_artifact(data: Any) -> list[MagicRecord]:
+    """Check a magic artifact document against the pinned schema.
+
+    Returns the parsed records; raises :class:`ValueError` on drift
+    (wrong version, missing/extra keys, wrong types, unknown mode).
+    """
+    if not isinstance(data, dict):
+        raise ValueError("magic artifact must be a JSON object")
+    if data.get("version") != MAGIC_SCHEMA_VERSION:
+        raise ValueError(
+            f"magic artifact version {data.get('version')!r} != "
+            f"{MAGIC_SCHEMA_VERSION}"
+        )
+    extra_top = set(data) - {"version", "benchmarks"}
+    if extra_top:
+        raise ValueError(f"unexpected top-level keys: {sorted(extra_top)}")
+    entries = data.get("benchmarks")
+    if not isinstance(entries, list):
+        raise ValueError("magic artifact 'benchmarks' must be a list")
+    types = {
+        "benchmark": str,
+        "mode": str,
+        "size": int,
+        "seconds": (int, float),
+        "facts_derived": int,
+    }
+    records: list[MagicRecord] = []
+    for position, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise ValueError(f"record {position} is not an object")
+        if set(entry) != set(MAGIC_RECORD_FIELDS):
+            raise ValueError(
+                f"record {position} keys {sorted(entry)} != "
+                f"{sorted(MAGIC_RECORD_FIELDS)}"
+            )
+        for key, expected in types.items():
+            if not isinstance(entry[key], expected):
+                raise ValueError(
+                    f"record {position} field {key!r} has type "
+                    f"{type(entry[key]).__name__}"
+                )
+        if entry["mode"] not in ("magic", "full"):
+            raise ValueError(
+                f"record {position} mode {entry['mode']!r} is not "
+                "'magic' or 'full'"
+            )
+        records.append(MagicRecord(**entry))
+    return records
+
+
+def load_magic_artifact(path: str) -> list[MagicRecord]:
+    """Read and validate a magic artifact file; raises on drift."""
+    with open(path) as handle:
+        return validate_magic_artifact(json.load(handle))

@@ -22,6 +22,11 @@ T(x, y) :- G(x, y).
 T(x, z) :- T(x, y), T(y, z).
 """
 
+TC_LEFT_SOURCE = """
+T(x, y) :- G(x, y).
+T(x, y) :- T(x, z), G(z, y).
+"""
+
 CTC_STRATIFIED_SOURCE = """
 T(x, y) :- G(x, y).
 T(x, y) :- G(x, z), T(z, y).
@@ -43,6 +48,21 @@ def tc_nonlinear_program() -> Program:
     """
     return parse_program(
         TC_NONLINEAR_SOURCE, dialect=Dialect.DATALOG, name="tc-nonlinear"
+    )
+
+
+def tc_left_program() -> Program:
+    """Left-linear transitive closure: recursion on the first argument.
+
+    Same minimum model as :func:`tc_program`, but under a source-bound
+    query ``T(a, ?)`` the magic-set rewrite keeps the binding on the
+    recursive call (``T^bf`` stays anchored at ``a``), so the demand
+    cone is linear in the reachable set — the canonical showcase for
+    :mod:`repro.semantics.magic`.  (The right-linear form propagates
+    demand to every reachable node and re-derives a quadratic cone.)
+    """
+    return parse_program(
+        TC_LEFT_SOURCE, dialect=Dialect.DATALOG, name="tc-left"
     )
 
 

@@ -1,0 +1,233 @@
+"""The magic-set demand transform: bottom-up evaluation of the cone.
+
+§3.1's flagship optimization, built on the binding-time analysis of
+:mod:`repro.analysis.dataflow`.  Given a bound query such as
+``T('a', y)?`` the transform specializes every demanded (predicate,
+adornment) pair into an *adorned* predicate ``T_bf`` guarded by a
+*magic* predicate ``magic_T_bf`` that holds exactly the bindings the
+query can ever ask about:
+
+* for each adorned rule ``p^a(t̄) ← l₁ … lₙ`` the transformed program
+  contains ``p_a(t̄) ← magic_p_a(bound(t̄)), l₁' … lₙ'`` where each idb
+  literal is renamed to its adorned twin;
+* each idb body literal ``q^b(s̄)`` at position *i* additionally yields
+  the demand rule ``magic_q_b(bound(s̄)) ← magic_p_a(bound(t̄)),
+  l₁' … l_{i-1}'`` — demand flows left to right, exactly the SIPS the
+  analysis used;
+* the query seeds one magic fact with the pattern's constants.
+
+Evaluating the result with any bottom-up engine derives only facts in
+the demand cone, giving goal-directed behavior (the moral equivalent of
+:func:`repro.semantics.topdown.query_topdown`'s tabling) while keeping
+the semi-naive machinery — compiled plans, planner, differential
+maintenance — untouched.  An all-free adornment needs no restriction,
+so its magic predicate (which would have arity 0) is simply omitted and
+the adorned predicate computes its full relation.
+
+Positive Datalog only, like the tabling engine: the transform is
+semantics-preserving for the minimum model (Beeri–Ramakrishnan), which
+is the classical scope of the technique.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.analysis.dataflow import AdornedLiteral, AdornedRule, adorn, adornment_for
+from repro.ast.analysis import validate_program
+from repro.ast.program import Dialect, Program
+from repro.ast.rules import Lit, Rule, make_rule
+from repro.errors import EvaluationError
+from repro.logic.formula import Atom
+from repro.relational.instance import Database
+from repro.semantics.seminaive import evaluate_datalog_seminaive
+from repro.semantics.topdown import Pattern, TopDownResult, _matches_pattern
+from repro.terms import Const
+
+
+@dataclass
+class MagicProgram:
+    """The transformed program plus everything needed to query it."""
+
+    program: Program
+    #: Magic facts to add before evaluation: (relation, tuple) pairs.
+    seeds: list[tuple[str, tuple]]
+    #: Adorned name of the query relation — where the answers land.
+    answer_relation: str
+    #: (relation, adornment) → adorned predicate name.
+    adorned_names: dict[tuple[str, str], str]
+    #: (relation, adornment) → magic predicate name (absent for the
+    #: unguarded all-free adornments).
+    magic_names: dict[tuple[str, str], str]
+
+
+def _freshener(taken: set[str]):
+    """Names like ``T_bf`` must not collide with program relations."""
+
+    def fresh(base: str) -> str:
+        name = base
+        while name in taken:
+            name = "_" + name
+        taken.add(name)
+        return name
+
+    return fresh
+
+
+def _bound_terms(terms, adornment: str) -> tuple:
+    return tuple(t for t, a in zip(terms, adornment) if a == "b")
+
+
+def magic_transform(
+    program: Program, relation: str, pattern: Pattern
+) -> MagicProgram:
+    """Rewrite ``program`` for the bound query ``relation(pattern)?``.
+
+    Requires positive Datalog (validate first if unsure) and an idb
+    query relation; :func:`query_magic` handles the edb trivia.
+    """
+    if relation not in program.idb:
+        raise EvaluationError(
+            f"magic transform needs an idb query relation, got {relation!r}"
+        )
+    if len(pattern) != program.arity(relation):
+        raise EvaluationError(
+            f"pattern arity {len(pattern)} != arity of {relation!r} "
+            f"({program.arity(relation)})"
+        )
+    binding = adorn(program, relation, pattern)
+    fresh = _freshener(set(program.sch()))
+    adorned_names: dict[tuple[str, str], str] = {}
+    magic_names: dict[tuple[str, str], str] = {}
+    for rel in sorted(binding.demanded):
+        for adornment in sorted(binding.demanded[rel]):
+            adorned_names[(rel, adornment)] = fresh(f"{rel}_{adornment}")
+            if "b" in adornment:
+                magic_names[(rel, adornment)] = fresh(f"magic_{rel}_{adornment}")
+
+    def adorned_lit(entry: AdornedLiteral) -> Lit:
+        lit = entry.lit
+        key = (lit.relation, entry.adornment)
+        if key in adorned_names:
+            return Lit(Atom(adorned_names[key], lit.terms), True, span=lit.span)
+        return lit
+
+    rules: list[Rule] = []
+    seen: set = set()
+
+    def emit(head: Lit, body: list[Lit], span) -> None:
+        fingerprint = (
+            (head.relation, head.terms),
+            tuple((l.relation, l.terms) for l in body),
+        )
+        if fingerprint in seen:
+            return
+        # Guard-only tautologies (magic_p(x̄) ← magic_p(x̄)) arise from
+        # linear recursion that passes its bindings through unchanged.
+        if len(body) == 1 and fingerprint[0] == (
+            body[0].relation, body[0].terms
+        ):
+            return
+        seen.add(fingerprint)
+        rules.append(make_rule(head, body, span=span))
+
+    for adorned in binding.adorned_rules:
+        source = program.rules[adorned.rule_index]
+        key = (adorned.relation, adorned.adornment)
+        head = Lit(
+            Atom(adorned_names[key], adorned.head.terms),
+            True,
+            span=adorned.head.span,
+        )
+        guard: list[Lit] = []
+        if key in magic_names:
+            guard = [
+                Lit(Atom(
+                    magic_names[key],
+                    _bound_terms(adorned.head.terms, adorned.adornment),
+                ), True)
+            ]
+        prefix: list[Lit] = []
+        for entry in adorned.body:
+            if not isinstance(entry, AdornedLiteral) or not entry.lit.positive:
+                raise EvaluationError(
+                    "magic transform is defined for positive Datalog bodies"
+                )
+            body_key = (entry.lit.relation, entry.adornment)
+            if body_key in magic_names:
+                emit(
+                    Lit(Atom(
+                        magic_names[body_key],
+                        _bound_terms(entry.lit.terms, entry.adornment),
+                    ), True, span=entry.lit.span),
+                    guard + prefix,
+                    source.span,
+                )
+            prefix.append(adorned_lit(entry))
+        emit(head, guard + prefix, source.span)
+
+    adornment = adornment_for(tuple(pattern))
+    answer_key = (relation, adornment)
+    seeds: list[tuple[str, tuple]] = []
+    if answer_key in magic_names:
+        seeds.append((
+            magic_names[answer_key],
+            tuple(v for v in pattern if v is not None),
+        ))
+    name = f"{program.name}@magic[{relation}^{adornment}]"
+    return MagicProgram(
+        program=Program(rules, name=name),
+        seeds=seeds,
+        answer_relation=adorned_names[answer_key],
+        adorned_names=adorned_names,
+        magic_names=magic_names,
+    )
+
+
+def query_magic(
+    program: Program,
+    db: Database,
+    relation: str,
+    pattern: Pattern,
+    validate: bool = True,
+) -> TopDownResult:
+    """Answer ``relation(pattern)?`` by magic rewrite + semi-naive.
+
+    Drop-in twin of :func:`repro.semantics.topdown.query_topdown`
+    (``strategy="magic"`` there delegates here): same answers, but the
+    derived-fact footprint is the demand cone — ``facts_computed()``
+    counts the adorned and magic tuples actually materialized.
+    """
+    if validate:
+        validate_program(program, Dialect.DATALOG)
+    if relation not in program.idb:
+        rel = db.relation(relation)
+        rows = frozenset(
+            t for t in (rel or ()) if _matches_pattern(t, pattern)
+        )
+        return TopDownResult(relation, pattern, rows)
+    if len(pattern) != program.arity(relation):
+        raise EvaluationError(
+            f"pattern arity {len(pattern)} != arity of {relation!r} "
+            f"({program.arity(relation)})"
+        )
+    transformed = magic_transform(program, relation, pattern)
+    working = db.copy()
+    for magic_relation, seed in transformed.seeds:
+        working.ensure_relation(magic_relation, len(seed))
+        working.add_fact(magic_relation, seed)
+    result = evaluate_datalog_seminaive(
+        transformed.program, working, validate=False
+    )
+    answers = frozenset(
+        t
+        for t in result.database.tuples(transformed.answer_relation)
+        if _matches_pattern(t, pattern)
+    )
+    tables = {}
+    for derived in sorted(transformed.program.idb):
+        facts = result.database.tuples(derived)
+        arity = transformed.program.arity(derived)
+        tables[(derived, (None,) * arity)] = frozenset(facts)
+    return TopDownResult(relation, pattern, answers, tables=tables)

@@ -172,6 +172,7 @@ class PlanContext:
         "lookups",
         "hits",
         "replans",
+        "priors",
         "report",
     )
 
@@ -206,6 +207,10 @@ class PlanContext:
         self.lookups = 0
         self.hits = 0
         self.replans = 0
+        #: Static cardinality priors (repro.analysis.dataflow), computed
+        #: lazily the first time a relation is cold (size 0) at decision
+        #: time — warm-only runs never pay for the analysis.
+        self.priors: dict[str, int] | None = None
         #: Live JSON-ready report, mutated in place and shared with
         #: ``EngineStats.planner`` (see :func:`explain` for the shape).
         self.report: dict = {
@@ -214,6 +219,7 @@ class PlanContext:
             "replans": 0,
             "rules": {},
             "index_cover": {},
+            "static_priors": {},
             "scheduled_components": (
                 len(self.schedule) if self.schedule is not None else None
             ),
@@ -413,6 +419,25 @@ def _drifted(old: tuple[int, ...], new: tuple[int, ...]) -> bool:
     return False
 
 
+def _static_prior(ctx: PlanContext, relation: str) -> int:
+    """The static row-count prior for a cold relation.
+
+    Computed once per context from the dataflow cardinality bounds
+    (symbolic regime — only the relative order matters) and surfaced in
+    the planner report under ``static_priors`` so ``repro explain``
+    shows which decisions ran on priors rather than live sizes.
+    """
+    priors = ctx.priors
+    if priors is None:
+        from repro.analysis.dataflow import planner_priors
+        from repro.ast.program import Program
+
+        priors = ctx.priors = planner_priors(Program(ctx.rules))
+    value = priors.get(relation, 1)
+    ctx.report["static_priors"].setdefault(relation, value)
+    return value
+
+
 def _decision(
     ctx: PlanContext,
     rule_id: int,
@@ -431,7 +456,14 @@ def _decision(
             sizes.append(delta_size)
         else:
             rel = db.relation(lit.relation)
-            sizes.append(len(rel) if rel is not None else 0)
+            size = len(rel) if rel is not None else 0
+            if size == 0:
+                # Cold relation: fall back to the static cardinality
+                # prior so the first-stage join order is not blind.
+                # Live sizes always win — a prior is only consulted at
+                # zero, so warm-data decisions are untouched.
+                size = _static_prior(ctx, lit.relation)
+            sizes.append(size)
     if occ is None:
         snapshot = tuple(sizes)
     else:
@@ -906,6 +938,7 @@ def explain(program: Program, db: Database) -> dict | None:
              "actual_rows": int,   # firings observed (live runs only)
          }},
          "index_cover": {"<relation>": {"templates": n, "chains": m}},
+         "static_priors": {"<relation>": int},  # cold-start fallbacks used
          "scheduled_components": int | None}
 
     Pure with respect to ``db`` (estimates never build indexes);

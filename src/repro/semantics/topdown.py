@@ -190,6 +190,7 @@ def query_topdown(
     relation: str,
     pattern: Pattern,
     validate: bool = True,
+    strategy: str = "tabling",
 ) -> TopDownResult:
     """Answer ``relation(pattern)?`` goal-directedly.
 
@@ -197,7 +198,20 @@ def query_topdown(
     free position: ``query_topdown(tc, db, "T", ("a", None))`` asks for
     everything reachable from ``a``.  Positive Datalog only (the
     technique's classical scope).
+
+    ``strategy`` picks the engine: ``"tabling"`` (this module's
+    QSQ-style tabler) or ``"magic"`` (the magic-set rewrite of
+    :mod:`repro.semantics.magic` evaluated bottom-up) — same answers,
+    different machinery underneath.
     """
+    if strategy == "magic":
+        from repro.semantics.magic import query_magic
+
+        return query_magic(program, db, relation, pattern, validate=validate)
+    if strategy != "tabling":
+        raise EvaluationError(
+            f"unknown query strategy {strategy!r} (tabling|magic)"
+        )
     if validate:
         validate_program(program, Dialect.DATALOG)
     if relation not in program.idb:

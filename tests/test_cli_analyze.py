@@ -1,0 +1,159 @@
+"""CLI coverage for ``repro analyze`` and the query/JSON machinery."""
+
+import io
+import json
+
+import pytest
+
+from repro.analysis import (
+    ANALYZE_PROGRAM_KEYS,
+    parse_query,
+    validate_analyze_document,
+)
+from repro.cli import main
+from repro.errors import ReproError
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+@pytest.fixture
+def tc_file(tmp_path):
+    path = tmp_path / "tc.dl"
+    path.write_text("T(x, y) :- G(x, y).\nT(x, y) :- G(x, z), T(z, y).\n")
+    return str(path)
+
+
+@pytest.fixture
+def error_file(tmp_path):
+    path = tmp_path / "err.dl"
+    path.write_text("p(x) :- q(x).\np(x, y) :- q(x), q(y).\n")
+    return str(path)
+
+
+class TestParseQuery:
+    def test_free_and_bound(self):
+        assert parse_query("T(a, ?)") == ("T", ("a", None))
+        assert parse_query("T(?, ?)?") == ("T", (None, None))
+        assert parse_query("p(_, 'x y', 3)") == ("p", (None, "x y", 3))
+
+    def test_nullary(self):
+        assert parse_query("win()") == ("win", ())
+
+    @pytest.mark.parametrize("bad", ["", "T", "T(a", "T(a,)", "T(a,,b)"])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ReproError):
+            parse_query(bad)
+
+
+class TestAnalyzeCommand:
+    def test_human_report(self, tc_file):
+        code, output = run_cli(["analyze", tc_file, "--query", "T(n0, ?)"])
+        assert code == 0
+        assert "cardinality bounds" in output
+        assert "argument domains" in output
+        assert "demands T^{bf}" in output
+        assert "reads edb G" in output
+        assert "demand cone: 2/2 rules" in output
+
+    def test_without_query_omits_binding_section(self, tc_file):
+        code, output = run_cli(["analyze", tc_file])
+        assert code == 0
+        assert "demands" not in output
+
+    def test_json_validates_against_schema(self, tc_file):
+        code, output = run_cli(
+            ["analyze", tc_file, "--query", "T(n0, ?)", "--format", "json"]
+        )
+        assert code == 0
+        document = json.loads(output)
+        validate_analyze_document(document)
+        (entry,) = document["programs"]
+        assert tuple(entry.keys()) == ANALYZE_PROGRAM_KEYS
+        assert entry["query"] == "T('n0', ?)?"
+        binding = entry["binding_times"]
+        assert binding["demanded"] == {"T": ["bf"]}
+        assert binding["edb_reached"] == ["G"]
+        assert binding["cone_rules"] == [0, 1]
+        assert entry["cardinality"]["T"]["growth"] == "recursive"
+        assert entry["domains"]["T"] == [
+            {"top": False, "sources": ["G.0"]},
+            {"top": False, "sources": ["G.1"]},
+        ]
+
+    def test_query_scoped_diagnostics_fire(self, tmp_path):
+        # A rule outside the demand cone is DL013; a negation reached
+        # unbound is DL016 — both only exist under a query.
+        path = tmp_path / "cone.dl"
+        path.write_text(
+            "T(x, y) :- G(x, y).\n"
+            "Iso(x) :- H(x).\n"
+        )
+        code, output = run_cli(
+            ["analyze", str(path), "--query", "T(a, ?)", "--format", "json"]
+        )
+        assert code == 0
+        (entry,) = json.loads(output)["programs"]
+        codes = {d["code"] for d in entry["diagnostics"]}
+        assert "DL013" in codes
+
+    def test_error_program_exits_one(self, error_file):
+        code, output = run_cli(["analyze", error_file])
+        assert code == 1
+        assert "error" in output
+
+    def test_parse_failure_degrades_to_diagnostics(self, tmp_path):
+        path = tmp_path / "bad.dl"
+        path.write_text("p(x :- q(x).\n")
+        code, output = run_cli(
+            ["analyze", str(path), "--format", "json"]
+        )
+        assert code == 1
+        document = json.loads(output)
+        validate_analyze_document(document)
+        (entry,) = document["programs"]
+        assert entry["cardinality"] == {}
+        assert entry["summary"]["errors"] >= 1
+
+    def test_data_makes_bounds_exact(self, tc_file, tmp_path):
+        facts = tmp_path / "facts.json"
+        facts.write_text(json.dumps({"G": [["a", "b"], ["b", "c"]]}))
+        code, output = run_cli(
+            ["analyze", tc_file, "--data", str(facts), "--format", "json"]
+        )
+        assert code == 0
+        (entry,) = json.loads(output)["programs"]
+        assert entry["cardinality"]["G"] == {
+            "lo": 2, "hi": 2, "growth": "edb",
+        }
+
+    def test_multiple_files_one_document(self, tc_file, error_file):
+        code, output = run_cli(
+            ["analyze", tc_file, error_file, "--format", "json"]
+        )
+        assert code == 1
+        document = json.loads(output)
+        validate_analyze_document(document)
+        assert len(document["programs"]) == 2
+
+
+class TestValidateAnalyzeDocument:
+    def test_rejects_wrong_version(self):
+        with pytest.raises(ValueError):
+            validate_analyze_document({"version": 99, "programs": []})
+
+    def test_rejects_missing_keys(self):
+        with pytest.raises(ValueError):
+            validate_analyze_document(
+                {"version": 1, "programs": [{"name": "x"}]}
+            )
+
+    def test_rejects_unknown_growth(self, tc_file):
+        code, output = run_cli(["analyze", tc_file, "--format", "json"])
+        document = json.loads(output)
+        document["programs"][0]["cardinality"]["T"]["growth"] = "mystery"
+        with pytest.raises(ValueError):
+            validate_analyze_document(document)

@@ -63,7 +63,7 @@ class TestLintCommand:
         code, output = run_cli(["lint", "--format", "json", warning_program])
         assert code == 0
         payload = json.loads(output)
-        assert payload["version"] == 1
+        assert payload["version"] == 2
         program = payload["programs"][0]
         assert program["name"] == warning_program
         assert program["summary"]["warnings"] == 1
@@ -121,3 +121,101 @@ class TestTerminateCommand:
         assert code == 1
         assert "nonterminating instance" in output
         assert "G(" in output  # the witness instance is printed
+
+
+
+@pytest.fixture
+def info_program(tmp_path):
+    # One DL003 singleton-variable info, nothing else (p is the answer).
+    path = tmp_path / "info.dl"
+    path.write_text("p(x) :- q(x, y).\n")
+    return str(path)
+
+
+class TestFailOn:
+    def test_info_only_fails_at_info_threshold(self, info_program):
+        base = ["lint", "--answer", "p", info_program]
+        assert run_cli(base)[0] == 0
+        assert run_cli(base + ["--fail-on", "warning"])[0] == 0
+        code, output = run_cli(base + ["--fail-on", "info"])
+        assert code == 1
+        assert "DL003-singleton-var" in output
+
+    def test_warning_thresholds(self, warning_program):
+        assert run_cli(["lint", "--fail-on", "error", warning_program])[0] == 0
+        assert run_cli(["lint", "--fail-on", "warning", warning_program])[0] == 1
+        assert run_cli(["lint", "--fail-on", "info", warning_program])[0] == 1
+
+    def test_error_always_fails(self, error_program):
+        for threshold in ("error", "warning", "info"):
+            assert run_cli(["lint", "--fail-on", threshold, error_program])[0] == 1
+
+    def test_fail_on_overrides_strict(self, warning_program):
+        # --strict alone fails on the warning; an explicit --fail-on
+        # error relaxes it back.
+        code, _ = run_cli(
+            ["lint", "--strict", "--fail-on", "error", warning_program]
+        )
+        assert code == 0
+
+
+class TestSuppressionPragmas:
+    def test_trailing_pragma_suppresses_own_line(self, tmp_path):
+        path = tmp_path / "sup.dl"
+        path.write_text("p(x) :- q(x, y).  % lint: disable=DL003\n")
+        code, output = run_cli(
+            ["lint", "--answer", "p", "--fail-on", "info", str(path)]
+        )
+        assert code == 0
+        assert "DL003" not in output.split("suppressed")[0]
+        assert "1 suppressed" in output
+
+    def test_standalone_pragma_anchors_to_next_code_line(self, tmp_path):
+        path = tmp_path / "sup.dl"
+        path.write_text(
+            "% lint: disable=DL003\n"
+            "p(x) :- q(x, y).\n"
+            "p(a) :- q(a, b).\n"
+        )
+        code, output = run_cli(
+            ["lint", "--answer", "p", "--fail-on", "info", str(path)]
+        )
+        assert code == 1  # the second rule's DL003 is NOT suppressed
+        assert "1 suppressed" in output
+
+    def test_other_codes_unaffected(self, tmp_path):
+        path = tmp_path / "sup.dl"
+        path.write_text("p(x) :- q(x), not r(x, y).  % lint: disable=DL003\n")
+        code, output = run_cli(["lint", "--strict", str(path)])
+        assert code == 1
+        assert "DL002-unsafe-negated-var" in output
+
+    def test_suppressed_visible_in_json(self, tmp_path):
+        path = tmp_path / "sup.dl"
+        path.write_text("p(x) :- q(x, y).  % lint: disable=DL003\n")
+        code, output = run_cli(
+            ["lint", "--answer", "p", "--format", "json", str(path)]
+        )
+        assert code == 0
+        program = json.loads(output)["programs"][0]
+        assert program["summary"] == {
+            "errors": 0, "warnings": 0, "infos": 0, "suppressed": 1,
+        }
+        (suppressed,) = program["suppressed"]
+        assert suppressed["code"] == "DL003"
+        assert suppressed["span"]["line"] == 1
+
+    def test_hash_comment_pragma(self, tmp_path):
+        path = tmp_path / "sup.dl"
+        path.write_text("p(x) :- q(x, y).  # lint: disable=DL003\n")
+        code, _ = run_cli(
+            ["lint", "--answer", "p", "--fail-on", "info", str(path)]
+        )
+        assert code == 0
+
+    def test_multiple_codes_one_pragma(self, tmp_path):
+        path = tmp_path / "sup.dl"
+        path.write_text("a(x) :- e(x, y).  % lint: disable=DL003, DL004\n")
+        code, output = run_cli(["lint", "--fail-on", "info", str(path)])
+        assert code == 0
+        assert "2 suppressed" in output

@@ -245,8 +245,12 @@ class TestJsonSchema:
             lint_source("p(x) :- q(x, y).", name="f.dl").to_json()
         )
         program = payload["programs"][0]
-        assert set(program) == {"name", "dialect", "diagnostics", "summary"}
-        assert set(program["summary"]) == {"errors", "warnings", "infos"}
+        assert set(program) == {
+            "name", "dialect", "diagnostics", "suppressed", "summary",
+        }
+        assert set(program["summary"]) == {
+            "errors", "warnings", "infos", "suppressed",
+        }
 
     def test_diagnostic_keys(self):
         payload = json.loads(

@@ -357,7 +357,7 @@ class TestReport:
         report = explain(program, db)
         assert set(report) == {
             "plan_lookups", "plan_hits", "replans", "rules",
-            "index_cover", "scheduled_components",
+            "index_cover", "static_priors", "scheduled_components",
         }
         full = report["rules"]["1"]["full"]
         assert sorted(full["order"]) == [0, 1]
@@ -470,3 +470,57 @@ class TestSeededReplay:
         QueryPlanner.enabled = True
         assert self.steps_of(on) == self.steps_of(off)
         assert on.database.canonical() == off.database.canonical()
+
+
+# -- static priors: cardinality bounds for cold relations -------------------
+
+
+class TestStaticPriors:
+    def test_cold_relations_consult_priors(self):
+        from repro.analysis.dataflow import planner_priors
+
+        program = parse_program(
+            "T(x, y) :- G(x, y).\nT(x, y) :- G(x, z), T(z, y).\n",
+            name="cold",
+        )
+        db = Database({("G", 2): set()})  # declared but empty: cold
+        report = explain(program, db)
+        priors = planner_priors(program)
+        # Every relation planned at size zero ran on its static prior,
+        # and the report names them with the distilled bound.
+        assert report["static_priors"]
+        for relation, value in report["static_priors"].items():
+            assert value == priors[relation]
+
+    def test_warm_relations_never_touch_priors(self):
+        program = parse_program(
+            "P(x, y) :- A(x, y), B(y, x).\n", name="warm"
+        )
+        db = Database({"A": [(1, 2), (2, 3)], "B": [(2, 1), (3, 2)]})
+        report = explain(program, db)
+        assert report["static_priors"] == {}
+
+    def test_priors_order_joins_like_live_sizes_would(self):
+        # The symbolic regime must still rank a recursive idb above its
+        # edb input: on a cold database the planner scans G (prior 64)
+        # and probes T (prior 64²), same shape as warm evaluation.
+        program = parse_program(
+            "T(x, y) :- G(x, y).\nT(x, y) :- G(x, z), T(z, y).\n",
+            name="cold-order",
+        )
+        db = Database({("G", 2): set(), ("T", 2): set()})
+        report = explain(program, db)
+        full = report["rules"]["1"]["full"]
+        assert full["order"][0] == 0  # G first, T probed
+
+    def test_evaluation_results_unchanged_by_priors(self):
+        program = parse_program(
+            "T(x, y) :- G(x, y).\nT(x, y) :- G(x, z), T(z, y).\n",
+            name="prior-parity",
+        )
+        db = Database({"G": [("a", "b"), ("b", "c"), ("c", "d")]})
+        result = evaluate_datalog_seminaive(program, db)
+        assert result.answer("T") == frozenset({
+            ("a", "b"), ("b", "c"), ("c", "d"),
+            ("a", "c"), ("b", "d"), ("a", "d"),
+        })

@@ -134,3 +134,23 @@ class TestValidation:
         db = graph_database(chain(3))
         with pytest.raises(EvaluationError):
             query_topdown(tc_program(), db, "T", (None,))
+
+
+class TestStrategies:
+    @pytest.mark.parametrize(
+        "pattern", [(None, None), ("n0", None), (None, "n3"), ("n0", "n3")]
+    )
+    def test_magic_strategy_matches_tabling(self, pattern):
+        db = graph_database(chain(5))
+        tabled = query_topdown(tc_program(), db, "T", pattern)
+        magic = query_topdown(
+            tc_program(), db, "T", pattern, strategy="magic"
+        )
+        assert magic.answers == tabled.answers
+
+    def test_unknown_strategy_raises(self):
+        db = graph_database(chain(3))
+        with pytest.raises(EvaluationError, match="tabling|magic"):
+            query_topdown(
+                tc_program(), db, "T", (None, None), strategy="bogus"
+            )

@@ -33,6 +33,12 @@ The magic-set ablation (``test_magic_ablation.py``) records
 :class:`~repro.obs.bench.MagicRecord` measurements through the
 ``magic_artifact`` fixture; those land in the schema-pinned
 ``BENCH_magic.json`` (path overridable via ``REPRO_MAGIC_ARTIFACT``).
+
+The feedback-directed ablation (``test_feedback_ablation.py``) records
+:class:`~repro.obs.bench.FeedbackRecord` measurements through the
+``feedback_artifact`` fixture; those land in the schema-pinned
+``BENCH_feedback.json`` (path overridable via
+``REPRO_FEEDBACK_ARTIFACT``).
 """
 
 from __future__ import annotations
@@ -46,6 +52,7 @@ _KERNEL_RECORDS = []
 _PLANNER_RECORDS = []
 _DIFFERENTIAL_RECORDS = []
 _MAGIC_RECORDS = []
+_FEEDBACK_RECORDS = []
 
 
 class _BenchArtifact:
@@ -154,6 +161,33 @@ def magic_artifact():
     return _MagicArtifact
 
 
+class _FeedbackArtifact:
+    """The ``feedback_artifact`` fixture: ``record(...)`` one cell."""
+
+    @staticmethod
+    def record(
+        benchmark: str, mode: str, size: int, seconds: float,
+        adaptive_replans: int,
+    ) -> None:
+        from repro.obs.bench import FeedbackRecord
+
+        _FEEDBACK_RECORDS.append(
+            FeedbackRecord(
+                benchmark=benchmark,
+                mode=mode,
+                size=size,
+                seconds=seconds,
+                adaptive_replans=adaptive_replans,
+            )
+        )
+
+
+@pytest.fixture
+def feedback_artifact():
+    """Collects (benchmark, cold/warmed, size) planning-loop cells."""
+    return _FeedbackArtifact
+
+
 def pytest_sessionfinish(session, exitstatus):
     if _RECORDS:
         from repro.obs.bench import write_bench_artifact
@@ -182,6 +216,13 @@ def pytest_sessionfinish(session, exitstatus):
 
         path = os.environ.get("REPRO_MAGIC_ARTIFACT", "BENCH_magic.json")
         write_magic_artifact(_MAGIC_RECORDS, path)
+    if _FEEDBACK_RECORDS:
+        from repro.obs.bench import write_feedback_artifact
+
+        path = os.environ.get(
+            "REPRO_FEEDBACK_ARTIFACT", "BENCH_feedback.json"
+        )
+        write_feedback_artifact(_FEEDBACK_RECORDS, path)
 
 
 def pytest_collection_modifyitems(items):

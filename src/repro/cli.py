@@ -283,6 +283,72 @@ def _engine_for(semantics: str, seed: int = 0):
     return engine
 
 
+def _stats_path(args) -> str:
+    """Resolve the stats-store path for a command's program."""
+    from repro.obs import default_stats_path
+
+    explicit = getattr(args, "stats_file", None)
+    return explicit or default_stats_path(args.program)
+
+
+def _maybe_warm_from_stats(args, program) -> None:
+    """Auto-load a persisted stats store and warm the planner.
+
+    Quiet no-op when ``--no-stats`` was given or no store file exists;
+    an unusable store degrades to a cold start (the loader warns).  The
+    notice goes to stderr so machine-readable stdout stays clean.
+    """
+    if getattr(args, "no_stats", False):
+        return
+    import os
+
+    path = _stats_path(args)
+    if not os.path.exists(path):
+        return
+    from repro.obs import StatsStore, warm_from_store
+
+    store = StatsStore.load(path)
+    if warm_from_store(program, store):
+        print(
+            f"stats: warmed planner from {path}",
+            file=sys.stderr,
+        )
+    else:
+        print(
+            f"stats: {path} has no measurements for this program "
+            "(content hash mismatch); starting cold",
+            file=sys.stderr,
+        )
+
+
+def _maybe_save_stats(args, program, result) -> None:
+    """Persist one run's measured statistics when ``--save-stats`` asks.
+
+    Merges into the existing store (other programs' entries survive) at
+    the explicit ``--save-stats PATH``, else ``--stats-file``, else the
+    default ``<program>.stats.json``.
+    """
+    save = getattr(args, "save_stats", None)
+    if save is None:
+        return
+    stats = getattr(result, "stats", None)
+    if stats is None:
+        print(
+            "stats: this semantics reports no EngineStats; nothing saved",
+            file=sys.stderr,
+        )
+        return
+    from repro.obs import RunMetrics, StatsStore
+
+    path = save or _stats_path(args)
+    store = StatsStore.load(path)
+    store.record(
+        RunMetrics.from_run(program, stats, getattr(result, "database", None))
+    )
+    store.save(path)
+    print(f"stats: saved measured cardinalities to {path}", file=sys.stderr)
+
+
 def cmd_run(args, out) -> int:
     program = _load_program(args.program)
     db = load_facts(args.data) if args.data else Database()
@@ -292,6 +358,8 @@ def cmd_run(args, out) -> int:
         semantics = _resolve_auto(program, out)
         if semantics is None:
             return 2
+
+    _maybe_warm_from_stats(args, program)
 
     tracer = None
     if getattr(args, "trace_out", None):
@@ -314,6 +382,7 @@ def cmd_run(args, out) -> int:
                     print(f"  true    ({', '.join(map(str, row))})", file=out)
                 for row in unknown_rows:
                     print(f"  unknown ({', '.join(map(str, row))})", file=out)
+            _maybe_save_stats(args, program, model)
             return 0
 
         engine = _engine_for(semantics, seed=args.seed)
@@ -330,6 +399,7 @@ def cmd_run(args, out) -> int:
     stages = getattr(result, "stages", None)
     if stages is not None:
         print(f"stages: {len(stages)}", file=out)
+    _maybe_save_stats(args, program, result)
     return 0
 
 
@@ -351,7 +421,9 @@ def cmd_stats(args, out) -> int:
         print(f"unknown semantics {semantics!r}", file=sys.stderr)
         return 2
 
+    _maybe_warm_from_stats(args, program)
     result = engine(program, db)
+    _maybe_save_stats(args, program, result)
     if getattr(args, "format", "human") == "json":
         import json
 
@@ -405,6 +477,35 @@ def cmd_trace(args, out) -> int:
     return 0
 
 
+#: Features whose presence pushes a program into a nondeterministic
+#: rung (single-model evaluation is then undefined, so ``auto`` cannot
+#: pick an engine).  Deliberately includes choice and invention: alone
+#: each stays deterministic, but alongside multiple heads they shape
+#: *which* nondeterministic dialect the program lands on, so the
+#: witness list names them too.
+_NONDET_FEATURES = ("multiple-heads", "bottom", "universal", "choice",
+                    "invention")
+
+
+def _explain_nondeterministic(program, dialect) -> str:
+    """Name the feature(s) that made ``auto`` refuse, with spans."""
+    from repro.analysis.classifier import classify
+
+    report = classify(program)
+    witnesses = [e for e in report.evidence if e.feature in _NONDET_FEATURES]
+    lines = [
+        f"dialect {dialect.value} is nondeterministic; profile it "
+        "with --semantics nondeterministic"
+    ]
+    for item in witnesses:
+        where = f" at {item.span}" if item.span else ""
+        lines.append(
+            f"  {item.feature}: {item.description} "
+            f"(rule {item.rule_index}{where})"
+        )
+    return "\n".join(lines)
+
+
 def cmd_profile(args, out) -> int:
     """Per-rule hot-spot profile of one evaluation (any semantics)."""
     from repro.obs import CollectorSink, ProfileReport, Tracer
@@ -416,30 +517,39 @@ def cmd_profile(args, out) -> int:
         dialect = infer_dialect(program)
         semantics = _AUTO_SEMANTICS.get(dialect)
         if semantics is None:
-            print(
-                f"dialect {dialect.value} is nondeterministic; profile it "
-                "with --semantics nondeterministic",
-                file=sys.stderr,
-            )
+            print(_explain_nondeterministic(program, dialect),
+                  file=sys.stderr)
             return 2
     engine = _engine_for(semantics, seed=args.seed)
     if engine is None:
         print(f"unknown semantics {semantics!r}", file=sys.stderr)
         return 2
+    _maybe_warm_from_stats(args, program)
+    planned = getattr(args, "planned", False)
     collector = CollectorSink()
-    result = engine(program, db, tracer=Tracer([collector]))
+    result = engine(
+        program, db, tracer=Tracer([collector], planned=planned)
+    )
     report = ProfileReport.from_events(collector.events, program=program)
-    # Traced runs route through the interpreted matcher; surface that so
-    # profile numbers are not read as compiled-kernel timings.  (The
-    # stable engine returns a model set with no stats — default there.)
+    # Default traced runs route through the interpreted matcher; surface
+    # that so profile numbers are not read as compiled-kernel timings.
+    # ``--planned`` keeps planner and kernel on (counters-only spans),
+    # so there the matcher reads "compiled".  (The stable engine returns
+    # a model set with no stats — default there.)
     stats = getattr(result, "stats", None)
     report.matcher = getattr(stats, "matcher", "") or "interpreted"
-    # The traced run bypassed the planner (by design — probe counts stay
-    # exact); attach the *static* planner report for the same program and
-    # input so the profile still shows orders, estimates, and the cover.
-    from repro.semantics import planner as planner_module
+    # Planned runs carry the *live* planner report (actual rows, prior
+    # sources, adaptive replans); the default traced run bypassed the
+    # planner (by design — probe counts stay exact), so attach the
+    # *static* report for the same program and input instead.
+    live_planner = getattr(stats, "planner", None)
+    if planned and live_planner is not None:
+        report.planner = live_planner
+    else:
+        from repro.semantics import planner as planner_module
 
-    report.planner = planner_module.explain(program, db)
+        report.planner = planner_module.explain(program, db)
+    _maybe_save_stats(args, program, result)
     top = args.top if args.top > 0 else None
     if args.format == "json":
         print(report.to_json(sort=args.sort, top=top), file=out)
@@ -529,6 +639,21 @@ def cmd_watch(args, out) -> int:
         if hasattr(out, "flush"):
             out.flush()
 
+    stats_sink = None
+    if getattr(args, "stats_out", None):
+        stats_sink = open(args.stats_out, "a", encoding="utf-8")
+
+    def emit_stats(seq: int) -> None:
+        """One JSONL line of differential counters per applied update."""
+        if stats_sink is None:
+            return
+        line = {
+            "seq": seq,
+            "differential": dict(engine.stats.differential),
+        }
+        stats_sink.write(json.dumps(line, sort_keys=True) + "\n")
+        stats_sink.flush()
+
     # Line 0: the initial materialization, as a diff from the empty view.
     emit(
         {
@@ -541,6 +666,7 @@ def cmd_watch(args, out) -> int:
             "deleted": {},
         }
     )
+    emit_stats(0)
     seq = 0
     stream = sys.stdin
     for line in stream:
@@ -562,6 +688,9 @@ def cmd_watch(args, out) -> int:
             if diff.deleted:
                 deleted[subscription.relation] = rows(diff.deleted)
         emit({"seq": seq, "inserted": inserted, "deleted": deleted})
+        emit_stats(seq)
+    if stats_sink is not None:
+        stats_sink.close()
     if args.stats:
         print(engine.stats.summary(), file=sys.stderr)
         counters = dict(engine.stats.differential)
@@ -593,6 +722,30 @@ def cmd_effects(args, out) -> int:
             )
             print(f"  {{{rows}}}", file=out)
     return 0
+
+
+def _add_stats_store_flags(sub) -> None:
+    """The shared feedback-store flags of ``run``/``stats``/``profile``."""
+    sub.add_argument(
+        "--save-stats",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="FILE",
+        help="persist this run's measured cardinalities to FILE "
+        "(default: <program>.stats.json) for feedback-directed planning",
+    )
+    sub.add_argument(
+        "--stats-file",
+        metavar="FILE",
+        help="stats store to load from / save to "
+        "(default: <program>.stats.json)",
+    )
+    sub.add_argument(
+        "--no-stats",
+        action="store_true",
+        help="do not load a persisted stats store; plan cold",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -720,6 +873,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write the evaluation's event stream as JSON Lines to FILE",
     )
+    _add_stats_store_flags(run)
 
     stats = sub.add_parser(
         "stats", help="evaluate and report engine performance counters"
@@ -739,6 +893,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("human", "json"),
         help="output format (default: human)",
     )
+    _add_stats_store_flags(stats)
 
     profile = sub.add_parser(
         "profile", help="per-rule hot-spot profile (time, firings, joins)"
@@ -773,6 +928,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=0,
         help="seed (choice/nondeterministic semantics)",
     )
+    profile.add_argument(
+        "--planned",
+        action="store_true",
+        help="profile with the planner and compiled kernel left ON: "
+        "counters-only rule spans (no per-literal join probes), planner "
+        "join orders on each span, and the live planner report attached",
+    )
+    _add_stats_store_flags(profile)
 
     effects = sub.add_parser("effects", help="enumerate eff(P) (nondeterministic)")
     effects.add_argument("program")
@@ -817,6 +980,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats",
         action="store_true",
         help="print engine counters to stderr at end of stream",
+    )
+    watch.add_argument(
+        "--stats-out",
+        metavar="FILE.jsonl",
+        help="append one JSON line of EngineStats.differential counters "
+        "per applied update (and one for the initial materialization)",
     )
 
     return parser

@@ -18,9 +18,17 @@ drivers:
 * :mod:`repro.obs.profile` — :class:`ProfileReport`, the per-rule
   aggregation behind ``repro profile``;
 * :mod:`repro.obs.bench` — the deterministic ``BENCH_engines.json``,
-  ``BENCH_kernel.json``, ``BENCH_planner.json``, and
-  ``BENCH_differential.json`` benchmark artifacts and their
-  pinned-schema validators.
+  ``BENCH_kernel.json``, ``BENCH_planner.json``,
+  ``BENCH_differential.json``, ``BENCH_magic.json``, and
+  ``BENCH_feedback.json`` benchmark artifacts and their pinned-schema
+  validators;
+* :mod:`repro.obs.metrics` — :class:`RunMetrics`, the always-on
+  counters-only harvest of one finished run (per-rule actual rows,
+  join orders, stage timings) keyed by program content hash;
+* :mod:`repro.obs.store` — :class:`StatsStore`, the persistent
+  feedback store behind ``repro run/profile --save-stats``, and
+  :func:`warm_from_store`, which feeds measured cardinalities back
+  into the query planner as priors.
 
 Quickstart::
 
@@ -36,26 +44,32 @@ Quickstart::
 from repro.obs.bench import (
     BENCH_SCHEMA_VERSION,
     DIFFERENTIAL_SCHEMA_VERSION,
+    FEEDBACK_SCHEMA_VERSION,
     KERNEL_SCHEMA_VERSION,
     PLANNER_SCHEMA_VERSION,
     BenchRecord,
     DifferentialRecord,
+    FeedbackRecord,
     KernelRecord,
     PlannerRecord,
     bench_artifact_dict,
     differential_artifact_dict,
+    feedback_artifact_dict,
     kernel_artifact_dict,
     load_bench_artifact,
     load_differential_artifact,
+    load_feedback_artifact,
     load_kernel_artifact,
     load_planner_artifact,
     planner_artifact_dict,
     validate_bench_artifact,
     validate_differential_artifact,
+    validate_feedback_artifact,
     validate_kernel_artifact,
     validate_planner_artifact,
     write_bench_artifact,
     write_differential_artifact,
+    write_feedback_artifact,
     write_kernel_artifact,
     write_planner_artifact,
 )
@@ -68,6 +82,11 @@ from repro.obs.events import (
     StageEvent,
     TraceEvent,
 )
+from repro.obs.metrics import (
+    METRICS_SCHEMA_VERSION,
+    RunMetrics,
+    program_content_hash,
+)
 from repro.obs.probe import JoinProbe
 from repro.obs.profile import (
     PROFILE_SCHEMA_VERSION,
@@ -76,31 +95,52 @@ from repro.obs.profile import (
     RuleProfileRow,
 )
 from repro.obs.sinks import CollectorSink, HotRuleTableSink, JsonlSink
+from repro.obs.store import (
+    STATS_STORE_SCHEMA_VERSION,
+    StatsStore,
+    StatsStoreWarning,
+    default_stats_path,
+    warm_from_store,
+)
 from repro.obs.tracer import NULL_TRACER, NullTracer, RuleSpan, Tracer
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
     "DIFFERENTIAL_SCHEMA_VERSION",
+    "FEEDBACK_SCHEMA_VERSION",
     "KERNEL_SCHEMA_VERSION",
     "PLANNER_SCHEMA_VERSION",
+    "METRICS_SCHEMA_VERSION",
+    "STATS_STORE_SCHEMA_VERSION",
     "BenchRecord",
     "DifferentialRecord",
+    "FeedbackRecord",
     "KernelRecord",
     "PlannerRecord",
+    "RunMetrics",
+    "StatsStore",
+    "StatsStoreWarning",
     "bench_artifact_dict",
+    "default_stats_path",
     "differential_artifact_dict",
+    "feedback_artifact_dict",
     "kernel_artifact_dict",
     "load_bench_artifact",
     "load_differential_artifact",
+    "load_feedback_artifact",
     "load_kernel_artifact",
     "load_planner_artifact",
     "planner_artifact_dict",
+    "program_content_hash",
     "validate_bench_artifact",
     "validate_differential_artifact",
+    "validate_feedback_artifact",
     "validate_kernel_artifact",
     "validate_planner_artifact",
+    "warm_from_store",
     "write_bench_artifact",
     "write_differential_artifact",
+    "write_feedback_artifact",
     "write_kernel_artifact",
     "write_planner_artifact",
     "TRACE_SCHEMA_VERSION",

@@ -32,13 +32,20 @@ propagated through :class:`~repro.semantics.differential
 re-running semi-naive evaluation from scratch), recorded through the
 ``differential_artifact`` fixture.
 
-All four schemas are pinned: :func:`validate_bench_artifact` /
-:func:`validate_kernel_artifact` / :func:`validate_planner_artifact` /
-:func:`validate_differential_artifact` raise :class:`ValueError` on
-any drift, and CI runs them against the artifacts it uploads, so a
-schema change must be deliberate (bump ``BENCH_SCHEMA_VERSION`` /
-``KERNEL_SCHEMA_VERSION`` / ``PLANNER_SCHEMA_VERSION`` /
-``DIFFERENTIAL_SCHEMA_VERSION``) rather than accidental.
+``BENCH_feedback.json`` is the feedback-directed planning ablation:
+each :class:`FeedbackRecord` measures one (benchmark, stats mode,
+size) cell, where the mode is ``"cold"`` (first run, no persisted
+statistics) or ``"warmed"`` (planner seeded from the stats store a
+previous run saved — see :mod:`repro.obs.store`), recorded through the
+``feedback_artifact`` fixture.
+
+All the schemas are pinned: the ``validate_*_artifact`` functions
+raise :class:`ValueError` on any drift, and CI runs them against the
+artifacts it uploads, so a schema change must be deliberate (bump
+``BENCH_SCHEMA_VERSION`` / ``KERNEL_SCHEMA_VERSION`` /
+``PLANNER_SCHEMA_VERSION`` / ``DIFFERENTIAL_SCHEMA_VERSION`` /
+``MAGIC_SCHEMA_VERSION`` / ``FEEDBACK_SCHEMA_VERSION``) rather than
+accidental.
 """
 
 from __future__ import annotations
@@ -667,3 +674,122 @@ def load_magic_artifact(path: str) -> list[MagicRecord]:
     """Read and validate a magic artifact file; raises on drift."""
     with open(path) as handle:
         return validate_magic_artifact(json.load(handle))
+
+
+# -- BENCH_feedback.json: stats-warmed vs stats-cold planning -----------------
+
+#: Version of the BENCH_feedback.json schema (same regime as
+#: :data:`BENCH_SCHEMA_VERSION`).
+FEEDBACK_SCHEMA_VERSION = 1
+
+#: Exact key set of one feedback record.
+FEEDBACK_RECORD_FIELDS = (
+    "benchmark",
+    "mode",
+    "size",
+    "seconds",
+    "adaptive_replans",
+)
+
+
+@dataclass(frozen=True)
+class FeedbackRecord:
+    """One (benchmark, stats mode, workload size) measurement.
+
+    ``mode`` is ``"cold"`` (first run, planner falls back to static
+    priors for cold relations) or ``"warmed"`` (planner seeded with the
+    measured cardinalities a previous run persisted to the stats
+    store).  ``seconds`` is the best observed engine wall time;
+    ``adaptive_replans`` counts the mid-run estimate-vs-actual
+    divergences the planner acted on — the cold run pays for its blind
+    first-stage order and then replans, the warmed run should barely
+    need to.
+    """
+
+    benchmark: str
+    mode: str
+    size: int
+    seconds: float
+    adaptive_replans: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "benchmark": self.benchmark,
+            "mode": self.mode,
+            "size": self.size,
+            "seconds": self.seconds,
+            "adaptive_replans": self.adaptive_replans,
+        }
+
+
+def feedback_artifact_dict(records: list[FeedbackRecord]) -> dict[str, Any]:
+    """The artifact document: schema-versioned, deterministically ordered."""
+    ordered = sorted(records, key=lambda r: (r.benchmark, r.mode, r.size))
+    return {
+        "version": FEEDBACK_SCHEMA_VERSION,
+        "benchmarks": [record.to_dict() for record in ordered],
+    }
+
+
+def write_feedback_artifact(records: list[FeedbackRecord], path: str) -> None:
+    """Write ``BENCH_feedback.json`` (sorted records, sorted keys)."""
+    with open(path, "w") as handle:
+        json.dump(feedback_artifact_dict(records), handle, indent=2,
+                  sort_keys=True)
+        handle.write("\n")
+
+
+def validate_feedback_artifact(data: Any) -> list[FeedbackRecord]:
+    """Check a feedback artifact document against the pinned schema.
+
+    Returns the parsed records; raises :class:`ValueError` on drift
+    (wrong version, missing/extra keys, wrong types, unknown mode).
+    """
+    if not isinstance(data, dict):
+        raise ValueError("feedback artifact must be a JSON object")
+    if data.get("version") != FEEDBACK_SCHEMA_VERSION:
+        raise ValueError(
+            f"feedback artifact version {data.get('version')!r} != "
+            f"{FEEDBACK_SCHEMA_VERSION}"
+        )
+    extra_top = set(data) - {"version", "benchmarks"}
+    if extra_top:
+        raise ValueError(f"unexpected top-level keys: {sorted(extra_top)}")
+    entries = data.get("benchmarks")
+    if not isinstance(entries, list):
+        raise ValueError("feedback artifact 'benchmarks' must be a list")
+    types = {
+        "benchmark": str,
+        "mode": str,
+        "size": int,
+        "seconds": (int, float),
+        "adaptive_replans": int,
+    }
+    records: list[FeedbackRecord] = []
+    for position, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise ValueError(f"record {position} is not an object")
+        if set(entry) != set(FEEDBACK_RECORD_FIELDS):
+            raise ValueError(
+                f"record {position} keys {sorted(entry)} != "
+                f"{sorted(FEEDBACK_RECORD_FIELDS)}"
+            )
+        for key, expected in types.items():
+            if not isinstance(entry[key], expected):
+                raise ValueError(
+                    f"record {position} field {key!r} has type "
+                    f"{type(entry[key]).__name__}"
+                )
+        if entry["mode"] not in ("cold", "warmed"):
+            raise ValueError(
+                f"record {position} mode {entry['mode']!r} is not "
+                "'cold' or 'warmed'"
+            )
+        records.append(FeedbackRecord(**entry))
+    return records
+
+
+def load_feedback_artifact(path: str) -> list[FeedbackRecord]:
+    """Read and validate a feedback artifact file; raises on drift."""
+    with open(path) as handle:
+        return validate_feedback_artifact(json.load(handle))

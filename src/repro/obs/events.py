@@ -143,9 +143,14 @@ class RuleEvent:
     emitted: int
     deduplicated: int
     literals: tuple[LiteralProfile, ...] = ()
+    #: The planner's chosen join order (body-literal indices) when the
+    #: span came from a planned evaluation; ``None`` on the interpreted
+    #: traced path.  Serialized only when present — an additive field
+    #: under the pinned schema.
+    order: tuple[int, ...] | None = None
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        out = {
             "version": TRACE_SCHEMA_VERSION,
             "kind": self.kind,
             "stage": self.stage,
@@ -158,6 +163,9 @@ class RuleEvent:
             "deduplicated": self.deduplicated,
             "literals": [lp.to_dict() for lp in self.literals],
         }
+        if self.order is not None:
+            out["order"] = list(self.order)
+        return out
 
 
 @dataclass(frozen=True)

@@ -51,6 +51,10 @@ class RuleProfileRow:
     emitted: int = 0
     deduplicated: int = 0
     literals: list[LiteralProfile] = field(default_factory=list)
+    #: Distinct planner join orders this rule's spans ran under, in
+    #: first-seen order (planned-mode profiles only; empty on the
+    #: interpreted traced path, where evaluation follows body order).
+    orders: list[list[int]] = field(default_factory=list)
 
     def merge_event(self, event: RuleEvent) -> None:
         self.calls += 1
@@ -58,6 +62,10 @@ class RuleProfileRow:
         self.firings += event.firings
         self.emitted += event.emitted
         self.deduplicated += event.deduplicated
+        if event.order is not None:
+            order = list(event.order)
+            if order not in self.orders:
+                self.orders.append(order)
         merged = {lp.literal: [lp.candidates, lp.matches] for lp in self.literals}
         order = [lp.literal for lp in self.literals]
         for lp in event.literals:
@@ -74,7 +82,7 @@ class RuleProfileRow:
         ]
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        out = {
             "rule_index": self.rule_index,
             "rule": self.rule,
             "span": self.span.to_dict() if self.span is not None else None,
@@ -86,6 +94,11 @@ class RuleProfileRow:
             "deduplicated": self.deduplicated,
             "literals": [lp.to_dict() for lp in self.literals],
         }
+        if self.orders:
+            # Additive under the pinned schema: present only for
+            # planned-mode profiles.
+            out["orders"] = [list(order) for order in self.orders]
+        return out
 
 
 @dataclass
@@ -93,11 +106,12 @@ class ProfileReport:
     """Per-rule hot-spot report for one engine run."""
 
     engine: str = ""
-    #: Matcher path of the profiled run.  Profiles are collected through
-    #: a tracer, and traced runs always take the interpreted twin (the
-    #: compiled kernel has no probe hooks), so this is ``"interpreted"``
-    #: for every CLI profile — recorded explicitly so readers comparing
-    #: against ``repro stats`` (compiled by default) are not misled.
+    #: Matcher path of the profiled run.  Default profiles are collected
+    #: through the interpreted twin (the compiled kernel has no probe
+    #: hooks), so this is ``"interpreted"`` — recorded explicitly so
+    #: readers comparing against ``repro stats`` (compiled by default)
+    #: are not misled.  ``repro profile --planned`` keeps the planner
+    #: and kernel on (counters-only spans) and reports ``"compiled"``.
     matcher: str = ""
     seconds: float = 0.0
     stages: int = 0

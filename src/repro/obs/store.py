@@ -1,0 +1,203 @@
+"""The persistent stats store: measured cardinalities across runs.
+
+Soufflé's feedback-directed strategy (LOPSTR 2022 auto-tuning) showed
+that the cheapest large planner win is simply *remembering* what the
+last run measured.  This module is that memory: a schema-versioned JSON
+file keyed by ``(program content hash, rule id, adornment)`` holding
+the :class:`~repro.obs.metrics.RunMetrics` snapshots the metrics layer
+harvests.  ``repro run --save-stats`` / ``repro profile --save-stats``
+write it; subsequent runs load it automatically (default path:
+``<program>.stats.json`` next to the program) and
+:func:`warm_from_store` hands the measured relation sizes to
+:func:`repro.semantics.planner.warm_plan_context`, where they outrank
+the static dataflow priors for cold relations.
+
+Robustness contract: a corrupted, truncated, or version-mismatched
+store file is *ignored with a warning* — feedback is an optimization,
+never a correctness dependency, so a damaged file degrades to a cold
+start rather than failing the run.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+from pathlib import Path
+from typing import Any
+
+from repro.ast.program import Program
+from repro.obs.metrics import RunMetrics, program_content_hash
+
+#: Version of the on-disk stats-store schema.  Bump on any field
+#: rename/removal; additions are allowed.
+STATS_STORE_SCHEMA_VERSION = 1
+
+
+class StatsStoreWarning(UserWarning):
+    """A stats store file was unusable and has been ignored."""
+
+
+def default_stats_path(program_path: str | Path) -> str:
+    """Where a program's stats live by default: ``<stem>.stats.json``.
+
+    Keyed by file *location* only for discoverability — the content
+    hash inside the store is what actually ties stats to a program, so
+    a stale file next to an edited program is harmless (it just never
+    matches).
+    """
+    p = Path(program_path)
+    return str(p.with_name(p.stem + ".stats.json"))
+
+
+class StatsStore:
+    """Measured run statistics for any number of programs.
+
+    ``programs`` maps a program content hash to that program's merged
+    record::
+
+        {"engine": str, "runs": int,
+         "relations": {"<relation>": rows},        # latest run wins
+         "rules": {"<rule id>": {
+             "actual_rows": int,
+             "adornments": {"full" | "delta@<occ>": {
+                 "order": [...], "estimated_rows": float,
+                 "actual_rows": int, "sources": {...}}}}},
+         "stage_seconds": [...], "seconds": float}
+
+    Staleness rule: re-recording a program overwrites its relation
+    sizes and rule stats wholesale (the newest measurement is the
+    truth) and bumps ``runs``; stats for *other* programs are kept, so
+    one store file can serve a whole directory of programs.
+    """
+
+    def __init__(self, programs: dict[str, dict] | None = None):
+        self.programs: dict[str, dict] = programs if programs else {}
+
+    # -- persistence ----------------------------------------------------
+
+    @classmethod
+    def load(cls, path: str | Path) -> "StatsStore":
+        """Load a store; a missing/unusable file yields an empty store.
+
+        Every failure mode short of an OS-level surprise — absent file,
+        invalid JSON, wrong top-level shape, schema version mismatch —
+        degrades to an empty store, with a :class:`StatsStoreWarning`
+        for the unusable (not merely absent) cases.
+        """
+        p = Path(path)
+        if not p.exists():
+            return cls()
+        try:
+            data = json.loads(p.read_text(encoding="utf-8"))
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError) as exc:
+            warnings.warn(
+                f"stats store {p}: unreadable ({exc}); ignoring it",
+                StatsStoreWarning,
+                stacklevel=2,
+            )
+            return cls()
+        if not isinstance(data, dict):
+            warnings.warn(
+                f"stats store {p}: not a JSON object; ignoring it",
+                StatsStoreWarning,
+                stacklevel=2,
+            )
+            return cls()
+        version = data.get("version")
+        if version != STATS_STORE_SCHEMA_VERSION:
+            warnings.warn(
+                f"stats store {p}: schema version {version!r} != "
+                f"{STATS_STORE_SCHEMA_VERSION}; ignoring it",
+                StatsStoreWarning,
+                stacklevel=2,
+            )
+            return cls()
+        programs = data.get("programs")
+        if not isinstance(programs, dict):
+            warnings.warn(
+                f"stats store {p}: missing 'programs' table; ignoring it",
+                StatsStoreWarning,
+                stacklevel=2,
+            )
+            return cls()
+        return cls(programs)
+
+    def save(self, path: str | Path) -> None:
+        """Write the store (pretty-printed, sorted, trailing newline)."""
+        payload = {
+            "version": STATS_STORE_SCHEMA_VERSION,
+            "programs": self.programs,
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    # -- recording and lookup -------------------------------------------
+
+    def record(self, metrics: RunMetrics) -> None:
+        """Merge one run's metrics under its program hash."""
+        previous = self.programs.get(metrics.program_hash)
+        runs = (previous.get("runs", 0) if previous else 0) + 1
+        self.programs[metrics.program_hash] = {
+            "engine": metrics.engine,
+            "matcher": metrics.matcher,
+            "runs": runs,
+            "seconds": metrics.seconds,
+            "relations": {
+                name: metrics.relations[name]
+                for name in sorted(metrics.relations)
+            },
+            "rules": metrics.rules,
+            "stage_seconds": list(metrics.stage_seconds),
+        }
+
+    def measured_sizes(self, program_hash: str) -> dict[str, int]:
+        """Relation → rows for one program; ``{}`` when unknown."""
+        entry = self.programs.get(program_hash)
+        if not entry:
+            return {}
+        relations = entry.get("relations")
+        if not isinstance(relations, dict):
+            return {}
+        sizes: dict[str, int] = {}
+        for name, rows in relations.items():
+            try:
+                n = int(rows)
+            except (TypeError, ValueError):
+                continue
+            if n > 0 and isinstance(name, str):
+                sizes[name] = n
+        return sizes
+
+    def rule_stats(self, program_hash: str) -> dict[str, Any]:
+        """Per-(rule id, adornment) stats for one program."""
+        entry = self.programs.get(program_hash)
+        if not entry:
+            return {}
+        rules = entry.get("rules")
+        return rules if isinstance(rules, dict) else {}
+
+    def __len__(self) -> int:
+        return len(self.programs)
+
+    def __contains__(self, program_hash: str) -> bool:
+        return program_hash in self.programs
+
+
+def warm_from_store(program: Program, store: StatsStore) -> bool:
+    """Feed a store's measured cardinalities into the planner.
+
+    Looks the program up by content hash and, when stats exist, seeds
+    its planner context through
+    :func:`repro.semantics.planner.warm_plan_context`.  Returns whether
+    anything was warmed (False for unknown programs — the caller can
+    report a cold start).
+    """
+    from repro.semantics.planner import warm_plan_context
+
+    sizes = store.measured_sizes(program_content_hash(program))
+    if not sizes:
+        return False
+    warm_plan_context(program, sizes)
+    return True

@@ -38,7 +38,7 @@ class RuleSpan:
 
     __slots__ = (
         "tracer", "rule_index", "rule", "probe",
-        "firings", "emitted", "deduplicated", "_t0", "_seconds",
+        "firings", "emitted", "deduplicated", "order", "_t0", "_seconds",
     )
 
     def __init__(self, tracer: "Tracer", rule_index: int, rule: "Rule"):
@@ -49,6 +49,9 @@ class RuleSpan:
         self.firings = 0
         self.emitted = 0
         self.deduplicated = 0
+        #: Join order the planner ran this span under (planned mode
+        #: only; the interpreted traced path leaves it ``None``).
+        self.order: tuple[int, ...] | None = None
         self._t0 = perf_counter()
         self._seconds: float | None = None
 
@@ -71,6 +74,7 @@ class RuleSpan:
                 emitted=self.emitted,
                 deduplicated=self.deduplicated,
                 literals=self.probe.profiles(),
+                order=self.order,
             )
         )
 
@@ -81,13 +85,24 @@ class Tracer:
     ``include_facts=True`` makes stage spans carry the actual facts
     added/removed (used by ``repro trace``); the default keeps stage
     spans to counters only.
+
+    ``planned=True`` asks the engines to keep the query planner and
+    compiled kernel enabled while tracing: rule spans then come from
+    the planner's own evaluation loop as counters only (firings,
+    emitted, wall time, chosen join ``order`` — no per-literal
+    ``JoinProbe`` statistics), so the profile describes the join orders
+    production actually runs instead of the interpreted matcher's
+    body order.
     """
 
     enabled = True
 
-    def __init__(self, sinks=(), include_facts: bool = False):
+    def __init__(
+        self, sinks=(), include_facts: bool = False, planned: bool = False
+    ):
         self.sinks = list(sinks)
         self.include_facts = include_facts
+        self.planned = planned
         #: Stage number rule spans opened now will be attributed to;
         #: tracks the engine's own stage labels via the stage events.
         self.current_stage = 1

@@ -229,10 +229,16 @@ class StatsRecorder:
             tracer if tracer is not None and tracer.enabled else None
         )
         # Traced runs route through the interpreted twin so the join
-        # probe's per-literal counts stay exact.
+        # probe's per-literal counts stay exact — except planned-mode
+        # tracers, which deliberately keep the compiled kernel (and
+        # planner) on and settle for counters-only rule spans.
+        planned = self.tracer is not None and getattr(
+            self.tracer, "planned", False
+        )
         self.stats.matcher = (
             "compiled"
-            if PlanCache.compiled_plans and self.tracer is None
+            if PlanCache.compiled_plans
+            and (self.tracer is None or planned)
             else "interpreted"
         )
         self._db: Database | None = None
@@ -788,6 +794,22 @@ def immediate_consequences(
     if stats is not None:
         stats.consequence_calls += 1
     if tracer is not None and tracer.enabled:
+        # Lazy import: planner builds on this module's matcher
+        # primitives.
+        from repro.semantics import planner as _planner
+
+        if (
+            getattr(tracer, "planned", False)
+            and _planner.QueryPlanner.enabled
+        ):
+            # Planned-mode tracing: keep the planner (and compiled
+            # kernel) engaged and let it emit counters-only rule spans,
+            # so the profile shows the join orders production runs.
+            handled = _planner.consequences(
+                program, db, adom, delta, stats, tracer=tracer
+            )
+            if handled is not None:
+                return handled
         return _traced_consequences(program, db, adom, delta, tracer)
     # Lazy import: planner builds on this module's matcher primitives.
     from repro.semantics import planner as _planner

@@ -99,6 +99,8 @@ class _Decision:
         "restricted_pos",
         "plan",
         "plan_epoch",
+        "stale",
+        "observed",
     )
 
     def __init__(
@@ -116,6 +118,15 @@ class _Decision:
         self.restricted_pos = restricted_pos
         self.plan: RulePlan | None = None
         self.plan_epoch = -1
+        #: Set by :func:`_adapt` when estimated vs actual rows diverged
+        #: beyond the replan band — the next lookup re-plans even if the
+        #: cardinality snapshot alone would not have drifted.
+        self.stale = False
+        #: Actual row count observed at the last divergence; a stale
+        #: mark is only re-armed when the actuals move again, so an
+        #: estimate the statistics simply cannot capture does not
+        #: re-plan on every stage.
+        self.observed: int | None = None
 
 
 class _RuleState:
@@ -172,7 +183,9 @@ class PlanContext:
         "lookups",
         "hits",
         "replans",
+        "adaptive_replans",
         "priors",
+        "measured",
         "report",
     )
 
@@ -207,19 +220,27 @@ class PlanContext:
         self.lookups = 0
         self.hits = 0
         self.replans = 0
+        self.adaptive_replans = 0
         #: Static cardinality priors (repro.analysis.dataflow), computed
         #: lazily the first time a relation is cold (size 0) at decision
         #: time — warm-only runs never pay for the analysis.
         self.priors: dict[str, int] | None = None
+        #: Measured cardinalities from a persisted stats store (see
+        #: :func:`warm_plan_context`): relation → rows observed on a
+        #: previous run.  Consulted for cold relations before the static
+        #: priors; live sizes always win.
+        self.measured: dict[str, int] | None = None
         #: Live JSON-ready report, mutated in place and shared with
         #: ``EngineStats.planner`` (see :func:`explain` for the shape).
         self.report: dict = {
             "plan_lookups": 0,
             "plan_hits": 0,
             "replans": 0,
+            "adaptive_replans": 0,
             "rules": {},
             "index_cover": {},
             "static_priors": {},
+            "measured_stats": {},
             "scheduled_components": (
                 len(self.schedule) if self.schedule is not None else None
             ),
@@ -255,6 +276,42 @@ def clear_contexts() -> None:
         if getattr(program, _CTX_ATTR, None) is not None:
             delattr(program, _CTX_ATTR)
     _context_owners.clear()
+
+
+def warm_plan_context(
+    program: Program, measured: dict[str, int]
+) -> PlanContext:
+    """Seed a program's planner context with measured cardinalities.
+
+    ``measured`` maps relation names to row counts observed on a
+    previous run (harvested by :mod:`repro.obs.store` from the
+    persistent stats store — this module never imports ``repro.obs``,
+    the caller hands plain numbers down).  Measured sizes slot into the
+    priors precedence chain between live sizes and the static dataflow
+    priors: live size > measured stats > static ``planner_priors`` >
+    uniform default.  Cached decisions are marked stale so measured
+    stats take effect mid-run too.
+
+    Returns the (possibly freshly built) context.  Non-positive and
+    non-numeric entries are dropped, so a damaged store degrades to a
+    cold start rather than poisoning the cost model.
+    """
+    ctx = plan_context(program)
+    cleaned: dict[str, int] = {}
+    for relation, rows in measured.items():
+        try:
+            n = int(rows)
+        except (TypeError, ValueError):
+            continue
+        if n > 0 and isinstance(relation, str):
+            cleaned[relation] = n
+    ctx.measured = cleaned or None
+    ctx.report["measured_stats"] = {r: cleaned[r] for r in sorted(cleaned)}
+    if cleaned:
+        for state in ctx.states:
+            for decision in state.decisions.values():
+                decision.stale = True
+    return ctx
 
 
 # -- scheduling -------------------------------------------------------------
@@ -408,15 +465,42 @@ def _cost_order(
     return tuple(ordered), est_rows
 
 
-def _drifted(old: tuple[int, ...], new: tuple[int, ...]) -> bool:
-    """Has any cardinality left the replan tolerance band?"""
+def _outside_band(a: float, b: float) -> bool:
+    """Are two counts outside the replan tolerance band of each other?"""
     ratio = QueryPlanner.replan_ratio
     slack = QueryPlanner.replan_slack
+    low, high = (a, b) if a <= b else (b, a)
+    return high > ratio * low + slack
+
+
+def _drifted(old: tuple[int, ...], new: tuple[int, ...]) -> bool:
+    """Has any cardinality left the replan tolerance band?"""
     for a, b in zip(old, new):
-        low, high = (a, b) if a <= b else (b, a)
-        if high > ratio * low + slack:
+        if _outside_band(a, b):
             return True
     return False
+
+
+def _adapt(ctx: PlanContext, decision: _Decision, fired: int) -> None:
+    """Mid-run adaptive replanning check after one plan execution.
+
+    When the rows a decision actually produced leave the replan band
+    around its estimate, the decision is marked stale so the next
+    lookup re-plans against current (live/measured) cardinalities —
+    the same estimated-vs-actual gap ``EngineStats.planner`` surfaces,
+    closed instead of merely reported.  The last divergent actual is
+    remembered: a decision whose estimate stays wrong but whose actuals
+    are steady re-plans once, not once per stage.
+    """
+    if not _outside_band(decision.est_rows, float(fired)):
+        decision.observed = None
+        return
+    observed = decision.observed
+    if observed is None or _outside_band(float(observed), float(fired)):
+        decision.stale = True
+        ctx.adaptive_replans += 1
+        ctx.report["adaptive_replans"] = ctx.adaptive_replans
+    decision.observed = fired
 
 
 def _static_prior(ctx: PlanContext, relation: str) -> int:
@@ -450,26 +534,46 @@ def _decision(
     state.lookups += 1
     ctx.lookups += 1
     lits = ctx.positive[rule_id]
+    measured = ctx.measured
     sizes: list[int] = []
+    sources: list[str] = []
     for j, lit in enumerate(lits):
         if j == occ:
             sizes.append(delta_size)
+            sources.append("delta")
+            continue
+        rel = db.relation(lit.relation)
+        size = len(rel) if rel is not None else 0
+        if size > 0:
+            sources.append("live")
         else:
-            rel = db.relation(lit.relation)
-            size = len(rel) if rel is not None else 0
-            if size == 0:
-                # Cold relation: fall back to the static cardinality
-                # prior so the first-stage join order is not blind.
-                # Live sizes always win — a prior is only consulted at
-                # zero, so warm-data decisions are untouched.
+            # Cold relation: prefer a cardinality measured on a
+            # previous run (stats store), then the static dataflow
+            # prior, so the first-stage join order is not blind.
+            # Live sizes always win — feedback is only consulted at
+            # zero, so warm-data decisions are untouched.
+            rows = measured.get(lit.relation, 0) if measured else 0
+            if rows > 0:
+                size = rows
+                sources.append("measured")
+            else:
                 size = _static_prior(ctx, lit.relation)
-            sizes.append(size)
+                sources.append(
+                    "static"
+                    if ctx.priors and lit.relation in ctx.priors
+                    else "default"
+                )
+        sizes.append(size)
     if occ is None:
         snapshot = tuple(sizes)
     else:
         snapshot = tuple(s for j, s in enumerate(sizes) if j != occ)
     decision = state.decisions.get(occ)
-    if decision is not None and not _drifted(decision.snapshot, snapshot):
+    if (
+        decision is not None
+        and not decision.stale
+        and not _drifted(decision.snapshot, snapshot)
+    ):
         state.hits += 1
         ctx.hits += 1
     else:
@@ -481,19 +585,32 @@ def _decision(
         )
         if decision is None or order != decision.order:
             ctx.cover_epoch += 1
+            replaced = decision
             decision = _Decision(
                 order, snapshot, est_rows, -1 if occ is None else 0
             )
+            if replaced is not None:
+                # Keep the divergence baseline across replacement so an
+                # uncapturable estimate still re-plans only on movement.
+                decision.observed = replaced.observed
             state.decisions[occ] = decision
         else:
             decision.snapshot = snapshot
             decision.est_rows = est_rows
+            decision.stale = False
         entry = ctx.report["rules"].setdefault(str(rule_id), {})
         variant_key = "full" if occ is None else f"delta@{occ}"
-        entry[variant_key] = {
+        previous = entry.get(variant_key)
+        fresh: dict = {
             "order": list(decision.order),
             "estimated_rows": round(decision.est_rows, 2),
+            "sources": {
+                lit.relation: src for lit, src in zip(lits, sources)
+            },
         }
+        if previous is not None and "actual_rows" in previous:
+            fresh["actual_rows"] = previous["actual_rows"]
+        entry[variant_key] = fresh
     if decision.plan is None or decision.plan_epoch != ctx.cover_epoch:
         base = plan_for(ctx.rules[rule_id], decision.order)
         if PlanCache.compiled_plans:
@@ -732,6 +849,7 @@ def consequences(
     stats=None,
     rule_ids: tuple[int, ...] | None = None,
     count_call: bool = False,
+    tracer=None,
 ):
     """Planner-routed immediate consequences; ``None`` defers to legacy.
 
@@ -750,6 +868,11 @@ def consequences(
     ``count_call`` makes this call bump ``stats.consequence_calls``
     (the scheduled drivers call here directly, bypassing
     ``immediate_consequences``'s own bump).
+
+    ``tracer`` (a planned-mode :class:`repro.obs.Tracer`, duck-typed),
+    when given, receives one counters-only rule span per rule visited —
+    firings, emitted rows, wall time, and the decision's join order —
+    without disturbing the compiled hot path with per-literal probes.
     """
     if not QueryPlanner.enabled:
         return None
@@ -765,15 +888,25 @@ def consequences(
     firings = 0
     compiled = PlanCache.compiled_plans
     rules = ctx.rules
+    rule_report = ctx.report["rules"]
     if delta is None:
         ids = range(len(rules)) if rule_ids is None else rule_ids
         for i in ids:
+            span = None if tracer is None else tracer.rule_span(i, rules[i])
             if compiled:
                 decision = _decision(ctx, i, None, db, 0)
                 fired = _fire(
                     decision.plan, db, adom, -1, None,
                     rules[i], positive, negative,
                 )
+                _adapt(ctx, decision, fired)
+                ventry = rule_report.setdefault(str(i), {}).get("full")
+                if ventry is not None:
+                    ventry["actual_rows"] = (
+                        ventry.get("actual_rows", 0) + fired
+                    )
+                if span is not None:
+                    span.order = decision.order
             else:
                 state = ctx.states[i]
                 state.lookups += 1
@@ -784,9 +917,11 @@ def consequences(
             firings += fired
             state = ctx.states[i]
             state.actual += fired
-            ctx.report["rules"].setdefault(str(i), {})["actual_rows"] = (
-                state.actual
-            )
+            rule_report.setdefault(str(i), {})["actual_rows"] = state.actual
+            if span is not None:
+                span.firings = fired
+                span.emitted = fired
+                span.close()
     else:
         live = {relation for relation, facts in delta.items() if facts}
         selected: set[int] = set()
@@ -796,6 +931,7 @@ def consequences(
             selected &= set(rule_ids)
         for i in sorted(selected):
             rule = rules[i]
+            span = None if tracer is None else tracer.rule_span(i, rule)
             if compiled:
                 fired = 0
                 for occ, lit in enumerate(ctx.positive[i]):
@@ -803,11 +939,22 @@ def consequences(
                     if not restricted:
                         continue
                     decision = _decision(ctx, i, occ, db, len(restricted))
-                    fired += _fire(
+                    fired_occ = _fire(
                         decision.plan, db, adom,
                         decision.restricted_pos, restricted,
                         rule, positive, negative,
                     )
+                    _adapt(ctx, decision, fired_occ)
+                    ventry = rule_report.setdefault(str(i), {}).get(
+                        f"delta@{occ}"
+                    )
+                    if ventry is not None:
+                        ventry["actual_rows"] = (
+                            ventry.get("actual_rows", 0) + fired_occ
+                        )
+                    if span is not None:
+                        span.order = decision.order
+                    fired += fired_occ
             else:
                 state = ctx.states[i]
                 state.lookups += 1
@@ -818,9 +965,11 @@ def consequences(
             firings += fired
             state = ctx.states[i]
             state.actual += fired
-            ctx.report["rules"].setdefault(str(i), {})["actual_rows"] = (
-                state.actual
-            )
+            rule_report.setdefault(str(i), {})["actual_rows"] = state.actual
+            if span is not None:
+                span.firings = fired
+                span.emitted = fired
+                span.close()
     report = ctx.report
     report["plan_lookups"] = ctx.lookups
     report["plan_hits"] = ctx.hits
@@ -840,6 +989,7 @@ def scheduled_fixpoint(
     result=None,
     stage_start: int = 0,
     collect: "set[tuple[str, tuple]] | None" = None,
+    tracer=None,
 ):
     """Evaluate to fixpoint one SCC at a time; ``None`` defers to legacy.
 
@@ -894,6 +1044,7 @@ def scheduled_fixpoint(
             stats=stats,
             rule_ids=component.rule_ids,
             count_call=True,
+            tracer=tracer,
         )
         firings_total += firings
         delta = absorb(positive, firings)
@@ -911,6 +1062,7 @@ def scheduled_fixpoint(
                 stats=stats,
                 rule_ids=component.rule_ids,
                 count_call=True,
+                tracer=tracer,
             )
             firings_total += firings
             delta = absorb(positive, firings)
@@ -932,13 +1084,19 @@ def explain(program: Program, db: Database) -> dict | None:
     carries::
 
         {"plan_lookups": int, "plan_hits": int, "replans": int,
+         "adaptive_replans": int,  # estimate-vs-actual divergences acted on
          "rules": {"<rule index>": {
              "full" | "delta@<occ>":
-                 {"order": [...], "estimated_rows": float},
+                 {"order": [...], "estimated_rows": float,
+                  # per-literal cardinality provenance at plan time:
+                  "sources": {"<relation>":
+                      "live" | "measured" | "static" | "default" | "delta"},
+                  "actual_rows": int},  # rows this variant fired (live runs)
              "actual_rows": int,   # firings observed (live runs only)
          }},
          "index_cover": {"<relation>": {"templates": n, "chains": m}},
          "static_priors": {"<relation>": int},  # cold-start fallbacks used
+         "measured_stats": {"<relation>": int}, # stats-store cardinalities
          "scheduled_components": int | None}
 
     Pure with respect to ``db`` (estimates never build indexes);

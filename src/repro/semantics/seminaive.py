@@ -43,14 +43,16 @@ def evaluate_datalog_seminaive(
     result = EvaluationResult(current)
     recorder = StatsRecorder("seminaive", current, tracer=tracer)
 
-    if tracer is None:
+    if tracer is None or getattr(tracer, "planned", False):
         # SCC-scheduled evaluation: one component at a time in
         # topological order, each with its own delta loop.  Falls back
-        # to the global loop below when the planner is off.
+        # to the global loop below when the planner is off.  A
+        # planned-mode tracer rides along (counters-only rule spans).
         from repro.semantics import planner
 
         scheduled = planner.scheduled_fixpoint(
-            program, current, adom, recorder=recorder, result=result
+            program, current, adom, recorder=recorder, result=result,
+            tracer=tracer,
         )
         if scheduled is not None:
             result.rule_firings = scheduled[0]

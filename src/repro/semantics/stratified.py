@@ -55,15 +55,17 @@ def evaluate_stratified(
         if not rules:
             continue
         subprogram = Program(rules, name=f"{program.name}-stratum")
-        if tracer is None:
+        if tracer is None or getattr(tracer, "planned", False):
             # SCC-scheduled: a stratum may span several components
             # (negation only cuts *between* strata), so each gets its
-            # own topologically-ordered delta loop.
+            # own topologically-ordered delta loop.  A planned-mode
+            # tracer rides along (counters-only rule spans).
             from repro.semantics import planner
 
             scheduled = planner.scheduled_fixpoint(
                 subprogram, current, adom,
                 recorder=recorder, result=result, stage_start=stage,
+                tracer=tracer,
             )
             if scheduled is not None:
                 result.rule_firings += scheduled[0]

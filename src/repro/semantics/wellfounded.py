@@ -133,14 +133,16 @@ def _least_model(
     for relation, t in assumed:
         work.add_fact(_assumed_name(relation), t)
 
-    if tracer is None:
+    if tracer is None or getattr(tracer, "planned", False):
         # SCC-scheduled least model: the transformed program negates
         # only assumption/edb relations, so every component schedules.
+        # A planned-mode tracer rides along (counters-only rule spans).
         from repro.semantics import planner
 
         collected: set[tuple[str, tuple]] = set()
         scheduled = planner.scheduled_fixpoint(
-            transformed, work, adom, stats=stats, collect=collected
+            transformed, work, adom, stats=stats, collect=collected,
+            tracer=tracer,
         )
         if scheduled is not None:
             return (

@@ -182,13 +182,13 @@ class TestAdornmentSweep:
     """Binding-time analysis over every bundled example program.
 
     The magic transform itself is positive-Datalog only, but adorn()
-    must produce a well-formed demand cone for all 18 examples across
+    must produce a well-formed demand cone for all 20 examples across
     every dialect rung — adornment strings match arities, demanded
     relations are idb, the cone contains the query.
     """
 
     def test_examples_are_bundled(self):
-        assert len(EXAMPLES) == 18
+        assert len(EXAMPLES) == 20
 
     @pytest.mark.parametrize(
         "path", EXAMPLES, ids=[p.stem for p in EXAMPLES]

@@ -61,7 +61,9 @@ class TestChainIndexes:
 
     def test_probe_full_depth(self):
         rel = self.make_relation()
-        assert rel.probe_chain((0, 1), 2, ("a", "p")) == [
+        # Bucket order follows the backing tuple set's iteration order,
+        # which hash randomization scrambles — compare as sets.
+        assert sorted(rel.probe_chain((0, 1), 2, ("a", "p"))) == [
             ("a", "p", 1), ("a", "p", 2)
         ]
         assert rel.probe_chain((0, 1), 2, ("b", "q")) == []
@@ -356,8 +358,9 @@ class TestReport:
         db = Database({"G": [(1, 2), (2, 3)]})
         report = explain(program, db)
         assert set(report) == {
-            "plan_lookups", "plan_hits", "replans", "rules",
-            "index_cover", "static_priors", "scheduled_components",
+            "plan_lookups", "plan_hits", "replans", "adaptive_replans",
+            "rules", "index_cover", "static_priors", "measured_stats",
+            "scheduled_components",
         }
         full = report["rules"]["1"]["full"]
         assert sorted(full["order"]) == [0, 1]

@@ -17,6 +17,12 @@ The matcher ablation (``test_kernel_ablation.py``) records
 ``BENCH_kernel.json`` (path overridable via
 ``REPRO_KERNEL_ARTIFACT``).
 
+The three-way matcher-tier ablation (``test_codegen_ablation.py``)
+records :class:`~repro.obs.bench.CodegenRecord` measurements through
+the ``codegen_artifact`` fixture; those land in the schema-pinned
+``BENCH_codegen.json`` (path overridable via
+``REPRO_CODEGEN_ARTIFACT``).
+
 The planner ablation (``test_planner_ablation.py``) records
 :class:`~repro.obs.bench.PlannerRecord` measurements through the
 ``planner_artifact`` fixture; those land in the schema-pinned
@@ -49,10 +55,32 @@ import pytest
 
 _RECORDS = []
 _KERNEL_RECORDS = []
+_CODEGEN_RECORDS = []
 _PLANNER_RECORDS = []
 _DIFFERENTIAL_RECORDS = []
 _MAGIC_RECORDS = []
 _FEEDBACK_RECORDS = []
+
+#: Artifact registry: (records list, writer name in repro.obs.bench,
+#: path env-var override, default path).  ``pytest_sessionfinish``
+#: walks this instead of six copy-pasted blocks; a new artifact is one
+#: more row plus its fixture.
+_ARTIFACTS = (
+    (_RECORDS, "write_bench_artifact",
+     "REPRO_BENCH_ARTIFACT", "BENCH_engines.json"),
+    (_KERNEL_RECORDS, "write_kernel_artifact",
+     "REPRO_KERNEL_ARTIFACT", "BENCH_kernel.json"),
+    (_CODEGEN_RECORDS, "write_codegen_artifact",
+     "REPRO_CODEGEN_ARTIFACT", "BENCH_codegen.json"),
+    (_PLANNER_RECORDS, "write_planner_artifact",
+     "REPRO_PLANNER_ARTIFACT", "BENCH_planner.json"),
+    (_DIFFERENTIAL_RECORDS, "write_differential_artifact",
+     "REPRO_DIFFERENTIAL_ARTIFACT", "BENCH_differential.json"),
+    (_MAGIC_RECORDS, "write_magic_artifact",
+     "REPRO_MAGIC_ARTIFACT", "BENCH_magic.json"),
+    (_FEEDBACK_RECORDS, "write_feedback_artifact",
+     "REPRO_FEEDBACK_ARTIFACT", "BENCH_feedback.json"),
+)
 
 
 class _BenchArtifact:
@@ -99,6 +127,24 @@ class _PlannerArtifact:
 def kernel_artifact():
     """Collects (benchmark, matcher, size, EngineStats) ablation cells."""
     return _KernelArtifact
+
+
+class _CodegenArtifact:
+    """The ``codegen_artifact`` fixture's API: ``record(...)`` one cell."""
+
+    @staticmethod
+    def record(benchmark: str, matcher: str, size: int, stats) -> None:
+        from repro.obs.bench import CodegenRecord
+
+        _CODEGEN_RECORDS.append(
+            CodegenRecord.from_stats(benchmark, matcher, size, stats)
+        )
+
+
+@pytest.fixture
+def codegen_artifact():
+    """Collects (benchmark, matcher tier, size, EngineStats) cells."""
+    return _CodegenArtifact
 
 
 class _DifferentialArtifact:
@@ -189,40 +235,11 @@ def feedback_artifact():
 
 
 def pytest_sessionfinish(session, exitstatus):
-    if _RECORDS:
-        from repro.obs.bench import write_bench_artifact
+    from repro.obs import bench
 
-        path = os.environ.get("REPRO_BENCH_ARTIFACT", "BENCH_engines.json")
-        write_bench_artifact(_RECORDS, path)
-    if _KERNEL_RECORDS:
-        from repro.obs.bench import write_kernel_artifact
-
-        path = os.environ.get("REPRO_KERNEL_ARTIFACT", "BENCH_kernel.json")
-        write_kernel_artifact(_KERNEL_RECORDS, path)
-    if _PLANNER_RECORDS:
-        from repro.obs.bench import write_planner_artifact
-
-        path = os.environ.get("REPRO_PLANNER_ARTIFACT", "BENCH_planner.json")
-        write_planner_artifact(_PLANNER_RECORDS, path)
-    if _DIFFERENTIAL_RECORDS:
-        from repro.obs.bench import write_differential_artifact
-
-        path = os.environ.get(
-            "REPRO_DIFFERENTIAL_ARTIFACT", "BENCH_differential.json"
-        )
-        write_differential_artifact(_DIFFERENTIAL_RECORDS, path)
-    if _MAGIC_RECORDS:
-        from repro.obs.bench import write_magic_artifact
-
-        path = os.environ.get("REPRO_MAGIC_ARTIFACT", "BENCH_magic.json")
-        write_magic_artifact(_MAGIC_RECORDS, path)
-    if _FEEDBACK_RECORDS:
-        from repro.obs.bench import write_feedback_artifact
-
-        path = os.environ.get(
-            "REPRO_FEEDBACK_ARTIFACT", "BENCH_feedback.json"
-        )
-        write_feedback_artifact(_FEEDBACK_RECORDS, path)
+    for records, writer, env_var, default in _ARTIFACTS:
+        if records:
+            getattr(bench, writer)(records, os.environ.get(env_var, default))
 
 
 def pytest_collection_modifyitems(items):

@@ -42,13 +42,20 @@ MATCHERS = ["compiled", "interpreted"]
 
 
 def _with_matcher(matcher: str, run):
-    """Run ``run()`` under the given matcher path, restoring the default."""
-    assert PlanCache.compiled_plans  # the default
+    """Run ``run()`` under the given matcher path, restoring the default.
+
+    This ablation isolates the PR 4 plan interpreter against the
+    reference matcher, so the codegen tier is held off for both cells
+    (``benchmarks/test_codegen_ablation.py`` owns the three-way sweep).
+    """
+    assert PlanCache.compiled_plans and PlanCache.codegen  # the defaults
     PlanCache.compiled_plans = matcher == "compiled"
+    PlanCache.codegen = False
     try:
         return run()
     finally:
         PlanCache.compiled_plans = True
+        PlanCache.codegen = True
 
 
 @pytest.mark.parametrize("n", SIZES)

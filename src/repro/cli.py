@@ -17,7 +17,9 @@ Usage::
   warnings too, ``--format json`` emits the schema-stable report.
 * ``run`` evaluates under a chosen semantics and prints the idb
   relations (or one ``--answer`` relation); ``--trace-out FILE`` also
-  writes the evaluation's event stream as JSON Lines.
+  writes the evaluation's event stream as JSON Lines; ``--matcher``
+  overrides the matcher tier (codegen/compiled/interpreted) and
+  ``--dump-codegen DIR`` writes each rule's generated matcher source.
 * ``stats`` reports engine counters (``--format json`` is pinned by
   ``STATS_SCHEMA_VERSION``); ``trace`` prints the stage-by-stage
   evaluation; ``profile`` aggregates per-rule time/firings/join
@@ -38,6 +40,7 @@ rules: ``G('a', 'b').``
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 
 from repro.errors import ReproError
@@ -349,6 +352,43 @@ def _maybe_save_stats(args, program, result) -> None:
     print(f"stats: saved measured cardinalities to {path}", file=sys.stderr)
 
 
+@contextlib.contextmanager
+def _matcher_override(args):
+    """Apply ``--matcher`` for the duration of one evaluation.
+
+    ``PlanCache`` flags are process-global, and the test-suite drives
+    :func:`main` in-process, so the previous tier is always restored —
+    even when evaluation raises.
+    """
+    matcher = getattr(args, "matcher", None)
+    if matcher is None:
+        yield
+        return
+    from repro.semantics.plan import PlanCache
+
+    saved = (PlanCache.compiled_plans, PlanCache.codegen)
+    PlanCache.compiled_plans = matcher != "interpreted"
+    PlanCache.codegen = matcher == "codegen"
+    try:
+        yield
+    finally:
+        PlanCache.compiled_plans, PlanCache.codegen = saved
+
+
+def _maybe_dump_codegen(args, program) -> None:
+    """Write each rule's generated matcher source when ``--dump-codegen``."""
+    directory = getattr(args, "dump_codegen", None)
+    if directory is None:
+        return
+    from repro.semantics.codegen import dump_codegen
+
+    paths = dump_codegen(program, directory)
+    print(
+        f"codegen: wrote {len(paths)} file(s) to {directory}",
+        file=sys.stderr,
+    )
+
+
 def cmd_run(args, out) -> int:
     program = _load_program(args.program)
     db = load_facts(args.data) if args.data else Database()
@@ -371,7 +411,8 @@ def cmd_run(args, out) -> int:
         if semantics == "wellfounded":
             from repro.semantics.wellfounded import evaluate_wellfounded
 
-            model = evaluate_wellfounded(program, db, tracer=tracer)
+            with _matcher_override(args):
+                model = evaluate_wellfounded(program, db, tracer=tracer)
             relations = [args.answer] if args.answer else sorted(program.idb)
             for relation in relations:
                 true_rows = sorted(model.answer(relation), key=repr)
@@ -382,6 +423,7 @@ def cmd_run(args, out) -> int:
                     print(f"  true    ({', '.join(map(str, row))})", file=out)
                 for row in unknown_rows:
                     print(f"  unknown ({', '.join(map(str, row))})", file=out)
+            _maybe_dump_codegen(args, program)
             _maybe_save_stats(args, program, model)
             return 0
 
@@ -390,10 +432,12 @@ def cmd_run(args, out) -> int:
             print(f"unknown semantics {semantics!r}", file=sys.stderr)
             return 2
 
-        result = engine(program, db, tracer=tracer)
+        with _matcher_override(args):
+            result = engine(program, db, tracer=tracer)
     finally:
         if tracer is not None:
             tracer.close()
+    _maybe_dump_codegen(args, program)
     relations = [args.answer] if args.answer else sorted(program.idb)
     _print_relations(result.database, relations, out)
     stages = getattr(result, "stages", None)
@@ -422,7 +466,8 @@ def cmd_stats(args, out) -> int:
         return 2
 
     _maybe_warm_from_stats(args, program)
-    result = engine(program, db)
+    with _matcher_override(args):
+        result = engine(program, db)
     _maybe_save_stats(args, program, result)
     if getattr(args, "format", "human") == "json":
         import json
@@ -534,8 +579,9 @@ def cmd_profile(args, out) -> int:
     # Default traced runs route through the interpreted matcher; surface
     # that so profile numbers are not read as compiled-kernel timings.
     # ``--planned`` keeps planner and kernel on (counters-only spans),
-    # so there the matcher reads "compiled".  (The stable engine returns
-    # a model set with no stats — default there.)
+    # so there the matcher reads the full active tier — "codegen" by
+    # default.  (The stable engine returns a model set with no stats —
+    # default there.)
     stats = getattr(result, "stats", None)
     report.matcher = getattr(stats, "matcher", "") or "interpreted"
     # Planned runs carry the *live* planner report (actual rows, prior
@@ -873,6 +919,17 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write the evaluation's event stream as JSON Lines to FILE",
     )
+    run.add_argument(
+        "--matcher",
+        choices=("interpreted", "compiled", "codegen"),
+        help="override the matcher tier for this run "
+             "(default: codegen, the full stack)",
+    )
+    run.add_argument(
+        "--dump-codegen",
+        metavar="DIR",
+        help="write each rule's generated matcher source under DIR",
+    )
     _add_stats_store_flags(run)
 
     stats = sub.add_parser(
@@ -892,6 +949,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="human",
         choices=("human", "json"),
         help="output format (default: human)",
+    )
+    stats.add_argument(
+        "--matcher",
+        choices=("interpreted", "compiled", "codegen"),
+        help="override the matcher tier for this run "
+             "(default: codegen, the full stack)",
     )
     _add_stats_store_flags(stats)
 

@@ -17,6 +17,14 @@ cell, where the matcher is ``"compiled"`` (the slot-plan kernel of
 matcher with the kernel toggled off), recorded through the
 ``kernel_artifact`` fixture.
 
+``BENCH_codegen.json`` is the three-way matcher-tier ablation: each
+:class:`CodegenRecord` measures one (benchmark, matcher tier, size)
+cell, where the tier is ``"codegen"`` (per-plan specialized Python
+emitted by :mod:`repro.semantics.codegen`, the default), ``"compiled"``
+(the slot-plan interpreter with codegen off), or ``"interpreted"``
+(the reference matcher), recorded through the ``codegen_artifact``
+fixture.
+
 ``BENCH_planner.json`` is the query-planner ablation twin: each
 :class:`PlannerRecord` measures one (benchmark, planner on/off, size)
 cell — both cells under the compiled kernel, so the delta isolates the
@@ -43,9 +51,14 @@ All the schemas are pinned: the ``validate_*_artifact`` functions
 raise :class:`ValueError` on any drift, and CI runs them against the
 artifacts it uploads, so a schema change must be deliberate (bump
 ``BENCH_SCHEMA_VERSION`` / ``KERNEL_SCHEMA_VERSION`` /
-``PLANNER_SCHEMA_VERSION`` / ``DIFFERENTIAL_SCHEMA_VERSION`` /
-``MAGIC_SCHEMA_VERSION`` / ``FEEDBACK_SCHEMA_VERSION``) rather than
-accidental.
+``CODEGEN_SCHEMA_VERSION`` / ``PLANNER_SCHEMA_VERSION`` /
+``DIFFERENTIAL_SCHEMA_VERSION`` / ``MAGIC_SCHEMA_VERSION`` /
+``FEEDBACK_SCHEMA_VERSION``) rather than accidental.  The artifacts
+share one shape — ``{"version": V, "benchmarks": [records]}`` with a
+fixed per-record key set — so validation is one generic walk,
+:func:`_validate_artifact`, parameterized per artifact; each public
+``validate_*`` is a thin wrapper pinning that artifact's version,
+fields, types, and enum-valued fields.
 """
 
 from __future__ import annotations
@@ -53,6 +66,91 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from typing import Any
+
+# -- shared artifact machinery ------------------------------------------------
+
+
+def _artifact_dict(records: list, version: int, variant: str) -> dict[str, Any]:
+    """The artifact document: schema-versioned, deterministically ordered.
+
+    Records sort by (benchmark, ``variant`` field, size) — the variant
+    is whichever field names the ablation cell (engine, matcher,
+    planner, mode).
+    """
+    ordered = sorted(
+        records, key=lambda r: (r.benchmark, getattr(r, variant), r.size)
+    )
+    return {
+        "version": version,
+        "benchmarks": [record.to_dict() for record in ordered],
+    }
+
+
+def _write_artifact(document: dict[str, Any], path: str) -> None:
+    """Write one artifact document (sorted keys, trailing newline)."""
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def _validate_artifact(
+    data: Any,
+    *,
+    label: str,
+    version: int,
+    fields: tuple,
+    types: dict,
+    enums: dict,
+    factory,
+) -> list:
+    """Check one artifact document against its pinned schema.
+
+    Returns the parsed records (built via ``factory(**entry)``); raises
+    :class:`ValueError` on drift — wrong version, missing/extra keys,
+    wrong types, or a value outside an ``enums`` field's allowed set.
+    """
+    if not isinstance(data, dict):
+        raise ValueError(f"{label} artifact must be a JSON object")
+    if data.get("version") != version:
+        raise ValueError(
+            f"{label} artifact version {data.get('version')!r} != {version}"
+        )
+    extra_top = set(data) - {"version", "benchmarks"}
+    if extra_top:
+        raise ValueError(f"unexpected top-level keys: {sorted(extra_top)}")
+    entries = data.get("benchmarks")
+    if not isinstance(entries, list):
+        raise ValueError(f"{label} artifact 'benchmarks' must be a list")
+    records = []
+    for position, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise ValueError(f"record {position} is not an object")
+        if set(entry) != set(fields):
+            raise ValueError(
+                f"record {position} keys {sorted(entry)} != {sorted(fields)}"
+            )
+        for key, expected in types.items():
+            if not isinstance(entry[key], expected):
+                raise ValueError(
+                    f"record {position} field {key!r} has type "
+                    f"{type(entry[key]).__name__}"
+                )
+        for key, allowed in enums.items():
+            if entry[key] not in allowed:
+                quoted = [repr(value) for value in allowed]
+                phrase = " or ".join(
+                    [", ".join(quoted[:-1]), quoted[-1]]
+                    if len(quoted) > 2
+                    else quoted
+                )
+                raise ValueError(
+                    f"record {position} {key} {entry[key]!r} is not {phrase}"
+                )
+        records.append(factory(**entry))
+    return records
+
+
+# -- BENCH_engines.json: cross-engine scaling ---------------------------------
 
 #: Version of the BENCH_engines.json schema.
 BENCH_SCHEMA_VERSION = 1
@@ -106,19 +204,12 @@ class BenchRecord:
 
 def bench_artifact_dict(records: list[BenchRecord]) -> dict[str, Any]:
     """The artifact document: schema-versioned, deterministically ordered."""
-    ordered = sorted(records, key=lambda r: (r.benchmark, r.engine, r.size))
-    return {
-        "version": BENCH_SCHEMA_VERSION,
-        "benchmarks": [record.to_dict() for record in ordered],
-    }
+    return _artifact_dict(records, BENCH_SCHEMA_VERSION, "engine")
 
 
 def write_bench_artifact(records: list[BenchRecord], path: str) -> None:
     """Write ``BENCH_engines.json`` (sorted records, sorted keys)."""
-    with open(path, "w") as handle:
-        json.dump(bench_artifact_dict(records), handle, indent=2,
-                  sort_keys=True)
-        handle.write("\n")
+    _write_artifact(bench_artifact_dict(records), path)
 
 
 def validate_bench_artifact(data: Any) -> list[BenchRecord]:
@@ -127,44 +218,22 @@ def validate_bench_artifact(data: Any) -> list[BenchRecord]:
     Returns the parsed records; raises :class:`ValueError` on drift
     (wrong version, missing/extra keys, wrong types).
     """
-    if not isinstance(data, dict):
-        raise ValueError("bench artifact must be a JSON object")
-    if data.get("version") != BENCH_SCHEMA_VERSION:
-        raise ValueError(
-            f"bench artifact version {data.get('version')!r} != "
-            f"{BENCH_SCHEMA_VERSION}"
-        )
-    extra_top = set(data) - {"version", "benchmarks"}
-    if extra_top:
-        raise ValueError(f"unexpected top-level keys: {sorted(extra_top)}")
-    entries = data.get("benchmarks")
-    if not isinstance(entries, list):
-        raise ValueError("bench artifact 'benchmarks' must be a list")
-    types = {
-        "benchmark": str,
-        "engine": str,
-        "size": int,
-        "seconds": (int, float),
-        "rule_firings": int,
-        "stages": int,
-    }
-    records: list[BenchRecord] = []
-    for position, entry in enumerate(entries):
-        if not isinstance(entry, dict):
-            raise ValueError(f"record {position} is not an object")
-        if set(entry) != set(RECORD_FIELDS):
-            raise ValueError(
-                f"record {position} keys {sorted(entry)} != "
-                f"{sorted(RECORD_FIELDS)}"
-            )
-        for key, expected in types.items():
-            if not isinstance(entry[key], expected):
-                raise ValueError(
-                    f"record {position} field {key!r} has type "
-                    f"{type(entry[key]).__name__}"
-                )
-        records.append(BenchRecord(**entry))
-    return records
+    return _validate_artifact(
+        data,
+        label="bench",
+        version=BENCH_SCHEMA_VERSION,
+        fields=RECORD_FIELDS,
+        types={
+            "benchmark": str,
+            "engine": str,
+            "size": int,
+            "seconds": (int, float),
+            "rule_firings": int,
+            "stages": int,
+        },
+        enums={},
+        factory=BenchRecord,
+    )
 
 
 def load_bench_artifact(path: str) -> list[BenchRecord]:
@@ -228,19 +297,12 @@ class KernelRecord:
 
 def kernel_artifact_dict(records: list[KernelRecord]) -> dict[str, Any]:
     """The artifact document: schema-versioned, deterministically ordered."""
-    ordered = sorted(records, key=lambda r: (r.benchmark, r.matcher, r.size))
-    return {
-        "version": KERNEL_SCHEMA_VERSION,
-        "benchmarks": [record.to_dict() for record in ordered],
-    }
+    return _artifact_dict(records, KERNEL_SCHEMA_VERSION, "matcher")
 
 
 def write_kernel_artifact(records: list[KernelRecord], path: str) -> None:
     """Write ``BENCH_kernel.json`` (sorted records, sorted keys)."""
-    with open(path, "w") as handle:
-        json.dump(kernel_artifact_dict(records), handle, indent=2,
-                  sort_keys=True)
-        handle.write("\n")
+    _write_artifact(kernel_artifact_dict(records), path)
 
 
 def validate_kernel_artifact(data: Any) -> list[KernelRecord]:
@@ -249,55 +311,130 @@ def validate_kernel_artifact(data: Any) -> list[KernelRecord]:
     Returns the parsed records; raises :class:`ValueError` on drift
     (wrong version, missing/extra keys, wrong types, unknown matcher).
     """
-    if not isinstance(data, dict):
-        raise ValueError("kernel artifact must be a JSON object")
-    if data.get("version") != KERNEL_SCHEMA_VERSION:
-        raise ValueError(
-            f"kernel artifact version {data.get('version')!r} != "
-            f"{KERNEL_SCHEMA_VERSION}"
-        )
-    extra_top = set(data) - {"version", "benchmarks"}
-    if extra_top:
-        raise ValueError(f"unexpected top-level keys: {sorted(extra_top)}")
-    entries = data.get("benchmarks")
-    if not isinstance(entries, list):
-        raise ValueError("kernel artifact 'benchmarks' must be a list")
-    types = {
-        "benchmark": str,
-        "matcher": str,
-        "size": int,
-        "seconds": (int, float),
-        "rule_firings": int,
-        "stages": int,
-    }
-    records: list[KernelRecord] = []
-    for position, entry in enumerate(entries):
-        if not isinstance(entry, dict):
-            raise ValueError(f"record {position} is not an object")
-        if set(entry) != set(KERNEL_RECORD_FIELDS):
-            raise ValueError(
-                f"record {position} keys {sorted(entry)} != "
-                f"{sorted(KERNEL_RECORD_FIELDS)}"
-            )
-        for key, expected in types.items():
-            if not isinstance(entry[key], expected):
-                raise ValueError(
-                    f"record {position} field {key!r} has type "
-                    f"{type(entry[key]).__name__}"
-                )
-        if entry["matcher"] not in ("compiled", "interpreted"):
-            raise ValueError(
-                f"record {position} matcher {entry['matcher']!r} is not "
-                "'compiled' or 'interpreted'"
-            )
-        records.append(KernelRecord(**entry))
-    return records
+    return _validate_artifact(
+        data,
+        label="kernel",
+        version=KERNEL_SCHEMA_VERSION,
+        fields=KERNEL_RECORD_FIELDS,
+        types={
+            "benchmark": str,
+            "matcher": str,
+            "size": int,
+            "seconds": (int, float),
+            "rule_firings": int,
+            "stages": int,
+        },
+        enums={"matcher": ("compiled", "interpreted")},
+        factory=KernelRecord,
+    )
 
 
 def load_kernel_artifact(path: str) -> list[KernelRecord]:
     """Read and validate a kernel artifact file; raises on drift."""
     with open(path) as handle:
         return validate_kernel_artifact(json.load(handle))
+
+
+# -- BENCH_codegen.json: codegen/compiled/interpreted tier ablation -----------
+
+#: Version of the BENCH_codegen.json schema (same regime as
+#: :data:`BENCH_SCHEMA_VERSION`).
+CODEGEN_SCHEMA_VERSION = 1
+
+#: Exact key set of one codegen record.
+CODEGEN_RECORD_FIELDS = (
+    "benchmark",
+    "matcher",
+    "size",
+    "seconds",
+    "rule_firings",
+    "stages",
+)
+
+
+@dataclass(frozen=True)
+class CodegenRecord:
+    """One (benchmark, matcher tier, workload size) measurement.
+
+    ``matcher`` is the full tier ladder: ``"codegen"`` (per-plan
+    specialized Python, the default), ``"compiled"`` (the PR 4
+    slot-plan interpreter with codegen off), or ``"interpreted"`` (the
+    reference matcher).  The tiers are semantics-preserving, so
+    ``rule_firings`` and ``stages`` must agree across all three cells
+    of a (benchmark, size) pair; ``seconds`` carries the speedup
+    evidence.
+    """
+
+    benchmark: str
+    matcher: str
+    size: int
+    seconds: float
+    rule_firings: int
+    stages: int
+
+    @classmethod
+    def from_stats(
+        cls, benchmark: str, matcher: str, size: int, stats
+    ) -> "CodegenRecord":
+        """Build a record from an :class:`~repro.semantics.EngineStats`."""
+        return cls(
+            benchmark=benchmark,
+            matcher=matcher,
+            size=size,
+            seconds=stats.seconds,
+            rule_firings=stats.rule_firings,
+            stages=stats.stage_count,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "benchmark": self.benchmark,
+            "matcher": self.matcher,
+            "size": self.size,
+            "seconds": self.seconds,
+            "rule_firings": self.rule_firings,
+            "stages": self.stages,
+        }
+
+
+def codegen_artifact_dict(records: list[CodegenRecord]) -> dict[str, Any]:
+    """The artifact document: schema-versioned, deterministically ordered."""
+    return _artifact_dict(records, CODEGEN_SCHEMA_VERSION, "matcher")
+
+
+def write_codegen_artifact(records: list[CodegenRecord], path: str) -> None:
+    """Write ``BENCH_codegen.json`` (sorted records, sorted keys)."""
+    _write_artifact(codegen_artifact_dict(records), path)
+
+
+def validate_codegen_artifact(data: Any) -> list[CodegenRecord]:
+    """Check a codegen artifact document against the pinned schema.
+
+    Returns the parsed records; raises :class:`ValueError` on drift
+    (wrong version, missing/extra keys, wrong types, unknown matcher).
+    """
+    return _validate_artifact(
+        data,
+        label="codegen",
+        version=CODEGEN_SCHEMA_VERSION,
+        fields=CODEGEN_RECORD_FIELDS,
+        types={
+            "benchmark": str,
+            "matcher": str,
+            "size": int,
+            "seconds": (int, float),
+            "rule_firings": int,
+            "stages": int,
+        },
+        enums={"matcher": ("codegen", "compiled", "interpreted")},
+        factory=CodegenRecord,
+    )
+
+
+def load_codegen_artifact(path: str) -> list[CodegenRecord]:
+    """Read and validate a codegen artifact file; raises on drift."""
+    with open(path) as handle:
+        return validate_codegen_artifact(json.load(handle))
 
 
 # -- BENCH_planner.json: query-planner ablation ------------------------------
@@ -363,19 +500,12 @@ class PlannerRecord:
 
 def planner_artifact_dict(records: list[PlannerRecord]) -> dict[str, Any]:
     """The artifact document: schema-versioned, deterministically ordered."""
-    ordered = sorted(records, key=lambda r: (r.benchmark, r.planner, r.size))
-    return {
-        "version": PLANNER_SCHEMA_VERSION,
-        "benchmarks": [record.to_dict() for record in ordered],
-    }
+    return _artifact_dict(records, PLANNER_SCHEMA_VERSION, "planner")
 
 
 def write_planner_artifact(records: list[PlannerRecord], path: str) -> None:
     """Write ``BENCH_planner.json`` (sorted records, sorted keys)."""
-    with open(path, "w") as handle:
-        json.dump(planner_artifact_dict(records), handle, indent=2,
-                  sort_keys=True)
-        handle.write("\n")
+    _write_artifact(planner_artifact_dict(records), path)
 
 
 def validate_planner_artifact(data: Any) -> list[PlannerRecord]:
@@ -384,49 +514,22 @@ def validate_planner_artifact(data: Any) -> list[PlannerRecord]:
     Returns the parsed records; raises :class:`ValueError` on drift
     (wrong version, missing/extra keys, wrong types, unknown mode).
     """
-    if not isinstance(data, dict):
-        raise ValueError("planner artifact must be a JSON object")
-    if data.get("version") != PLANNER_SCHEMA_VERSION:
-        raise ValueError(
-            f"planner artifact version {data.get('version')!r} != "
-            f"{PLANNER_SCHEMA_VERSION}"
-        )
-    extra_top = set(data) - {"version", "benchmarks"}
-    if extra_top:
-        raise ValueError(f"unexpected top-level keys: {sorted(extra_top)}")
-    entries = data.get("benchmarks")
-    if not isinstance(entries, list):
-        raise ValueError("planner artifact 'benchmarks' must be a list")
-    types = {
-        "benchmark": str,
-        "planner": str,
-        "size": int,
-        "seconds": (int, float),
-        "rule_firings": int,
-        "stages": int,
-    }
-    records: list[PlannerRecord] = []
-    for position, entry in enumerate(entries):
-        if not isinstance(entry, dict):
-            raise ValueError(f"record {position} is not an object")
-        if set(entry) != set(PLANNER_RECORD_FIELDS):
-            raise ValueError(
-                f"record {position} keys {sorted(entry)} != "
-                f"{sorted(PLANNER_RECORD_FIELDS)}"
-            )
-        for key, expected in types.items():
-            if not isinstance(entry[key], expected):
-                raise ValueError(
-                    f"record {position} field {key!r} has type "
-                    f"{type(entry[key]).__name__}"
-                )
-        if entry["planner"] not in ("on", "off"):
-            raise ValueError(
-                f"record {position} planner {entry['planner']!r} is not "
-                "'on' or 'off'"
-            )
-        records.append(PlannerRecord(**entry))
-    return records
+    return _validate_artifact(
+        data,
+        label="planner",
+        version=PLANNER_SCHEMA_VERSION,
+        fields=PLANNER_RECORD_FIELDS,
+        types={
+            "benchmark": str,
+            "planner": str,
+            "size": int,
+            "seconds": (int, float),
+            "rule_firings": int,
+            "stages": int,
+        },
+        enums={"planner": ("on", "off")},
+        factory=PlannerRecord,
+    )
 
 
 def load_planner_artifact(path: str) -> list[PlannerRecord]:
@@ -484,21 +587,14 @@ def differential_artifact_dict(
     records: list[DifferentialRecord],
 ) -> dict[str, Any]:
     """The artifact document: schema-versioned, deterministically ordered."""
-    ordered = sorted(records, key=lambda r: (r.benchmark, r.mode, r.size))
-    return {
-        "version": DIFFERENTIAL_SCHEMA_VERSION,
-        "benchmarks": [record.to_dict() for record in ordered],
-    }
+    return _artifact_dict(records, DIFFERENTIAL_SCHEMA_VERSION, "mode")
 
 
 def write_differential_artifact(
     records: list[DifferentialRecord], path: str
 ) -> None:
     """Write ``BENCH_differential.json`` (sorted records, sorted keys)."""
-    with open(path, "w") as handle:
-        json.dump(differential_artifact_dict(records), handle, indent=2,
-                  sort_keys=True)
-        handle.write("\n")
+    _write_artifact(differential_artifact_dict(records), path)
 
 
 def validate_differential_artifact(data: Any) -> list[DifferentialRecord]:
@@ -507,48 +603,21 @@ def validate_differential_artifact(data: Any) -> list[DifferentialRecord]:
     Returns the parsed records; raises :class:`ValueError` on drift
     (wrong version, missing/extra keys, wrong types, unknown mode).
     """
-    if not isinstance(data, dict):
-        raise ValueError("differential artifact must be a JSON object")
-    if data.get("version") != DIFFERENTIAL_SCHEMA_VERSION:
-        raise ValueError(
-            f"differential artifact version {data.get('version')!r} != "
-            f"{DIFFERENTIAL_SCHEMA_VERSION}"
-        )
-    extra_top = set(data) - {"version", "benchmarks"}
-    if extra_top:
-        raise ValueError(f"unexpected top-level keys: {sorted(extra_top)}")
-    entries = data.get("benchmarks")
-    if not isinstance(entries, list):
-        raise ValueError("differential artifact 'benchmarks' must be a list")
-    types = {
-        "benchmark": str,
-        "mode": str,
-        "size": int,
-        "seconds": (int, float),
-        "facts_touched": int,
-    }
-    records: list[DifferentialRecord] = []
-    for position, entry in enumerate(entries):
-        if not isinstance(entry, dict):
-            raise ValueError(f"record {position} is not an object")
-        if set(entry) != set(DIFFERENTIAL_RECORD_FIELDS):
-            raise ValueError(
-                f"record {position} keys {sorted(entry)} != "
-                f"{sorted(DIFFERENTIAL_RECORD_FIELDS)}"
-            )
-        for key, expected in types.items():
-            if not isinstance(entry[key], expected):
-                raise ValueError(
-                    f"record {position} field {key!r} has type "
-                    f"{type(entry[key]).__name__}"
-                )
-        if entry["mode"] not in ("differential", "scratch"):
-            raise ValueError(
-                f"record {position} mode {entry['mode']!r} is not "
-                "'differential' or 'scratch'"
-            )
-        records.append(DifferentialRecord(**entry))
-    return records
+    return _validate_artifact(
+        data,
+        label="differential",
+        version=DIFFERENTIAL_SCHEMA_VERSION,
+        fields=DIFFERENTIAL_RECORD_FIELDS,
+        types={
+            "benchmark": str,
+            "mode": str,
+            "size": int,
+            "seconds": (int, float),
+            "facts_touched": int,
+        },
+        enums={"mode": ("differential", "scratch")},
+        factory=DifferentialRecord,
+    )
 
 
 def load_differential_artifact(path: str) -> list[DifferentialRecord]:
@@ -605,19 +674,12 @@ class MagicRecord:
 
 def magic_artifact_dict(records: list[MagicRecord]) -> dict[str, Any]:
     """The artifact document: schema-versioned, deterministically ordered."""
-    ordered = sorted(records, key=lambda r: (r.benchmark, r.mode, r.size))
-    return {
-        "version": MAGIC_SCHEMA_VERSION,
-        "benchmarks": [record.to_dict() for record in ordered],
-    }
+    return _artifact_dict(records, MAGIC_SCHEMA_VERSION, "mode")
 
 
 def write_magic_artifact(records: list[MagicRecord], path: str) -> None:
     """Write ``BENCH_magic.json`` (sorted records, sorted keys)."""
-    with open(path, "w") as handle:
-        json.dump(magic_artifact_dict(records), handle, indent=2,
-                  sort_keys=True)
-        handle.write("\n")
+    _write_artifact(magic_artifact_dict(records), path)
 
 
 def validate_magic_artifact(data: Any) -> list[MagicRecord]:
@@ -626,48 +688,21 @@ def validate_magic_artifact(data: Any) -> list[MagicRecord]:
     Returns the parsed records; raises :class:`ValueError` on drift
     (wrong version, missing/extra keys, wrong types, unknown mode).
     """
-    if not isinstance(data, dict):
-        raise ValueError("magic artifact must be a JSON object")
-    if data.get("version") != MAGIC_SCHEMA_VERSION:
-        raise ValueError(
-            f"magic artifact version {data.get('version')!r} != "
-            f"{MAGIC_SCHEMA_VERSION}"
-        )
-    extra_top = set(data) - {"version", "benchmarks"}
-    if extra_top:
-        raise ValueError(f"unexpected top-level keys: {sorted(extra_top)}")
-    entries = data.get("benchmarks")
-    if not isinstance(entries, list):
-        raise ValueError("magic artifact 'benchmarks' must be a list")
-    types = {
-        "benchmark": str,
-        "mode": str,
-        "size": int,
-        "seconds": (int, float),
-        "facts_derived": int,
-    }
-    records: list[MagicRecord] = []
-    for position, entry in enumerate(entries):
-        if not isinstance(entry, dict):
-            raise ValueError(f"record {position} is not an object")
-        if set(entry) != set(MAGIC_RECORD_FIELDS):
-            raise ValueError(
-                f"record {position} keys {sorted(entry)} != "
-                f"{sorted(MAGIC_RECORD_FIELDS)}"
-            )
-        for key, expected in types.items():
-            if not isinstance(entry[key], expected):
-                raise ValueError(
-                    f"record {position} field {key!r} has type "
-                    f"{type(entry[key]).__name__}"
-                )
-        if entry["mode"] not in ("magic", "full"):
-            raise ValueError(
-                f"record {position} mode {entry['mode']!r} is not "
-                "'magic' or 'full'"
-            )
-        records.append(MagicRecord(**entry))
-    return records
+    return _validate_artifact(
+        data,
+        label="magic",
+        version=MAGIC_SCHEMA_VERSION,
+        fields=MAGIC_RECORD_FIELDS,
+        types={
+            "benchmark": str,
+            "mode": str,
+            "size": int,
+            "seconds": (int, float),
+            "facts_derived": int,
+        },
+        enums={"mode": ("magic", "full")},
+        factory=MagicRecord,
+    )
 
 
 def load_magic_artifact(path: str) -> list[MagicRecord]:
@@ -724,19 +759,12 @@ class FeedbackRecord:
 
 def feedback_artifact_dict(records: list[FeedbackRecord]) -> dict[str, Any]:
     """The artifact document: schema-versioned, deterministically ordered."""
-    ordered = sorted(records, key=lambda r: (r.benchmark, r.mode, r.size))
-    return {
-        "version": FEEDBACK_SCHEMA_VERSION,
-        "benchmarks": [record.to_dict() for record in ordered],
-    }
+    return _artifact_dict(records, FEEDBACK_SCHEMA_VERSION, "mode")
 
 
 def write_feedback_artifact(records: list[FeedbackRecord], path: str) -> None:
     """Write ``BENCH_feedback.json`` (sorted records, sorted keys)."""
-    with open(path, "w") as handle:
-        json.dump(feedback_artifact_dict(records), handle, indent=2,
-                  sort_keys=True)
-        handle.write("\n")
+    _write_artifact(feedback_artifact_dict(records), path)
 
 
 def validate_feedback_artifact(data: Any) -> list[FeedbackRecord]:
@@ -745,48 +773,21 @@ def validate_feedback_artifact(data: Any) -> list[FeedbackRecord]:
     Returns the parsed records; raises :class:`ValueError` on drift
     (wrong version, missing/extra keys, wrong types, unknown mode).
     """
-    if not isinstance(data, dict):
-        raise ValueError("feedback artifact must be a JSON object")
-    if data.get("version") != FEEDBACK_SCHEMA_VERSION:
-        raise ValueError(
-            f"feedback artifact version {data.get('version')!r} != "
-            f"{FEEDBACK_SCHEMA_VERSION}"
-        )
-    extra_top = set(data) - {"version", "benchmarks"}
-    if extra_top:
-        raise ValueError(f"unexpected top-level keys: {sorted(extra_top)}")
-    entries = data.get("benchmarks")
-    if not isinstance(entries, list):
-        raise ValueError("feedback artifact 'benchmarks' must be a list")
-    types = {
-        "benchmark": str,
-        "mode": str,
-        "size": int,
-        "seconds": (int, float),
-        "adaptive_replans": int,
-    }
-    records: list[FeedbackRecord] = []
-    for position, entry in enumerate(entries):
-        if not isinstance(entry, dict):
-            raise ValueError(f"record {position} is not an object")
-        if set(entry) != set(FEEDBACK_RECORD_FIELDS):
-            raise ValueError(
-                f"record {position} keys {sorted(entry)} != "
-                f"{sorted(FEEDBACK_RECORD_FIELDS)}"
-            )
-        for key, expected in types.items():
-            if not isinstance(entry[key], expected):
-                raise ValueError(
-                    f"record {position} field {key!r} has type "
-                    f"{type(entry[key]).__name__}"
-                )
-        if entry["mode"] not in ("cold", "warmed"):
-            raise ValueError(
-                f"record {position} mode {entry['mode']!r} is not "
-                "'cold' or 'warmed'"
-            )
-        records.append(FeedbackRecord(**entry))
-    return records
+    return _validate_artifact(
+        data,
+        label="feedback",
+        version=FEEDBACK_SCHEMA_VERSION,
+        fields=FEEDBACK_RECORD_FIELDS,
+        types={
+            "benchmark": str,
+            "mode": str,
+            "size": int,
+            "seconds": (int, float),
+            "adaptive_replans": int,
+        },
+        enums={"mode": ("cold", "warmed")},
+        factory=FeedbackRecord,
+    )
 
 
 def load_feedback_artifact(path: str) -> list[FeedbackRecord]:

@@ -106,12 +106,13 @@ class ProfileReport:
     """Per-rule hot-spot report for one engine run."""
 
     engine: str = ""
-    #: Matcher path of the profiled run.  Default profiles are collected
-    #: through the interpreted twin (the compiled kernel has no probe
-    #: hooks), so this is ``"interpreted"`` — recorded explicitly so
-    #: readers comparing against ``repro stats`` (compiled by default)
-    #: are not misled.  ``repro profile --planned`` keeps the planner
-    #: and kernel on (counters-only spans) and reports ``"compiled"``.
+    #: Matcher tier of the profiled run.  Default profiles are collected
+    #: through the interpreted twin (the compiled and codegen kernels
+    #: have no probe hooks), so this is ``"interpreted"`` — recorded
+    #: explicitly so readers comparing against ``repro stats`` (codegen
+    #: by default) are not misled.  ``repro profile --planned`` keeps
+    #: the planner and the full matcher stack on (counters-only spans)
+    #: and reports the active tier — ``"codegen"`` by default.
     matcher: str = ""
     seconds: float = 0.0
     stages: int = 0

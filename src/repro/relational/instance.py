@@ -384,6 +384,30 @@ class Relation:
         self._collect(node, len(order) - depth, out)
         return out
 
+    def probe_chain_live(
+        self, order: tuple[int, ...], depth: int, key: tuple
+    ) -> "Iterable[tuple]":
+        """:meth:`probe_chain` without the defensive snapshot.
+
+        A full-depth probe returns the live bucket itself (iterating it
+        yields the tuples in the same insertion order the snapshot
+        would).  The caller must not mutate the relation while
+        consuming the result — the codegen tier's fused ``run_emit``
+        path qualifies, since it never yields control mid-walk.
+        """
+        node = self._chains.get(order)
+        if node is None:
+            node = self.chain_index(order)
+        for v in key:
+            node = node.get(v)
+            if node is None:
+                return ()
+        if depth == len(order):
+            return node
+        out: list[tuple] = []
+        self._collect(node, len(order) - depth, out)
+        return out
+
     @staticmethod
     def _collect(node: dict, remaining: int, out: list[tuple]) -> None:
         if remaining == 0:

@@ -14,9 +14,12 @@ literals.  Variables occurring *only* in negative literals range over
 the full active domain, exactly as the paper's semantics prescribes
 (this is what makes ``CT(x,y) ← ¬T(x,y)`` meaningful).
 
-Two matcher paths produce those instantiations:
+Three matcher tiers produce those instantiations:
 
-* the **compiled** kernel (:mod:`repro.semantics.plan`, the default) —
+* the **codegen** tier (:mod:`repro.semantics.codegen`, the default) —
+  each plan additionally compiles to specialized Python source
+  (``PlanCache.codegen``), dispatched inside the plan itself;
+* the **compiled** kernel (:mod:`repro.semantics.plan`) —
   each (rule, join order) is compiled once into a flat slot-based plan
   and executed as an iterative walk over candidate tuples;
 * the **interpreted** twin below — the direct recursive-generator
@@ -40,7 +43,7 @@ from typing import Hashable, Iterator
 from repro.ast.program import Program
 from repro.ast.rules import EqLit, Lit, Rule
 from repro.relational.instance import Database
-from repro.semantics.plan import PlanCache, plan_for
+from repro.semantics.plan import PlanCache, active_matcher, plan_for
 from repro.terms import Const, Var, apply_valuation
 
 #: Version of the ``repro stats --format json`` schema.  Bump on any
@@ -107,7 +110,8 @@ class EngineStats:
     """
 
     engine: str = ""
-    #: Which matcher path produced the instantiations: ``"compiled"``
+    #: Which matcher tier produced the instantiations: ``"codegen"``
+    #: (specialized per-plan functions, the default), ``"compiled"``
     #: (the slot-plan kernel) or ``"interpreted"`` (the reference path,
     #: always used when a tracer observes the run).
     matcher: str = ""
@@ -236,9 +240,8 @@ class StatsRecorder:
             self.tracer, "planned", False
         )
         self.stats.matcher = (
-            "compiled"
-            if PlanCache.compiled_plans
-            and (self.tracer is None or planned)
+            active_matcher()
+            if self.tracer is None or planned
             else "interpreted"
         )
         self._db: Database | None = None

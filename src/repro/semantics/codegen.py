@@ -1,0 +1,407 @@
+"""Source-emitting backend: each :class:`~repro.semantics.plan.RulePlan`
+compiled to specialized Python.
+
+PR 4's slot-plan kernel removed the per-candidate term walking of the
+interpreted matcher, but :meth:`RulePlan._run` is still a generic
+interpreter: every candidate tuple pays a loop over ``Step`` records,
+``binds``/``withins`` tuples, and an ``iters`` backtracking stack that
+encode the *rule*, not the data.  None of that varies at runtime, so
+this module compiles it away entirely: for each plan it emits a small
+Python module — one specialized function per semi-naive variant — and
+``exec``\\ s it once, keeping the source string for debugging
+(``repro run --dump-codegen DIR`` writes it out).
+
+Per plan the generated module contains:
+
+* ``walk_full`` / ``walk_r{i}`` — generator twins of
+  :meth:`RulePlan._run`: the full-pass walk and one variant per step
+  ``i`` with that step's candidates drawn from the delta.  The join
+  becomes literal nested ``for`` loops; index keys are tuple displays
+  over baked constants and slot reads; repeat checks and residual
+  (in)equalities are inline ``if``\\ s with constant indices.
+* ``emit_full`` / ``emit_r{i}`` — the fused single-positive-head twins
+  of :meth:`RulePlan.run_emit`.  These drop the slot list for flat
+  locals (``v0, v1, …``) and bake the head template into the ``add``
+  call.  Because the fused path never yields, nothing can mutate the
+  database mid-walk, so these variants also skip the defensive bucket
+  snapshots (``list(bucket)`` / ``list(rel)``) and probe chain tries
+  through :meth:`Relation.probe_chain_live` — the main reason the tier
+  beats the plan interpreter.
+* ``group_r{i}`` — the delta grouping of ``_run`` with the key
+  positions baked in.
+
+Enumeration-order identity (the contract seeded choice/nondeterministic
+engines replay against) is preserved construct by construct: buckets
+and chain probes enumerate insertion order, full scans iterate the
+relation's tuple set, restricted variants iterate the delta frozenset
+(grouped per key in that same order), adom products become nested loops
+in ``unbound_slots`` order, and the generator flavor keeps the per-probe
+snapshots because its consumers *can* mutate between yields.  Two
+intentional micro-divergences, both unobservable: a step whose relation
+is missing at walk start returns immediately (the walk could never
+yield, so no consumer can create the relation mid-walk), and the flat
+index table is fetched once per walk at first probe instead of per
+probe (the live table dict is stable within a walk).
+
+The tier sits behind :attr:`PlanCache.codegen` (default on; precedence
+codegen > compiled > interpreted) and is dispatched per call inside
+``RulePlan._run`` / ``RulePlan.run_emit``, so flipping the toggle
+mid-session bypasses compiled functions immediately — no staleness
+window.  Compiled functions are cached on the plan object itself
+(``RulePlan.codegen_fns``): they die with the plan on
+:meth:`PlanCache.clear`, planner replans build fresh plans (hence fresh
+functions), and :func:`~repro.semantics.plan.plan_with_cover` resets
+the slot on its twin so a chain-probing plan never runs the base plan's
+flat-index code.
+"""
+
+from __future__ import annotations
+
+import itertools
+import linecache
+from typing import Hashable, Iterator
+
+__all__ = ["CodegenPlan", "compile_plan", "dump_codegen"]
+
+#: Values emitted as literals in the generated source.  Exact types
+#: only: a subclass (IntEnum, str subclasses) may not repr-round-trip,
+#: and floats are excluded because ``nan``/``inf`` have no literal —
+#: everything else is hoisted into the module namespace by name.
+_LITERAL_TYPES = (int, str, bool, type(None))
+
+_SEQ = itertools.count()
+
+
+class _Source:
+    """Accumulates generated lines and the hoisted-constant pool."""
+
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+        self.consts: list[tuple[str, Hashable]] = []
+
+    def add(self, indent: int, text: str) -> None:
+        self.lines.append("    " * indent + text)
+
+    def lit(self, value: Hashable) -> str:
+        """A source expression evaluating to ``value``."""
+        if type(value) in _LITERAL_TYPES:
+            return repr(value)
+        for name, existing in self.consts:
+            if type(existing) is type(value) and existing == value:
+                return name
+        name = f"_K{len(self.consts)}"
+        self.consts.append((name, value))
+        return name
+
+    def text(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+def _tuple_expr(elements: list[str]) -> str:
+    if not elements:
+        return "()"
+    if len(elements) == 1:
+        return f"({elements[0]},)"
+    return "(" + ", ".join(elements) + ")"
+
+
+def _key_exprs(src: _Source, step, slot_ref) -> list[str]:
+    """Per-element expressions of the step's index key, position order."""
+    exprs = [src.lit(value) for value in step.key_template]
+    for template_index, s in step.key_fills:
+        exprs[template_index] = slot_ref(s)
+    return exprs
+
+
+def _template_expr(src: _Source, template, fills, slot_ref) -> str:
+    """Tuple display for a (template, fills) pair (head or negation)."""
+    exprs = [src.lit(value) for value in template]
+    for position, s in fills:
+        exprs[position] = slot_ref(s)
+    return _tuple_expr(exprs)
+
+
+def _emit_variant(src: _Source, plan, restricted_index: int,
+                  fused: bool) -> str:
+    """One specialized walk; returns the emitted function's name."""
+    steps = plan.steps
+    suffix = "full" if restricted_index < 0 else f"r{restricted_index}"
+    name = ("emit_" if fused else "walk_") + suffix
+    params = "db, adom, add" if fused else "db, adom, slots"
+    if restricted_index >= 0:
+        params += ", restricted"
+    if fused:
+        def slot_ref(s: int) -> str:
+            return f"v{s}"
+        bail = "return fired"
+    else:
+        def slot_ref(s: int) -> str:
+            return f"slots[{s}]"
+        bail = "return"
+
+    src.add(0, f"def {name}({params}):")
+    if fused:
+        src.add(1, "fired = 0")
+
+    # Prologue: resolve every non-restricted step's relation once.  A
+    # missing relation means the walk can never reach full depth, so no
+    # consumer runs mid-walk and nothing can create it — bail out.
+    for d, step in enumerate(steps):
+        if d == restricted_index:
+            continue
+        src.add(1, f"rel{d} = db.relation({src.lit(step.relation)})")
+        src.add(1, f"if rel{d} is None:")
+        src.add(2, bail)
+        if (step.key_positions and not step.exact
+                and step.chain_order is None):
+            src.add(1, f"t{d} = None")
+    if fused:
+        # The fused walk never yields, so the database is frozen for
+        # the whole call: negation relations can be resolved up front.
+        for k, (relation, _template, _fills) in enumerate(plan.neg_checks):
+            src.add(1, f"nrel{k} = db.relation({src.lit(relation)})")
+
+    indent = 1
+    in_loop = False
+    for d, step in enumerate(steps):
+        key = _key_exprs(src, step, slot_ref)
+        if d == restricted_index:
+            # ``restricted`` is pre-grouped by group_r{d} when the step
+            # has key positions, else the raw delta frozenset.
+            if step.key_positions:
+                src.add(indent,
+                        f"for c{d} in restricted.get({_tuple_expr(key)}, ()):")
+            else:
+                src.add(indent, f"for c{d} in restricted:")
+            in_loop = True
+        elif step.exact:
+            # Fully bound: a membership probe, not a loop.  ``continue``
+            # statements below still behave exactly like the interpreted
+            # walk's single-candidate iterator exhausting.
+            src.add(indent, f"if {_tuple_expr(key)} in rel{d}:")
+        elif step.chain_order is not None:
+            chain_key = _tuple_expr([key[i] for i in step.chain_perm])
+            probe = "probe_chain_live" if fused else "probe_chain"
+            src.add(indent,
+                    f"for c{d} in rel{d}.{probe}({step.chain_order!r}, "
+                    f"{step.chain_depth}, {chain_key}):")
+            in_loop = True
+        elif step.key_positions:
+            src.add(indent, f"if t{d} is None:")
+            src.add(indent + 1, f"t{d} = rel{d}.index({step.key_positions!r})")
+            src.add(indent, f"b{d} = t{d}.get({_tuple_expr(key)})")
+            src.add(indent, f"if b{d}:")
+            indent += 1
+            bucket = f"b{d}" if fused else f"list(b{d})"
+            src.add(indent, f"for c{d} in {bucket}:")
+            in_loop = True
+        else:
+            scan = f"rel{d}" if fused else f"list(rel{d})"
+            src.add(indent, f"for c{d} in {scan}:")
+            in_loop = True
+        indent += 1
+        for p2, p1 in step.withins:
+            src.add(indent, f"if c{d}[{p2}] != c{d}[{p1}]:")
+            src.add(indent + 1, "continue")
+        for position, s in step.binds:
+            src.add(indent, f"{slot_ref(s)} = c{d}[{position}]")
+
+    # -- the finish block (assigns, checks, adom, residuals, output) --
+    fail = "continue" if in_loop else bail
+    for dst, source_slot, value in plan.assigns:
+        rhs = slot_ref(source_slot) if source_slot is not None \
+            else src.lit(value)
+        src.add(indent, f"{slot_ref(dst)} = {rhs}")
+
+    def emit_checks(checks) -> None:
+        for ls, lc, rs, rc, positive in checks:
+            left = slot_ref(ls) if ls is not None else src.lit(lc)
+            right = slot_ref(rs) if rs is not None else src.lit(rc)
+            op = "!=" if positive else "=="
+            src.add(indent, f"if {left} {op} {right}:")
+            src.add(indent + 1, fail)
+
+    emit_checks(plan.pre_checks)
+    for j, s in enumerate(plan.unbound_slots):
+        if fused:
+            src.add(indent, f"for v{s} in adom:")
+        else:
+            src.add(indent, f"for e{j} in adom:")
+        indent += 1
+        if not fused:
+            src.add(indent, f"slots[{s}] = e{j}")
+    if plan.unbound_slots:
+        fail = "continue"
+    for k, (relation, template, fills) in enumerate(plan.neg_checks):
+        probe = _template_expr(src, template, fills, slot_ref)
+        if fused:
+            src.add(indent, f"if nrel{k} is not None and {probe} in nrel{k}:")
+        else:
+            src.add(indent,
+                    f"if db.has_fact({src.lit(relation)}, {probe}):")
+        src.add(indent + 1, fail)
+    emit_checks(plan.post_checks)
+    if fused:
+        relation, template, fills, _positive = plan.emitters[0]
+        src.add(indent, "fired += 1")
+        src.add(indent, f"add(({src.lit(relation)}, "
+                        f"{_template_expr(src, template, fills, slot_ref)}))")
+        src.add(1, "return fired")
+    else:
+        src.add(indent, "yield slots")
+    src.add(0, "")
+    return name
+
+
+def _emit_group(src: _Source, index: int, positions) -> str:
+    """The delta grouping of ``_run`` with key positions baked in."""
+    name = f"group_r{index}"
+    key = _tuple_expr([f"t[{p}]" for p in positions])
+    src.add(0, f"def {name}(restricted):")
+    src.add(1, "grouped = {}")
+    src.add(1, "for t in restricted:")
+    src.add(2, f"k = {key}")
+    src.add(2, "g = grouped.get(k)")
+    src.add(2, "if g is None:")
+    src.add(3, "grouped[k] = [t]")
+    src.add(2, "else:")
+    src.add(3, "g.append(t)")
+    src.add(1, "return grouped")
+    src.add(0, "")
+    return name
+
+
+class CodegenPlan:
+    """One plan's compiled functions plus the source they came from.
+
+    ``run``/``run_emit`` mirror the signatures ``RulePlan._run`` /
+    ``RulePlan.run_emit`` dispatch with (minus the head spec, which is
+    baked — callers verify it against ``head_relation``/``head_fills``
+    before dispatching).
+    """
+
+    __slots__ = (
+        "source",
+        "filename",
+        "n_slots",
+        "head_relation",
+        "head_fills",
+        "_walks",
+        "_emits",
+        "_groups",
+    )
+
+    def run(self, db, adom, restricted_index: int, restricted) -> Iterator:
+        """Generator twin of the interpreted ``_run``."""
+        if restricted_index < 0:
+            return self._walks[0](db, adom, [None] * self.n_slots)
+        group = self._groups[restricted_index]
+        if group is not None:
+            restricted = group(restricted)
+        return self._walks[restricted_index + 1](
+            db, adom, [None] * self.n_slots, restricted
+        )
+
+    def run_emit(self, db, adom, restricted_index: int, restricted,
+                 out: set) -> int:
+        """Fused twin of ``RulePlan.run_emit``; returns firings."""
+        if restricted_index < 0:
+            return self._emits[0](db, adom, out.add)
+        group = self._groups[restricted_index]
+        if group is not None:
+            restricted = group(restricted)
+        return self._emits[restricted_index + 1](
+            db, adom, out.add, restricted
+        )
+
+
+def compile_plan(plan) -> CodegenPlan:
+    """Emit, compile, and bind the specialized functions for ``plan``."""
+    src = _Source()
+    rule_text = " ".join(str(plan.rule).split())
+    src.add(0, f"# codegen for rule: {rule_text}")
+    src.add(0, f"# join order: {plan.order!r}   slots: "
+               + " ".join(f"{v.name}={s}" for v, s in plan.out_vars))
+    src.add(0, "")
+    variants = [-1, *range(len(plan.steps))]
+    walk_names = [_emit_variant(src, plan, r, fused=False)
+                  for r in variants]
+    emittable = (
+        plan.emitters is not None
+        and len(plan.emitters) == 1
+        and plan.emitters[0][3]
+    )
+    emit_names = (
+        [_emit_variant(src, plan, r, fused=True) for r in variants]
+        if emittable
+        else None
+    )
+    group_names: list[str | None] = [
+        _emit_group(src, i, step.key_positions) if step.key_positions
+        else None
+        for i, step in enumerate(plan.steps)
+    ]
+
+    source = src.text()
+    filename = f"<codegen-{next(_SEQ)}: {rule_text}>"
+    namespace: dict = dict(src.consts)
+    exec(compile(source, filename, "exec"), namespace)
+    # Register with linecache so tracebacks through generated code show
+    # the emitted lines.
+    linecache.cache[filename] = (
+        len(source), None, source.splitlines(True), filename
+    )
+
+    cg = CodegenPlan.__new__(CodegenPlan)
+    cg.source = source
+    cg.filename = filename
+    cg.n_slots = plan.n_slots
+    cg._walks = [namespace[name] for name in walk_names]
+    cg._emits = (
+        [namespace[name] for name in emit_names] if emit_names else None
+    )
+    cg._groups = [
+        namespace[name] if name is not None else None
+        for name in group_names
+    ]
+    if emittable:
+        relation, _template, fills, _positive = plan.emitters[0]
+        cg.head_relation = relation
+        cg.head_fills = fills
+    else:
+        cg.head_relation = None
+        cg.head_fills = None
+    return cg
+
+
+def dump_codegen(program, directory: str) -> list[str]:
+    """Write each rule's generated source under ``directory``.
+
+    Dumps every cached plan of every rule (compiling on demand if a
+    plan has not run under the codegen tier yet), one file per (rule,
+    join order).  Returns the written paths.  Debug tooling for
+    ``repro run --dump-codegen``; cover twins built by the planner live
+    on its decisions, not in the plan cache, so this shows the
+    flat-index variants.
+    """
+    import os
+
+    from repro.semantics.plan import PlanCache, plan_for
+
+    os.makedirs(directory, exist_ok=True)
+    paths: list[str] = []
+    for i, rule in enumerate(program.rules):
+        per_rule = PlanCache._plans.get(rule)
+        plans = list(per_rule.values()) if per_rule else []
+        if not plans:
+            plans = [plan_for(rule, tuple(range(len(rule.positive_body()))))]
+        for plan in plans:
+            fns = plan.codegen_fns
+            if fns is None:
+                fns = compile_plan(plan)
+            order = "_".join(map(str, plan.order)) if plan.order else "empty"
+            path = os.path.join(directory, f"rule{i}_order_{order}.py")
+            with open(path, "w") as handle:
+                handle.write(fns.source)
+            paths.append(path)
+    return paths

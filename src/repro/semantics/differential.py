@@ -67,7 +67,7 @@ from repro.semantics.base import (
     instantiate_head,
     iter_matches,
 )
-from repro.semantics.plan import PlanCache
+from repro.semantics.plan import active_matcher
 from repro.terms import Const
 
 Fact = tuple[str, tuple]
@@ -261,7 +261,7 @@ class DifferentialEngine:
         self._subscriptions: list[Subscription] = []
         self.stats = EngineStats(
             engine="differential",
-            matcher="compiled" if PlanCache.compiled_plans else "interpreted",
+            matcher=active_matcher(),
         )
         self.stats.differential = {
             "components": [

@@ -51,6 +51,20 @@ The whole layer sits behind :attr:`PlanCache.compiled_plans`
 routes every engine through the interpreted matcher, which the
 benchmark suite uses to ablate compiled vs interpreted
 (``BENCH_kernel.json``).
+
+On top of the plan interpreter sits a third tier,
+:attr:`PlanCache.codegen` (default on): ``_run``/``run_emit`` dispatch
+per call to functions *generated from the plan* by
+:mod:`repro.semantics.codegen` — the walk above with the step dispatch,
+slot lists, and check loops compiled into literal Python.  Precedence
+is codegen > compiled > interpreted; traced runs still drop to the
+interpreted matcher upstream so per-literal ``JoinProbe`` counts stay
+exact.  The compiled functions are cached on the plan itself
+(``codegen_fns``), so they are invalidated exactly when the plan is:
+:meth:`PlanCache.clear` drops the plans (and their functions) together,
+a planner replan selects or builds a different plan object, and
+:func:`plan_with_cover` resets the slot on its chain-probing twin.
+``BENCH_codegen.json`` carries the three-way ablation.
 """
 
 from __future__ import annotations
@@ -61,11 +75,12 @@ from weakref import WeakKeyDictionary
 
 from repro.ast.rules import EqLit, Lit, Rule
 from repro.relational.instance import Database
+from repro.semantics.codegen import compile_plan
 from repro.terms import Const, Var
 
 
 class PlanCache:
-    """The compiled-plan registry and its class-wide toggle."""
+    """The compiled-plan registry and its class-wide toggles."""
 
     #: Class-wide switch.  When True (the default), ``iter_matches`` and
     #: ``immediate_consequences`` run compiled plans; when False, every
@@ -73,6 +88,14 @@ class PlanCache:
     #: The benchmark suite flips this to measure the kernel's win;
     #: production code should never touch it.
     compiled_plans: bool = True
+
+    #: Third matcher tier: when True (the default) and
+    #: ``compiled_plans`` is on, plans execute the specialized functions
+    #: :mod:`repro.semantics.codegen` emits for them instead of the
+    #: generic slot walk below.  Checked per ``_run``/``run_emit`` call,
+    #: so flipping it mid-session bypasses (without discarding) any
+    #: already-compiled functions immediately.
+    codegen: bool = True
 
     #: rule → {join order (indices into positive_body) → RulePlan}.
     #: Weak on the rule so plans die with the program; structurally
@@ -83,7 +106,22 @@ class PlanCache:
 
     @classmethod
     def clear(cls) -> None:
+        """Drop every cached plan — and, with each plan, its codegen'd
+        functions (``codegen_fns`` lives on the plan object, so the two
+        caches cannot go out of sync)."""
         cls._plans = WeakKeyDictionary()
+
+
+def active_matcher() -> str:
+    """The matcher tier an untraced run will use right now.
+
+    ``"codegen"`` > ``"compiled"`` > ``"interpreted"``: the codegen tier
+    only applies on top of the compiled kernel, so turning
+    ``compiled_plans`` off wins regardless of ``codegen``.
+    """
+    if not PlanCache.compiled_plans:
+        return "interpreted"
+    return "codegen" if PlanCache.codegen else "compiled"
 
 
 class Step:
@@ -164,11 +202,22 @@ class RulePlan:
         "out_vars",
         "emitters",
         "trivial_finish",
+        "codegen_fns",
+        "cover_twins",
     )
 
     def __init__(self, rule: Rule, order: tuple[int, ...]):
         self.rule = rule
         self.order = order
+        #: Lazily-built :class:`~repro.semantics.codegen.CodegenPlan`;
+        #: lives and dies with this plan object (see PlanCache.clear).
+        self.codegen_fns = None
+        #: Memoized :func:`plan_with_cover` twins, keyed by the applied
+        #: per-step chain specs.  Planner contexts are per-evaluation,
+        #: so without this each run would rebuild (and, under the
+        #: codegen tier, recompile) every cover twin.  Same lifecycle
+        #: as the plan itself.
+        self.cover_twins = None
         positive = rule.positive_body()
         slot_of: dict[Var, int] = {}
 
@@ -432,6 +481,27 @@ class RulePlan:
         restricted_index: int,
         restricted: frozenset[tuple] | None,
     ) -> Iterator[list]:
+        """The backtracking walk — codegen'd when the tier is on.
+
+        Every consumer funnels through here (``iter_slot_matches``,
+        ``iter_restricted``, the planner's ``_emit`` path), so this one
+        per-call check is the whole codegen dispatch for the generator
+        flavor.
+        """
+        if PlanCache.codegen:
+            fns = self.codegen_fns
+            if fns is None:
+                fns = self.codegen_fns = compile_plan(self)
+            return fns.run(db, adom, restricted_index, restricted)
+        return self._run_interpreted(db, adom, restricted_index, restricted)
+
+    def _run_interpreted(
+        self,
+        db: Database,
+        adom: tuple[Hashable, ...],
+        restricted_index: int,
+        restricted: frozenset[tuple] | None,
+    ) -> Iterator[list]:
         """The iterative backtracking walk over the compiled steps."""
         slots = [None] * self.n_slots
         steps = self.steps
@@ -523,7 +593,19 @@ class RulePlan:
         Must mirror ``_run``'s traversal exactly — the planner
         differential suite (planner on/off × compiled/interpreted) pins
         the equivalence.  Returns the number of matches (firings).
+
+        Under the codegen tier the call dispatches to the fused
+        specialized variant, which bakes the head spec in — the guard
+        confirms the caller passed this plan's own emitter before
+        trusting the baked one.
         """
+        if PlanCache.codegen:
+            fns = self.codegen_fns
+            if fns is None:
+                fns = self.codegen_fns = compile_plan(self)
+            if (fns._emits is not None and relation == fns.head_relation
+                    and fills == fns.head_fills):
+                return fns.run_emit(db, adom, restricted_index, restricted, out)
         fired = 0
         add = out.add
         slots = [None] * self.n_slots
@@ -667,13 +749,29 @@ def plan_with_cover(
     shared with the original plan unchanged; the cached original itself
     is never mutated, because seeded engines and planner-off runs keep
     executing it against flat indexes.
+
+    Twins are memoized on the base plan keyed by the applied per-step
+    chain specs: planner contexts are per-evaluation, and rebuilding a
+    twin each run would recompile its codegen functions each run too.
+    The memo shares the plan cache's lifecycle (cleared together,
+    replaced together on replans that change the order).
     """
+    specs = tuple(
+        assign.get((step.relation, frozenset(step.key_positions)))
+        if step.key_positions and not step.exact
+        else None
+        for step in plan.steps
+    )
+    if not any(spec is not None for spec in specs):
+        return plan
+    twins = plan.cover_twins
+    if twins is None:
+        twins = plan.cover_twins = {}
+    cached = twins.get(specs)
+    if cached is not None:
+        return cached
     steps: list[Step] = []
-    changed = False
-    for step in plan.steps:
-        spec = None
-        if step.key_positions and not step.exact:
-            spec = assign.get((step.relation, frozenset(step.key_positions)))
+    for step, spec in zip(plan.steps, specs):
         if spec is None:
             steps.append(step)
             continue
@@ -700,11 +798,14 @@ def plan_with_cover(
             else None
         )
         steps.append(clone)
-        changed = True
-    if not changed:
-        return plan
     twin = RulePlan.__new__(RulePlan)
     for name in RulePlan.__slots__:
         setattr(twin, name, getattr(plan, name))
     twin.steps = tuple(steps)
+    # The slot copy above carried the base plan's codegen'd functions,
+    # which probe flat indexes — stale for a chain-probing twin.  Reset
+    # so the twin compiles its own (the cache-coherence contract).
+    twin.codegen_fns = None
+    twin.cover_twins = None
+    twins[specs] = twin
     return twin

@@ -210,9 +210,9 @@ class TestStatsJson:
         }
         assert stats["engine"] == "seminaive"
         # Additive fields under STATS_SCHEMA_VERSION=1: which matcher
-        # path produced the instantiations (untraced runs take the
-        # compiled kernel by default) and the query planner's report.
-        assert stats["matcher"] == "compiled"
+        # tier produced the instantiations (untraced runs take the
+        # codegen tier by default) and the query planner's report.
+        assert stats["matcher"] == "codegen"
         assert stats["planner"] is not None
         assert {"plan_lookups", "plan_hits", "replans", "rules",
                 "index_cover", "scheduled_components"} <= set(stats["planner"])

@@ -1,0 +1,396 @@
+"""The codegen matcher tier: emitted source, dispatch, cache coherence.
+
+The contract under test: :mod:`repro.semantics.codegen` is an
+*optimization tier* — byte-identical match enumeration, identical
+answers, firings, and stages versus the compiled kernel and the
+reference interpreted matcher, under every engine.  The evidence here
+is layered: shape checks on the emitted source, a 50-program
+three-way differential across four semantics, seeded byte-identical
+replays of the choice and nondeterministic engines, and the cache
+coherence rules (toggle flips bypass immediately, ``PlanCache.clear``
+and cover twins never run stale functions).
+"""
+
+import contextlib
+import io
+import random
+
+import pytest
+
+from repro.cli import main
+from repro.parser import parse_program
+from repro.relational.instance import Database
+from repro.semantics.choice import evaluate_with_choice
+from repro.semantics.codegen import compile_plan, dump_codegen
+from repro.semantics.differential import DifferentialEngine
+from repro.semantics.naive import evaluate_datalog_naive
+from repro.semantics.nondeterministic import run_nondeterministic
+from repro.semantics.plan import (
+    PlanCache,
+    active_matcher,
+    plan_for,
+    plan_with_cover,
+)
+from repro.semantics.seminaive import evaluate_datalog_seminaive
+from repro.semantics.stratified import evaluate_stratified
+from repro.semantics.wellfounded import evaluate_wellfounded
+from repro.workloads.graphs import chain, graph_database
+from tests.test_differential_engines import random_program_and_database
+
+TIERS = ("codegen", "compiled", "interpreted")
+
+
+@contextlib.contextmanager
+def _tier(tier: str):
+    """Run the body under one matcher tier, restoring the defaults."""
+    assert PlanCache.compiled_plans and PlanCache.codegen  # the defaults
+    PlanCache.compiled_plans = tier != "interpreted"
+    PlanCache.codegen = tier == "codegen"
+    try:
+        yield
+    finally:
+        PlanCache.compiled_plans = True
+        PlanCache.codegen = True
+
+
+TC_NONLINEAR = "T(x, y) :- G(x, y).\nT(x, y) :- T(x, z), T(z, y).\n"
+
+
+def _tc_db(n: int = 8) -> Database:
+    return graph_database(chain(n))
+
+
+class TestEmittedSource:
+    """The generated module has the promised shape."""
+
+    def _plan(self):
+        program = parse_program(TC_NONLINEAR)
+        rule = program.rules[1]  # T(x,y) :- T(x,z), T(z,y).
+        return plan_for(rule, (0, 1))
+
+    def test_variants_present(self):
+        cg = compile_plan(self._plan())
+        for name in ("def walk_full(", "def walk_r0(", "def walk_r1(",
+                     "def emit_full(", "def emit_r0(", "def emit_r1(",
+                     "def group_r1("):
+            assert name in cg.source, name
+
+    def test_constants_and_head_baked(self):
+        cg = compile_plan(self._plan())
+        # The relation name and the head template are literals in the
+        # source, not runtime lookups.
+        assert "db.relation('T')" in cg.source
+        assert "add(('T', " in cg.source
+        assert cg.head_relation == "T"
+
+    def test_fused_flavor_skips_snapshots(self):
+        cg = compile_plan(self._plan())
+        # The generator flavor snapshots each bucket (consumers may
+        # mutate the database between yields); the fused flavor never
+        # yields, so it iterates buckets live.
+        walk = cg.source[cg.source.index("def walk_full"):
+                         cg.source.index("def walk_r0")]
+        emit = cg.source[cg.source.index("def emit_full"):
+                         cg.source.index("def emit_r0")]
+        assert "list(" in walk
+        assert "list(" not in emit
+
+    def test_source_compiles_to_working_walk(self):
+        plan = self._plan()
+        cg = compile_plan(plan)
+        db = _tc_db(4)
+        db.ensure_relation("T", 2).update(db.tuples("G"))
+        rows = {tuple(slots) for slots in cg.run(db, (), -1, None)}
+        interpreted = {
+            tuple(slots)
+            for slots in plan._run_interpreted(db, (), -1, None)
+        }
+        assert rows == interpreted
+
+    def test_dump_codegen_writes_sources(self, tmp_path):
+        program = parse_program(TC_NONLINEAR)
+        evaluate_datalog_seminaive(program, _tc_db(4))
+        paths = dump_codegen(program, str(tmp_path))
+        assert paths, "no generated sources written"
+        for path in paths:
+            text = open(path).read()
+            assert "# codegen for rule:" in text
+            assert "def walk_full(" in text
+
+
+class TestTierDispatch:
+    """Tier precedence, stats surface, and the traced-run downgrade."""
+
+    def test_codegen_is_the_default(self):
+        assert PlanCache.codegen
+        assert active_matcher() == "codegen"
+
+    @pytest.mark.parametrize("tier", TIERS)
+    def test_stats_report_the_tier(self, tier):
+        program = parse_program(TC_NONLINEAR)
+        with _tier(tier):
+            result = evaluate_datalog_seminaive(program, _tc_db())
+        assert result.stats.matcher == tier
+
+    def test_tiers_agree_on_answers(self):
+        program = parse_program(TC_NONLINEAR)
+        answers = {}
+        firings = {}
+        for tier in TIERS:
+            with _tier(tier):
+                result = evaluate_datalog_seminaive(program, _tc_db())
+            answers[tier] = result.answer("T")
+            firings[tier] = result.stats.rule_firings
+        assert answers["codegen"] == answers["compiled"] == answers[
+            "interpreted"]
+        assert firings["codegen"] == firings["compiled"] == firings[
+            "interpreted"]
+
+    def test_traced_run_drops_to_interpreted(self):
+        # Join-probe counts must stay exact, so a traced run bypasses
+        # both compiled tiers even while codegen is on.
+        from repro.obs import CollectorSink, Tracer
+
+        program = parse_program(TC_NONLINEAR)
+        assert PlanCache.codegen
+        result = evaluate_datalog_seminaive(
+            program, _tc_db(), tracer=Tracer([CollectorSink()])
+        )
+        assert result.stats.matcher == "interpreted"
+
+
+class TestCacheCoherence:
+    """Stale codegen'd functions must never run."""
+
+    def test_toggle_flips_bypass_immediately(self):
+        # Warm the codegen cache, then flip tiers *without* clearing
+        # any cache: each subsequent run must use (and report) its own
+        # tier and produce identical answers.
+        program = parse_program(TC_NONLINEAR)
+        db = _tc_db()
+        with _tier("codegen"):
+            warm = evaluate_datalog_seminaive(program, db)
+        with _tier("compiled"):
+            compiled = evaluate_datalog_seminaive(program, db)
+        with _tier("interpreted"):
+            interpreted = evaluate_datalog_seminaive(program, db)
+        with _tier("codegen"):
+            again = evaluate_datalog_seminaive(program, db)
+        assert warm.answer("T") == compiled.answer("T")
+        assert warm.answer("T") == interpreted.answer("T")
+        assert warm.answer("T") == again.answer("T")
+        assert compiled.stats.matcher == "compiled"
+        assert interpreted.stats.matcher == "interpreted"
+        assert again.stats.matcher == "codegen"
+
+    def test_toggle_flip_between_differential_batches(self):
+        # A maintained view evaluated across a mid-session tier flip
+        # must match the from-scratch model at every step.
+        program = parse_program(TC_NONLINEAR)
+        base = graph_database(chain(6))
+        with _tier("codegen"):
+            engine = DifferentialEngine(program, base)
+        with _tier("compiled"):
+            engine.apply([("+", "G", ("n5", "x0")), ("+", "G", ("x0", "x1"))])
+        with _tier("codegen"):
+            engine.apply([("-", "G", ("n2", "n3"))])
+        scratch_base = graph_database(chain(6))
+        scratch_base.add_fact("G", ("n5", "x0"))
+        scratch_base.add_fact("G", ("x0", "x1"))
+        scratch_base.remove_fact("G", ("n2", "n3"))
+        scratch = evaluate_datalog_seminaive(program, scratch_base)
+        assert engine.database.tuples("T") == scratch.answer("T")
+
+    def test_plan_cache_clear_drops_codegen_functions(self):
+        program = parse_program(TC_NONLINEAR)
+        rule = program.rules[1]
+        plan = plan_for(rule, (0, 1))
+        db = _tc_db(4)
+        db.ensure_relation("T", 2).update(db.tuples("G"))
+        list(plan._run(db, (), -1, None))
+        assert plan.codegen_fns is not None
+        PlanCache.clear()
+        fresh = plan_for(rule, (0, 1))
+        assert fresh is not plan
+        assert fresh.codegen_fns is None
+
+    def test_cover_twin_never_runs_flat_index_code(self):
+        program = parse_program(TC_NONLINEAR)
+        rule = program.rules[1]
+        plan = plan_for(rule, (0, 1))
+        db = _tc_db(4)
+        db.ensure_relation("T", 2).update(db.tuples("G"))
+        list(plan._run(db, (), -1, None))
+        assert plan.codegen_fns is not None
+        step = plan.steps[1]
+        assert step.key_positions and not step.exact
+        assign = {
+            (step.relation, frozenset(step.key_positions)): ((0, 1), 1)
+        }
+        twin = plan_with_cover(plan, assign)
+        assert twin is not plan
+        # The slot copy must not carry the base plan's functions: they
+        # probe flat indexes, the twin probes chains.
+        assert twin.codegen_fns is None
+        twin_cg = compile_plan(twin)
+        assert "probe_chain" in twin_cg.source
+        assert "probe_chain" not in plan.codegen_fns.source
+
+
+class TestThreeWayDifferential:
+    """50 random programs: all tiers agree under every semantics."""
+
+    @pytest.mark.parametrize("seed", range(50))
+    def test_tiers_agree(self, seed):
+        rng = random.Random(seed)
+        text, db = random_program_and_database(rng)
+        program = parse_program(text)
+        engines = {
+            "naive": evaluate_datalog_naive,
+            "seminaive": evaluate_datalog_seminaive,
+            "stratified": evaluate_stratified,
+        }
+        for name, engine in engines.items():
+            outcomes = {}
+            for tier in TIERS:
+                with _tier(tier):
+                    result = engine(program, db.copy())
+                outcomes[tier] = (
+                    {r: result.answer(r) for r in program.idb},
+                    result.stats.rule_firings,
+                    result.stats.stage_count,
+                )
+            assert outcomes["codegen"] == outcomes["compiled"], (name, seed)
+            assert outcomes["codegen"] == outcomes["interpreted"], (
+                name, seed)
+        # A positive program's well-founded model is its minimum model;
+        # the alternating fixpoint still exercises the residual probes.
+        wf = {}
+        for tier in TIERS:
+            with _tier(tier):
+                model = evaluate_wellfounded(program, db.copy())
+            wf[tier] = (model.true_facts, model.unknown_facts(),
+                        model.stats.rule_firings)
+        assert wf["codegen"] == wf["compiled"] == wf["interpreted"], seed
+
+
+SPANNING_TREE = """
+root(x) :- node(x), choice((), (x)).
+intree(x) :- root(x).
+tree(x, y) :- intree(x), G(x, y), not intree(y), choice((y), (x)).
+intree(y) :- tree(x, y).
+"""
+
+
+class TestSeededReplay:
+    """Seeded engines replay byte-identically under every tier.
+
+    The choice and nondeterministic engines consume matches through a
+    seeded RNG, so any divergence in *enumeration order* — not just in
+    the match set — changes their output.  Identical committed choices
+    and identical step sequences across tiers are therefore the
+    strongest order-identity evidence available.
+    """
+
+    def _tree_db(self) -> Database:
+        rng = random.Random(11)
+        nodes = [f"n{i}" for i in range(8)]
+        db = Database()
+        for node in nodes:
+            db.add_fact("node", (node,))
+        for _ in range(14):
+            a, b = rng.sample(nodes, 2)
+            db.add_fact("G", (a, b))
+        return db
+
+    @pytest.mark.parametrize("seed", [0, 1, 7])
+    def test_choice_replays_identically(self, seed):
+        program = parse_program(SPANNING_TREE)
+        outcomes = {}
+        for tier in TIERS:
+            with _tier(tier):
+                result = evaluate_with_choice(
+                    program, self._tree_db(), seed=seed
+                )
+            outcomes[tier] = (
+                result.answer("tree"),
+                result.answer("root"),
+                result.choices,
+            )
+        assert outcomes["codegen"] == outcomes["compiled"], seed
+        assert outcomes["codegen"] == outcomes["interpreted"], seed
+
+    @pytest.mark.parametrize("seed", [0, 3, 9])
+    def test_nondeterministic_replays_identically(self, seed):
+        program = parse_program(
+            "pick(x) :- S(x), not done. done :- S(x)."
+        )
+        db = Database({"S": [("a",), ("b",), ("c",), ("d",)]})
+        outcomes = {}
+        for tier in TIERS:
+            with _tier(tier):
+                run = run_nondeterministic(program, db.copy(), seed=seed)
+            outcomes[tier] = (
+                [(s.rule_index, s.inserted, s.deleted) for s in run.steps],
+                run.aborted,
+                run.answer("pick"),
+            )
+        assert outcomes["codegen"] == outcomes["compiled"], seed
+        assert outcomes["codegen"] == outcomes["interpreted"], seed
+
+
+class TestCliMatcherFlag:
+    """``repro run/stats --matcher`` and ``run --dump-codegen``."""
+
+    @pytest.fixture
+    def tc_files(self, tmp_path):
+        program = tmp_path / "tc.dl"
+        program.write_text(TC_NONLINEAR)
+        data = tmp_path / "graph.dl"
+        data.write_text("G('a', 'b').\nG('b', 'c').\nG('c', 'd').\n")
+        return str(program), str(data)
+
+    def _run(self, argv):
+        out = io.StringIO()
+        code = main(argv, out=out)
+        return code, out.getvalue()
+
+    @pytest.mark.parametrize("tier", TIERS)
+    def test_stats_matcher_override(self, tc_files, tier):
+        import json
+
+        program, data = tc_files
+        code, output = self._run(
+            ["stats", program, "--data", data, "--semantics", "seminaive",
+             "--format", "json", "--matcher", tier]
+        )
+        assert code == 0
+        assert json.loads(output)["matcher"] == tier
+        # The override is scoped to the one evaluation.
+        assert PlanCache.compiled_plans and PlanCache.codegen
+
+    def test_run_matcher_override_same_answers(self, tc_files):
+        program, data = tc_files
+        outputs = set()
+        for tier in TIERS:
+            code, output = self._run(
+                ["run", program, "--data", data,
+                 "--semantics", "seminaive", "--matcher", tier]
+            )
+            assert code == 0
+            outputs.add(output)
+        assert len(outputs) == 1  # byte-identical printed relations
+
+    def test_run_dump_codegen(self, tc_files, tmp_path):
+        program, data = tc_files
+        dump = tmp_path / "generated"
+        code, _output = self._run(
+            ["run", program, "--data", data, "--semantics", "seminaive",
+             "--dump-codegen", str(dump)]
+        )
+        assert code == 0
+        written = sorted(p.name for p in dump.iterdir())
+        assert written
+        assert all(name.endswith(".py") for name in written)
+        text = (dump / written[0]).read_text()
+        assert "# codegen for rule:" in text

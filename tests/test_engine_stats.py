@@ -266,17 +266,23 @@ class TestRecorderInvariants:
 
         program = parse_program(TC)
         db = Database(GRAPH)
-        assert PlanCache.compiled_plans  # the default
+        assert PlanCache.compiled_plans and PlanCache.codegen  # defaults
         try:
+            codegen = evaluate_datalog_seminaive(program, db).stats
+            PlanCache.codegen = False
             compiled = evaluate_datalog_seminaive(program, db).stats
             PlanCache.compiled_plans = False
             interpreted = evaluate_datalog_seminaive(program, db).stats
         finally:
             PlanCache.compiled_plans = True
+            PlanCache.codegen = True
+        assert codegen.matcher == "codegen"
         assert compiled.matcher == "compiled"
         assert interpreted.matcher == "interpreted"
         # The matcher choice never changes what gets computed.
+        assert codegen.rule_firings == interpreted.rule_firings
         assert compiled.rule_firings == interpreted.rule_firings
+        assert codegen.stage_count == interpreted.stage_count
         assert compiled.stage_count == interpreted.stage_count
 
     def test_traced_runs_report_the_interpreted_matcher(self):

@@ -425,7 +425,18 @@ class TestKernelArtifact:
             )
 
     def test_from_stats(self):
-        result = evaluate_datalog_seminaive(parse_program(TC), Database(GRAPH))
+        from repro.semantics.plan import PlanCache
+
+        # The kernel artifact is the two-way PR 4 ablation: its
+        # "compiled" cell means the plan interpreter, codegen off.
+        assert PlanCache.codegen  # the default
+        try:
+            PlanCache.codegen = False
+            result = evaluate_datalog_seminaive(
+                parse_program(TC), Database(GRAPH)
+            )
+        finally:
+            PlanCache.codegen = True
         record = KernelRecord.from_stats(
             "tc", result.stats.matcher, 4, result.stats
         )

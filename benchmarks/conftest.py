@@ -23,6 +23,12 @@ the ``codegen_artifact`` fixture; those land in the schema-pinned
 ``BENCH_codegen.json`` (path overridable via
 ``REPRO_CODEGEN_ARTIFACT``).
 
+The four-way columnar-tier ablation (``test_columnar_ablation.py``)
+records :class:`~repro.obs.bench.ColumnarRecord` measurements through
+the ``columnar_artifact`` fixture; those land in the schema-pinned
+``BENCH_columnar.json`` (path overridable via
+``REPRO_COLUMNAR_ARTIFACT``).
+
 The planner ablation (``test_planner_ablation.py``) records
 :class:`~repro.obs.bench.PlannerRecord` measurements through the
 ``planner_artifact`` fixture; those land in the schema-pinned
@@ -56,6 +62,7 @@ import pytest
 _RECORDS = []
 _KERNEL_RECORDS = []
 _CODEGEN_RECORDS = []
+_COLUMNAR_RECORDS = []
 _PLANNER_RECORDS = []
 _DIFFERENTIAL_RECORDS = []
 _MAGIC_RECORDS = []
@@ -63,8 +70,8 @@ _FEEDBACK_RECORDS = []
 
 #: Artifact registry: (records list, writer name in repro.obs.bench,
 #: path env-var override, default path).  ``pytest_sessionfinish``
-#: walks this instead of six copy-pasted blocks; a new artifact is one
-#: more row plus its fixture.
+#: walks this instead of copy-pasted per-artifact blocks; a new
+#: artifact is one more row plus its fixture.
 _ARTIFACTS = (
     (_RECORDS, "write_bench_artifact",
      "REPRO_BENCH_ARTIFACT", "BENCH_engines.json"),
@@ -72,6 +79,8 @@ _ARTIFACTS = (
      "REPRO_KERNEL_ARTIFACT", "BENCH_kernel.json"),
     (_CODEGEN_RECORDS, "write_codegen_artifact",
      "REPRO_CODEGEN_ARTIFACT", "BENCH_codegen.json"),
+    (_COLUMNAR_RECORDS, "write_columnar_artifact",
+     "REPRO_COLUMNAR_ARTIFACT", "BENCH_columnar.json"),
     (_PLANNER_RECORDS, "write_planner_artifact",
      "REPRO_PLANNER_ARTIFACT", "BENCH_planner.json"),
     (_DIFFERENTIAL_RECORDS, "write_differential_artifact",
@@ -145,6 +154,24 @@ class _CodegenArtifact:
 def codegen_artifact():
     """Collects (benchmark, matcher tier, size, EngineStats) cells."""
     return _CodegenArtifact
+
+
+class _ColumnarArtifact:
+    """The ``columnar_artifact`` fixture's API: ``record(...)`` one cell."""
+
+    @staticmethod
+    def record(benchmark: str, matcher: str, size: int, stats) -> None:
+        from repro.obs.bench import ColumnarRecord
+
+        _COLUMNAR_RECORDS.append(
+            ColumnarRecord.from_stats(benchmark, matcher, size, stats)
+        )
+
+
+@pytest.fixture
+def columnar_artifact():
+    """Collects (benchmark, four-tier matcher, size, EngineStats) cells."""
+    return _ColumnarArtifact
 
 
 class _DifferentialArtifact:

@@ -1,31 +1,35 @@
-"""PERF — the three-way matcher-tier ablation behind ``BENCH_codegen.json``.
+"""PERF — the four-way matcher-tier ablation behind ``BENCH_columnar.json``.
 
 The same workload run under each matcher tier:
 
-* ``codegen`` — per-rule-plan specialized Python emitted by
-  :mod:`repro.semantics.codegen` (constants, index keys, slot indices
-  baked into the source; the fused ``run_emit`` path), the default;
-* ``compiled`` — the PR 4 slot-plan interpreter of
-  :mod:`repro.semantics.plan` with codegen off;
-* ``interpreted`` — the reference matcher with the kernel off too.
+* ``columnar`` — whole-delta batch kernels: semi-naive drivers freeze
+  deltas into columnar blocks and each ``walk_batch``/``emit_batch``
+  variant consumes the entire block in one specialized list
+  comprehension (rows unpacked into locals, index ``.get``\\ s hoisted,
+  full-depth chain probes inlined), the default;
+* ``codegen`` — the same specialized Python, tuple at a time;
+* ``compiled`` — the slot-plan interpreter;
+* ``interpreted`` — the reference matcher.
 
 All cells run with the query planner on, so the deltas isolate the
-matcher tier itself.  Workloads are the repo's committed perf shapes:
+matcher tier itself.  Workloads are the repo's committed perf shapes
+(the same trio as the codegen ablation, so the two artifacts compose
+into one tier trajectory):
 
 * nonlinear transitive closure on a chain — the self-join probes the
-  growing ``T`` through a hash index every stage; the hottest inner
-  loop the codegen specializes;
+  growing ``T`` through a hash index every stage; every delta pass is
+  one block, the batch kernels' best case;
 * chain of gated TC components — multi-SCC, planner-scheduled, heavy
-  on the fused ``run_emit`` head-emission path;
-* the feedback ring — skewed fan-out joins where the baked index-key
-  templates pay off.
+  on the fused ``emit_batch`` head-emission path;
+* the feedback ring — skewed fan-out joins where per-block hoisting of
+  the index loads pays off.
 
-Shape asserted: all three tiers produce identical answers, stage
+Shape asserted: all four tiers produce identical answers, stage
 counts, and rule firings (each tier is an optimization, never a
 semantics change).  Wall-clock is recorded in the artifact rather than
 asserted — at CI smoke sizes the difference is noise; the committed
-full-size artifact carries the speedup evidence (codegen ≥1.3× over
-compiled on at least one full-size workload).
+full-size artifact carries the speedup evidence (columnar ≥1.3× over
+codegen at n=60 on at least two workloads).
 
 Set ``REPRO_BENCH_SIZES`` (comma-separated) to override the size sweep,
 e.g. ``REPRO_BENCH_SIZES=8,12`` for a CI smoke run."""
@@ -56,16 +60,11 @@ SIZES = [
     if s.strip()
 ]
 
-MATCHERS = ["codegen", "compiled", "interpreted"]
+MATCHERS = ["columnar", "codegen", "compiled", "interpreted"]
 
 
 def _with_tier(tier: str, run):
-    """Run ``run()`` under *exactly* the given matcher tier.
-
-    ``matcher_override`` pins all the tier flags, so a ``"codegen"``
-    cell really measures tuple-at-a-time codegen rather than silently
-    running the (default-on) columnar batch kernels above it.
-    """
+    """Run ``run()`` under *exactly* the given matcher tier."""
     # The defaults: the full stack, columnar on top.
     assert (PlanCache.compiled_plans and PlanCache.codegen
             and PlanCache.columnar)
@@ -114,7 +113,7 @@ def _assert_tier_parity(result, run):
 
 @pytest.mark.parametrize("n", SIZES)
 @pytest.mark.parametrize("matcher", MATCHERS)
-def test_codegen_tc_nonlinear(benchmark, codegen_artifact, matcher, n):
+def test_columnar_tc_nonlinear(benchmark, columnar_artifact, matcher, n):
     program = tc_nonlinear_program()
     edges = chain(n)
 
@@ -124,13 +123,13 @@ def test_codegen_tc_nonlinear(benchmark, codegen_artifact, matcher, n):
     result, stats = _measure(benchmark, matcher, run)
     assert result.stats.matcher == matcher
     _assert_tier_parity(result, run)
-    codegen_artifact.record("tc_nonlinear_chain", matcher, n, stats)
+    columnar_artifact.record("tc_nonlinear_chain", matcher, n, stats)
 
 
 @pytest.mark.parametrize("n", SIZES)
 @pytest.mark.parametrize("matcher", MATCHERS)
-def test_codegen_component_chain(benchmark, codegen_artifact, matcher, n):
-    # n components of chain length 16 — the fused run_emit path under
+def test_columnar_component_chain(benchmark, columnar_artifact, matcher, n):
+    # n components of chain length 16 — the fused emit_batch path under
     # the planner's SCC schedule.
     program = component_chain_program(n)
     db = component_chain_database(n)
@@ -144,12 +143,12 @@ def test_codegen_component_chain(benchmark, codegen_artifact, matcher, n):
     for relation, expected in reference.items():
         assert result.answer(relation) == expected, relation
     _assert_tier_parity(result, run)
-    codegen_artifact.record("component_chain", matcher, n, stats)
+    columnar_artifact.record("component_chain", matcher, n, stats)
 
 
 @pytest.mark.parametrize("n", SIZES)
 @pytest.mark.parametrize("matcher", MATCHERS)
-def test_codegen_feedback_ring(benchmark, codegen_artifact, matcher, n):
+def test_columnar_feedback_ring(benchmark, columnar_artifact, matcher, n):
     program = feedback_ring_program()
     db = feedback_ring_database(n)
     reference = reference_feedback_ring(n)
@@ -162,4 +161,4 @@ def test_codegen_feedback_ring(benchmark, codegen_artifact, matcher, n):
     for relation, expected in reference.items():
         assert result.answer(relation) == expected, relation
     _assert_tier_parity(result, run)
-    codegen_artifact.record("feedback_ring", matcher, n, stats)
+    columnar_artifact.record("feedback_ring", matcher, n, stats)

@@ -26,7 +26,7 @@ import pytest
 
 from repro.programs.tc import tc_nonlinear_program
 from repro.programs.win import win_program
-from repro.semantics.plan import PlanCache
+from repro.semantics.plan import PlanCache, matcher_override
 from repro.semantics.seminaive import evaluate_datalog_seminaive
 from repro.semantics.wellfounded import evaluate_wellfounded
 from repro.workloads.games import game_database, random_game
@@ -45,17 +45,16 @@ def _with_matcher(matcher: str, run):
     """Run ``run()`` under the given matcher path, restoring the default.
 
     This ablation isolates the PR 4 plan interpreter against the
-    reference matcher, so the codegen tier is held off for both cells
-    (``benchmarks/test_codegen_ablation.py`` owns the three-way sweep).
+    reference matcher; ``matcher_override`` holds the codegen and
+    columnar tiers off for both cells
+    (``benchmarks/test_codegen_ablation.py`` and
+    ``benchmarks/test_columnar_ablation.py`` own the tier sweeps).
     """
-    assert PlanCache.compiled_plans and PlanCache.codegen  # the defaults
-    PlanCache.compiled_plans = matcher == "compiled"
-    PlanCache.codegen = False
-    try:
+    # The defaults: the full stack, columnar on top.
+    assert (PlanCache.compiled_plans and PlanCache.codegen
+            and PlanCache.columnar)
+    with matcher_override(matcher):
         return run()
-    finally:
-        PlanCache.compiled_plans = True
-        PlanCache.codegen = True
 
 
 @pytest.mark.parametrize("n", SIZES)

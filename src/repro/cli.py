@@ -18,8 +18,9 @@ Usage::
 * ``run`` evaluates under a chosen semantics and prints the idb
   relations (or one ``--answer`` relation); ``--trace-out FILE`` also
   writes the evaluation's event stream as JSON Lines; ``--matcher``
-  overrides the matcher tier (codegen/compiled/interpreted) and
-  ``--dump-codegen DIR`` writes each rule's generated matcher source.
+  overrides the matcher tier (columnar/codegen/compiled/interpreted)
+  and ``--dump-codegen DIR`` writes each rule's generated matcher
+  source.
 * ``stats`` reports engine counters (``--format json`` is pinned by
   ``STATS_SCHEMA_VERSION``); ``trace`` prints the stage-by-stage
   evaluation; ``profile`` aggregates per-rule time/firings/join
@@ -357,22 +358,15 @@ def _matcher_override(args):
     """Apply ``--matcher`` for the duration of one evaluation.
 
     ``PlanCache`` flags are process-global, and the test-suite drives
-    :func:`main` in-process, so the previous tier is always restored —
-    even when evaluation raises.
+    :func:`main` in-process, so the tier flip is delegated to
+    :func:`repro.semantics.plan.matcher_override` — the one centralized
+    save/flip/restore, which restores the previous tier even when
+    evaluation raises.
     """
-    matcher = getattr(args, "matcher", None)
-    if matcher is None:
-        yield
-        return
-    from repro.semantics.plan import PlanCache
+    from repro.semantics.plan import matcher_override
 
-    saved = (PlanCache.compiled_plans, PlanCache.codegen)
-    PlanCache.compiled_plans = matcher != "interpreted"
-    PlanCache.codegen = matcher == "codegen"
-    try:
+    with matcher_override(getattr(args, "matcher", None)):
         yield
-    finally:
-        PlanCache.compiled_plans, PlanCache.codegen = saved
 
 
 def _maybe_dump_codegen(args, program) -> None:
@@ -469,6 +463,13 @@ def cmd_stats(args, out) -> int:
     with _matcher_override(args):
         result = engine(program, db)
     _maybe_save_stats(args, program, result)
+    # Memory-density report: measured on the final instance, additive
+    # in the stats schema (``storage`` stays None for engines whose
+    # results carry no database).
+    final_db = getattr(result, "database", None)
+    stats_obj = getattr(result, "stats", None)
+    if final_db is not None and stats_obj is not None:
+        stats_obj.storage = final_db.storage_report()
     if getattr(args, "format", "human") == "json":
         import json
 
@@ -478,6 +479,21 @@ def cmd_stats(args, out) -> int:
         print(json.dumps(document, indent=2), file=out)
     else:
         print(result.stats.summary(), file=out)
+        storage = getattr(stats_obj, "storage", None)
+        if storage is not None:
+            interner = storage["interner"]
+            print(
+                f"interner:          {interner['constants']} constants, "
+                f"{interner['bytes']} bytes",
+                file=out,
+            )
+            for name, rel in storage["relations"].items():
+                print(
+                    f"  {name}: {rel['rows']} rows, "
+                    f"set {rel['set_bytes']} B, "
+                    f"columns {rel['column_bytes']} B",
+                    file=out,
+                )
     return 0
 
 
@@ -579,7 +595,7 @@ def cmd_profile(args, out) -> int:
     # Default traced runs route through the interpreted matcher; surface
     # that so profile numbers are not read as compiled-kernel timings.
     # ``--planned`` keeps planner and kernel on (counters-only spans),
-    # so there the matcher reads the full active tier — "codegen" by
+    # so there the matcher reads the full active tier — "columnar" by
     # default.  (The stable engine returns a model set with no stats —
     # default there.)
     stats = getattr(result, "stats", None)
@@ -921,9 +937,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--matcher",
-        choices=("interpreted", "compiled", "codegen"),
+        choices=("interpreted", "compiled", "codegen", "columnar"),
         help="override the matcher tier for this run "
-             "(default: codegen, the full stack)",
+             "(default: columnar, the full stack)",
     )
     run.add_argument(
         "--dump-codegen",
@@ -952,9 +968,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stats.add_argument(
         "--matcher",
-        choices=("interpreted", "compiled", "codegen"),
+        choices=("interpreted", "compiled", "codegen", "columnar"),
         help="override the matcher tier for this run "
-             "(default: codegen, the full stack)",
+             "(default: columnar, the full stack)",
     )
     _add_stats_store_flags(stats)
 

@@ -18,7 +18,8 @@ drivers:
 * :mod:`repro.obs.profile` — :class:`ProfileReport`, the per-rule
   aggregation behind ``repro profile``;
 * :mod:`repro.obs.bench` — the deterministic ``BENCH_engines.json``,
-  ``BENCH_kernel.json``, ``BENCH_codegen.json``, ``BENCH_planner.json``,
+  ``BENCH_kernel.json``, ``BENCH_codegen.json``,
+  ``BENCH_columnar.json``, ``BENCH_planner.json``,
   ``BENCH_differential.json``, ``BENCH_magic.json``, and
   ``BENCH_feedback.json`` benchmark artifacts and their pinned-schema
   validators;
@@ -44,23 +45,27 @@ Quickstart::
 from repro.obs.bench import (
     BENCH_SCHEMA_VERSION,
     CODEGEN_SCHEMA_VERSION,
+    COLUMNAR_SCHEMA_VERSION,
     DIFFERENTIAL_SCHEMA_VERSION,
     FEEDBACK_SCHEMA_VERSION,
     KERNEL_SCHEMA_VERSION,
     PLANNER_SCHEMA_VERSION,
     BenchRecord,
     CodegenRecord,
+    ColumnarRecord,
     DifferentialRecord,
     FeedbackRecord,
     KernelRecord,
     PlannerRecord,
     bench_artifact_dict,
     codegen_artifact_dict,
+    columnar_artifact_dict,
     differential_artifact_dict,
     feedback_artifact_dict,
     kernel_artifact_dict,
     load_bench_artifact,
     load_codegen_artifact,
+    load_columnar_artifact,
     load_differential_artifact,
     load_feedback_artifact,
     load_kernel_artifact,
@@ -68,12 +73,14 @@ from repro.obs.bench import (
     planner_artifact_dict,
     validate_bench_artifact,
     validate_codegen_artifact,
+    validate_columnar_artifact,
     validate_differential_artifact,
     validate_feedback_artifact,
     validate_kernel_artifact,
     validate_planner_artifact,
     write_bench_artifact,
     write_codegen_artifact,
+    write_columnar_artifact,
     write_differential_artifact,
     write_feedback_artifact,
     write_kernel_artifact,
@@ -113,6 +120,7 @@ from repro.obs.tracer import NULL_TRACER, NullTracer, RuleSpan, Tracer
 __all__ = [
     "BENCH_SCHEMA_VERSION",
     "CODEGEN_SCHEMA_VERSION",
+    "COLUMNAR_SCHEMA_VERSION",
     "DIFFERENTIAL_SCHEMA_VERSION",
     "FEEDBACK_SCHEMA_VERSION",
     "KERNEL_SCHEMA_VERSION",
@@ -121,6 +129,7 @@ __all__ = [
     "STATS_STORE_SCHEMA_VERSION",
     "BenchRecord",
     "CodegenRecord",
+    "ColumnarRecord",
     "DifferentialRecord",
     "FeedbackRecord",
     "KernelRecord",
@@ -130,12 +139,14 @@ __all__ = [
     "StatsStoreWarning",
     "bench_artifact_dict",
     "codegen_artifact_dict",
+    "columnar_artifact_dict",
     "default_stats_path",
     "differential_artifact_dict",
     "feedback_artifact_dict",
     "kernel_artifact_dict",
     "load_bench_artifact",
     "load_codegen_artifact",
+    "load_columnar_artifact",
     "load_differential_artifact",
     "load_feedback_artifact",
     "load_kernel_artifact",
@@ -144,6 +155,7 @@ __all__ = [
     "program_content_hash",
     "validate_bench_artifact",
     "validate_codegen_artifact",
+    "validate_columnar_artifact",
     "validate_differential_artifact",
     "validate_feedback_artifact",
     "validate_kernel_artifact",
@@ -151,6 +163,7 @@ __all__ = [
     "warm_from_store",
     "write_bench_artifact",
     "write_codegen_artifact",
+    "write_columnar_artifact",
     "write_differential_artifact",
     "write_feedback_artifact",
     "write_kernel_artifact",

@@ -25,6 +25,14 @@ emitted by :mod:`repro.semantics.codegen`, the default), ``"compiled"``
 (the reference matcher), recorded through the ``codegen_artifact``
 fixture.
 
+``BENCH_columnar.json`` is the four-way matcher-tier ablation: each
+:class:`ColumnarRecord` measures one (benchmark, matcher tier, size)
+cell, where the tier is ``"columnar"`` (whole-delta batch kernels over
+columnar blocks, the default), ``"codegen"`` (per-plan specialized
+Python, tuple at a time), ``"compiled"`` (the slot-plan interpreter),
+or ``"interpreted"`` (the reference matcher), recorded through the
+``columnar_artifact`` fixture.
+
 ``BENCH_planner.json`` is the query-planner ablation twin: each
 :class:`PlannerRecord` measures one (benchmark, planner on/off, size)
 cell — both cells under the compiled kernel, so the delta isolates the
@@ -51,9 +59,10 @@ All the schemas are pinned: the ``validate_*_artifact`` functions
 raise :class:`ValueError` on any drift, and CI runs them against the
 artifacts it uploads, so a schema change must be deliberate (bump
 ``BENCH_SCHEMA_VERSION`` / ``KERNEL_SCHEMA_VERSION`` /
-``CODEGEN_SCHEMA_VERSION`` / ``PLANNER_SCHEMA_VERSION`` /
-``DIFFERENTIAL_SCHEMA_VERSION`` / ``MAGIC_SCHEMA_VERSION`` /
-``FEEDBACK_SCHEMA_VERSION``) rather than accidental.  The artifacts
+``CODEGEN_SCHEMA_VERSION`` / ``COLUMNAR_SCHEMA_VERSION`` /
+``PLANNER_SCHEMA_VERSION`` / ``DIFFERENTIAL_SCHEMA_VERSION`` /
+``MAGIC_SCHEMA_VERSION`` / ``FEEDBACK_SCHEMA_VERSION``) rather than
+accidental.  The artifacts
 share one shape — ``{"version": V, "benchmarks": [records]}`` with a
 fixed per-record key set — so validation is one generic walk,
 :func:`_validate_artifact`, parameterized per artifact; each public
@@ -435,6 +444,111 @@ def load_codegen_artifact(path: str) -> list[CodegenRecord]:
     """Read and validate a codegen artifact file; raises on drift."""
     with open(path) as handle:
         return validate_codegen_artifact(json.load(handle))
+
+
+# -- BENCH_columnar.json: columnar batch-kernel tier ablation -----------------
+
+#: Version of the BENCH_columnar.json schema (same regime as
+#: :data:`BENCH_SCHEMA_VERSION`).
+COLUMNAR_SCHEMA_VERSION = 1
+
+#: Exact key set of one columnar record.
+COLUMNAR_RECORD_FIELDS = (
+    "benchmark",
+    "matcher",
+    "size",
+    "seconds",
+    "rule_firings",
+    "stages",
+)
+
+
+@dataclass(frozen=True)
+class ColumnarRecord:
+    """One (benchmark, matcher tier, workload size) measurement.
+
+    ``matcher`` is the full four-tier ladder: ``"columnar"``
+    (whole-delta batch kernels consuming columnar blocks, the
+    default), ``"codegen"`` (per-plan specialized Python, tuple at a
+    time), ``"compiled"`` (the slot-plan interpreter), or
+    ``"interpreted"`` (the reference matcher).  The tiers are
+    semantics-preserving, so ``rule_firings`` and ``stages`` must
+    agree across all four cells of a (benchmark, size) pair;
+    ``seconds`` carries the speedup evidence.
+    """
+
+    benchmark: str
+    matcher: str
+    size: int
+    seconds: float
+    rule_firings: int
+    stages: int
+
+    @classmethod
+    def from_stats(
+        cls, benchmark: str, matcher: str, size: int, stats
+    ) -> "ColumnarRecord":
+        """Build a record from an :class:`~repro.semantics.EngineStats`."""
+        return cls(
+            benchmark=benchmark,
+            matcher=matcher,
+            size=size,
+            seconds=stats.seconds,
+            rule_firings=stats.rule_firings,
+            stages=stats.stage_count,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "benchmark": self.benchmark,
+            "matcher": self.matcher,
+            "size": self.size,
+            "seconds": self.seconds,
+            "rule_firings": self.rule_firings,
+            "stages": self.stages,
+        }
+
+
+def columnar_artifact_dict(records: list[ColumnarRecord]) -> dict[str, Any]:
+    """The artifact document: schema-versioned, deterministically ordered."""
+    return _artifact_dict(records, COLUMNAR_SCHEMA_VERSION, "matcher")
+
+
+def write_columnar_artifact(records: list[ColumnarRecord], path: str) -> None:
+    """Write ``BENCH_columnar.json`` (sorted records, sorted keys)."""
+    _write_artifact(columnar_artifact_dict(records), path)
+
+
+def validate_columnar_artifact(data: Any) -> list[ColumnarRecord]:
+    """Check a columnar artifact document against the pinned schema.
+
+    Returns the parsed records; raises :class:`ValueError` on drift
+    (wrong version, missing/extra keys, wrong types, unknown matcher).
+    """
+    return _validate_artifact(
+        data,
+        label="columnar",
+        version=COLUMNAR_SCHEMA_VERSION,
+        fields=COLUMNAR_RECORD_FIELDS,
+        types={
+            "benchmark": str,
+            "matcher": str,
+            "size": int,
+            "seconds": (int, float),
+            "rule_firings": int,
+            "stages": int,
+        },
+        enums={
+            "matcher": ("columnar", "codegen", "compiled", "interpreted")
+        },
+        factory=ColumnarRecord,
+    )
+
+
+def load_columnar_artifact(path: str) -> list[ColumnarRecord]:
+    """Read and validate a columnar artifact file; raises on drift."""
+    with open(path) as handle:
+        return validate_columnar_artifact(json.load(handle))
 
 
 # -- BENCH_planner.json: query-planner ablation ------------------------------

@@ -110,9 +110,10 @@ class EngineStats:
     """
 
     engine: str = ""
-    #: Which matcher tier produced the instantiations: ``"codegen"``
-    #: (specialized per-plan functions, the default), ``"compiled"``
-    #: (the slot-plan kernel) or ``"interpreted"`` (the reference path,
+    #: Which matcher tier produced the instantiations: ``"columnar"``
+    #: (whole-delta batch kernels, the default), ``"codegen"``
+    #: (specialized per-plan scalar functions), ``"compiled"`` (the
+    #: slot-plan kernel) or ``"interpreted"`` (the reference path,
     #: always used when a tracer observes the run).
     matcher: str = ""
     seconds: float = 0.0
@@ -136,6 +137,12 @@ class EngineStats:
     #: ``json.dumps``-able; populated only by
     #: :class:`repro.semantics.differential.DifferentialEngine`.
     differential: dict | None = None
+    #: Memory-density report (per-relation bytes as a set of tuples vs
+    #: as interned columns, plus interner size), or ``None`` when no
+    #: caller measured it.  Populated by ``repro stats`` from
+    #: :meth:`repro.relational.instance.Database.storage_report`; a
+    #: plain dict under the additive-changes rule like ``planner``.
+    storage: dict | None = None
     stages: list[StageStats] = field(default_factory=list)
 
     @property
@@ -189,8 +196,8 @@ class EngineStats:
     def to_dict(self) -> dict:
         """The pinned JSON shape of ``repro stats --format json``.
 
-        ``matcher``, ``index_drops``, ``planner`` and ``differential``
-        were added under the additive-changes rule of
+        ``matcher``, ``index_drops``, ``planner``, ``differential`` and
+        ``storage`` were added under the additive-changes rule of
         ``STATS_SCHEMA_VERSION``; everything else is the version-1
         shape.
         """
@@ -207,6 +214,7 @@ class EngineStats:
             "index_drops": self.index_drops,
             "planner": self.planner,
             "differential": self.differential,
+            "storage": self.storage,
             "stages": [s.to_dict() for s in self.stages],
         }
 
@@ -256,7 +264,7 @@ class StatsRecorder:
     def watch(self, db: Database) -> None:
         """(Re)bind the database whose index counters are diffed."""
         self._db = db
-        self._counters = (*db.index_counters(), db.index_drop_count())
+        self._counters = db.index_totals()
 
     def stage(
         self,
@@ -279,14 +287,13 @@ class StatsRecorder:
         now = perf_counter()
         if counters is None:
             if self._db is not None:
-                builds, updates = self._db.index_counters()
-                drops = self._db.index_drop_count()
+                totals = self._db.index_totals()
                 counters = (
-                    builds - self._counters[0],
-                    updates - self._counters[1],
-                    drops - self._counters[2],
+                    totals[0] - self._counters[0],
+                    totals[1] - self._counters[1],
+                    totals[2] - self._counters[2],
                 )
-                self._counters = (builds, updates, drops)
+                self._counters = totals
             else:
                 counters = (0, 0, 0)
         record = StageStats(
@@ -313,13 +320,12 @@ class StatsRecorder:
         """
         if self._db is None or not self.stats.stages:
             return
-        builds, updates = self._db.index_counters()
-        drops = self._db.index_drop_count()
+        totals = self._db.index_totals()
         last = self.stats.stages[-1]
-        last.index_builds += builds - self._counters[0]
-        last.index_updates += updates - self._counters[1]
-        last.index_drops += drops - self._counters[2]
-        self._counters = (builds, updates, drops)
+        last.index_builds += totals[0] - self._counters[0]
+        last.index_updates += totals[1] - self._counters[1]
+        last.index_drops += totals[2] - self._counters[2]
+        self._counters = totals
 
     def finish(self, adom_size: int = 0) -> EngineStats:
         """Total the per-stage records and return the finished stats."""

@@ -29,6 +29,15 @@ Per plan the generated module contains:
   beats the plan interpreter.
 * ``group_r{i}`` — the delta grouping of ``_run`` with the key
   positions baked in.
+* ``emit_batch_full``/``emit_batch_r0`` and
+  ``walk_batch_full``/``walk_batch_r0`` — the columnar tier's batch
+  kernels (:func:`_emit_batch`): one list comprehension per variant
+  that consumes a whole delta block, with probe ``.get``\\ s hoisted
+  and full-depth chain probes inlined as trie walks.  Dispatched by
+  ``run_emit_batch``/``run_walk_batch`` when
+  :attr:`~repro.semantics.plan.PlanCache.columnar` is on; shapes that
+  don't batch (delta at a non-leading occurrence, bound plans, no
+  loopable step) fall back to the scalar variants.
 
 Enumeration-order identity (the contract seeded choice/nondeterministic
 engines replay against) is preserved construct by construct: buckets
@@ -59,6 +68,7 @@ from __future__ import annotations
 
 import itertools
 import linecache
+import re
 from typing import Hashable, Iterator
 
 __all__ = ["CodegenPlan", "compile_plan", "dump_codegen"]
@@ -253,6 +263,329 @@ def _emit_variant(src: _Source, plan, restricted_index: int,
     return name
 
 
+def _emit_batch(src: _Source, plan, restricted_index: int,
+                fused: bool) -> str | None:
+    """One batch (whole-delta) kernel; ``None`` if the shape won't batch.
+
+    The columnar tier's variants consume an entire delta block in one
+    call — rows unpacked straight into named locals, index/bucket
+    ``.get``\\ s hoisted out of the loop, full-depth chain probes
+    inlined as trie walks.  The walk flavor builds its row list with a
+    single list comprehension (``LIST_APPEND``-driven, no per-row
+    generator resume); the fused flavor runs the same clause chain as
+    a nested block loop dedup-ing bare head tuples into a local set —
+    self-joins fire the same head many times over, and skipping the
+    ``(relation, tuple)`` wrapper allocation per firing pays for
+    wrapping the deduped survivors once at the end.
+
+    Batched shapes: ≥ 1 step, unbound plans only (seeded slots have no
+    local to live in), and the restricted variant only for the leading
+    occurrence (the planner compiles delta-first orders, so that is the
+    hot case; other variants fall back to the scalar walk at dispatch).
+    Unlike the scalar flavors nothing here snapshots buckets: a batch
+    call materializes its whole result before the caller sees any row,
+    so no consumer can mutate the relation mid-walk.
+    """
+    steps = plan.steps
+    if not steps or plan.bound or restricted_index > 0:
+        return None
+    positive = plan.rule.positive_body()
+    arities = [len(positive[i].terms) for i in plan.order]
+    if restricted_index == 0 and (steps[0].key_fills or arities[0] == 0):
+        return None
+    suffix = "full" if restricted_index < 0 else f"r{restricted_index}"
+    name = ("emit_batch_" if fused else "walk_batch_") + suffix
+    params = "db, adom, out" if fused else "db, adom"
+    if restricted_index >= 0:
+        params += ", rows"
+    if fused:
+        # ``known`` is the head relation's live tuple set (or ``()``):
+        # the dispatch passes it to push semi-naive's difference into
+        # the kernel, and passes ``()`` for consumers that need the
+        # full consequence set (the differential engine's affected-
+        # fact and over-deletion passes).
+        params += ", known"
+    bail = "return 0" if fused else "return []"
+
+    prologue: list[str] = []
+    guards: list[str] = []
+    clauses: list[str] = []
+    slot_expr: dict[int, str] = {}
+    has_for = False
+    # For the fused variant's keyed projection cache: the bucket
+    # expression and cache key of each keyed probe step, plus which
+    # clause (and step) produced the most recent ``for``.
+    probe_info: dict[int, tuple[str, str]] = {}
+    last_for: tuple[int, int] | None = None
+
+    def cond(expr: str) -> None:
+        # A comprehension's first clause must be ``for``; conditions
+        # that precede every generator are loop-invariant (only
+        # constants are bound yet), so they hoist to prologue guards.
+        if has_for:
+            clauses.append(f"if {expr}")
+        else:
+            guards.append(expr)
+
+    def cand_name(d: int, p: int) -> str:
+        return f"r{p}" if d == restricted_index else f"c{d}_{p}"
+
+    def targets(d: int) -> str:
+        if arities[d] == 0:
+            return f"_c{d}"
+        names = ", ".join(cand_name(d, p) for p in range(arities[d]))
+        return names + ("," if arities[d] == 1 else "")
+
+    def key_expr_of(key: list[str]) -> str:
+        return key[0] if len(key) == 1 else _tuple_expr(key)
+
+    for d, step in enumerate(steps):
+        key = _key_exprs(src, step, lambda s: slot_expr[s])
+        if d == restricted_index:
+            clauses.append(f"for {targets(d)} in rows")
+            last_for = (len(clauses) - 1, d)
+            has_for = True
+            # The scalar variant groups the delta by the (constant) key
+            # and probes once; filtering the unpacked rows yields the
+            # same subsequence in the same order.
+            for j, p in enumerate(step.key_positions):
+                clauses.append(f"if {cand_name(d, p)} == {key[j]}")
+        elif step.exact:
+            cond(f"{_tuple_expr(key)} in rel{d}")
+        elif step.chain_order is not None:
+            ks = [key[i] for i in step.chain_perm]
+            if step.chain_depth == len(step.chain_order):
+                # Full-depth probe: inline the trie walk — each level
+                # is a dict keyed on one column value, the leaf is the
+                # bucket.  Levels are pruned when emptied, so ``or``
+                # never swallows a live-but-empty node.
+                prologue.append(
+                    f"g{d} = rel{d}.chain_index({step.chain_order!r}).get"
+                )
+                expr = f"g{d}({ks[0]})"
+                for k in ks[1:]:
+                    expr = f"({expr} or _E).get({k})"
+                expr += " or ()"
+            else:
+                prologue.append(f"p{d} = rel{d}.probe_chain_live")
+                expr = (f"p{d}({step.chain_order!r}, {step.chain_depth}, "
+                        f"{_tuple_expr(ks)})")
+            clauses.append(f"for {targets(d)} in {expr}")
+            if arities[d]:
+                probe_info[d] = (expr, key_expr_of(ks))
+            last_for = (len(clauses) - 1, d)
+            has_for = True
+        elif step.key_positions:
+            prologue.append(f"g{d} = rel{d}.index({step.key_positions!r}).get")
+            clauses.append(
+                f"for {targets(d)} in g{d}({_tuple_expr(key)}) or ()"
+            )
+            if arities[d]:
+                probe_info[d] = (
+                    f"g{d}({_tuple_expr(key)}) or ()", key_expr_of(key)
+                )
+            last_for = (len(clauses) - 1, d)
+            has_for = True
+        else:
+            clauses.append(f"for {targets(d)} in rel{d}")
+            last_for = (len(clauses) - 1, d)
+            has_for = True
+        for p2, p1 in step.withins:
+            cond(f"{cand_name(d, p2)} == {cand_name(d, p1)}")
+        for position, s in step.binds:
+            slot_expr[s] = cand_name(d, position)
+
+    # -- finish: assigns substitute, checks become filter clauses ------
+    for dst, source_slot, value in plan.assigns:
+        slot_expr[dst] = (
+            slot_expr[source_slot] if source_slot is not None
+            else src.lit(value)
+        )
+
+    def batch_checks(checks) -> None:
+        for ls, lc, rs, rc, positive_check in checks:
+            left = slot_expr[ls] if ls is not None else src.lit(lc)
+            right = slot_expr[rs] if rs is not None else src.lit(rc)
+            op = "==" if positive_check else "!="
+            cond(f"{left} {op} {right}")
+
+    batch_checks(plan.pre_checks)
+    for s in plan.unbound_slots:
+        clauses.append(f"for v{s} in adom")
+        slot_expr[s] = f"v{s}"
+        has_for = True
+    for k, (relation, template, fills) in enumerate(plan.neg_checks):
+        probe = _template_expr(src, template, fills,
+                               lambda s: slot_expr[s])
+        cond(f"nrel{k} is None or {probe} not in nrel{k}")
+    batch_checks(plan.post_checks)
+    if not has_for:
+        return None  # a comprehension needs at least one for clause
+
+    if fused:
+        relation, template, fills, _positive = plan.emitters[0]
+        element = _template_expr(
+            src, template, fills, lambda s: slot_expr[s]
+        )
+        relation_lit = src.lit(relation)
+    else:
+        element = _tuple_expr(
+            [slot_expr[s] for s in range(plan.n_slots)]
+        )
+
+    src.add(0, f"def {name}({params}):")
+    for d, step in enumerate(steps):
+        if d == restricted_index:
+            continue
+        src.add(1, f"rel{d} = db.relation({src.lit(step.relation)})")
+        src.add(1, f"if rel{d} is None:")
+        src.add(2, bail)
+    for k, (relation, _template, _fills) in enumerate(plan.neg_checks):
+        src.add(1, f"nrel{k} = db.relation({src.lit(relation)})")
+    for line in prologue:
+        src.add(1, line)
+    for guard in guards:
+        src.add(1, f"if not ({guard}):")
+        src.add(2, bail)
+    if fused:
+        # The fused variant dedups the bare head tuples into a local
+        # set first — the inner loop never allocates or hashes the
+        # ``(relation, tuple)`` wrapper, which on duplicate-heavy
+        # self-joins is most of the firings — then subtracts the head
+        # relation's current content (semi-naive's difference, pushed
+        # into the kernel: one bulk ``difference_update`` instead of a
+        # per-fact membership probe downstream) and wraps only the
+        # genuinely new survivors for ``out``.
+        #
+        # When the innermost clause is an unfiltered keyed probe, the
+        # whole inner loop vectorizes: the bucket's projection onto
+        # the head's last-step attributes is computed once per
+        # distinct key and cached for the block, the firing count
+        # hoists to ``len(proj)``, and emission becomes one C-level
+        # ``set.update`` per outer row into a dedup set grouped by
+        # the head's outer attributes — no per-firing bytecode runs.
+        d_last = last_for[1] if last_for is not None else -1
+        cacheable = (
+            last_for is not None
+            and last_for[0] == len(clauses) - 1
+            and d_last in probe_info
+            and d_last != restricted_index
+        )
+        if cacheable:
+            head_exprs = [src.lit(v) for v in template]
+            for position, hs in fills:
+                head_exprs[position] = slot_expr[hs]
+            is_inner = [
+                any(
+                    re.search(rf"\b{cand_name(d_last, p)}\b", e)
+                    for p in range(arities[d_last])
+                )
+                for e in head_exprs
+            ]
+            inner_exprs = [
+                e for e, inn in zip(head_exprs, is_inner) if inn
+            ]
+            outer_exprs = [
+                e for e, inn in zip(head_exprs, is_inner) if not inn
+            ]
+            cacheable = bool(inner_exprs)
+        src.add(1, "fired = 0")
+        if cacheable:
+            probe_expr, cache_key = probe_info[d_last]
+            proj_elem = (
+                inner_exprs[0] if len(inner_exprs) == 1
+                else _tuple_expr(inner_exprs)
+            )
+            # Rebuild the head tuple from the group key (k*) and the
+            # deduped inner projection (w*) during the final flatten.
+            head_parts, ko, wo = [], 0, 0
+            for inn in is_inner:
+                if inn:
+                    head_parts.append(f"w{wo}")
+                    wo += 1
+                else:
+                    head_parts.append(f"k{ko}")
+                    ko += 1
+            head_rebuilt = _tuple_expr(head_parts)
+            w_names = [f"w{j}" for j in range(wo)]
+            w_target = (
+                w_names[0] if len(w_names) == 1
+                else "(" + ", ".join(w_names) + ")"
+            )
+            if outer_exprs:
+                key_expr = (
+                    outer_exprs[0] if len(outer_exprs) == 1
+                    else _tuple_expr(outer_exprs)
+                )
+                k_names = [f"k{i}" for i in range(ko)]
+                k_target = (
+                    k_names[0] if len(k_names) == 1
+                    else "(" + ", ".join(k_names) + ")"
+                )
+                src.add(1, "seen = {}")
+                src.add(1, "sget = seen.get")
+            else:
+                src.add(1, "seen = set()")
+            src.add(1, "cache = {}")
+            src.add(1, "cget = cache.get")
+            depth = 1
+            for clause in clauses[:-1]:
+                src.add(depth, clause + ":")
+                depth += 1
+            src.add(depth, f"proj = cget({cache_key})")
+            src.add(depth, "if proj is None:")
+            src.add(depth + 1, f"proj = cache[{cache_key}] = [")
+            src.add(depth + 2, proj_elem)
+            src.add(depth + 2, f"for {targets(d_last)} in {probe_expr}")
+            src.add(depth + 1, "]")
+            src.add(depth, "if proj:")
+            depth += 1
+            src.add(depth, "fired += len(proj)")
+            if outer_exprs:
+                src.add(depth, f"s = sget({key_expr})")
+                src.add(depth, "if s is None:")
+                src.add(depth + 1, f"s = seen[{key_expr}] = set()")
+                src.add(depth, "s.update(proj)")
+            else:
+                src.add(depth, "seen.update(proj)")
+            src.add(1, "if seen:")
+            if outer_exprs:
+                src.add(2, f"flat = {{{head_rebuilt} for {k_target}, s in "
+                            f"seen.items() for {w_target} in s}}")
+            else:
+                src.add(2, f"flat = {{{head_rebuilt} for {w_target} "
+                            "in seen}")
+            src.add(2, "if known:")
+            src.add(3, "flat.difference_update(known)")
+            src.add(2, f"out.update([({relation_lit}, t) for t in flat])")
+        else:
+            src.add(1, "seen = set()")
+            src.add(1, "add = seen.add")
+            depth = 1
+            for clause in clauses:
+                src.add(depth, clause + ":")
+                depth += 1
+            src.add(depth, "fired += 1")
+            src.add(depth, f"add({element})")
+            src.add(1, "if seen:")
+            src.add(2, "if known:")
+            src.add(3, "seen.difference_update(known)")
+            src.add(2, f"out.update([({relation_lit}, t) for t in seen])")
+        src.add(1, "return fired")
+    else:
+        # The walk variant's whole product is the row list, so the
+        # comprehension's C-level appends are the fastest way to
+        # build it (the scalar walk is a per-row generator resume).
+        src.add(1, "res = [")
+        src.add(2, element)
+        for clause in clauses:
+            src.add(2, clause)
+        src.add(1, "]")
+        src.add(1, "return res")
+    src.add(0, "")
+    return name
+
+
 def _emit_group(src: _Source, index: int, positions) -> str:
     """The delta grouping of ``_run`` with key positions baked in."""
     name = f"group_r{index}"
@@ -289,17 +622,29 @@ class CodegenPlan:
         "_walks",
         "_emits",
         "_groups",
+        "_batch_emits",
+        "_batch_walks",
     )
 
-    def run(self, db, adom, restricted_index: int, restricted) -> Iterator:
-        """Generator twin of the interpreted ``_run``."""
+    def run(self, db, adom, restricted_index: int, restricted,
+            seed=None) -> Iterator:
+        """Generator twin of the interpreted ``_run``.
+
+        ``seed`` pre-fills the leading (bound) slots — the differential
+        engine's head-seeded rederivation probes; the generated walks
+        only ever read those slots, so prefilling the list is the whole
+        protocol.
+        """
+        slots = [None] * self.n_slots
+        if seed is not None:
+            slots[: len(seed)] = seed
         if restricted_index < 0:
-            return self._walks[0](db, adom, [None] * self.n_slots)
+            return self._walks[0](db, adom, slots)
         group = self._groups[restricted_index]
         if group is not None:
             restricted = group(restricted)
         return self._walks[restricted_index + 1](
-            db, adom, [None] * self.n_slots, restricted
+            db, adom, slots, restricted
         )
 
     def run_emit(self, db, adom, restricted_index: int, restricted,
@@ -314,6 +659,77 @@ class CodegenPlan:
             db, adom, out.add, restricted
         )
 
+    @staticmethod
+    def _rows(restricted) -> tuple:
+        """A delta's rows in its enumeration order (block fast path)."""
+        rows = getattr(restricted, "rows", None)
+        return rows if rows is not None else tuple(restricted)
+
+    # Delta blocks below this row count run the scalar fused walk: the
+    # batch kernels' per-call machinery (projection cache, grouped
+    # dedup set, flatten) only amortizes over enough rows, and
+    # fixpoints with many tiny stages would otherwise pay it hundreds
+    # of times for single-row deltas.  Either path derives the same
+    # facts and counts the same firings, so the floor is invisible to
+    # everything but the clock.
+    BATCH_MIN_ROWS = 8
+
+    #: When True, batch emit kernels receive the head relation's live
+    #: tuple set and subtract it before flattening — semi-naive's
+    #: difference, one bulk op instead of a per-fact membership probe
+    #: downstream.  Off by default: a consequence set then means
+    #: "everything derivable", which is what non-monotone consumers
+    #: (trigger programs' ``negative - positive``, the differential
+    #: engine's affected/over-deletion passes) rely on.  Add-only
+    #: fixpoint loops opt in via
+    #: :func:`repro.semantics.plan.kernel_difference`.
+    subtract_known = False
+
+    def run_emit_batch(self, db, adom, restricted_index: int, restricted,
+                       out: set) -> int:
+        """Columnar-tier fused dispatch: batch kernel or scalar fallback.
+
+        Variants without a batch shape (delta at a non-leading
+        occurrence, no loopable step, …) and deltas smaller than
+        :data:`BATCH_MIN_ROWS` drop to :meth:`run_emit` — same
+        firings, same facts.
+        """
+        fn = None
+        if restricted_index < 0:
+            fn = self._batch_emits[0]
+        elif restricted_index == 0:
+            fn = self._batch_emits[1]
+            if fn is not None and not restricted:
+                return 0
+            if fn is not None and len(restricted) < self.BATCH_MIN_ROWS:
+                fn = None
+        if fn is None:
+            return self.run_emit(db, adom, restricted_index, restricted, out)
+        known: set | tuple = ()
+        if CodegenPlan.subtract_known:
+            hrel = db.relation(self.head_relation)
+            if hrel is not None:
+                known = hrel.live_set()
+        if restricted_index < 0:
+            return fn(db, adom, out, known)
+        return fn(db, adom, out, self._rows(restricted), known)
+
+    def run_walk_batch(self, db, adom, restricted_index: int,
+                       restricted) -> "list[tuple] | None":
+        """Batch walk: every match as a materialized slot row, or
+        ``None`` when this variant has no batch kernel (the caller then
+        falls back to the generator walk)."""
+        if restricted_index < 0:
+            fn = self._batch_walks[0]
+            return fn(db, adom) if fn is not None else None
+        if restricted_index == 0:
+            fn = self._batch_walks[1]
+            if fn is not None:
+                if not restricted:
+                    return []
+                return fn(db, adom, self._rows(restricted))
+        return None
+
 
 def compile_plan(plan) -> CodegenPlan:
     """Emit, compile, and bind the specialized functions for ``plan``."""
@@ -323,6 +739,10 @@ def compile_plan(plan) -> CodegenPlan:
     src.add(0, f"# join order: {plan.order!r}   slots: "
                + " ".join(f"{v.name}={s}" for v, s in plan.out_vars))
     src.add(0, "")
+    # Shared empty dict for the batch kernels' inlined trie walks
+    # (``(g(k0) or _E).get(k1)``); read-only by construction.
+    src.add(0, "_E = {}")
+    src.add(0, "")
     variants = [-1, *range(len(plan.steps))]
     walk_names = [_emit_variant(src, plan, r, fused=False)
                   for r in variants]
@@ -330,11 +750,19 @@ def compile_plan(plan) -> CodegenPlan:
         plan.emitters is not None
         and len(plan.emitters) == 1
         and plan.emitters[0][3]
+        and not plan.bound
     )
     emit_names = (
         [_emit_variant(src, plan, r, fused=True) for r in variants]
         if emittable
         else None
+    )
+    batch_walk_names = [_emit_batch(src, plan, r, fused=False)
+                        for r in (-1, 0)]
+    batch_emit_names = (
+        [_emit_batch(src, plan, r, fused=True) for r in (-1, 0)]
+        if emittable
+        else [None, None]
     )
     group_names: list[str | None] = [
         _emit_group(src, i, step.key_positions) if step.key_positions
@@ -363,6 +791,14 @@ def compile_plan(plan) -> CodegenPlan:
     cg._groups = [
         namespace[name] if name is not None else None
         for name in group_names
+    ]
+    cg._batch_walks = [
+        namespace[name] if name is not None else None
+        for name in batch_walk_names
+    ]
+    cg._batch_emits = [
+        namespace[name] if name is not None else None
+        for name in batch_emit_names
     ]
     if emittable:
         relation, _template, fills, _positive = plan.emitters[0]

@@ -30,13 +30,16 @@ All bulk propagation (insertion deltas, over-deletion frontiers,
 affected-fact discovery) goes through
 :func:`repro.semantics.base.immediate_consequences` on a per-component
 subprogram, which dispatches to the cost-based planner and the
-compiled slot-plan kernel — never a hand-rolled interpreted loop.
-The only interpreted primitive is :func:`_iter_bound_matches`, the
-*head-bound* matcher used for exact recounts and rederivation support
-checks: it seeds the join with the candidate fact's head valuation,
-so its cost is bounded by that one fact's derivations rather than the
-whole rule's match set (this is what replaces the old
-``MaterializedView._rederive`` full re-enumeration).
+compiled slot-plan kernel — never a hand-rolled interpreted loop —
+and deltas freeze to columnar blocks so those passes take the batch
+kernels.  The head-bound matcher used for exact recounts and
+rederivation support checks, :func:`_iter_bound_matches`, also rides
+the compiled tier: it seeds a *bound* rule plan with the candidate
+fact's head valuation, so its cost is bounded by that one fact's
+derivations rather than the whole rule's match set (this is what
+replaces the old ``MaterializedView._rederive`` full re-enumeration);
+with the compiled tier ablated it falls back to the interpreted
+literal-at-a-time walk.
 
 Scope: plain (positive) Datalog, the dialect in which both component
 algorithms are exact.  Updates are **atomic**: the entire diff batch
@@ -62,12 +65,19 @@ from repro.semantics.base import (
     EngineStats,
     _iter_literal_matches,
     _order_positive,
+    _order_positive_indices,
     evaluation_adom,
     immediate_consequences,
     instantiate_head,
     iter_matches,
 )
-from repro.semantics.plan import active_matcher
+from repro.semantics.plan import (
+    PlanCache,
+    active_matcher,
+    kernel_difference,
+    make_delta,
+    plan_for,
+)
 from repro.terms import Const
 
 Fact = tuple[str, tuple]
@@ -189,10 +199,8 @@ def _head_binding(rule: Rule, values: tuple) -> dict | None:
     return binding
 
 
-def _iter_bound_matches(
-    rule: Rule, db: Database, valuation: dict
-) -> Iterator[dict]:
-    """Body valuations of ``rule`` extending a head-seeded ``valuation``.
+def _iter_bound_matches(rule: Rule, db: Database, valuation: dict):
+    """Body matches of ``rule`` extending a head-seeded ``valuation``.
 
     The top-down primitive behind exact recounts and rederivation
     support checks: with the head variables pre-bound, each positive
@@ -200,11 +208,26 @@ def _iter_bound_matches(
     indexes, so the cost is the candidate fact's own join fan-out, not
     the rule's full match set.  Plain-Datalog scope: every body
     variable occurs in a positive literal, so the valuation is total
-    when the last literal matches.
+    when the last literal matches.  Callers only count yields, so the
+    items themselves carry no contract — one yield per total body
+    valuation.
+
+    With the compiled tier on, this dispatches through a *bound*
+    :class:`~repro.semantics.plan.RulePlan`: the seed values occupy
+    slots ``0..k-1``, later occurrences of seeded variables become
+    indexed key fills, and the plan (codegen included) is cached per
+    ``(order, bound)`` alongside the unseeded plans.
 
     Never mutates the database; callers buffer any re-additions and
     apply them only after enumeration finishes (or is abandoned).
     """
+    if PlanCache.compiled_plans:
+        positive = list(rule.positive_body())
+        order = tuple(_order_positive_indices(positive, db))
+        bound = tuple(sorted(valuation, key=lambda v: v.name))
+        plan = plan_for(rule, order, bound=bound)
+        seed = tuple(valuation[v] for v in bound)
+        return plan.iter_seeded(db, (), seed)
     ordered = _order_positive(list(rule.positive_body()), db)
 
     def descend(idx: int) -> Iterator[dict]:
@@ -224,8 +247,10 @@ def _dict_of(facts: Iterable[Fact]) -> dict[str, set[tuple]]:
     return out
 
 
-def _frozen(delta: dict[str, set[tuple]]) -> dict[str, frozenset[tuple]]:
-    return {rel: frozenset(ts) for rel, ts in delta.items() if ts}
+def _frozen(delta: dict[str, set[tuple]]) -> dict:
+    """Freeze a delta for propagation — delta *blocks* when the full
+    matcher stack is on, so bulk passes take the batch kernels."""
+    return {rel: make_delta(ts) for rel, ts in delta.items() if ts}
 
 
 class DifferentialEngine:
@@ -333,22 +358,25 @@ class DifferentialEngine:
                 for relation, t in additions:
                     self.database.add_fact(relation, t)
             else:
-                delta: dict[str, set[tuple]] = {}
-                heads, _neg, _firings = immediate_consequences(
-                    comp.program, self.database, adom, stats=self.stats
-                )
-                for relation, t in heads:
-                    if self.database.add_fact(relation, t):
-                        delta.setdefault(relation, set()).add(t)
-                while delta:
+                # Add-only fixpoint: the batch kernels may subtract
+                # already-present heads before emitting.
+                with kernel_difference():
+                    delta: dict[str, set[tuple]] = {}
                     heads, _neg, _firings = immediate_consequences(
-                        comp.program, self.database, adom,
-                        delta=_frozen(delta), stats=self.stats,
+                        comp.program, self.database, adom, stats=self.stats
                     )
-                    delta = {}
                     for relation, t in heads:
                         if self.database.add_fact(relation, t):
                             delta.setdefault(relation, set()).add(t)
+                    while delta:
+                        heads, _neg, _firings = immediate_consequences(
+                            comp.program, self.database, adom,
+                            delta=_frozen(delta), stats=self.stats,
+                        )
+                        delta = {}
+                        for relation, t in heads:
+                            if self.database.add_fact(relation, t):
+                                delta.setdefault(relation, set()).add(t)
 
     # -- public API ---------------------------------------------------------
 
@@ -545,6 +573,9 @@ class DifferentialEngine:
         for source in (ins_in, del_in):
             for relation, ts in source.items():
                 delta.setdefault(relation, set()).update(ts)
+        # Affected discovery reads consequences as "everything
+        # derivable" — most of it is already in the database — so it
+        # stays outside ``kernel_difference``.
         affected, _neg, _firings = immediate_consequences(
             comp.program, self.database, adom,
             delta=_frozen(delta), stats=self.stats,
@@ -627,6 +658,9 @@ class DifferentialEngine:
             rel: set(ts) for rel, ts in del_in.items()
         }
         while frontier:
+            # The frontier wants heads that ARE in the database (the
+            # candidates to over-delete) — full consequence sets, so
+            # no ``kernel_difference`` here either.
             heads, _neg, _firings = immediate_consequences(
                 comp.program, db, adom,
                 delta=_frozen(frontier), stats=self.stats,
@@ -656,18 +690,22 @@ class DifferentialEngine:
             db.add_fact(relation, t)
             rederived.add(fact)
             delta.setdefault(relation, set()).add(t)
-        while delta:
-            heads, _neg, _firings = immediate_consequences(
-                comp.program, db, adom,
-                delta=_frozen(delta), stats=self.stats,
-            )
-            delta = {}
-            for fact in heads:
-                if fact in overdeleted and fact not in rederived:
-                    relation, t = fact
-                    db.add_fact(relation, t)
-                    rederived.add(fact)
-                    delta.setdefault(relation, set()).add(t)
+        # Every head this loop can act on is an over-deleted fact not
+        # yet re-added — never currently in the database — so the
+        # in-kernel difference cannot hide one.
+        with kernel_difference():
+            while delta:
+                heads, _neg, _firings = immediate_consequences(
+                    comp.program, db, adom,
+                    delta=_frozen(delta), stats=self.stats,
+                )
+                delta = {}
+                for fact in heads:
+                    if fact in overdeleted and fact not in rederived:
+                        relation, t = fact
+                        db.add_fact(relation, t)
+                        rederived.add(fact)
+                        delta.setdefault(relation, set()).add(t)
         return overdeleted - rederived, len(overdeleted), len(rederived)
 
     def _dred_insert(
@@ -684,17 +722,20 @@ class DifferentialEngine:
         delta: dict[str, set[tuple]] = {
             rel: set(ts) for rel, ts in ins_in.items()
         }
-        while delta:
-            heads, _neg, _firings = immediate_consequences(
-                comp.program, db, adom,
-                delta=_frozen(delta), stats=self.stats,
-            )
-            delta = {}
-            for fact in heads:
-                relation, t = fact
-                if db.add_fact(relation, t):
-                    added.add(fact)
-                    delta.setdefault(relation, set()).add(t)
+        # Add-only: already-present heads are no-ops here, so the
+        # kernels may subtract them at the source.
+        with kernel_difference():
+            while delta:
+                heads, _neg, _firings = immediate_consequences(
+                    comp.program, db, adom,
+                    delta=_frozen(delta), stats=self.stats,
+                )
+                delta = {}
+                for fact in heads:
+                    relation, t = fact
+                    if db.add_fact(relation, t):
+                        added.add(fact)
+                        delta.setdefault(relation, set()).add(t)
         return added
 
     # -- misc ---------------------------------------------------------------

@@ -65,17 +65,37 @@ exact.  The compiled functions are cached on the plan itself
 a planner replan selects or builds a different plan object, and
 :func:`plan_with_cover` resets the slot on its chain-probing twin.
 ``BENCH_codegen.json`` carries the three-way ablation.
+
+The fourth and top tier is *columnar batch execution*
+(:attr:`PlanCache.columnar`, default on; precedence columnar > codegen
+> compiled > interpreted).  Semi-naive drivers freeze each stage's
+delta through :func:`make_delta`, which wraps it in a
+:class:`~repro.relational.columnar.DeltaBlock` — the frozen fact set
+plus its rows/columns — and ``run_emit``/``run_rows`` dispatch to the
+``emit_batch_*``/``walk_batch_*`` kernels codegen emits alongside the
+scalar variants: one list comprehension that consumes the whole block
+(rows unpacked into locals, probe ``.get``\\ s hoisted, chain-trie
+walks inlined) instead of resuming a generator frame per tuple.  The
+generator flavor (``iter_matches`` and the seeded engines) keeps the
+scalar walk: a batch kernel materializes its whole result, which is
+exactly what consumers that mutate between yields must not see.
+
+:func:`matcher_override` is the one sanctioned way to flip tiers
+temporarily (CLI ``--matcher``, benchmarks, tests): it restores all
+three class toggles even when the body raises.
 """
 
 from __future__ import annotations
 
 import itertools
+from contextlib import contextmanager
 from typing import Hashable, Iterator
 from weakref import WeakKeyDictionary
 
 from repro.ast.rules import EqLit, Lit, Rule
+from repro.relational.columnar import DeltaBlock
 from repro.relational.instance import Database
-from repro.semantics.codegen import compile_plan
+from repro.semantics.codegen import CodegenPlan, compile_plan
 from repro.terms import Const, Var
 
 
@@ -97,6 +117,16 @@ class PlanCache:
     #: already-compiled functions immediately.
     codegen: bool = True
 
+    #: Fourth matcher tier: when True (the default) and the codegen
+    #: tier is active, ``run_emit``/``run_rows`` dispatch to the batch
+    #: kernels (``emit_batch_*``/``walk_batch_*``) and the semi-naive
+    #: drivers wrap stage deltas in
+    #: :class:`~repro.relational.columnar.DeltaBlock`\\ s via
+    #: :func:`make_delta`.  Checked per call like ``codegen``, so
+    #: flipping it mid-session takes effect immediately; plans without
+    #: a batchable shape fall back to the scalar codegen variants.
+    columnar: bool = True
+
     #: rule → {join order (indices into positive_body) → RulePlan}.
     #: Weak on the rule so plans die with the program; structurally
     #: equal rules (spans excluded from Rule equality) share plans.
@@ -115,13 +145,103 @@ class PlanCache:
 def active_matcher() -> str:
     """The matcher tier an untraced run will use right now.
 
-    ``"codegen"`` > ``"compiled"`` > ``"interpreted"``: the codegen tier
-    only applies on top of the compiled kernel, so turning
-    ``compiled_plans`` off wins regardless of ``codegen``.
+    ``"columnar"`` > ``"codegen"`` > ``"compiled"`` > ``"interpreted"``:
+    each tier only applies on top of the ones below it, so turning a
+    lower toggle off wins regardless of the toggles above.
     """
     if not PlanCache.compiled_plans:
         return "interpreted"
-    return "codegen" if PlanCache.codegen else "compiled"
+    if not PlanCache.codegen:
+        return "compiled"
+    return "columnar" if PlanCache.columnar else "codegen"
+
+
+#: Tier name → (compiled_plans, codegen, columnar) toggle settings.
+_TIER_FLAGS = {
+    "interpreted": (False, False, False),
+    "compiled": (True, False, False),
+    "codegen": (True, True, False),
+    "columnar": (True, True, True),
+}
+
+
+@contextmanager
+def matcher_override(matcher: str | None):
+    """Temporarily force one matcher tier; restore the toggles on exit.
+
+    The single sanctioned way to flip :class:`PlanCache`'s class-level
+    toggles (CLI ``--matcher``, benchmark ablations, tests): all three
+    flags are saved before the switch and restored in a ``finally``, so
+    an exception mid-run cannot leak a flipped toggle into later
+    evaluations.  ``None`` means "leave the tiers alone" (no-op), which
+    lets callers pass an optional flag straight through.
+    """
+    if matcher is None:
+        yield
+        return
+    flags = _TIER_FLAGS[matcher]  # unknown names raise before flipping
+    saved = (
+        PlanCache.compiled_plans,
+        PlanCache.codegen,
+        PlanCache.columnar,
+    )
+    try:
+        PlanCache.compiled_plans, PlanCache.codegen, PlanCache.columnar = flags
+        yield
+    finally:
+        (
+            PlanCache.compiled_plans,
+            PlanCache.codegen,
+            PlanCache.columnar,
+        ) = saved
+
+
+@contextmanager
+def kernel_difference():
+    """Enable the batch kernels' in-kernel difference for this block.
+
+    Inside the context the fused ``emit_batch_*`` kernels subtract the
+    head relation's current content before emitting — semi-naive's
+    difference pushed into the kernel as one bulk
+    ``difference_update``, so downstream absorption touches only
+    genuinely new facts.  Sound exactly when the caller is an
+    *add-only* fixpoint loop (anything it does with an emitted fact
+    already in the database is a no-op): the semi-naive drivers, the
+    planner's scheduled fixpoint, the differential engine's insertion
+    and rederivation passes.  Consumers that read consequence sets as
+    "everything derivable" — trigger steps computing
+    ``negative - positive``, noninflationary conflict policies, the
+    differential engine's affected/over-deletion discovery — must
+    stay outside.
+    """
+    saved = CodegenPlan.subtract_known
+    CodegenPlan.subtract_known = True
+    try:
+        yield
+    finally:
+        CodegenPlan.subtract_known = saved
+
+
+def make_delta(facts) -> "frozenset[tuple] | DeltaBlock":
+    """Freeze one relation's stage delta for the next semi-naive pass.
+
+    Under the full columnar stack non-empty deltas become
+    :class:`~repro.relational.columnar.DeltaBlock`\\ s — the frozen set
+    plus its row/column slices, ready for the batch kernels — otherwise
+    a plain ``frozenset``.  A block iterates in exactly the frozenset's
+    enumeration order, so every row-at-a-time consumer (including the
+    seeded engines and the scalar fallbacks) sees the same sequence
+    under either wrapping.
+    """
+    frozen = frozenset(facts)
+    if (
+        frozen
+        and PlanCache.columnar
+        and PlanCache.codegen
+        and PlanCache.compiled_plans
+    ):
+        return DeltaBlock(frozen)
+    return frozen
 
 
 class Step:
@@ -191,6 +311,7 @@ class RulePlan:
     __slots__ = (
         "rule",
         "order",
+        "bound",
         "n_slots",
         "steps",
         "never",
@@ -206,9 +327,20 @@ class RulePlan:
         "cover_twins",
     )
 
-    def __init__(self, rule: Rule, order: tuple[int, ...]):
+    def __init__(
+        self,
+        rule: Rule,
+        order: tuple[int, ...],
+        bound: tuple[Var, ...] = (),
+    ):
         self.rule = rule
         self.order = order
+        #: Variables pre-bound by the caller (the differential engine's
+        #: head-bound rederivation probes).  They claim slots 0..k-1 in
+        #: ``bound`` order, so a seed tuple fills them positionally;
+        #: every later occurrence compiles to an index key fill — the
+        #: probes are restricted by the seed, not post-filtered.
+        self.bound = bound
         #: Lazily-built :class:`~repro.semantics.codegen.CodegenPlan`;
         #: lives and dies with this plan object (see PlanCache.clear).
         self.codegen_fns = None
@@ -226,6 +358,9 @@ class RulePlan:
             if s is None:
                 s = slot_of[v] = len(slot_of)
             return s
+
+        for v in bound:
+            slot(v)
 
         # -- per-literal steps -------------------------------------------
         steps: list[Step] = []
@@ -433,6 +568,24 @@ class RulePlan:
             return
         yield from self._run(db, adom, step_index, restricted)
 
+    def iter_seeded(
+        self,
+        db: Database,
+        adom: tuple[Hashable, ...],
+        seed: tuple[Hashable, ...],
+    ) -> Iterator[list]:
+        """All matches with the ``bound`` slots pre-filled from ``seed``.
+
+        The differential engine's rederivation probe: ``seed`` gives the
+        values of ``self.bound`` positionally (slots ``0..len(seed)-1``),
+        and the walk runs with those slots already bound — every
+        occurrence of a bound variable probes an index key instead of
+        scanning.  Only meaningful on plans built with ``bound``.
+        """
+        if self.never:
+            return iter(())
+        return self._run(db, adom, -1, None, seed)
+
     def _candidates(
         self,
         step: Step,
@@ -474,12 +627,37 @@ class RulePlan:
             return iter(list(bucket)) if bucket else iter(())
         return iter(list(rel))
 
+    def run_rows(
+        self,
+        db: Database,
+        adom: tuple[Hashable, ...],
+        restricted_index: int,
+        restricted: frozenset[tuple] | None,
+    ) -> "list[tuple] | Iterator[list]":
+        """Slot rows of one plan run, batch-kernelled when possible.
+
+        The planner's multi-head/negative-head emit path: unlike the
+        generator flavor its consumer never mutates the database while
+        draining, so under the columnar tier the whole run comes back
+        as one materialized list from a ``walk_batch_*`` kernel.  Plans
+        or variants without a batch shape fall back to ``_run``.
+        """
+        if PlanCache.columnar and PlanCache.codegen:
+            fns = self.codegen_fns
+            if fns is None:
+                fns = self.codegen_fns = compile_plan(self)
+            rows = fns.run_walk_batch(db, adom, restricted_index, restricted)
+            if rows is not None:
+                return rows
+        return self._run(db, adom, restricted_index, restricted)
+
     def _run(
         self,
         db: Database,
         adom: tuple[Hashable, ...],
         restricted_index: int,
         restricted: frozenset[tuple] | None,
+        seed: tuple[Hashable, ...] | None = None,
     ) -> Iterator[list]:
         """The backtracking walk — codegen'd when the tier is on.
 
@@ -492,8 +670,10 @@ class RulePlan:
             fns = self.codegen_fns
             if fns is None:
                 fns = self.codegen_fns = compile_plan(self)
-            return fns.run(db, adom, restricted_index, restricted)
-        return self._run_interpreted(db, adom, restricted_index, restricted)
+            return fns.run(db, adom, restricted_index, restricted, seed)
+        return self._run_interpreted(
+            db, adom, restricted_index, restricted, seed
+        )
 
     def _run_interpreted(
         self,
@@ -501,9 +681,12 @@ class RulePlan:
         adom: tuple[Hashable, ...],
         restricted_index: int,
         restricted: frozenset[tuple] | None,
+        seed: tuple[Hashable, ...] | None = None,
     ) -> Iterator[list]:
         """The iterative backtracking walk over the compiled steps."""
         slots = [None] * self.n_slots
+        if seed is not None:
+            slots[: len(seed)] = seed
         steps = self.steps
         n = len(steps)
         if n == 0:
@@ -597,7 +780,10 @@ class RulePlan:
         Under the codegen tier the call dispatches to the fused
         specialized variant, which bakes the head spec in — the guard
         confirms the caller passed this plan's own emitter before
-        trusting the baked one.
+        trusting the baked one.  Under the columnar tier on top, the
+        dispatch prefers the ``emit_batch_*`` kernels (whole-delta list
+        comprehensions); variants without a batch shape fall back to
+        the scalar fused walk inside ``run_emit_batch``.
         """
         if PlanCache.codegen:
             fns = self.codegen_fns
@@ -605,6 +791,10 @@ class RulePlan:
                 fns = self.codegen_fns = compile_plan(self)
             if (fns._emits is not None and relation == fns.head_relation
                     and fills == fns.head_fills):
+                if PlanCache.columnar:
+                    return fns.run_emit_batch(
+                        db, adom, restricted_index, restricted, out
+                    )
                 return fns.run_emit(db, adom, restricted_index, restricted, out)
         fired = 0
         add = out.add
@@ -721,19 +911,26 @@ class RulePlan:
         return True
 
 
-def plan_for(rule: Rule, order: tuple[int, ...]) -> RulePlan:
+def plan_for(
+    rule: Rule,
+    order: tuple[int, ...],
+    bound: tuple[Var, ...] = (),
+) -> RulePlan:
     """The compiled plan for ``rule`` under one join order (cached).
 
     ``order`` is the chosen permutation as indices into
     ``rule.positive_body()``; each distinct order compiles once per
-    rule and is then selected in O(1) by later stages.
+    rule and is then selected in O(1) by later stages.  ``bound`` names
+    caller-seeded variables (see :meth:`RulePlan.iter_seeded`); bound
+    plans are cached alongside the unbound ones under a composite key.
     """
     per_rule = PlanCache._plans.get(rule)
     if per_rule is None:
         per_rule = PlanCache._plans.setdefault(rule, {})
-    plan = per_rule.get(order)
+    key = order if not bound else (order, bound)
+    plan = per_rule.get(key)
     if plan is None:
-        plan = per_rule[order] = RulePlan(rule, order)
+        plan = per_rule[key] = RulePlan(rule, order, bound)
     return plan
 
 

@@ -65,7 +65,14 @@ from repro.ast.analysis import _sccs, precedence_graph
 from repro.ast.program import Program
 from repro.ast.rules import Lit
 from repro.relational.instance import Database
-from repro.semantics.plan import PlanCache, RulePlan, plan_for, plan_with_cover
+from repro.semantics.plan import (
+    PlanCache,
+    RulePlan,
+    kernel_difference,
+    make_delta,
+    plan_for,
+    plan_with_cover,
+)
 from repro.terms import Var
 
 
@@ -798,7 +805,9 @@ def _fire(
 
     Single-positive-head rules take the fused ``RulePlan.run_emit``
     path (no per-row generator resume — this is the hottest loop in the
-    repository); everything else drains ``plan._run`` through
+    repository; under the columnar tier it dispatches on to the batch
+    kernels); everything else drains ``plan.run_rows`` — a materialized
+    batch when one exists, the generator walk otherwise — through
     :func:`_emit`.
     """
     if plan.never:
@@ -812,7 +821,7 @@ def _fire(
         )
     return _emit(
         plan,
-        plan._run(db, adom, restricted_pos, restricted),
+        plan.run_rows(db, adom, restricted_pos, restricted),
         rule,
         positive,
         negative,
@@ -1022,12 +1031,25 @@ def scheduled_fixpoint(
         stage += 1
         trace = StageTrace(stage)
         delta: dict[str, set[tuple]] = {}
+        # Group the consequence set by relation so each group pays one
+        # relation lookup and one bulk insert instead of a per-fact
+        # ``add_fact`` call chain — this is the hot path between batch
+        # kernel passes, and at chain sizes the per-fact overhead
+        # otherwise rivals the matching itself.
+        by_relation: dict[str, list[tuple]] = {}
         for relation, t in positive:
-            if db.add_fact(relation, t):
-                trace.new_facts.append((relation, t))
-                delta.setdefault(relation, set()).add(t)
+            group = by_relation.get(relation)
+            if group is None:
+                by_relation[relation] = [t]
+            else:
+                group.append(t)
+        for relation, ts in by_relation.items():
+            fresh = db.ensure_relation(relation, len(ts[0])).add_batch(ts)
+            if fresh:
+                delta[relation] = set(fresh)
+                trace.new_facts.extend((relation, t) for t in fresh)
                 if collect is not None:
-                    collect.add((relation, t))
+                    collect.update((relation, t) for t in fresh)
         if recorder is not None:
             recorder.stage(
                 stage, firings, added=len(trace.new_facts), trace=trace
@@ -1036,29 +1058,15 @@ def scheduled_fixpoint(
             result.stages.append(trace)
         return delta
 
-    for component in ctx.schedule:
-        positive, _negative, firings = consequences(
-            program,
-            db,
-            adom,
-            stats=stats,
-            rule_ids=component.rule_ids,
-            count_call=True,
-            tracer=tracer,
-        )
-        firings_total += firings
-        delta = absorb(positive, firings)
-        if not component.recursive:
-            continue
-        while delta:
-            frozen = {
-                relation: frozenset(facts) for relation, facts in delta.items()
-            }
+    # The whole schedule is an add-only fixpoint (``absorb`` only ever
+    # inserts), so the batch kernels may subtract already-known heads
+    # at the source — see ``kernel_difference``.
+    with kernel_difference():
+        for component in ctx.schedule:
             positive, _negative, firings = consequences(
                 program,
                 db,
                 adom,
-                delta=frozen,
                 stats=stats,
                 rule_ids=component.rule_ids,
                 count_call=True,
@@ -1066,6 +1074,25 @@ def scheduled_fixpoint(
             )
             firings_total += firings
             delta = absorb(positive, firings)
+            if not component.recursive:
+                continue
+            while delta:
+                frozen = {
+                    relation: make_delta(facts)
+                    for relation, facts in delta.items()
+                }
+                positive, _negative, firings = consequences(
+                    program,
+                    db,
+                    adom,
+                    delta=frozen,
+                    stats=stats,
+                    rule_ids=component.rule_ids,
+                    count_call=True,
+                    tracer=tracer,
+                )
+                firings_total += firings
+                delta = absorb(positive, firings)
     apply_cover(ctx, db)
     if recorder is not None:
         recorder.settle()

@@ -23,6 +23,7 @@ from repro.semantics.base import (
     evaluation_adom,
     immediate_consequences,
 )
+from repro.semantics.plan import kernel_difference, make_delta
 
 
 def evaluate_datalog_seminaive(
@@ -75,22 +76,26 @@ def evaluate_datalog_seminaive(
         result.stages.append(trace)
 
     stage = 1
-    while delta:
-        stage += 1
-        frozen_delta = {rel: frozenset(ts) for rel, ts in delta.items()}
-        positive, _negative, firings = immediate_consequences(
-            program, current, adom, delta=frozen_delta, stats=recorder.stats,
-            tracer=tracer
-        )
-        result.rule_firings += firings
-        trace = StageTrace(stage)
-        delta = {}
-        for relation, t in positive:
-            if current.add_fact(relation, t):
-                trace.new_facts.append((relation, t))
-                delta.setdefault(relation, set()).add(t)
-        recorder.stage(stage, firings, added=len(trace.new_facts), trace=trace)
-        if trace.new_facts:
-            result.stages.append(trace)
+    # Add-only delta loop: the batch kernels may subtract known heads.
+    with kernel_difference():
+        while delta:
+            stage += 1
+            frozen_delta = {rel: make_delta(ts) for rel, ts in delta.items()}
+            positive, _negative, firings = immediate_consequences(
+                program, current, adom, delta=frozen_delta,
+                stats=recorder.stats, tracer=tracer
+            )
+            result.rule_firings += firings
+            trace = StageTrace(stage)
+            delta = {}
+            for relation, t in positive:
+                if current.add_fact(relation, t):
+                    trace.new_facts.append((relation, t))
+                    delta.setdefault(relation, set()).add(t)
+            recorder.stage(
+                stage, firings, added=len(trace.new_facts), trace=trace
+            )
+            if trace.new_facts:
+                result.stages.append(trace)
     result.stats = recorder.finish(adom_size=len(adom))
     return result

@@ -24,6 +24,7 @@ from repro.semantics.base import (
     evaluation_adom,
     immediate_consequences,
 )
+from repro.semantics.plan import kernel_difference, make_delta
 
 
 def evaluate_stratified(
@@ -86,23 +87,28 @@ def evaluate_stratified(
         recorder.stage(stage, firings, added=len(trace.new_facts), trace=trace)
         if trace.new_facts:
             result.stages.append(trace)
-        while delta:
-            frozen_delta = {rel: frozenset(ts) for rel, ts in delta.items()}
-            positive, _negative, firings = immediate_consequences(
-                subprogram, current, adom, delta=frozen_delta,
-                stats=recorder.stats, tracer=tracer
-            )
-            result.rule_firings += firings
-            stage += 1
-            trace = StageTrace(stage)
-            delta = {}
-            for relation, t in positive:
-                if current.add_fact(relation, t):
-                    trace.new_facts.append((relation, t))
-                    delta.setdefault(relation, set()).add(t)
-            recorder.stage(stage, firings, added=len(trace.new_facts),
-                           trace=trace)
-            if trace.new_facts:
-                result.stages.append(trace)
+        # Add-only delta loop within the stratum: the batch kernels
+        # may subtract known heads.
+        with kernel_difference():
+            while delta:
+                frozen_delta = {
+                    rel: make_delta(ts) for rel, ts in delta.items()
+                }
+                positive, _negative, firings = immediate_consequences(
+                    subprogram, current, adom, delta=frozen_delta,
+                    stats=recorder.stats, tracer=tracer
+                )
+                result.rule_firings += firings
+                stage += 1
+                trace = StageTrace(stage)
+                delta = {}
+                for relation, t in positive:
+                    if current.add_fact(relation, t):
+                        trace.new_facts.append((relation, t))
+                        delta.setdefault(relation, set()).add(t)
+                recorder.stage(stage, firings, added=len(trace.new_facts),
+                               trace=trace)
+                if trace.new_facts:
+                    result.stages.append(trace)
     result.stats = recorder.finish(adom_size=len(adom))
     return result

@@ -148,7 +148,7 @@ def _least_model(
             return (
                 frozenset(collected),
                 scheduled[0],
-                (*work.index_counters(), work.index_drop_count()),
+                work.index_totals(),
             )
 
     firings_total = 0
@@ -176,7 +176,7 @@ def _least_model(
     return (
         frozenset(derived),
         firings_total,
-        (*work.index_counters(), work.index_drop_count()),
+        work.index_totals(),
     )
 
 

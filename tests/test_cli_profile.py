@@ -206,13 +206,17 @@ class TestStatsJson:
             "version", "engine", "matcher", "seconds", "stage_count",
             "rule_firings", "consequence_calls", "adom_size",
             "index_builds", "index_updates", "index_drops", "planner",
-            "differential", "stages",
+            "differential", "storage", "stages",
         }
         assert stats["engine"] == "seminaive"
         # Additive fields under STATS_SCHEMA_VERSION=1: which matcher
         # tier produced the instantiations (untraced runs take the
-        # codegen tier by default) and the query planner's report.
-        assert stats["matcher"] == "codegen"
+        # columnar tier by default) and the query planner's report.
+        assert stats["matcher"] == "columnar"
+        # ``repro stats`` measures memory density on the final instance.
+        assert set(stats["storage"]) == {"relations", "interner"}
+        for rel in stats["storage"]["relations"].values():
+            assert set(rel) == {"rows", "set_bytes", "column_bytes"}
         assert stats["planner"] is not None
         assert {"plan_lookups", "plan_hits", "replans", "rules",
                 "index_cover", "scheduled_components"} <= set(stats["planner"])

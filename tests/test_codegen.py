@@ -28,6 +28,7 @@ from repro.semantics.nondeterministic import run_nondeterministic
 from repro.semantics.plan import (
     PlanCache,
     active_matcher,
+    matcher_override,
     plan_for,
     plan_with_cover,
 )
@@ -37,20 +38,17 @@ from repro.semantics.wellfounded import evaluate_wellfounded
 from repro.workloads.graphs import chain, graph_database
 from tests.test_differential_engines import random_program_and_database
 
-TIERS = ("codegen", "compiled", "interpreted")
+TIERS = ("columnar", "codegen", "compiled", "interpreted")
 
 
 @contextlib.contextmanager
 def _tier(tier: str):
     """Run the body under one matcher tier, restoring the defaults."""
-    assert PlanCache.compiled_plans and PlanCache.codegen  # the defaults
-    PlanCache.compiled_plans = tier != "interpreted"
-    PlanCache.codegen = tier == "codegen"
-    try:
+    # the defaults: the full stack is on
+    assert (PlanCache.compiled_plans and PlanCache.codegen
+            and PlanCache.columnar)
+    with matcher_override(tier):
         yield
-    finally:
-        PlanCache.compiled_plans = True
-        PlanCache.codegen = True
 
 
 TC_NONLINEAR = "T(x, y) :- G(x, y).\nT(x, y) :- T(x, z), T(z, y).\n"
@@ -121,9 +119,11 @@ class TestEmittedSource:
 class TestTierDispatch:
     """Tier precedence, stats surface, and the traced-run downgrade."""
 
-    def test_codegen_is_the_default(self):
-        assert PlanCache.codegen
-        assert active_matcher() == "codegen"
+    def test_columnar_is_the_default(self):
+        assert PlanCache.codegen and PlanCache.columnar
+        assert active_matcher() == "columnar"
+        with matcher_override("codegen"):
+            assert active_matcher() == "codegen"
 
     @pytest.mark.parametrize("tier", TIERS)
     def test_stats_report_the_tier(self, tier):
@@ -141,10 +141,8 @@ class TestTierDispatch:
                 result = evaluate_datalog_seminaive(program, _tc_db())
             answers[tier] = result.answer("T")
             firings[tier] = result.stats.rule_firings
-        assert answers["codegen"] == answers["compiled"] == answers[
-            "interpreted"]
-        assert firings["codegen"] == firings["compiled"] == firings[
-            "interpreted"]
+        assert len(set(map(frozenset, answers.values()))) == 1
+        assert len(set(firings.values())) == 1
 
     def test_traced_run_drops_to_interpreted(self):
         # Join-probe counts must stay exact, so a traced run bypasses
@@ -168,27 +166,31 @@ class TestCacheCoherence:
         # tier and produce identical answers.
         program = parse_program(TC_NONLINEAR)
         db = _tc_db()
-        with _tier("codegen"):
+        with _tier("columnar"):
             warm = evaluate_datalog_seminaive(program, db)
+        with _tier("codegen"):
+            codegen = evaluate_datalog_seminaive(program, db)
         with _tier("compiled"):
             compiled = evaluate_datalog_seminaive(program, db)
         with _tier("interpreted"):
             interpreted = evaluate_datalog_seminaive(program, db)
-        with _tier("codegen"):
+        with _tier("columnar"):
             again = evaluate_datalog_seminaive(program, db)
+        assert warm.answer("T") == codegen.answer("T")
         assert warm.answer("T") == compiled.answer("T")
         assert warm.answer("T") == interpreted.answer("T")
         assert warm.answer("T") == again.answer("T")
+        assert codegen.stats.matcher == "codegen"
         assert compiled.stats.matcher == "compiled"
         assert interpreted.stats.matcher == "interpreted"
-        assert again.stats.matcher == "codegen"
+        assert again.stats.matcher == "columnar"
 
     def test_toggle_flip_between_differential_batches(self):
         # A maintained view evaluated across a mid-session tier flip
         # must match the from-scratch model at every step.
         program = parse_program(TC_NONLINEAR)
         base = graph_database(chain(6))
-        with _tier("codegen"):
+        with _tier("columnar"):
             engine = DifferentialEngine(program, base)
         with _tier("compiled"):
             engine.apply([("+", "G", ("n5", "x0")), ("+", "G", ("x0", "x1"))])
@@ -260,9 +262,9 @@ class TestThreeWayDifferential:
                     result.stats.rule_firings,
                     result.stats.stage_count,
                 )
-            assert outcomes["codegen"] == outcomes["compiled"], (name, seed)
-            assert outcomes["codegen"] == outcomes["interpreted"], (
-                name, seed)
+            for tier in TIERS[1:]:
+                assert outcomes["columnar"] == outcomes[tier], (
+                    name, tier, seed)
         # A positive program's well-founded model is its minimum model;
         # the alternating fixpoint still exercises the residual probes.
         wf = {}
@@ -271,7 +273,8 @@ class TestThreeWayDifferential:
                 model = evaluate_wellfounded(program, db.copy())
             wf[tier] = (model.true_facts, model.unknown_facts(),
                         model.stats.rule_firings)
-        assert wf["codegen"] == wf["compiled"] == wf["interpreted"], seed
+        for tier in TIERS[1:]:
+            assert wf["columnar"] == wf[tier], (tier, seed)
 
 
 SPANNING_TREE = """
@@ -317,8 +320,8 @@ class TestSeededReplay:
                 result.answer("root"),
                 result.choices,
             )
-        assert outcomes["codegen"] == outcomes["compiled"], seed
-        assert outcomes["codegen"] == outcomes["interpreted"], seed
+        for tier in TIERS[1:]:
+            assert outcomes["columnar"] == outcomes[tier], (tier, seed)
 
     @pytest.mark.parametrize("seed", [0, 3, 9])
     def test_nondeterministic_replays_identically(self, seed):
@@ -335,8 +338,8 @@ class TestSeededReplay:
                 run.aborted,
                 run.answer("pick"),
             )
-        assert outcomes["codegen"] == outcomes["compiled"], seed
-        assert outcomes["codegen"] == outcomes["interpreted"], seed
+        for tier in TIERS[1:]:
+            assert outcomes["columnar"] == outcomes[tier], (tier, seed)
 
 
 class TestCliMatcherFlag:
@@ -367,7 +370,8 @@ class TestCliMatcherFlag:
         assert code == 0
         assert json.loads(output)["matcher"] == tier
         # The override is scoped to the one evaluation.
-        assert PlanCache.compiled_plans and PlanCache.codegen
+        assert (PlanCache.compiled_plans and PlanCache.codegen
+                and PlanCache.columnar)
 
     def test_run_matcher_override_same_answers(self, tc_files):
         program, data = tc_files

@@ -266,8 +266,12 @@ class TestRecorderInvariants:
 
         program = parse_program(TC)
         db = Database(GRAPH)
-        assert PlanCache.compiled_plans and PlanCache.codegen  # defaults
+        # Defaults: the full stack, columnar on top.
+        assert (PlanCache.compiled_plans and PlanCache.codegen
+                and PlanCache.columnar)
         try:
+            columnar = evaluate_datalog_seminaive(program, db).stats
+            PlanCache.columnar = False
             codegen = evaluate_datalog_seminaive(program, db).stats
             PlanCache.codegen = False
             compiled = evaluate_datalog_seminaive(program, db).stats
@@ -276,10 +280,13 @@ class TestRecorderInvariants:
         finally:
             PlanCache.compiled_plans = True
             PlanCache.codegen = True
+            PlanCache.columnar = True
+        assert columnar.matcher == "columnar"
         assert codegen.matcher == "codegen"
         assert compiled.matcher == "compiled"
         assert interpreted.matcher == "interpreted"
         # The matcher choice never changes what gets computed.
+        assert columnar.rule_firings == interpreted.rule_firings
         assert codegen.rule_firings == interpreted.rule_firings
         assert compiled.rule_firings == interpreted.rule_firings
         assert codegen.stage_count == interpreted.stage_count

@@ -402,8 +402,8 @@ class TestProfilePlannedCLI:
         assert code == 0
         doc = json.loads(output)
         # Planned-mode tracing keeps the full matcher stack on — with
-        # the codegen tier enabled by default, that is what it reports.
-        assert doc["matcher"] == "codegen"
+        # the columnar tier enabled by default, that is what it reports.
+        assert doc["matcher"] == "columnar"
         # The live planner report, not the static estimate: actuals on.
         assert "adaptive_replans" in doc["planner"]
         assert "actual_rows" in doc["planner"]["rules"]["1"]["full"]
